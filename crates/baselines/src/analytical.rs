@@ -1,0 +1,112 @@
+//! Analytical speedup laws (paper §II-A).
+//!
+//! These models bound or sketch speedup from a couple of scalar
+//! parameters. The paper's point is that they "have difficulty
+//! considering realistic and runtime characteristics" — they serve here as
+//! reference curves in the experiments.
+
+/// Amdahl's law: speedup on `t` processors with parallelisable fraction
+/// `p ∈ [0, 1]` of the serial runtime.
+pub fn amdahl(p: f64, t: u32) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let t = t.max(1) as f64;
+    1.0 / ((1.0 - p) + p / t)
+}
+
+/// Gustafson's law (scaled speedup): the parallel part grows with the
+/// machine.
+pub fn gustafson(p: f64, t: u32) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let t = t.max(1) as f64;
+    (1.0 - p) + p * t
+}
+
+/// Karp–Flatt metric: the *experimentally determined serial fraction*
+/// implied by a measured speedup `s` on `t` processors. Values drifting
+/// upward with `t` indicate overhead growth rather than inherent
+/// serialism.
+pub fn karp_flatt(s: f64, t: u32) -> f64 {
+    let t = t.max(2) as f64;
+    ((1.0 / s) - (1.0 / t)) / (1.0 - 1.0 / t)
+}
+
+/// Eyerman–Eeckhout's critical-section extension of Amdahl's law.
+///
+/// `p_seq` is the sequential fraction, `p_cs` the fraction spent in
+/// critical sections (of the whole program), and `p_ctn` the probability a
+/// critical-section entry contends. The contended part serialises; the
+/// uncontended part parallelises:
+///
+/// `T(t) = p_seq + (1 − p_seq − p_cs)/t + p_cs·(1 − p_ctn)/t + p_cs·p_ctn`
+pub fn eyerman_eeckhout(p_seq: f64, p_cs: f64, p_ctn: f64, t: u32) -> f64 {
+    let t = t.max(1) as f64;
+    let p_seq = p_seq.clamp(0.0, 1.0);
+    let p_cs = p_cs.clamp(0.0, 1.0 - p_seq);
+    let p_ctn = p_ctn.clamp(0.0, 1.0);
+    let par = (1.0 - p_seq - p_cs).max(0.0);
+    let time = p_seq + par / t + p_cs * (1.0 - p_ctn) / t + p_cs * p_ctn;
+    1.0 / time
+}
+
+/// Hill–Marty symmetric-multicore Amdahl: `n` base-core equivalents
+/// grouped into chunks of `r` (each chunk performs `√r`).
+pub fn hill_marty_symmetric(p: f64, n: u32, r: u32) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let n = n.max(1) as f64;
+    let r = (r.max(1) as f64).min(n);
+    let perf = r.sqrt();
+    1.0 / ((1.0 - p) / perf + p * r / (perf * n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        assert!((amdahl(0.0, 64) - 1.0).abs() < 1e-12);
+        assert!((amdahl(1.0, 8) - 8.0).abs() < 1e-12);
+        // p = 0.9, t → ∞ ⇒ 10.
+        assert!((amdahl(0.9, 1_000_000) - 10.0).abs() < 0.01);
+        assert!((amdahl(0.5, 2) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gustafson_scales_linearly() {
+        assert!((gustafson(1.0, 12) - 12.0).abs() < 1e-12);
+        assert!((gustafson(0.5, 10) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn karp_flatt_recovers_serial_fraction() {
+        // If speedup follows Amdahl exactly, Karp–Flatt returns (1−p).
+        for t in [2u32, 4, 8, 16] {
+            let s = amdahl(0.8, t);
+            let e = karp_flatt(s, t);
+            assert!((e - 0.2).abs() < 1e-9, "t={t} e={e}");
+        }
+    }
+
+    #[test]
+    fn eyerman_eeckhout_brackets() {
+        // No critical sections → plain Amdahl.
+        let t = 8;
+        assert!((eyerman_eeckhout(0.2, 0.0, 0.5, t) - amdahl(0.8, t)).abs() < 1e-12);
+        // Fully contended CS behaves like extra serial fraction.
+        let full = eyerman_eeckhout(0.1, 0.3, 1.0, t);
+        assert!((full - amdahl(0.6, t) * 0.0 - 1.0 / (0.4 + 0.6 / 8.0)).abs() < 1e-9);
+        // Contention only hurts.
+        assert!(eyerman_eeckhout(0.1, 0.3, 1.0, t) <= eyerman_eeckhout(0.1, 0.3, 0.0, t));
+    }
+
+    #[test]
+    fn hill_marty_r1_is_amdahl() {
+        for t in [4u32, 16, 64] {
+            assert!((hill_marty_symmetric(0.9, t, 1) - amdahl(0.9, t)).abs() < 1e-12);
+        }
+        // Bigger cores help the serial part.
+        let small_cores = hill_marty_symmetric(0.5, 64, 1);
+        let big_cores = hill_marty_symmetric(0.5, 64, 16);
+        assert!(big_cores > small_cores);
+    }
+}

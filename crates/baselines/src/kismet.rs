@@ -1,0 +1,89 @@
+//! A Kismet-like upper-bound estimator (paper §II-B).
+//!
+//! Kismet performs hierarchical critical-path analysis on an unmodified
+//! serial program and reports an *upper bound* on achievable speedup — it
+//! "cannot predict speedup saturation" and does not model scheduling or
+//! memory. Our stand-in computes, per top-level section, the Brent bound
+//! `max(work/t, span)` over the program tree (the tree gives us exactly
+//! the region hierarchy Kismet would discover), and leaves top-level
+//! serial code serial.
+
+use proftree::stats::span_of;
+use proftree::{ProgramTree, Cycles};
+
+/// Upper-bound speedup for `t` processors.
+pub fn kismet_upper_bound(tree: &ProgramTree, t: u32) -> f64 {
+    let t = t.max(1) as u64;
+    let serial: Cycles = tree.top_level_serial_length();
+    let mut bound_time = serial as f64;
+    for sec in tree.top_level_sections() {
+        let work = tree.node(sec).length as f64;
+        let span = span_of(tree, sec) as f64;
+        bound_time += (work / t as f64).max(span);
+    }
+    let total = tree.total_length() as f64;
+    if bound_time <= 0.0 {
+        1.0
+    } else {
+        total / bound_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::TreeBuilder;
+
+    fn loop_tree(lens: &[u64]) -> ProgramTree {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        for &l in lens {
+            b.begin_task("t").unwrap();
+            b.add_compute(l).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn balanced_loop_bound_is_linear_until_span() {
+        let tree = loop_tree(&[100; 8]);
+        assert!((kismet_upper_bound(&tree, 4) - 4.0).abs() < 1e-9);
+        assert!((kismet_upper_bound(&tree, 8) - 8.0).abs() < 1e-9);
+        // Beyond 8 tasks, the span (one task) limits.
+        assert!((kismet_upper_bound(&tree, 64) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_caps_the_bound() {
+        // One long task dominates.
+        let tree = loop_tree(&[1000, 10, 10, 10]);
+        let bound = kismet_upper_bound(&tree, 4);
+        assert!((bound - 1030.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_code_never_parallelised() {
+        let mut b = TreeBuilder::new();
+        b.add_compute(500).unwrap();
+        b.begin_sec("s").unwrap();
+        b.begin_task("t").unwrap();
+        b.add_compute(500).unwrap();
+        b.end_task().unwrap();
+        b.end_sec(false).unwrap();
+        let tree = b.finish().unwrap();
+        // Even with infinite processors: 1000 / (500 + 500) = 1.
+        assert!((kismet_upper_bound(&tree, 1_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_is_at_least_one_and_at_most_t() {
+        let tree = loop_tree(&[7, 13, 29, 31, 53, 97]);
+        for t in [1u32, 2, 3, 4, 8] {
+            let b = kismet_upper_bound(&tree, t);
+            assert!(b >= 1.0 - 1e-9);
+            assert!(b <= t as f64 + 1e-9);
+        }
+    }
+}

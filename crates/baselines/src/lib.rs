@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! Baselines Parallel Prophet is compared against (paper §II, Table I,
+//! Fig. 11(f), Fig. 12 'Suit' series).
+
+pub mod analytical;
+pub mod kismet;
+pub mod suitability;
+
+pub use analytical::{amdahl, eyerman_eeckhout, gustafson, hill_marty_symmetric, karp_flatt};
+pub use kismet::kismet_upper_bound;
+pub use suitability::{suitability_curve, suitability_predict};

@@ -1,0 +1,99 @@
+//! Property tests for the analytical baselines: the classic laws must
+//! satisfy their textbook identities and orderings for all parameters.
+
+use proptest::prelude::*;
+
+use baselines::{
+    amdahl, eyerman_eeckhout, gustafson, hill_marty_symmetric, karp_flatt, kismet_upper_bound,
+    suitability_predict,
+};
+use proftree::TreeBuilder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Amdahl: bounded by 1/(1−p) and by t; monotone in both arguments.
+    #[test]
+    fn amdahl_invariants(p in 0.0f64..1.0, t in 1u32..1024) {
+        let s = amdahl(p, t);
+        prop_assert!(s >= 1.0 - 1e-12);
+        prop_assert!(s <= t as f64 + 1e-9);
+        if p < 1.0 {
+            prop_assert!(s <= 1.0 / (1.0 - p) + 1e-9);
+        }
+        prop_assert!(amdahl(p, t + 1) >= s - 1e-12, "not monotone in t");
+        prop_assert!(amdahl((p + 0.001).min(1.0), t) >= s - 1e-12, "not monotone in p");
+    }
+
+    /// Gustafson dominates Amdahl for the same (p, t) and is linear in t.
+    #[test]
+    fn gustafson_dominates_amdahl(p in 0.0f64..1.0, t in 1u32..256) {
+        prop_assert!(gustafson(p, t) >= amdahl(p, t) - 1e-9);
+        let g1 = gustafson(p, t);
+        let g2 = gustafson(p, t + 1);
+        prop_assert!((g2 - g1 - p).abs() < 1e-9, "slope must be p");
+    }
+
+    /// Karp–Flatt inverts Amdahl exactly: feeding Amdahl's speedup back
+    /// recovers the serial fraction.
+    #[test]
+    fn karp_flatt_inverts_amdahl(p in 0.01f64..0.99, t in 2u32..512) {
+        let s = amdahl(p, t);
+        let e = karp_flatt(s, t);
+        prop_assert!((e - (1.0 - p)).abs() < 1e-6, "e {e} vs {}", 1.0 - p);
+    }
+
+    /// Eyerman–Eeckhout: contention only hurts; zero-cs case equals
+    /// Amdahl; result bounded by t.
+    #[test]
+    fn eyerman_eeckhout_invariants(
+        p_seq in 0.0f64..0.5,
+        p_cs in 0.0f64..0.5,
+        p_ctn in 0.0f64..1.0,
+        t in 1u32..128,
+    ) {
+        let s = eyerman_eeckhout(p_seq, p_cs, p_ctn, t);
+        prop_assert!(s >= 1.0 - 1e-9);
+        prop_assert!(s <= t as f64 + 1e-9);
+        let less_contended = eyerman_eeckhout(p_seq, p_cs, (p_ctn - 0.05).max(0.0), t);
+        prop_assert!(less_contended >= s - 1e-9);
+        let no_cs = eyerman_eeckhout(p_seq, 0.0, p_ctn, t);
+        prop_assert!((no_cs - amdahl(1.0 - p_seq, t)).abs() < 1e-9);
+    }
+
+    /// Hill–Marty reduces to Amdahl at r = 1 and never exceeds n.
+    #[test]
+    fn hill_marty_invariants(p in 0.0f64..1.0, n_exp in 2u32..8, r_exp in 0u32..6) {
+        let n = 1u32 << n_exp;
+        let r = (1u32 << r_exp).min(n);
+        let s = hill_marty_symmetric(p, n, r);
+        prop_assert!(s <= n as f64 + 1e-9);
+        prop_assert!((hill_marty_symmetric(p, n, 1) - amdahl(p, n)).abs() < 1e-9);
+    }
+
+    /// The Kismet-like bound really is an upper bound on the
+    /// Suitability-like emulator's prediction (an emulator with overheads
+    /// can never beat the zero-overhead critical-path limit).
+    #[test]
+    fn kismet_bounds_suitability(
+        lens in proptest::collection::vec(10_000u64..500_000, 1..24),
+        cpus_exp in 1u32..4,
+    ) {
+        let cpus = 1u32 << cpus_exp;
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        for &l in &lens {
+            b.begin_task("t").unwrap();
+            b.add_compute(l).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        let tree = b.finish().unwrap();
+        let bound = kismet_upper_bound(&tree, cpus);
+        let suit = suitability_predict(&tree, cpus).speedup;
+        prop_assert!(
+            suit <= bound + 1e-6,
+            "suitability {suit} above the critical-path bound {bound}"
+        );
+    }
+}

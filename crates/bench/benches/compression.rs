@@ -1,0 +1,58 @@
+//! Criterion bench: program-tree compression throughput (§VI-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use proftree::{compress_tree, CompressOptions, ProgramTree, TreeBuilder};
+
+fn uniform_tree(tasks: u64) -> ProgramTree {
+    let mut b = TreeBuilder::new();
+    b.begin_sec("s").unwrap();
+    for _ in 0..tasks {
+        b.begin_task("t").unwrap();
+        b.add_compute(1_000).unwrap();
+        b.end_task().unwrap();
+    }
+    b.end_sec(false).unwrap();
+    b.finish().unwrap()
+}
+
+fn random_tree(tasks: u64) -> ProgramTree {
+    let mut b = TreeBuilder::new();
+    let mut x = 0x12345u64;
+    b.begin_sec("s").unwrap();
+    for _ in 0..tasks {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        b.begin_task("t").unwrap();
+        b.add_compute(500 + x % 100_000).unwrap();
+        b.end_task().unwrap();
+    }
+    b.end_sec(false).unwrap();
+    b.finish().unwrap()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress_uniform");
+    for tasks in [10_000u64, 100_000] {
+        let tree = uniform_tree(tasks);
+        g.throughput(Throughput::Elements(tasks));
+        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tree, |b, tree| {
+            b.iter(|| compress_tree(tree, CompressOptions::default()));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("compress_random");
+    g.sample_size(20);
+    for tasks in [10_000u64, 100_000] {
+        let tree = random_tree(tasks);
+        g.throughput(Throughput::Elements(tasks));
+        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tree, |b, tree| {
+            b.iter(|| compress_tree(tree, CompressOptions::default()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

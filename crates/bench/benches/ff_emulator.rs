@@ -1,0 +1,93 @@
+//! Criterion bench: fast-forwarding emulation latency per estimate.
+//!
+//! The paper's Table III quotes the FF at "mostly 1.1-3× slowdown, worst
+//! case 30+×" per estimate; this bench measures our FF's absolute cost
+//! as a function of tree size and shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffemu::{predict, FfOptions};
+use machsim::Schedule;
+use omp_rt::OmpOverheads;
+use proftree::{ProgramTree, TreeBuilder};
+
+fn flat_tree(tasks: u64) -> ProgramTree {
+    let mut b = TreeBuilder::new();
+    b.begin_sec("s").unwrap();
+    for i in 0..tasks {
+        b.begin_task("t").unwrap();
+        b.add_compute(1_000 + (i * 37) % 997).unwrap();
+        b.end_task().unwrap();
+    }
+    b.end_sec(false).unwrap();
+    b.finish().unwrap()
+}
+
+fn nested_tree(outer: u64, inner: u64) -> ProgramTree {
+    let mut b = TreeBuilder::new();
+    b.begin_sec("o").unwrap();
+    for i in 0..outer {
+        b.begin_task("ot").unwrap();
+        b.begin_sec("i").unwrap();
+        for j in 0..inner {
+            b.begin_task("it").unwrap();
+            b.add_compute(500 + (i * j) % 311).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        b.end_task().unwrap();
+    }
+    b.end_sec(false).unwrap();
+    b.finish().unwrap()
+}
+
+fn opts(cpus: u32, schedule: Schedule) -> FfOptions {
+    FfOptions {
+        cpus,
+        schedule,
+        overheads: OmpOverheads::westmere_scaled(),
+        use_burden: false,
+        contended_lock_penalty: 2_000,
+        model_pipelines: true,
+    }
+}
+
+fn bench_ff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ff_predict_flat");
+    for tasks in [100u64, 1_000, 10_000] {
+        let tree = flat_tree(tasks);
+        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tree, |b, tree| {
+            b.iter(|| predict(tree, opts(12, Schedule::dynamic1())));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ff_predict_nested");
+    for (outer, inner) in [(32u64, 32u64), (100, 100)] {
+        let tree = nested_tree(outer, inner);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{outer}x{inner}")),
+            &tree,
+            |b, tree| {
+                b.iter(|| predict(tree, opts(12, Schedule::static1())));
+            },
+        );
+    }
+    g.finish();
+
+    // Schedule comparison on a fixed tree (the Fig. 5 axis).
+    let tree = flat_tree(5_000);
+    let mut g = c.benchmark_group("ff_predict_by_schedule");
+    for schedule in [Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(schedule.name()),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| predict(&tree, opts(12, schedule)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ff);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: memory-model costs — the Ψ/Φ calibration
+//! microbenchmark (a one-time cost per machine) and per-section burden
+//! evaluation (a per-profile cost), supporting the paper's "lightweight,
+//! low-overhead" claims for §V.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machsim::MachineConfig;
+use memmodel::{calibrate, section_burden, BurdenInputs, CalibrationOptions};
+
+fn bench_memmodel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration");
+    g.sample_size(10);
+    g.bench_function("microbenchmark_sweep_small", |b| {
+        b.iter(|| {
+            calibrate(
+                MachineConfig::westmere_scaled(),
+                &CalibrationOptions {
+                    thread_counts: vec![2, 4, 8, 12],
+                    intensity_steps: 6,
+                    packet_cycles: 200_000,
+                },
+            )
+        });
+    });
+    g.finish();
+
+    let cal = calibrate(
+        MachineConfig::westmere_scaled(),
+        &CalibrationOptions::default(),
+    );
+    let inputs = BurdenInputs {
+        n: 1e8,
+        t: 2e8,
+        d: 2e6,
+        mpi: 0.02,
+        delta_mbps: cal.traffic_floor_mbps * 3.0,
+    };
+    c.bench_function("burden_factor_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in [2u32, 4, 6, 8, 10, 12] {
+                acc += section_burden(&cal, &inputs, t);
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_memmodel);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: interval-profiling throughput — the "lightweight"
+//! claim (§VII-D quotes a 1.1-3.5× slowdown per estimate; this measures
+//! our tracer's absolute cost for annotation-heavy and access-heavy
+//! workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tracer::{ProfileOptions, Tracer};
+
+fn bench_profiling(c: &mut Criterion) {
+    // Annotation-dominated: many tiny tasks.
+    let mut g = c.benchmark_group("tracer_annotations");
+    for tasks in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(tasks));
+        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let mut t = Tracer::new(ProfileOptions::default());
+                t.par_sec_begin("s");
+                for _ in 0..tasks {
+                    t.par_task_begin("t");
+                    t.work(100);
+                    t.par_task_end();
+                }
+                t.par_sec_end(false);
+                t.finish().expect("profile")
+            });
+        });
+    }
+    g.finish();
+
+    // Memory-access-dominated: the cache simulator's hot path.
+    let mut g = c.benchmark_group("tracer_memory_accesses");
+    for accesses in [100_000u64, 1_000_000] {
+        g.throughput(Throughput::Elements(accesses));
+        g.bench_with_input(BenchmarkId::from_parameter(accesses), &accesses, |b, &accesses| {
+            b.iter(|| {
+                let mut t = Tracer::new(ProfileOptions::default());
+                t.par_sec_begin("s");
+                t.par_task_begin("t");
+                for i in 0..accesses {
+                    // Strided stream: misses at every line boundary.
+                    t.read(i * 8);
+                }
+                t.par_task_end();
+                t.par_sec_end(false);
+                t.finish().expect("profile")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: synthesizer emulation latency per estimate
+//! (Table III: "mostly 1.1-2× slowdown" per estimate on the paper's
+//! machine; here we measure absolute host cost of one emulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machsim::{MachineConfig, Paradigm, Schedule};
+use proftree::{ProgramTree, TreeBuilder};
+use synthemu::{predict, SynthOptions};
+
+fn flat_tree(tasks: u64) -> ProgramTree {
+    let mut b = TreeBuilder::new();
+    b.begin_sec("s").unwrap();
+    for i in 0..tasks {
+        b.begin_task("t").unwrap();
+        b.add_compute(10_000 + (i * 97) % 5_000).unwrap();
+        b.end_task().unwrap();
+    }
+    b.end_sec(false).unwrap();
+    b.finish().unwrap()
+}
+
+fn recursive_tree(depth: u32) -> ProgramTree {
+    fn rec(b: &mut TreeBuilder, depth: u32) {
+        if depth == 0 {
+            b.add_compute(20_000).unwrap();
+            return;
+        }
+        b.begin_sec("spawn").unwrap();
+        for _ in 0..2 {
+            b.begin_task("half").unwrap();
+            rec(b, depth - 1);
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+    }
+    let mut b = TreeBuilder::new();
+    b.begin_sec("root").unwrap();
+    b.begin_task("r").unwrap();
+    rec(&mut b, depth);
+    b.end_task().unwrap();
+    b.end_sec(false).unwrap();
+    b.finish().unwrap()
+}
+
+fn bench_synth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synth_predict_flat_openmp");
+    g.sample_size(20);
+    for tasks in [100u64, 1_000, 5_000] {
+        let tree = flat_tree(tasks);
+        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tree, |b, tree| {
+            let mut o = SynthOptions::new(12, Paradigm::OpenMp);
+            o.machine = MachineConfig::westmere_scaled();
+            o.schedule = Schedule::dynamic1();
+            b.iter(|| predict(tree, &o).expect("emulation"));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("synth_predict_recursive_cilk");
+    g.sample_size(20);
+    for depth in [6u32, 9] {
+        let tree = recursive_tree(depth);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &tree, |b, tree| {
+            let o = SynthOptions::new(12, Paradigm::CilkPlus);
+            b.iter(|| predict(tree, &o).expect("emulation"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Ablation studies for the reproduction's design choices: each knob that
+//! makes a prediction mechanism work is disabled or swept to show it
+//! matters.
+
+use machsim::{MachineConfig, Schedule};
+use omp_rt::OmpOverheads;
+use proftree::CompressOptions;
+use serde::Serialize;
+use workloads::{run_real, RealOptions, Test1, Test1Params};
+
+use crate::common::mean;
+use crate::fig57::fig7_tree;
+
+/// Ablation 1 — OS preemption (the quantum) is what lets the machine
+/// reach 2.0 on the Fig. 7 nested case: as the quantum grows past the
+/// task lengths, time slicing disappears and the machine degrades to the
+/// FF's 1.5 schedule.
+#[derive(Debug, Serialize)]
+pub struct QuantumRow {
+    /// Scheduling quantum, cycles.
+    pub quantum: u64,
+    /// Real speedup of the Fig. 7 program.
+    pub real_speedup: f64,
+}
+
+/// Sweep the quantum on the Fig. 7 program.
+pub fn quantum_sweep() -> Vec<QuantumRow> {
+    let unit = 10_000u64;
+    let tree = fig7_tree(unit);
+    let mut rows = Vec::new();
+    println!("Ablation 1 — scheduling quantum vs Fig. 7 ground truth:");
+    println!("{:>12} {:>10}", "quantum", "real");
+    for quantum in [1_000u64, 5_000, 20_000, 100_000, 1_000_000] {
+        let mut opts = RealOptions::new(2, machsim::Paradigm::OpenMp, Schedule::static1());
+        opts.machine = MachineConfig::small(2);
+        opts.machine.quantum_cycles = quantum;
+        opts.omp_overheads = OmpOverheads::zero();
+        let real = run_real(&tree, &opts).expect("fig7 run").speedup;
+        println!("{quantum:>12} {real:>10.2}");
+        rows.push(QuantumRow { quantum, real_speedup: real });
+    }
+    println!("  -> fine quanta time-slice the oversubscribed threads (2.0); a");
+    println!("     quantum beyond the task lengths degenerates to the FF's 1.5.");
+    rows
+}
+
+/// Ablation 2 — compression tolerance: wider tolerances shrink the tree
+/// but distort predictions.
+#[derive(Debug, Serialize)]
+pub struct ToleranceRow {
+    /// Length tolerance.
+    pub tolerance: f64,
+    /// Stored nodes after compression.
+    pub nodes: usize,
+    /// FF prediction drift vs the uncompressed tree (relative).
+    pub prediction_drift: f64,
+}
+
+/// Sweep the compression tolerance on a poorly-compressible Test1.
+pub fn tolerance_sweep() -> Vec<ToleranceRow> {
+    let mut params = Test1Params::random(2024);
+    params.shape = workloads::shapes::Shape::Random;
+    params.i_max = 2_000;
+    let prog = Test1::new(params);
+    let mut opts = tracer::ProfileOptions::default();
+    opts.compress = false;
+    let uncompressed = tracer::profile(&prog, opts);
+    let ff = |tree: &proftree::ProgramTree| {
+        ffemu::predict(tree, ffemu::FfOptions::new(8)).predicted_cycles as f64
+    };
+    let base = ff(&uncompressed.tree);
+
+    let mut rows = Vec::new();
+    println!("\nAblation 2 — compression tolerance (Test1-random, 2000 iterations):");
+    println!("{:>12} {:>10} {:>12}", "tolerance", "nodes", "drift");
+    for tolerance in [0.0f64, 0.01, 0.05, 0.10, 0.25] {
+        let (ctree, _) = proftree::compress_tree(
+            &uncompressed.tree,
+            CompressOptions { tolerance: tolerance.max(1e-9), min_children: 4 },
+        );
+        let drift = (ff(&ctree) - base).abs() / base;
+        println!("{tolerance:>12.2} {:>10} {:>11.2}%", ctree.len(), drift * 100.0);
+        rows.push(ToleranceRow { tolerance, nodes: ctree.len(), prediction_drift: drift });
+    }
+    println!("  -> the paper's 5% keeps the tree small at negligible drift;");
+    println!("     lossy 25% buys little more and starts distorting lengths.");
+    rows
+}
+
+/// Ablation 3 — the contended-lock penalty: without modelling the OS
+/// block/wake cost of contended acquisitions, the FF overpredicts
+/// lock-heavy programs.
+#[derive(Debug, Serialize)]
+pub struct LockPenaltyRow {
+    /// Penalty in cycles.
+    pub penalty: u64,
+    /// Mean FF error vs Real over lock-heavy Test1 samples.
+    pub mean_error: f64,
+}
+
+/// Sweep the penalty on lock-heavy Test1 samples.
+pub fn lock_penalty_sweep(samples: u64) -> Vec<LockPenaltyRow> {
+    // Force lock-heavy instances.
+    let progs: Vec<Test1> = (0..samples)
+        .map(|seed| {
+            let mut p = Test1Params::random(seed);
+            p.lock_prob = [0.95, 0.4];
+            p.ratio_lock = [0.3, 0.15];
+            p.ratio_delay = [0.25, 0.2, 0.1];
+            Test1::new(p)
+        })
+        .collect();
+    let profiles: Vec<_> = progs
+        .iter()
+        .map(|p| tracer::profile(p, tracer::ProfileOptions::default()))
+        .collect();
+    let reals: Vec<f64> = profiles
+        .iter()
+        .map(|r| {
+            run_real(
+                &r.tree,
+                &RealOptions::new(8, machsim::Paradigm::OpenMp, Schedule::static1()),
+            )
+            .expect("real run")
+            .speedup
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    println!("\nAblation 3 — contended-lock penalty in the FF (lock-heavy Test1, 8 cores):");
+    println!("{:>10} {:>12}", "penalty", "mean error");
+    for penalty in [0u64, 500, 2_000, 8_000] {
+        let errors: Vec<f64> = profiles
+            .iter()
+            .zip(&reals)
+            .map(|(r, &real)| {
+                let mut o = ffemu::FfOptions::new(8);
+                o.schedule = Schedule::static1();
+                o.use_burden = false;
+                o.contended_lock_penalty = penalty;
+                let pred = ffemu::predict(&r.tree, o).speedup;
+                (pred - real).abs() / real
+            })
+            .collect();
+        let e = mean(&errors);
+        println!("{penalty:>10} {:>11.1}%", e * 100.0);
+        rows.push(LockPenaltyRow { penalty, mean_error: e });
+    }
+    println!("  -> the machine's context-switch cost (2000) minimises the error;");
+    println!("     0 overpredicts (locks look free), 8000 overcorrects.");
+    rows
+}
+
+/// All three ablations.
+#[derive(Debug, Serialize)]
+pub struct Ablations {
+    /// Quantum sweep.
+    pub quantum: Vec<QuantumRow>,
+    /// Tolerance sweep.
+    pub tolerance: Vec<ToleranceRow>,
+    /// Lock-penalty sweep.
+    pub lock_penalty: Vec<LockPenaltyRow>,
+}
+
+/// Run everything.
+pub fn run(samples: u64) -> Ablations {
+    Ablations {
+        quantum: quantum_sweep(),
+        tolerance: tolerance_sweep(),
+        lock_penalty: lock_penalty_sweep(samples.clamp(4, 16)),
+    }
+}

@@ -1,0 +1,95 @@
+//! The experiment driver: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments <subcommand> [--quick] [--samples N]
+//!
+//! subcommands:
+//!   fig2         NPB-FT saturation (Fig. 2)
+//!   fig5         scheduling-policy emulation example (Fig. 5)
+//!   fig7         nested-loop FF limitation (Fig. 7)
+//!   fig11        Test1/Test2 validation panels (Fig. 11)
+//!   fig12        eight-benchmark evaluation (Fig. 12)
+//!   fig12x       extended benchmark panel (Pi/Mandelbrot/Jacobi/IS)
+//!   table1       qualitative tool comparison (Table I)
+//!   table3       FF vs synthesizer comparison (Table III)
+//!   table4       memory-behaviour classification (Table IV)
+//!   eq6 | eq7    Ψ/Φ calibration formulas (Eq. 6/7)
+//!   compression  tree compression (§VI-B)
+//!   overhead     tool overheads (§VII-D)
+//!   pipeline     pipeline-parallelism extension (§VII-E)
+//!   superlinear  cache-trend extension (Table IV rows 1/3)
+//!   memsweep     footprint sweep: burden & saturation vs working-set size
+//!   ablations    design-choice ablations (quantum, tolerance, lock penalty)
+//!   all          everything above
+//! ```
+
+use prophet_bench::*;
+
+struct Args {
+    command: String,
+    quick: bool,
+    samples: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { command: String::new(), quick: false, samples: 30 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--samples needs a number"));
+            }
+            cmd if args.command.is_empty() => args.command = cmd.to_string(),
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    if args.command.is_empty() {
+        die("missing subcommand; try: experiments all --quick");
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: experiments <fig2|fig5|fig7|fig11|fig12|table1|table3|table4|eq6|eq7|compression|overhead|pipeline|ablations|all> [--quick] [--samples N]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let run = |cmd: &str| match cmd {
+        "fig2" => common::write_json("fig2", &fig2::run(args.quick)),
+        "fig5" => common::write_json("fig5", &fig57::run_fig5()),
+        "fig7" => common::write_json("fig7", &fig57::run_fig7()),
+        "fig11" => common::write_json("fig11", &fig11::run(args.samples)),
+        "fig12" => common::write_json("fig12", &fig12::run(args.quick)),
+        "fig12x" => common::write_json("fig12x", &fig12x::run(args.quick)),
+        "table1" => common::write_json("table1", &table1::run()),
+        "table3" => common::write_json("table3", &table34::run_table3(args.samples.min(12))),
+        "table4" => common::write_json("table4", &table34::run_table4(args.quick)),
+        "eq6" | "eq7" => common::write_json("eq67", &eq67::run()),
+        "compression" => common::write_json("sec6b_compression", &sec6b::run(args.quick)),
+        "overhead" => common::write_json("sec7d_overhead", &sec7d::run(args.quick)),
+        "pipeline" => common::write_json("pipeline", &pipeline_exp::run()),
+        "ablations" => common::write_json("ablations", &ablations::run(args.samples)),
+        "superlinear" => common::write_json("superlinear", &superlinear_exp::run()),
+        "memsweep" => common::write_json("memsweep", &memsweep::run()),
+        other => die(&format!("unknown subcommand: {other}")),
+    };
+    if args.command == "all" {
+        for cmd in [
+            "fig5", "fig7", "eq6", "fig2", "table1", "table3", "table4", "compression",
+            "overhead", "pipeline", "superlinear", "memsweep", "ablations", "fig11", "fig12", "fig12x",
+        ] {
+            println!("\n================= {cmd} =================");
+            run(cmd);
+        }
+    } else {
+        run(&args.command);
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared experiment infrastructure: the standard machine, standard
+//! benchmark set, prediction helpers, and result plumbing.
+
+use machsim::{MachineConfig, Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Profiled, Prophet};
+use workloads::npb::{Cg, Ep, Ft, Mg};
+use workloads::ompscr::{Fft, Lu, Md, QSort};
+use workloads::spec::{BenchSpec, Benchmark};
+use workloads::{run_real, RealOptions};
+
+/// The paper's CPU-count sweep (Fig. 2/12 x-axis).
+pub const CPU_COUNTS: [u32; 6] = [2, 4, 6, 8, 10, 12];
+
+/// A named benchmark in the standard evaluation set.
+pub struct NamedBench {
+    /// The benchmark object.
+    pub bench: Box<dyn Benchmark>,
+    /// Its parallelisation spec.
+    pub spec: BenchSpec,
+}
+
+/// The eight benchmarks of Fig. 12 at experiment ("paper") scale.
+pub fn paper_benchmarks() -> Vec<NamedBench> {
+    fn wrap(b: impl Benchmark + 'static) -> NamedBench {
+        let spec = b.spec();
+        NamedBench { bench: Box::new(b), spec }
+    }
+    vec![
+        wrap(Md::paper()),
+        wrap(Lu::paper()),
+        wrap(Fft::paper()),
+        wrap(QSort::paper()),
+        wrap(Ep::paper()),
+        wrap(Ft::paper()),
+        wrap(Mg::paper()),
+        wrap(Cg::paper()),
+    ]
+}
+
+/// Reduced-size variants for quick runs (`--quick`).
+pub fn quick_benchmarks() -> Vec<NamedBench> {
+    fn wrap(b: impl Benchmark + 'static) -> NamedBench {
+        let spec = b.spec();
+        NamedBench { bench: Box::new(b), spec }
+    }
+    vec![
+        wrap(Md { nparts: 256, steps: 1 }),
+        wrap(Lu { size: 128 }),
+        wrap(Fft { n: 1 << 13, cutoff: 1 << 9, combine_cutoff: 1 << 10 }),
+        wrap(QSort { n: 1 << 14, cutoff: 1 << 10 }),
+        wrap(Ep { pairs: 1 << 16, block: 1 << 10 }),
+        wrap(Ft { dim: 32, iters: 1, lines_per_task: 16 }),
+        wrap(Mg { dim: 32, cycles: 1, coarsest: 8 }),
+        wrap(Cg { n: 4096, nnz_per_row: 12, iters: 2, rows_per_task: 128 }),
+    ]
+}
+
+/// A prophet with the standard machine and full calibration.
+pub fn standard_prophet() -> Prophet {
+    Prophet::new()
+}
+
+/// Ground-truth speedup of a profiled benchmark at `threads`.
+pub fn real_speedup(profiled: &Profiled, spec: &BenchSpec, threads: u32) -> f64 {
+    let opts = RealOptions::new(threads, spec.paradigm, spec.schedule);
+    run_real(&profiled.tree, &opts).expect("ground truth run").speedup
+}
+
+/// Synthesizer prediction (`Pred`/`PredM` of Fig. 12).
+pub fn synth_speedup(
+    prophet: &Prophet,
+    profiled: &Profiled,
+    spec: &BenchSpec,
+    threads: u32,
+    memory_model: bool,
+) -> f64 {
+    prophet
+        .predict(
+            profiled,
+            &PredictOptions {
+                threads,
+                paradigm: spec.paradigm,
+                schedule: spec.schedule,
+                emulator: Emulator::Synthesizer,
+                memory_model,
+            },
+        )
+        .expect("synth prediction")
+        .speedup
+}
+
+/// FF prediction at `threads`.
+pub fn ff_speedup(
+    prophet: &Prophet,
+    profiled: &Profiled,
+    spec: &BenchSpec,
+    threads: u32,
+    memory_model: bool,
+) -> f64 {
+    prophet
+        .predict(
+            profiled,
+            &PredictOptions {
+                threads,
+                paradigm: Paradigm::OpenMp,
+                schedule: spec.schedule,
+                emulator: Emulator::FastForward,
+                memory_model,
+            },
+        )
+        .expect("ff prediction")
+        .speedup
+}
+
+/// A real run with the default machine on a specific schedule (for the
+/// validation experiments, which fix OpenMP).
+pub fn real_openmp(profiled: &Profiled, schedule: Schedule, threads: u32) -> f64 {
+    let opts = RealOptions::new(threads, Paradigm::OpenMp, schedule);
+    run_real(&profiled.tree, &opts).expect("ground truth").speedup
+}
+
+/// The standard machine (captions, conversions).
+pub fn machine() -> MachineConfig {
+    MachineConfig::westmere_scaled()
+}
+
+/// Format a mean/max error pair as the paper quotes them.
+pub fn error_summary(errors: &[f64]) -> String {
+    if errors.is_empty() {
+        return "n/a".to_string();
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    let max = errors.iter().cloned().fold(0.0, f64::max);
+    format!("avg {:.1}% max {:.1}%", mean * 100.0, max * 100.0)
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Write an experiment's JSON next to the repo's experiment records.
+pub fn write_json(name: &str, value: &impl serde::Serialize) {
+    let dir = std::path::Path::new("experiments");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("serialise experiment");
+    std::fs::write(&path, body).unwrap_or_else(|e| eprintln!("warn: cannot write {path:?}: {e}"));
+    println!("[saved {}]", path.display());
+}

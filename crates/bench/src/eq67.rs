@@ -1,0 +1,62 @@
+//! Eq. 6 / Eq. 7: the Ψ and Φ calibration formulas, fitted on our
+//! machine by the §V-D microbenchmark, printed in the paper's notation.
+
+use memmodel::{calibrate, CalibrationOptions, MemCalibration};
+use serde::Serialize;
+
+use crate::common::machine;
+
+/// The calibration together with paper-style formula strings.
+#[derive(Debug, Serialize)]
+pub struct Eq67Result {
+    /// Ψ formulas per thread count (paper Eq. 6 form).
+    pub psi_formulas: Vec<String>,
+    /// Φ formula (paper Eq. 7 form).
+    pub phi_formula: String,
+    /// Traffic floor (our analogue of the paper's δ ≥ 2000 MB/s guard).
+    pub traffic_floor_mbps: f64,
+    /// The full calibration (samples included).
+    pub calibration: MemCalibration,
+}
+
+/// Run the calibration and print Eq. 6/7 analogues.
+pub fn run() -> Eq67Result {
+    let cal = calibrate(machine(), &CalibrationOptions::default());
+    println!("Eq. 6 — Ψ fits (total traffic from serial δ, MB/s):");
+    println!("  paper:  δ2=(1.35·δ+1758)/2; δ4=(5756·lnδ−38805)/4;");
+    println!("          δ8=(6143·lnδ−39657)/8; δ12=(6314·lnδ−39621)/12");
+    let mut psi_formulas = Vec::new();
+    for p in &cal.psi {
+        let f = if p.linear {
+            format!(
+                "δ{} = ({:.2}·δ {:+.0}) / {}          (linear, R²={:.4})",
+                p.threads, p.fit.a, p.fit.b, p.threads, p.fit.r2
+            )
+        } else {
+            format!(
+                "δ{} = ({:.0}·ln(δ) {:+.0}) / {}     (log, R²={:.4})",
+                p.threads, p.fit.a, p.fit.b, p.threads, p.fit.r2
+            )
+        };
+        println!("  ours:   {f}");
+        psi_formulas.push(f);
+    }
+
+    println!("\nEq. 7 — Φ fit (per-miss stall from per-thread traffic):");
+    println!("  paper:  ω = 101481 · δ^-0.964   (δ ≥ 2000 MB/s)");
+    let phi_formula = format!(
+        "ω = {:.0} · δ^{:.3}   (δ ≥ {:.0} MB/s, R²={:.3})",
+        cal.phi.fit.a, cal.phi.fit.b, cal.traffic_floor_mbps, cal.phi.fit.r2
+    );
+    println!("  ours:   {phi_formula}");
+    println!(
+        "\nshape check: Ψ2 linear, Ψ4+ logarithmic, Φ power-law exponent ≈ −1 — \
+         the same functional forms the paper fits on its Westmere."
+    );
+    Eq67Result {
+        psi_formulas,
+        phi_formula,
+        traffic_floor_mbps: cal.traffic_floor_mbps,
+        calibration: cal,
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 2: NPB-FT real vs predicted speedup, 2-12 cores — the
+//! motivating memory-saturation example ("Kismet and Suitability
+//! overestimate speedups. Speedups are saturated due to increased memory
+//! traffics").
+
+use prophet_core::SpeedupReport;
+use workloads::npb::Ft;
+use workloads::spec::Benchmark;
+
+use crate::common::{real_speedup, standard_prophet, synth_speedup, CPU_COUNTS};
+
+/// Run the Fig. 2 experiment; returns the Real/Pred(+mem) report.
+pub fn run(quick: bool) -> SpeedupReport {
+    let ft = if quick { Ft { dim: 32, iters: 1, lines_per_task: 16 } } else { Ft::paper() };
+    let spec = ft.spec();
+    let mut prophet = standard_prophet();
+    println!("Fig. 2 — {} ({}): profiling…", spec.name, spec.input_desc);
+    let profiled = prophet.profile(&ft);
+
+    let mut report = SpeedupReport::new(
+        format!("Fig. 2: {} {}", spec.name, spec.input_desc),
+        vec!["Real".into(), "Pred".into()],
+    );
+    for &t in &CPU_COUNTS {
+        let real = real_speedup(&profiled, &spec, t);
+        let pred = synth_speedup(&prophet, &profiled, &spec, t, true);
+        report.push_row(t, vec![Some(real), Some(pred)]);
+    }
+    println!("{}", report.render());
+    println!(
+        "prediction error vs real: {:.1}% (paper's Fig. 2 point: predictions \
+         track the saturating curve)",
+        report.mean_relative_error("Pred", "Real").unwrap_or(f64::NAN) * 100.0
+    );
+    report
+}

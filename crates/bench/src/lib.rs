@@ -1,0 +1,29 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (§III Fig. 2, §IV Fig. 5/7, §VII Fig. 11/12, Tables I/III/IV,
+//! Eq. 6/7 calibration, §VI-B compression, §VII-D overhead).
+//!
+//! Run them through the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p prophet-bench --bin experiments -- all
+//! cargo run --release -p prophet-bench --bin experiments -- fig12
+//! ```
+//!
+//! Each driver prints the same rows/series the paper reports and returns
+//! a serialisable result consumed by `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod common;
+pub mod eq67;
+pub mod fig11;
+pub mod fig12;
+pub mod fig12x;
+pub mod fig2;
+pub mod fig57;
+pub mod memsweep;
+pub mod pipeline_exp;
+pub mod sec6b;
+pub mod sec7d;
+pub mod superlinear_exp;
+pub mod table1;
+pub mod table34;

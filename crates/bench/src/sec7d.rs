@@ -1,0 +1,84 @@
+//! §VII-D: the overhead of Parallel Prophet itself — profiling slowdown,
+//! per-estimate emulation time, and memory consumption.
+
+use prophet_core::{Emulator, PredictOptions};
+use serde::Serialize;
+use std::time::Instant;
+
+use crate::common::{paper_benchmarks, quick_benchmarks, standard_prophet};
+
+/// Overhead measurements for one benchmark.
+#[derive(Debug, Serialize)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Profiling slowdown (gross/net virtual cycles — the paper's
+    /// 1.1-3.5× band).
+    pub profiling_slowdown: f64,
+    /// Tree bytes after compression.
+    pub tree_bytes: usize,
+    /// Host seconds for one FF estimate.
+    pub ff_secs: f64,
+    /// Host seconds for one synthesizer estimate.
+    pub syn_secs: f64,
+}
+
+/// Run the §VII-D overhead measurements.
+pub fn run(quick: bool) -> Vec<OverheadRow> {
+    let benches = if quick { quick_benchmarks() } else { paper_benchmarks() };
+    let mut prophet = standard_prophet();
+    let _ = prophet.calibration();
+    let mut rows = Vec::new();
+    println!("§VII-D — tool overheads:");
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>12}",
+        "bench", "prof slowdown", "tree bytes", "FF s/est", "SYN s/est"
+    );
+    for nb in benches {
+        let profiled = prophet.profile(nb.bench.as_ref());
+
+        let t0 = Instant::now();
+        let _ = prophet.predict(
+            &profiled,
+            &PredictOptions {
+                threads: 12,
+                schedule: nb.spec.schedule,
+                emulator: Emulator::FastForward,
+                ..Default::default()
+            },
+        );
+        let ff_secs = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let _ = prophet.predict(
+            &profiled,
+            &PredictOptions {
+                threads: 12,
+                paradigm: nb.spec.paradigm,
+                schedule: nb.spec.schedule,
+                emulator: Emulator::Synthesizer,
+                ..Default::default()
+            },
+        );
+        let syn_secs = t0.elapsed().as_secs_f64();
+
+        let row = OverheadRow {
+            name: nb.spec.name.clone(),
+            profiling_slowdown: profiled.profile.slowdown(),
+            tree_bytes: profiled.tree.approx_bytes(),
+            ff_secs,
+            syn_secs,
+        };
+        println!(
+            "{:<12} {:>13.2}x {:>12} {:>12.4} {:>12.4}",
+            row.name, row.profiling_slowdown, row.tree_bytes, row.ff_secs, row.syn_secs
+        );
+        rows.push(row);
+    }
+    println!(
+        "\npaper reference: profiling+estimate 1.1-3.5× slowdown; FFT is the FF's \
+         worst case (30×+ for the FF, ~3.5× for the synthesizer); worst tree \
+         memory 3 GB compressed."
+    );
+    rows
+}

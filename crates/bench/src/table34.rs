@@ -1,0 +1,156 @@
+//! Table III (FF vs synthesizer comparison) and Table IV (expected
+//! speedup classification from memory behaviour).
+
+use machsim::Schedule;
+use memmodel::{classify_traffic, TrafficClass};
+use proftree::NodeKind;
+use prophet_core::{Emulator, PredictOptions};
+use serde::Serialize;
+use std::time::Instant;
+use workloads::{Test1, Test1Params, Test2, Test2Params};
+
+use crate::common::{machine, mean, paper_benchmarks, quick_benchmarks, real_openmp, real_speedup, standard_prophet};
+
+/// Table III row: one emulator's measured characteristics.
+#[derive(Debug, Serialize)]
+pub struct Table3Row {
+    /// Emulator name.
+    pub emulator: String,
+    /// Mean host seconds per estimate on the flat (Test1) family.
+    pub flat_secs_per_estimate: f64,
+    /// Mean host seconds per estimate on the nested (Test2) family.
+    pub nested_secs_per_estimate: f64,
+    /// Mean relative error on the flat family.
+    pub flat_error: f64,
+    /// Mean relative error on the nested family.
+    pub nested_error: f64,
+}
+
+/// Run the Table III measurement.
+pub fn run_table3(samples: u64) -> Vec<Table3Row> {
+    let mut prophet = standard_prophet();
+    let _ = prophet.calibration();
+    let cores = 8;
+    let schedule = Schedule::static1();
+
+    let mut rows = Vec::new();
+    for emulator in [Emulator::FastForward, Emulator::Synthesizer] {
+        let mut times = [Vec::new(), Vec::new()];
+        let mut errors = [Vec::new(), Vec::new()];
+        for seed in 0..samples {
+            for (fam, profiled) in [
+                (0usize, prophet.profile(&Test1::new(Test1Params::random(seed)))),
+                (1usize, prophet.profile(&Test2::new(Test2Params::random(seed)))),
+            ] {
+                let real = real_openmp(&profiled, schedule, cores);
+                let start = Instant::now();
+                let pred = prophet
+                    .predict(
+                        &profiled,
+                        &PredictOptions {
+                            threads: cores,
+                            schedule,
+                            emulator,
+                            memory_model: false,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("prediction");
+                times[fam].push(start.elapsed().as_secs_f64());
+                errors[fam].push((pred.speedup - real).abs() / real);
+            }
+        }
+        rows.push(Table3Row {
+            emulator: format!("{emulator:?}"),
+            flat_secs_per_estimate: mean(&times[0]),
+            nested_secs_per_estimate: mean(&times[1]),
+            flat_error: mean(&errors[0]),
+            nested_error: mean(&errors[1]),
+        });
+    }
+
+    println!("Table III — FF vs synthesizer ({} samples, {cores} cores, static-1):", samples);
+    println!(
+        "{:<14} {:>14} {:>16} {:>12} {:>14}",
+        "emulator", "flat s/est", "nested s/est", "flat err", "nested err"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>14.4} {:>16.4} {:>11.1}% {:>13.1}%",
+            r.emulator,
+            r.flat_secs_per_estimate,
+            r.nested_secs_per_estimate,
+            r.flat_error * 100.0,
+            r.nested_error * 100.0
+        );
+    }
+    println!(
+        "\npaper reference: both accurate on flat loops; FF degrades on nested \
+         programs while the synthesizer stays accurate (Table III rows \
+         'Accuracy'/'Ideal for')."
+    );
+    rows
+}
+
+/// Table IV cell assignment for one benchmark.
+#[derive(Debug, Serialize)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Serial traffic, MB/s.
+    pub traffic_mbps: f64,
+    /// Traffic column (Low/Moderate/Heavy).
+    pub class: String,
+    /// Expected behaviour per Table IV's middle row.
+    pub expected: String,
+    /// Measured real speedup at 12 cores.
+    pub real_speedup_12: f64,
+}
+
+/// Run the Table IV classification over the benchmark suite.
+pub fn run_table4(quick: bool) -> Vec<Table4Row> {
+    let benches = if quick { quick_benchmarks() } else { paper_benchmarks() };
+    let mut prophet = standard_prophet();
+    let _ = prophet.calibration();
+    let cfg = machine();
+    let mut rows = Vec::new();
+    println!("Table IV — traffic classification (Par ≅ Ser row) and observed outcome:");
+    println!("{:<12} {:>12} {:>10} {:>22} {:>10}", "bench", "δ MB/s", "class", "expected", "real@12");
+    for nb in benches {
+        let profiled = prophet.profile(nb.bench.as_ref());
+        // Traffic of the heaviest section (weighted by cycles).
+        let mut traffic = 0.0f64;
+        let mut weight = 0u64;
+        for sec in profiled.tree.top_level_sections() {
+            if let NodeKind::Sec { mem: Some(m), .. } = &profiled.tree.node(sec).kind {
+                if m.cycles > weight {
+                    weight = m.cycles;
+                    traffic = m.traffic_mbps;
+                }
+            }
+        }
+        let class = classify_traffic(&cfg, traffic);
+        let expected = match class {
+            TrafficClass::Low => "Scalable",
+            TrafficClass::Moderate => "Slowdown",
+            TrafficClass::Heavy => "Slowdown++",
+        };
+        let real = real_speedup(&profiled, &nb.spec, 12);
+        println!(
+            "{:<12} {:>12.0} {:>10} {:>22} {:>10.2}",
+            nb.spec.name,
+            traffic,
+            format!("{class:?}"),
+            expected,
+            real
+        );
+        rows.push(Table4Row {
+            name: nb.spec.name.clone(),
+            traffic_mbps: traffic,
+            class: format!("{class:?}"),
+            expected: expected.to_string(),
+            real_speedup_12: real,
+        });
+    }
+    rows
+}

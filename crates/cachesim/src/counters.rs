@@ -1,0 +1,93 @@
+//! PAPI-style counter set.
+
+use std::ops::Sub;
+
+use serde::{Deserialize, Serialize};
+
+/// Counter snapshot, in the spirit of `PAPI_TOT_INS` / `PAPI_TOT_CYC` /
+/// `PAPI_L3_TCM` etc. Interval deltas are taken by subtraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Retired instructions (memory ops count one each; `work` adds more).
+    pub instructions: u64,
+    /// Virtual cycles per the cost model.
+    pub cycles: u64,
+    /// Loads observed.
+    pub loads: u64,
+    /// Stores observed.
+    pub stores: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// LLC misses (DRAM accesses, the paper's `D`).
+    pub llc_misses: u64,
+    /// Dirty LLC evictions written back to DRAM.
+    pub llc_writebacks: u64,
+    /// Total DRAM bytes (fills + writebacks).
+    pub dram_bytes: u64,
+}
+
+impl Counters {
+    /// LLC misses per instruction (`MPI`).
+    pub fn mpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.instructions as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// DRAM traffic in bytes per cycle.
+    pub fn traffic_bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dram_bytes as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl Sub for Counters {
+    type Output = Counters;
+
+    fn sub(self, rhs: Counters) -> Counters {
+        Counters {
+            instructions: self.instructions - rhs.instructions,
+            cycles: self.cycles - rhs.cycles,
+            loads: self.loads - rhs.loads,
+            stores: self.stores - rhs.stores,
+            l1_misses: self.l1_misses - rhs.l1_misses,
+            l2_misses: self.l2_misses - rhs.l2_misses,
+            llc_misses: self.llc_misses - rhs.llc_misses,
+            llc_writebacks: self.llc_writebacks - rhs.llc_writebacks,
+            dram_bytes: self.dram_bytes - rhs.dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_by_subtraction() {
+        let a = Counters { instructions: 100, cycles: 200, llc_misses: 5, ..Default::default() };
+        let b = Counters { instructions: 350, cycles: 900, llc_misses: 25, ..Default::default() };
+        let d = b - a;
+        assert_eq!(d.instructions, 250);
+        assert_eq!(d.cycles, 700);
+        assert_eq!(d.llc_misses, 20);
+        assert!((d.mpi() - 0.08).abs() < 1e-12);
+        assert!((d.cpi() - 2.8).abs() < 1e-12);
+    }
+}

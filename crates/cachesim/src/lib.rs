@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! A set-associative cache-hierarchy simulator with PAPI-style counters.
+//!
+//! The paper's memory profiling reads hardware performance counters (LLC
+//! misses, instruction counts — §IV, §V) while the annotated serial
+//! program runs. This environment has no perf counters, so the benchmark
+//! kernels in `workloads` issue their *actual* memory references through
+//! this simulator instead; the counter values the memory model consumes
+//! (`N`, `T`, `D`, `MPI`, δ) are then derived from genuine reference
+//! streams.
+//!
+//! The hierarchy is L1 → L2 → LLC, write-back/write-allocate, true-LRU
+//! within each set. The cost model converts counters into virtual cycles:
+//!
+//! `T = N·CPI_base + miss_L1·lat_L2 + miss_L2·lat_LLC + miss_LLC·ω₀`
+//!
+//! with ω₀ equal to the machine simulator's uncontended DRAM stall so the
+//! serial profile and the parallel machine agree on memory cost.
+
+pub mod cache;
+pub mod counters;
+pub mod hierarchy;
+
+pub use cache::{Cache, CacheConfig};
+pub use counters::Counters;
+pub use hierarchy::{CostModel, HierarchyConfig, MemSim};

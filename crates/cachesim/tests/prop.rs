@@ -1,0 +1,136 @@
+//! Property tests: the set-associative simulator against a brute-force
+//! reference model, and conservation laws of the counter layer.
+
+use proptest::prelude::*;
+
+use cachesim::{Cache, CacheConfig, HierarchyConfig, MemSim};
+
+/// A naive fully-explicit LRU model of a single cache level.
+struct RefCache {
+    sets: Vec<Vec<u64>>, // per set: line tags, most-recent last
+    ways: usize,
+    set_mask: u64,
+    line_shift: u32,
+    dirty: std::collections::HashSet<u64>,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); cfg.sets() as usize],
+            ways: cfg.ways as usize,
+            set_mask: cfg.sets() - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            dirty: Default::default(),
+        }
+    }
+
+    /// Returns (hit, writeback_line_addr).
+    fn access(&mut self, addr: u64, is_write: bool) -> (bool, Option<u64>) {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let slot = self.sets[set].iter().position(|&t| t == line);
+        match slot {
+            Some(i) => {
+                let t = self.sets[set].remove(i);
+                self.sets[set].push(t);
+                if is_write {
+                    self.dirty.insert(line);
+                }
+                (true, None)
+            }
+            None => {
+                let mut wb = None;
+                if self.sets[set].len() == self.ways {
+                    let victim = self.sets[set].remove(0);
+                    if self.dirty.remove(&victim) {
+                        wb = Some(victim << self.line_shift);
+                    }
+                }
+                self.sets[set].push(line);
+                if is_write {
+                    self.dirty.insert(line);
+                }
+                (false, wb)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production cache agrees with the reference model on every
+    /// access outcome (hit/miss and writeback), for arbitrary streams.
+    #[test]
+    fn cache_matches_reference_model(
+        accesses in proptest::collection::vec((0u64..4096, proptest::bool::ANY), 1..400),
+    ) {
+        let cfg = CacheConfig { capacity_bytes: 512, ways: 2, line_bytes: 64 };
+        let mut real = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (i, &(addr, is_write)) in accesses.iter().enumerate() {
+            let r = real.access(addr, is_write);
+            let (hit, wb) = reference.access(addr, is_write);
+            prop_assert_eq!(r.hit, hit, "access {}: addr {:#x} write {}", i, addr, is_write);
+            prop_assert_eq!(r.writeback, wb, "access {}: writeback mismatch", i);
+        }
+    }
+
+    /// Counter conservation: loads + stores == memory instructions; the
+    /// miss hierarchy is monotone (LLC ≤ L2 ≤ L1 misses); DRAM bytes are
+    /// line-quantised.
+    #[test]
+    fn hierarchy_counter_conservation(
+        accesses in proptest::collection::vec((0u64..100_000, proptest::bool::ANY), 1..500),
+        work in 0u64..10_000,
+    ) {
+        let mut m = MemSim::new(HierarchyConfig::tiny());
+        m.work(work);
+        for &(addr, is_write) in &accesses {
+            if is_write {
+                m.write(addr);
+            } else {
+                m.read(addr);
+            }
+        }
+        let c = m.snapshot();
+        prop_assert_eq!(c.loads + c.stores, accesses.len() as u64);
+        prop_assert_eq!(c.instructions, work + accesses.len() as u64);
+        prop_assert!(c.llc_misses <= c.l2_misses);
+        prop_assert!(c.l2_misses <= c.l1_misses);
+        prop_assert!(c.l1_misses <= accesses.len() as u64);
+        prop_assert_eq!(c.dram_bytes % 64, 0);
+        prop_assert_eq!(c.dram_bytes, (c.llc_misses + c.llc_writebacks) * 64);
+    }
+
+    /// Re-running the identical stream after reset yields identical
+    /// counters (determinism), and a second pass over a cache-resident
+    /// stream has no LLC misses.
+    #[test]
+    fn determinism_and_warm_cache(
+        lines in proptest::collection::vec(0u64..64, 1..64),
+    ) {
+        let run = || {
+            let mut m = MemSim::new(HierarchyConfig::tiny());
+            for &l in &lines {
+                m.read(l * 64);
+            }
+            m.snapshot()
+        };
+        prop_assert_eq!(run(), run());
+
+        // ≤ 64 distinct lines fit the 8 KiB tiny LLC (128 lines): a warm
+        // second pass misses nothing at the LLC.
+        let mut m = MemSim::new(HierarchyConfig::tiny());
+        for &l in &lines {
+            m.read(l * 64);
+        }
+        let cold = m.snapshot();
+        for &l in &lines {
+            m.read(l * 64);
+        }
+        let warm = m.snapshot();
+        prop_assert_eq!(warm.llc_misses, cold.llc_misses, "warm pass must not miss LLC");
+    }
+}

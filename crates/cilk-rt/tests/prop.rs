@@ -1,0 +1,134 @@
+//! Property tests for the work-stealing runtime: completeness, bounded
+//! makespans, determinism, and nesting depth independence.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use cilk_rt::{run_program_cilk, CilkOverheads};
+use machsim::prog::{POp, ParSection, ParallelProgram, TaskBody};
+use machsim::{MachineConfig, WorkPacket};
+
+fn loop_prog(lens: &[u64]) -> ParallelProgram {
+    let tasks = lens
+        .iter()
+        .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+        .collect();
+    ParallelProgram { ops: vec![POp::Par(ParSection::new(tasks))] }
+}
+
+/// A random binary recursion: `levels` deep, leaves of the given lengths
+/// (cycled).
+fn recursive_prog(levels: u32, leaf_lens: &[u64]) -> ParallelProgram {
+    fn rec(levels: u32, leaf_lens: &[u64], idx: &mut usize) -> Rc<TaskBody> {
+        if levels == 0 {
+            let len = leaf_lens[*idx % leaf_lens.len()];
+            *idx += 1;
+            return Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(len))] });
+        }
+        Rc::new(TaskBody {
+            ops: vec![POp::Par(ParSection::new(vec![
+                rec(levels - 1, leaf_lens, idx),
+                rec(levels - 1, leaf_lens, idx),
+            ]))],
+        })
+    }
+    let mut idx = 0;
+    ParallelProgram {
+        ops: vec![POp::Par(ParSection::new(vec![rec(levels, leaf_lens, &mut idx)]))],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every task runs exactly once: busy cycles ≥ task work (idle
+    /// backoff spin adds a bounded extra).
+    #[test]
+    fn all_work_executed(
+        lens in proptest::collection::vec(1_000u64..50_000, 1..40),
+        workers in 1u32..9,
+    ) {
+        let prog = loop_prog(&lens);
+        let stats = run_program_cilk(
+            MachineConfig::small(8),
+            &prog,
+            CilkOverheads::zero(),
+            workers,
+        )
+        .expect("no deadlock");
+        let work: u64 = lens.iter().sum();
+        prop_assert!(stats.busy_cycles >= work, "lost work: {} < {work}", stats.busy_cycles);
+        let ideal = work / workers.min(8) as u64;
+        prop_assert!(stats.elapsed_cycles >= ideal);
+        // Serial upper bound plus scheduling slack.
+        prop_assert!(
+            stats.elapsed_cycles <= work + 200_000,
+            "elapsed {} way beyond serial {work}",
+            stats.elapsed_cycles
+        );
+    }
+
+    /// Recursion depth does not break completeness (2^levels leaves).
+    #[test]
+    fn deep_recursion_completes(
+        levels in 1u32..8,
+        leaf_lens in proptest::collection::vec(500u64..5_000, 1..4),
+        workers in 1u32..5,
+    ) {
+        let prog = recursive_prog(levels, &leaf_lens);
+        let stats = run_program_cilk(
+            MachineConfig::small(4),
+            &prog,
+            CilkOverheads::zero(),
+            workers,
+        )
+        .unwrap();
+        let leaves = 1u64 << levels;
+        let work: u64 = (0..leaves)
+            .map(|i| leaf_lens[(i % leaf_lens.len() as u64) as usize])
+            .sum();
+        prop_assert!(stats.busy_cycles >= work);
+        // Only the fixed pool exists — never 2^levels threads.
+        prop_assert_eq!(stats.threads_spawned, workers);
+    }
+
+    /// Determinism for arbitrary loops and worker counts.
+    #[test]
+    fn work_stealing_is_deterministic(
+        lens in proptest::collection::vec(100u64..20_000, 1..24),
+        workers in 1u32..6,
+    ) {
+        let prog = loop_prog(&lens);
+        let run = || {
+            run_program_cilk(
+                MachineConfig::small(4),
+                &prog,
+                CilkOverheads::westmere_scaled(),
+                workers,
+            )
+            .unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// More workers never lose work, and with zero overheads the makespan
+    /// cannot grow by more than scheduling slack.
+    #[test]
+    fn scaling_sanity(
+        lens in proptest::collection::vec(5_000u64..50_000, 8..32),
+    ) {
+        let prog = loop_prog(&lens);
+        let work: u64 = lens.iter().sum();
+        let t1 = run_program_cilk(MachineConfig::small(8), &prog, CilkOverheads::zero(), 1)
+            .unwrap()
+            .elapsed_cycles;
+        let t4 = run_program_cilk(MachineConfig::small(8), &prog, CilkOverheads::zero(), 4)
+            .unwrap()
+            .elapsed_cycles;
+        prop_assert!(t1 >= work, "serial run below total work");
+        // 4 workers: between ideal/4 and t1 plus slack.
+        prop_assert!(t4 >= work / 4);
+        prop_assert!(t4 <= t1 + 100_000, "t4 {t4} worse than serial {t1}");
+    }
+}

@@ -1,0 +1,286 @@
+//! `prophet` — the Parallel Prophet command line.
+//!
+//! ```text
+//! prophet list
+//! prophet predict <workload> [--threads 2,4,8,12] [--schedule static|static-1|dynamic-1]
+//!                            [--paradigm openmp|cilk|omptask] [--emulator ff|syn]
+//!                            [--no-memory-model] [--real] [--json]
+//! prophet diagnose <workload> [--threads N]
+//! prophet recommend <workload>
+//! prophet calibrate
+//! ```
+//!
+//! Workloads are the built-in benchmark suite (OmpSCR, NPB, Test1/Test2,
+//! pipeline). Annotating your own program means implementing
+//! `tracer::AnnotatedProgram` against `prophet-core` — see the
+//! `quickstart` example.
+
+use machsim::{Paradigm, Schedule};
+use prophet_core::{diagnose, Emulator, PredictOptions, Prophet, SpeedupReport};
+use workloads::npb::{Cg, Ep, Ft, Is, Mg};
+use workloads::ompscr::{Fft, Jacobi, Lu, Mandelbrot, Md, Pi, QSort};
+use workloads::spec::{BenchSpec, Benchmark};
+use workloads::{
+    run_real, PipelineParams, PipelineWl, RealOptions, Test1, Test1Params, Test2, Test2Params,
+};
+
+fn workload(name: &str) -> Option<Box<dyn Benchmark>> {
+    Some(match name {
+        "md" => Box::new(Md::paper()),
+        "lu" => Box::new(Lu::paper()),
+        "fft" => Box::new(Fft::paper()),
+        "qsort" => Box::new(QSort::paper()),
+        "pi" => Box::new(Pi::paper()),
+        "mandelbrot" => Box::new(Mandelbrot::paper()),
+        "jacobi" => Box::new(Jacobi::paper()),
+        "ep" => Box::new(Ep::paper()),
+        "ft" => Box::new(Ft::paper()),
+        "mg" => Box::new(Mg::paper()),
+        "cg" => Box::new(Cg::paper()),
+        "is" => Box::new(Is::paper()),
+        "pipeline" => Box::new(PipelineWl::new(PipelineParams::transcoder(120))),
+        s if s.starts_with("test1:") => {
+            let seed = s[6..].parse().ok()?;
+            Box::new(Test1::new(Test1Params::random(seed)))
+        }
+        s if s.starts_with("test2:") => {
+            let seed = s[6..].parse().ok()?;
+            Box::new(Test2::new(Test2Params::random(seed)))
+        }
+        _ => return None,
+    })
+}
+
+const WORKLOADS: &[(&str, &str)] = &[
+    ("md", "OmpSCR molecular dynamics (compute-bound O(n²))"),
+    ("lu", "OmpSCR LU reduction (inner-loop parallelism, triangular)"),
+    ("fft", "OmpSCR recursive FFT (Cilk, bandwidth-hungry)"),
+    ("qsort", "OmpSCR quicksort (Cilk, partition-bound)"),
+    ("pi", "OmpSCR Pi integration (reduction lock)"),
+    ("mandelbrot", "OmpSCR Mandelbrot (fractal imbalance)"),
+    ("jacobi", "OmpSCR Jacobi stencil (bandwidth-bound)"),
+    ("ep", "NPB EP (embarrassingly parallel)"),
+    ("ft", "NPB FT 3-D FFT (bandwidth saturation)"),
+    ("mg", "NPB MG multigrid (bandwidth-bound)"),
+    ("cg", "NPB CG conjugate gradient (irregular gather)"),
+    ("is", "NPB IS integer sort (serial prefix phases)"),
+    ("pipeline", "4-stage transcoder pipeline (§VII-E extension)"),
+    ("test1:<seed>", "random Fig. 9 validation program"),
+    ("test2:<seed>", "random Fig. 10 validation program (nested)"),
+];
+
+struct Args {
+    command: String,
+    workload: Option<String>,
+    threads: Vec<u32>,
+    schedule: Schedule,
+    paradigm: Option<Paradigm>,
+    emulator: Emulator,
+    memory_model: bool,
+    with_real: bool,
+    json: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `prophet help` for usage");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: String::new(),
+        workload: None,
+        threads: vec![2, 4, 6, 8, 10, 12],
+        schedule: Schedule::static_block(),
+        paradigm: None,
+        emulator: Emulator::Synthesizer,
+        memory_model: true,
+        with_real: false,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| die("--threads needs a list"));
+                args.threads = v
+                    .split(',')
+                    .map(|x| x.trim().parse().unwrap_or_else(|_| die("bad thread count")))
+                    .collect();
+            }
+            "--schedule" => {
+                args.schedule = match it.next().as_deref() {
+                    Some("static") => Schedule::static_block(),
+                    Some("static-1") => Schedule::static1(),
+                    Some("dynamic-1") => Schedule::dynamic1(),
+                    Some(s) if s.starts_with("static-") => Schedule::Static {
+                        chunk: s[7..].parse().ok(),
+                    },
+                    Some(s) if s.starts_with("dynamic-") => Schedule::Dynamic {
+                        chunk: s[8..].parse().unwrap_or_else(|_| die("bad chunk")),
+                    },
+                    _ => die("bad --schedule (static | static-N | dynamic-N)"),
+                };
+            }
+            "--paradigm" => {
+                args.paradigm = Some(match it.next().as_deref() {
+                    Some("openmp") => Paradigm::OpenMp,
+                    Some("cilk") => Paradigm::CilkPlus,
+                    Some("omptask") => Paradigm::OmpTask,
+                    _ => die("bad --paradigm (openmp | cilk | omptask)"),
+                });
+            }
+            "--emulator" => {
+                args.emulator = match it.next().as_deref() {
+                    Some("ff") => Emulator::FastForward,
+                    Some("syn") => Emulator::Synthesizer,
+                    _ => die("bad --emulator (ff | syn)"),
+                };
+            }
+            "--no-memory-model" => args.memory_model = false,
+            "--real" => args.with_real = true,
+            "--json" => args.json = true,
+            cmd if args.command.is_empty() => args.command = cmd.to_string(),
+            w if args.workload.is_none() => args.workload = Some(w.to_string()),
+            other => die(&format!("unexpected argument {other}")),
+        }
+    }
+    if args.command.is_empty() {
+        args.command = "help".into();
+    }
+    args
+}
+
+fn get_workload(args: &Args) -> (Box<dyn Benchmark>, BenchSpec) {
+    let name = args
+        .workload
+        .as_deref()
+        .unwrap_or_else(|| die("this command needs a workload; see `prophet list`"));
+    let w = workload(name).unwrap_or_else(|| die(&format!("unknown workload '{name}'")));
+    let spec = w.spec();
+    (w, spec)
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!(
+                "prophet — predict parallel speedup from annotated serial code\n\n\
+                 commands:\n  list\n  predict <workload> [--threads ..] [--schedule ..] \
+                 [--paradigm ..] [--emulator ff|syn] [--no-memory-model] [--real] [--json]\n  \
+                 diagnose <workload> [--threads N]\n  recommend <workload>\n  calibrate"
+            );
+        }
+        "list" => {
+            for (name, desc) in WORKLOADS {
+                println!("{name:<14} {desc}");
+            }
+        }
+        "calibrate" => {
+            let mut prophet = Prophet::new();
+            let cal = prophet.calibration();
+            println!("traffic floor: {:.0} MB/s", cal.traffic_floor_mbps);
+            for p in &cal.psi {
+                println!(
+                    "psi[{:>2}]: total = {:.2}·{} {:+.0}  (R²={:.4})",
+                    p.threads,
+                    p.fit.a,
+                    if p.linear { "δ" } else { "ln δ" },
+                    p.fit.b,
+                    p.fit.r2
+                );
+            }
+            println!(
+                "phi: ω = {:.0} · δ^{:.3}  (R²={:.3})",
+                cal.phi.fit.a, cal.phi.fit.b, cal.phi.fit.r2
+            );
+        }
+        "predict" => {
+            let (w, spec) = get_workload(&args);
+            let paradigm = args.paradigm.unwrap_or(spec.paradigm);
+            let mut prophet = Prophet::new();
+            eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
+            let profiled = prophet.profile(w.as_ref());
+            let mut series = vec![format!(
+                "{}/{}",
+                match args.emulator {
+                    Emulator::FastForward => "FF",
+                    Emulator::Synthesizer => "SYN",
+                },
+                paradigm.name()
+            )];
+            if args.with_real {
+                series.insert(0, "Real".into());
+            }
+            let mut report =
+                SpeedupReport::new(format!("{} {}", spec.name, spec.input_desc), series);
+            for &t in &args.threads {
+                let mut row = Vec::new();
+                if args.with_real {
+                    let mut o = RealOptions::new(t, paradigm, args.schedule);
+                    o.machine = *prophet.machine();
+                    row.push(run_real(&profiled.tree, &o).ok().map(|r| r.speedup).flatten_none());
+                }
+                let pred = prophet.predict(
+                    &profiled,
+                    &PredictOptions {
+                        threads: t,
+                        paradigm,
+                        schedule: args.schedule,
+                        emulator: args.emulator,
+                        memory_model: args.memory_model,
+                    },
+                );
+                row.push(pred.ok().map(|p| p.speedup).flatten_none());
+                report.push_row(t, row);
+            }
+            if args.json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{}", report.render());
+            }
+        }
+        "diagnose" => {
+            let (w, spec) = get_workload(&args);
+            let mut prophet = Prophet::new();
+            eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
+            let profiled = prophet.profile(w.as_ref());
+            let threads = args.threads.last().copied().unwrap_or(12);
+            let d = diagnose(&profiled.tree, threads, args.schedule);
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&d).expect("serialise"));
+            } else {
+                println!("{}", d.render());
+            }
+        }
+        "recommend" => {
+            let (w, spec) = get_workload(&args);
+            let mut prophet = Prophet::new();
+            eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
+            let profiled = prophet.profile(w.as_ref());
+            let rec = prophet.recommend(&profiled).unwrap_or_else(|e| die(&e.to_string()));
+            println!(
+                "best: {} / {} at {} threads -> {:.2}x",
+                rec.best.paradigm, rec.best.schedule, rec.best.threads, rec.best.speedup
+            );
+            for p in &rec.all {
+                println!("  {:<8} {:<10} {:>6.2}x", p.paradigm, p.schedule, p.speedup);
+            }
+        }
+        other => die(&format!("unknown command {other}")),
+    }
+}
+
+/// Tiny helper: `Option<f64>` from a fallible speedup without flattening
+/// `Option<Option<_>>` noise at the call sites.
+trait FlattenNone {
+    fn flatten_none(self) -> Option<f64>;
+}
+
+impl FlattenNone for Option<f64> {
+    fn flatten_none(self) -> Option<f64> {
+        self
+    }
+}

@@ -1,0 +1,151 @@
+//! Tabular speedup reports: the "estimates" Parallel Prophet finally
+//! shows the programmer (paper Fig. 3's last stage), with plain-text and
+//! JSON rendering used by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a speedup report: a thread count and the speedups of each
+/// labelled series at that count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictionRow {
+    /// Thread/CPU count.
+    pub threads: u32,
+    /// Speedup per series, aligned with [`SpeedupReport::series`].
+    pub speedups: Vec<Option<f64>>,
+}
+
+/// A speedup table: named series over thread counts, e.g.
+/// `Real / Pred / PredM / Suit` over 2-12 cores (the Fig. 12 panels).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// Report title (benchmark + input).
+    pub title: String,
+    /// Series labels.
+    pub series: Vec<String>,
+    /// Rows in increasing thread order.
+    pub rows: Vec<PredictionRow>,
+}
+
+impl SpeedupReport {
+    /// New empty report.
+    pub fn new(title: impl Into<String>, series: Vec<String>) -> Self {
+        SpeedupReport { title: title.into(), series, rows: Vec::new() }
+    }
+
+    /// Append a row; `speedups` must align with the series labels.
+    pub fn push_row(&mut self, threads: u32, speedups: Vec<Option<f64>>) {
+        debug_assert_eq!(speedups.len(), self.series.len());
+        self.rows.push(PredictionRow { threads, speedups });
+    }
+
+    /// Look up a value by series label and thread count.
+    pub fn get(&self, series: &str, threads: u32) -> Option<f64> {
+        let col = self.series.iter().position(|s| s == series)?;
+        self.rows.iter().find(|r| r.threads == threads)?.speedups[col]
+    }
+
+    /// Mean relative error of series `pred` against series `truth`,
+    /// over rows where both exist (the paper's "error ratio").
+    pub fn mean_relative_error(&self, pred: &str, truth: &str) -> Option<f64> {
+        let pc = self.series.iter().position(|s| s == pred)?;
+        let tc = self.series.iter().position(|s| s == truth)?;
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for row in &self.rows {
+            if let (Some(p), Some(t)) = (row.speedups[pc], row.speedups[tc]) {
+                if t > 0.0 {
+                    sum += (p - t).abs() / t;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Render as an aligned plain-text table. Column widths grow with
+    /// the series labels so long names stay readable.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let width = self.series.iter().map(|s| s.len() + 2).max().unwrap_or(10).max(10);
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).unwrap();
+        write!(out, "{:>8}", "threads").unwrap();
+        for s in &self.series {
+            write!(out, "{s:>width$}").unwrap();
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write!(out, "{:>8}", row.threads).unwrap();
+            for v in &row.speedups {
+                match v {
+                    Some(x) => write!(out, "{x:>width$.2}").unwrap(),
+                    None => write!(out, "{:>width$}", "-").unwrap(),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialise to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpeedupReport {
+        let mut r = SpeedupReport::new(
+            "NPB-FT: B/850MB",
+            vec!["Real".into(), "Pred".into(), "PredM".into()],
+        );
+        r.push_row(2, vec![Some(1.9), Some(2.0), Some(1.85)]);
+        r.push_row(4, vec![Some(3.2), Some(3.9), Some(3.1)]);
+        r.push_row(12, vec![Some(4.0), Some(11.0), None]);
+        r
+    }
+
+    #[test]
+    fn get_by_label() {
+        let r = sample();
+        assert_eq!(r.get("Pred", 4), Some(3.9));
+        assert_eq!(r.get("PredM", 12), None);
+        assert_eq!(r.get("Nope", 2), None);
+    }
+
+    #[test]
+    fn mean_relative_error_matches_hand_calc() {
+        let r = sample();
+        let e = r.mean_relative_error("PredM", "Real").unwrap();
+        let expect = ((0.05 / 1.9) + (0.1 / 3.2)) / 2.0;
+        assert!((e - expect).abs() < 1e-12);
+        // Pred vs Real includes the wildly-off 12-core row.
+        let e2 = r.mean_relative_error("Pred", "Real").unwrap();
+        assert!(e2 > 0.5);
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let text = sample().render();
+        assert!(text.contains("NPB-FT"));
+        assert!(text.contains("Real"));
+        assert!(text.lines().count() == 5);
+        assert!(text.contains("11.00"));
+        assert!(text.contains("-"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let back: SpeedupReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back.series, r.series);
+        assert_eq!(back.rows.len(), 3);
+    }
+}

@@ -1,0 +1,489 @@
+#![warn(missing_docs)]
+
+//! Dynamic data-dependence profiling for semi-automatic annotation.
+//!
+//! The paper's annotations are inserted manually, but §IV-A notes "this
+//! step can be made fully or semi-automatic by … dynamic dependence
+//! analyses (paper refs. 20, 21, 24, 25, 27)" — ref. 20 being SD3, the first
+//! author's own dependence profiler. This crate implements that
+//! substrate: a loop-aware shadow-memory profiler that classifies every
+//! memory dependence as loop-carried or loop-independent per active
+//! loop, detects reduction idioms, and turns the result into concrete
+//! annotation suggestions (`PAR_SEC_BEGIN` candidates).
+//!
+//! Dependence taxonomy per loop:
+//!
+//! * **flow (RAW)** — a read observes a value written in an *earlier
+//!   iteration*: the true parallelization blocker;
+//! * **anti (WAR)** / **output (WAW)** — removable by privatisation, so
+//!   they downgrade a loop to "parallelizable with privatization";
+//! * **reduction** — a loop-carried flow dependence whose every access is
+//!   a read-modify-write of the same location inside one iteration
+//!   (`sum += …`): parallelizable with a reduction clause.
+//!
+//! # Example
+//!
+//! ```
+//! use depprof::DepProfiler;
+//!
+//! let mut p = DepProfiler::new();
+//! p.loop_begin("rows");
+//! for i in 0..8u64 {
+//!     p.iter_begin();
+//!     p.read(0x1000 + i * 8);   // a[i]
+//!     p.write(0x2000 + i * 8);  // b[i] = f(a[i]) — independent
+//! }
+//! p.loop_end();
+//! let report = p.finish();
+//! assert!(report.loops[0].verdict().is_parallel());
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Address of one memory cell (byte-granular; kernels usually pass the
+/// base address of each element, which is equivalent for disjointness).
+pub type Addr = u64;
+
+/// Classification of a loop's parallelizability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// No loop-carried dependences at all.
+    Parallel,
+    /// Only anti/output carried dependences: privatise and go.
+    ParallelWithPrivatization,
+    /// Flow dependences exist but every one is a reduction idiom.
+    ParallelWithReduction,
+    /// True loop-carried flow dependences: not parallelizable as-is.
+    Serial,
+}
+
+impl Verdict {
+    /// True when the loop can be annotated as a parallel section
+    /// (possibly with privatisation/reduction transforms).
+    pub fn is_parallel(&self) -> bool {
+        !matches!(self, Verdict::Serial)
+    }
+}
+
+/// Dependence counts and the verdict for one profiled loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoopReport {
+    /// Loop name (from `loop_begin`).
+    pub name: String,
+    /// Static nesting depth at which it ran (0 = outermost).
+    pub depth: usize,
+    /// Iterations observed.
+    pub iterations: u64,
+    /// Loop-carried flow (RAW) dependences, excluding reductions.
+    pub carried_flow: u64,
+    /// Loop-carried anti (WAR) dependences.
+    pub carried_anti: u64,
+    /// Loop-carried output (WAW) dependences.
+    pub carried_output: u64,
+    /// Distinct reduction locations detected.
+    pub reduction_cells: u64,
+    /// Smallest observed flow-dependence distance in iterations
+    /// (`None` when there are no carried flow deps).
+    pub min_flow_distance: Option<u64>,
+}
+
+impl LoopReport {
+    /// The parallelizability verdict.
+    pub fn verdict(&self) -> Verdict {
+        if self.carried_flow > 0 {
+            Verdict::Serial
+        } else if self.reduction_cells > 0 {
+            Verdict::ParallelWithReduction
+        } else if self.carried_anti > 0 || self.carried_output > 0 {
+            Verdict::ParallelWithPrivatization
+        } else {
+            Verdict::Parallel
+        }
+    }
+
+    /// Human-readable annotation suggestion.
+    pub fn suggestion(&self) -> String {
+        match self.verdict() {
+            Verdict::Parallel => format!(
+                "loop '{}': PARALLELIZABLE — wrap in PAR_SEC/PAR_TASK annotations",
+                self.name
+            ),
+            Verdict::ParallelWithPrivatization => format!(
+                "loop '{}': parallelizable after PRIVATIZING {} anti / {} output deps",
+                self.name, self.carried_anti, self.carried_output
+            ),
+            Verdict::ParallelWithReduction => format!(
+                "loop '{}': parallelizable with a REDUCTION over {} location(s)",
+                self.name, self.reduction_cells
+            ),
+            Verdict::Serial => format!(
+                "loop '{}': NOT parallelizable — {} loop-carried flow dep(s), min distance {}",
+                self.name,
+                self.carried_flow,
+                self.min_flow_distance.unwrap_or(0)
+            ),
+        }
+    }
+}
+
+/// Whole-run dependence report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DepReport {
+    /// One entry per *dynamic* loop execution, in completion order.
+    pub loops: Vec<LoopReport>,
+}
+
+impl DepReport {
+    /// All suggestions, outermost loops first.
+    pub fn suggestions(&self) -> Vec<String> {
+        let mut sorted: Vec<&LoopReport> = self.loops.iter().collect();
+        sorted.sort_by_key(|l| l.depth);
+        sorted.iter().map(|l| l.suggestion()).collect()
+    }
+}
+
+/// Per-address access history inside one loop.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellState {
+    /// Iteration of the last write (`u64::MAX` = never).
+    last_write: u64,
+    /// Iteration of the last read.
+    last_read: u64,
+    /// The cell has behaved as a read-modify-write in every iteration
+    /// that touched it so far.
+    reduction_like: bool,
+    /// Iterations that touched the cell.
+    touches: u64,
+}
+
+struct LoopFrame {
+    name: String,
+    depth: usize,
+    /// Current iteration (starts at MAX until the first `iter_begin`).
+    iter: u64,
+    cells: HashMap<Addr, CellState>,
+    carried_flow: u64,
+    carried_anti: u64,
+    carried_output: u64,
+    min_flow_distance: Option<u64>,
+    /// Reads so far in the *current iteration* (for reduction detection).
+    read_this_iter: HashMap<Addr, bool>,
+}
+
+const NEVER: u64 = u64::MAX;
+
+/// The dependence profiler. Drive it with loop/iteration markers and the
+/// program's memory accesses; call [`DepProfiler::finish`] for the
+/// report.
+pub struct DepProfiler {
+    stack: Vec<LoopFrame>,
+    finished: Vec<LoopReport>,
+}
+
+impl Default for DepProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DepProfiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        DepProfiler { stack: Vec::new(), finished: Vec::new() }
+    }
+
+    /// Enter a loop.
+    pub fn loop_begin(&mut self, name: &str) {
+        let depth = self.stack.len();
+        self.stack.push(LoopFrame {
+            name: name.to_string(),
+            depth,
+            iter: NEVER,
+            cells: HashMap::new(),
+            carried_flow: 0,
+            carried_anti: 0,
+            carried_output: 0,
+            min_flow_distance: None,
+            read_this_iter: HashMap::new(),
+        });
+    }
+
+    /// Start the next iteration of the innermost loop.
+    pub fn iter_begin(&mut self) {
+        let frame = self.stack.last_mut().expect("iter_begin outside a loop");
+        frame.iter = if frame.iter == NEVER { 0 } else { frame.iter + 1 };
+        frame.read_this_iter.clear();
+    }
+
+    /// Leave the innermost loop.
+    pub fn loop_end(&mut self) {
+        let frame = self.stack.pop().expect("loop_end without loop_begin");
+        let reduction_cells = frame
+            .cells
+            .values()
+            .filter(|c| c.reduction_like && c.touches >= 2)
+            .count() as u64;
+        self.finished.push(LoopReport {
+            name: frame.name,
+            depth: frame.depth,
+            iterations: if frame.iter == NEVER { 0 } else { frame.iter + 1 },
+            carried_flow: frame.carried_flow,
+            carried_anti: frame.carried_anti,
+            carried_output: frame.carried_output,
+            reduction_cells,
+            min_flow_distance: frame.min_flow_distance,
+        });
+    }
+
+    /// Observe a read of `addr`.
+    pub fn read(&mut self, addr: Addr) {
+        for frame in self.stack.iter_mut() {
+            if frame.iter == NEVER {
+                continue;
+            }
+            let cell = frame.cells.entry(addr).or_insert(CellState {
+                last_write: NEVER,
+                last_read: NEVER,
+                reduction_like: true,
+                touches: 0,
+            });
+            if cell.last_write != NEVER && cell.last_write < frame.iter {
+                // Loop-carried RAW. A reduction candidate reads the cell
+                // before (re)writing it each iteration — keep the flag and
+                // count it separately at loop end.
+                let dist = frame.iter - cell.last_write;
+                if !cell.reduction_like {
+                    frame.carried_flow += 1;
+                    frame.min_flow_distance =
+                        Some(frame.min_flow_distance.map_or(dist, |d| d.min(dist)));
+                }
+            }
+            cell.last_read = frame.iter;
+            frame.read_this_iter.insert(addr, true);
+        }
+    }
+
+    /// Observe a write of `addr`.
+    pub fn write(&mut self, addr: Addr) {
+        for frame in self.stack.iter_mut() {
+            if frame.iter == NEVER {
+                continue;
+            }
+            let read_first = frame.read_this_iter.get(&addr).copied().unwrap_or(false);
+            let cell = frame.cells.entry(addr).or_insert(CellState {
+                last_write: NEVER,
+                last_read: NEVER,
+                reduction_like: false,
+                touches: 0,
+            });
+            if cell.last_read != NEVER && cell.last_read < frame.iter {
+                frame.carried_anti += 1;
+            }
+            if cell.last_write != NEVER && cell.last_write < frame.iter {
+                frame.carried_output += 1;
+            }
+            // Reduction idiom: every touching iteration reads the cell
+            // before writing it. Count one touch per iteration (first
+            // write of the iteration).
+            if cell.last_write != frame.iter {
+                cell.touches += 1;
+            }
+            cell.reduction_like &= read_first;
+            cell.last_write = frame.iter;
+        }
+    }
+
+    /// Finish and report. Panics if loops are still open.
+    pub fn finish(self) -> DepReport {
+        assert!(self.stack.is_empty(), "{} loop(s) left open", self.stack.len());
+        DepReport { loops: self.finished }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_loop_is_parallel() {
+        let mut p = DepProfiler::new();
+        p.loop_begin("map");
+        for i in 0..16u64 {
+            p.iter_begin();
+            p.read(0x1000 + i * 8);
+            p.write(0x2000 + i * 8);
+        }
+        p.loop_end();
+        let r = p.finish();
+        assert_eq!(r.loops[0].verdict(), Verdict::Parallel);
+        assert_eq!(r.loops[0].iterations, 16);
+    }
+
+    #[test]
+    fn recurrence_is_serial_with_distance_one() {
+        // a[i] = a[i-1] + 1
+        let mut p = DepProfiler::new();
+        p.loop_begin("scan");
+        for i in 1..10u64 {
+            p.iter_begin();
+            p.read(0x1000 + (i - 1) * 8);
+            p.write(0x1000 + i * 8);
+        }
+        p.loop_end();
+        let r = p.finish();
+        assert_eq!(r.loops[0].verdict(), Verdict::Serial);
+        assert_eq!(r.loops[0].min_flow_distance, Some(1));
+        assert!(r.loops[0].carried_flow > 0);
+    }
+
+    #[test]
+    fn long_distance_recurrence_reported() {
+        // a[i] = a[i-4]: distance 4 (strip-mining opportunity).
+        let mut p = DepProfiler::new();
+        p.loop_begin("lag4");
+        for i in 4..20u64 {
+            p.iter_begin();
+            p.read(0x1000 + (i - 4) * 8);
+            p.write(0x1000 + i * 8);
+        }
+        p.loop_end();
+        let r = p.finish();
+        assert_eq!(r.loops[0].min_flow_distance, Some(4));
+    }
+
+    #[test]
+    fn sum_reduction_detected() {
+        // sum += a[i]
+        let mut p = DepProfiler::new();
+        p.loop_begin("sum");
+        for i in 0..32u64 {
+            p.iter_begin();
+            p.read(0x1000 + i * 8); // a[i]
+            p.read(0x9000); // sum
+            p.write(0x9000); // sum = sum + a[i]
+        }
+        p.loop_end();
+        let r = p.finish();
+        assert_eq!(r.loops[0].verdict(), Verdict::ParallelWithReduction);
+        assert_eq!(r.loops[0].reduction_cells, 1);
+        assert_eq!(r.loops[0].carried_flow, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_needs_privatization() {
+        // tmp written then read within each iteration: WAR/WAW across
+        // iterations, no flow.
+        let mut p = DepProfiler::new();
+        p.loop_begin("scratch");
+        for i in 0..8u64 {
+            p.iter_begin();
+            p.write(0x7000); // tmp = f(i)
+            p.read(0x7000); // use tmp
+            p.write(0x2000 + i * 8);
+        }
+        p.loop_end();
+        let r = p.finish();
+        assert_eq!(r.loops[0].verdict(), Verdict::ParallelWithPrivatization);
+        assert!(r.loops[0].carried_anti > 0 || r.loops[0].carried_output > 0);
+    }
+
+    #[test]
+    fn nested_loops_judged_independently() {
+        // Outer loop carries a dependence through `acc`; inner is a pure
+        // map over disjoint cells.
+        let mut p = DepProfiler::new();
+        p.loop_begin("outer");
+        for i in 0..4u64 {
+            p.iter_begin();
+            p.read(0x9000);
+            p.loop_begin("inner");
+            for j in 0..4u64 {
+                p.iter_begin();
+                p.read(0x1000 + (i * 4 + j) * 8);
+                p.write(0x2000 + (i * 4 + j) * 8);
+            }
+            p.loop_end();
+            p.write(0x9000); // acc = g(acc, …): read-before-write
+        }
+        p.loop_end();
+        let r = p.finish();
+        let outer = r.loops.iter().find(|l| l.name == "outer").unwrap();
+        let inner = r.loops.iter().find(|l| l.name == "inner").unwrap();
+        assert_eq!(inner.verdict(), Verdict::Parallel);
+        assert_eq!(outer.verdict(), Verdict::ParallelWithReduction);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+    }
+
+    #[test]
+    fn histogram_with_shared_bins_is_reduction() {
+        // counts[key(i)] += 1 with colliding keys across iterations.
+        let mut p = DepProfiler::new();
+        p.loop_begin("hist");
+        for i in 0..64u64 {
+            p.iter_begin();
+            p.read(0x1000 + i * 4);
+            let bin = 0x5000 + (i % 4) * 4;
+            p.read(bin);
+            p.write(bin);
+        }
+        p.loop_end();
+        let r = p.finish();
+        assert_eq!(r.loops[0].verdict(), Verdict::ParallelWithReduction);
+        assert_eq!(r.loops[0].reduction_cells, 4);
+    }
+
+    #[test]
+    fn false_reduction_write_before_read_is_flow() {
+        // x written in iteration i, read in iteration i+1 WITHOUT the
+        // read-first idiom: a genuine flow dep.
+        let mut p = DepProfiler::new();
+        p.loop_begin("chain");
+        for _i in 0..8u64 {
+            p.iter_begin();
+            p.write(0x9000);
+            p.read(0x9000);
+        }
+        p.loop_end();
+        // Within-iteration write→read is loop-independent; but now cross:
+        let mut p2 = DepProfiler::new();
+        p2.loop_begin("cross");
+        p2.iter_begin();
+        p2.write(0x9000);
+        p2.iter_begin();
+        p2.read(0x9000);
+        p2.loop_end();
+        let r2 = p2.finish();
+        assert_eq!(r2.loops[0].verdict(), Verdict::Serial);
+        let r = p.finish();
+        assert_eq!(r.loops[0].verdict(), Verdict::ParallelWithPrivatization);
+    }
+
+    #[test]
+    fn suggestions_sorted_outermost_first() {
+        let mut p = DepProfiler::new();
+        p.loop_begin("outer");
+        p.iter_begin();
+        p.loop_begin("inner");
+        p.iter_begin();
+        p.read(0x10);
+        p.loop_end();
+        p.loop_end();
+        let r = p.finish();
+        let sugg = r.suggestions();
+        assert!(sugg[0].contains("outer"));
+        assert!(sugg[1].contains("inner"));
+    }
+
+    #[test]
+    fn empty_loop_reports_zero_iterations() {
+        let mut p = DepProfiler::new();
+        p.loop_begin("never");
+        p.loop_end();
+        let r = p.finish();
+        assert_eq!(r.loops[0].iterations, 0);
+        assert_eq!(r.loops[0].verdict(), Verdict::Parallel);
+    }
+}

@@ -1,0 +1,577 @@
+#![warn(missing_docs)]
+
+//! The fast-forwarding emulator (the FF, paper §IV-C/D).
+//!
+//! The FF predicts parallel execution time *analytically*: it traverses
+//! the program tree and advances per-logical-processor clocks with a
+//! priority heap that serialises competing tasks in emulated-time order.
+//! It models
+//!
+//! * OpenMP scheduling policies (reusing the exact chunk dispensers of the
+//!   runtime, so `static`, `static,c`, `dynamic,c`, `guided` mean the same
+//!   thing here and on the machine),
+//! * critical sections (a per-lock "free at" clock, granted in emulated
+//!   arrival order),
+//! * parallel construct overheads (fork/join, per-chunk dispatch,
+//!   per-iteration start, lock enter/leave),
+//! * burden factors from the memory model, multiplied into every terminal
+//!   node of a burdened section (§V).
+//!
+//! **Deliberate limitation** (paper §IV-D, Fig. 7): nested sections assign
+//! their tasks round-robin across logical CPUs starting at the host CPU,
+//! and a whole U/L node is assigned non-preemptively. The FF therefore
+//! cannot model OS-level preemption or oversubscription — for the paper's
+//! two-level nested example it predicts 1.5× where the true (and
+//! synthesizer-predicted) speedup is 2×. Reproducing that failure mode is
+//! part of reproducing the paper; use `synthemu` for nested/recursive
+//! programs.
+//!
+//! The FF targets an abstract machine, so unlike the synthesizer it can
+//! predict for arbitrary CPU counts (Table III).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use machsim::Schedule;
+use omp_rt::{Dispenser, OmpOverheads};
+use proftree::{visit::expanded_children, Cycles, LockId, NodeId, NodeKind, ProgramTree};
+use serde::{Deserialize, Serialize};
+
+/// Options for one FF prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct FfOptions {
+    /// Logical CPU count to predict for.
+    pub cpus: u32,
+    /// OpenMP schedule to emulate.
+    pub schedule: Schedule,
+    /// Construct overheads (same table the runtime uses).
+    pub overheads: OmpOverheads,
+    /// Apply the burden factors stored in the tree's sections.
+    pub use_burden: bool,
+    /// Extra cycles a *contended* lock acquisition costs: the blocked
+    /// thread is descheduled and context-switched back in by the OS when
+    /// the lock is handed off. Matches the machine's context-switch cost.
+    pub contended_lock_penalty: u64,
+    /// Model pipeline regions (§VII-E extension). Tools without pipeline
+    /// support (the Suitability-like baseline) set this to `false` and
+    /// emulate pipeline regions serially.
+    pub model_pipelines: bool,
+}
+
+impl FfOptions {
+    /// Defaults: `static` schedule, calibrated overheads, burden on.
+    pub fn new(cpus: u32) -> Self {
+        FfOptions {
+            cpus,
+            schedule: Schedule::static_block(),
+            overheads: OmpOverheads::westmere_scaled(),
+            use_burden: true,
+            contended_lock_penalty: 2_000,
+            model_pipelines: true,
+        }
+    }
+}
+
+/// Prediction output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FfPrediction {
+    /// Predicted parallel execution time, cycles.
+    pub predicted_cycles: u64,
+    /// Serial time from the tree.
+    pub serial_cycles: u64,
+    /// Predicted speedup.
+    pub speedup: f64,
+    /// Per top-level section `(serial, predicted)` cycles, program order.
+    pub sections: Vec<(u64, u64)>,
+}
+
+/// Emulator state shared across a whole program emulation.
+struct FfState<'t> {
+    tree: &'t ProgramTree,
+    opts: FfOptions,
+    /// Global per-CPU busy-until clock (nested sections book time on other
+    /// CPUs through this — the paper's round-robin nested model).
+    cpu_time: Vec<u64>,
+    /// Per-user-lock free-at clock.
+    lock_free: HashMap<LockId, u64>,
+}
+
+/// A CPU's cursor through its assigned tasks inside one section.
+struct CpuRun {
+    cpu: usize,
+    rank: u32,
+    time: u64,
+    /// Remaining tasks of the current chunk.
+    pending: VecDeque<NodeId>,
+    /// Ops of the in-flight task.
+    ops: VecDeque<NodeId>,
+    done: bool,
+    executed_any: bool,
+}
+
+/// Predict the speedup of `tree` under `opts`.
+pub fn predict(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
+    let mut st = FfState {
+        tree,
+        opts,
+        cpu_time: vec![0; opts.cpus.max(1) as usize],
+        lock_free: HashMap::new(),
+    };
+    let serial_cycles = tree.total_length();
+    let mut now = 0u64;
+    let mut sections = Vec::new();
+    for child in expanded_children(tree, ProgramTree::ROOT) {
+        match &tree.node(child).kind {
+            NodeKind::U => {
+                now += tree.node(child).length;
+            }
+            NodeKind::Sec { burden, .. } => {
+                let factor = if opts.use_burden { burden.factor(opts.cpus) } else { 1.0 };
+                // Top-level sections start with every CPU synchronised.
+                for t in st.cpu_time.iter_mut() {
+                    *t = now;
+                }
+                let end = emulate_section(&mut st, child, 0, now, factor);
+                sections.push((tree.node(child).length, end - now));
+                now = end;
+            }
+            NodeKind::Pipe { burden, .. } => {
+                let factor = if opts.use_burden { burden.factor(opts.cpus) } else { 1.0 };
+                for t in st.cpu_time.iter_mut() {
+                    *t = now;
+                }
+                let end = if opts.model_pipelines {
+                    emulate_pipe(&mut st, child, now, factor)
+                } else {
+                    // Tool without pipeline support: serial execution.
+                    now + scale(tree.node(child).length, factor)
+                };
+                sections.push((tree.node(child).length, end - now));
+                now = end;
+            }
+            other => unreachable!("invalid top-level node {}", other.tag()),
+        }
+    }
+    let predicted_cycles = now.max(1);
+    FfPrediction {
+        predicted_cycles,
+        serial_cycles,
+        speedup: serial_cycles as f64 / predicted_cycles as f64,
+        sections,
+    }
+}
+
+/// Emulate one section hosted by `host`, starting at `start`. Returns the
+/// section end time (after the implicit barrier and join overhead).
+fn emulate_section(
+    st: &mut FfState<'_>,
+    sec: NodeId,
+    host: usize,
+    start: u64,
+    burden: f64,
+) -> u64 {
+    let n = st.cpu_time.len();
+    let tasks: Vec<NodeId> = expanded_children(st.tree, sec).collect();
+    if tasks.is_empty() {
+        return start + st.opts.overheads.parallel_start + st.opts.overheads.parallel_end;
+    }
+    let body_start = start + st.opts.overheads.parallel_start;
+    let mut dispenser = Dispenser::new(st.opts.schedule, tasks.len(), n as u32);
+
+    // Rank r runs on CPU (host + r) mod n: nested sections start their
+    // round-robin at the host CPU (the Fig. 7 behaviour).
+    let mut runs: Vec<CpuRun> = (0..n)
+        .map(|r| {
+            let cpu = (host + r) % n;
+            CpuRun {
+                cpu,
+                rank: r as u32,
+                time: body_start.max(st.cpu_time[cpu]),
+                pending: VecDeque::new(),
+                ops: VecDeque::new(),
+                done: false,
+                executed_any: false,
+            }
+        })
+        .collect();
+
+    // Priority heap serialising the competing CPUs (paper §IV-C).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
+        .map(|i| Reverse((runs[i].time, i)))
+        .collect();
+
+    let mut section_end = body_start;
+    while let Some(Reverse((t, i))) = heap.pop() {
+        if runs[i].done || t < runs[i].time {
+            // Stale entry (time advanced since push).
+            if !runs[i].done && t < runs[i].time {
+                heap.push(Reverse((runs[i].time, i)));
+            }
+            continue;
+        }
+        // Need a task op to execute?
+        if runs[i].ops.is_empty() {
+            if runs[i].pending.is_empty() {
+                match dispenser.next_chunk(runs[i].rank) {
+                    Some((s, e)) => {
+                        runs[i].time += st.opts.overheads.dispatch_for(&st.opts.schedule);
+                        for k in s..e {
+                            runs[i].pending.push_back(tasks[k]);
+                        }
+                    }
+                    None => {
+                        runs[i].done = true;
+                        if runs[i].executed_any {
+                            section_end = section_end.max(runs[i].time);
+                            st.cpu_time[runs[i].cpu] = st.cpu_time[runs[i].cpu].max(runs[i].time);
+                        }
+                        continue;
+                    }
+                }
+            }
+            if let Some(task) = runs[i].pending.pop_front() {
+                runs[i].time += st.opts.overheads.iter_start;
+                runs[i].executed_any = true;
+                runs[i].ops = expanded_children(st.tree, task).collect();
+            }
+            heap.push(Reverse((runs[i].time, i)));
+            continue;
+        }
+
+        // Execute exactly one op, then requeue.
+        let op = runs[i].ops.pop_front().expect("checked non-empty");
+        let node = st.tree.node(op);
+        match &node.kind {
+            NodeKind::U => {
+                runs[i].time += scale(node.length, burden);
+            }
+            NodeKind::L { lock } => {
+                let free = st.lock_free.get(lock).copied().unwrap_or(0);
+                let contended = free > runs[i].time;
+                let mut acquired =
+                    runs[i].time.max(free) + st.opts.overheads.lock_acquire;
+                if contended {
+                    acquired += st.opts.contended_lock_penalty;
+                }
+                let released =
+                    acquired + scale(node.length, burden) + st.opts.overheads.lock_release;
+                st.lock_free.insert(*lock, released);
+                runs[i].time = released;
+            }
+            NodeKind::Sec { .. } => {
+                // Nested: recurse with this CPU as host. Nested sections
+                // inherit the top-level burden factor.
+                let cpu = runs[i].cpu;
+                st.cpu_time[cpu] = runs[i].time;
+                let end = emulate_section(st, op, cpu, runs[i].time, burden);
+                runs[i].time = end;
+            }
+            other => unreachable!("invalid op node {}", other.tag()),
+        }
+        heap.push(Reverse((runs[i].time, i)));
+    }
+
+    section_end + st.opts.overheads.parallel_end
+}
+
+/// Emulate a pipeline region (§VII-E extension): items stream through
+/// stage threads; stage `s` of item `i` starts after stage `s-1` of item
+/// `i` (the hand-off) and after stage `s` of item `i-1` (stages are
+/// stateful, one item at a time). The recurrence yields the
+/// dependency-limited makespan with one thread per stage; when the
+/// machine has fewer CPUs than stages the OS time-slices the stage
+/// threads, so the emulated end is additionally lower-bounded by
+/// `work / cpus` (the resource limit).
+fn emulate_pipe(st: &mut FfState<'_>, pipe: NodeId, start: u64, burden: f64) -> u64 {
+    use std::collections::HashMap as Map;
+    let n = st.cpu_time.len() as u64;
+    let body_start = start + st.opts.overheads.parallel_start;
+    let mut stage_clock: Map<u32, u64> = Map::new();
+    let mut end = body_start;
+    let mut total_work: u64 = 0;
+    let items: Vec<NodeId> = expanded_children(st.tree, pipe).collect();
+    for item in items {
+        let mut prev_stage_end = body_start;
+        for stage in expanded_children(st.tree, item) {
+            let s = match &st.tree.node(stage).kind {
+                NodeKind::Stage { stage } => *stage,
+                other => unreachable!("invalid node under pipe item: {}", other.tag()),
+            };
+            let clock = stage_clock.entry(s).or_insert(body_start);
+            let mut t = prev_stage_end.max(*clock) + st.opts.overheads.iter_start;
+            for op in expanded_children(st.tree, stage) {
+                let node = st.tree.node(op);
+                match &node.kind {
+                    NodeKind::U => {
+                        let len = scale(node.length, burden);
+                        total_work += len;
+                        t += len;
+                    }
+                    NodeKind::L { lock } => {
+                        let free = st.lock_free.get(lock).copied().unwrap_or(0);
+                        let contended = free > t;
+                        let mut acquired = t.max(free) + st.opts.overheads.lock_acquire;
+                        if contended {
+                            acquired += st.opts.contended_lock_penalty;
+                        }
+                        let len = scale(node.length, burden);
+                        total_work += len;
+                        let released = acquired + len + st.opts.overheads.lock_release;
+                        st.lock_free.insert(*lock, released);
+                        t = released;
+                    }
+                    other => unreachable!("invalid node under stage: {}", other.tag()),
+                }
+            }
+            *stage_clock.get_mut(&s).expect("inserted above") = t;
+            prev_stage_end = t;
+        }
+        end = end.max(prev_stage_end);
+    }
+    // Resource limit: with fewer CPUs than busy stages the makespan
+    // cannot beat work/cpus.
+    let end = end.max(body_start + total_work.div_ceil(n.max(1)));
+    for t in st.cpu_time.iter_mut() {
+        *t = (*t).max(end);
+    }
+    end + st.opts.overheads.parallel_end
+}
+
+fn scale(len: Cycles, burden: f64) -> u64 {
+    if (burden - 1.0).abs() < 1e-12 {
+        len
+    } else {
+        (len as f64 * burden).round() as u64
+    }
+}
+
+/// Sweep CPU counts and return `(cpus, speedup)` pairs — the FF's
+/// signature ability to predict for arbitrary processor counts.
+pub fn speedup_curve(tree: &ProgramTree, base: FfOptions, cpu_counts: &[u32]) -> Vec<(u32, f64)> {
+    cpu_counts
+        .iter()
+        .map(|&c| {
+            let mut o = base;
+            o.cpus = c;
+            (c, predict(tree, o).speedup)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::TreeBuilder;
+
+    fn zero_opts(cpus: u32, schedule: Schedule) -> FfOptions {
+        FfOptions {
+            cpus,
+            schedule,
+            overheads: OmpOverheads::zero(),
+            use_burden: true,
+            contended_lock_penalty: 0,
+            model_pipelines: true,
+        }
+    }
+
+    /// Build a single-section loop with the given per-iteration
+    /// (pre, lock, post) cycle triples.
+    fn lock_loop(iters: &[(u64, u64, u64)]) -> ProgramTree {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        for &(pre, lock, post) in iters {
+            b.begin_task("t").unwrap();
+            if pre > 0 {
+                b.add_compute(pre).unwrap();
+            }
+            if lock > 0 {
+                b.begin_lock(1).unwrap();
+                b.add_compute(lock).unwrap();
+                b.end_lock(1).unwrap();
+            }
+            if post > 0 {
+                b.add_compute(post).unwrap();
+            }
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fig5_all_three_schedules() {
+        // Paper Fig. 5: I0 = 150/(L)450/50, I1 = 100/(L)300/200,
+        // I2 = 150/(L)50/50; dual core; serial total 1500.
+        let tree = lock_loop(&[(150, 450, 50), (100, 300, 200), (150, 50, 50)]);
+        assert_eq!(tree.total_length(), 1500);
+
+        // Case 1 (static,1): 1150 → speedup 1.30.
+        let p = predict(&tree, zero_opts(2, Schedule::static1()));
+        assert_eq!(p.predicted_cycles, 1150, "static-1");
+        assert!((p.speedup - 1.304).abs() < 0.01);
+
+        // Case 2 (static): 1250 → speedup 1.20.
+        let p = predict(&tree, zero_opts(2, Schedule::static_block()));
+        assert_eq!(p.predicted_cycles, 1250, "static");
+        assert!((p.speedup - 1.20).abs() < 0.01);
+
+        // Case 3 (dynamic,1): 950 → speedup 1.58.
+        let p = predict(&tree, zero_opts(2, Schedule::dynamic1()));
+        assert_eq!(p.predicted_cycles, 950, "dynamic-1");
+        assert!((p.speedup - 1.579).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig7_nested_underprediction() {
+        // Two-level nested loop of Fig. 7: outer (static,1) with two
+        // tasks, each an inner section with tasks (10,5) and (5,10).
+        // The FF's round-robin nested model books 10+10 on CPU0 → 20,
+        // predicting 1.5 where the true speedup is 2.0.
+        let mut b = TreeBuilder::new();
+        b.begin_sec("outer").unwrap();
+        for lens in [[10u64, 5], [5, 10]] {
+            b.begin_task("ot").unwrap();
+            b.begin_sec("inner").unwrap();
+            for l in lens {
+                b.begin_task("it").unwrap();
+                b.add_compute(l).unwrap();
+                b.end_task().unwrap();
+            }
+            b.end_sec(false).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        let tree = b.finish().unwrap();
+        assert_eq!(tree.total_length(), 30);
+        let p = predict(&tree, zero_opts(2, Schedule::static1()));
+        assert_eq!(p.predicted_cycles, 20);
+        assert!((p.speedup - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_loop_perfect_speedup() {
+        let tree = lock_loop(&[(1000, 0, 0); 8]);
+        for cpus in [1u32, 2, 4, 8] {
+            let p = predict(&tree, zero_opts(cpus, Schedule::static1()));
+            assert_eq!(p.predicted_cycles, 8000 / cpus as u64, "cpus={cpus}");
+        }
+    }
+
+    #[test]
+    fn serial_sections_stay_serial() {
+        let mut b = TreeBuilder::new();
+        b.add_compute(500).unwrap();
+        b.begin_sec("s").unwrap();
+        for _ in 0..4 {
+            b.begin_task("t").unwrap();
+            b.add_compute(1000).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        b.add_compute(300).unwrap();
+        let tree = b.finish().unwrap();
+        let p = predict(&tree, zero_opts(4, Schedule::static1()));
+        assert_eq!(p.predicted_cycles, 500 + 1000 + 300);
+        assert_eq!(p.sections, vec![(4000, 1000)]);
+    }
+
+    #[test]
+    fn fully_serialized_lock_bound_loop() {
+        // Entirely locked iterations: no speedup regardless of CPUs.
+        let tree = lock_loop(&[(0, 1000, 0); 6]);
+        let p = predict(&tree, zero_opts(6, Schedule::static1()));
+        assert_eq!(p.predicted_cycles, 6000);
+        assert!((p.speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burden_factor_slows_section() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("mem").unwrap();
+        for _ in 0..4 {
+            b.begin_task("t").unwrap();
+            b.add_compute(1000).unwrap();
+            b.end_task().unwrap();
+        }
+        let sec = b.end_sec(false).unwrap();
+        let mut tree = b.finish().unwrap();
+        if let NodeKind::Sec { burden, .. } = &mut tree.node_mut(sec).kind {
+            *burden = proftree::BurdenTable::from_entries(vec![(4, 1.5)]);
+        }
+        let with = predict(&tree, zero_opts(4, Schedule::static1()));
+        let mut opts = zero_opts(4, Schedule::static1());
+        opts.use_burden = false;
+        let without = predict(&tree, opts);
+        assert_eq!(without.predicted_cycles, 1000);
+        assert_eq!(with.predicted_cycles, 1500);
+        // Speedup ratio = 1/β.
+        assert!((with.speedup - 4.0 / 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overheads_lower_speedup_for_fine_grained_loops() {
+        let tree = lock_loop(&[(100, 0, 0); 64]);
+        let cheap = predict(&tree, zero_opts(4, Schedule::dynamic1()));
+        let mut opts = zero_opts(4, Schedule::dynamic1());
+        opts.overheads.dynamic_dispatch = 50;
+        opts.overheads.iter_start = 25;
+        let dear = predict(&tree, opts);
+        assert!(dear.predicted_cycles > cheap.predicted_cycles);
+        assert!(dear.speedup < cheap.speedup);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_triangular_workload() {
+        let iters: Vec<(u64, u64, u64)> = (1..=32).map(|i| (i * 100, 0, 0)).collect();
+        let tree = lock_loop(&iters);
+        let st = predict(&tree, zero_opts(4, Schedule::static_block()));
+        let dy = predict(&tree, zero_opts(4, Schedule::dynamic1()));
+        assert!(dy.predicted_cycles < st.predicted_cycles);
+    }
+
+    #[test]
+    fn speedup_curve_monotone_for_balanced_work() {
+        let tree = lock_loop(&[(5000, 0, 0); 48]);
+        let curve = speedup_curve(
+            &tree,
+            zero_opts(1, Schedule::static1()),
+            &[1, 2, 4, 6, 8, 12],
+        );
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "curve not monotone: {curve:?}");
+        }
+        assert!((curve.last().unwrap().1 - 12.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn speedup_never_exceeds_cpus_without_superlinearity() {
+        let iters: Vec<(u64, u64, u64)> =
+            (0..40).map(|i| (100 + (i * 97) % 900, (i % 3) * 50, 50)).collect();
+        let tree = lock_loop(&iters);
+        for cpus in [2u32, 4, 8] {
+            for sched in [Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()] {
+                let p = predict(&tree, zero_opts(cpus, sched));
+                assert!(p.speedup <= cpus as f64 + 1e-9);
+                assert!(p.speedup >= 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_prediction() {
+        let tree = TreeBuilder::new().finish().unwrap();
+        let p = predict(&tree, zero_opts(4, Schedule::static1()));
+        assert_eq!(p.serial_cycles, 0);
+        assert!(p.sections.is_empty());
+    }
+
+    #[test]
+    fn compressed_tree_predicts_like_uncompressed() {
+        let iters: Vec<(u64, u64, u64)> = (0..200).map(|_| (750, 0, 0)).collect();
+        let tree = lock_loop(&iters);
+        let (ctree, _) = proftree::compress_tree(&tree, proftree::CompressOptions::default());
+        let a = predict(&tree, zero_opts(6, Schedule::static1()));
+        let b = predict(&ctree, zero_opts(6, Schedule::static1()));
+        assert_eq!(a.predicted_cycles, b.predicted_cycles);
+    }
+}

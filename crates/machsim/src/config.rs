@@ -1,0 +1,114 @@
+//! Machine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the simulated machine and its operating system.
+///
+/// The defaults model a scaled-down version of the paper's testbed: a
+/// 12-core two-socket Westmere Xeon at 2.8 GHz with hardware prefetchers
+/// disabled (§VII-A). Scaling notes live in `DESIGN.md` §6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of physical cores (SMT is out of scope, Assumption 3c).
+    pub cores: u32,
+    /// Core frequency in GHz; used only to convert cycles ↔ MB/s.
+    pub freq_ghz: f64,
+    /// OS scheduling quantum in cycles (preemptive round-robin).
+    pub quantum_cycles: u64,
+    /// Cost charged to a core when it switches between distinct threads.
+    pub context_switch_cycles: u64,
+    /// Cache line size in bytes (one LLC miss moves one line).
+    pub line_bytes: u64,
+    /// Peak DRAM bandwidth in bytes per cycle (all cores combined).
+    pub dram_bytes_per_cycle: f64,
+    /// Uncontended CPU stall per LLC miss, in cycles (the model's ω at low
+    /// traffic).
+    pub dram_base_stall: f64,
+    /// Strength of the queueing-delay term: stall grows by
+    /// `1 + κ·u²/(1-u)` at DRAM utilisation `u`.
+    pub queue_kappa: f64,
+}
+
+impl MachineConfig {
+    /// The scaled Westmere-like reference machine used throughout the
+    /// experiments: 12 cores, 2.8 GHz.
+    ///
+    /// `dram_bytes_per_cycle = 7.5` ≈ 21 GB/s peak — one memory-hungry
+    /// thread achieves roughly 1/7 of peak (line/stall ≈ 64/60 ≈ 1.07 B/cy),
+    /// so bandwidth saturates around 6-8 hungry threads, matching the
+    /// qualitative saturation points of the paper's Fig. 2/Fig. 12.
+    pub fn westmere_scaled() -> Self {
+        MachineConfig {
+            cores: 12,
+            freq_ghz: 2.8,
+            quantum_cycles: 1_000_000,
+            context_switch_cycles: 2_000,
+            line_bytes: 64,
+            dram_bytes_per_cycle: 7.5,
+            dram_base_stall: 60.0,
+            queue_kappa: 0.6,
+        }
+    }
+
+    /// A small machine for unit tests: `n` cores, tiny quantum, zero
+    /// context-switch cost, effectively unlimited memory bandwidth.
+    pub fn small(n: u32) -> Self {
+        MachineConfig {
+            cores: n,
+            freq_ghz: 1.0,
+            quantum_cycles: 10_000,
+            context_switch_cycles: 0,
+            line_bytes: 64,
+            dram_bytes_per_cycle: 1e12,
+            dram_base_stall: 60.0,
+            queue_kappa: 0.0,
+        }
+    }
+
+    /// Same machine with a different core count (for speedup sweeps the
+    /// OS/memory parameters must stay fixed).
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Convert a traffic level in bytes/cycle to MB/s on this machine.
+    pub fn bytes_per_cycle_to_mbps(&self, bpc: f64) -> f64 {
+        // bytes/cycle × cycles/sec = bytes/sec; ÷ 1e6 = MB/s.
+        bpc * self.freq_ghz * 1e9 / 1e6
+    }
+
+    /// Convert MB/s to bytes/cycle on this machine.
+    pub fn mbps_to_bytes_per_cycle(&self, mbps: f64) -> f64 {
+        mbps * 1e6 / (self.freq_ghz * 1e9)
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::westmere_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_conversions_round_trip() {
+        let cfg = MachineConfig::westmere_scaled();
+        let mbps = cfg.bytes_per_cycle_to_mbps(1.0);
+        assert!((mbps - 2800.0).abs() < 1e-9);
+        let back = cfg.mbps_to_bytes_per_cycle(mbps);
+        assert!((back - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_cores_only_changes_cores() {
+        let a = MachineConfig::westmere_scaled();
+        let b = a.with_cores(4);
+        assert_eq!(b.cores, 4);
+        assert_eq!(a.dram_bytes_per_cycle, b.dram_bytes_per_cycle);
+        assert_eq!(a.quantum_cycles, b.quantum_cycles);
+    }
+}

@@ -1,0 +1,530 @@
+//! The discrete-event engine: cores, OS scheduler, and time.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::config::MachineConfig;
+use crate::mem::MemSolver;
+use crate::stats::{RunStats, ThreadStats};
+use crate::sync::{BarrierId, BarrierState, LockState, ParkState, SimLockId};
+use crate::thread::{Action, Env, ThreadBody, ThreadId};
+
+/// Errors terminating a run abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// No runnable thread and no pending event, but threads remain alive.
+    Deadlock {
+        /// Simulated time of detection.
+        at: u64,
+        /// Threads still blocked.
+        blocked: Vec<ThreadId>,
+    },
+    /// A thread body performed too many instantaneous actions in a row
+    /// (runaway zero-time loop — a bug in the thread body).
+    RunawayThread {
+        /// The offending thread.
+        thread: ThreadId,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { at, blocked } => {
+                write!(f, "deadlock at cycle {at}: {} thread(s) blocked forever", blocked.len())
+            }
+            RunError::RunawayThread { thread } => {
+                write!(f, "thread {:?} performed too many zero-time actions", thread)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Ready,
+    Running(usize),
+    Blocked,
+    Done,
+}
+
+/// Progress of a preemptible compute packet.
+#[derive(Debug, Clone, Copy)]
+struct PacketProgress {
+    /// Pure CPU cycles of the whole packet (composition for the solver).
+    c: f64,
+    /// LLC misses of the whole packet.
+    m: f64,
+    /// Baseline-equivalent cycles remaining (scale: duration at ω₀).
+    remaining: f64,
+    /// Baseline-equivalent total (for DRAM byte apportioning).
+    baseline_total: f64,
+    /// Current stretch factor (≥ 1).
+    stretch: f64,
+}
+
+struct ThreadSlot {
+    body: Option<Box<dyn ThreadBody>>,
+    state: TState,
+    packet: Option<PacketProgress>,
+    park: ParkState,
+    stats: ThreadStats,
+    /// Fractional DRAM bytes not yet credited (keeps totals exact across
+    /// many settle boundaries).
+    dram_carry: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Core {
+    running: Option<ThreadId>,
+    last_thread: Option<ThreadId>,
+    /// When the current thread was dispatched (for trace spans).
+    running_since: u64,
+    /// Invalidates Quantum events when the running thread changes.
+    run_gen: u64,
+    /// Invalidates PacketDone events when rates are recomputed.
+    rate_gen: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    PacketDone { core: usize, gen: u64 },
+    Quantum { core: usize, gen: u64 },
+}
+
+/// Safety valve: max instantaneous actions a body may take consecutively.
+const MAX_ZERO_TIME_STEPS: u32 = 1_000_000;
+
+/// The simulated machine. Spawn initial threads with [`Machine::spawn`],
+/// then call [`Machine::run`] to completion.
+pub struct Machine {
+    cfg: MachineConfig,
+    solver: MemSolver,
+    now: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    threads: Vec<ThreadSlot>,
+    ready: VecDeque<ThreadId>,
+    cores: Vec<Core>,
+    locks: Vec<LockState>,
+    barriers: Vec<BarrierState>,
+    live_threads: u32,
+    peak_live: u32,
+    stats: RunStats,
+    /// Set when the running-packet membership changed and rates must be
+    /// recomputed before the next event is consumed.
+    rates_dirty: bool,
+    /// Pending context-switch cycles to fold into the next packet per core.
+    pending_cs: Vec<u64>,
+    /// Execution timeline, recorded when tracing is enabled.
+    trace: Option<crate::trace::Timeline>,
+}
+
+impl Machine {
+    /// A fresh machine with no threads.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let solver = MemSolver::new(&cfg);
+        Machine {
+            solver,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            threads: Vec::new(),
+            ready: VecDeque::new(),
+            cores: vec![Core::default(); cfg.cores as usize],
+            locks: Vec::new(),
+            barriers: Vec::new(),
+            live_threads: 0,
+            peak_live: 0,
+            stats: RunStats::default(),
+            rates_dirty: false,
+            pending_cs: vec![0; cfg.cores as usize],
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Record per-core execution spans for this run (see
+    /// [`crate::trace::Timeline`]); retrieve them from
+    /// [`crate::RunStats::timeline`].
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(crate::trace::Timeline::default());
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Spawn a thread before or during the run; it becomes ready.
+    pub fn spawn(&mut self, body: impl ThreadBody + 'static) -> ThreadId {
+        self.spawn_boxed(Box::new(body))
+    }
+
+    /// Spawn from an already-boxed body.
+    pub fn spawn_boxed(&mut self, body: Box<dyn ThreadBody>) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(ThreadSlot {
+            body: Some(body),
+            state: TState::Ready,
+            packet: None,
+            park: ParkState::default(),
+            stats: ThreadStats { spawned_at: self.now, ..Default::default() },
+            dram_carry: 0.0,
+        });
+        self.ready.push_back(id);
+        self.live_threads += 1;
+        self.peak_live = self.peak_live.max(self.live_threads);
+        self.stats.threads_spawned += 1;
+        id
+    }
+
+    /// Create a mutex (pre-run convenience; bodies use [`Env::create_lock`]).
+    pub fn create_lock(&mut self) -> SimLockId {
+        let id = SimLockId(self.locks.len() as u32);
+        self.locks.push(LockState::default());
+        id
+    }
+
+    /// Create a barrier for `parties` participants.
+    pub fn create_barrier(&mut self, parties: u32) -> BarrierId {
+        let id = BarrierId(self.barriers.len() as u32);
+        self.barriers.push(BarrierState::new(parties));
+        id
+    }
+
+    fn push_event(&mut self, at: u64, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, ev)));
+    }
+
+    /// Advance simulated time to `t`, progressing all running packets.
+    fn settle(&mut self, t: u64) {
+        debug_assert!(t >= self.now);
+        let elapsed = (t - self.now) as f64;
+        if elapsed > 0.0 {
+            for core in 0..self.cores.len() {
+                let Some(tid) = self.cores[core].running else { continue };
+                let slot = &mut self.threads[tid.0 as usize];
+                slot.stats.busy_cycles += (t - self.now).min(u64::MAX);
+                if let Some(p) = slot.packet.as_mut() {
+                    let progress = elapsed / p.stretch;
+                    let before = p.remaining;
+                    p.remaining = (p.remaining - progress).max(0.0);
+                    // Apportion DRAM bytes by baseline progress, carrying
+                    // the fractional remainder so totals stay exact.
+                    if p.m > 0.0 && p.baseline_total > 0.0 {
+                        let frac = (before - p.remaining) / p.baseline_total;
+                        let exact =
+                            frac * p.m * self.cfg.line_bytes as f64 + slot.dram_carry;
+                        let bytes = exact.floor() as u64;
+                        slot.dram_carry = exact - bytes as f64;
+                        slot.stats.dram_bytes += bytes;
+                        self.stats.dram_bytes += bytes;
+                    }
+                }
+            }
+            self.stats.busy_cycles += (t - self.now)
+                * self.cores.iter().filter(|c| c.running.is_some()).count() as u64;
+        }
+        self.now = t;
+    }
+
+    /// Recompute the shared stall, each packet's stretch, and reschedule
+    /// every completion event. Called whenever membership changes.
+    fn recompute_rates(&mut self) {
+        let segs: Vec<(f64, f64)> = self
+            .cores
+            .iter()
+            .filter_map(|c| c.running)
+            .filter_map(|tid| self.threads[tid.0 as usize].packet.map(|p| (p.c, p.m)))
+            .collect();
+        let omega = self.solver.solve(&segs);
+        for core in 0..self.cores.len() {
+            let Some(tid) = self.cores[core].running else { continue };
+            let Some(p) = self.threads[tid.0 as usize].packet.as_mut() else { continue };
+            p.stretch = self.solver.stretch(p.c, p.m, omega);
+            let eta = (p.remaining * p.stretch).ceil().max(0.0) as u64;
+            self.cores[core].rate_gen += 1;
+            let gen = self.cores[core].rate_gen;
+            let at = self.now + eta;
+            self.push_event(at, Event::PacketDone { core, gen });
+        }
+        self.rates_dirty = false;
+    }
+
+    /// Fill idle cores from the ready queue, driving each dispatched thread.
+    fn dispatch_all(&mut self) -> Result<(), RunError> {
+        loop {
+            let Some(core) = self.cores.iter().position(|c| c.running.is_none()) else {
+                break;
+            };
+            let Some(tid) = self.ready.pop_front() else { break };
+            debug_assert_eq!(self.threads[tid.0 as usize].state, TState::Ready);
+            // Charge a context switch when the core last ran someone else.
+            if self.cores[core].last_thread != Some(tid) && self.cores[core].last_thread.is_some()
+            {
+                self.stats.context_switches += 1;
+                self.pending_cs[core] = self.cfg.context_switch_cycles;
+            }
+            self.cores[core].running = Some(tid);
+            self.cores[core].last_thread = Some(tid);
+            self.cores[core].running_since = self.now;
+            self.cores[core].run_gen += 1;
+            self.threads[tid.0 as usize].state = TState::Running(core);
+            // Resuming a preempted packet?
+            if self.threads[tid.0 as usize].packet.is_some() {
+                // Fold the context-switch cost into the resumed packet.
+                let cs = std::mem::take(&mut self.pending_cs[core]) as f64;
+                if cs > 0.0 {
+                    let p = self.threads[tid.0 as usize].packet.as_mut().expect("checked");
+                    p.c += cs;
+                    p.remaining += cs;
+                    p.baseline_total += cs;
+                }
+                self.arm_quantum(core);
+                self.rates_dirty = true;
+            } else {
+                self.drive(tid, core)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn arm_quantum(&mut self, core: usize) {
+        let gen = self.cores[core].run_gen;
+        let at = self.now + self.cfg.quantum_cycles;
+        self.push_event(at, Event::Quantum { core, gen });
+    }
+
+    /// Step the body of a running thread until it performs a time-consuming
+    /// action or leaves the core.
+    fn drive(&mut self, tid: ThreadId, core: usize) -> Result<(), RunError> {
+        debug_assert_eq!(self.cores[core].running, Some(tid));
+        let mut zero_steps = 0u32;
+        loop {
+            zero_steps += 1;
+            if zero_steps > MAX_ZERO_TIME_STEPS {
+                return Err(RunError::RunawayThread { thread: tid });
+            }
+            let mut body = self.threads[tid.0 as usize]
+                .body
+                .take()
+                .expect("running thread must have a body");
+            let action = {
+                let mut env = MachineEnv { m: self, me: tid };
+                body.step(&mut env)
+            };
+            self.threads[tid.0 as usize].body = Some(body);
+            match action {
+                Action::Compute(p) if p.is_empty() && self.pending_cs[core] == 0 => continue,
+                Action::Compute(p) => {
+                    let cs = std::mem::take(&mut self.pending_cs[core]);
+                    let c = p.compute_cycles as f64 + cs as f64;
+                    let m = p.llc_misses as f64;
+                    let baseline = c + m * self.solver.omega0();
+                    self.threads[tid.0 as usize].packet = Some(PacketProgress {
+                        c,
+                        m,
+                        remaining: baseline,
+                        baseline_total: baseline,
+                        stretch: 1.0,
+                    });
+                    self.arm_quantum(core);
+                    self.rates_dirty = true;
+                    return Ok(());
+                }
+                Action::Acquire(l) => {
+                    if self.locks[l.0 as usize].acquire(tid) {
+                        continue;
+                    }
+                    self.block(tid, core);
+                    return Ok(());
+                }
+                Action::Release(l) => {
+                    if let Some(next) = self.locks[l.0 as usize].release(tid) {
+                        self.make_ready(next);
+                    }
+                    continue;
+                }
+                Action::Barrier(b) => match self.barriers[b.0 as usize].arrive(tid) {
+                    Some(woken) => {
+                        for w in woken {
+                            self.make_ready(w);
+                        }
+                        continue;
+                    }
+                    None => {
+                        self.block(tid, core);
+                        return Ok(());
+                    }
+                },
+                Action::Park => {
+                    let park = &mut self.threads[tid.0 as usize].park;
+                    if park.permit {
+                        park.permit = false;
+                        continue;
+                    }
+                    park.parked = true;
+                    self.block(tid, core);
+                    return Ok(());
+                }
+                Action::Yield => {
+                    self.threads[tid.0 as usize].state = TState::Ready;
+                    self.ready.push_back(tid);
+                    self.free_core(core);
+                    return Ok(());
+                }
+                Action::Exit => {
+                    let slot = &mut self.threads[tid.0 as usize];
+                    slot.state = TState::Done;
+                    slot.body = None;
+                    slot.stats.finished_at = self.now;
+                    self.live_threads -= 1;
+                    self.free_core(core);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, tid: ThreadId, core: usize) {
+        self.threads[tid.0 as usize].state = TState::Blocked;
+        self.free_core(core);
+    }
+
+    fn free_core(&mut self, core: usize) {
+        if let (Some(trace), Some(tid)) = (self.trace.as_mut(), self.cores[core].running) {
+            trace.push(core as u32, tid, self.cores[core].running_since, self.now);
+        }
+        self.cores[core].running = None;
+        self.cores[core].run_gen += 1;
+        // Invalidate any in-flight completion for the departed packet; a
+        // resumed packet gets a fresh completion from recompute_rates.
+        self.cores[core].rate_gen += 1;
+        self.rates_dirty = true;
+    }
+
+    fn make_ready(&mut self, tid: ThreadId) {
+        let slot = &mut self.threads[tid.0 as usize];
+        debug_assert_eq!(slot.state, TState::Blocked, "make_ready on non-blocked thread");
+        slot.state = TState::Ready;
+        self.ready.push_back(tid);
+    }
+
+    /// Run until every thread has exited. Returns run statistics.
+    pub fn run(&mut self) -> Result<RunStats, RunError> {
+        self.dispatch_all()?;
+        if self.rates_dirty {
+            self.recompute_rates();
+        }
+        while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            // Drop stale events.
+            let valid = match ev {
+                Event::PacketDone { core, gen } => self.cores[core].rate_gen == gen,
+                Event::Quantum { core, gen } => self.cores[core].run_gen == gen,
+            };
+            if !valid {
+                continue;
+            }
+            self.settle(t);
+            match ev {
+                Event::PacketDone { core, .. } => {
+                    let tid = self.cores[core].running.expect("completion on idle core");
+                    let slot = &mut self.threads[tid.0 as usize];
+                    debug_assert!(
+                        slot.packet.map_or(false, |p| p.remaining <= 1.0),
+                        "completion fired with work remaining"
+                    );
+                    slot.packet = None;
+                    self.rates_dirty = true;
+                    self.drive(tid, core)?;
+                }
+                Event::Quantum { core, .. } => {
+                    let tid = self.cores[core].running.expect("quantum on idle core");
+                    if self.ready.is_empty() {
+                        // Nobody to switch to: extend the quantum.
+                        self.arm_quantum(core);
+                    } else {
+                        self.stats.preemptions += 1;
+                        self.threads[tid.0 as usize].state = TState::Ready;
+                        self.ready.push_back(tid);
+                        self.free_core(core);
+                    }
+                }
+            }
+            self.dispatch_all()?;
+            if self.rates_dirty {
+                self.recompute_rates();
+            }
+        }
+
+        if self.live_threads > 0 {
+            let blocked: Vec<ThreadId> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s.state, TState::Done))
+                .map(|(i, _)| ThreadId(i as u32))
+                .collect();
+            return Err(RunError::Deadlock { at: self.now, blocked });
+        }
+
+        self.stats.elapsed_cycles = self.now;
+        self.stats.peak_live_threads = self.peak_live;
+        self.stats.lock_acquisitions = self.locks.iter().map(|s| s.acquisitions).sum();
+        self.stats.lock_contended = self.locks.iter().map(|s| s.contended).sum();
+        self.stats.threads = self.threads.iter().map(|s| s.stats).collect();
+        self.stats.timeline = self.trace.clone();
+        Ok(self.stats.clone())
+    }
+}
+
+/// The [`Env`] implementation handed to thread bodies.
+struct MachineEnv<'a> {
+    m: &'a mut Machine,
+    me: ThreadId,
+}
+
+impl Env for MachineEnv<'_> {
+    fn now(&self) -> u64 {
+        self.m.now
+    }
+
+    fn me(&self) -> ThreadId {
+        self.me
+    }
+
+    fn spawn(&mut self, body: Box<dyn ThreadBody>) -> ThreadId {
+        self.m.spawn_boxed(body)
+    }
+
+    fn unpark(&mut self, thread: ThreadId) {
+        let slot = &mut self.m.threads[thread.0 as usize];
+        if slot.park.parked {
+            slot.park.parked = false;
+            self.m.make_ready(thread);
+        } else {
+            slot.park.permit = true;
+        }
+    }
+
+    fn create_lock(&mut self) -> SimLockId {
+        self.m.create_lock()
+    }
+
+    fn create_barrier(&mut self, parties: u32) -> BarrierId {
+        self.m.create_barrier(parties)
+    }
+
+    fn cores(&self) -> u32 {
+        self.m.cfg.cores
+    }
+}

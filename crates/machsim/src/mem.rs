@@ -1,0 +1,222 @@
+//! Flow-level DRAM bandwidth sharing.
+//!
+//! Every running compute segment is modelled as a fluid alternation of pure
+//! CPU work (`C` cycles) and LLC-miss stalls (`M` misses × ω cycles each).
+//! When several memory-active segments run concurrently they share the DRAM
+//! channel; the per-miss stall ω grows with utilisation through an
+//! M/M/1-style queueing term and is additionally capped so aggregate
+//! traffic never exceeds the peak bandwidth:
+//!
+//! * achieved traffic of segment *i*: `τᵢ(ω) = Mᵢ·line / (Cᵢ + Mᵢ·ω)`
+//!   bytes per cycle (rate-invariant in segment progress);
+//! * utilisation `u(ω) = Σ τᵢ(ω) / B_peak`;
+//! * queueing stall `g(ω) = ω₀ · (1 + κ·u²/(1-u))`;
+//! * ω is the fixed point of `g`, raised further if needed so that
+//!   `u(ω) ≤ 1`.
+//!
+//! This is the mechanism that produces genuine speedup saturation in
+//! memory-bound parallel runs (paper Fig. 2) and the curves that the
+//! memory model's Ψ/Φ formulas (Eqs. 6-7) are calibrated against.
+
+use crate::config::MachineConfig;
+
+/// Solves for the shared per-miss stall ω given the set of concurrently
+/// running segments.
+#[derive(Debug, Clone, Copy)]
+pub struct MemSolver {
+    line: f64,
+    b_peak: f64,
+    omega0: f64,
+    kappa: f64,
+}
+
+/// Utilisation ceiling: the queueing term diverges as u → 1, so the solver
+/// clamps just below.
+const U_MAX: f64 = 0.999;
+
+impl MemSolver {
+    /// Build from a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        MemSolver {
+            line: cfg.line_bytes as f64,
+            b_peak: cfg.dram_bytes_per_cycle,
+            omega0: cfg.dram_base_stall,
+            kappa: cfg.queue_kappa,
+        }
+    }
+
+    /// Base (uncontended) per-miss stall ω₀.
+    pub fn omega0(&self) -> f64 {
+        self.omega0
+    }
+
+    /// Aggregate achieved traffic in bytes/cycle at a given ω for segments
+    /// described by `(compute_cycles, llc_misses)` pairs.
+    pub fn traffic_at(&self, segs: &[(f64, f64)], omega: f64) -> f64 {
+        segs.iter()
+            .map(|&(c, m)| {
+                if m <= 0.0 {
+                    0.0
+                } else {
+                    m * self.line / (c + m * omega)
+                }
+            })
+            .sum()
+    }
+
+    /// Solve for the shared ω across `segs`. Returns ω ≥ ω₀.
+    pub fn solve(&self, segs: &[(f64, f64)]) -> f64 {
+        let any_mem = segs.iter().any(|&(_, m)| m > 0.0);
+        if !any_mem {
+            return self.omega0;
+        }
+
+        // ω solves ω = g(ω). g is decreasing in ω (more stall → less
+        // traffic → less queueing), so F(ω) = ω − g(ω) is strictly
+        // increasing and has a unique root ≥ ω₀; bisect it. The clamped
+        // utilisation bounds g, giving a safe upper bracket.
+        let mut omega = self.omega0;
+        if self.kappa > 0.0 {
+            let g = |omega: f64| -> f64 {
+                let u = (self.traffic_at(segs, omega) / self.b_peak).min(U_MAX);
+                self.omega0 * (1.0 + self.kappa * u * u / (1.0 - u))
+            };
+            let mut lo = self.omega0;
+            let mut hi = self.omega0 * (1.0 + self.kappa * U_MAX * U_MAX / (1.0 - U_MAX)) + 1.0;
+            if g(lo) <= lo {
+                omega = lo;
+            } else {
+                for _ in 0..100 {
+                    let mid = 0.5 * (lo + hi);
+                    if g(mid) > mid {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                omega = 0.5 * (lo + hi);
+            }
+        }
+
+        // Hard bandwidth cap: if traffic still exceeds peak, raise ω until
+        // it fits (traffic is strictly decreasing in ω).
+        if self.traffic_at(segs, omega) > self.b_peak {
+            let mut lo = omega;
+            let mut hi = omega.max(1.0);
+            while self.traffic_at(segs, hi) > self.b_peak {
+                hi *= 2.0;
+                if hi > 1e12 {
+                    break;
+                }
+            }
+            for _ in 0..80 {
+                let mid = 0.5 * (lo + hi);
+                if self.traffic_at(segs, mid) > self.b_peak {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            omega = hi;
+        }
+        omega.max(self.omega0)
+    }
+
+    /// Stretch factor of a segment `(c, m)` at stall ω: the ratio of its
+    /// duration under contention to its uncontended duration.
+    pub fn stretch(&self, c: f64, m: f64, omega: f64) -> f64 {
+        if m <= 0.0 {
+            return 1.0;
+        }
+        let base = c + m * self.omega0;
+        if base <= 0.0 {
+            return 1.0;
+        }
+        ((c + m * omega) / base).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> MemSolver {
+        let mut cfg = MachineConfig::westmere_scaled();
+        cfg.dram_bytes_per_cycle = 4.0;
+        cfg.dram_base_stall = 60.0;
+        cfg.queue_kappa = 0.5;
+        MemSolver::new(&cfg)
+    }
+
+    #[test]
+    fn no_memory_segments_return_omega0() {
+        let s = solver();
+        assert_eq!(s.solve(&[]), 60.0);
+        assert_eq!(s.solve(&[(1000.0, 0.0), (500.0, 0.0)]), 60.0);
+    }
+
+    #[test]
+    fn single_light_segment_barely_stalls() {
+        let s = solver();
+        // 1 miss per 10_000 compute cycles: negligible traffic.
+        let omega = s.solve(&[(10_000.0, 1.0)]);
+        assert!(omega < 60.5, "omega {omega}");
+    }
+
+    #[test]
+    fn omega_monotone_in_concurrency() {
+        let s = solver();
+        // A hungry segment: all-memory (C=0).
+        let seg = (0.0f64, 1000.0f64);
+        let mut prev = 0.0;
+        for n in 1..=12 {
+            let segs: Vec<_> = (0..n).map(|_| seg).collect();
+            let omega = s.solve(&segs);
+            assert!(omega >= prev - 1e-9, "not monotone at n={n}");
+            prev = omega;
+        }
+        assert!(prev > 60.0 * 2.0, "12 hungry threads should be heavily contended: {prev}");
+    }
+
+    #[test]
+    fn traffic_never_exceeds_peak() {
+        let s = solver();
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let segs: Vec<_> = (0..n).map(|_| (0.0, 1_000.0)).collect();
+            let omega = s.solve(&segs);
+            let traffic = s.traffic_at(&segs, omega);
+            assert!(traffic <= 4.0 + 1e-6, "n={n} traffic={traffic}");
+        }
+    }
+
+    #[test]
+    fn hard_cap_without_queueing_term() {
+        let mut cfg = MachineConfig::westmere_scaled();
+        cfg.dram_bytes_per_cycle = 1.0;
+        cfg.dram_base_stall = 60.0;
+        cfg.queue_kappa = 0.0;
+        let s = MemSolver::new(&cfg);
+        // One all-memory segment alone demands 64/60 > 1 byte/cycle.
+        let omega = s.solve(&[(0.0, 100.0)]);
+        let traffic = s.traffic_at(&[(0.0, 100.0)], omega);
+        assert!((traffic - 1.0).abs() < 1e-6, "traffic {traffic}");
+        assert!(omega > 60.0);
+    }
+
+    #[test]
+    fn stretch_is_one_for_pure_cpu() {
+        let s = solver();
+        assert_eq!(s.stretch(1000.0, 0.0, 500.0), 1.0);
+    }
+
+    #[test]
+    fn stretch_scales_with_memory_share() {
+        let s = solver();
+        let omega = 120.0; // doubled stall
+        // All-memory segment: stretch = 2.
+        assert!((s.stretch(0.0, 100.0, omega) - 2.0).abs() < 1e-12);
+        // Half-memory segment stretches less.
+        let f = s.stretch(6000.0, 100.0, omega);
+        assert!(f > 1.0 && f < 2.0);
+    }
+}

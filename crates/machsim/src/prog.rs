@@ -1,0 +1,232 @@
+//! A runtime-agnostic parallel-program IR.
+//!
+//! Both runtimes (`omp_rt`, `cilk_rt`), the ground-truth runner in
+//! `workloads`, and the synthesizer in `synthemu` express parallelised
+//! programs in this little language: a sequence of operations where a
+//! parallel section carries its tasks, scheduling policy, and team size.
+//! The fast-forward emulator shares the [`Schedule`]/[`Paradigm`]
+//! vocabulary so predictions and ground truth mean the same thing.
+
+use std::rc::Rc;
+
+use crate::thread::WorkPacket;
+
+/// Threading paradigm a section is parallelised with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Paradigm {
+    /// OpenMP-like: explicit teams, loop worksharing with a schedule.
+    OpenMp,
+    /// Cilk-like: work-stealing tasks (`cilk_for` / spawn-sync).
+    CilkPlus,
+    /// OpenMP 3.0 `task`: a worker pool around one central task queue.
+    OmpTask,
+}
+
+impl Paradigm {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Paradigm::OpenMp => "OpenMP",
+            Paradigm::CilkPlus => "CilkPlus",
+            Paradigm::OmpTask => "OmpTask",
+        }
+    }
+}
+
+/// OpenMP loop-scheduling policy (paper Fig. 5 distinguishes
+/// `(static,1)`, `(static)`, and `(dynamic,1)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// `schedule(static[,chunk])`: `None` = contiguous block partition;
+    /// `Some(c)` = round-robin chunks of `c` iterations.
+    Static {
+        /// Chunk size; `None` for the block partition.
+        chunk: Option<u32>,
+    },
+    /// `schedule(dynamic,chunk)`: shared grab-counter.
+    Dynamic {
+        /// Iterations per grab.
+        chunk: u32,
+    },
+    /// `schedule(guided,min)`: exponentially decreasing chunks.
+    Guided {
+        /// Minimum chunk size.
+        min_chunk: u32,
+    },
+}
+
+impl Schedule {
+    /// `schedule(static,1)`.
+    pub fn static1() -> Self {
+        Schedule::Static { chunk: Some(1) }
+    }
+
+    /// `schedule(static)` (block partition).
+    pub fn static_block() -> Self {
+        Schedule::Static { chunk: None }
+    }
+
+    /// `schedule(dynamic,1)`.
+    pub fn dynamic1() -> Self {
+        Schedule::Dynamic { chunk: 1 }
+    }
+
+    /// Paper-style display name, e.g. `"static-1"`.
+    pub fn name(&self) -> String {
+        match self {
+            Schedule::Static { chunk: None } => "static".to_string(),
+            Schedule::Static { chunk: Some(c) } => format!("static-{c}"),
+            Schedule::Dynamic { chunk } => format!("dynamic-{chunk}"),
+            Schedule::Guided { min_chunk } => format!("guided-{min_chunk}"),
+        }
+    }
+}
+
+/// One operation in a task body or the main program.
+#[derive(Debug, Clone)]
+pub enum POp {
+    /// Unprotected computation (a `U` node / FakeDelay).
+    Work(WorkPacket),
+    /// Computation under a user lock (an `L` node).
+    Locked {
+        /// User lock id (annotation `LOCK_BEGIN(id)`).
+        lock: u32,
+        /// The protected computation.
+        work: WorkPacket,
+    },
+    /// A nested parallel section.
+    Par(ParSection),
+    /// A pipeline region (§VII-E extension): items stream through
+    /// ordered stages, one stage-thread each.
+    Pipe(PipeSection),
+}
+
+/// One stream item of a pipeline: its per-stage operation lists. Stage
+/// ops may be `Work` or `Locked`; nested `Par`/`Pipe` inside a stage is
+/// not supported by the runtimes.
+#[derive(Debug, Clone, Default)]
+pub struct PipeItem {
+    /// Ops per stage, in stage order. All items of one pipeline must
+    /// have the same stage count.
+    pub stages: Vec<Vec<POp>>,
+}
+
+/// A pipeline region: one thread per stage, items processed in order.
+#[derive(Debug, Clone)]
+pub struct PipeSection {
+    /// Stream items in order (Rc-shared for repeated items).
+    pub items: Vec<Rc<PipeItem>>,
+    /// Stage count (== `items[*].stages.len()`).
+    pub stages: u32,
+}
+
+/// A task body: the ordered operations of one parallel task. Shared via
+/// `Rc` so compressed trees stay compressed in the IR.
+#[derive(Debug, Clone, Default)]
+pub struct TaskBody {
+    /// Ordered operations.
+    pub ops: Vec<POp>,
+}
+
+/// A parallel section: tasks that may run concurrently.
+#[derive(Debug, Clone)]
+pub struct ParSection {
+    /// Tasks in iteration order (Rc-shared for repeated iterations).
+    pub tasks: Vec<Rc<TaskBody>>,
+    /// Scheduling policy (OpenMP runtimes; Cilk ignores it).
+    pub schedule: Schedule,
+    /// Suppress the implicit end barrier.
+    pub nowait: bool,
+    /// Team size; `None` = one thread per core.
+    pub team: Option<u32>,
+}
+
+impl ParSection {
+    /// A section with default policy over the given tasks.
+    pub fn new(tasks: Vec<Rc<TaskBody>>) -> Self {
+        ParSection { tasks, schedule: Schedule::static_block(), nowait: false, team: None }
+    }
+}
+
+/// A whole program: the master thread's operation sequence.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelProgram {
+    /// Top-level operations, executed by the master.
+    pub ops: Vec<POp>,
+}
+
+impl ParallelProgram {
+    /// Total work in baseline cycles (each packet alone at stall ω₀),
+    /// counting every task.
+    pub fn total_baseline_cycles(&self, omega0: f64) -> f64 {
+        fn ops_total(ops: &[POp], omega0: f64) -> f64 {
+            ops.iter()
+                .map(|op| match op {
+                    POp::Work(p) => p.baseline_cycles(omega0),
+                    POp::Locked { work, .. } => work.baseline_cycles(omega0),
+                    POp::Par(sec) => {
+                        sec.tasks.iter().map(|t| ops_total(&t.ops, omega0)).sum()
+                    }
+                    POp::Pipe(pipe) => pipe
+                        .items
+                        .iter()
+                        .flat_map(|it| it.stages.iter())
+                        .map(|ops| ops_total(ops, omega0))
+                        .sum(),
+                })
+                .sum()
+        }
+        ops_total(&self.ops, omega0)
+    }
+
+    /// Number of leaf operations (Work/Locked), counting shared tasks once
+    /// per occurrence.
+    pub fn leaf_ops(&self) -> u64 {
+        fn count(ops: &[POp]) -> u64 {
+            ops.iter()
+                .map(|op| match op {
+                    POp::Work(_) | POp::Locked { .. } => 1,
+                    POp::Par(sec) => sec.tasks.iter().map(|t| count(&t.ops)).sum(),
+                    POp::Pipe(pipe) => pipe
+                        .items
+                        .iter()
+                        .flat_map(|it| it.stages.iter())
+                        .map(|ops| count(ops))
+                        .sum(),
+                })
+                .sum()
+        }
+        count(&self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_names_match_paper() {
+        assert_eq!(Schedule::static1().name(), "static-1");
+        assert_eq!(Schedule::static_block().name(), "static");
+        assert_eq!(Schedule::dynamic1().name(), "dynamic-1");
+        assert_eq!(Schedule::Guided { min_chunk: 4 }.name(), "guided-4");
+    }
+
+    #[test]
+    fn program_totals() {
+        let task = Rc::new(TaskBody {
+            ops: vec![
+                POp::Work(WorkPacket::cpu(100)),
+                POp::Locked { lock: 0, work: WorkPacket::cpu(50) },
+            ],
+        });
+        let prog = ParallelProgram {
+            ops: vec![
+                POp::Work(WorkPacket::cpu(10)),
+                POp::Par(ParSection::new(vec![task.clone(), task.clone(), task])),
+            ],
+        };
+        assert_eq!(prog.total_baseline_cycles(60.0), 10.0 + 3.0 * 150.0);
+        assert_eq!(prog.leaf_ops(), 1 + 3 * 2);
+    }
+}

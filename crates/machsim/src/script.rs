@@ -1,0 +1,93 @@
+//! Data-driven thread bodies: a `ScriptBody` executes a fixed list of
+//! operations, which is exactly what tests and the Ψ/Φ calibration
+//! microbenchmark (paper §V-D) need.
+
+use crate::sync::{BarrierId, SimLockId};
+use crate::thread::{Action, Env, ThreadBody, ThreadId, WorkPacket};
+
+/// One scripted operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScriptOp {
+    /// Run a compute packet.
+    Compute(WorkPacket),
+    /// Acquire a mutex.
+    Acquire(SimLockId),
+    /// Release a mutex.
+    Release(SimLockId),
+    /// Arrive at a barrier.
+    Barrier(BarrierId),
+    /// Park until unparked.
+    Park,
+    /// Unpark a specific thread.
+    Unpark(ThreadId),
+    /// Yield the core.
+    Yield,
+}
+
+/// A thread body executing its ops in order, then exiting.
+#[derive(Debug, Clone)]
+pub struct ScriptBody {
+    ops: Vec<ScriptOp>,
+    pc: usize,
+}
+
+impl ScriptBody {
+    /// Build from an op list.
+    pub fn new(ops: Vec<ScriptOp>) -> Self {
+        ScriptBody { ops, pc: 0 }
+    }
+
+    /// A body that repeats `op` a number of times (handy for traffic
+    /// generators).
+    pub fn repeated(op: ScriptOp, times: usize) -> Self {
+        ScriptBody::new(vec![op; times])
+    }
+}
+
+impl ThreadBody for ScriptBody {
+    fn step(&mut self, env: &mut dyn Env) -> Action {
+        loop {
+            let Some(op) = self.ops.get(self.pc).copied() else {
+                return Action::Exit;
+            };
+            self.pc += 1;
+            match op {
+                ScriptOp::Compute(p) => return Action::Compute(p),
+                ScriptOp::Acquire(l) => return Action::Acquire(l),
+                ScriptOp::Release(l) => return Action::Release(l),
+                ScriptOp::Barrier(b) => return Action::Barrier(b),
+                ScriptOp::Park => return Action::Park,
+                ScriptOp::Yield => return Action::Yield,
+                ScriptOp::Unpark(t) => {
+                    env.unpark(t);
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::machine::Machine;
+
+    #[test]
+    fn script_runs_to_exit() {
+        let mut m = Machine::new(MachineConfig::small(1));
+        m.spawn(ScriptBody::new(vec![
+            ScriptOp::Compute(WorkPacket::cpu(100)),
+            ScriptOp::Compute(WorkPacket::cpu(50)),
+        ]));
+        let stats = m.run().unwrap();
+        assert_eq!(stats.elapsed_cycles, 150);
+        assert_eq!(stats.threads_spawned, 1);
+    }
+
+    #[test]
+    fn repeated_builder() {
+        let body = ScriptBody::repeated(ScriptOp::Yield, 3);
+        assert_eq!(body.ops.len(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Run statistics reported by the machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-thread accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Cycles the thread actually occupied a core.
+    pub busy_cycles: u64,
+    /// DRAM bytes the thread moved.
+    pub dram_bytes: u64,
+    /// Simulated time at spawn.
+    pub spawned_at: u64,
+    /// Simulated time at exit (0 when the thread never exited).
+    pub finished_at: u64,
+}
+
+/// Whole-run accounting returned by [`crate::Machine::run`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total simulated time (makespan) in cycles.
+    pub elapsed_cycles: u64,
+    /// Number of threads spawned over the run.
+    pub threads_spawned: u32,
+    /// Context switches charged (dispatches of a different thread).
+    pub context_switches: u64,
+    /// Preemptions at quantum expiry.
+    pub preemptions: u64,
+    /// Total core-busy cycles (≤ cores × elapsed).
+    pub busy_cycles: u64,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Lock acquisitions across all locks.
+    pub lock_acquisitions: u64,
+    /// Lock acquisitions that had to wait.
+    pub lock_contended: u64,
+    /// Largest number of simultaneously live (spawned, not exited) threads.
+    pub peak_live_threads: u32,
+    /// Per-thread detail, indexed by `ThreadId.0`.
+    pub threads: Vec<ThreadStats>,
+    /// Execution timeline (populated only when
+    /// [`crate::Machine::enable_tracing`] was called).
+    pub timeline: Option<crate::trace::Timeline>,
+}
+
+impl RunStats {
+    /// Average core utilisation in `[0, 1]` over `cores`.
+    pub fn utilization(&self, cores: u32) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / (self.elapsed_cycles as f64 * cores as f64)
+        }
+    }
+
+    /// Average DRAM traffic over the run, in bytes/cycle.
+    pub fn avg_traffic_bytes_per_cycle(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.dram_bytes as f64 / self.elapsed_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_traffic() {
+        let s = RunStats {
+            elapsed_cycles: 1000,
+            busy_cycles: 1500,
+            dram_bytes: 2000,
+            ..Default::default()
+        };
+        assert!((s.utilization(2) - 0.75).abs() < 1e-12);
+        assert!((s.avg_traffic_bytes_per_cycle() - 2.0).abs() < 1e-12);
+        let empty = RunStats::default();
+        assert_eq!(empty.utilization(4), 0.0);
+        assert_eq!(empty.avg_traffic_bytes_per_cycle(), 0.0);
+    }
+}

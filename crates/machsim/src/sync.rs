@@ -1,0 +1,142 @@
+//! Kernel-level synchronisation objects: FIFO mutexes, counting barriers,
+//! and park permits.
+
+use std::collections::VecDeque;
+
+use crate::thread::ThreadId;
+
+/// Identifier of a simulated mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimLockId(pub u32);
+
+/// Identifier of a simulated barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierId(pub u32);
+
+/// A FIFO mutex with direct ownership hand-off: on release, the longest
+/// waiter becomes the owner and is made ready (no barging), which matches
+/// the fairness the paper's emulators assume for critical sections.
+#[derive(Debug, Default)]
+pub struct LockState {
+    /// Current owner.
+    pub owner: Option<ThreadId>,
+    /// Blocked acquirers in arrival order.
+    pub waiters: VecDeque<ThreadId>,
+    /// Total times this lock was acquired (stats).
+    pub acquisitions: u64,
+    /// Total acquisitions that had to wait (stats).
+    pub contended: u64,
+}
+
+impl LockState {
+    /// Attempt acquisition by `t`: returns `true` when the lock was free
+    /// and is now owned by `t`; otherwise `t` is queued.
+    pub fn acquire(&mut self, t: ThreadId) -> bool {
+        match self.owner {
+            None => {
+                self.owner = Some(t);
+                self.acquisitions += 1;
+                true
+            }
+            Some(owner) => {
+                debug_assert_ne!(owner, t, "recursive lock acquisition");
+                self.waiters.push_back(t);
+                self.contended += 1;
+                false
+            }
+        }
+    }
+
+    /// Release by the owner; returns the thread that inherits ownership,
+    /// if any. Panics (debug) when released by a non-owner.
+    pub fn release(&mut self, t: ThreadId) -> Option<ThreadId> {
+        debug_assert_eq!(self.owner, Some(t), "release by non-owner");
+        match self.waiters.pop_front() {
+            Some(next) => {
+                self.owner = Some(next);
+                self.acquisitions += 1;
+                Some(next)
+            }
+            None => {
+                self.owner = None;
+                None
+            }
+        }
+    }
+}
+
+/// A counting barrier: the `parties`-th arrival releases everyone.
+#[derive(Debug)]
+pub struct BarrierState {
+    /// Number of participants.
+    pub parties: u32,
+    /// Blocked arrivals so far.
+    pub waiting: Vec<ThreadId>,
+}
+
+impl BarrierState {
+    /// New barrier for `parties` threads.
+    pub fn new(parties: u32) -> Self {
+        BarrierState { parties, waiting: Vec::new() }
+    }
+
+    /// Thread `t` arrives. Returns `Some(threads_to_wake)` when `t` was the
+    /// last arrival (the woken list does NOT include `t`, which proceeds
+    /// immediately); `None` when `t` must block.
+    pub fn arrive(&mut self, t: ThreadId) -> Option<Vec<ThreadId>> {
+        debug_assert!(!self.waiting.contains(&t), "double arrival at barrier");
+        if self.waiting.len() as u32 + 1 == self.parties {
+            let woken = std::mem::take(&mut self.waiting);
+            Some(woken)
+        } else {
+            self.waiting.push(t);
+            None
+        }
+    }
+}
+
+/// Park/unpark permit state for one thread (like `std::thread::park`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParkState {
+    /// A pending unpark not yet consumed.
+    pub permit: bool,
+    /// The thread is currently blocked in `Park`.
+    pub parked: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_fifo_handoff() {
+        let mut l = LockState::default();
+        assert!(l.acquire(ThreadId(1)));
+        assert!(!l.acquire(ThreadId(2)));
+        assert!(!l.acquire(ThreadId(3)));
+        assert_eq!(l.release(ThreadId(1)), Some(ThreadId(2)));
+        assert_eq!(l.owner, Some(ThreadId(2)));
+        assert_eq!(l.release(ThreadId(2)), Some(ThreadId(3)));
+        assert_eq!(l.release(ThreadId(3)), None);
+        assert_eq!(l.owner, None);
+        assert_eq!(l.acquisitions, 3);
+        assert_eq!(l.contended, 2);
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut b = BarrierState::new(3);
+        assert_eq!(b.arrive(ThreadId(1)), None);
+        assert_eq!(b.arrive(ThreadId(2)), None);
+        let woken = b.arrive(ThreadId(3)).unwrap();
+        assert_eq!(woken, vec![ThreadId(1), ThreadId(2)]);
+        // Barrier is reusable after release.
+        assert_eq!(b.arrive(ThreadId(1)), None);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let mut b = BarrierState::new(1);
+        assert_eq!(b.arrive(ThreadId(5)), Some(vec![]));
+    }
+}

@@ -1,0 +1,128 @@
+//! Execution timelines: optional per-core span recording plus an ASCII
+//! Gantt renderer, for visualising schedules the way the paper's Fig. 5
+//! draws them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::thread::ThreadId;
+
+/// One contiguous span of a thread occupying a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// The core.
+    pub core: u32,
+    /// The thread that ran.
+    pub thread: ThreadId,
+    /// Span start, cycles.
+    pub start: u64,
+    /// Span end, cycles.
+    pub end: u64,
+}
+
+/// A whole run's spans, in completion order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Recorded spans.
+    pub spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Record a span (ignores zero-length spans).
+    pub fn push(&mut self, core: u32, thread: ThreadId, start: u64, end: u64) {
+        if end > start {
+            self.spans.push(Span { core, thread, start, end });
+        }
+    }
+
+    /// End of the last span.
+    pub fn horizon(&self) -> u64 {
+        self.spans.iter().map(|s| s.end).max().unwrap_or(0)
+    }
+
+    /// Total busy cycles per thread.
+    pub fn busy_of(&self, thread: ThreadId) -> u64 {
+        self.spans.iter().filter(|s| s.thread == thread).map(|s| s.end - s.start).sum()
+    }
+
+    /// Render an ASCII Gantt chart, one row per core, `width` characters
+    /// across the time axis. Threads are labelled `0-9a-z` cyclically;
+    /// idle time is `.`.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let horizon = self.horizon().max(1);
+        let cores = self.spans.iter().map(|s| s.core).max().map_or(0, |c| c + 1);
+        let width = width.max(10);
+        let glyph = |t: ThreadId| -> char {
+            const G: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+            G[(t.0 as usize) % G.len()] as char
+        };
+        let mut out = String::new();
+        for core in 0..cores {
+            let mut row = vec!['.'; width];
+            for s in self.spans.iter().filter(|s| s.core == core) {
+                let a = (s.start as u128 * width as u128 / horizon as u128) as usize;
+                let b = ((s.end as u128 * width as u128).div_ceil(horizon as u128) as usize)
+                    .min(width);
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = glyph(s.thread);
+                }
+            }
+            out.push_str(&format!("cpu{core:<2} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "      0{:>width$}\n",
+            format!("{horizon} cycles"),
+            width = width - 1
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::default();
+        t.push(0, ThreadId(0), 0, 50);
+        t.push(1, ThreadId(1), 0, 30);
+        t.push(1, ThreadId(2), 30, 100);
+        t.push(0, ThreadId(0), 60, 100);
+        t
+    }
+
+    #[test]
+    fn horizon_and_busy() {
+        let t = sample();
+        assert_eq!(t.horizon(), 100);
+        assert_eq!(t.busy_of(ThreadId(0)), 90);
+        assert_eq!(t.busy_of(ThreadId(2)), 70);
+    }
+
+    #[test]
+    fn zero_length_spans_dropped() {
+        let mut t = Timeline::default();
+        t.push(0, ThreadId(0), 5, 5);
+        assert!(t.spans.is_empty());
+    }
+
+    #[test]
+    fn gantt_renders_all_cores() {
+        let g = sample().render_gantt(40);
+        assert!(g.contains("cpu0"));
+        assert!(g.contains("cpu1"));
+        assert!(g.contains('0'));
+        assert!(g.contains('2'));
+        assert!(g.contains("100 cycles"));
+        // cpu0 has an idle gap 50..60.
+        let row0 = g.lines().next().unwrap();
+        assert!(row0.contains('.'), "expected idle dots: {row0}");
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        let g = Timeline::default().render_gantt(20);
+        assert!(g.contains("cycles"));
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end tests of the machine engine: scheduling, preemption,
+//! synchronisation, and memory contention.
+
+use machsim::{
+    Machine, MachineConfig, ScriptBody, ScriptOp, ThreadId, WorkPacket,
+};
+
+fn cpu(n: u64) -> ScriptOp {
+    ScriptOp::Compute(WorkPacket::cpu(n))
+}
+
+#[test]
+fn two_threads_two_cores_run_in_parallel() {
+    let mut m = Machine::new(MachineConfig::small(2));
+    m.spawn(ScriptBody::new(vec![cpu(1000)]));
+    m.spawn(ScriptBody::new(vec![cpu(1000)]));
+    let s = m.run().unwrap();
+    assert_eq!(s.elapsed_cycles, 1000);
+    assert_eq!(s.busy_cycles, 2000);
+}
+
+#[test]
+fn two_threads_one_core_serialize() {
+    let mut m = Machine::new(MachineConfig::small(1));
+    m.spawn(ScriptBody::new(vec![cpu(1000)]));
+    m.spawn(ScriptBody::new(vec![cpu(1000)]));
+    let s = m.run().unwrap();
+    assert_eq!(s.elapsed_cycles, 2000);
+}
+
+#[test]
+fn oversubscription_time_slices_fairly() {
+    // 4 equal threads on 2 cores with a small quantum: makespan is 2× one
+    // thread, and every thread should finish near the end (interleaved),
+    // not two-then-two (run-to-completion) — that's the preemptive
+    // behaviour the paper's Fig. 7 hinges on.
+    let mut cfg = MachineConfig::small(2);
+    cfg.quantum_cycles = 100;
+    let mut m = Machine::new(cfg);
+    for _ in 0..4 {
+        m.spawn(ScriptBody::new(vec![cpu(10_000)]));
+    }
+    let s = m.run().unwrap();
+    assert_eq!(s.elapsed_cycles, 20_000);
+    assert!(s.preemptions > 0, "expected quantum preemptions");
+    // With round-robin slicing, the earliest finisher ends well past the
+    // halfway point; run-to-completion would finish two threads at 10_000.
+    let earliest = s.threads.iter().map(|t| t.finished_at).min().unwrap();
+    assert!(
+        earliest > 15_000,
+        "earliest finish {earliest} suggests run-to-completion, not time slicing"
+    );
+}
+
+#[test]
+fn quantum_not_preempted_when_ready_queue_empty() {
+    let mut cfg = MachineConfig::small(2);
+    cfg.quantum_cycles = 100;
+    let mut m = Machine::new(cfg);
+    m.spawn(ScriptBody::new(vec![cpu(5_000)]));
+    let s = m.run().unwrap();
+    assert_eq!(s.elapsed_cycles, 5_000);
+    assert_eq!(s.preemptions, 0);
+}
+
+#[test]
+fn context_switch_cost_charged() {
+    let mut cfg = MachineConfig::small(1);
+    cfg.quantum_cycles = 1_000;
+    cfg.context_switch_cycles = 10;
+    let mut m = Machine::new(cfg);
+    m.spawn(ScriptBody::new(vec![cpu(3_000)]));
+    m.spawn(ScriptBody::new(vec![cpu(3_000)]));
+    let s = m.run().unwrap();
+    // 6000 cycles of work plus at least a few switches of 10 cycles.
+    assert!(s.elapsed_cycles > 6_000, "elapsed {}", s.elapsed_cycles);
+    assert!(s.context_switches >= 2);
+}
+
+#[test]
+fn lock_serializes_critical_sections() {
+    let mut m = Machine::new(MachineConfig::small(4));
+    let l = m.create_lock();
+    for _ in 0..4 {
+        m.spawn(ScriptBody::new(vec![
+            ScriptOp::Acquire(l),
+            cpu(1_000),
+            ScriptOp::Release(l),
+        ]));
+    }
+    let s = m.run().unwrap();
+    // All critical sections serialise: makespan = 4 × 1000.
+    assert_eq!(s.elapsed_cycles, 4_000);
+    assert_eq!(s.lock_acquisitions, 4);
+    assert_eq!(s.lock_contended, 3);
+}
+
+#[test]
+fn lock_plus_parallel_work_amdahl_shape() {
+    // Each of 4 threads: 3000 parallel + 1000 locked. Serial total 16000.
+    // On 4 cores the locked parts chain: makespan ≥ 4000 + first entry.
+    let mut m = Machine::new(MachineConfig::small(4));
+    let l = m.create_lock();
+    for _ in 0..4 {
+        m.spawn(ScriptBody::new(vec![
+            cpu(3_000),
+            ScriptOp::Acquire(l),
+            cpu(1_000),
+            ScriptOp::Release(l),
+        ]));
+    }
+    let s = m.run().unwrap();
+    // All threads hit the lock at t=3000; 4 × 1000 of lock chain after.
+    assert_eq!(s.elapsed_cycles, 7_000);
+}
+
+#[test]
+fn barrier_joins_threads() {
+    let mut m = Machine::new(MachineConfig::small(4));
+    let b = m.create_barrier(3);
+    // Unequal phases before the barrier; equal after.
+    for len in [1_000u64, 2_000, 3_000] {
+        m.spawn(ScriptBody::new(vec![cpu(len), ScriptOp::Barrier(b), cpu(500)]));
+    }
+    let s = m.run().unwrap();
+    // Barrier at 3000 (slowest), then 500 more.
+    assert_eq!(s.elapsed_cycles, 3_500);
+}
+
+#[test]
+fn park_unpark_handshake() {
+    let mut m = Machine::new(MachineConfig::small(2));
+    // Thread 0 parks; thread 1 computes then unparks 0.
+    m.spawn(ScriptBody::new(vec![ScriptOp::Park, cpu(100)]));
+    m.spawn(ScriptBody::new(vec![cpu(2_000), ScriptOp::Unpark(ThreadId(0))]));
+    let s = m.run().unwrap();
+    assert_eq!(s.elapsed_cycles, 2_100);
+}
+
+#[test]
+fn unpark_before_park_grants_permit() {
+    let mut m = Machine::new(MachineConfig::small(2));
+    // Thread 1 unparks thread 0 immediately; thread 0 parks later and must
+    // not block.
+    m.spawn(ScriptBody::new(vec![cpu(1_000), ScriptOp::Park, cpu(100)]));
+    m.spawn(ScriptBody::new(vec![ScriptOp::Unpark(ThreadId(0))]));
+    let s = m.run().unwrap();
+    assert_eq!(s.elapsed_cycles, 1_100);
+}
+
+#[test]
+fn deadlock_detected() {
+    let mut m = Machine::new(MachineConfig::small(1));
+    m.spawn(ScriptBody::new(vec![ScriptOp::Park]));
+    let err = m.run().unwrap_err();
+    match err {
+        machsim::RunError::Deadlock { blocked, .. } => assert_eq!(blocked.len(), 1),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn memory_contention_stretches_makespan() {
+    // A memory machine where one hungry thread uses ~1/4 of peak: 4+
+    // hungry threads saturate.
+    let mut cfg = MachineConfig::small(8);
+    cfg.dram_bytes_per_cycle = 64.0 / 60.0 * 4.0; // 4× single-thread demand
+    cfg.dram_base_stall = 60.0;
+    cfg.queue_kappa = 0.0;
+    let hungry = || ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(0, 10_000))]);
+
+    // 1 thread: baseline duration = misses × ω0.
+    let mut m1 = Machine::new(cfg);
+    m1.spawn(hungry());
+    let t1 = m1.run().unwrap().elapsed_cycles;
+    assert_eq!(t1, 600_000);
+
+    // 4 threads: at the exact saturation knee, still ~t1.
+    let mut m4 = Machine::new(cfg);
+    for _ in 0..4 {
+        m4.spawn(hungry());
+    }
+    let t4 = m4.run().unwrap().elapsed_cycles;
+    assert!((t4 as f64) < 1.05 * t1 as f64, "t4={t4} vs t1={t1}");
+
+    // 8 threads: demand 2× peak ⇒ makespan ≈ 2× t1.
+    let mut m8 = Machine::new(cfg);
+    for _ in 0..8 {
+        m8.spawn(hungry());
+    }
+    let t8 = m8.run().unwrap().elapsed_cycles;
+    let ratio = t8 as f64 / t1 as f64;
+    assert!((1.9..2.1).contains(&ratio), "expected ~2x stretch, got {ratio}");
+}
+
+#[test]
+fn cpu_threads_unaffected_by_memory_contention() {
+    let mut cfg = MachineConfig::small(4);
+    cfg.dram_bytes_per_cycle = 1.0;
+    cfg.queue_kappa = 0.0;
+    let mut m = Machine::new(cfg);
+    // Two hungry memory threads + one pure-CPU thread.
+    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(0, 10_000))]));
+    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(0, 10_000))]));
+    m.spawn(ScriptBody::new(vec![cpu(50_000)]));
+    let s = m.run().unwrap();
+    // The CPU thread finishes exactly on time.
+    assert_eq!(s.threads[2].finished_at, 50_000);
+}
+
+#[test]
+fn dram_bytes_accounted() {
+    let mut cfg = MachineConfig::small(1);
+    cfg.line_bytes = 64;
+    let mut m = Machine::new(cfg);
+    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(1_000, 100))]));
+    let s = m.run().unwrap();
+    assert_eq!(s.dram_bytes, 6_400);
+    assert_eq!(s.threads[0].dram_bytes, 6_400);
+}
+
+#[test]
+fn determinism_same_seed_same_result() {
+    let build = || {
+        let mut cfg = MachineConfig::small(3);
+        cfg.quantum_cycles = 77;
+        cfg.context_switch_cycles = 5;
+        let mut m = Machine::new(cfg);
+        let l = m.create_lock();
+        let b = m.create_barrier(5);
+        for i in 0..5u64 {
+            m.spawn(ScriptBody::new(vec![
+                cpu(100 + i * 37),
+                ScriptOp::Acquire(l),
+                cpu(50),
+                ScriptOp::Release(l),
+                ScriptOp::Barrier(b),
+                cpu(200),
+            ]));
+        }
+        m
+    };
+    let a = build().run().unwrap();
+    let b = build().run().unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn spawn_from_running_thread() {
+    // A body that spawns two children then waits for them via barrier.
+    use machsim::{Action, Env, ThreadBody};
+
+    struct Parent {
+        phase: u32,
+        barrier: Option<machsim::BarrierId>,
+    }
+    impl ThreadBody for Parent {
+        fn step(&mut self, env: &mut dyn Env) -> Action {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    let b = env.create_barrier(3);
+                    self.barrier = Some(b);
+                    for _ in 0..2 {
+                        env.spawn(Box::new(ScriptBody::new(vec![
+                            cpu(1_000),
+                            ScriptOp::Barrier(b),
+                        ])));
+                    }
+                    Action::Compute(WorkPacket::cpu(100))
+                }
+                1 => {
+                    self.phase = 2;
+                    Action::Barrier(self.barrier.unwrap())
+                }
+                _ => Action::Exit,
+            }
+        }
+    }
+
+    let mut m = Machine::new(MachineConfig::small(4));
+    m.spawn(Parent { phase: 0, barrier: None });
+    let s = m.run().unwrap();
+    assert_eq!(s.threads_spawned, 3);
+    assert_eq!(s.elapsed_cycles, 1_000);
+}
+
+#[test]
+fn mixed_compute_and_memory_baseline_duration() {
+    // C=1000, M=100, ω0=60 → baseline 7000 cycles when alone.
+    let cfg = MachineConfig::small(1);
+    let mut m = Machine::new(cfg);
+    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(1_000, 100))]));
+    let s = m.run().unwrap();
+    assert_eq!(s.elapsed_cycles, 7_000);
+}
+
+#[test]
+fn yield_rotates_ready_queue() {
+    let mut m = Machine::new(MachineConfig::small(1));
+    m.spawn(ScriptBody::new(vec![cpu(100), ScriptOp::Yield, cpu(100)]));
+    m.spawn(ScriptBody::new(vec![cpu(100)]));
+    let s = m.run().unwrap();
+    assert_eq!(s.elapsed_cycles, 300);
+    // Thread 1 should have run between the two halves of thread 0.
+    assert_eq!(s.threads[1].finished_at, 200);
+    assert_eq!(s.threads[0].finished_at, 300);
+}

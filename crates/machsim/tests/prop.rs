@@ -1,0 +1,150 @@
+//! Property-based tests of the machine engine: conservation laws and
+//! scheduling invariants that must hold for *any* workload.
+
+use proptest::prelude::*;
+
+use machsim::{Machine, MachineConfig, ScriptBody, ScriptOp, WorkPacket};
+
+/// A randomly scripted thread: a few compute/lock/yield ops.
+#[derive(Debug, Clone)]
+struct ThreadScript {
+    ops: Vec<(u8, u32)>,
+}
+
+fn script_strategy() -> impl Strategy<Value = ThreadScript> {
+    proptest::collection::vec((0u8..4, 1u32..20_000), 1..8)
+        .prop_map(|ops| ThreadScript { ops })
+}
+
+/// Materialise a thread script against a fixed pair of locks. Lock ops
+/// are emitted as balanced acquire/compute/release triples so scripts can
+/// never deadlock.
+fn build(script: &ThreadScript, locks: &[machsim::SimLockId; 2]) -> ScriptBody {
+    let mut ops = Vec::new();
+    for &(kind, len) in &script.ops {
+        match kind {
+            0 | 1 => ops.push(ScriptOp::Compute(WorkPacket::cpu(len as u64))),
+            2 => {
+                let l = locks[(len % 2) as usize];
+                ops.push(ScriptOp::Acquire(l));
+                ops.push(ScriptOp::Compute(WorkPacket::cpu(len as u64)));
+                ops.push(ScriptOp::Release(l));
+            }
+            _ => ops.push(ScriptOp::Yield),
+        }
+    }
+    ScriptBody::new(ops)
+}
+
+fn total_work(scripts: &[ThreadScript]) -> u64 {
+    scripts
+        .iter()
+        .flat_map(|s| s.ops.iter())
+        .map(|&(kind, len)| if kind <= 2 { len as u64 } else { 0 })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work conservation: Σ busy == total scripted work (zero cs cost),
+    /// and cores×makespan bounds it.
+    #[test]
+    fn work_conservation(
+        scripts in proptest::collection::vec(script_strategy(), 1..8),
+        cores in 1u32..6,
+    ) {
+        let mut cfg = MachineConfig::small(cores);
+        cfg.quantum_cycles = 5_000;
+        let mut m = Machine::new(cfg);
+        let locks = [m.create_lock(), m.create_lock()];
+        for s in &scripts {
+            m.spawn(build(s, &locks));
+        }
+        let stats = m.run().expect("no deadlock possible");
+        let work = total_work(&scripts);
+        prop_assert_eq!(stats.busy_cycles, work);
+        prop_assert!(stats.elapsed_cycles >= work / cores as u64);
+        prop_assert!(stats.elapsed_cycles <= work + 1, "makespan beyond serialisation");
+    }
+
+    /// Makespan is monotone non-increasing in core count (no locks, no
+    /// quantum effects beyond slicing).
+    #[test]
+    fn more_cores_never_slower(
+        lens in proptest::collection::vec(1u64..50_000, 1..16),
+    ) {
+        let mut prev = u64::MAX;
+        for cores in [1u32, 2, 4, 8] {
+            let mut m = Machine::new(MachineConfig::small(cores));
+            for &l in &lens {
+                m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::cpu(l))]));
+            }
+            let elapsed = m.run().unwrap().elapsed_cycles;
+            prop_assert!(elapsed <= prev, "cores={cores}: {elapsed} > {prev}");
+            prev = elapsed;
+        }
+    }
+
+    /// Determinism across runs for arbitrary scripts.
+    #[test]
+    fn engine_is_deterministic(
+        scripts in proptest::collection::vec(script_strategy(), 1..6),
+        cores in 1u32..5,
+    ) {
+        let run = || {
+            let mut cfg = MachineConfig::small(cores);
+            cfg.quantum_cycles = 3_000;
+            cfg.context_switch_cycles = 17;
+            let mut m = Machine::new(cfg);
+            let locks = [m.create_lock(), m.create_lock()];
+            for s in &scripts {
+                m.spawn(build(s, &locks));
+            }
+            m.run().unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The memory system never creates or destroys traffic: total DRAM
+    /// bytes equal misses × line size regardless of contention.
+    #[test]
+    fn dram_bytes_conserved(
+        misses in proptest::collection::vec(1u64..5_000, 1..10),
+        bandwidth in 1u64..20,
+    ) {
+        let mut cfg = MachineConfig::small(12);
+        cfg.dram_bytes_per_cycle = bandwidth as f64 / 4.0;
+        cfg.queue_kappa = 0.25;
+        let mut m = Machine::new(cfg);
+        for &mm in &misses {
+            m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(1_000, mm))]));
+        }
+        let stats = m.run().unwrap();
+        let expected: u64 = misses.iter().sum::<u64>() * 64;
+        let diff = (stats.dram_bytes as i64 - expected as i64).unsigned_abs();
+        // Rounding at settle boundaries may drift by a few lines.
+        prop_assert!(diff <= 64 * misses.len() as u64, "bytes {} vs {}", stats.dram_bytes, expected);
+    }
+
+    /// Contention can only slow things down: makespan with shared
+    /// bandwidth ≥ makespan with infinite bandwidth.
+    #[test]
+    fn contention_is_never_free(
+        packets in proptest::collection::vec((1u64..20_000, 0u64..2_000), 2..10),
+    ) {
+        let run = |bw: f64| {
+            let mut cfg = MachineConfig::small(12);
+            cfg.dram_bytes_per_cycle = bw;
+            cfg.queue_kappa = 0.5;
+            let mut m = Machine::new(cfg);
+            for &(c, mm) in &packets {
+                m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(c, mm))]));
+            }
+            m.run().unwrap().elapsed_cycles
+        };
+        let tight = run(0.5);
+        let infinite = run(1e12);
+        prop_assert!(tight >= infinite);
+    }
+}

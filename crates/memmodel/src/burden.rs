@@ -1,0 +1,248 @@
+//! Burden-factor computation and tree annotation (paper §V-B/C).
+
+use machsim::MachineConfig;
+use proftree::{BurdenTable, MemProfile, NodeKind, ProgramTree};
+
+use crate::calibrate::MemCalibration;
+
+/// The per-section inputs of Eq. 3, extracted from a [`MemProfile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurdenInputs {
+    /// Instructions `N`.
+    pub n: f64,
+    /// Cycles `T`.
+    pub t: f64,
+    /// DRAM accesses `D`.
+    pub d: f64,
+    /// LLC misses per instruction.
+    pub mpi: f64,
+    /// Serial DRAM traffic δ, MB/s.
+    pub delta_mbps: f64,
+}
+
+impl BurdenInputs {
+    /// Extract from a section's memory profile.
+    pub fn from_profile(p: &MemProfile) -> Self {
+        BurdenInputs {
+            n: p.instructions as f64,
+            t: p.cycles as f64,
+            d: p.llc_misses as f64,
+            mpi: p.mpi(),
+            delta_mbps: p.traffic_mbps,
+        }
+    }
+}
+
+/// Burden factor β_t of one section at `threads` (Eq. 3):
+///
+/// 1. ω = Φ(δ) — per-miss stall of the serial run;
+/// 2. CPI_$ = (T − ω·D) / N — Eq. 1 solved for the computation cost;
+/// 3. δ_t = Ψ_t(δ), ω_t = Φ(δ_t);
+/// 4. β_t = (CPI_$ + MPI·ω_t) / (CPI_$ + MPI·ω), clamped to ≥ 1.
+///
+/// Sections with `MPI < mpi_floor` or δ below the calibration floor are
+/// never burdened (Assumption 5).
+pub fn section_burden(cal: &MemCalibration, inputs: &BurdenInputs, threads: u32) -> f64 {
+    if threads <= 1
+        || inputs.n <= 0.0
+        || inputs.mpi < cal.mpi_floor
+        || inputs.delta_mbps < cal.traffic_floor_mbps
+    {
+        return 1.0;
+    }
+    let omega = cal.omega_serial(inputs.delta_mbps);
+    // CPI_$ from Eq. 1; guard against ω·D exceeding T (profile noise).
+    let cpi_cache = ((inputs.t - omega * inputs.d) / inputs.n).max(0.05);
+    let omega_t = cal.omega_t(inputs.delta_mbps, threads);
+    let beta = (cpi_cache + inputs.mpi * omega_t) / (cpi_cache + inputs.mpi * omega);
+    if beta.is_finite() {
+        beta.max(1.0)
+    } else {
+        1.0
+    }
+}
+
+/// Compute burden tables for every top-level section of `tree` at the
+/// given thread counts, writing them into the Sec nodes. Returns the
+/// `(section, table)` pairs for reporting.
+pub fn apply_burden(
+    tree: &mut ProgramTree,
+    cal: &MemCalibration,
+    thread_counts: &[u32],
+) -> Vec<(proftree::NodeId, BurdenTable)> {
+    let sections = tree.top_level_sections();
+    let mut out = Vec::with_capacity(sections.len());
+    for sec in sections {
+        let profile = match &tree.node(sec).kind {
+            NodeKind::Sec { mem: Some(m), .. } | NodeKind::Pipe { mem: Some(m), .. } => *m,
+            _ => continue,
+        };
+        let inputs = BurdenInputs::from_profile(&profile);
+        let entries: Vec<(u32, f64)> = thread_counts
+            .iter()
+            .map(|&t| (t, section_burden(cal, &inputs, t)))
+            .collect();
+        let table = BurdenTable::from_entries(entries);
+        match &mut tree.node_mut(sec).kind {
+            NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } => {
+                *burden = table.clone();
+            }
+            _ => {}
+        }
+        out.push((sec, table));
+    }
+    out
+}
+
+/// Convenience: the expected speedup classification of Table IV's middle
+/// row ("Par ≅ Ser"), from observed serial traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Low traffic: scalable.
+    Low,
+    /// Moderate traffic: slowdown expected.
+    Moderate,
+    /// Heavy traffic: strong slowdown expected.
+    Heavy,
+}
+
+/// Classify a section's observed serial traffic against the machine's
+/// peak bandwidth (Table IV columns).
+pub fn classify_traffic(cfg: &MachineConfig, delta_mbps: f64) -> TrafficClass {
+    let peak_mbps = cfg.bytes_per_cycle_to_mbps(cfg.dram_bytes_per_cycle);
+    let frac = delta_mbps / peak_mbps;
+    if frac < 0.05 {
+        TrafficClass::Low
+    } else if frac < 0.18 {
+        TrafficClass::Moderate
+    } else {
+        TrafficClass::Heavy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{calibrate, CalibrationOptions};
+    use proftree::TreeBuilder;
+
+    fn cal() -> MemCalibration {
+        calibrate(
+            MachineConfig::westmere_scaled(),
+            &CalibrationOptions {
+                thread_counts: vec![2, 4, 8, 12],
+                intensity_steps: 8,
+                packet_cycles: 400_000,
+            },
+        )
+    }
+
+    fn hungry_inputs(cal: &MemCalibration) -> BurdenInputs {
+        // A very memory-bound section: MPI 0.02, traffic well above floor.
+        BurdenInputs {
+            n: 1e8,
+            t: 2e8,
+            d: 2e6,
+            mpi: 0.02,
+            delta_mbps: cal.traffic_floor_mbps * 3.0,
+        }
+    }
+
+    #[test]
+    fn burden_is_one_for_single_thread() {
+        let cal = cal();
+        let i = hungry_inputs(&cal);
+        assert_eq!(section_burden(&cal, &i, 1), 1.0);
+    }
+
+    #[test]
+    fn burden_monotone_in_threads_for_memory_bound() {
+        let cal = cal();
+        let i = hungry_inputs(&cal);
+        let mut prev = 1.0;
+        for t in [2u32, 4, 6, 8, 10, 12] {
+            let b = section_burden(&cal, &i, t);
+            assert!(b >= prev - 1e-6, "β not monotone at t={t}: {b} < {prev}");
+            assert!(b >= 1.0);
+            prev = b;
+        }
+        assert!(prev > 1.1, "12-thread burden should be material, got {prev}");
+    }
+
+    #[test]
+    fn compute_bound_sections_never_burdened() {
+        let cal = cal();
+        let i = BurdenInputs { n: 1e8, t: 8e7, d: 100.0, mpi: 1e-6, delta_mbps: 10.0 };
+        for t in [2u32, 12] {
+            assert_eq!(section_burden(&cal, &i, t), 1.0);
+        }
+    }
+
+    #[test]
+    fn mpi_floor_respected_even_with_high_traffic() {
+        let cal = cal();
+        let i = BurdenInputs {
+            n: 1e9,
+            t: 2e8,
+            d: 1e5, // MPI = 1e-4 < floor
+            mpi: 1e-4,
+            delta_mbps: cal.traffic_floor_mbps * 4.0,
+        };
+        assert_eq!(section_burden(&cal, &i, 12), 1.0);
+    }
+
+    #[test]
+    fn apply_burden_annotates_sections() {
+        let cal = cal();
+        let mut b = TreeBuilder::new();
+        b.begin_sec("hot").unwrap();
+        b.begin_task("t").unwrap();
+        b.add_compute(1000).unwrap();
+        b.end_task().unwrap();
+        let sec = b.end_sec(false).unwrap();
+        b.set_section_mem(
+            sec,
+            proftree::MemProfile {
+                instructions: 100_000_000,
+                cycles: 200_000_000,
+                llc_misses: 2_000_000,
+                dram_bytes: 128_000_000,
+                traffic_mbps: cal.traffic_floor_mbps * 3.0,
+            },
+        );
+        let mut tree = b.finish().unwrap();
+        let tables = apply_burden(&mut tree, &cal, &[2, 4, 8, 12]);
+        assert_eq!(tables.len(), 1);
+        let table = &tables[0].1;
+        assert!(table.factor(12) > 1.05, "β12 = {}", table.factor(12));
+        // Written into the tree too.
+        if let NodeKind::Sec { burden, .. } = &tree.node(sec).kind {
+            assert_eq!(burden.factor(12), table.factor(12));
+        } else {
+            panic!("expected Sec");
+        }
+    }
+
+    #[test]
+    fn sections_without_counters_skipped() {
+        let cal = cal();
+        let mut b = TreeBuilder::new();
+        b.begin_sec("cold").unwrap();
+        b.begin_task("t").unwrap();
+        b.add_compute(10).unwrap();
+        b.end_task().unwrap();
+        b.end_sec(false).unwrap();
+        let mut tree = b.finish().unwrap();
+        let tables = apply_burden(&mut tree, &cal, &[2, 4]);
+        assert!(tables.is_empty());
+    }
+
+    #[test]
+    fn traffic_classification_bands() {
+        let cfg = MachineConfig::westmere_scaled();
+        let peak = cfg.bytes_per_cycle_to_mbps(cfg.dram_bytes_per_cycle);
+        assert_eq!(classify_traffic(&cfg, peak * 0.01), TrafficClass::Low);
+        assert_eq!(classify_traffic(&cfg, peak * 0.1), TrafficClass::Moderate);
+        assert_eq!(classify_traffic(&cfg, peak * 0.5), TrafficClass::Heavy);
+    }
+}

@@ -1,0 +1,130 @@
+//! Least-squares fitting for the calibration formulas: linear
+//! (`y = a·x + b`), logarithmic (`y = a·ln x + b`), and power
+//! (`y = a·x^b`), matching the functional forms of the paper's Eq. 6/7.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted two-parameter model with its coefficient of determination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// Slope-like parameter (`a`).
+    pub a: f64,
+    /// Offset-like parameter (`b`).
+    pub b: f64,
+    /// R² on the (possibly transformed) data.
+    pub r2: f64,
+}
+
+fn linreg(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    assert!(n >= 2.0, "need at least two points to fit");
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    let a = if denom.abs() < 1e-12 { 0.0 } else { (n * sxy - sx * sy) / denom };
+    let b = (sy - a * sx) / n;
+    // R².
+    let mean_y = sy / n;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a * x + b)).powi(2)).sum();
+    let r2 = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Fit { a, b, r2 }
+}
+
+/// Fit `y = a·x + b`.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Fit {
+    linreg(xs, ys)
+}
+
+/// Fit `y = a·ln(x) + b`. All `x` must be positive.
+pub fn fit_log(xs: &[f64], ys: &[f64]) -> Fit {
+    let lx: Vec<f64> = xs.iter().map(|&x| x.max(1e-12).ln()).collect();
+    linreg(&lx, ys)
+}
+
+/// Fit `y = a·x^b` via the ln-ln transform. All `x`, `y` must be positive.
+pub fn fit_power(xs: &[f64], ys: &[f64]) -> Fit {
+    let lx: Vec<f64> = xs.iter().map(|&x| x.max(1e-12).ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.max(1e-12).ln()).collect();
+    let f = linreg(&lx, &ly);
+    // ln y = b_exp·ln x + ln a  →  a = e^intercept, b = slope.
+    Fit { a: f.b.exp(), b: f.a, r2: f.r2 }
+}
+
+/// Evaluate a linear fit.
+pub fn eval_linear(f: &Fit, x: f64) -> f64 {
+    f.a * x + f.b
+}
+
+/// Evaluate a log fit.
+pub fn eval_log(f: &Fit, x: f64) -> f64 {
+    f.a * x.max(1e-12).ln() + f.b
+}
+
+/// Evaluate a power fit.
+pub fn eval_power(f: &Fit, x: f64) -> f64 {
+    f.a * x.max(1e-12).powf(f.b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_recovers_exact_coefficients() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x - 7.0).collect();
+        let f = fit_linear(&xs, &ys);
+        assert!((f.a - 3.5).abs() < 1e-9);
+        assert!((f.b + 7.0).abs() < 1e-9);
+        assert!(f.r2 > 0.999999);
+    }
+
+    #[test]
+    fn log_recovers_exact_coefficients() {
+        let xs: Vec<f64> = (1..=20).map(|i| 100.0 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 6143.0 * x.ln() - 39657.0).collect();
+        let f = fit_log(&xs, &ys);
+        assert!((f.a - 6143.0).abs() / 6143.0 < 1e-9);
+        assert!((f.b + 39657.0).abs() / 39657.0 < 1e-9);
+    }
+
+    #[test]
+    fn power_recovers_paper_like_phi() {
+        // The paper's Eq. 7: ω = 101481 · δ^-0.964.
+        let xs: Vec<f64> = (2..=30).map(|i| 1000.0 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 101481.0 * x.powf(-0.964)).collect();
+        let f = fit_power(&xs, &ys);
+        assert!((f.a - 101481.0).abs() / 101481.0 < 1e-6, "a = {}", f.a);
+        assert!((f.b + 0.964).abs() < 1e-9, "b = {}", f.b);
+        let y = eval_power(&f, 5000.0);
+        assert!((y - 101481.0 * 5000f64.powf(-0.964)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_linear_fit_reasonable() {
+        let xs: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        // Deterministic pseudo-noise.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 5.0 + ((i * 37 % 11) as f64 - 5.0) * 0.1)
+            .collect();
+        let f = fit_linear(&xs, &ys);
+        assert!((f.a - 2.0).abs() < 0.05);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn constant_data_degenerates_gracefully() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [5.0, 5.0, 5.0];
+        let f = fit_linear(&xs, &ys);
+        assert_eq!(f.a, 0.0);
+        assert!((f.b - 5.0).abs() < 1e-12);
+        assert_eq!(f.r2, 1.0);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! The lightweight memory performance model (paper §V).
+//!
+//! Parallelising a memory-hungry loop multiplies its DRAM traffic; queuing
+//! and bandwidth sharing then slow every thread down. The paper models
+//! this with a *burden factor* per top-level parallel section:
+//!
+//! * Eq. 1: `T = CPI_$ · N + ω · D` splits execution into computation and
+//!   memory cost (ω = CPU stall cycles per DRAM access).
+//! * Eq. 3: `β_t = (CPI_$ + MPI·ω_t) / (CPI_$ + MPI·ω)` — the slowdown a
+//!   thread suffers at `t` threads purely from memory contention.
+//! * Eq. 4/6: `δ_t = Ψ_t(δ)` predicts per-thread DRAM traffic at `t`
+//!   threads from the serial traffic δ (linear fit for 2 threads,
+//!   logarithmic fits beyond, exactly the shapes of Eq. 6).
+//! * Eq. 5/7: `ω_t = Φ(δ_t)` predicts the per-miss stall from achieved
+//!   traffic — a power law with exponent ≈ −1 (the paper fits −0.964).
+//!
+//! Ψ and Φ are *calibrated on the target machine* by a microbenchmark that
+//! generates controlled DRAM traffic from 1..n threads (§V-D). Here the
+//! target machine is `machsim`; [`calibrate::calibrate`] runs the sweep
+//! and [`fit`] produces the least-squares fits. Burden factors are clamped
+//! to 1.0 from below and forced to 1.0 when `MPI < 0.001` (Assumption 5)
+//! or the serial traffic is below the calibration floor.
+
+pub mod burden;
+pub mod calibrate;
+pub mod fit;
+pub mod superlinear;
+
+pub use burden::{apply_burden, classify_traffic, section_burden, BurdenInputs, TrafficClass};
+pub use calibrate::{calibrate, CalibrationOptions, CalibrationSample, MemCalibration, PhiFit, PsiFit};
+pub use fit::{fit_linear, fit_log, fit_power, Fit};
+pub use superlinear::{apply_burden_with_trend, miss_retention, mpi_t, section_burden_with_trend, CacheTrend};

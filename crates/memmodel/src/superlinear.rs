@@ -1,0 +1,275 @@
+//! Cache-trend-aware burden factors — the paper's future work.
+//!
+//! Assumption 4 restricts the published model to workloads whose LLC
+//! misses per instruction "do not significantly vary from serial to
+//! parallel" (Table IV's middle row); rows one and three — misses that
+//! *grow* (sharing/conflict pressure) or *shrink* (aggregate cache grows
+//! with cores, the super-linear case the paper sees in MD/LU) — are
+//! explicitly deferred: "The cases of the first and third rows in Table
+//! IV will be investigated in our future work."
+//!
+//! This module implements that extension. The generalisation of Eq. 3 is
+//! direct: let `MPI_t` be the parallel misses-per-instruction; then
+//!
+//! `β_t = (CPI_$ + MPI_t·ω_t) / (CPI_$ + MPI·ω)`
+//!
+//! which drops below 1.0 (a speedup *bonus*) when `MPI_t < MPI`. The
+//! trend itself comes from a working-set argument: when the section's
+//! footprint exceeds the LLC but the per-thread share `footprint/t` fits,
+//! capacity misses largely disappear. [`miss_retention`] models that with
+//! a smooth ramp; [`CacheTrend::Grows`] covers the opposite row with an
+//! explicit growth factor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::burden::BurdenInputs;
+use crate::calibrate::MemCalibration;
+
+/// How a section's LLC misses-per-instruction evolve from serial to
+/// parallel (the rows of Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CacheTrend {
+    /// Assumption 4 (Table IV row 2): `MPI_t = MPI`.
+    Unchanged,
+    /// Table IV row 3: capacity misses shrink as the aggregate cache
+    /// grows — per-thread working set is `footprint_bytes / t`.
+    Shrinks {
+        /// The section's working-set footprint in bytes.
+        footprint_bytes: u64,
+    },
+    /// Table IV row 1: misses grow with the thread count (sharing or
+    /// conflict pressure), `MPI_t = MPI·(1 + (t-1)·per_thread_growth)`.
+    Grows {
+        /// Fractional miss growth per added thread.
+        per_thread_growth: f64,
+    },
+}
+
+/// Fraction of the serial capacity misses that survive when a
+/// `footprint`-byte working set is split across `t` threads of an
+/// `llc`-byte cache.
+///
+/// * per-thread share ≥ 2×LLC: all capacity misses remain (1.0);
+/// * per-thread share ≤ LLC/2: only a cold-miss residue remains (0.05);
+/// * smooth (log-linear) ramp in between — cache occupancy transitions
+///   are gradual, not cliff-edged.
+pub fn miss_retention(footprint: u64, t: u32, llc_bytes: u64) -> f64 {
+    if footprint == 0 || llc_bytes == 0 {
+        return 1.0;
+    }
+    let share = footprint as f64 / t.max(1) as f64;
+    let ratio = share / llc_bytes as f64;
+    const RESIDUE: f64 = 0.05;
+    if ratio >= 2.0 {
+        1.0
+    } else if ratio <= 0.5 {
+        RESIDUE
+    } else {
+        // Log-linear ramp between (0.5, RESIDUE) and (2.0, 1.0).
+        let x = (ratio / 0.5).ln() / 4.0f64.ln();
+        RESIDUE + (1.0 - RESIDUE) * x
+    }
+}
+
+/// The trend-aware parallel MPI.
+pub fn mpi_t(inputs: &BurdenInputs, t: u32, trend: CacheTrend, llc_bytes: u64) -> f64 {
+    match trend {
+        CacheTrend::Unchanged => inputs.mpi,
+        CacheTrend::Shrinks { footprint_bytes } => {
+            inputs.mpi * miss_retention(footprint_bytes, t, llc_bytes)
+        }
+        CacheTrend::Grows { per_thread_growth } => {
+            inputs.mpi * (1.0 + (t.saturating_sub(1)) as f64 * per_thread_growth.max(0.0))
+        }
+    }
+}
+
+/// Trend-aware burden factor. Equals [`crate::section_burden`] for
+/// [`CacheTrend::Unchanged`]; may drop below 1.0 (floored at 0.4 — a
+/// super-linear bonus is bounded by how much of the serial time was
+/// memory stall) for shrinking trends.
+pub fn section_burden_with_trend(
+    cal: &MemCalibration,
+    inputs: &BurdenInputs,
+    threads: u32,
+    trend: CacheTrend,
+    llc_bytes: u64,
+) -> f64 {
+    if threads <= 1 || inputs.n <= 0.0 || inputs.mpi < cal.mpi_floor {
+        return 1.0;
+    }
+    if inputs.delta_mbps < cal.traffic_floor_mbps && matches!(trend, CacheTrend::Unchanged) {
+        return 1.0;
+    }
+    let omega = cal.omega_serial(inputs.delta_mbps);
+    let cpi_cache = ((inputs.t - omega * inputs.d) / inputs.n).max(0.05);
+    let mpi_par = mpi_t(inputs, threads, trend, llc_bytes);
+    // The contention stall ω_t responds to the *new* traffic level: scale
+    // the serial traffic by the miss ratio before asking Ψ/Φ.
+    let traffic_scale = if inputs.mpi > 0.0 { mpi_par / inputs.mpi } else { 1.0 };
+    let omega_t = cal.omega_t(inputs.delta_mbps * traffic_scale, threads);
+    let beta = (cpi_cache + mpi_par * omega_t) / (cpi_cache + inputs.mpi * omega);
+    if beta.is_finite() {
+        beta.clamp(0.4, 1e6)
+    } else {
+        1.0
+    }
+}
+
+/// Compute trend-aware burden tables for every top-level region of
+/// `tree` and write them in (the trend-aware sibling of
+/// [`crate::apply_burden`]).
+pub fn apply_burden_with_trend(
+    tree: &mut proftree::ProgramTree,
+    cal: &MemCalibration,
+    thread_counts: &[u32],
+    trend: CacheTrend,
+    llc_bytes: u64,
+) -> Vec<(proftree::NodeId, proftree::BurdenTable)> {
+    use proftree::NodeKind;
+    let sections = tree.top_level_sections();
+    let mut out = Vec::with_capacity(sections.len());
+    for sec in sections {
+        let profile = match &tree.node(sec).kind {
+            NodeKind::Sec { mem: Some(m), .. } | NodeKind::Pipe { mem: Some(m), .. } => *m,
+            _ => continue,
+        };
+        let inputs = BurdenInputs::from_profile(&profile);
+        let entries: Vec<(u32, f64)> = thread_counts
+            .iter()
+            .map(|&t| (t, section_burden_with_trend(cal, &inputs, t, trend, llc_bytes)))
+            .collect();
+        let table = proftree::BurdenTable::from_entries(entries);
+        match &mut tree.node_mut(sec).kind {
+            NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } => {
+                *burden = table.clone();
+            }
+            _ => {}
+        }
+        out.push((sec, table));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{calibrate, CalibrationOptions};
+    use crate::section_burden;
+    use machsim::MachineConfig;
+
+    fn cal() -> MemCalibration {
+        calibrate(
+            MachineConfig::westmere_scaled(),
+            &CalibrationOptions {
+                thread_counts: vec![2, 4, 8, 12],
+                intensity_steps: 8,
+                packet_cycles: 400_000,
+            },
+        )
+    }
+
+    fn memory_bound(cal: &MemCalibration) -> BurdenInputs {
+        BurdenInputs {
+            n: 1e8,
+            t: 2.5e8,
+            d: 3e6,
+            mpi: 0.03,
+            delta_mbps: cal.traffic_floor_mbps * 3.0,
+        }
+    }
+
+    #[test]
+    fn retention_bands() {
+        let llc = 1_500_000u64;
+        // Working set 12×LLC split over 2 threads: still 6×, all misses.
+        assert_eq!(miss_retention(12 * llc, 2, llc), 1.0);
+        // Split over 24 threads: share = LLC/2 → residue.
+        assert!((miss_retention(12 * llc, 24, llc) - 0.05).abs() < 1e-12);
+        // Monotone decreasing in t.
+        let mut prev = 1.1;
+        for t in 1..=32 {
+            let r = miss_retention(4 * llc, t, llc);
+            assert!(r <= prev + 1e-12, "not monotone at t={t}");
+            prev = r;
+        }
+        // Degenerate inputs.
+        assert_eq!(miss_retention(0, 4, llc), 1.0);
+        assert_eq!(miss_retention(llc, 4, 0), 1.0);
+    }
+
+    #[test]
+    fn unchanged_trend_matches_base_model() {
+        let cal = cal();
+        let i = memory_bound(&cal);
+        for t in [2u32, 4, 8, 12] {
+            let a = section_burden(&cal, &i, t);
+            let b = section_burden_with_trend(&cal, &i, t, CacheTrend::Unchanged, 1 << 21);
+            assert!((a - b).abs() < 1e-9, "t={t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shrinking_working_set_gives_superlinear_bonus() {
+        let cal = cal();
+        let i = memory_bound(&cal);
+        let llc = 1_500_000u64;
+        // Footprint 4×LLC: at 8+ threads each share fits → β < 1.
+        let trend = CacheTrend::Shrinks { footprint_bytes: 4 * llc };
+        let b8 = section_burden_with_trend(&cal, &i, 8, trend, llc);
+        assert!(b8 < 1.0, "expected super-linear bonus, got {b8}");
+        assert!(b8 >= 0.4);
+        // At 2 threads the share is still 2×LLC: no bonus, normal burden.
+        let b2 = section_burden_with_trend(&cal, &i, 2, trend, llc);
+        assert!(b2 >= 1.0, "2-thread share still spills: {b2}");
+    }
+
+    #[test]
+    fn growing_misses_increase_burden_beyond_base() {
+        let cal = cal();
+        let i = memory_bound(&cal);
+        let base = section_burden(&cal, &i, 8);
+        let grown = section_burden_with_trend(
+            &cal,
+            &i,
+            8,
+            CacheTrend::Grows { per_thread_growth: 0.15 },
+            1 << 21,
+        );
+        assert!(grown > base, "growth {grown} should exceed base {base}");
+    }
+
+    #[test]
+    fn compute_bound_sections_unaffected_by_trends() {
+        let cal = cal();
+        let i = BurdenInputs { n: 1e8, t: 8e7, d: 10.0, mpi: 1e-7, delta_mbps: 1.0 };
+        for trend in [
+            CacheTrend::Unchanged,
+            CacheTrend::Shrinks { footprint_bytes: 1 << 30 },
+            CacheTrend::Grows { per_thread_growth: 0.5 },
+        ] {
+            assert_eq!(section_burden_with_trend(&cal, &i, 12, trend, 1 << 21), 1.0);
+        }
+    }
+
+    #[test]
+    fn bonus_bounded_by_floor() {
+        let cal = cal();
+        // Almost all time is stall: huge potential bonus, must clamp.
+        let i = BurdenInputs {
+            n: 1e7,
+            t: 5e8,
+            d: 8e6,
+            mpi: 0.8,
+            delta_mbps: cal.traffic_floor_mbps * 3.0,
+        };
+        let b = section_burden_with_trend(
+            &cal,
+            &i,
+            12,
+            CacheTrend::Shrinks { footprint_bytes: 3 << 20 },
+            1 << 21,
+        );
+        assert!(b >= 0.4, "floor violated: {b}");
+    }
+}

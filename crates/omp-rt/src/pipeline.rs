@@ -1,0 +1,277 @@
+//! Pipeline-region execution (the §VII-E pipelining extension).
+//!
+//! A `POp::Pipe` spawns one simulated thread per stage. Stage `s`
+//! processes items strictly in order; it may start item `i` only after
+//! stage `s-1` finished item `i` (the upstream hand-off). Stage threads
+//! park when their input isn't ready and are unparked by their upstream
+//! neighbour after every item — the standard bounded(1)-queue
+//! coarse-grained pipeline of Thies et al. (paper ref. 23).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use machsim::prog::{POp, PipeSection};
+use machsim::{Action, Env, SimLockId, ThreadBody, ThreadId, WorkPacket};
+
+use crate::worker::OmpRuntime;
+
+/// Shared control block of one pipeline instance.
+pub struct PipeCtl {
+    section: PipeSection,
+    /// Items completed per stage.
+    done: Vec<Cell<usize>>,
+    /// Stage thread ids (filled at spawn) + the master to wake at the end.
+    stage_tids: RefCell<Vec<Option<ThreadId>>>,
+    master: Cell<Option<ThreadId>>,
+}
+
+impl PipeCtl {
+    /// Build the control block.
+    pub fn new(section: PipeSection) -> Rc<Self> {
+        let stages = section.stages as usize;
+        Rc::new(PipeCtl {
+            section,
+            done: (0..stages).map(|_| Cell::new(0)).collect(),
+            stage_tids: RefCell::new(vec![None; stages]),
+            master: Cell::new(None),
+        })
+    }
+
+    /// True when the whole stream has drained.
+    pub fn finished(&self) -> bool {
+        match self.done.last() {
+            Some(d) => d.get() >= self.section.items.len(),
+            None => true,
+        }
+    }
+
+    /// Record the master thread to unpark at completion.
+    pub fn set_master(&self, tid: ThreadId) {
+        self.master.set(Some(tid));
+    }
+}
+
+/// Spawn the stage threads of `ctl` (called by the encountering worker).
+pub fn spawn_stages(env: &mut dyn Env, rt: &Rc<OmpRuntime>, ctl: &Rc<PipeCtl>) {
+    let stages = ctl.section.stages as usize;
+    for s in 0..stages {
+        let tid = env.spawn(Box::new(StageBody {
+            rt: rt.clone(),
+            ctl: ctl.clone(),
+            stage: s,
+            item: 0,
+            op_idx: 0,
+            lock_stage: None,
+        }));
+        ctl.stage_tids.borrow_mut()[s] = Some(tid);
+    }
+}
+
+/// Stage of an in-flight Locked op.
+#[derive(Debug, Clone, Copy)]
+enum LockPhase {
+    Acquire,
+    Body,
+    Release,
+}
+
+/// The per-stage thread body.
+struct StageBody {
+    rt: Rc<OmpRuntime>,
+    ctl: Rc<PipeCtl>,
+    stage: usize,
+    item: usize,
+    op_idx: usize,
+    lock_stage: Option<(LockPhase, SimLockId, WorkPacket)>,
+}
+
+impl ThreadBody for StageBody {
+    fn step(&mut self, env: &mut dyn Env) -> Action {
+        loop {
+            // Finish an in-flight Locked op first.
+            if let Some((phase, lock, work)) = self.lock_stage {
+                match phase {
+                    LockPhase::Acquire => {
+                        self.lock_stage = Some((LockPhase::Body, lock, work));
+                        return Action::Acquire(lock);
+                    }
+                    LockPhase::Body => {
+                        self.lock_stage = Some((LockPhase::Release, lock, work));
+                        return Action::Compute(work);
+                    }
+                    LockPhase::Release => {
+                        self.lock_stage = None;
+                        self.op_idx += 1;
+                        return Action::Release(lock);
+                    }
+                }
+            }
+
+            let items = &self.ctl.section.items;
+            if self.item >= items.len() {
+                // Stream drained for this stage.
+                if self.stage + 1 == self.ctl.section.stages as usize {
+                    if let Some(master) = self.ctl.master.get() {
+                        env.unpark(master);
+                    }
+                }
+                return Action::Exit;
+            }
+
+            // Upstream hand-off: stage s waits for stage s-1 on this item.
+            if self.stage > 0 && self.ctl.done[self.stage - 1].get() <= self.item {
+                return Action::Park;
+            }
+
+            let ops = &items[self.item].stages[self.stage];
+            match ops.get(self.op_idx) {
+                Some(POp::Work(p)) => {
+                    let p = *p;
+                    self.op_idx += 1;
+                    return Action::Compute(p);
+                }
+                Some(POp::Locked { lock, work }) => {
+                    let (lock, work) = (*lock, *work);
+                    let sim = self.rt.lock_for(env, lock);
+                    self.lock_stage = Some((LockPhase::Acquire, sim, work));
+                    continue;
+                }
+                Some(other) => {
+                    unreachable!(
+                        "pipeline stages may only contain Work/Locked ops, got {other:?}"
+                    )
+                }
+                None => {
+                    // Item finished at this stage: publish and wake the
+                    // downstream neighbour.
+                    self.item += 1;
+                    self.op_idx = 0;
+                    self.ctl.done[self.stage].set(self.item);
+                    if self.stage + 1 < self.ctl.section.stages as usize {
+                        if let Some(next) = self.ctl.stage_tids.borrow()[self.stage + 1] {
+                            env.unpark(next);
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machsim::prog::{ParallelProgram, PipeItem};
+    use machsim::{Machine, MachineConfig};
+    use std::rc::Rc;
+
+    use crate::overhead::OmpOverheads;
+    use crate::worker::{run_program, Worker};
+
+    fn pipe_prog(items: Vec<Vec<u64>>) -> ParallelProgram {
+        let stages = items[0].len() as u32;
+        let items = items
+            .into_iter()
+            .map(|lens| {
+                Rc::new(PipeItem {
+                    stages: lens
+                        .into_iter()
+                        .map(|l| vec![POp::Work(WorkPacket::cpu(l))])
+                        .collect(),
+                })
+            })
+            .collect();
+        ParallelProgram { ops: vec![POp::Pipe(PipeSection { items, stages })] }
+    }
+
+    #[test]
+    fn balanced_pipeline_reaches_stage_count_speedup() {
+        // 3 equal stages, 30 items: makespan → n+S-1 stage-times.
+        let items: Vec<Vec<u64>> = (0..30).map(|_| vec![1_000; 3]).collect();
+        let prog = pipe_prog(items);
+        let s = run_program(MachineConfig::small(4), &prog, OmpOverheads::zero(), 4).unwrap();
+        // Ideal pipelined makespan: (30 + 2) × 1000 = 32_000.
+        assert_eq!(s.elapsed_cycles, 32_000, "elapsed {}", s.elapsed_cycles);
+    }
+
+    #[test]
+    fn bottleneck_stage_governs_throughput() {
+        // Middle stage twice as long: throughput = 1/2000.
+        let items: Vec<Vec<u64>> = (0..20).map(|_| vec![1_000, 2_000, 500]).collect();
+        let prog = pipe_prog(items);
+        let s = run_program(MachineConfig::small(4), &prog, OmpOverheads::zero(), 4).unwrap();
+        // Lower bound: fill (1000) + 20 × 2000 + drain (500).
+        assert!(s.elapsed_cycles >= 20 * 2_000);
+        assert!(
+            s.elapsed_cycles <= 20 * 2_000 + 4_000,
+            "elapsed {}",
+            s.elapsed_cycles
+        );
+    }
+
+    #[test]
+    fn single_stage_pipeline_is_serial() {
+        let items: Vec<Vec<u64>> = (0..10).map(|_| vec![700]).collect();
+        let prog = pipe_prog(items);
+        let s = run_program(MachineConfig::small(4), &prog, OmpOverheads::zero(), 4).unwrap();
+        assert_eq!(s.elapsed_cycles, 7_000);
+    }
+
+    #[test]
+    fn more_stages_than_cores_still_completes() {
+        let items: Vec<Vec<u64>> = (0..12).map(|_| vec![1_000; 6]).collect();
+        let prog = pipe_prog(items);
+        let mut cfg = MachineConfig::small(2);
+        cfg.quantum_cycles = 2_000;
+        let s = run_program(cfg, &prog, OmpOverheads::zero(), 2).unwrap();
+        let work = 12 * 6 * 1_000;
+        assert!(s.elapsed_cycles >= work / 2);
+        assert!(s.busy_cycles >= work);
+    }
+
+    #[test]
+    fn empty_pipeline_is_noop() {
+        let prog = ParallelProgram {
+            ops: vec![POp::Pipe(PipeSection { items: vec![], stages: 0 })],
+        };
+        let s = run_program(MachineConfig::small(2), &prog, OmpOverheads::zero(), 2).unwrap();
+        assert!(s.elapsed_cycles < 1_000);
+    }
+
+    #[test]
+    fn locked_stage_ops_serialise_across_items() {
+        // Stage 1 of every item locks the same mutex — which it would
+        // anyway as a single stage thread; this exercises the Locked path.
+        let item = Rc::new(PipeItem {
+            stages: vec![
+                vec![POp::Work(WorkPacket::cpu(100))],
+                vec![POp::Locked { lock: 5, work: WorkPacket::cpu(300) }],
+            ],
+        });
+        let prog = ParallelProgram {
+            ops: vec![POp::Pipe(PipeSection {
+                items: vec![item.clone(), item.clone(), item],
+                stages: 2,
+            })],
+        };
+        let s = run_program(MachineConfig::small(4), &prog, OmpOverheads::zero(), 4).unwrap();
+        assert!(s.elapsed_cycles >= 100 + 3 * 300);
+        assert_eq!(s.lock_acquisitions, 3);
+    }
+
+    /// Direct Machine + Worker smoke test (bypassing run_program) to pin
+    /// down master park/unpark behaviour.
+    #[test]
+    fn master_waits_for_drain() {
+        let items: Vec<Vec<u64>> = (0..5).map(|_| vec![500, 500]).collect();
+        let mut prog = pipe_prog(items);
+        prog.ops.push(POp::Work(WorkPacket::cpu(1_000)));
+        let mut m = Machine::new(MachineConfig::small(4));
+        let rt = OmpRuntime::new(OmpOverheads::zero(), 4);
+        m.spawn(Worker::master(rt, &prog));
+        let s = m.run().unwrap();
+        // Pipeline (5+1)×500 = 3000, then the serial tail.
+        assert_eq!(s.elapsed_cycles, 3_000 + 1_000);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the OpenMP-like runtime: every schedule must
+//! execute every task exactly once, makespans must respect work bounds,
+//! and the runtime must be deterministic.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use machsim::prog::{POp, ParSection, ParallelProgram, Schedule, TaskBody};
+use machsim::{MachineConfig, WorkPacket};
+use omp_rt::{run_program, Dispenser, OmpOverheads};
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::static_block()),
+        (1u32..8).prop_map(|c| Schedule::Static { chunk: Some(c) }),
+        (1u32..8).prop_map(|c| Schedule::Dynamic { chunk: c }),
+        (1u32..4).prop_map(|m| Schedule::Guided { min_chunk: m }),
+    ]
+}
+
+fn loop_prog(lens: &[u64], schedule: Schedule, team: Option<u32>) -> ParallelProgram {
+    let tasks = lens
+        .iter()
+        .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+        .collect();
+    ParallelProgram {
+        ops: vec![POp::Par(ParSection { tasks, schedule, nowait: false, team })],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every dispenser covers the iteration space exactly once, for any
+    /// (schedule, n, team) combination and any polling order.
+    #[test]
+    fn dispensers_partition_exactly(
+        schedule in schedule_strategy(),
+        n in 0usize..500,
+        team in 1u32..16,
+        poll_seed in 0u64..1000,
+    ) {
+        let mut d = Dispenser::new(schedule, n, team);
+        let mut hits = vec![0u32; n];
+        let mut done = vec![false; team as usize];
+        let mut x = poll_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut remaining = team;
+        while remaining > 0 {
+            // Pseudo-random polling order models workers finishing at
+            // arbitrary times.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let r = (x % team as u64) as u32;
+            if done[r as usize] {
+                continue;
+            }
+            match d.next_chunk(r) {
+                Some((s, e)) => {
+                    prop_assert!(s < e && e <= n, "bad chunk ({s},{e})");
+                    for k in s..e {
+                        hits[k] += 1;
+                    }
+                }
+                None => {
+                    done[r as usize] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        prop_assert!(hits.iter().all(|&h| h == 1), "not covered exactly once");
+    }
+
+    /// The runtime executes all work: busy cycles ≥ task work, and
+    /// makespan lies between ideal and serial (+ overhead slack).
+    #[test]
+    fn all_work_executed_under_any_schedule(
+        lens in proptest::collection::vec(100u64..50_000, 1..40),
+        schedule in schedule_strategy(),
+        team in 1u32..13,
+    ) {
+        let prog = loop_prog(&lens, schedule, Some(team));
+        let stats = run_program(
+            MachineConfig::small(12),
+            &prog,
+            OmpOverheads::zero(),
+            team,
+        )
+        .expect("runtime must not deadlock");
+        let work: u64 = lens.iter().sum();
+        prop_assert_eq!(stats.busy_cycles, work);
+        let ideal = work / team.min(12) as u64;
+        prop_assert!(stats.elapsed_cycles >= ideal);
+        prop_assert!(stats.elapsed_cycles <= work + 1);
+    }
+
+    /// Oversubscribed teams (team > cores) still complete correctly.
+    #[test]
+    fn oversubscription_completes(
+        lens in proptest::collection::vec(1_000u64..20_000, 4..24),
+        team in 5u32..32,
+    ) {
+        let mut cfg = MachineConfig::small(4);
+        cfg.quantum_cycles = 2_000;
+        let prog = loop_prog(&lens, Schedule::dynamic1(), Some(team));
+        let stats = run_program(cfg, &prog, OmpOverheads::zero(), team).unwrap();
+        let work: u64 = lens.iter().sum();
+        prop_assert_eq!(stats.busy_cycles, work);
+        prop_assert!(stats.elapsed_cycles >= work / 4);
+    }
+
+    /// Determinism for arbitrary programs.
+    #[test]
+    fn runtime_is_deterministic(
+        lens in proptest::collection::vec(100u64..30_000, 1..20),
+        schedule in schedule_strategy(),
+        team in 1u32..8,
+    ) {
+        let prog = loop_prog(&lens, schedule, Some(team));
+        let run = || {
+            run_program(
+                MachineConfig::small(4),
+                &prog,
+                OmpOverheads::westmere_scaled(),
+                team,
+            )
+            .unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Locked sections serialise: a loop whose tasks are entirely inside
+    /// one lock has makespan ≥ total locked work.
+    #[test]
+    fn locks_fully_serialise(
+        lens in proptest::collection::vec(100u64..10_000, 2..12),
+        team in 2u32..8,
+    ) {
+        let tasks = lens
+            .iter()
+            .map(|&l| {
+                Rc::new(TaskBody {
+                    ops: vec![POp::Locked { lock: 1, work: WorkPacket::cpu(l) }],
+                })
+            })
+            .collect();
+        let prog = ParallelProgram {
+            ops: vec![POp::Par(ParSection {
+                tasks,
+                schedule: Schedule::dynamic1(),
+                nowait: false,
+                team: Some(team),
+            })],
+        };
+        let stats =
+            run_program(MachineConfig::small(8), &prog, OmpOverheads::zero(), team).unwrap();
+        let work: u64 = lens.iter().sum();
+        prop_assert!(stats.elapsed_cycles >= work);
+    }
+}

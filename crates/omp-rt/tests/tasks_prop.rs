@@ -1,0 +1,116 @@
+//! Property tests for the OpenMP 3.0 task-pool runtime.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use machsim::prog::{POp, ParSection, ParallelProgram, TaskBody};
+use machsim::{MachineConfig, WorkPacket};
+use omp_rt::{run_program_tasks, TaskOverheads};
+
+fn loop_prog(lens: &[u64]) -> ParallelProgram {
+    let tasks = lens
+        .iter()
+        .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+        .collect();
+    ParallelProgram { ops: vec![POp::Par(ParSection::new(tasks))] }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All task work executes exactly once; makespan bounded by
+    /// [work/cores, serial + slack].
+    #[test]
+    fn all_work_executed(
+        lens in proptest::collection::vec(1_000u64..50_000, 1..32),
+        workers in 1u32..9,
+    ) {
+        let prog = loop_prog(&lens);
+        let stats = run_program_tasks(
+            MachineConfig::small(8),
+            &prog,
+            TaskOverheads::zero(),
+            workers,
+        )
+        .expect("no deadlock");
+        let work: u64 = lens.iter().sum();
+        prop_assert!(stats.busy_cycles >= work);
+        prop_assert!(stats.elapsed_cycles >= work / workers.min(8) as u64);
+        prop_assert!(
+            stats.elapsed_cycles <= work + 100_000,
+            "elapsed {} far beyond serial {work}",
+            stats.elapsed_cycles
+        );
+    }
+
+    /// Nested task graphs complete on the fixed pool.
+    #[test]
+    fn nested_tasks_complete(
+        outer in 1usize..8,
+        inner in 1usize..8,
+        len in 1_000u64..20_000,
+        workers in 1u32..5,
+    ) {
+        let inner_sec = ParSection::new(
+            (0..inner)
+                .map(|_| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(len))] }))
+                .collect(),
+        );
+        let outer_task = Rc::new(TaskBody { ops: vec![POp::Par(inner_sec)] });
+        let prog = ParallelProgram {
+            ops: vec![POp::Par(ParSection::new(
+                (0..outer).map(|_| outer_task.clone()).collect(),
+            ))],
+        };
+        let stats = run_program_tasks(
+            MachineConfig::small(4),
+            &prog,
+            TaskOverheads::westmere_scaled(),
+            workers,
+        )
+        .unwrap();
+        prop_assert_eq!(stats.threads_spawned, workers);
+        prop_assert!(stats.busy_cycles >= (outer * inner) as u64 * len);
+    }
+
+    /// Determinism.
+    #[test]
+    fn task_pool_deterministic(
+        lens in proptest::collection::vec(500u64..20_000, 1..20),
+        workers in 1u32..6,
+    ) {
+        let prog = loop_prog(&lens);
+        let run = || {
+            run_program_tasks(
+                MachineConfig::small(4),
+                &prog,
+                TaskOverheads::westmere_scaled(),
+                workers,
+            )
+            .unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The central queue is a genuine serialisation point: with heavy
+    /// per-op queue costs, N tiny tasks take at least N × (push + pop)
+    /// regardless of worker count.
+    #[test]
+    fn queue_cost_lower_bound(
+        n in 8usize..200,
+        workers in 2u32..8,
+    ) {
+        let prog = loop_prog(&vec![10u64; n]);
+        let mut ovh = TaskOverheads::zero();
+        ovh.push = 100;
+        ovh.pop = 100;
+        let stats = run_program_tasks(MachineConfig::small(8), &prog, ovh, workers).unwrap();
+        let queue_serial = n as u64 * 200;
+        prop_assert!(
+            stats.elapsed_cycles >= queue_serial,
+            "elapsed {} below central-queue serialisation {queue_serial}",
+            stats.elapsed_cycles
+        );
+    }
+}

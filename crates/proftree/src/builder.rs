@@ -1,0 +1,644 @@
+//! Incremental program-tree construction.
+//!
+//! The interval profiler drives a [`TreeBuilder`] with the same events it
+//! sees from the annotations (§IV-B): section/task begin & end, lock begin &
+//! end, and "computation elapsed" notifications that become U/L terminals.
+//! The builder enforces the annotation-nesting rules of the paper and
+//! reports mismatches as [`BuildError`]s, mirroring the tracer's
+//! "if they do not match, an error is reported" behaviour.
+
+use crate::node::{
+    BurdenTable, ChildList, Cycles, LockId, MemProfile, Node, NodeId, NodeKind, ProgramTree,
+};
+
+/// Annotation-nesting errors detected while building a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An `*_END` annotation did not match the most recent `*_BEGIN`.
+    MismatchedEnd {
+        /// What the program tried to end.
+        found: &'static str,
+        /// What was actually open.
+        open: &'static str,
+    },
+    /// An `*_END` with nothing open.
+    UnderflowEnd {
+        /// What the program tried to end.
+        found: &'static str,
+    },
+    /// `LOCK_END(id)` released a lock other than the one held.
+    WrongLock {
+        /// Currently held lock.
+        held: LockId,
+        /// Lock the program tried to release.
+        released: LockId,
+    },
+    /// Locks may not nest (matches the paper's annotation model).
+    NestedLock {
+        /// Already-held lock.
+        held: LockId,
+    },
+    /// A parallel task must be directly inside a parallel section.
+    TaskOutsideSection,
+    /// A lock annotation must appear inside a parallel task.
+    LockOutsideTask,
+    /// A nested section must be inside a task (or top level).
+    SectionInsideLock,
+    /// `finish()` called with annotations still open.
+    UnclosedAnnotations {
+        /// How many frames remained open.
+        depth: usize,
+    },
+    /// A section's children must all be tasks; loose computation between
+    /// tasks inside a section is not representable.
+    ComputationInsideSection,
+    /// `PIPE_STAGE_END(s)` closed a stage other than the open one.
+    WrongStage {
+        /// Currently open stage.
+        open: u32,
+        /// Stage the program tried to end.
+        ended: u32,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MismatchedEnd { found, open } => {
+                write!(f, "annotation mismatch: {found} ended while {open} is open")
+            }
+            BuildError::UnderflowEnd { found } => {
+                write!(f, "annotation underflow: {found} ended with nothing open")
+            }
+            BuildError::WrongLock { held, released } => {
+                write!(f, "lock mismatch: released lock {released} while holding {held}")
+            }
+            BuildError::NestedLock { held } => {
+                write!(f, "nested lock: LOCK_BEGIN while already holding lock {held}")
+            }
+            BuildError::TaskOutsideSection => {
+                write!(f, "PAR_TASK_BEGIN outside of a parallel section")
+            }
+            BuildError::LockOutsideTask => write!(f, "LOCK_BEGIN outside of a parallel task"),
+            BuildError::SectionInsideLock => write!(f, "PAR_SEC_BEGIN inside a held lock"),
+            BuildError::UnclosedAnnotations { depth } => {
+                write!(f, "{depth} annotation frame(s) left open at end of program")
+            }
+            BuildError::ComputationInsideSection => {
+                write!(f, "computation directly inside a section (outside any task)")
+            }
+            BuildError::WrongStage { open, ended } => {
+                write!(f, "stage mismatch: ended stage {ended} while stage {open} is open")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Sec,
+    Task,
+    Lock(LockId),
+    Pipe,
+    Stage(u32),
+}
+
+#[derive(Debug)]
+struct Frame {
+    kind: FrameKind,
+    node: NodeId,
+}
+
+/// Builds a [`ProgramTree`] from annotation events.
+///
+/// The builder allocates parents before children, which is the arena order
+/// [`ProgramTree::recompute_lengths`] relies on.
+#[derive(Debug)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    stack: Vec<Frame>,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// Start a new empty tree.
+    pub fn new() -> Self {
+        TreeBuilder {
+            nodes: vec![Node {
+                kind: NodeKind::Root,
+                length: 0,
+                children: ChildList::Plain(Vec::new()),
+            }],
+            stack: Vec::new(),
+        }
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+
+    fn attach(&mut self, child: NodeId) {
+        let parent = self.stack.last().map_or(ProgramTree::ROOT, |f| f.node);
+        match &mut self.nodes[parent as usize].children {
+            ChildList::Plain(v) => v.push(child),
+            ChildList::Rle(_) => unreachable!("builder never produces RLE children"),
+        }
+    }
+
+    /// Current nesting depth (for diagnostics).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Lock currently held, if any.
+    pub fn held_lock(&self) -> Option<LockId> {
+        self.stack.iter().rev().find_map(|f| match f.kind {
+            FrameKind::Lock(id) => Some(id),
+            _ => None,
+        })
+    }
+
+    /// `PAR_SEC_BEGIN(name)`.
+    pub fn begin_sec(&mut self, name: &str) -> Result<(), BuildError> {
+        match self.stack.last().map(|f| f.kind) {
+            Some(FrameKind::Lock(_)) => return Err(BuildError::SectionInsideLock),
+            Some(FrameKind::Sec) => {
+                return Err(BuildError::MismatchedEnd { found: "section begin", open: "section" })
+            }
+            _ => {}
+        }
+        let node = self.push_node(Node {
+            kind: NodeKind::Sec {
+                name: name.to_owned(),
+                nowait: false,
+                mem: None,
+                burden: BurdenTable::unit(),
+            },
+            length: 0,
+            children: ChildList::Plain(Vec::new()),
+        });
+        self.attach(node);
+        self.stack.push(Frame { kind: FrameKind::Sec, node });
+        Ok(())
+    }
+
+    /// `PAR_SEC_END(nowait)`. Returns the finished section's node id so the
+    /// tracer can attach memory counters to top-level sections.
+    pub fn end_sec(&mut self, nowait: bool) -> Result<NodeId, BuildError> {
+        match self.stack.last() {
+            None => return Err(BuildError::UnderflowEnd { found: "section" }),
+            Some(f) if f.kind != FrameKind::Sec => {
+                return Err(BuildError::MismatchedEnd {
+                    found: "section",
+                    open: kind_name(f.kind),
+                })
+            }
+            _ => {}
+        }
+        let frame = self.stack.pop().expect("checked above");
+        if let NodeKind::Sec { nowait: nw, .. } = &mut self.nodes[frame.node as usize].kind {
+            *nw = nowait;
+        }
+        Ok(frame.node)
+    }
+
+    /// `PIPE_BEGIN(name)`: open a pipeline region (§VII-E extension).
+    pub fn begin_pipe(&mut self, name: &str) -> Result<(), BuildError> {
+        match self.stack.last().map(|f| f.kind) {
+            Some(FrameKind::Lock(_)) => return Err(BuildError::SectionInsideLock),
+            Some(FrameKind::Sec) | Some(FrameKind::Pipe) => {
+                return Err(BuildError::MismatchedEnd {
+                    found: "pipeline begin",
+                    open: "section",
+                })
+            }
+            _ => {}
+        }
+        let node = self.push_node(Node {
+            kind: NodeKind::Pipe {
+                name: name.to_owned(),
+                mem: None,
+                burden: BurdenTable::unit(),
+            },
+            length: 0,
+            children: ChildList::Plain(Vec::new()),
+        });
+        self.attach(node);
+        self.stack.push(Frame { kind: FrameKind::Pipe, node });
+        Ok(())
+    }
+
+    /// `PIPE_END()`: close the pipeline region; returns its node id.
+    pub fn end_pipe(&mut self) -> Result<NodeId, BuildError> {
+        match self.stack.last() {
+            None => return Err(BuildError::UnderflowEnd { found: "pipeline" }),
+            Some(f) if f.kind != FrameKind::Pipe => {
+                return Err(BuildError::MismatchedEnd {
+                    found: "pipeline",
+                    open: kind_name(f.kind),
+                })
+            }
+            _ => {}
+        }
+        let frame = self.stack.pop().expect("checked above");
+        Ok(frame.node)
+    }
+
+    /// `PIPE_STAGE_BEGIN(stage)`: open stage `stage` of the current item.
+    pub fn begin_stage(&mut self, stage: u32) -> Result<(), BuildError> {
+        match self.stack.last().map(|f| f.kind) {
+            Some(FrameKind::Task) => {}
+            _ => return Err(BuildError::TaskOutsideSection),
+        }
+        let node = self.push_node(Node {
+            kind: NodeKind::Stage { stage },
+            length: 0,
+            children: ChildList::Plain(Vec::new()),
+        });
+        self.attach(node);
+        self.stack.push(Frame { kind: FrameKind::Stage(stage), node });
+        Ok(())
+    }
+
+    /// `PIPE_STAGE_END(stage)`: close the stage.
+    pub fn end_stage(&mut self, stage: u32) -> Result<(), BuildError> {
+        match self.stack.last() {
+            None => return Err(BuildError::UnderflowEnd { found: "stage" }),
+            Some(f) => match f.kind {
+                FrameKind::Stage(open) if open == stage => {}
+                FrameKind::Stage(open) => {
+                    return Err(BuildError::WrongStage { open, ended: stage })
+                }
+                other => {
+                    return Err(BuildError::MismatchedEnd {
+                        found: "stage",
+                        open: kind_name(other),
+                    })
+                }
+            },
+        }
+        self.stack.pop().expect("checked above");
+        Ok(())
+    }
+
+    /// `PAR_TASK_BEGIN(name)` — also marks a stream item inside a
+    /// pipeline region.
+    pub fn begin_task(&mut self, name: &str) -> Result<(), BuildError> {
+        match self.stack.last().map(|f| f.kind) {
+            Some(FrameKind::Sec) | Some(FrameKind::Pipe) => {}
+            _ => return Err(BuildError::TaskOutsideSection),
+        }
+        let node = self.push_node(Node {
+            kind: NodeKind::Task { name: name.to_owned() },
+            length: 0,
+            children: ChildList::Plain(Vec::new()),
+        });
+        self.attach(node);
+        self.stack.push(Frame { kind: FrameKind::Task, node });
+        Ok(())
+    }
+
+    /// `PAR_TASK_END()`.
+    pub fn end_task(&mut self) -> Result<NodeId, BuildError> {
+        match self.stack.last() {
+            None => return Err(BuildError::UnderflowEnd { found: "task" }),
+            Some(f) if f.kind != FrameKind::Task => {
+                return Err(BuildError::MismatchedEnd { found: "task", open: kind_name(f.kind) })
+            }
+            _ => {}
+        }
+        let frame = self.stack.pop().expect("checked above");
+        Ok(frame.node)
+    }
+
+    /// `LOCK_BEGIN(id)`.
+    pub fn begin_lock(&mut self, lock: LockId) -> Result<(), BuildError> {
+        if let Some(held) = self.held_lock() {
+            return Err(BuildError::NestedLock { held });
+        }
+        match self.stack.last().map(|f| f.kind) {
+            Some(FrameKind::Task) | Some(FrameKind::Stage(_)) => {}
+            _ => return Err(BuildError::LockOutsideTask),
+        }
+        let node = self.push_node(Node::l(lock, 0));
+        self.attach(node);
+        self.stack.push(Frame { kind: FrameKind::Lock(lock), node });
+        Ok(())
+    }
+
+    /// `LOCK_END(id)`.
+    pub fn end_lock(&mut self, lock: LockId) -> Result<(), BuildError> {
+        match self.stack.last() {
+            None => return Err(BuildError::UnderflowEnd { found: "lock" }),
+            Some(f) => match f.kind {
+                FrameKind::Lock(held) if held == lock => {}
+                FrameKind::Lock(held) => {
+                    return Err(BuildError::WrongLock { held, released: lock })
+                }
+                other => {
+                    return Err(BuildError::MismatchedEnd {
+                        found: "lock",
+                        open: kind_name(other),
+                    })
+                }
+            },
+        }
+        self.stack.pop().expect("checked above");
+        Ok(())
+    }
+
+    /// Record `cycles` of computation elapsed at the current position. The
+    /// cycles become (or extend) a U node, or accrue to the open L node when
+    /// a lock is held. Computation directly inside a section (between
+    /// tasks) is an annotation error, matching the paper's model where a
+    /// section only contains tasks.
+    ///
+    /// Node lengths are inclusive, so the cycles are also added to every
+    /// open ancestor frame and to the root.
+    pub fn add_compute(&mut self, cycles: Cycles) -> Result<(), BuildError> {
+        if cycles == 0 {
+            return Ok(());
+        }
+        match self.stack.last().map(|f| (f.kind, f.node)) {
+            Some((FrameKind::Lock(_), node)) => {
+                // The L node is itself the innermost frame: count it once
+                // here, then add to the frames *below* it and the root.
+                self.nodes[node as usize].length += cycles;
+                let upper = self.stack.len() - 1;
+                for i in 0..upper {
+                    let id = self.stack[i].node;
+                    self.nodes[id as usize].length += cycles;
+                }
+                self.nodes[ProgramTree::ROOT as usize].length += cycles;
+                Ok(())
+            }
+            Some((FrameKind::Sec, _)) | Some((FrameKind::Pipe, _)) => {
+                Err(BuildError::ComputationInsideSection)
+            }
+            Some((FrameKind::Task, node)) | Some((FrameKind::Stage(_), node)) => {
+                self.extend_or_new_u(node, cycles);
+                for i in 0..self.stack.len() {
+                    let id = self.stack[i].node;
+                    self.nodes[id as usize].length += cycles;
+                }
+                self.nodes[ProgramTree::ROOT as usize].length += cycles;
+                Ok(())
+            }
+            None => {
+                self.extend_or_new_u(ProgramTree::ROOT, cycles);
+                self.nodes[ProgramTree::ROOT as usize].length += cycles;
+                Ok(())
+            }
+        }
+    }
+
+    /// Append to the trailing U child of `parent` or create a new one.
+    fn extend_or_new_u(&mut self, parent: NodeId, cycles: Cycles) {
+        let last_u = match &self.nodes[parent as usize].children {
+            ChildList::Plain(v) => v
+                .last()
+                .copied()
+                .filter(|&c| matches!(self.nodes[c as usize].kind, NodeKind::U)),
+            ChildList::Rle(_) => None,
+        };
+        match last_u {
+            Some(u) => self.nodes[u as usize].length += cycles,
+            None => {
+                let u = self.push_node(Node::u(cycles));
+                match &mut self.nodes[parent as usize].children {
+                    ChildList::Plain(v) => v.push(u),
+                    ChildList::Rle(_) => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Attach memory counters to a (top-level) section or pipeline node.
+    pub fn set_section_mem(&mut self, sec: NodeId, profile: MemProfile) {
+        match &mut self.nodes[sec as usize].kind {
+            NodeKind::Sec { mem, .. } | NodeKind::Pipe { mem, .. } => match mem {
+                Some(existing) => existing.accumulate(&profile),
+                None => *mem = Some(profile),
+            },
+            _ => {}
+        }
+    }
+
+    /// Finish building. Fails when annotations are still open.
+    pub fn finish(self) -> Result<ProgramTree, BuildError> {
+        if !self.stack.is_empty() {
+            return Err(BuildError::UnclosedAnnotations { depth: self.stack.len() });
+        }
+        let tree = ProgramTree::from_nodes(self.nodes);
+        debug_assert_eq!(tree.validate(), Ok(()));
+        Ok(tree)
+    }
+}
+
+fn kind_name(kind: FrameKind) -> &'static str {
+    match kind {
+        FrameKind::Sec => "section",
+        FrameKind::Task => "task",
+        FrameKind::Lock(_) => "lock",
+        FrameKind::Pipe => "pipeline",
+        FrameKind::Stage(_) => "stage",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the Fig. 4-style tree: a section of two tasks, a lock in the
+    /// first task, and a nested section in the second.
+    #[test]
+    fn builds_nested_tree_with_correct_lengths() {
+        let mut b = TreeBuilder::new();
+        b.add_compute(10).unwrap(); // top-level serial
+        b.begin_sec("loop1").unwrap();
+        {
+            b.begin_task("t0").unwrap();
+            b.add_compute(50).unwrap();
+            b.begin_lock(1).unwrap();
+            b.add_compute(25).unwrap();
+            b.end_lock(1).unwrap();
+            b.add_compute(20).unwrap();
+            b.end_task().unwrap();
+
+            b.begin_task("t1").unwrap();
+            b.add_compute(10).unwrap();
+            b.begin_sec("loop2").unwrap();
+            for _ in 0..2 {
+                b.begin_task("t2").unwrap();
+                b.add_compute(40).unwrap();
+                b.end_task().unwrap();
+            }
+            b.end_sec(false).unwrap();
+            b.add_compute(5).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        b.add_compute(7).unwrap();
+
+        let tree = b.finish().unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.total_length(), 10 + 95 + 95 + 7);
+        assert_eq!(tree.top_level_serial_length(), 17);
+        let secs = tree.top_level_sections();
+        assert_eq!(secs.len(), 1);
+        assert_eq!(tree.node(secs[0]).length, 190);
+    }
+
+    #[test]
+    fn consecutive_computes_merge_into_one_u() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        b.begin_task("t").unwrap();
+        b.add_compute(5).unwrap();
+        b.add_compute(7).unwrap();
+        b.end_task().unwrap();
+        b.end_sec(false).unwrap();
+        let tree = b.finish().unwrap();
+        // Root, Sec, Task, single merged U.
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.node(3).length, 12);
+    }
+
+    #[test]
+    fn zero_compute_is_dropped() {
+        let mut b = TreeBuilder::new();
+        b.add_compute(0).unwrap();
+        let tree = b.finish().unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.total_length(), 0);
+    }
+
+    #[test]
+    fn lock_computation_accrues_to_l_node() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        b.begin_task("t").unwrap();
+        b.begin_lock(9).unwrap();
+        b.add_compute(30).unwrap();
+        b.add_compute(12).unwrap();
+        b.end_lock(9).unwrap();
+        b.end_task().unwrap();
+        b.end_sec(true).unwrap();
+        let tree = b.finish().unwrap();
+        let l = tree
+            .ids()
+            .find(|&i| matches!(tree.node(i).kind, NodeKind::L { lock: 9 }))
+            .unwrap();
+        assert_eq!(tree.node(l).length, 42);
+        assert_eq!(tree.total_length(), 42);
+        // nowait flag captured.
+        let sec = tree.top_level_sections()[0];
+        assert!(matches!(tree.node(sec).kind, NodeKind::Sec { nowait: true, .. }));
+    }
+
+    #[test]
+    fn error_task_outside_section() {
+        let mut b = TreeBuilder::new();
+        assert_eq!(b.begin_task("t"), Err(BuildError::TaskOutsideSection));
+    }
+
+    #[test]
+    fn error_mismatched_end() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        assert!(matches!(b.end_task(), Err(BuildError::MismatchedEnd { .. })));
+    }
+
+    #[test]
+    fn error_underflow() {
+        let mut b = TreeBuilder::new();
+        assert!(matches!(b.end_sec(false), Err(BuildError::UnderflowEnd { .. })));
+        assert!(matches!(b.end_lock(0), Err(BuildError::UnderflowEnd { .. })));
+    }
+
+    #[test]
+    fn error_wrong_lock() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        b.begin_task("t").unwrap();
+        b.begin_lock(1).unwrap();
+        assert_eq!(b.end_lock(2), Err(BuildError::WrongLock { held: 1, released: 2 }));
+    }
+
+    #[test]
+    fn error_nested_lock() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        b.begin_task("t").unwrap();
+        b.begin_lock(1).unwrap();
+        assert_eq!(b.begin_lock(2), Err(BuildError::NestedLock { held: 1 }));
+    }
+
+    #[test]
+    fn error_unclosed_at_finish() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        assert_eq!(b.finish().unwrap_err(), BuildError::UnclosedAnnotations { depth: 1 });
+    }
+
+    #[test]
+    fn error_compute_between_tasks() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        assert_eq!(b.add_compute(5), Err(BuildError::ComputationInsideSection));
+    }
+
+    #[test]
+    fn error_section_inside_lock() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        b.begin_task("t").unwrap();
+        b.begin_lock(0).unwrap();
+        assert_eq!(b.begin_sec("inner"), Err(BuildError::SectionInsideLock));
+    }
+
+    #[test]
+    fn error_lock_outside_task() {
+        // The annotation model only gives locks meaning inside parallel
+        // tasks; elsewhere they are a user error.
+        let mut b = TreeBuilder::new();
+        assert_eq!(b.begin_lock(0), Err(BuildError::LockOutsideTask));
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        assert_eq!(b.begin_lock(0), Err(BuildError::LockOutsideTask));
+    }
+
+    #[test]
+    fn mem_profile_attachment_accumulates() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        b.begin_task("t").unwrap();
+        b.add_compute(1).unwrap();
+        b.end_task().unwrap();
+        let sec = b.end_sec(false).unwrap();
+        b.set_section_mem(
+            sec,
+            MemProfile { instructions: 100, cycles: 200, llc_misses: 5, dram_bytes: 320, traffic_mbps: 10.0 },
+        );
+        b.set_section_mem(
+            sec,
+            MemProfile { instructions: 100, cycles: 200, llc_misses: 5, dram_bytes: 320, traffic_mbps: 10.0 },
+        );
+        let tree = b.finish().unwrap();
+        if let NodeKind::Sec { mem: Some(m), .. } = &tree.node(sec).kind {
+            assert_eq!(m.instructions, 200);
+            assert_eq!(m.llc_misses, 10);
+        } else {
+            panic!("expected mem profile");
+        }
+    }
+}

@@ -1,0 +1,671 @@
+//! Node and tree definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual cycle count. All interval lengths in a program tree are measured
+/// in cycles of the profiled machine's virtual clock.
+pub type Cycles = u64;
+
+/// Identifier of a user-visible lock (the argument of `LOCK_BEGIN`).
+pub type LockId = u32;
+
+/// Index of a node inside a [`ProgramTree`] arena.
+pub type NodeId = u32;
+
+/// Memory-profile counters collected for one top-level parallel section
+/// (paper §IV-B / §V). Produced by the PAPI-style counter layer in
+/// `cachesim` and consumed by the memory performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MemProfile {
+    /// Total dynamically executed instructions in the section (`N`).
+    pub instructions: u64,
+    /// Total elapsed cycles in the section (`T`).
+    pub cycles: u64,
+    /// Number of last-level-cache misses, i.e. DRAM accesses (`D`).
+    pub llc_misses: u64,
+    /// Bytes moved between LLC and DRAM (misses plus writebacks).
+    pub dram_bytes: u64,
+    /// Observed single-thread DRAM traffic in MB/s (`δ`).
+    pub traffic_mbps: f64,
+}
+
+impl MemProfile {
+    /// LLC misses per instruction (`MPI`). Zero when no instructions ran.
+    pub fn mpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.instructions as f64
+        }
+    }
+
+    /// Average cycles per instruction over the section.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Merge counters from another execution of the same static section.
+    pub fn accumulate(&mut self, other: &MemProfile) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.llc_misses += other.llc_misses;
+        self.dram_bytes += other.dram_bytes;
+        // Traffic is re-derived from totals: weight by cycles.
+        let total_cycles = self.cycles.max(1) as f64;
+        self.traffic_mbps = self.traffic_mbps
+            + (other.traffic_mbps - self.traffic_mbps) * (other.cycles as f64 / total_cycles);
+    }
+}
+
+/// Per-thread-count burden factors for one top-level section (paper §V).
+///
+/// `factor(t)` is the multiplicative penalty applied to every terminal
+/// computation in the section when emulating `t` threads; `1.0` means the
+/// section is not limited by memory performance.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BurdenTable {
+    /// `(thread_count, burden)` pairs, sorted by thread count.
+    entries: Vec<(u32, f64)>,
+}
+
+impl BurdenTable {
+    /// A table that always answers `1.0` (memory never the bottleneck).
+    pub fn unit() -> Self {
+        BurdenTable::default()
+    }
+
+    /// Build from `(threads, burden)` pairs; the pairs are sorted.
+    ///
+    /// The paper's base model never produces factors below 1.0
+    /// (Assumption 5 clamps there before the table is built); the
+    /// cache-trend extension may legitimately store *bonus* factors
+    /// below 1 (super-linear speedup from aggregate cache growth), so
+    /// the table itself only rejects non-positive or non-finite values.
+    pub fn from_entries(mut entries: Vec<(u32, f64)>) -> Self {
+        for (_, b) in entries.iter_mut() {
+            if !b.is_finite() || *b < 0.05 {
+                *b = 1.0;
+            }
+        }
+        entries.sort_by_key(|&(t, _)| t);
+        entries.dedup_by_key(|&mut (t, _)| t);
+        BurdenTable { entries }
+    }
+
+    /// Insert or replace the factor for a thread count.
+    pub fn set(&mut self, threads: u32, burden: f64) {
+        let burden = if burden.is_finite() && burden >= 0.05 { burden } else { 1.0 };
+        match self.entries.binary_search_by_key(&threads, |&(t, _)| t) {
+            Ok(i) => self.entries[i].1 = burden,
+            Err(i) => self.entries.insert(i, (threads, burden)),
+        }
+    }
+
+    /// Burden factor for `threads`; interpolates linearly between calibrated
+    /// thread counts and extrapolates flat beyond the ends. `1.0` for an
+    /// empty table or a single thread.
+    pub fn factor(&self, threads: u32) -> f64 {
+        if threads <= 1 || self.entries.is_empty() {
+            return 1.0;
+        }
+        match self.entries.binary_search_by_key(&threads, |&(t, _)| t) {
+            Ok(i) => self.entries[i].1,
+            Err(0) => {
+                // Below the first calibrated point: interpolate from the
+                // implicit (1 thread, burden 1.0) anchor.
+                let (t0, b0) = self.entries[0];
+                if t0 <= 1 {
+                    b0
+                } else {
+                    let w = (threads - 1) as f64 / (t0 - 1) as f64;
+                    1.0 + (b0 - 1.0) * w
+                }
+            }
+            Err(i) if i == self.entries.len() => self.entries[i - 1].1,
+            Err(i) => {
+                let (t0, b0) = self.entries[i - 1];
+                let (t1, b1) = self.entries[i];
+                let w = (threads - t0) as f64 / (t1 - t0) as f64;
+                b0 + (b1 - b0) * w
+            }
+        }
+    }
+
+    /// All calibrated `(threads, burden)` pairs.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// True when every calibrated factor is 1.0 (or the table is empty).
+    pub fn is_unit(&self) -> bool {
+        self.entries.iter().all(|&(_, b)| (b - 1.0).abs() < 1e-12)
+    }
+}
+
+/// The kind of a program-tree node, mirroring the paper's Fig. 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Whole-program node: children alternate top-level sections and
+    /// top-level serial `U` computations.
+    Root,
+    /// A parallel section whose child tasks may execute concurrently.
+    Sec {
+        /// Annotation name (`PAR_SEC_BEGIN("name")`).
+        name: String,
+        /// True when the implicit barrier at the section end is suppressed
+        /// (OpenMP `nowait`). Note the annotation argument in the paper is
+        /// `nowait == false` ⇒ barrier; we store the `nowait` flag directly.
+        nowait: bool,
+        /// Memory counters for this section when it is top-level.
+        mem: Option<MemProfile>,
+        /// Burden factors computed by the memory model (empty until then).
+        burden: BurdenTable,
+    },
+    /// One parallel task (loop iteration / spawned task).
+    Task {
+        /// Annotation name (`PAR_TASK_BEGIN("name")`).
+        name: String,
+    },
+    /// Terminal computation holding no lock.
+    U,
+    /// Terminal computation holding lock `lock`.
+    L {
+        /// Which lock protects this computation.
+        lock: LockId,
+    },
+    /// A pipeline region (extension per §VII-E / Thies et al., paper ref. 23):
+    /// children are Task nodes (the stream items), whose children are
+    /// [`NodeKind::Stage`] nodes executed in order. Stage `s` of item `i`
+    /// may run once stage `s-1` of item `i` and stage `s` of item `i-1`
+    /// are done (each stage is stateful, one item at a time).
+    Pipe {
+        /// Annotation name (`PIPE_BEGIN("name")`).
+        name: String,
+        /// Memory counters when top-level.
+        mem: Option<MemProfile>,
+        /// Burden factors from the memory model.
+        burden: BurdenTable,
+    },
+    /// One pipeline stage of one item; children are U/L computations.
+    Stage {
+        /// Stage index (0-based, strictly increasing within an item).
+        stage: u32,
+    },
+}
+
+impl NodeKind {
+    /// True for terminal computation nodes (U or L).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, NodeKind::U | NodeKind::L { .. })
+    }
+
+    /// Short tag used in rendering and tests.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            NodeKind::Root => "Root",
+            NodeKind::Sec { .. } => "Sec",
+            NodeKind::Task { .. } => "Task",
+            NodeKind::U => "U",
+            NodeKind::L { .. } => "L",
+            NodeKind::Pipe { .. } => "Pipe",
+            NodeKind::Stage { .. } => "Stage",
+        }
+    }
+}
+
+/// A run of `count` sibling subtrees all structurally equivalent to the
+/// representative node `node` (lengths equal within the compression
+/// tolerance). `total_length` preserves the exact sum of the run members'
+/// lengths so aggregate work is not distorted by compression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Run {
+    /// Representative subtree.
+    pub node: NodeId,
+    /// How many siblings this run stands for (≥ 1).
+    pub count: u32,
+    /// Exact total length of the run members.
+    pub total_length: Cycles,
+}
+
+/// Children of a node: either a plain ordered list or an RLE-compressed
+/// sequence of runs over a dictionary of representative subtrees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChildList {
+    /// Uncompressed ordered children.
+    Plain(Vec<NodeId>),
+    /// Run-length encoded children (see [`crate::compress`]).
+    Rle(Vec<Run>),
+}
+
+impl ChildList {
+    /// Number of logical children after virtual expansion.
+    pub fn logical_len(&self) -> u64 {
+        match self {
+            ChildList::Plain(v) => v.len() as u64,
+            ChildList::Rle(runs) => runs.iter().map(|r| r.count as u64).sum(),
+        }
+    }
+
+    /// Number of physically stored child references.
+    pub fn stored_len(&self) -> usize {
+        match self {
+            ChildList::Plain(v) => v.len(),
+            ChildList::Rle(runs) => runs.len(),
+        }
+    }
+
+    /// True when there are no children at all.
+    pub fn is_empty(&self) -> bool {
+        self.stored_len() == 0
+    }
+}
+
+/// One node of a program tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// What the node represents.
+    pub kind: NodeKind,
+    /// Inclusive length in cycles: for U/L the measured computation, for
+    /// Task/Sec/Root the sum of (logical) children.
+    pub length: Cycles,
+    /// Ordered children (empty for terminals).
+    pub children: ChildList,
+}
+
+impl Node {
+    /// A terminal U node of the given length.
+    pub fn u(length: Cycles) -> Self {
+        Node { kind: NodeKind::U, length, children: ChildList::Plain(Vec::new()) }
+    }
+
+    /// A terminal L node of the given length protected by `lock`.
+    pub fn l(lock: LockId, length: Cycles) -> Self {
+        Node { kind: NodeKind::L { lock }, length, children: ChildList::Plain(Vec::new()) }
+    }
+}
+
+/// An arena-allocated program tree (paper §IV-B).
+///
+/// Nodes are stored in a flat `Vec`; ids are indexes. The root is always
+/// node 0. Trees are immutable once built (the builder enforces length
+/// invariants); the compressor produces a new tree rather than mutating.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramTree {
+    nodes: Vec<Node>,
+}
+
+impl ProgramTree {
+    /// Root node id (always 0 for a non-empty tree).
+    pub const ROOT: NodeId = 0;
+
+    /// Build from a raw node arena. `nodes[0]` must be the root.
+    /// Intended for the builder and compressor; library users go through
+    /// [`crate::TreeBuilder`].
+    pub fn from_nodes(nodes: Vec<Node>) -> Self {
+        debug_assert!(!nodes.is_empty(), "program tree must have a root");
+        debug_assert!(matches!(nodes[0].kind, NodeKind::Root));
+        ProgramTree { nodes }
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutable access (used by the memory model to attach burden factors).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Number of physically stored nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only a bare root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// All node ids in storage order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as NodeId).into_iter()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    /// Total serial execution length recorded by the tree (root length).
+    pub fn total_length(&self) -> Cycles {
+        self.root().length
+    }
+
+    /// Ids of top-level parallel regions (sections and pipelines) in
+    /// program order.
+    pub fn top_level_sections(&self) -> Vec<NodeId> {
+        let is_region = |id: NodeId| {
+            matches!(
+                self.node(id).kind,
+                NodeKind::Sec { .. } | NodeKind::Pipe { .. }
+            )
+        };
+        match &self.root().children {
+            ChildList::Plain(v) => v.iter().copied().filter(|&id| is_region(id)).collect(),
+            ChildList::Rle(runs) => {
+                runs.iter().filter(|r| is_region(r.node)).map(|r| r.node).collect()
+            }
+        }
+    }
+
+    /// Total length of top-level serial (U) computation under the root —
+    /// the `Σ Length(Ui)` term of the overall-speedup formula (§IV-E).
+    pub fn top_level_serial_length(&self) -> Cycles {
+        match &self.root().children {
+            ChildList::Plain(v) => v
+                .iter()
+                .filter(|&&id| matches!(self.node(id).kind, NodeKind::U))
+                .map(|&id| self.node(id).length)
+                .sum(),
+            ChildList::Rle(runs) => runs
+                .iter()
+                .filter(|r| matches!(self.node(r.node).kind, NodeKind::U))
+                .map(|r| r.total_length)
+                .sum(),
+        }
+    }
+
+    /// Approximate bytes consumed by the stored representation. Used for
+    /// the §VI-B memory-overhead experiments.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<ProgramTree>();
+        for n in &self.nodes {
+            bytes += std::mem::size_of::<Node>();
+            bytes += match &n.children {
+                ChildList::Plain(v) => v.len() * std::mem::size_of::<NodeId>(),
+                ChildList::Rle(r) => r.len() * std::mem::size_of::<Run>(),
+            };
+            if let NodeKind::Sec { name, .. } | NodeKind::Task { name } = &n.kind {
+                bytes += name.len();
+            }
+        }
+        bytes
+    }
+
+    /// Recompute every non-terminal node's length as the sum of its logical
+    /// children (bottom-up via memoised recursion — valid for shared/DAG
+    /// arenas produced by the compressor) and return the root length. The
+    /// builder maintains this invariant already; tests use this to verify.
+    pub fn recompute_lengths(&mut self) -> Cycles {
+        fn rec(nodes: &mut Vec<Node>, id: NodeId, done: &mut Vec<bool>) -> Cycles {
+            if done[id as usize] || nodes[id as usize].kind.is_terminal() {
+                done[id as usize] = true;
+                return nodes[id as usize].length;
+            }
+            done[id as usize] = true;
+            let children = nodes[id as usize].children.clone();
+            let sum: Cycles = match children {
+                ChildList::Plain(v) => v.iter().map(|&c| rec(nodes, c, done)).sum(),
+                ChildList::Rle(runs) => runs
+                    .iter()
+                    .map(|r| {
+                        rec(nodes, r.node, done);
+                        r.total_length
+                    })
+                    .sum(),
+            };
+            if !nodes[id as usize].children.is_empty() {
+                nodes[id as usize].length = sum;
+            }
+            nodes[id as usize].length
+        }
+        let mut done = vec![false; self.nodes.len()];
+        rec(&mut self.nodes, Self::ROOT, &mut done)
+    }
+
+    /// Validate structural invariants; returns a description of the first
+    /// violation. Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty tree".into());
+        }
+        if !matches!(self.nodes[0].kind, NodeKind::Root) {
+            return Err("node 0 is not Root".into());
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.kind.is_terminal() && !n.children.is_empty() {
+                return Err(format!("terminal node {i} has children"));
+            }
+            let child_ids: Vec<NodeId> = match &n.children {
+                ChildList::Plain(v) => v.clone(),
+                ChildList::Rle(r) => r.iter().map(|x| x.node).collect(),
+            };
+            for c in child_ids {
+                if c as usize >= self.nodes.len() {
+                    return Err(format!("node {i} references out-of-range child {c}"));
+                }
+                let child = &self.nodes[c as usize];
+                let ok = match (&n.kind, &child.kind) {
+                    (NodeKind::Root, NodeKind::Sec { .. }) => true,
+                    (NodeKind::Root, NodeKind::Pipe { .. }) => true,
+                    (NodeKind::Root, NodeKind::U) => true,
+                    (NodeKind::Sec { .. }, NodeKind::Task { .. }) => true,
+                    (NodeKind::Pipe { .. }, NodeKind::Task { .. }) => true,
+                    (NodeKind::Task { .. }, NodeKind::U) => true,
+                    (NodeKind::Task { .. }, NodeKind::L { .. }) => true,
+                    (NodeKind::Task { .. }, NodeKind::Sec { .. }) => true,
+                    (NodeKind::Task { .. }, NodeKind::Stage { .. }) => true,
+                    (NodeKind::Stage { .. }, NodeKind::U) => true,
+                    (NodeKind::Stage { .. }, NodeKind::L { .. }) => true,
+                    _ => false,
+                };
+                if !ok {
+                    return Err(format!(
+                        "node {i} ({}) has invalid child kind {}",
+                        n.kind.tag(),
+                        child.kind.tag()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render an indented textual dump (small trees only; tests/debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(Self::ROOT, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: NodeId, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let n = self.node(id);
+        let pad = "  ".repeat(depth);
+        match &n.kind {
+            NodeKind::Root => writeln!(out, "{pad}Root len={}", n.length).unwrap(),
+            NodeKind::Sec { name, nowait, .. } => {
+                writeln!(out, "{pad}Sec({name}) len={} nowait={}", n.length, nowait).unwrap()
+            }
+            NodeKind::Task { name } => writeln!(out, "{pad}Task({name}) len={}", n.length).unwrap(),
+            NodeKind::U => writeln!(out, "{pad}U len={}", n.length).unwrap(),
+            NodeKind::L { lock } => writeln!(out, "{pad}L(lock{lock}) len={}", n.length).unwrap(),
+            NodeKind::Pipe { name, .. } => {
+                writeln!(out, "{pad}Pipe({name}) len={}", n.length).unwrap()
+            }
+            NodeKind::Stage { stage } => {
+                writeln!(out, "{pad}Stage({stage}) len={}", n.length).unwrap()
+            }
+        }
+        match &n.children {
+            ChildList::Plain(v) => {
+                for &c in v {
+                    self.render_node(c, depth + 1, out);
+                }
+            }
+            ChildList::Rle(runs) => {
+                for r in runs {
+                    use std::fmt::Write;
+                    writeln!(out, "{}x{} (total {})", "  ".repeat(depth + 1), r.count, r.total_length)
+                        .unwrap();
+                    self.render_node(r.node, depth + 2, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_profile_derived_metrics() {
+        let m = MemProfile {
+            instructions: 1000,
+            cycles: 2500,
+            llc_misses: 10,
+            dram_bytes: 640,
+            traffic_mbps: 100.0,
+        };
+        assert!((m.mpi() - 0.01).abs() < 1e-12);
+        assert!((m.cpi() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_profile_zero_instructions() {
+        let m = MemProfile::default();
+        assert_eq!(m.mpi(), 0.0);
+        assert_eq!(m.cpi(), 0.0);
+    }
+
+    #[test]
+    fn burden_table_sanitises_entries() {
+        let t = BurdenTable::from_entries(vec![(2, 0.5), (4, f64::NAN), (8, 1.5), (12, -3.0)]);
+        // Sub-unit factors are legitimate (cache-trend bonus)…
+        assert_eq!(t.factor(2), 0.5);
+        // …but non-finite or non-positive ones are rejected.
+        assert_eq!(t.factor(4), 1.0);
+        assert_eq!(t.factor(8), 1.5);
+        assert_eq!(t.factor(12), 1.0);
+    }
+
+    #[test]
+    fn burden_table_interpolates() {
+        let t = BurdenTable::from_entries(vec![(2, 1.0), (4, 1.4)]);
+        assert!((t.factor(3) - 1.2).abs() < 1e-12);
+        // Flat extrapolation beyond the last calibrated point.
+        assert!((t.factor(12) - 1.4).abs() < 1e-12);
+        // Single thread is never burdened.
+        assert_eq!(t.factor(1), 1.0);
+    }
+
+    #[test]
+    fn burden_table_set_replaces() {
+        let mut t = BurdenTable::unit();
+        t.set(4, 1.3);
+        t.set(4, 1.6);
+        assert_eq!(t.entries(), &[(4, 1.6)]);
+        assert!(!t.is_unit());
+        t.set(4, 1.0);
+        assert!(t.is_unit());
+        t.set(4, -1.0);
+        assert!(t.is_unit(), "invalid set falls back to 1.0");
+    }
+
+    #[test]
+    fn child_list_lengths() {
+        let plain = ChildList::Plain(vec![1, 2, 3]);
+        assert_eq!(plain.logical_len(), 3);
+        assert_eq!(plain.stored_len(), 3);
+        let rle = ChildList::Rle(vec![
+            Run { node: 1, count: 10, total_length: 100 },
+            Run { node: 2, count: 5, total_length: 55 },
+        ]);
+        assert_eq!(rle.logical_len(), 15);
+        assert_eq!(rle.stored_len(), 2);
+    }
+
+    #[test]
+    fn render_and_validate_tiny_tree() {
+        let nodes = vec![
+            Node {
+                kind: NodeKind::Root,
+                length: 30,
+                children: ChildList::Plain(vec![1, 4]),
+            },
+            Node {
+                kind: NodeKind::Sec {
+                    name: "s".into(),
+                    nowait: false,
+                    mem: None,
+                    burden: BurdenTable::unit(),
+                },
+                length: 20,
+                children: ChildList::Plain(vec![2]),
+            },
+            Node {
+                kind: NodeKind::Task { name: "t".into() },
+                length: 20,
+                children: ChildList::Plain(vec![3]),
+            },
+            Node::u(20),
+            Node::u(10),
+        ];
+        let tree = ProgramTree::from_nodes(nodes);
+        tree.validate().unwrap();
+        assert_eq!(tree.total_length(), 30);
+        assert_eq!(tree.top_level_sections(), vec![1]);
+        assert_eq!(tree.top_level_serial_length(), 10);
+        let r = tree.render();
+        assert!(r.contains("Sec(s)"));
+        assert!(r.contains("Task(t)"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_parentage() {
+        let nodes = vec![
+            Node { kind: NodeKind::Root, length: 5, children: ChildList::Plain(vec![1]) },
+            // A Task directly under Root is invalid.
+            Node {
+                kind: NodeKind::Task { name: "t".into() },
+                length: 5,
+                children: ChildList::Plain(vec![]),
+            },
+        ];
+        let tree = ProgramTree::from_nodes(nodes);
+        assert!(tree.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let nodes = vec![
+            Node { kind: NodeKind::Root, length: 7, children: ChildList::Plain(vec![1]) },
+            Node {
+                kind: NodeKind::Sec {
+                    name: "loop".into(),
+                    nowait: true,
+                    mem: Some(MemProfile::default()),
+                    burden: BurdenTable::from_entries(vec![(2, 1.2)]),
+                },
+                length: 7,
+                children: ChildList::Plain(vec![2]),
+            },
+            Node {
+                kind: NodeKind::Task { name: "i".into() },
+                length: 7,
+                children: ChildList::Plain(vec![3]),
+            },
+            Node::l(3, 7),
+        ];
+        let tree = ProgramTree::from_nodes(nodes);
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: ProgramTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(tree, back);
+    }
+}

@@ -1,0 +1,315 @@
+//! Aggregate statistics over program trees: node censuses, work summaries,
+//! and the critical path (span) used for upper-bound speedup estimates.
+
+use std::collections::HashMap;
+
+use crate::node::{ChildList, Cycles, LockId, NodeId, NodeKind, ProgramTree};
+use crate::visit::expanded_children;
+
+/// Census of a program tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TreeStats {
+    /// Stored section nodes.
+    pub sections: usize,
+    /// Stored pipeline nodes.
+    pub pipes: usize,
+    /// Stored stage nodes.
+    pub stages: usize,
+    /// Stored task nodes.
+    pub tasks: usize,
+    /// Stored U nodes.
+    pub u_nodes: usize,
+    /// Stored L nodes.
+    pub l_nodes: usize,
+    /// Maximum nesting depth of sections (1 = flat parallel loops).
+    pub max_section_depth: usize,
+    /// Distinct lock ids appearing in the tree.
+    pub locks: Vec<LockId>,
+}
+
+impl TreeStats {
+    /// Gather the census for `tree`.
+    pub fn gather(tree: &ProgramTree) -> Self {
+        let mut stats = TreeStats::default();
+        let mut locks: Vec<LockId> = Vec::new();
+        // Walk stored nodes (not logical) for the census…
+        for id in tree.ids() {
+            match &tree.node(id).kind {
+                NodeKind::Sec { .. } => stats.sections += 1,
+                NodeKind::Task { .. } => stats.tasks += 1,
+                NodeKind::U => stats.u_nodes += 1,
+                NodeKind::L { lock } => {
+                    stats.l_nodes += 1;
+                    if !locks.contains(lock) {
+                        locks.push(*lock);
+                    }
+                }
+                NodeKind::Root => {}
+                NodeKind::Pipe { .. } => stats.pipes += 1,
+                NodeKind::Stage { .. } => stats.stages += 1,
+            }
+        }
+        locks.sort_unstable();
+        stats.locks = locks;
+        // …but real depth via traversal (shared subtrees reached from their
+        // deepest occurrence).
+        stats.max_section_depth = section_depth(tree, ProgramTree::ROOT, 0);
+        stats
+    }
+}
+
+fn section_depth(tree: &ProgramTree, id: NodeId, depth: usize) -> usize {
+    let here = match &tree.node(id).kind {
+        NodeKind::Sec { .. } => depth + 1,
+        _ => depth,
+    };
+    let mut max = here;
+    match &tree.node(id).children {
+        ChildList::Plain(v) => {
+            for &c in v {
+                max = max.max(section_depth(tree, c, here));
+            }
+        }
+        ChildList::Rle(runs) => {
+            for r in runs {
+                max = max.max(section_depth(tree, r.node, here));
+            }
+        }
+    }
+    max
+}
+
+/// Work decomposition of a program tree (§IV-E overall-speedup formula).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkSummary {
+    /// Total program length `T₁` (root length).
+    pub total: Cycles,
+    /// Work inside top-level parallel sections, `Σ Length(secᵢ)`.
+    pub parallel_work: Cycles,
+    /// Top-level serial work, `Σ Length(Uᵢ)`.
+    pub serial_work: Cycles,
+    /// Per top-level section `(section node, length)` in program order.
+    pub sections: Vec<(NodeId, Cycles)>,
+    /// Work held under each lock across the whole tree (logical totals).
+    pub lock_work: HashMap<LockId, Cycles>,
+    /// Critical path (span) `T∞`: the longest chain assuming unbounded
+    /// processors, zero overhead, perfect memory.
+    pub span: Cycles,
+}
+
+impl WorkSummary {
+    /// Compute the summary for `tree`.
+    pub fn gather(tree: &ProgramTree) -> Self {
+        let sections: Vec<(NodeId, Cycles)> = tree
+            .top_level_sections()
+            .into_iter()
+            .map(|id| (id, tree.node(id).length))
+            .collect();
+        let parallel_work = sections.iter().map(|&(_, l)| l).sum();
+        let mut lock_work = HashMap::new();
+        gather_lock_work(tree, ProgramTree::ROOT, 1, &mut lock_work);
+        WorkSummary {
+            total: tree.total_length(),
+            parallel_work,
+            serial_work: tree.top_level_serial_length(),
+            sections,
+            lock_work,
+            span: span_of(tree, ProgramTree::ROOT),
+        }
+    }
+
+    /// Fraction of the program inside parallel sections (the `p` of
+    /// Amdahl's law when the sections are perfectly parallelisable).
+    pub fn parallel_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.parallel_work as f64 / self.total as f64
+        }
+    }
+
+    /// Upper-bound speedup on `t` processors implied by span and total work
+    /// (Brent's bound: max(T₁/t, T∞) lower-bounds execution time).
+    pub fn brent_bound(&self, threads: u32) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let lower_time = (self.total as f64 / threads as f64).max(self.span as f64);
+        self.total as f64 / lower_time
+    }
+}
+
+fn gather_lock_work(
+    tree: &ProgramTree,
+    id: NodeId,
+    multiplicity: u64,
+    acc: &mut HashMap<LockId, Cycles>,
+) {
+    if let NodeKind::L { lock } = &tree.node(id).kind {
+        *acc.entry(*lock).or_insert(0) += multiplicity * tree.node(id).length;
+        return;
+    }
+    match &tree.node(id).children {
+        ChildList::Plain(v) => {
+            for &c in v {
+                gather_lock_work(tree, c, multiplicity, acc);
+            }
+        }
+        ChildList::Rle(runs) => {
+            for r in runs {
+                gather_lock_work(tree, r.node, multiplicity * r.count as u64, acc);
+            }
+        }
+    }
+}
+
+/// Span (critical path) of a subtree:
+/// * U/L: own length;
+/// * Task: sum of child spans (sequential within a task), plus any direct
+///   computation;
+/// * Sec: max of task spans (tasks run concurrently on ∞ processors);
+/// * Root: serial children sum, sections contribute their span.
+pub fn span_of(tree: &ProgramTree, id: NodeId) -> Cycles {
+    let node = tree.node(id);
+    match &node.kind {
+        NodeKind::U | NodeKind::L { .. } => node.length,
+        NodeKind::Sec { .. } => {
+            expanded_children(tree, id).map(|t| span_of(tree, t)).max().unwrap_or(0)
+        }
+        NodeKind::Task { .. } | NodeKind::Stage { .. } | NodeKind::Root => {
+            expanded_children(tree, id).map(|c| span_of(tree, c)).sum()
+        }
+        NodeKind::Pipe { .. } => {
+            // Pipeline makespan lower bound on unbounded processors:
+            // max(longest item, busiest stage column).
+            let mut stage_work: HashMap<u32, Cycles> = HashMap::new();
+            let mut longest_item: Cycles = 0;
+            for item in expanded_children(tree, id) {
+                let mut item_len: Cycles = 0;
+                for st in expanded_children(tree, item) {
+                    let len = tree.node(st).length;
+                    item_len += len;
+                    if let NodeKind::Stage { stage } = &tree.node(st).kind {
+                        *stage_work.entry(*stage).or_insert(0) += len;
+                    }
+                }
+                longest_item = longest_item.max(item_len);
+            }
+            let busiest = stage_work.values().copied().max().unwrap_or(0);
+            longest_item.max(busiest)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::compress::{compress_tree, CompressOptions};
+
+    fn sample_tree() -> ProgramTree {
+        let mut b = TreeBuilder::new();
+        b.add_compute(100).unwrap(); // serial prologue
+        b.begin_sec("main").unwrap();
+        for i in 0..4u64 {
+            b.begin_task("t").unwrap();
+            b.add_compute(100 * (i + 1)).unwrap();
+            b.begin_lock(7).unwrap();
+            b.add_compute(50).unwrap();
+            b.end_lock(7).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        b.add_compute(60).unwrap(); // serial epilogue
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn census_counts_nodes_and_locks() {
+        let tree = sample_tree();
+        let s = TreeStats::gather(&tree);
+        assert_eq!(s.sections, 1);
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.l_nodes, 4);
+        assert_eq!(s.locks, vec![7]);
+        assert_eq!(s.max_section_depth, 1);
+    }
+
+    #[test]
+    fn work_summary_decomposes_program() {
+        let tree = sample_tree();
+        let w = WorkSummary::gather(&tree);
+        let par = 100 + 50 + 200 + 50 + 300 + 50 + 400 + 50;
+        assert_eq!(w.parallel_work, par);
+        assert_eq!(w.serial_work, 160);
+        assert_eq!(w.total, par + 160);
+        assert_eq!(w.lock_work[&7], 200);
+        // Span: serial 160 + longest task 450.
+        assert_eq!(w.span, 160 + 450);
+        assert!((w.parallel_fraction() - par as f64 / (par + 160) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_bound_monotone_and_capped() {
+        let tree = sample_tree();
+        let w = WorkSummary::gather(&tree);
+        let s2 = w.brent_bound(2);
+        let s4 = w.brent_bound(4);
+        let s_inf = w.brent_bound(1_000_000);
+        assert!(s2 <= s4 + 1e-12);
+        assert!(s4 <= s_inf + 1e-12);
+        // ∞-processor bound = T1 / span.
+        assert!((s_inf - w.total as f64 / w.span as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lock_work_respects_run_multiplicity() {
+        let mut b = TreeBuilder::new();
+        b.begin_sec("s").unwrap();
+        for _ in 0..100 {
+            b.begin_task("t").unwrap();
+            b.begin_lock(3).unwrap();
+            b.add_compute(10).unwrap();
+            b.end_lock(3).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        let tree = b.finish().unwrap();
+        let (c, _) = compress_tree(&tree, CompressOptions::default());
+        let w = WorkSummary::gather(&c);
+        assert_eq!(w.lock_work[&3], 1000);
+    }
+
+    #[test]
+    fn span_of_nested_sections() {
+        // Task containing a nested section: span(task) includes
+        // max-over-inner-tasks, not their sum.
+        let mut b = TreeBuilder::new();
+        b.begin_sec("outer").unwrap();
+        b.begin_task("t").unwrap();
+        b.add_compute(10).unwrap();
+        b.begin_sec("inner").unwrap();
+        for len in [30u64, 70, 50] {
+            b.begin_task("i").unwrap();
+            b.add_compute(len).unwrap();
+            b.end_task().unwrap();
+        }
+        b.end_sec(false).unwrap();
+        b.end_task().unwrap();
+        b.end_sec(false).unwrap();
+        let tree = b.finish().unwrap();
+        let w = WorkSummary::gather(&tree);
+        assert_eq!(w.span, 10 + 70);
+        assert_eq!(w.total, 10 + 150);
+    }
+
+    #[test]
+    fn empty_tree_summary() {
+        let tree = TreeBuilder::new().finish().unwrap();
+        let w = WorkSummary::gather(&tree);
+        assert_eq!(w.total, 0);
+        assert_eq!(w.span, 0);
+        assert_eq!(w.parallel_fraction(), 0.0);
+        assert_eq!(w.brent_bound(8), 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for program-tree construction and compression.
+
+use proptest::prelude::*;
+use proftree::visit::logical_node_count;
+use proftree::{compress_tree, CompressOptions, ProgramTree, TreeBuilder, WorkSummary};
+
+/// A recipe for building a random but *valid* annotated program.
+#[derive(Debug, Clone)]
+enum Step {
+    Loop { trips: u8, base: u32, jitter: u32, lock_every: u8 },
+    Serial(u32),
+    NestedLoop { outer: u8, inner: u8, base: u32 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u8..40, 1u32..10_000, 0u32..500, 0u8..4).prop_map(|(trips, base, jitter, lock_every)| {
+            Step::Loop { trips, base, jitter, lock_every }
+        }),
+        (1u32..50_000).prop_map(Step::Serial),
+        (1u8..8, 1u8..8, 1u32..5_000).prop_map(|(outer, inner, base)| Step::NestedLoop {
+            outer,
+            inner,
+            base
+        }),
+    ]
+}
+
+fn build(steps: &[Step]) -> ProgramTree {
+    let mut b = TreeBuilder::new();
+    for (si, step) in steps.iter().enumerate() {
+        match step {
+            Step::Serial(c) => b.add_compute(*c as u64).unwrap(),
+            Step::Loop { trips, base, jitter, lock_every } => {
+                b.begin_sec(&format!("loop{si}")).unwrap();
+                for i in 0..*trips {
+                    b.begin_task("t").unwrap();
+                    let len = *base as u64 + (i as u64 * *jitter as u64) % (*base as u64);
+                    b.add_compute(len).unwrap();
+                    if *lock_every > 0 && i % *lock_every == 0 {
+                        b.begin_lock(1).unwrap();
+                        b.add_compute(*base as u64 / 4 + 1).unwrap();
+                        b.end_lock(1).unwrap();
+                    }
+                    b.end_task().unwrap();
+                }
+                b.end_sec(false).unwrap();
+            }
+            Step::NestedLoop { outer, inner, base } => {
+                b.begin_sec(&format!("outer{si}")).unwrap();
+                for _ in 0..*outer {
+                    b.begin_task("ot").unwrap();
+                    b.add_compute(*base as u64).unwrap();
+                    b.begin_sec("inner").unwrap();
+                    for j in 0..*inner {
+                        b.begin_task("it").unwrap();
+                        b.add_compute(*base as u64 + j as u64).unwrap();
+                        b.end_task().unwrap();
+                    }
+                    b.end_sec(false).unwrap();
+                    b.end_task().unwrap();
+                }
+                b.end_sec(false).unwrap();
+            }
+        }
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compression never changes total work, logical node count, or the
+    /// §IV-E work decomposition beyond the length tolerance.
+    #[test]
+    fn compression_preserves_work(steps in proptest::collection::vec(step_strategy(), 1..6)) {
+        let tree = build(&steps);
+        tree.validate().unwrap();
+        let (c, stats) = compress_tree(&tree, CompressOptions::default());
+        c.validate().unwrap();
+
+        // Exact invariants.
+        prop_assert_eq!(c.total_length(), tree.total_length());
+        prop_assert_eq!(logical_node_count(&c), logical_node_count(&tree));
+        prop_assert_eq!(stats.logical_nodes, logical_node_count(&tree));
+        prop_assert!(c.len() <= tree.len());
+
+        // Decomposition invariants.
+        let w0 = WorkSummary::gather(&tree);
+        let w1 = WorkSummary::gather(&c);
+        prop_assert_eq!(w0.serial_work, w1.serial_work);
+        prop_assert_eq!(w0.total, w1.total);
+        prop_assert_eq!(w0.sections.len(), w1.sections.len());
+
+        // Span may shift within the tolerance band when subtrees merged;
+        // bound the relative drift by the tolerance.
+        let (s0, s1) = (w0.span as f64, w1.span as f64);
+        if s0 > 0.0 {
+            prop_assert!((s1 - s0).abs() / s0 <= 0.06, "span drift {s0} -> {s1}");
+        }
+    }
+
+    /// Span ≤ total, and Brent bounds are sane for any built tree.
+    #[test]
+    fn span_and_bounds_invariants(steps in proptest::collection::vec(step_strategy(), 1..6)) {
+        let tree = build(&steps);
+        let w = WorkSummary::gather(&tree);
+        prop_assert!(w.span <= w.total);
+        prop_assert_eq!(w.serial_work + w.parallel_work, w.total);
+        let mut prev = 0.0_f64;
+        for t in [1u32, 2, 4, 8, 16, 64] {
+            let b = w.brent_bound(t);
+            prop_assert!(b >= prev - 1e-9, "bound not monotone at t={t}");
+            prop_assert!(b <= t as f64 + 1e-9, "superlinear bound at t={t}");
+            prev = b;
+        }
+    }
+
+    /// Double compression is idempotent w.r.t. the invariants.
+    #[test]
+    fn recompression_stable(steps in proptest::collection::vec(step_strategy(), 1..4)) {
+        let tree = build(&steps);
+        let (c1, _) = compress_tree(&tree, CompressOptions::default());
+        let (c2, _) = compress_tree(&c1, CompressOptions::default());
+        prop_assert_eq!(c2.total_length(), tree.total_length());
+        prop_assert_eq!(logical_node_count(&c2), logical_node_count(&tree));
+        prop_assert!(c2.len() <= c1.len());
+    }
+}

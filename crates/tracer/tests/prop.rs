@@ -1,0 +1,173 @@
+//! Property tests: interval profiling conserves the program's virtual
+//! time and attributes it to the right tree nodes, for arbitrary
+//! annotated programs.
+
+use proptest::prelude::*;
+
+use proftree::{NodeKind, WorkSummary};
+use tracer::{ProfileOptions, Tracer};
+
+/// A random but well-formed annotated program.
+#[derive(Debug, Clone)]
+enum Step {
+    Serial(u32),
+    Loop { tasks: Vec<(u32, Option<(u8, u32)>)> }, // (work, lock(id, len))
+    Pipe { items: u8, stages: Vec<u32> },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u32..50_000).prop_map(Step::Serial),
+        proptest::collection::vec(
+            (1u32..20_000, proptest::option::of((0u8..3, 1u32..5_000))),
+            1..20
+        )
+        .prop_map(|tasks| Step::Loop { tasks }),
+        (1u8..8, proptest::collection::vec(1u32..10_000, 1..5))
+            .prop_map(|(items, stages)| Step::Pipe { items, stages }),
+    ]
+}
+
+fn opts() -> ProfileOptions {
+    let mut o = ProfileOptions::default();
+    o.annotation_overhead = 100;
+    o
+}
+
+fn run(steps: &[Step], compress: bool) -> tracer::ProfileResult {
+    let mut o = opts();
+    o.compress = compress;
+    let mut t = Tracer::new(o);
+    for step in steps {
+        match step {
+            Step::Serial(w) => t.work(*w as u64),
+            Step::Loop { tasks } => {
+                t.par_sec_begin("loop");
+                for (w, lock) in tasks {
+                    t.par_task_begin("t");
+                    t.work(*w as u64);
+                    if let Some((id, len)) = lock {
+                        t.lock_begin(*id as u32 + 1);
+                        t.work(*len as u64);
+                        t.lock_end(*id as u32 + 1);
+                    }
+                    t.par_task_end();
+                }
+                t.par_sec_end(false);
+            }
+            Step::Pipe { items, stages } => {
+                t.pipe_begin("pipe");
+                for _ in 0..*items {
+                    t.par_task_begin("item");
+                    for (s, w) in stages.iter().enumerate() {
+                        t.stage_begin(s as u32);
+                        t.work(*w as u64);
+                        t.stage_end(s as u32);
+                    }
+                    t.par_task_end();
+                }
+                t.pipe_end();
+            }
+        }
+    }
+    t.finish().expect("well-formed annotations")
+}
+
+/// Total instructions issued by the program (cycles = instr × CPI base).
+fn issued_instr(steps: &[Step]) -> u64 {
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::Serial(w) => *w as u64,
+            Step::Loop { tasks } => tasks
+                .iter()
+                .map(|(w, l)| *w as u64 + l.map_or(0, |(_, len)| len as u64))
+                .sum(),
+            Step::Pipe { items, stages } => {
+                *items as u64 * stages.iter().map(|&w| w as u64).sum::<u64>()
+            }
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: the tree's total length equals the program's issued
+    /// virtual time exactly (CPI base 0.75, no memory accesses), and the
+    /// annotation overhead never leaks into it.
+    #[test]
+    fn tree_conserves_virtual_time(
+        steps in proptest::collection::vec(step_strategy(), 1..6),
+    ) {
+        let r = run(&steps, false);
+        let expected = (issued_instr(&steps) as f64 * 0.75).round() as u64;
+        // Cycles are computed from cumulative instruction counts; interval
+        // deltas may round each boundary, so allow 1 cycle per annotation.
+        let slack = r.annotation_events + 1;
+        let diff = (r.net_cycles as i64 - expected as i64).unsigned_abs();
+        prop_assert!(diff <= slack, "net {} vs expected {expected}", r.net_cycles);
+        prop_assert_eq!(r.gross_cycles - r.net_cycles >= r.annotation_events * 100, true);
+    }
+
+    /// The §IV-E decomposition holds: serial + regions == total; lock
+    /// work is attributed to the right lock ids.
+    #[test]
+    fn decomposition_and_lock_attribution(
+        steps in proptest::collection::vec(step_strategy(), 1..6),
+    ) {
+        let r = run(&steps, false);
+        let w = WorkSummary::gather(&r.tree);
+        prop_assert_eq!(w.serial_work + w.parallel_work, w.total);
+
+        // Lock totals: recompute expectations directly.
+        let mut expected_locks = std::collections::HashMap::new();
+        for s in &steps {
+            if let Step::Loop { tasks } = s {
+                for (_, l) in tasks {
+                    if let Some((id, len)) = l {
+                        *expected_locks.entry(*id as u32 + 1).or_insert(0u64) +=
+                            (*len as f64 * 0.75).round() as u64;
+                    }
+                }
+            }
+        }
+        for (id, expect) in expected_locks {
+            let got = w.lock_work.get(&id).copied().unwrap_or(0);
+            let diff = (got as i64 - expect as i64).unsigned_abs();
+            prop_assert!(diff <= 64, "lock {id}: {got} vs {expect}");
+        }
+    }
+
+    /// Compression preserves the §IV-E decomposition exactly.
+    #[test]
+    fn compressed_tree_same_decomposition(
+        steps in proptest::collection::vec(step_strategy(), 1..5),
+    ) {
+        let plain = run(&steps, false);
+        let packed = run(&steps, true);
+        let a = WorkSummary::gather(&plain.tree);
+        let b = WorkSummary::gather(&packed.tree);
+        prop_assert_eq!(a.total, b.total);
+        prop_assert_eq!(a.serial_work, b.serial_work);
+        prop_assert!(packed.tree.len() <= plain.tree.len());
+    }
+
+    /// Pipe trees record every item and stage.
+    #[test]
+    fn pipeline_structure_recorded(items in 1u8..10, stages in 1usize..5) {
+        let stage_lens: Vec<u32> = (0..stages).map(|s| 1_000 * (s as u32 + 1)).collect();
+        let r = run(&[Step::Pipe { items, stages: stage_lens }], false);
+        let mut pipe_nodes = 0;
+        let mut stage_nodes = 0;
+        for id in r.tree.ids() {
+            match r.tree.node(id).kind {
+                NodeKind::Pipe { .. } => pipe_nodes += 1,
+                NodeKind::Stage { .. } => stage_nodes += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(pipe_nodes, 1);
+        prop_assert_eq!(stage_nodes as usize, items as usize * stages);
+    }
+}

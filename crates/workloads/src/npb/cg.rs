@@ -1,0 +1,199 @@
+//! NPB CG: conjugate gradient with an irregular sparse matrix.
+//!
+//! Each iteration is dominated by a CSR sparse matrix-vector product with
+//! pseudo-random column indices — the classic bandwidth-and-latency-bound
+//! access pattern (paper Fig. 12(g): CG's tree also stresses the profiler;
+//! §VI-B compresses its 13.5 GB tree by 93%). The SpMV row loop and the
+//! vector updates are parallel sections.
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray};
+
+/// The CG kernel.
+#[derive(Debug, Clone)]
+pub struct Cg {
+    /// Matrix dimension (rows).
+    pub n: u64,
+    /// Nonzeros per row.
+    pub nnz_per_row: u64,
+    /// CG iterations.
+    pub iters: u64,
+    /// Rows per parallel task.
+    pub rows_per_task: u64,
+}
+
+impl Cg {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Cg { n: 512, nnz_per_row: 8, iters: 1, rows_per_task: 64 }
+    }
+
+    /// Experiment instance: ~32k rows × 24 nnz ≈ 6 MB of matrix + vectors
+    /// on the 1.5 MB LLC (paper: B/400MB on 12 MB).
+    pub fn paper() -> Self {
+        Cg { n: 1 << 15, nnz_per_row: 24, iters: 3, rows_per_task: 256 }
+    }
+
+    /// Footprint: CSR values+cols plus four vectors.
+    pub fn footprint(&self) -> u64 {
+        self.n * self.nnz_per_row * 12 + 4 * self.n * 8
+    }
+}
+
+fn col_of(row: u64, k: u64, n: u64) -> u64 {
+    // Deterministic pseudo-random column, biased toward locality like
+    // NPB's makea (a band plus scattered entries).
+    let mut x = row.wrapping_mul(0x9E3779B97F4A7C15) ^ k.wrapping_mul(0xD1B54A32D192ED03);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    if k % 3 == 0 {
+        // Banded entry near the diagonal.
+        (row + (x % 32)) % n
+    } else {
+        x % n
+    }
+}
+
+impl AnnotatedProgram for Cg {
+    fn name(&self) -> &str {
+        "NPB-CG"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let n = self.n;
+        let mut heap = VAlloc::new();
+        let vals = VArray::alloc(&mut heap, n * self.nnz_per_row, 8);
+        let cols = VArray::alloc(&mut heap, n * self.nnz_per_row, 4);
+        let x = VArray::alloc(&mut heap, n, 8);
+        let q = VArray::alloc(&mut heap, n, 8);
+        let r = VArray::alloc(&mut heap, n, 8);
+        let p = VArray::alloc(&mut heap, n, 8);
+
+        // Initialise vectors (serial).
+        for i in 0..n {
+            t.work(3);
+            t.write(x.at(i));
+            t.write(p.at(i));
+            t.write(r.at(i));
+        }
+
+        for _it in 0..self.iters {
+            // q = A·p (the dominant SpMV), parallel over row blocks.
+            t.par_sec_begin("cg_spmv");
+            let mut row = 0u64;
+            while row < n {
+                t.par_task_begin("rows");
+                let end = (row + self.rows_per_task).min(n);
+                for i in row..end {
+                    for k in 0..self.nnz_per_row {
+                        let idx = i * self.nnz_per_row + k;
+                        t.read(vals.at(idx));
+                        t.read(cols.at(idx));
+                        // The gather: p[col] with irregular col.
+                        t.read(p.at(col_of(i, k, n)));
+                        t.work(2);
+                    }
+                    t.write(q.at(i));
+                }
+                t.par_task_end();
+                row = end;
+            }
+            t.par_sec_end(false);
+
+            // α = (r·r)/(p·q); x += α p; r -= α q  — parallel vector ops.
+            t.par_sec_begin("cg_axpy");
+            let mut row = 0u64;
+            while row < n {
+                t.par_task_begin("rows");
+                let end = (row + self.rows_per_task).min(n);
+                for i in row..end {
+                    t.read(p.at(i));
+                    t.read(q.at(i));
+                    t.read(r.at(i));
+                    t.work(6);
+                    t.write(x.at(i));
+                    t.write(r.at(i));
+                }
+                t.par_task_end();
+                row = end;
+            }
+            t.par_sec_end(false);
+
+            // ρ = r·r and p = r + β p (serial reduction + parallel update
+            // folded together; reduction kept serial as in NPB's omp
+            // master sections).
+            for i in 0..n {
+                t.read(r.at(i));
+                t.work(2);
+            }
+            t.par_sec_begin("cg_pupdate");
+            let mut row = 0u64;
+            while row < n {
+                t.par_task_begin("rows");
+                let end = (row + self.rows_per_task).min(n);
+                for i in row..end {
+                    t.read(r.at(i));
+                    t.read(p.at(i));
+                    t.work(3);
+                    t.write(p.at(i));
+                }
+                t.par_task_end();
+                row = end;
+            }
+            t.par_sec_end(false);
+        }
+    }
+}
+
+impl Benchmark for Cg {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "NPB-CG".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!("{}x{}nnz/{}MB", self.n, self.nnz_per_row, self.footprint() >> 20),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::NodeKind;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn cg_profiles_three_sections_per_iteration() {
+        let cg = Cg::small();
+        let r = profile(&cg, ProfileOptions::default());
+        assert_eq!(r.tree.top_level_sections().len() as u64, 3 * cg.iters);
+    }
+
+    #[test]
+    fn spmv_dominates() {
+        let cg = Cg::small();
+        let r = profile(&cg, ProfileOptions::default());
+        let secs = r.tree.top_level_sections();
+        let spmv = r.tree.node(secs[0]).length;
+        let axpy = r.tree.node(secs[1]).length;
+        assert!(spmv > 2 * axpy, "spmv {spmv} axpy {axpy}");
+    }
+
+    #[test]
+    fn gather_makes_spmv_memory_hungry_at_scale() {
+        let cg = Cg { n: 8192, nnz_per_row: 12, iters: 1, rows_per_task: 256 };
+        let mut opts = ProfileOptions::default();
+        opts.hierarchy = cachesim::HierarchyConfig::tiny();
+        let r = profile(&cg, opts);
+        let secs = r.tree.top_level_sections();
+        if let NodeKind::Sec { mem: Some(m), .. } = &r.tree.node(secs[0]).kind {
+            assert!(m.mpi() > 0.01, "spmv mpi {}", m.mpi());
+        } else {
+            panic!("missing counters");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! NPB EP: the embarrassingly parallel kernel.
+//!
+//! Generates pairs of pseudo-random numbers, applies the acceptance test
+//! of the Marsaglia polar method, and tallies Gaussian deviates into ten
+//! counters. Footprint is a few KB (the paper's input is `B/7MB` — all
+//! table space), so EP is pure compute and scales linearly to 12 cores
+//! (Fig. 12(e)), making it the control benchmark for the memory model
+//! (burden must stay 1.0).
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray};
+
+/// The EP kernel.
+#[derive(Debug, Clone)]
+pub struct Ep {
+    /// Total random pairs (2^m in NPB classes).
+    pub pairs: u64,
+    /// Pairs per parallel task (NPB blocks the iteration space).
+    pub block: u64,
+}
+
+impl Ep {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Ep { pairs: 1 << 12, block: 1 << 8 }
+    }
+
+    /// Experiment instance.
+    pub fn paper() -> Self {
+        Ep { pairs: 1 << 20, block: 1 << 13 }
+    }
+}
+
+impl AnnotatedProgram for Ep {
+    fn name(&self) -> &str {
+        "NPB-EP"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let blocks = self.pairs / self.block;
+        let mut heap = VAlloc::new();
+        // Per-block private tally tables (10 bins) + the global table.
+        let global = VArray::alloc(&mut heap, 10, 8);
+
+        t.par_sec_begin("ep_main");
+        for b in 0..blocks {
+            t.par_task_begin("block");
+            let tally = VArray::alloc(&mut heap, 10, 8);
+            for _i in 0..self.block {
+                // LCG pair generation + polar acceptance test ≈ 22 flops.
+                t.work(22);
+                // Accept ~ 78.5% (π/4): tally on acceptance. Use a cheap
+                // deterministic proxy for the branch.
+                if (b ^ _i) % 4 != 3 {
+                    t.work(12); // log/sqrt of the accepted pair
+                    t.read(tally.at(((b + _i) % 10) as u64));
+                    t.write(tally.at(((b + _i) % 10) as u64));
+                }
+            }
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+
+        // Reduction of tallies (serial, negligible).
+        for k in 0..10 {
+            t.read(global.at(k));
+            t.work(blocks * 1);
+            t.write(global.at(k));
+        }
+    }
+}
+
+impl Benchmark for Ep {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "NPB-EP".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!("2^{} pairs", self.pairs.trailing_zeros()),
+            footprint_bytes: 4 << 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn ep_is_flat_balanced_and_compute_bound() {
+        let ep = Ep::small();
+        let r = profile(&ep, ProfileOptions::default());
+        let secs = r.tree.top_level_sections();
+        assert_eq!(secs.len(), 1);
+        assert!(r.counters.mpi() < 0.0005, "mpi {}", r.counters.mpi());
+        // Balanced: the compressed tree is tiny.
+        assert!(r.tree.len() < 32, "tree {} nodes", r.tree.len());
+    }
+}

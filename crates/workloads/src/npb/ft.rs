@@ -1,0 +1,186 @@
+//! NPB FT: 3-D FFT — the paper's flagship memory-bound case (Fig. 2:
+//! "Speedups are saturated due to increased memory traffics", input B,
+//! 850 MB footprint on a 12 MB LLC).
+//!
+//! Each iteration applies 1-D FFTs along x, then y, then z. The x pass is
+//! unit-stride; the y pass strides by `d` elements and the z pass by `d²`
+//! — the strided passes miss the LLC on essentially every butterfly,
+//! generating the DRAM traffic that saturates parallel speedup. Every
+//! pass is a parallel loop over the `d²` independent lines.
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray3};
+
+/// The FT kernel.
+#[derive(Debug, Clone)]
+pub struct Ft {
+    /// Grid dimension (cubic, power of two).
+    pub dim: u64,
+    /// FT iterations.
+    pub iters: u64,
+    /// Lines per parallel task.
+    pub lines_per_task: u64,
+}
+
+impl Ft {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Ft { dim: 16, iters: 1, lines_per_task: 8 }
+    }
+
+    /// Experiment instance: 64³ complex = 4 MB on the 1.5 MB LLC (the
+    /// paper's B class is 850 MB on 12 MB — tens of× the cache; ours is
+    /// ~3×, enough to put every strided pass in the streaming regime).
+    pub fn paper() -> Self {
+        Ft { dim: 64, iters: 2, lines_per_task: 16 }
+    }
+
+    /// Footprint: the complex grid.
+    pub fn footprint(&self) -> u64 {
+        self.dim * self.dim * self.dim * 16
+    }
+
+    /// Emit one 1-D FFT along a line of `d` points whose `i`-th element
+    /// address comes from `addr`.
+    fn fft_line(t: &mut Tracer, d: u64, addr: &dyn Fn(u64) -> u64) {
+        // Iterative radix-2: log2(d) stages of d/2 butterflies.
+        let stages = d.trailing_zeros() as u64;
+        for s in 0..stages {
+            let half = 1u64 << s;
+            let mut i = 0;
+            while i < d {
+                for k in 0..half {
+                    let a = addr(i + k);
+                    let b = addr(i + k + half);
+                    t.read(a);
+                    t.read(b);
+                    t.work(10);
+                    t.write(a);
+                    t.write(b);
+                }
+                i += half * 2;
+            }
+        }
+    }
+}
+
+impl AnnotatedProgram for Ft {
+    fn name(&self) -> &str {
+        "NPB-FT"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        assert!(self.dim.is_power_of_two());
+        let d = self.dim;
+        let mut heap = VAlloc::new();
+        let grid = VArray3::alloc(&mut heap, d, 16);
+
+        // Initialise grid (serial streaming pass).
+        for z in 0..d {
+            for y in 0..d {
+                for x in 0..d {
+                    t.work(2);
+                    t.write(grid.at(x, y, z));
+                }
+            }
+        }
+
+        for _it in 0..self.iters {
+            // Pass 1: FFT along x for all (y, z) lines — unit stride.
+            t.par_sec_begin("ft_x");
+            let mut line = 0u64;
+            while line < d * d {
+                t.par_task_begin("lines");
+                let end = (line + self.lines_per_task).min(d * d);
+                for l in line..end {
+                    let (y, z) = (l % d, l / d);
+                    Self::fft_line(t, d, &|x| grid.at(x, y, z));
+                }
+                t.par_task_end();
+                line = end;
+            }
+            t.par_sec_end(false);
+
+            // Pass 2: along y — stride d elements.
+            t.par_sec_begin("ft_y");
+            let mut line = 0u64;
+            while line < d * d {
+                t.par_task_begin("lines");
+                let end = (line + self.lines_per_task).min(d * d);
+                for l in line..end {
+                    let (x, z) = (l % d, l / d);
+                    Self::fft_line(t, d, &|y| grid.at(x, y, z));
+                }
+                t.par_task_end();
+                line = end;
+            }
+            t.par_sec_end(false);
+
+            // Pass 3: along z — stride d² elements (cache hostile).
+            t.par_sec_begin("ft_z");
+            let mut line = 0u64;
+            while line < d * d {
+                t.par_task_begin("lines");
+                let end = (line + self.lines_per_task).min(d * d);
+                for l in line..end {
+                    let (x, y) = (l % d, l / d);
+                    Self::fft_line(t, d, &|z| grid.at(x, y, z));
+                }
+                t.par_task_end();
+                line = end;
+            }
+            t.par_sec_end(false);
+        }
+
+        // Checksum (serial strided sample).
+        for k in 0..(d * d).min(1024) {
+            t.read(grid.at(k % d, (k / d) % d, k % d));
+            t.work(4);
+        }
+    }
+}
+
+impl Benchmark for Ft {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "NPB-FT".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!("{}^3/{}MB", self.dim, self.footprint() >> 20),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::NodeKind;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn ft_profiles_three_passes_per_iteration() {
+        let ft = Ft::small();
+        let r = profile(&ft, ProfileOptions::default());
+        assert_eq!(r.tree.top_level_sections().len() as u64, 3 * ft.iters);
+    }
+
+    #[test]
+    fn strided_passes_are_memory_hungrier() {
+        // Use a footprint that exceeds the tiny test hierarchy's LLC.
+        let ft = Ft { dim: 32, iters: 1, lines_per_task: 8 };
+        let mut opts = ProfileOptions::default();
+        opts.hierarchy = cachesim::HierarchyConfig::tiny();
+        let r = profile(&ft, opts);
+        let secs = r.tree.top_level_sections();
+        let get_mpi = |i: usize| match &r.tree.node(secs[i]).kind {
+            NodeKind::Sec { mem: Some(m), .. } => m.mpi(),
+            _ => panic!("missing counters"),
+        };
+        let (x, _y, z) = (get_mpi(0), get_mpi(1), get_mpi(2));
+        assert!(z > x, "z-pass mpi {z} should exceed x-pass {x}");
+    }
+}

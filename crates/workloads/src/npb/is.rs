@@ -1,0 +1,164 @@
+//! NPB IS: integer (bucket/counting) sort. The paper singles IS out in
+//! §VI-B: its uncompressed program tree "consumes 10 GB" because the
+//! ranking loop runs an enormous number of near-identical iterations —
+//! exactly the case the RLE + dictionary compression exists for.
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray};
+
+/// The IS kernel.
+#[derive(Debug, Clone)]
+pub struct Is {
+    /// Number of keys.
+    pub keys: u64,
+    /// Key range (bucket count).
+    pub buckets: u64,
+    /// Ranking iterations (NPB runs 10).
+    pub iterations: u64,
+    /// Keys per parallel task.
+    pub keys_per_task: u64,
+}
+
+impl Is {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Is { keys: 1 << 12, buckets: 1 << 8, iterations: 2, keys_per_task: 1 << 8 }
+    }
+
+    /// Experiment instance: 2¹⁸ keys × 2¹² buckets (scaled from class B's
+    /// 2²⁵ × 2²¹).
+    pub fn paper() -> Self {
+        Is { keys: 1 << 18, buckets: 1 << 12, iterations: 3, keys_per_task: 1 << 12 }
+    }
+
+    /// Footprint: keys + two count arrays.
+    pub fn footprint(&self) -> u64 {
+        self.keys * 4 + 2 * self.buckets * 4
+    }
+}
+
+fn key_of(i: u64, seed: u64, buckets: u64) -> u64 {
+    // NPB uses a gaussian-ish distribution (sum of 4 uniforms); a cheap
+    // deterministic analogue.
+    let mut acc = 0u64;
+    let mut x = i ^ seed.wrapping_mul(0x9E3779B97F4A7C15);
+    for _ in 0..4 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += x % buckets;
+    }
+    acc / 4
+}
+
+impl AnnotatedProgram for Is {
+    fn name(&self) -> &str {
+        "NPB-IS"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let mut heap = VAlloc::new();
+        let keys = VArray::alloc(&mut heap, self.keys, 4);
+        let counts = VArray::alloc(&mut heap, self.buckets, 4);
+        let ranks = VArray::alloc(&mut heap, self.buckets, 4);
+
+        // Key generation (serial in NPB's timed region setup).
+        for i in 0..self.keys {
+            t.work(12);
+            t.write(keys.at(i));
+        }
+
+        for it in 0..self.iterations {
+            // Counting pass: parallel over key blocks; bucket increments
+            // hit the shared count array (modelled as a gather/update).
+            t.par_sec_begin("is_count");
+            let mut k = 0u64;
+            while k < self.keys {
+                t.par_task_begin("keys");
+                let end = (k + self.keys_per_task).min(self.keys);
+                for i in k..end {
+                    t.read(keys.at(i));
+                    let b = key_of(i, it, self.buckets);
+                    t.read(counts.at(b));
+                    t.work(3);
+                    t.write(counts.at(b));
+                }
+                t.par_task_end();
+                k = end;
+            }
+            t.par_sec_end(false);
+
+            // Prefix-sum of bucket counts (serial: NPB keeps it on the
+            // master).
+            for b in 0..self.buckets {
+                t.read(counts.at(b));
+                t.work(2);
+                t.write(ranks.at(b));
+            }
+
+            // Ranking pass: parallel over key blocks again.
+            t.par_sec_begin("is_rank");
+            let mut k = 0u64;
+            while k < self.keys {
+                t.par_task_begin("keys");
+                let end = (k + self.keys_per_task).min(self.keys);
+                for i in k..end {
+                    t.read(keys.at(i));
+                    let b = key_of(i, it, self.buckets);
+                    t.read(ranks.at(b));
+                    t.work(2);
+                }
+                t.par_task_end();
+                k = end;
+            }
+            t.par_sec_end(false);
+        }
+    }
+}
+
+impl Benchmark for Is {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "NPB-IS".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!(
+                "2^{}keys/2^{}buckets",
+                self.keys.trailing_zeros(),
+                self.buckets.trailing_zeros()
+            ),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn is_profiles_two_sections_per_iteration() {
+        let is = Is::small();
+        let r = profile(&is, ProfileOptions::default());
+        assert_eq!(r.tree.top_level_sections().len() as u64, 2 * is.iterations);
+    }
+
+    #[test]
+    fn is_tree_compresses_massively() {
+        // The paper's §VI-B point: IS generates a huge, highly-repetitive
+        // tree that compression collapses.
+        let is = Is { keys: 1 << 14, buckets: 1 << 8, iterations: 2, keys_per_task: 16 };
+        let r = profile(&is, ProfileOptions::default());
+        let stats = r.compress_stats.expect("compression on");
+        assert!(stats.nodes_before > 4_000, "before {}", stats.nodes_before);
+        assert!(
+            stats.reduction() > 0.9,
+            "IS should compress >90%, got {:.1}%",
+            stats.reduction() * 100.0
+        );
+    }
+}

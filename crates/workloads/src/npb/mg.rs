@@ -1,0 +1,219 @@
+//! NPB MG: multigrid V-cycles on a cubic grid.
+//!
+//! Each V-cycle smooths with a 7-point stencil, restricts the residual to
+//! a coarser grid, recurses, and prolongates back. All grid sweeps are
+//! parallelised over z-planes. The fine-grid sweeps stream several
+//! multiples of the LLC, making MG moderately bandwidth-bound (paper
+//! Fig. 12(h) saturates around 4-5×).
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray3};
+
+/// The MG kernel.
+#[derive(Debug, Clone)]
+pub struct Mg {
+    /// Finest grid dimension (power of two).
+    pub dim: u64,
+    /// Number of V-cycles.
+    pub cycles: u64,
+    /// Coarsest level dimension.
+    pub coarsest: u64,
+}
+
+impl Mg {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Mg { dim: 16, cycles: 1, coarsest: 4 }
+    }
+
+    /// Experiment instance: 64³ f64 grids u and r ≈ 4 MB on the 1.5 MB
+    /// LLC (paper: B/470MB on 12 MB).
+    pub fn paper() -> Self {
+        Mg { dim: 64, cycles: 2, coarsest: 8 }
+    }
+
+    /// Footprint: u and r at the finest level (coarser levels are ⅛ each).
+    pub fn footprint(&self) -> u64 {
+        2 * self.dim * self.dim * self.dim * 8
+    }
+}
+
+struct Level {
+    u: VArray3,
+    r: VArray3,
+    dim: u64,
+}
+
+fn smooth(t: &mut Tracer, lvl: &Level, planes_per_task: u64) {
+    let d = lvl.dim;
+    t.par_sec_begin("mg_smooth");
+    let mut z = 1u64;
+    while z + 1 < d {
+        t.par_task_begin("planes");
+        let end = (z + planes_per_task).min(d - 1);
+        for zz in z..end {
+            for y in 1..d - 1 {
+                for x in 1..d - 1 {
+                    // 7-point stencil on r, update u.
+                    t.read(lvl.r.at(x, y, zz));
+                    t.read(lvl.u.at(x - 1, y, zz));
+                    t.read(lvl.u.at(x + 1, y, zz));
+                    t.read(lvl.u.at(x, y - 1, zz));
+                    t.read(lvl.u.at(x, y + 1, zz));
+                    t.read(lvl.u.at(x, y, zz - 1));
+                    t.read(lvl.u.at(x, y, zz + 1));
+                    t.work(9);
+                    t.write(lvl.u.at(x, y, zz));
+                }
+            }
+        }
+        t.par_task_end();
+        z = end;
+    }
+    t.par_sec_end(false);
+}
+
+fn restrict(t: &mut Tracer, fine: &Level, coarse: &Level, planes_per_task: u64) {
+    let dc = coarse.dim;
+    t.par_sec_begin("mg_restrict");
+    let mut z = 1u64;
+    while z + 1 < dc {
+        t.par_task_begin("planes");
+        let end = (z + planes_per_task).min(dc - 1);
+        for zz in z..end {
+            for y in 1..dc - 1 {
+                for x in 1..dc - 1 {
+                    // Full-weighting over the 8 fine children (sampled).
+                    for (dx, dy, dz) in [(0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1)] {
+                        t.read(fine.r.at(2 * x + dx, 2 * y + dy, 2 * zz + dz));
+                    }
+                    t.work(8);
+                    t.write(coarse.r.at(x, y, zz));
+                }
+            }
+        }
+        t.par_task_end();
+        z = end;
+    }
+    t.par_sec_end(false);
+}
+
+fn prolongate(t: &mut Tracer, coarse: &Level, fine: &Level, planes_per_task: u64) {
+    let dc = coarse.dim;
+    t.par_sec_begin("mg_prolong");
+    let mut z = 1u64;
+    while z + 1 < dc {
+        t.par_task_begin("planes");
+        let end = (z + planes_per_task).min(dc - 1);
+        for zz in z..end {
+            for y in 1..dc - 1 {
+                for x in 1..dc - 1 {
+                    t.read(coarse.u.at(x, y, zz));
+                    t.work(6);
+                    t.read(fine.u.at(2 * x, 2 * y, 2 * zz));
+                    t.write(fine.u.at(2 * x, 2 * y, 2 * zz));
+                }
+            }
+        }
+        t.par_task_end();
+        z = end;
+    }
+    t.par_sec_end(false);
+}
+
+impl AnnotatedProgram for Mg {
+    fn name(&self) -> &str {
+        "NPB-MG"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        assert!(self.dim.is_power_of_two());
+        let mut heap = VAlloc::new();
+        // Build the level hierarchy down to the coarsest grid.
+        let mut levels = Vec::new();
+        let mut d = self.dim;
+        while d >= self.coarsest {
+            levels.push(Level {
+                u: VArray3::alloc(&mut heap, d, 8),
+                r: VArray3::alloc(&mut heap, d, 8),
+                dim: d,
+            });
+            d /= 2;
+        }
+
+        // Initialise finest level (serial).
+        let fine = &levels[0];
+        for z in 0..fine.dim {
+            for y in 0..fine.dim {
+                for x in 0..fine.dim {
+                    t.work(2);
+                    t.write(fine.r.at(x, y, z));
+                }
+            }
+        }
+
+        let ppt = 4u64;
+        for _cycle in 0..self.cycles {
+            // Down sweep: smooth then restrict.
+            for li in 0..levels.len() - 1 {
+                smooth(t, &levels[li], ppt);
+                let (fine, coarse) = {
+                    let (a, b) = levels.split_at(li + 1);
+                    (&a[li], &b[0])
+                };
+                restrict(t, fine, coarse, ppt);
+            }
+            // Coarsest solve: a few extra smooths.
+            smooth(t, levels.last().expect("at least one level"), ppt);
+            // Up sweep: prolongate then smooth.
+            for li in (0..levels.len() - 1).rev() {
+                let (fine, coarse) = {
+                    let (a, b) = levels.split_at(li + 1);
+                    (&a[li], &b[0])
+                };
+                prolongate(t, coarse, fine, ppt);
+                smooth(t, &levels[li], ppt);
+            }
+        }
+    }
+}
+
+impl Benchmark for Mg {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "NPB-MG".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!("{}^3/{}MB", self.dim, self.footprint() >> 20),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn mg_emits_vcycle_sections() {
+        let mg = Mg::small();
+        let r = profile(&mg, ProfileOptions::default());
+        // 16→8→4: levels=3; down: 2×(smooth+restrict), coarsest smooth,
+        // up: 2×(prolong+smooth) = 9 sections per cycle.
+        assert_eq!(r.tree.top_level_sections().len() as u64, 9 * mg.cycles);
+    }
+
+    #[test]
+    fn fine_levels_dominate_work() {
+        let mg = Mg::small();
+        let r = profile(&mg, ProfileOptions::default());
+        let secs = r.tree.top_level_sections();
+        let first_smooth = r.tree.node(secs[0]).length;
+        let coarsest_smooth = r.tree.node(secs[4]).length;
+        assert!(first_smooth > 5 * coarsest_smooth);
+    }
+}

@@ -1,0 +1,14 @@
+//! NAS Parallel Benchmarks kernels evaluated in the paper: EP, FT, MG,
+//! CG (class sizes scaled alongside the simulated LLC — DESIGN.md §6).
+
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod mg;
+
+pub use cg::Cg;
+pub use ep::Ep;
+pub use ft::Ft;
+pub use is::Is;
+pub use mg::Mg;

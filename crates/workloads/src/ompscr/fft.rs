@@ -1,0 +1,181 @@
+//! FFT: recursive Cooley–Tukey, the paper's Fig. 1(b) example of
+//! recursive + nested parallelism ("OpenMP 2.0 is replaced by Cilk Plus").
+//!
+//! Each call splits into even/odd halves — annotated as a two-task
+//! parallel section (the `cilk_spawn`/`cilk_sync` pair) — then runs the
+//! combine loop, itself annotated as a parallel section at large sizes
+//! (the `cilk_for`). The split copies and strided combines stream through
+//! the cache, making large FFTs bandwidth-hungry (Fig. 12(c) saturates
+//! around 3×).
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray};
+
+/// The recursive FFT kernel.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    /// Input length (power of two).
+    pub n: u64,
+    /// Recursion cutoff: below this, no parallel annotations.
+    pub cutoff: u64,
+    /// Combine loops shorter than this stay serial.
+    pub combine_cutoff: u64,
+}
+
+impl Fft {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Fft { n: 1 << 10, cutoff: 1 << 8, combine_cutoff: 1 << 9 }
+    }
+
+    /// Experiment instance: 2¹⁷ complex points = 2 MB + 2 MB scratch on
+    /// the 1.5 MB simulated LLC (paper: `2048/118MB` vs 12 MB).
+    pub fn paper() -> Self {
+        Fft { n: 1 << 17, cutoff: 1 << 11, combine_cutoff: 1 << 12 }
+    }
+
+    /// Footprint: data + scratch arrays of 16-byte complex.
+    pub fn footprint(&self) -> u64 {
+        2 * self.n * 16
+    }
+}
+
+/// Recursive worker: FFT of `len` elements of `data[off..]`, with
+/// `scratch` as the split buffer.
+fn fft_rec(
+    t: &mut Tracer,
+    data: &VArray,
+    scratch: &VArray,
+    off: u64,
+    len: u64,
+    stride_level: u32,
+    cfg: &Fft,
+) {
+    if len <= 1 {
+        return;
+    }
+    let half = len / 2;
+
+    // Split: copy evens and odds into the scratch halves.
+    for i in 0..half {
+        t.read(data.at(off + 2 * i));
+        t.write(scratch.at(off + i));
+        t.read(data.at(off + 2 * i + 1));
+        t.write(scratch.at(off + half + i));
+        t.work(4);
+    }
+    // Copy back so recursion operates in place on contiguous halves.
+    for i in 0..len {
+        t.read(scratch.at(off + i));
+        t.write(data.at(off + i));
+        t.work(2);
+    }
+
+    if len > cfg.cutoff {
+        // cilk_spawn FFT(even); FFT(odd); cilk_sync.
+        t.par_sec_begin("fft_spawn");
+        t.par_task_begin("even");
+        fft_rec(t, data, scratch, off, half, stride_level + 1, cfg);
+        t.par_task_end();
+        t.par_task_begin("odd");
+        fft_rec(t, data, scratch, off + half, half, stride_level + 1, cfg);
+        t.par_task_end();
+        t.par_sec_end(false);
+    } else {
+        fft_rec(t, data, scratch, off, half, stride_level + 1, cfg);
+        fft_rec(t, data, scratch, off + half, half, stride_level + 1, cfg);
+    }
+
+    // Combine: butterflies over the two halves (the Fig. 1(b) cilk_for).
+    let butterfly = |t: &mut Tracer, i: u64| {
+        t.read(data.at(off + i));
+        t.read(data.at(off + half + i));
+        t.work(10); // twiddle multiply + add/sub
+        t.write(data.at(off + i));
+        t.write(data.at(off + half + i));
+    };
+    if half >= cfg.combine_cutoff {
+        let blocks = 8u64;
+        let per = half / blocks;
+        t.par_sec_begin("fft_combine");
+        for b in 0..blocks {
+            t.par_task_begin("block");
+            let end = if b == blocks - 1 { half } else { (b + 1) * per };
+            for i in b * per..end {
+                butterfly(t, i);
+            }
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+    } else {
+        for i in 0..half {
+            butterfly(t, i);
+        }
+    }
+}
+
+impl AnnotatedProgram for Fft {
+    fn name(&self) -> &str {
+        "FFT-Cilk"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        assert!(self.n.is_power_of_two(), "FFT length must be a power of two");
+        let mut heap = VAlloc::new();
+        let data = VArray::alloc(&mut heap, self.n, 16);
+        let scratch = VArray::alloc(&mut heap, self.n, 16);
+        // Initialise input (serial).
+        for i in 0..self.n {
+            t.work(3);
+            t.write(data.at(i));
+        }
+        // The whole recursive FFT is one top-level parallel region.
+        t.par_sec_begin("fft_root");
+        t.par_task_begin("root");
+        fft_rec(t, &data, &scratch, 0, self.n, 0, self);
+        t.par_task_end();
+        t.par_sec_end(false);
+    }
+}
+
+impl Benchmark for Fft {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "FFT-Cilk".into(),
+            paradigm: Paradigm::CilkPlus,
+            schedule: Schedule::static_block(),
+            input_desc: format!("2^{}/{}MB", self.n.trailing_zeros(), self.footprint() >> 20),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::TreeStats;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn fft_tree_is_recursive() {
+        let r = profile(&Fft::small(), ProfileOptions::default());
+        let stats = TreeStats::gather(&r.tree);
+        // log2(1024/256) = 2 spawn levels plus combine sections.
+        assert!(stats.max_section_depth >= 2, "depth {}", stats.max_section_depth);
+        assert_eq!(r.tree.top_level_sections().len(), 1);
+    }
+
+    #[test]
+    fn fft_work_scales_n_log_n() {
+        let small = profile(&Fft { n: 1 << 9, cutoff: 1 << 7, combine_cutoff: 1 << 8 },
+            ProfileOptions::default());
+        let big = profile(&Fft { n: 1 << 11, cutoff: 1 << 7, combine_cutoff: 1 << 8 },
+            ProfileOptions::default());
+        let ratio = big.net_cycles as f64 / small.net_cycles as f64;
+        // 4× points → slightly over 4× work (log factor 11/9).
+        assert!((4.0..6.5).contains(&ratio), "ratio {ratio}");
+    }
+}

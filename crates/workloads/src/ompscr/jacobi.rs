@@ -1,0 +1,134 @@
+//! Jacobi: OmpSCR's 2-D Jacobi relaxation (`c_jacobi01.c`) — a
+//! memory-streaming 5-point stencil with two parallel loops per sweep
+//! (update + residual/copy). At grid sizes past the LLC it is
+//! bandwidth-bound like FT/MG.
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray};
+
+/// The Jacobi kernel.
+#[derive(Debug, Clone)]
+pub struct Jacobi {
+    /// Grid dimension (n×n).
+    pub n: u64,
+    /// Sweeps.
+    pub sweeps: u64,
+    /// Rows per parallel task.
+    pub rows_per_task: u64,
+}
+
+impl Jacobi {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Jacobi { n: 64, sweeps: 1, rows_per_task: 8 }
+    }
+
+    /// Experiment instance: 512² × 2 grids of f64 = 4 MB on the 1.5 MB
+    /// LLC.
+    pub fn paper() -> Self {
+        Jacobi { n: 512, sweeps: 2, rows_per_task: 16 }
+    }
+
+    /// Footprint of the two grids.
+    pub fn footprint(&self) -> u64 {
+        2 * self.n * self.n * 8
+    }
+}
+
+impl AnnotatedProgram for Jacobi {
+    fn name(&self) -> &str {
+        "Jacobi-OMP"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let n = self.n;
+        let mut heap = VAlloc::new();
+        let u = VArray::alloc(&mut heap, n * n, 8);
+        let unew = VArray::alloc(&mut heap, n * n, 8);
+        let idx = |i: u64, j: u64| i * n + j;
+
+        // Initialise.
+        for i in 0..n * n {
+            t.work(2);
+            t.write(u.at(i));
+        }
+
+        for _sweep in 0..self.sweeps {
+            // Stencil update, parallel over row blocks.
+            t.par_sec_begin("jacobi_update");
+            let mut row = 1u64;
+            while row + 1 < n {
+                t.par_task_begin("rows");
+                let end = (row + self.rows_per_task).min(n - 1);
+                for i in row..end {
+                    for j in 1..n - 1 {
+                        t.read(u.at(idx(i - 1, j)));
+                        t.read(u.at(idx(i + 1, j)));
+                        t.read(u.at(idx(i, j - 1)));
+                        t.read(u.at(idx(i, j + 1)));
+                        t.work(5);
+                        t.write(unew.at(idx(i, j)));
+                    }
+                }
+                t.par_task_end();
+                row = end;
+            }
+            t.par_sec_end(false);
+
+            // Copy back + residual, parallel over row blocks.
+            t.par_sec_begin("jacobi_copy");
+            let mut row = 1u64;
+            while row + 1 < n {
+                t.par_task_begin("rows");
+                let end = (row + self.rows_per_task).min(n - 1);
+                for i in row..end {
+                    for j in 1..n - 1 {
+                        t.read(unew.at(idx(i, j)));
+                        t.work(3);
+                        t.write(u.at(idx(i, j)));
+                    }
+                }
+                t.par_task_end();
+                row = end;
+            }
+            t.par_sec_end(false);
+        }
+    }
+}
+
+impl Benchmark for Jacobi {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "Jacobi-OMP".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!("{}^2/{}MB", self.n, self.footprint() >> 20),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn jacobi_profiles_two_sections_per_sweep() {
+        let j = Jacobi::small();
+        let r = profile(&j, ProfileOptions::default());
+        assert_eq!(r.tree.top_level_sections().len() as u64, 2 * j.sweeps);
+    }
+
+    #[test]
+    fn large_grid_is_memory_hungry() {
+        let j = Jacobi { n: 256, sweeps: 1, rows_per_task: 16 };
+        let mut opts = ProfileOptions::default();
+        opts.hierarchy = cachesim::HierarchyConfig::tiny();
+        let r = profile(&j, opts);
+        assert!(r.counters.mpi() > 0.01, "mpi {}", r.counters.mpi());
+    }
+}

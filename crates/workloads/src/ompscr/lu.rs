@@ -1,0 +1,143 @@
+//! LU reduction: the paper's Fig. 1(a) example.
+//!
+//! ```c
+//! for (k = 0; k < size-1; k++)
+//!   #pragma omp parallel for schedule(static,1)
+//!   for (i = k+1; i < size; i++) {
+//!     L[i][k] = M[i][k] / M[k][k];
+//!     for (j = k+1; j < size; j++)
+//!       M[i][j] -= L[i][k] * M[k][j];
+//!   }
+//! ```
+//!
+//! The outer `k` loop is serial; each of its `size-1` executions spawns a
+//! parallel inner loop whose trip count *shrinks* (size-k-1 iterations of
+//! size-k-1 work each): frequent inner-loop parallelism with triangular
+//! imbalance — the combination Suitability mispredicts (paper §VII-C).
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray};
+
+/// The LU-reduction kernel.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Matrix dimension.
+    pub size: u64,
+}
+
+impl Lu {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Lu { size: 48 }
+    }
+
+    /// Experiment instance (paper: 3072 / 54 MB on a 12 MB LLC; scaled:
+    /// 512 / 2 MB on the 1.5 MB simulated LLC, a few× the cache).
+    pub fn paper() -> Self {
+        Lu { size: 512 }
+    }
+
+    /// Footprint: M and L matrices of f64.
+    pub fn footprint(&self) -> u64 {
+        2 * self.size * self.size * 8
+    }
+}
+
+impl AnnotatedProgram for Lu {
+    fn name(&self) -> &str {
+        "LU-OMP"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let n = self.size;
+        let mut heap = VAlloc::new();
+        let m = VArray::alloc(&mut heap, n * n, 8);
+        let l = VArray::alloc(&mut heap, n * n, 8);
+        let idx = |i: u64, j: u64| i * n + j;
+
+        // Initialise the matrix (serial).
+        for i in 0..n {
+            for j in 0..n {
+                t.work(2);
+                t.write(m.at(idx(i, j)));
+            }
+        }
+
+        for k in 0..n - 1 {
+            t.par_sec_begin("lu_inner");
+            for i in (k + 1)..n {
+                t.par_task_begin("row");
+                // L[i][k] = M[i][k] / M[k][k]
+                t.read(m.at(idx(i, k)));
+                t.read(m.at(idx(k, k)));
+                t.work(8); // division
+                t.write(l.at(idx(i, k)));
+                // Row update.
+                for j in (k + 1)..n {
+                    t.read(m.at(idx(i, j)));
+                    t.read(m.at(idx(k, j)));
+                    t.read(l.at(idx(i, k)));
+                    t.work(2); // fused multiply-sub
+                    t.write(m.at(idx(i, j)));
+                }
+                t.par_task_end();
+            }
+            t.par_sec_end(false);
+        }
+    }
+}
+
+impl Benchmark for Lu {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "LU-OMP".into(),
+            paradigm: Paradigm::OpenMp,
+            // The paper's Fig. 1(a) uses schedule(static,1) to fight the
+            // triangular imbalance.
+            schedule: Schedule::static1(),
+            input_desc: format!("{}/{}MB", self.size, self.footprint() >> 20),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::TaskSeq;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn lu_has_one_section_per_outer_iteration() {
+        let lu = Lu::small();
+        let r = profile(&lu, ProfileOptions::default());
+        assert_eq!(r.tree.top_level_sections().len() as u64, lu.size - 1);
+    }
+
+    #[test]
+    fn inner_trip_counts_shrink() {
+        let lu = Lu::small();
+        let mut opts = ProfileOptions::default();
+        opts.compress = false;
+        let r = profile(&lu, opts);
+        let secs = r.tree.top_level_sections();
+        let first = TaskSeq::new(&r.tree, secs[0]).count() as u64;
+        let last = TaskSeq::new(&r.tree, *secs.last().unwrap()).count() as u64;
+        assert_eq!(first, lu.size - 1);
+        assert_eq!(last, 1);
+    }
+
+    #[test]
+    fn first_section_tasks_are_imbalanced_later_sections_cheaper() {
+        let lu = Lu::small();
+        let r = profile(&lu, ProfileOptions::default());
+        let secs = r.tree.top_level_sections();
+        // Section work decreases as k grows (triangular).
+        let w0 = r.tree.node(secs[0]).length;
+        let wl = r.tree.node(*secs.last().unwrap()).length;
+        assert!(w0 > 10 * wl, "w0 {w0} wl {wl}");
+    }
+}

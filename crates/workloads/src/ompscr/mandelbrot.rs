@@ -1,0 +1,101 @@
+//! Mandelbrot: OmpSCR's `c_mandel.c` — the poster child for dynamic
+//! scheduling. Iteration cost varies wildly across rows (points inside
+//! the set run the full iteration budget; points that escape early are
+//! cheap), so `(static)` partitions terribly while `(dynamic,1)` wins.
+//! The kernel really iterates z ← z² + c, so the imbalance pattern is the
+//! genuine fractal one.
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+
+/// The Mandelbrot kernel.
+#[derive(Debug, Clone)]
+pub struct Mandelbrot {
+    /// Image width (pixels).
+    pub width: u64,
+    /// Image height (pixels, = parallel tasks: one row per task).
+    pub height: u64,
+    /// Max iterations per point.
+    pub max_iter: u64,
+}
+
+impl Mandelbrot {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Mandelbrot { width: 64, height: 48, max_iter: 64 }
+    }
+
+    /// Experiment instance.
+    pub fn paper() -> Self {
+        Mandelbrot { width: 256, height: 192, max_iter: 256 }
+    }
+}
+
+impl AnnotatedProgram for Mandelbrot {
+    fn name(&self) -> &str {
+        "Mandel-OMP"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        // View window: the classic [-2, 0.5] × [-1.25, 1.25].
+        let (x0, x1) = (-2.0f64, 0.5f64);
+        let (y0, y1) = (-1.25f64, 1.25f64);
+        t.par_sec_begin("mandel_rows");
+        for row in 0..self.height {
+            t.par_task_begin("row");
+            let cy = y0 + (y1 - y0) * row as f64 / self.height as f64;
+            for col in 0..self.width {
+                let cx = x0 + (x1 - x0) * col as f64 / self.width as f64;
+                let (mut zx, mut zy) = (0.0f64, 0.0f64);
+                let mut it = 0u64;
+                while it < self.max_iter && zx * zx + zy * zy < 4.0 {
+                    let nzx = zx * zx - zy * zy + cx;
+                    zy = 2.0 * zx * zy + cy;
+                    zx = nzx;
+                    it += 1;
+                }
+                // ~8 flops per inner iteration, plus the pixel store.
+                t.work(8 * it.max(1));
+            }
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+    }
+}
+
+impl Benchmark for Mandelbrot {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "Mandel-OMP".into(),
+            paradigm: Paradigm::OpenMp,
+            // Dynamic scheduling is the point of this benchmark.
+            schedule: Schedule::dynamic1(),
+            input_desc: format!("{}x{}x{}", self.width, self.height, self.max_iter),
+            footprint_bytes: self.width * self.height * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::TaskSeq;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn rows_are_genuinely_imbalanced() {
+        let m = Mandelbrot::small();
+        let mut opts = ProfileOptions::default();
+        opts.compress = false;
+        let r = profile(&m, opts);
+        let sec = r.tree.top_level_sections()[0];
+        let lens: Vec<u64> =
+            TaskSeq::new(&r.tree, sec).map(|t| r.tree.node(t).length).collect();
+        assert_eq!(lens.len() as u64, m.height);
+        let max = *lens.iter().max().unwrap() as f64;
+        let min = *lens.iter().min().unwrap() as f64;
+        assert!(max / min > 3.0, "fractal imbalance expected: max/min = {}", max / min);
+    }
+}

@@ -1,0 +1,141 @@
+//! MD: the OmpSCR molecular-dynamics kernel (`c_md.c`).
+//!
+//! An O(n²) velocity-Verlet force computation over n particles: the
+//! force loop dominates and is parallelised over particles
+//! (`#pragma omp parallel for`), followed by a parallel position/velocity
+//! update. Work is O(n²) over O(n) data, so MD is compute-bound and
+//! scales nearly linearly (paper Fig. 12(a), `8192/20MB`) — our scaled
+//! input keeps that regime.
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray};
+
+/// The MD kernel.
+#[derive(Debug, Clone)]
+pub struct Md {
+    /// Particle count.
+    pub nparts: u64,
+    /// Simulation steps.
+    pub steps: u64,
+}
+
+impl Md {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Md { nparts: 128, steps: 1 }
+    }
+
+    /// The experiment instance (scaled from the paper's 8192 particles).
+    pub fn paper() -> Self {
+        Md { nparts: 1024, steps: 1 }
+    }
+
+    /// Approximate footprint: pos/vel/acc/force, 3 doubles each.
+    pub fn footprint(&self) -> u64 {
+        self.nparts * 3 * 8 * 4
+    }
+}
+
+impl AnnotatedProgram for Md {
+    fn name(&self) -> &str {
+        "MD-OMP"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let n = self.nparts;
+        let mut heap = VAlloc::new();
+        // 3-component f64 vectors per particle.
+        let pos = VArray::alloc(&mut heap, n * 3, 8);
+        let vel = VArray::alloc(&mut heap, n * 3, 8);
+        let force = VArray::alloc(&mut heap, n * 3, 8);
+
+        // Initialisation (serial).
+        for i in 0..n * 3 {
+            t.work(4);
+            t.write(pos.at(i));
+            t.write(vel.at(i));
+        }
+
+        for _step in 0..self.steps {
+            // compute(): the O(n²) force loop, parallel over i.
+            t.par_sec_begin("md_compute");
+            for i in 0..n {
+                t.par_task_begin("force_i");
+                // Load own position once.
+                for d in 0..3 {
+                    t.read(pos.at(i * 3 + d));
+                }
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    // distance + potential + force contribution ≈ 12 flops
+                    for d in 0..3 {
+                        t.read(pos.at(j * 3 + d));
+                    }
+                    t.work(12);
+                }
+                for d in 0..3 {
+                    t.write(force.at(i * 3 + d));
+                }
+                t.par_task_end();
+            }
+            t.par_sec_end(false);
+
+            // update(): parallel position/velocity integration.
+            t.par_sec_begin("md_update");
+            for i in 0..n {
+                t.par_task_begin("update_i");
+                for d in 0..3 {
+                    t.read(force.at(i * 3 + d));
+                    t.read(vel.at(i * 3 + d));
+                    t.work(6);
+                    t.write(pos.at(i * 3 + d));
+                    t.write(vel.at(i * 3 + d));
+                }
+                t.par_task_end();
+            }
+            t.par_sec_end(false);
+        }
+    }
+}
+
+impl Benchmark for Md {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "MD-OMP".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!("{}p/{}KB", self.nparts, self.footprint() >> 10),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn md_profiles_into_two_sections_per_step() {
+        let r = profile(&Md::small(), ProfileOptions::default());
+        assert_eq!(r.tree.top_level_sections().len(), 2);
+        assert!(r.net_cycles > 0);
+        // Compute section dominates (O(n²) vs O(n)).
+        let secs = r.tree.top_level_sections();
+        let compute = r.tree.node(secs[0]).length;
+        let update = r.tree.node(secs[1]).length;
+        assert!(compute > 10 * update, "compute {compute} update {update}");
+    }
+
+    #[test]
+    fn md_is_compute_bound() {
+        let r = profile(&Md::small(), ProfileOptions::default());
+        // Tiny footprint: working set cache-resident, MPI negligible.
+        assert!(r.counters.mpi() < 0.001, "mpi {}", r.counters.mpi());
+    }
+}

@@ -1,0 +1,21 @@
+//! OmpSCR (OpenMP Source Code Repository) kernels evaluated in the paper:
+//! MD, LU (reduction), FFT, and QSort. FFT and QSort use recursive
+//! parallelism and are parallelised with the Cilk-like runtime, as the
+//! paper does ("For better efficient execution, OpenMP 2.0 is replaced by
+//! Cilk Plus", Fig. 1(b)).
+
+pub mod fft;
+pub mod jacobi;
+pub mod lu;
+pub mod mandelbrot;
+pub mod md;
+pub mod pi;
+pub mod qsort;
+
+pub use fft::Fft;
+pub use jacobi::Jacobi;
+pub use lu::Lu;
+pub use mandelbrot::Mandelbrot;
+pub use md::Md;
+pub use pi::Pi;
+pub use qsort::QSort;

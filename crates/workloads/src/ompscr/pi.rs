@@ -1,0 +1,86 @@
+//! Pi: OmpSCR's numerical integration (`c_pi.c`) — the classic
+//! reduction loop. Annotated with a per-block critical section for the
+//! accumulation, it exercises the lock path with an otherwise perfectly
+//! balanced, compute-bound loop.
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+
+/// The Pi kernel.
+#[derive(Debug, Clone)]
+pub struct Pi {
+    /// Total integration intervals.
+    pub intervals: u64,
+    /// Intervals per parallel task (each task ends with one locked
+    /// accumulation, as an OpenMP `critical` reduction would).
+    pub block: u64,
+}
+
+impl Pi {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        Pi { intervals: 1 << 12, block: 1 << 8 }
+    }
+
+    /// Experiment instance.
+    pub fn paper() -> Self {
+        Pi { intervals: 1 << 20, block: 1 << 13 }
+    }
+}
+
+impl AnnotatedProgram for Pi {
+    fn name(&self) -> &str {
+        "Pi-OMP"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let blocks = self.intervals / self.block;
+        t.par_sec_begin("pi_integrate");
+        for _b in 0..blocks {
+            t.par_task_begin("block");
+            // f(x) = 4/(1+x²): ~6 flops per interval.
+            t.work(self.block * 6);
+            // Accumulate into the shared sum under the reduction lock.
+            t.lock_begin(1);
+            t.work(4);
+            t.lock_end(1);
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+    }
+}
+
+impl Benchmark for Pi {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "Pi-OMP".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!("2^{} intervals", self.intervals.trailing_zeros()),
+            footprint_bytes: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn pi_is_balanced_with_tiny_lock_share() {
+        let r = profile(&Pi::small(), ProfileOptions::default());
+        let w = proftree::WorkSummary::gather(&r.tree);
+        let lock_work = w.lock_work.get(&1).copied().unwrap_or(0);
+        assert!(lock_work > 0);
+        assert!(
+            (lock_work as f64) < 0.01 * w.total as f64,
+            "reduction lock should be negligible: {lock_work} of {}",
+            w.total
+        );
+        // Balanced: compresses to a handful of nodes.
+        assert!(r.tree.len() < 16, "tree {} nodes", r.tree.len());
+    }
+}

@@ -1,0 +1,206 @@
+//! QSort: recursive quicksort (OmpSCR `c_qsort.c`), parallelised with
+//! Cilk-style spawn/sync on the two partitions.
+//!
+//! The partition pass is inherently serial at each level, so the top
+//! levels bound the speedup (paper Fig. 12(d) reaches ≈ 4× on 12 cores).
+//! Unlike the other kernels, the control flow depends on the data, so the
+//! kernel really sorts a deterministic pseudo-random array while issuing
+//! its references through the tracer.
+
+use machsim::{Paradigm, Schedule};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::spec::{BenchSpec, Benchmark};
+use crate::vmem::{VAlloc, VArray};
+
+/// The quicksort kernel.
+#[derive(Debug, Clone)]
+pub struct QSort {
+    /// Element count.
+    pub n: usize,
+    /// Below this partition size, recursion stays serial.
+    pub cutoff: usize,
+}
+
+impl QSort {
+    /// Tiny instance for tests.
+    pub fn small() -> Self {
+        QSort { n: 2_000, cutoff: 256 }
+    }
+
+    /// Experiment instance (paper: `2048/4MB`; ours: 256k u32 = 1 MB on
+    /// the 1.5 MB LLC).
+    pub fn paper() -> Self {
+        QSort { n: 1 << 18, cutoff: 1 << 13 }
+    }
+
+    /// Footprint of the array.
+    pub fn footprint(&self) -> u64 {
+        self.n as u64 * 4
+    }
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+struct Sorter<'a, 't> {
+    t: &'a mut Tracer,
+    data: Vec<u32>,
+    varr: VArray,
+    cutoff: usize,
+    _lifetime: std::marker::PhantomData<&'t ()>,
+}
+
+impl<'a, 't> Sorter<'a, 't> {
+    /// Lomuto partition over the inclusive range `[lo, hi]`, issuing real
+    /// reads/writes; returns the pivot's final index.
+    fn partition(&mut self, lo: usize, hi: usize) -> usize {
+        // Median-of-three pivot selection mitigates sorted-input worst
+        // cases (and matches typical qsort implementations).
+        let mid = lo + (hi - lo) / 2;
+        for &k in &[lo, mid, hi] {
+            self.t.read(self.varr.at(k as u64));
+        }
+        self.t.work(6);
+        let (a, b, c) = (self.data[lo], self.data[mid], self.data[hi]);
+        let pivot_idx = if (a <= b) == (b <= c) {
+            mid
+        } else if (b <= a) == (a <= c) {
+            lo
+        } else {
+            hi
+        };
+        self.data.swap(pivot_idx, hi);
+        self.t.write(self.varr.at(pivot_idx as u64));
+        self.t.write(self.varr.at(hi as u64));
+
+        let pivot = self.data[hi];
+        let mut i = lo;
+        for j in lo..hi {
+            self.t.read(self.varr.at(j as u64));
+            self.t.work(2);
+            if self.data[j] < pivot {
+                self.data.swap(i, j);
+                self.t.write(self.varr.at(i as u64));
+                self.t.write(self.varr.at(j as u64));
+                i += 1;
+            }
+        }
+        self.data.swap(i, hi);
+        self.t.write(self.varr.at(i as u64));
+        self.t.write(self.varr.at(hi as u64));
+        i
+    }
+
+    fn sort(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        let p = self.partition(lo, hi);
+        if hi - lo > self.cutoff {
+            // cilk_spawn sort(left); sort(right); cilk_sync.
+            self.t.par_sec_begin("qs_spawn");
+            self.t.par_task_begin("left");
+            if p > lo {
+                self.sort(lo, p - 1);
+            }
+            self.t.par_task_end();
+            self.t.par_task_begin("right");
+            if p < hi {
+                self.sort(p + 1, hi);
+            }
+            self.t.par_task_end();
+            self.t.par_sec_end(false);
+        } else {
+            if p > lo {
+                self.sort(lo, p - 1);
+            }
+            if p < hi {
+                self.sort(p + 1, hi);
+            }
+        }
+    }
+}
+
+impl AnnotatedProgram for QSort {
+    fn name(&self) -> &str {
+        "QSort-Cilk"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let mut heap = VAlloc::new();
+        let varr = VArray::alloc(&mut heap, self.n as u64, 4);
+        // Deterministic pseudo-random input; writes stream the array.
+        let mut data = Vec::with_capacity(self.n);
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for i in 0..self.n {
+            x = xorshift(x);
+            data.push((x >> 32) as u32);
+            t.work(2);
+            t.write(varr.at(i as u64));
+        }
+
+        let mut sorter = Sorter {
+            t,
+            data,
+            varr,
+            cutoff: self.cutoff,
+            _lifetime: std::marker::PhantomData,
+        };
+        let hi = sorter.data.len() - 1;
+        // The whole recursive sort is one top-level parallel region.
+        sorter.t.par_sec_begin("qsort_root");
+        sorter.t.par_task_begin("root");
+        sorter.sort(0, hi);
+        sorter.t.par_task_end();
+        sorter.t.par_sec_end(false);
+
+        // Verify sortedness (cheap serial scan, also realistic).
+        let sorted = sorter.data.windows(2).all(|w| w[0] <= w[1]);
+        assert!(sorted, "quicksort produced an unsorted array");
+        for i in 0..self.n {
+            t.read(varr.at(i as u64));
+            t.work(1);
+        }
+    }
+}
+
+impl Benchmark for QSort {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "QSort-Cilk".into(),
+            paradigm: Paradigm::CilkPlus,
+            schedule: Schedule::static_block(),
+            input_desc: format!("{}/{}KB", self.n, self.footprint() >> 10),
+            footprint_bytes: self.footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::TreeStats;
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn qsort_sorts_and_profiles() {
+        let r = profile(&QSort::small(), ProfileOptions::default());
+        let stats = TreeStats::gather(&r.tree);
+        assert!(stats.max_section_depth >= 2, "depth {}", stats.max_section_depth);
+        assert!(r.net_cycles > 0);
+    }
+
+    #[test]
+    fn deeper_recursion_with_smaller_cutoff() {
+        let a = profile(&QSort { n: 4_000, cutoff: 2_000 }, ProfileOptions::default());
+        let b = profile(&QSort { n: 4_000, cutoff: 250 }, ProfileOptions::default());
+        let da = TreeStats::gather(&a.tree).max_section_depth;
+        let db = TreeStats::gather(&b.tree).max_section_depth;
+        assert!(db > da, "cutoff 250 depth {db} !> cutoff 2000 depth {da}");
+    }
+}

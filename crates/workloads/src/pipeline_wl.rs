@@ -1,0 +1,166 @@
+//! A pipeline workload for the §VII-E pipelining extension: a
+//! video-transcoder-like stream where each frame passes through
+//! decode → filter → encode → mux stages of unequal cost.
+
+use serde::{Deserialize, Serialize};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::shapes::{compute_overhead, Shape};
+use crate::spec::{BenchSpec, Benchmark};
+use machsim::{Paradigm, Schedule};
+
+/// Parameters of the pipeline workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineParams {
+    /// Stream length (frames).
+    pub items: u64,
+    /// Base cost per stage, in work units (stage `s` costs
+    /// `stage_cost[s]` ± the per-item shape variation).
+    pub stage_cost: Vec<u64>,
+    /// Per-item cost variation shape.
+    pub shape: Shape,
+    /// Variation amplitude as a fraction of the stage cost.
+    pub jitter: f64,
+    /// Seed for the variation.
+    pub seed: u64,
+}
+
+impl PipelineParams {
+    /// A 4-stage transcoder with a clear bottleneck in the filter stage.
+    pub fn transcoder(items: u64) -> Self {
+        PipelineParams {
+            items,
+            stage_cost: vec![20_000, 60_000, 35_000, 10_000],
+            shape: Shape::Random,
+            jitter: 0.25,
+            seed: 0xF00D,
+        }
+    }
+
+    /// A perfectly balanced pipeline (ideal speedup = stage count).
+    pub fn balanced(items: u64, stages: u32, cost: u64) -> Self {
+        PipelineParams {
+            items,
+            stage_cost: vec![cost; stages as usize],
+            shape: Shape::Uniform,
+            jitter: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// The pipeline workload.
+#[derive(Debug, Clone)]
+pub struct PipelineWl {
+    /// Parameters.
+    pub params: PipelineParams,
+}
+
+impl PipelineWl {
+    /// Wrap parameters.
+    pub fn new(params: PipelineParams) -> Self {
+        PipelineWl { params }
+    }
+}
+
+impl AnnotatedProgram for PipelineWl {
+    fn name(&self) -> &str {
+        "Pipeline"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let p = &self.params;
+        t.pipe_begin("stream");
+        for i in 0..p.items {
+            t.par_task_begin("frame");
+            for (s, &base) in p.stage_cost.iter().enumerate() {
+                t.stage_begin(s as u32);
+                let m = (base as f64 * (1.0 - p.jitter)).max(1.0) as u64;
+                let cost = compute_overhead(
+                    p.shape,
+                    i,
+                    p.items,
+                    m,
+                    base,
+                    p.seed ^ (s as u64) << 32,
+                );
+                t.work(cost);
+                t.stage_end(s as u32);
+            }
+            t.par_task_end();
+        }
+        t.pipe_end();
+    }
+}
+
+impl Benchmark for PipelineWl {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "Pipeline".into(),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static_block(),
+            input_desc: format!(
+                "{} items x {} stages",
+                self.params.items,
+                self.params.stage_cost.len()
+            ),
+            footprint_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::{NodeKind, TreeStats};
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn pipeline_profiles_into_pipe_tree() {
+        let wl = PipelineWl::new(PipelineParams::transcoder(12));
+        let r = profile(&wl, ProfileOptions::default());
+        let stats = TreeStats::gather(&r.tree);
+        assert!(stats.pipes >= 1, "expected a Pipe node");
+        assert!(stats.stages >= 4, "expected Stage nodes");
+        let tops = r.tree.top_level_sections();
+        assert_eq!(tops.len(), 1);
+        assert!(matches!(r.tree.node(tops[0]).kind, NodeKind::Pipe { .. }));
+    }
+
+    #[test]
+    fn balanced_pipeline_compresses_well() {
+        let wl = PipelineWl::new(PipelineParams::balanced(500, 3, 5_000));
+        let r = profile(&wl, ProfileOptions::default());
+        // Identical items collapse.
+        assert!(r.tree.len() < 16, "tree has {} nodes", r.tree.len());
+        let stats = r.compress_stats.unwrap();
+        assert!(stats.reduction() > 0.9);
+    }
+
+    #[test]
+    fn stage_work_recorded_in_order() {
+        let wl = PipelineWl::new(PipelineParams {
+            items: 2,
+            stage_cost: vec![1_000, 2_000],
+            shape: Shape::Uniform,
+            jitter: 0.0,
+            seed: 3,
+        });
+        let mut opts = ProfileOptions::default();
+        opts.compress = false;
+        let r = profile(&wl, opts);
+        // Find stage nodes; stage 1 nodes should be twice stage 0.
+        let mut s0 = 0u64;
+        let mut s1 = 0u64;
+        for id in r.tree.ids() {
+            if let NodeKind::Stage { stage } = r.tree.node(id).kind {
+                if stage == 0 {
+                    s0 += r.tree.node(id).length;
+                } else {
+                    s1 += r.tree.node(id).length;
+                }
+            }
+        }
+        assert_eq!(s1, 2 * s0);
+    }
+}

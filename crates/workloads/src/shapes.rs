@@ -1,0 +1,131 @@
+//! Workload shapes for the validation generators.
+//!
+//! The paper's `ComputeOverhead(i, i_max, M, m, s)` "generates various
+//! workload patterns, from a randomly distributed workload to a regular
+//! form of workload, or a mix of several cases" (§VII-B). Each shape maps
+//! an iteration index to a cost in `[m, M]` cycles, deterministically from
+//! a seed.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload pattern over a loop's iteration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// Every iteration costs `M`.
+    Uniform,
+    /// Linearly increasing `m → M` (the LU-reduction diagonal).
+    Diagonal,
+    /// Linearly decreasing `M → m`.
+    InverseDiagonal,
+    /// Deterministic pseudo-random in `[m, M]`.
+    Random,
+    /// 85% cheap iterations at `m`, 15% expensive at `M`.
+    Bimodal,
+    /// Sawtooth with period ≈ `i_max/8`.
+    Sawtooth,
+}
+
+impl Shape {
+    /// All shapes (for sweeps).
+    pub const ALL: [Shape; 6] = [
+        Shape::Uniform,
+        Shape::Diagonal,
+        Shape::InverseDiagonal,
+        Shape::Random,
+        Shape::Bimodal,
+        Shape::Sawtooth,
+    ];
+
+    /// Pick a shape from a seed.
+    pub fn from_seed(seed: u64) -> Shape {
+        Shape::ALL[(seed % Shape::ALL.len() as u64) as usize]
+    }
+}
+
+/// SplitMix64 — deterministic per-index hashing for the Random shape.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// The paper's `ComputeOverhead`: cost of iteration `i` of `i_max` under
+/// `shape`, bounded by `[m, M]`, deterministic in `seed`.
+pub fn compute_overhead(shape: Shape, i: u64, i_max: u64, m: u64, big_m: u64, seed: u64) -> u64 {
+    debug_assert!(m <= big_m);
+    let span = big_m - m;
+    let imax = i_max.max(1);
+    match shape {
+        Shape::Uniform => big_m,
+        Shape::Diagonal => m + span * i / imax,
+        Shape::InverseDiagonal => big_m - span * i / imax,
+        Shape::Random => m + splitmix(seed ^ i) % (span + 1),
+        Shape::Bimodal => {
+            if splitmix(seed ^ i) % 100 < 85 {
+                m
+            } else {
+                big_m
+            }
+        }
+        Shape::Sawtooth => {
+            let period = (imax / 8).max(2);
+            m + span * (i % period) / period
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shapes_stay_in_bounds() {
+        for shape in Shape::ALL {
+            for i in 0..200 {
+                let c = compute_overhead(shape, i, 200, 100, 10_000, 42);
+                assert!((100..=10_000).contains(&c), "{shape:?} i={i} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_monotone() {
+        let mut prev = 0;
+        for i in 0..100 {
+            let c = compute_overhead(Shape::Diagonal, i, 100, 10, 1000, 0);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_and_varied() {
+        let a: Vec<u64> =
+            (0..50).map(|i| compute_overhead(Shape::Random, i, 50, 0, 1_000_000, 7)).collect();
+        let b: Vec<u64> =
+            (0..50).map(|i| compute_overhead(Shape::Random, i, 50, 0, 1_000_000, 7)).collect();
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert!(distinct.len() > 40, "random shape not varied");
+    }
+
+    #[test]
+    fn bimodal_has_two_modes() {
+        let vals: Vec<u64> =
+            (0..1000).map(|i| compute_overhead(Shape::Bimodal, i, 1000, 5, 500, 3)).collect();
+        let cheap = vals.iter().filter(|&&v| v == 5).count();
+        let dear = vals.iter().filter(|&&v| v == 500).count();
+        assert_eq!(cheap + dear, 1000);
+        assert!(cheap > 700 && dear > 50, "cheap={cheap} dear={dear}");
+    }
+
+    #[test]
+    fn shape_from_seed_covers_all() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..12 {
+            seen.insert(Shape::from_seed(s));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

@@ -1,0 +1,25 @@
+//! Benchmark metadata: how a kernel is meant to be parallelised.
+
+use machsim::{Paradigm, Schedule};
+use tracer::AnnotatedProgram;
+
+/// How the paper parallelises a benchmark (paradigm, schedule, input).
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    /// Display name, e.g. `"LU-OMP"`.
+    pub name: String,
+    /// Threading paradigm of the parallelised version.
+    pub paradigm: Paradigm,
+    /// OpenMP schedule (ignored for Cilk benchmarks).
+    pub schedule: Schedule,
+    /// Input description for captions, e.g. `"3072/54MB"`.
+    pub input_desc: String,
+    /// Approximate memory footprint in bytes.
+    pub footprint_bytes: u64,
+}
+
+/// A benchmark: an annotated serial program plus its parallelisation spec.
+pub trait Benchmark: AnnotatedProgram {
+    /// The parallelisation the paper uses.
+    fn spec(&self) -> BenchSpec;
+}

@@ -1,0 +1,178 @@
+//! `Test2` (paper Fig. 10): everything `Test1` has, plus frequent
+//! inner-loop parallelism and nested parallelism — the cases where the
+//! fast-forwarding emulator (and Suitability) start to mispredict and the
+//! synthesizer shines (§VII-B, Fig. 11(c-f)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tracer::{AnnotatedProgram, Tracer};
+
+use crate::shapes::{compute_overhead, Shape};
+use crate::spec::{BenchSpec, Benchmark};
+use crate::test1::{Test1, Test1Params};
+use machsim::{Paradigm, Schedule};
+
+/// Parameters of one random Test2 instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Test2Params {
+    /// Generator seed.
+    pub seed: u64,
+    /// Outer trip count (`k_max`).
+    pub k_max: u64,
+    /// Outer workload shape.
+    pub shape: Shape,
+    /// Outer min cost (work units).
+    pub min_cost: u64,
+    /// Outer max cost (work units).
+    pub max_cost: u64,
+    /// Fractions of outer iteration cost before/after the nested loop
+    /// (Fig. 10 `ratio_delay_A/B`).
+    pub ratio_a: f64,
+    /// Fraction after the nested loop.
+    pub ratio_b: f64,
+    /// Probability an outer iteration runs the nested parallel loop.
+    pub nested_prob: f64,
+    /// The nested loop's own (smaller) Test1 parameters.
+    pub inner: Test1Params,
+}
+
+impl Test2Params {
+    /// A random instance.
+    pub fn random(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0000_0001);
+        let k_max = rng.gen_range(8..=48);
+        let shape = Shape::ALL[rng.gen_range(0..Shape::ALL.len())];
+        let min_cost = rng.gen_range(32_000..=240_000);
+        let max_cost = min_cost * rng.gen_range(2..=10);
+        let a = rng.gen_range(0.1..0.9);
+        let mut inner = Test1Params::random(seed ^ 0x5151_1515_2222_0002);
+        inner.i_max = rng.gen_range(4..=32);
+        Test2Params {
+            seed,
+            k_max,
+            shape,
+            min_cost,
+            max_cost,
+            ratio_a: a,
+            ratio_b: 1.0 - a,
+            nested_prob: rng.gen_range(0.3..=1.0),
+            inner,
+        }
+    }
+}
+
+/// Deterministic coin (same scheme as Test1's).
+fn coin(seed: u64, i: u64, p: f64) -> bool {
+    let mut x = seed ^ i.wrapping_mul(0x2545F4914F6CDD1D);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ((x >> 11) as f64) / ((1u64 << 53) as f64) < p
+}
+
+/// A Test2 program instance.
+#[derive(Debug, Clone)]
+pub struct Test2 {
+    /// The instance parameters.
+    pub params: Test2Params,
+}
+
+impl Test2 {
+    /// Wrap parameters.
+    pub fn new(params: Test2Params) -> Self {
+        Test2 { params }
+    }
+}
+
+impl AnnotatedProgram for Test2 {
+    fn name(&self) -> &str {
+        "Test2"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        let p = &self.params;
+        let inner = Test1::new(p.inner.clone());
+        t.par_sec_begin("test2");
+        for k in 0..p.k_max {
+            t.par_task_begin("kt");
+            let cost = compute_overhead(p.shape, k, p.k_max, p.min_cost, p.max_cost, p.seed);
+            t.work((cost as f64 * p.ratio_a).round() as u64);
+            if coin(p.seed, k, p.nested_prob) {
+                // Nested parallel loop (locks offset to ids 11/12).
+                inner.run_inner(t, "test2_inner", 10);
+            }
+            t.work((cost as f64 * p.ratio_b).round() as u64);
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+    }
+}
+
+impl Benchmark for Test2 {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: format!("Test2[{}]", self.params.seed),
+            paradigm: Paradigm::OpenMp,
+            schedule: Schedule::static1(),
+            input_desc: format!(
+                "k_max={} inner={} {:?}",
+                self.params.k_max, self.params.inner.i_max, self.params.shape
+            ),
+            footprint_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proftree::{NodeKind, TreeStats};
+    use tracer::{profile, ProfileOptions};
+
+    #[test]
+    fn profiles_with_nested_sections() {
+        let mut p = Test2Params::random(5);
+        p.nested_prob = 1.0;
+        let r = profile(&Test2::new(p), ProfileOptions::default());
+        let stats = TreeStats::gather(&r.tree);
+        assert_eq!(stats.max_section_depth, 2, "expected nested sections");
+        assert_eq!(r.tree.top_level_sections().len(), 1);
+    }
+
+    #[test]
+    fn nested_prob_zero_gives_flat_tree() {
+        let mut p = Test2Params::random(6);
+        p.nested_prob = 0.0;
+        let r = profile(&Test2::new(p), ProfileOptions::default());
+        let stats = TreeStats::gather(&r.tree);
+        assert_eq!(stats.max_section_depth, 1);
+    }
+
+    #[test]
+    fn nested_locks_use_offset_ids() {
+        let mut p = Test2Params::random(9);
+        p.nested_prob = 1.0;
+        p.inner.lock_prob = [1.0, 1.0];
+        p.inner.ratio_lock = [0.3, 0.3];
+        p.inner.ratio_delay = [0.2, 0.1, 0.1];
+        let r = profile(&Test2::new(p), ProfileOptions::default());
+        let mut lock_ids: Vec<u32> = r
+            .tree
+            .ids()
+            .filter_map(|i| match r.tree.node(i).kind {
+                NodeKind::L { lock } => Some(lock),
+                _ => None,
+            })
+            .collect();
+        lock_ids.sort_unstable();
+        lock_ids.dedup();
+        assert_eq!(lock_ids, vec![11, 12]);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Test2Params::random(123);
+        let b = Test2Params::random(123);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

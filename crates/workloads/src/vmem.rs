@@ -1,0 +1,112 @@
+//! Virtual memory layout helpers for the benchmark kernels.
+//!
+//! Kernels don't allocate real gigabytes: they compute over *virtual*
+//! address spaces and issue their genuine reference streams through the
+//! tracer's cache simulator. This module provides a bump allocator and
+//! typed array views that turn index arithmetic into addresses.
+
+/// Bump allocator over a virtual address space (64-byte aligned).
+#[derive(Debug, Clone)]
+pub struct VAlloc {
+    next: u64,
+}
+
+impl VAlloc {
+    /// Start of the virtual heap (non-zero to keep address 0 special).
+    pub fn new() -> Self {
+        VAlloc { next: 1 << 20 }
+    }
+
+    /// Allocate `bytes`, 64-byte aligned; returns the base address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = (self.next + 63) & !63;
+        self.next = base + bytes;
+        base
+    }
+
+    /// Total bytes allocated so far (the kernel's footprint).
+    pub fn footprint(&self) -> u64 {
+        self.next - (1 << 20)
+    }
+}
+
+impl Default for VAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A virtual 1-D array of `elem` -byte elements.
+#[derive(Debug, Clone, Copy)]
+pub struct VArray {
+    /// Base address.
+    pub base: u64,
+    /// Element size in bytes.
+    pub elem: u64,
+    /// Element count.
+    pub len: u64,
+}
+
+impl VArray {
+    /// Allocate an array of `len` elements of `elem` bytes.
+    pub fn alloc(a: &mut VAlloc, len: u64, elem: u64) -> Self {
+        VArray { base: a.alloc(len * elem), elem, len }
+    }
+
+    /// Address of element `i`.
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of {len}", len = self.len);
+        self.base + i * self.elem
+    }
+}
+
+/// A virtual 3-D array in row-major (`x` fastest) order.
+#[derive(Debug, Clone, Copy)]
+pub struct VArray3 {
+    /// Base address.
+    pub base: u64,
+    /// Element size in bytes.
+    pub elem: u64,
+    /// Dimension (cubic).
+    pub dim: u64,
+}
+
+impl VArray3 {
+    /// Allocate a `dim³` array.
+    pub fn alloc(a: &mut VAlloc, dim: u64, elem: u64) -> Self {
+        VArray3 { base: a.alloc(dim * dim * dim * elem), elem, dim }
+    }
+
+    /// Address of `(x, y, z)`.
+    #[inline]
+    pub fn at(&self, x: u64, y: u64, z: u64) -> u64 {
+        debug_assert!(x < self.dim && y < self.dim && z < self.dim);
+        self.base + ((z * self.dim + y) * self.dim + x) * self.elem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut a = VAlloc::new();
+        let x = a.alloc(100);
+        let y = a.alloc(64);
+        assert_eq!(x % 64, 0);
+        assert_eq!(y % 64, 0);
+        assert!(y >= x + 100);
+        assert!(a.footprint() >= 164);
+    }
+
+    #[test]
+    fn array_addressing() {
+        let mut a = VAlloc::new();
+        let arr = VArray::alloc(&mut a, 10, 8);
+        assert_eq!(arr.at(3), arr.base + 24);
+        let cube = VArray3::alloc(&mut a, 4, 16);
+        assert_eq!(cube.at(1, 2, 3), cube.base + ((3 * 4 + 2) * 4 + 1) * 16);
+    }
+}

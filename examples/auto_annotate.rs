@@ -1,0 +1,156 @@
+//! Semi-automatic annotation (paper §IV-A): run the serial program once
+//! under the dependence profiler, let it tell you *which loops are safe
+//! to annotate*, then feed the annotated program to Parallel Prophet for
+//! the speedup estimate — the full "SD3 → annotations → prediction"
+//! workflow the paper sketches.
+//!
+//! Run with `cargo run --release --example auto_annotate`.
+
+use depprof::{DepProfiler, Verdict};
+use machsim::Schedule;
+use prophet_core::{Emulator, PredictOptions, Prophet};
+use tracer::{AnnotatedProgram, Tracer};
+
+const W: u64 = 640;
+const H: u64 = 480;
+
+/// Virtual addresses of the program's arrays.
+mod addrs {
+    pub const IMG: u64 = 0x100_0000;
+    pub const OUT: u64 = 0x200_0000;
+    pub const HIST: u64 = 0x300_0000;
+    pub const CDF: u64 = 0x400_0000;
+}
+
+/// Step 1 — run the *unannotated* program under the dependence profiler.
+fn dependence_pass() -> depprof::DepReport {
+    let mut p = DepProfiler::new();
+
+    // Loop A: 3×3 blur — reads img, writes out: independent rows.
+    p.loop_begin("blur_rows");
+    for y in 1..H - 1 {
+        p.iter_begin();
+        for x in 1..W - 1 {
+            for dy in 0..3u64 {
+                for dx in 0..3u64 {
+                    p.read(addrs::IMG + ((y + dy - 1) * W + (x + dx - 1)) * 4);
+                }
+            }
+            p.write(addrs::OUT + (y * W + x) * 4);
+        }
+    }
+    p.loop_end();
+
+    // Loop B: histogram — hist[pix] += 1: reduction over shared bins.
+    p.loop_begin("histogram");
+    for y in 0..H {
+        p.iter_begin();
+        for x in 0..W {
+            p.read(addrs::OUT + (y * W + x) * 4);
+            let bin = addrs::HIST + ((x * 7 + y * 13) % 256) * 4;
+            p.read(bin);
+            p.write(bin);
+        }
+    }
+    p.loop_end();
+
+    // Loop C: CDF prefix scan — cdf[i] = cdf[i-1] + hist[i]: serial.
+    p.loop_begin("cdf_scan");
+    for i in 1..256u64 {
+        p.iter_begin();
+        p.read(addrs::CDF + (i - 1) * 8);
+        p.read(addrs::HIST + i * 4);
+        p.write(addrs::CDF + i * 8);
+    }
+    p.loop_end();
+
+    p.finish()
+}
+
+/// Step 2 — the program annotated per the profiler's verdicts: blur and
+/// histogram parallel (histogram via per-thread partial histograms, the
+/// reduction transform), the CDF scan left serial.
+struct Annotated;
+
+impl AnnotatedProgram for Annotated {
+    fn name(&self) -> &str {
+        "image_pipeline"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        // Blur (parallel; heavy).
+        t.par_sec_begin("blur_rows");
+        for _y in 1..H - 1 {
+            t.par_task_begin("row");
+            t.work((W - 2) * (9 * 2 + 5));
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+
+        // Histogram (parallel with reduction): blocks of rows with ONE
+        // private-histogram merge per block — merging per row would put
+        // a contended critical section on every iteration and the lock
+        // hand-off cost would dominate (try it: the prediction collapses
+        // to ~4.5x).
+        const ROWS_PER_BLOCK: u64 = 40;
+        t.par_sec_begin("histogram");
+        let mut y = 0;
+        while y < H {
+            t.par_task_begin("rows");
+            let end = (y + ROWS_PER_BLOCK).min(H);
+            t.work((end - y) * W * 6);
+            t.lock_begin(1);
+            t.work(256 * 2); // merge the whole private histogram
+            t.lock_end(1);
+            t.par_task_end();
+            y = end;
+        }
+        t.par_sec_end(false);
+
+        // CDF scan (serial — the profiler said so).
+        t.work(256 * 4);
+    }
+}
+
+fn main() {
+    println!("step 1 — dependence profile of the serial program:\n");
+    let report = dependence_pass();
+    for s in report.suggestions() {
+        println!("  {s}");
+    }
+
+    let parallel_loops =
+        report.loops.iter().filter(|l| l.verdict().is_parallel()).count();
+    println!(
+        "\n{} of {} loops are annotation candidates.\n",
+        parallel_loops,
+        report.loops.len()
+    );
+    assert_eq!(
+        report.loops.iter().map(|l| l.verdict()).collect::<Vec<_>>(),
+        vec![Verdict::Parallel, Verdict::ParallelWithReduction, Verdict::Serial],
+        "expected blur ∥, histogram ∥(reduction), scan serial"
+    );
+
+    println!("step 2 — Parallel Prophet on the annotated program:\n");
+    let mut prophet = Prophet::new();
+    let profiled = prophet.profile(&Annotated);
+    for threads in [2u32, 4, 8, 12] {
+        let pred = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads,
+                    schedule: Schedule::static_block(),
+                    emulator: Emulator::FastForward,
+                    ..Default::default()
+                },
+            )
+            .expect("prediction");
+        println!("  {threads:>2} threads -> {:.2}x", pred.speedup);
+    }
+    println!(
+        "\nThe serial CDF scan caps the curve (Amdahl) — the dependence \
+         profiler told us exactly which loop is responsible."
+    );
+}

@@ -1,0 +1,74 @@
+//! Bottleneck diagnosis (Table III: the FF is "ideal for … diagnose
+//! bottleneck"): a program with four differently-limited sections, each
+//! correctly attributed, with the "speedup if fixed" headline per
+//! section.
+//!
+//! Run with `cargo run --release --example diagnose`.
+
+use machsim::Schedule;
+use prophet_core::{diagnose, Prophet};
+use tracer::{AnnotatedProgram, Tracer};
+
+/// Four phases, four different reasons not to scale.
+struct FourPhases;
+
+impl AnnotatedProgram for FourPhases {
+    fn name(&self) -> &str {
+        "four_phases"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        // Phase 1: clean data-parallel work — scales.
+        t.par_sec_begin("transform");
+        for _ in 0..48 {
+            t.par_task_begin("t");
+            t.work(200_000);
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+
+        // Phase 2: a hot global lock — serialises.
+        t.par_sec_begin("global_counter");
+        for _ in 0..48 {
+            t.par_task_begin("t");
+            t.work(30_000);
+            t.lock_begin(1);
+            t.work(90_000);
+            t.lock_end(1);
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+
+        // Phase 3: thousands of microscopic tasks — overhead-bound.
+        t.par_sec_begin("micro_tasks");
+        for _ in 0..4_000 {
+            t.par_task_begin("t");
+            t.work(60);
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+
+        // Phase 4: one giant task among dwarfs — imbalance/critical path.
+        t.par_sec_begin("skewed");
+        t.par_task_begin("giant");
+        t.work(4_000_000);
+        t.par_task_end();
+        for _ in 0..11 {
+            t.par_task_begin("dwarf");
+            t.work(80_000);
+            t.par_task_end();
+        }
+        t.par_sec_end(false);
+    }
+}
+
+fn main() {
+    let mut prophet = Prophet::new();
+    let profiled = prophet.profile(&FourPhases);
+    let d = diagnose(&profiled.tree, 8, Schedule::static_block());
+    println!("{}", d.render());
+    println!(
+        "Fixing the biggest limiter first: the table is sorted by program \
+         share, and 'fixing it' shows what each repair would buy."
+    );
+}

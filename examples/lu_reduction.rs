@@ -1,0 +1,61 @@
+//! LU reduction (the paper's Fig. 1(a)): triangular imbalance plus
+//! frequent inner-loop parallelism. Compares Parallel Prophet's
+//! predictions against the simulated ground truth and the
+//! Suitability-like baseline, which overestimates the inner-loop
+//! overhead (paper §VII-C).
+//!
+//! Run with `cargo run --release --example lu_reduction`.
+
+use baselines::suitability_predict;
+use machsim::{Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet, SpeedupReport};
+use workloads::ompscr::Lu;
+use workloads::spec::Benchmark;
+use workloads::{run_real, RealOptions};
+
+fn main() {
+    let lu = Lu { size: 192 }; // between test and paper sizes: quick but real
+    let spec = lu.spec();
+    println!("benchmark: {} ({})", spec.name, spec.input_desc);
+
+    let mut prophet = Prophet::new();
+    let profiled = prophet.profile(&lu);
+    println!(
+        "profiled: {} inner sections, {} stored nodes ({} logical)\n",
+        profiled.tree.top_level_sections().len(),
+        profiled.tree.len(),
+        proftree::visit::logical_node_count(&profiled.tree),
+    );
+
+    let mut report = SpeedupReport::new(
+        format!("{} schedule(static,1)", spec.name),
+        vec!["Real".into(), "Pred".into(), "Suit".into()],
+    );
+    for threads in [2u32, 4, 6, 8, 10, 12] {
+        let real = run_real(
+            &profiled.tree,
+            &RealOptions::new(threads, Paradigm::OpenMp, Schedule::static1()),
+        )
+        .expect("ground truth run");
+        let pred = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads,
+                    schedule: Schedule::static1(),
+                    emulator: Emulator::Synthesizer,
+                    ..Default::default()
+                },
+            )
+            .expect("prediction");
+        let suit = suitability_predict(&profiled.tree, threads);
+        report.push_row(
+            threads,
+            vec![Some(real.speedup), Some(pred.speedup), Some(suit.speedup)],
+        );
+    }
+    println!("{}", report.render());
+    let err = report.mean_relative_error("Pred", "Real").unwrap_or(f64::NAN);
+    let suit_err = report.mean_relative_error("Suit", "Real").unwrap_or(f64::NAN);
+    println!("mean relative error: Pred {:.1}%  Suit {:.1}%", err * 100.0, suit_err * 100.0);
+}

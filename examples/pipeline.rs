@@ -1,0 +1,69 @@
+//! Pipeline parallelism (the paper's §VII-E extension): a transcoder-like
+//! stream of frames flowing through decode → filter → encode → mux
+//! stages. Shows the bottleneck-stage law and how Parallel Prophet
+//! predicts pipeline speedup from the annotated serial program, while the
+//! Suitability-like baseline (no pipeline model) predicts none.
+//!
+//! Run with `cargo run --release --example pipeline`.
+
+use baselines::suitability_predict;
+use machsim::{Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet, SpeedupReport};
+use workloads::{run_real, PipelineParams, PipelineWl, RealOptions};
+
+fn main() {
+    // 120 frames through 4 stages: 20k / 60k / 35k / 10k work units.
+    let wl = PipelineWl::new(PipelineParams::transcoder(120));
+    let total: u64 = wl.params.stage_cost.iter().sum();
+    let bottleneck = *wl.params.stage_cost.iter().max().expect("stages");
+    println!(
+        "pipeline: {} items, stages {:?} (bottleneck law predicts ≤ {:.2}x)\n",
+        wl.params.items,
+        wl.params.stage_cost,
+        total as f64 / bottleneck as f64
+    );
+
+    let mut prophet = Prophet::new();
+    let profiled = prophet.profile(&wl);
+    let stats = proftree::TreeStats::gather(&profiled.tree);
+    println!(
+        "profiled: {} pipe node(s), {} stored stage nodes, {} tree nodes\n",
+        stats.pipes, stats.stages, profiled.tree.len()
+    );
+
+    let mut report = SpeedupReport::new(
+        "transcoder pipeline",
+        vec!["Real".into(), "FF".into(), "SYN".into(), "Suit".into()],
+    );
+    for threads in [2u32, 4, 6, 8] {
+        // A pipeline always runs all its stage threads; "t threads" means
+        // a t-core machine.
+        let mut real_opts =
+            RealOptions::new(threads, Paradigm::OpenMp, Schedule::static_block());
+        real_opts.machine = real_opts.machine.with_cores(threads);
+        let real = run_real(&profiled.tree, &real_opts).expect("ground truth");
+        let ff = prophet
+            .predict(
+                &profiled,
+                &PredictOptions { threads, emulator: Emulator::FastForward, ..Default::default() },
+            )
+            .expect("ff");
+        let syn = prophet
+            .predict(
+                &profiled,
+                &PredictOptions { threads, emulator: Emulator::Synthesizer, ..Default::default() },
+            )
+            .expect("syn");
+        let suit = suitability_predict(&profiled.tree, threads);
+        report.push_row(
+            threads,
+            vec![Some(real.speedup), Some(ff.speedup), Some(syn.speedup), Some(suit.speedup)],
+        );
+    }
+    println!("{}", report.render());
+    println!(
+        "The speedup flattens at the bottleneck stage's share of the work; \
+         adding threads beyond the stage count cannot help. Suitability's \
+         emulator has no pipeline model and predicts ~1x (its Table I 'x')."
+    );
+}

@@ -1,0 +1,79 @@
+//! Quickstart: annotate a serial loop, profile it once, and ask Parallel
+//! Prophet how it would scale.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use machsim::Schedule;
+use prophet_core::{Emulator, PredictOptions, Prophet, SpeedupReport};
+use tracer::{AnnotatedProgram, Tracer};
+
+/// A serial image-filter-like loop: rows cost more toward the bottom
+/// (workload imbalance), and a shared histogram needs a lock.
+struct FilterLoop;
+
+impl AnnotatedProgram for FilterLoop {
+    fn name(&self) -> &str {
+        "filter_loop"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        t.par_sec_begin("rows"); // PAR_SEC_BEGIN("rows")
+        for row in 0..64u64 {
+            t.par_task_begin("row"); // each iteration may run in parallel
+            t.work(20_000 + row * 1_500); // the filter itself (imbalanced)
+            t.lock_begin(1); // histogram update must be protected
+            t.work(2_000);
+            t.lock_end(1);
+            t.par_task_end();
+        }
+        t.par_sec_end(false); // implicit barrier at loop end
+    }
+}
+
+fn main() {
+    let mut prophet = Prophet::new();
+
+    // One profiling run builds the program tree and memory profile.
+    let profiled = prophet.profile(&FilterLoop);
+    println!(
+        "profiled '{}': {} cycles serial, {} tree nodes, {:.2}x profiling slowdown\n",
+        profiled.name,
+        profiled.profile.net_cycles,
+        profiled.tree.len(),
+        profiled.profile.slowdown(),
+    );
+
+    // Predict speedups for 1-12 cores with both emulators.
+    let threads = [1u32, 2, 4, 6, 8, 10, 12];
+    let mut report = SpeedupReport::new(
+        "filter_loop, schedule(dynamic,1)",
+        vec!["FF".into(), "Synthesizer".into()],
+    );
+    for &t in &threads {
+        let ff = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads: t,
+                    schedule: Schedule::dynamic1(),
+                    emulator: Emulator::FastForward,
+                    ..Default::default()
+                },
+            )
+            .expect("ff prediction");
+        let syn = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads: t,
+                    schedule: Schedule::dynamic1(),
+                    emulator: Emulator::Synthesizer,
+                    ..Default::default()
+                },
+            )
+            .expect("synthesizer prediction");
+        report.push_row(t, vec![Some(ff.speedup), Some(syn.speedup)]);
+    }
+    println!("{}", report.render());
+    println!("Tip: the lock caps the speedup well below linear — try removing it.");
+}

@@ -1,0 +1,92 @@
+//! Recursive FFT (the paper's Fig. 1(b)): recursive/nested parallelism
+//! run under the Cilk-style work-stealing runtime. Demonstrates the
+//! synthesizer's edge over the fast-forwarding emulator on recursion
+//! (paper §IV-D and Table III).
+//!
+//! Run with `cargo run --release --example recursive_fft`.
+
+use machsim::{Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet, SpeedupReport};
+use workloads::ompscr::Fft;
+use workloads::spec::Benchmark;
+use workloads::{run_real, RealOptions};
+
+fn main() {
+    let fft = Fft { n: 1 << 13, cutoff: 1 << 9, combine_cutoff: 1 << 10 };
+    let spec = fft.spec();
+    println!("benchmark: {} ({})", spec.name, spec.input_desc);
+
+    let mut prophet = Prophet::new();
+    let profiled = prophet.profile(&fft);
+    let stats = proftree::TreeStats::gather(&profiled.tree);
+    println!(
+        "tree: {} nodes, max section depth {} (recursive spawns)\n",
+        profiled.tree.len(),
+        stats.max_section_depth
+    );
+
+    let mut report = SpeedupReport::new(
+        format!("{} under Cilk work stealing", spec.name),
+        vec!["Real".into(), "SYN".into(), "SYN(task)".into(), "FF".into()],
+    );
+    for threads in [2u32, 4, 6, 8, 12] {
+        let real = run_real(
+            &profiled.tree,
+            &RealOptions::new(threads, Paradigm::CilkPlus, Schedule::static_block()),
+        )
+        .expect("ground truth");
+        let syn = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads,
+                    paradigm: Paradigm::CilkPlus,
+                    emulator: Emulator::Synthesizer,
+                    ..Default::default()
+                },
+            )
+            .expect("synthesizer");
+        // What if the same recursion ran on OpenMP 3.0 tasks instead?
+        // The central queue costs a little against work stealing.
+        let syn_task = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads,
+                    paradigm: Paradigm::OmpTask,
+                    emulator: Emulator::Synthesizer,
+                    ..Default::default()
+                },
+            )
+            .expect("task synthesizer");
+        // The FF only implements an OpenMP-style emulator; on recursive
+        // trees it deviates — that's the point of this example.
+        let ff = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads,
+                    emulator: Emulator::FastForward,
+                    schedule: Schedule::dynamic1(),
+                    ..Default::default()
+                },
+            )
+            .expect("ff");
+        report.push_row(
+            threads,
+            vec![
+                Some(real.speedup),
+                Some(syn.speedup),
+                Some(syn_task.speedup),
+                Some(ff.speedup),
+            ],
+        );
+    }
+    println!("{}", report.render());
+    println!(
+        "SYN error {:.1}% vs FF error {:.1}% — the synthesizer models the \
+         work-stealing runtime the FF cannot.",
+        report.mean_relative_error("SYN", "Real").unwrap_or(f64::NAN) * 100.0,
+        report.mean_relative_error("FF", "Real").unwrap_or(f64::NAN) * 100.0
+    );
+}

@@ -1,0 +1,160 @@
+//! Fig. 11-style validation in miniature: random Test1/Test2 samples,
+//! predictions vs simulated ground truth, with the paper's qualitative
+//! claims asserted (FF accurate on Test1; synthesizer accurate on Test2;
+//! Suitability weaker on Test2).
+
+use baselines::suitability_predict;
+use machsim::{Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet};
+use workloads::{run_real, RealOptions, Test1, Test1Params, Test2, Test2Params};
+
+fn quick_prophet() -> Prophet {
+    let mut p = Prophet::new();
+    p.set_calibration(prophet_core::memmodel::calibrate(
+        machsim::MachineConfig::westmere_scaled(),
+        &prophet_core::memmodel::CalibrationOptions {
+            thread_counts: vec![2, 4, 8, 12],
+            intensity_steps: 6,
+            packet_cycles: 200_000,
+        },
+    ));
+    p
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[test]
+fn ff_is_accurate_on_test1_samples() {
+    // Paper §VII-B: "average error ratio is less than 4%" for Test1 on
+    // the FF (we allow a wider band for the mini sample).
+    let mut prophet = quick_prophet();
+    let mut errors = Vec::new();
+    for seed in 0..8u64 {
+        let prog = Test1::new(Test1Params::random(seed));
+        let profiled = prophet.profile(&prog);
+        for schedule in [Schedule::static1(), Schedule::dynamic1()] {
+            let real = run_real(
+                &profiled.tree,
+                &RealOptions::new(8, Paradigm::OpenMp, schedule),
+            )
+            .unwrap();
+            let pred = prophet
+                .predict(
+                    &profiled,
+                    &PredictOptions {
+                        threads: 8,
+                        schedule,
+                        emulator: Emulator::FastForward,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            errors.push((pred.speedup - real.speedup).abs() / real.speedup);
+        }
+    }
+    let avg = mean(&errors);
+    let max = errors.iter().cloned().fold(0.0, f64::max);
+    assert!(avg < 0.10, "FF Test1 mean error {:.1}%", avg * 100.0);
+    assert!(max < 0.30, "FF Test1 max error {:.1}%", max * 100.0);
+}
+
+#[test]
+fn synthesizer_is_accurate_on_test2_samples() {
+    // Paper §VII-B: synthesizer shows "a 3% average error ratio and 19%
+    // at the maximum" on Test2 (wider bands for the mini sample).
+    let mut prophet = quick_prophet();
+    let mut errors = Vec::new();
+    for seed in 0..6u64 {
+        let prog = Test2::new(Test2Params::random(seed));
+        let profiled = prophet.profile(&prog);
+        for schedule in [Schedule::static1(), Schedule::dynamic1()] {
+            let real = run_real(
+                &profiled.tree,
+                &RealOptions::new(8, Paradigm::OpenMp, schedule),
+            )
+            .unwrap();
+            let pred = prophet
+                .predict(
+                    &profiled,
+                    &PredictOptions {
+                        threads: 8,
+                        schedule,
+                        emulator: Emulator::Synthesizer,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            errors.push((pred.speedup - real.speedup).abs() / real.speedup);
+        }
+    }
+    let avg = mean(&errors);
+    assert!(avg < 0.12, "SYN Test2 mean error {:.1}%", avg * 100.0);
+}
+
+#[test]
+fn synthesizer_beats_suitability_on_test2() {
+    // Fig. 11(e) vs 11(f): the synthesizer tracks reality; Suitability
+    // (fixed scheduling, no preemption model, pessimistic region costs)
+    // deviates more on nested/inner-loop-heavy programs.
+    let mut prophet = quick_prophet();
+    let mut syn_err = Vec::new();
+    let mut suit_err = Vec::new();
+    for seed in [1u64, 3, 9] {
+        let mut params = Test2Params::random(seed);
+        params.nested_prob = 1.0;
+        let prog = Test2::new(params);
+        let profiled = prophet.profile(&prog);
+        let schedule = Schedule::dynamic1();
+        let real =
+            run_real(&profiled.tree, &RealOptions::new(4, Paradigm::OpenMp, schedule)).unwrap();
+        let syn = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads: 4,
+                    schedule,
+                    emulator: Emulator::Synthesizer,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let suit = suitability_predict(&profiled.tree, 4);
+        syn_err.push((syn.speedup - real.speedup).abs() / real.speedup);
+        suit_err.push((suit.speedup - real.speedup).abs() / real.speedup);
+    }
+    assert!(
+        mean(&syn_err) < mean(&suit_err),
+        "synthesizer ({:.1}%) should beat suitability ({:.1}%)",
+        mean(&syn_err) * 100.0,
+        mean(&suit_err) * 100.0
+    );
+}
+
+#[test]
+fn predictions_monotone_enough_in_threads() {
+    let mut prophet = quick_prophet();
+    let prog = Test1::new(Test1Params::random(77));
+    let profiled = prophet.profile(&prog);
+    let mut prev = 0.0f64;
+    for t in [1u32, 2, 4, 8, 12] {
+        let p = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads: t,
+                    schedule: Schedule::dynamic1(),
+                    emulator: Emulator::FastForward,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            p.speedup >= prev * 0.9,
+            "speedup collapsed at t={t}: {} after {prev}",
+            p.speedup
+        );
+        prev = p.speedup;
+    }
+}

@@ -1,0 +1,73 @@
+//! Whole-pipeline determinism: identical inputs must yield bit-identical
+//! trees, calibrations, predictions, and ground-truth runs — the property
+//! that makes the reproduction's experiments repeatable.
+
+use machsim::{Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet};
+use workloads::{run_real, RealOptions, Test1, Test1Params, Test2, Test2Params};
+
+fn quick_cal() -> prophet_core::memmodel::MemCalibration {
+    prophet_core::memmodel::calibrate(
+        machsim::MachineConfig::westmere_scaled(),
+        &prophet_core::memmodel::CalibrationOptions {
+            thread_counts: vec![2, 8],
+            intensity_steps: 4,
+            packet_cycles: 100_000,
+        },
+    )
+}
+
+#[test]
+fn profiling_is_deterministic() {
+    let prog = Test1::new(Test1Params::random(33));
+    let run = || {
+        let mut p = Prophet::new();
+        p.set_calibration(quick_cal());
+        p.profile(&prog)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.tree, b.tree);
+    assert_eq!(a.profile.net_cycles, b.profile.net_cycles);
+    assert_eq!(a.profile.gross_cycles, b.profile.gross_cycles);
+}
+
+#[test]
+fn calibration_is_deterministic() {
+    let a = quick_cal();
+    let b = quick_cal();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn predictions_are_deterministic() {
+    let prog = Test2::new(Test2Params::random(4));
+    let mut prophet = Prophet::new();
+    prophet.set_calibration(quick_cal());
+    let profiled = prophet.profile(&prog);
+    for emulator in [Emulator::FastForward, Emulator::Synthesizer] {
+        let opts = PredictOptions {
+            threads: 6,
+            schedule: Schedule::dynamic1(),
+            emulator,
+            ..Default::default()
+        };
+        let a = prophet.predict(&profiled, &opts).unwrap();
+        let b = prophet.predict(&profiled, &opts).unwrap();
+        assert_eq!(a.predicted_cycles, b.predicted_cycles, "{emulator:?}");
+        assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "{emulator:?}");
+    }
+}
+
+#[test]
+fn ground_truth_is_deterministic() {
+    let prog = Test1::new(Test1Params::random(8));
+    let mut prophet = Prophet::new();
+    prophet.set_calibration(quick_cal());
+    let profiled = prophet.profile(&prog);
+    let opts = RealOptions::new(8, Paradigm::OpenMp, Schedule::dynamic1());
+    let a = run_real(&profiled.tree, &opts).unwrap();
+    let b = run_real(&profiled.tree, &opts).unwrap();
+    assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
+    assert_eq!(a.stats, b.stats);
+}

@@ -1,0 +1,131 @@
+//! Memory-model integration tests: burden factors must capture real
+//! bandwidth saturation (Fig. 2) and stay out of the way for
+//! compute-bound code (NPB-EP).
+
+use cachesim::HierarchyConfig;
+use machsim::{MachineConfig, Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet};
+use proftree::NodeKind;
+use workloads::npb::{Ep, Ft};
+use workloads::{run_real, RealOptions};
+
+/// FT scaled to a small LLC so the test is fast but still several× over
+/// the cache (the streaming regime of the real B-class run).
+fn small_ft_setup() -> (Ft, MachineConfig, HierarchyConfig) {
+    let ft = Ft { dim: 32, iters: 1, lines_per_task: 16 };
+    let mut hierarchy = HierarchyConfig::westmere_scaled();
+    // Shrink the cache (power-of-two set counts require adjusting ways).
+    hierarchy.llc.capacity_bytes = 128 << 10;
+    hierarchy.llc.ways = 8;
+    hierarchy.l2.capacity_bytes = 32 << 10;
+    (ft, MachineConfig::westmere_scaled(), hierarchy)
+}
+
+#[test]
+fn ft_gets_nontrivial_burden_factors() {
+    let (ft, machine, hierarchy) = small_ft_setup();
+    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let profiled = prophet.profile(&ft);
+    let mut burdened = 0;
+    for sec in profiled.tree.top_level_sections() {
+        if let NodeKind::Sec { burden, .. } = &profiled.tree.node(sec).kind {
+            if burden.factor(12) > 1.05 {
+                burdened += 1;
+            }
+            // Burden must be monotone in threads.
+            let mut prev = 1.0;
+            for t in [2u32, 4, 8, 12] {
+                let b = burden.factor(t);
+                assert!(b >= prev - 1e-9, "burden not monotone at t={t}");
+                prev = b;
+            }
+        }
+    }
+    assert!(burdened >= 2, "expected burdened FT sections, got {burdened}");
+}
+
+#[test]
+fn predm_tracks_real_saturation_better_than_pred() {
+    let (ft, machine, hierarchy) = small_ft_setup();
+    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let profiled = prophet.profile(&ft);
+
+    let mut real_opts = RealOptions::new(12, Paradigm::OpenMp, Schedule::static_block());
+    real_opts.machine = machine;
+    let real = run_real(&profiled.tree, &real_opts).unwrap();
+
+    let base = PredictOptions {
+        threads: 12,
+        schedule: Schedule::static_block(),
+        emulator: Emulator::Synthesizer,
+        ..Default::default()
+    };
+    let pred = prophet
+        .predict(&profiled, &PredictOptions { memory_model: false, ..base })
+        .unwrap();
+    let predm = prophet
+        .predict(&profiled, &PredictOptions { memory_model: true, ..base })
+        .unwrap();
+
+    // The Fig. 2 claim: without the model, overestimation; with it, the
+    // prediction comes closer to the saturated reality.
+    let err_pred = (pred.speedup - real.speedup).abs() / real.speedup;
+    let err_predm = (predm.speedup - real.speedup).abs() / real.speedup;
+    assert!(
+        pred.speedup > real.speedup,
+        "Pred ({:.2}) should overestimate Real ({:.2})",
+        pred.speedup,
+        real.speedup
+    );
+    assert!(
+        err_predm < err_pred,
+        "PredM error {:.1}% should beat Pred error {:.1}% (real {:.2}, pred {:.2}, predm {:.2})",
+        err_predm * 100.0,
+        err_pred * 100.0,
+        real.speedup,
+        pred.speedup,
+        predm.speedup
+    );
+}
+
+#[test]
+fn ep_burden_stays_unit_and_scales_linearly() {
+    let mut prophet = Prophet::new();
+    // A mid-size EP: large enough that fork/join overhead is negligible.
+    let profiled = prophet.profile(&Ep { pairs: 1 << 17, block: 1 << 10 });
+    for sec in profiled.tree.top_level_sections() {
+        if let NodeKind::Sec { burden, .. } = &profiled.tree.node(sec).kind {
+            assert!(burden.is_unit(), "EP must not be burdened: {:?}", burden.entries());
+        }
+    }
+    let pred = prophet
+        .predict(
+            &profiled,
+            &PredictOptions {
+                threads: 12,
+                schedule: Schedule::static_block(),
+                emulator: Emulator::FastForward,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(pred.speedup > 10.0, "EP should be near-linear, got {:.2}", pred.speedup);
+}
+
+#[test]
+fn real_run_saturates_on_bandwidth_limited_ft() {
+    let (ft, machine, hierarchy) = small_ft_setup();
+    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let profiled = prophet.profile(&ft);
+
+    let mk = |threads: u32| {
+        let mut o = RealOptions::new(threads, Paradigm::OpenMp, Schedule::static_block());
+        o.machine = machine;
+        o
+    };
+    let s2 = run_real(&profiled.tree, &mk(2)).unwrap().speedup;
+    let s12 = run_real(&profiled.tree, &mk(12)).unwrap().speedup;
+    // Speedup must grow but be clearly sublinear at 12 threads.
+    assert!(s12 >= s2, "s12 {s12} < s2 {s2}");
+    assert!(s12 < 9.0, "expected saturation below 9x, got {s12:.2}");
+}

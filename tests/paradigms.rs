@@ -1,0 +1,168 @@
+//! Cross-paradigm integration: the same profiled tree predicted and
+//! ground-truthed under OpenMP worksharing, Cilk work stealing, and
+//! OpenMP 3.0 tasks — the "threading models" axis of the paper's
+//! closing claim ("speedups are reported against different
+//! parallelization parameters such as scheduling policies, threading
+//! models, and CPU numbers").
+
+use machsim::{Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet};
+use tracer::{AnnotatedProgram, Tracer};
+use workloads::{run_real, RealOptions};
+
+/// A fine-grained recursion: the workload class that separates the three
+/// runtimes.
+struct FineRecursion;
+
+impl AnnotatedProgram for FineRecursion {
+    fn name(&self) -> &str {
+        "fine_recursion"
+    }
+
+    fn run(&self, t: &mut Tracer) {
+        fn rec(t: &mut Tracer, depth: u32) {
+            if depth == 0 {
+                t.work(3_000);
+                return;
+            }
+            t.par_sec_begin("spawn");
+            for _ in 0..2 {
+                t.par_task_begin("half");
+                rec(t, depth - 1);
+                t.par_task_end();
+            }
+            t.par_sec_end(false);
+        }
+        t.par_sec_begin("root");
+        t.par_task_begin("r");
+        rec(t, 7); // 128 leaves of 3k cycles
+        t.par_task_end();
+        t.par_sec_end(false);
+    }
+}
+
+fn quick_prophet() -> Prophet {
+    let mut p = Prophet::new();
+    p.set_calibration(prophet_core::memmodel::calibrate(
+        machsim::MachineConfig::westmere_scaled(),
+        &prophet_core::memmodel::CalibrationOptions {
+            thread_counts: vec![2, 8],
+            intensity_steps: 4,
+            packet_cycles: 100_000,
+        },
+    ));
+    p
+}
+
+#[test]
+fn each_paradigm_prediction_tracks_its_own_ground_truth() {
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&FineRecursion);
+    for paradigm in [Paradigm::CilkPlus, Paradigm::OmpTask] {
+        let real = run_real(
+            &profiled.tree,
+            &RealOptions::new(8, paradigm, Schedule::static_block()),
+        )
+        .unwrap();
+        let pred = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads: 8,
+                    paradigm,
+                    emulator: Emulator::Synthesizer,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let rel = (pred.speedup - real.speedup).abs() / real.speedup;
+        assert!(
+            rel < 0.20,
+            "{}: pred {:.2} vs real {:.2}",
+            paradigm.name(),
+            pred.speedup,
+            real.speedup
+        );
+    }
+}
+
+#[test]
+fn work_stealing_beats_central_queue_on_fine_grain() {
+    // The characteristic difference the paper gestures at in §III: for
+    // recursive/fine-grained parallelism, the runtimes are NOT
+    // interchangeable, and the synthesizer can quantify the gap before
+    // any parallel code exists.
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&FineRecursion);
+    let cilk = prophet
+        .predict(
+            &profiled,
+            &PredictOptions {
+                threads: 12,
+                paradigm: Paradigm::CilkPlus,
+                emulator: Emulator::Synthesizer,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let tasks = prophet
+        .predict(
+            &profiled,
+            &PredictOptions {
+                threads: 12,
+                paradigm: Paradigm::OmpTask,
+                emulator: Emulator::Synthesizer,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(
+        cilk.speedup > tasks.speedup,
+        "work stealing ({:.2}) should beat the central queue ({:.2}) here",
+        cilk.speedup,
+        tasks.speedup
+    );
+}
+
+#[test]
+fn naive_nested_openmp_loses_to_task_runtimes() {
+    // Fig. 1(b)'s point: "a naive implementation by OpenMP's nested
+    // parallelism mostly yields poor speedups in these patterns because
+    // of too many spawned physical threads. For such recursive
+    // parallelism, TBB, Cilk Plus, and OpenMP 3.0's task are much more
+    // effective."
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&FineRecursion);
+    let nested_omp = run_real(
+        &profiled.tree,
+        &RealOptions::new(12, Paradigm::OpenMp, Schedule::static1()),
+    )
+    .unwrap();
+    let cilk = run_real(
+        &profiled.tree,
+        &RealOptions::new(12, Paradigm::CilkPlus, Schedule::static_block()),
+    )
+    .unwrap();
+    assert!(
+        cilk.speedup > nested_omp.speedup,
+        "cilk {:.2} should beat naive nested OpenMP {:.2}",
+        cilk.speedup,
+        nested_omp.speedup
+    );
+    // The naive version spawns a fresh team per nested region — hundreds
+    // of threads; the Cilk pool stays at 12.
+    assert!(nested_omp.stats.threads_spawned > 100);
+    assert_eq!(cilk.stats.threads_spawned, 12);
+}
+
+#[test]
+fn recommend_explores_all_three_paradigms() {
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&FineRecursion);
+    let rec = prophet.recommend(&profiled).unwrap();
+    let paradigms: std::collections::HashSet<&str> =
+        rec.all.iter().map(|p| p.paradigm.as_str()).collect();
+    assert!(paradigms.contains("OpenMP"));
+    assert!(paradigms.contains("CilkPlus"));
+    assert!(paradigms.contains("OmpTask"));
+}

@@ -1,0 +1,154 @@
+//! End-to-end pipeline tests spanning the whole workspace: annotate →
+//! profile → model memory → emulate → compare against ground truth.
+
+use machsim::{Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet};
+use workloads::{run_real, RealOptions, Test1, Test1Params, Test2, Test2Params};
+
+/// A canned light calibration so tests don't pay the full microbenchmark.
+fn quick_prophet() -> Prophet {
+    let mut p = Prophet::new();
+    p.set_calibration(memmodel_quick());
+    p
+}
+
+fn memmodel_quick() -> prophet_core::memmodel::MemCalibration {
+    prophet_core::memmodel::calibrate(
+        machsim::MachineConfig::westmere_scaled(),
+        &prophet_core::memmodel::CalibrationOptions {
+            thread_counts: vec![2, 4, 8, 12],
+            intensity_steps: 6,
+            packet_cycles: 200_000,
+        },
+    )
+}
+
+#[test]
+fn test1_pipeline_ff_and_synth_against_real() {
+    let prog = Test1::new(Test1Params::random(42));
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&prog);
+
+    for schedule in [Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()] {
+        let real = run_real(
+            &profiled.tree,
+            &RealOptions::new(8, Paradigm::OpenMp, schedule),
+        )
+        .expect("ground truth");
+        for emulator in [Emulator::FastForward, Emulator::Synthesizer] {
+            let pred = prophet
+                .predict(
+                    &profiled,
+                    &PredictOptions { threads: 8, schedule, emulator, ..Default::default() },
+                )
+                .expect("prediction");
+            let rel = (pred.speedup - real.speedup).abs() / real.speedup;
+            assert!(
+                rel < 0.25,
+                "{emulator:?}/{} pred {:.2} vs real {:.2} ({:.0}% off)",
+                schedule.name(),
+                pred.speedup,
+                real.speedup,
+                rel * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn test2_nested_synthesizer_tracks_real() {
+    let mut params = Test2Params::random(7);
+    params.nested_prob = 1.0;
+    let prog = Test2::new(params);
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&prog);
+
+    let schedule = Schedule::static1();
+    let real =
+        run_real(&profiled.tree, &RealOptions::new(8, Paradigm::OpenMp, schedule)).unwrap();
+    let syn = prophet
+        .predict(
+            &profiled,
+            &PredictOptions {
+                threads: 8,
+                schedule,
+                emulator: Emulator::Synthesizer,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let rel = (syn.speedup - real.speedup).abs() / real.speedup;
+    assert!(
+        rel < 0.25,
+        "nested synth pred {:.2} vs real {:.2} ({:.0}% off)",
+        syn.speedup,
+        real.speedup,
+        rel * 100.0
+    );
+}
+
+#[test]
+fn profile_is_reusable_across_predictions() {
+    let prog = Test1::new(Test1Params::random(5));
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&prog);
+    // Profile once, predict many — the paper's core workflow promise.
+    let mut speedups = Vec::new();
+    for t in [2u32, 4, 8, 12] {
+        let p = prophet
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    threads: t,
+                    emulator: Emulator::FastForward,
+                    schedule: Schedule::dynamic1(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        speedups.push(p.speedup);
+    }
+    // Sanity: speedups bounded by the thread count.
+    for (i, &t) in [2u32, 4, 8, 12].iter().enumerate() {
+        assert!(speedups[i] <= t as f64 + 1e-9);
+        assert!(speedups[i] >= 0.9);
+    }
+}
+
+#[test]
+fn compression_does_not_change_predictions_materially() {
+    let prog = Test1::new(Test1Params::random(100));
+    let mut prophet = quick_prophet();
+
+    let mut opts_nc = tracer::ProfileOptions::default();
+    opts_nc.compress = false;
+    prophet.set_profile_options(opts_nc);
+    let uncompressed = prophet.profile(&prog);
+
+    let mut opts_c = tracer::ProfileOptions::default();
+    opts_c.compress = true;
+    prophet.set_profile_options(opts_c);
+    let compressed = prophet.profile(&prog);
+
+    assert!(compressed.tree.len() <= uncompressed.tree.len());
+    let po = PredictOptions {
+        threads: 8,
+        emulator: Emulator::FastForward,
+        schedule: Schedule::static1(),
+        ..Default::default()
+    };
+    let a = prophet.predict(&uncompressed, &po).unwrap();
+    let b = prophet.predict(&compressed, &po).unwrap();
+    let rel = (a.speedup - b.speedup).abs() / a.speedup;
+    assert!(rel < 0.07, "compression changed prediction by {:.1}%", rel * 100.0);
+}
+
+#[test]
+fn annotation_errors_are_reported_not_swallowed() {
+    use tracer::{ProfileOptions, Tracer};
+    let mut t = Tracer::new(ProfileOptions::default());
+    t.par_sec_begin("s");
+    assert!(t.try_lock_begin(1).is_err(), "lock directly in section must error");
+    assert!(t.try_par_sec_end(false).is_ok());
+    assert!(t.try_par_task_end().is_err(), "unmatched task end must error");
+}

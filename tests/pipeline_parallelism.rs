@@ -1,0 +1,177 @@
+//! Integration tests of the §VII-E pipeline-parallelism extension:
+//! annotations → tree → FF/synthesizer predictions → machine ground
+//! truth.
+
+use machsim::{Paradigm, Schedule};
+use prophet_core::{Emulator, PredictOptions, Prophet};
+use workloads::{run_real, PipelineParams, PipelineWl, RealOptions};
+
+fn quick_prophet() -> Prophet {
+    let mut p = Prophet::new();
+    p.set_calibration(prophet_core::memmodel::calibrate(
+        machsim::MachineConfig::westmere_scaled(),
+        &prophet_core::memmodel::CalibrationOptions {
+            thread_counts: vec![2, 8],
+            intensity_steps: 4,
+            packet_cycles: 100_000,
+        },
+    ));
+    p
+}
+
+#[test]
+fn balanced_pipeline_approaches_stage_count_speedup() {
+    let wl = PipelineWl::new(PipelineParams::balanced(64, 4, 20_000));
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&wl);
+
+    let real = run_real(
+        &profiled.tree,
+        &RealOptions::new(4, Paradigm::OpenMp, Schedule::static_block()),
+    )
+    .unwrap();
+    // 64 items, 4 stages: ideal speedup 64·4/(64+3) ≈ 3.82.
+    assert!(
+        real.speedup > 3.3,
+        "balanced 4-stage pipeline should approach 4x, got {:.2}",
+        real.speedup
+    );
+
+    for emulator in [Emulator::FastForward, Emulator::Synthesizer] {
+        let pred = prophet
+            .predict(
+                &profiled,
+                &PredictOptions { threads: 4, emulator, ..Default::default() },
+            )
+            .unwrap();
+        let rel = (pred.speedup - real.speedup).abs() / real.speedup;
+        assert!(
+            rel < 0.15,
+            "{emulator:?} pipeline pred {:.2} vs real {:.2}",
+            pred.speedup,
+            real.speedup
+        );
+    }
+}
+
+#[test]
+fn bottleneck_stage_governs_speedup() {
+    // decode 20k, filter 60k, encode 35k, mux 10k: total 125k per item,
+    // bottleneck 60k → asymptotic speedup 125/60 ≈ 2.08.
+    let wl = PipelineWl::new(PipelineParams::transcoder(80));
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&wl);
+
+    let real = run_real(
+        &profiled.tree,
+        &RealOptions::new(4, Paradigm::OpenMp, Schedule::static_block()),
+    )
+    .unwrap();
+    assert!(
+        (1.7..2.4).contains(&real.speedup),
+        "bottleneck law predicts ~2.1, machine says {:.2}",
+        real.speedup
+    );
+
+    let ff = prophet
+        .predict(
+            &profiled,
+            &PredictOptions { threads: 4, emulator: Emulator::FastForward, ..Default::default() },
+        )
+        .unwrap();
+    let rel = (ff.speedup - real.speedup).abs() / real.speedup;
+    assert!(rel < 0.15, "FF {:.2} vs real {:.2}", ff.speedup, real.speedup);
+}
+
+#[test]
+fn fewer_cores_than_stages_handled() {
+    let wl = PipelineWl::new(PipelineParams::balanced(40, 6, 10_000));
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&wl);
+
+    // 6 stages on a 2-thread budget: speedup capped near 2.
+    let mut opts = RealOptions::new(2, Paradigm::OpenMp, Schedule::static_block());
+    opts.machine = machsim::MachineConfig::westmere_scaled().with_cores(2);
+    let real = run_real(&profiled.tree, &opts).unwrap();
+    assert!(real.speedup <= 2.2, "2 cores can't give {:.2}", real.speedup);
+
+    let mut prophet2 = Prophet::with_machine(
+        machsim::MachineConfig::westmere_scaled().with_cores(2),
+        cachesim::HierarchyConfig::westmere_scaled(),
+    );
+    prophet2.set_calibration(prophet_core::memmodel::calibrate(
+        machsim::MachineConfig::westmere_scaled().with_cores(2),
+        &prophet_core::memmodel::CalibrationOptions {
+            thread_counts: vec![2],
+            intensity_steps: 3,
+            packet_cycles: 100_000,
+        },
+    ));
+    let profiled2 = prophet2.profile(&wl);
+    let ff = prophet2
+        .predict(
+            &profiled2,
+            &PredictOptions { threads: 2, emulator: Emulator::FastForward, ..Default::default() },
+        )
+        .unwrap();
+    let rel = (ff.speedup - real.speedup).abs() / real.speedup;
+    assert!(rel < 0.2, "FF {:.2} vs real {:.2}", ff.speedup, real.speedup);
+}
+
+#[test]
+fn suitability_has_no_pipeline_model() {
+    // The Suitability-like baseline treats pipeline regions as serial —
+    // its prediction must stay near 1 while the real pipeline speeds up.
+    let wl = PipelineWl::new(PipelineParams::balanced(64, 4, 20_000));
+    let mut prophet = quick_prophet();
+    let profiled = prophet.profile(&wl);
+    let suit = baselines::suitability_predict(&profiled.tree, 4);
+    assert!(
+        suit.speedup < 1.3,
+        "Suitability should not model pipelines, predicted {:.2}",
+        suit.speedup
+    );
+}
+
+#[test]
+fn annotation_errors_for_pipelines() {
+    use tracer::{ProfileOptions, Tracer};
+    // Stage outside an item.
+    let mut t = Tracer::new(ProfileOptions::default());
+    t.pipe_begin("p");
+    assert!(t.try_stage_begin(0).is_err());
+    // Mismatched stage end.
+    let mut t = Tracer::new(ProfileOptions::default());
+    t.pipe_begin("p");
+    t.par_task_begin("item");
+    t.stage_begin(0);
+    assert!(t.try_stage_end(1).is_err());
+    // Pipe closed while a stage is open.
+    let mut t = Tracer::new(ProfileOptions::default());
+    t.pipe_begin("p");
+    t.par_task_begin("item");
+    t.stage_begin(0);
+    assert!(t.try_pipe_end().is_err());
+}
+
+#[test]
+fn pipeline_speedup_monotone_in_item_count() {
+    // Longer streams amortise fill/drain: speedup grows with items.
+    let mut prophet = quick_prophet();
+    let mut prev = 0.0;
+    for items in [4u64, 16, 64] {
+        let wl = PipelineWl::new(PipelineParams::balanced(items, 4, 20_000));
+        let profiled = prophet.profile(&wl);
+        let real = run_real(
+            &profiled.tree,
+            &RealOptions::new(4, Paradigm::OpenMp, Schedule::static_block()),
+        )
+        .unwrap();
+        assert!(
+            real.speedup >= prev - 0.05,
+            "speedup not monotone at {items} items: {:.2} after {prev:.2}",
+            real.speedup
+        );
+        prev = real.speedup;
+    }
+}
