@@ -9,7 +9,7 @@
 //! serial code serial.
 
 use proftree::stats::span_of;
-use proftree::{ProgramTree, Cycles};
+use proftree::{Cycles, ProgramTree};
 
 /// Upper-bound speedup for `t` processors.
 pub fn kismet_upper_bound(tree: &ProgramTree, t: u32) -> f64 {

@@ -171,7 +171,10 @@ mod tests {
         let curve = suitability_curve(&tree, &[2, 4, 6, 8, 10, 12]);
         assert_eq!(curve.len(), 6);
         for w in curve.windows(2) {
-            assert!(w[1].1 >= w[0].1 - 0.15, "curve wildly non-monotone: {curve:?}");
+            assert!(
+                w[1].1 >= w[0].1 - 0.15,
+                "curve wildly non-monotone: {curve:?}"
+            );
         }
     }
 }

@@ -77,7 +77,11 @@ fn bench_ff(c: &mut Criterion) {
     // Schedule comparison on a fixed tree (the Fig. 5 axis).
     let tree = flat_tree(5_000);
     let mut g = c.benchmark_group("ff_predict_by_schedule");
-    for schedule in [Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()] {
+    for schedule in [
+        Schedule::static1(),
+        Schedule::static_block(),
+        Schedule::dynamic1(),
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(schedule.name()),
             &schedule,

@@ -9,19 +9,23 @@ fn bench_machine(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine_compute_threads");
     g.sample_size(20);
     for threads in [4u32, 12, 48] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let mut cfg = MachineConfig::small(12);
-                cfg.quantum_cycles = 10_000;
-                let mut m = Machine::new(cfg);
-                for _ in 0..threads {
-                    m.spawn(ScriptBody::new(vec![
-                        ScriptOp::Compute(WorkPacket::cpu(1_000_000)),
-                    ]));
-                }
-                m.run().expect("run")
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut cfg = MachineConfig::small(12);
+                    cfg.quantum_cycles = 10_000;
+                    let mut m = Machine::new(cfg);
+                    for _ in 0..threads {
+                        m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::cpu(
+                            1_000_000,
+                        ))]));
+                    }
+                    m.run().expect("run")
+                });
+            },
+        );
     }
     g.finish();
 
@@ -29,26 +33,30 @@ fn bench_machine(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine_lock_contention");
     g.sample_size(20);
     for threads in [4u32, 12] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let mut m = Machine::new(MachineConfig::small(12));
-                let l = m.create_lock();
-                for _ in 0..threads {
-                    let ops: Vec<ScriptOp> = (0..100)
-                        .flat_map(|_| {
-                            vec![
-                                ScriptOp::Acquire(l),
-                                ScriptOp::Compute(WorkPacket::cpu(500)),
-                                ScriptOp::Release(l),
-                                ScriptOp::Compute(WorkPacket::cpu(1_500)),
-                            ]
-                        })
-                        .collect();
-                    m.spawn(ScriptBody::new(ops));
-                }
-                m.run().expect("run")
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut m = Machine::new(MachineConfig::small(12));
+                    let l = m.create_lock();
+                    for _ in 0..threads {
+                        let ops: Vec<ScriptOp> = (0..100)
+                            .flat_map(|_| {
+                                vec![
+                                    ScriptOp::Acquire(l),
+                                    ScriptOp::Compute(WorkPacket::cpu(500)),
+                                    ScriptOp::Release(l),
+                                    ScriptOp::Compute(WorkPacket::cpu(1_500)),
+                                ]
+                            })
+                            .collect();
+                        m.spawn(ScriptBody::new(ops));
+                    }
+                    m.run().expect("run")
+                });
+            },
+        );
     }
     g.finish();
 
@@ -56,18 +64,22 @@ fn bench_machine(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine_memory_contention");
     g.sample_size(20);
     for threads in [4u32, 12] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let mut m = Machine::new(MachineConfig::westmere_scaled());
-                for _ in 0..threads {
-                    let ops: Vec<ScriptOp> = (0..50)
-                        .map(|_| ScriptOp::Compute(WorkPacket::new(10_000, 500)))
-                        .collect();
-                    m.spawn(ScriptBody::new(ops));
-                }
-                m.run().expect("run")
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut m = Machine::new(MachineConfig::westmere_scaled());
+                    for _ in 0..threads {
+                        let ops: Vec<ScriptOp> = (0..50)
+                            .map(|_| ScriptOp::Compute(WorkPacket::new(10_000, 500)))
+                            .collect();
+                        m.spawn(ScriptBody::new(ops));
+                    }
+                    m.run().expect("run")
+                });
+            },
+        );
     }
     g.finish();
 }

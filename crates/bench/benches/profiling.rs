@@ -31,20 +31,24 @@ fn bench_profiling(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracer_memory_accesses");
     for accesses in [100_000u64, 1_000_000] {
         g.throughput(Throughput::Elements(accesses));
-        g.bench_with_input(BenchmarkId::from_parameter(accesses), &accesses, |b, &accesses| {
-            b.iter(|| {
-                let mut t = Tracer::new(ProfileOptions::default());
-                t.par_sec_begin("s");
-                t.par_task_begin("t");
-                for i in 0..accesses {
-                    // Strided stream: misses at every line boundary.
-                    t.read(i * 8);
-                }
-                t.par_task_end();
-                t.par_sec_end(false);
-                t.finish().expect("profile")
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(accesses),
+            &accesses,
+            |b, &accesses| {
+                b.iter(|| {
+                    let mut t = Tracer::new(ProfileOptions::default());
+                    t.par_sec_begin("s");
+                    t.par_task_begin("t");
+                    for i in 0..accesses {
+                        // Strided stream: misses at every line boundary.
+                        t.read(i * 8);
+                    }
+                    t.par_task_end();
+                    t.par_sec_end(false);
+                    t.finish().expect("profile")
+                });
+            },
+        );
     }
     g.finish();
 }

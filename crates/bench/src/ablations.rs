@@ -37,7 +37,10 @@ pub fn quantum_sweep() -> Vec<QuantumRow> {
         opts.omp_overheads = OmpOverheads::zero();
         let real = run_real(&tree, &opts).expect("fig7 run").speedup;
         println!("{quantum:>12} {real:>10.2}");
-        rows.push(QuantumRow { quantum, real_speedup: real });
+        rows.push(QuantumRow {
+            quantum,
+            real_speedup: real,
+        });
     }
     println!("  -> fine quanta time-slice the oversubscribed threads (2.0); a");
     println!("     quantum beyond the task lengths degenerates to the FF's 1.5.");
@@ -62,8 +65,10 @@ pub fn tolerance_sweep() -> Vec<ToleranceRow> {
     params.shape = workloads::shapes::Shape::Random;
     params.i_max = 2_000;
     let prog = Test1::new(params);
-    let mut opts = tracer::ProfileOptions::default();
-    opts.compress = false;
+    let opts = tracer::ProfileOptions {
+        compress: false,
+        ..tracer::ProfileOptions::default()
+    };
     let uncompressed = tracer::profile(&prog, opts);
     let ff = |tree: &proftree::ProgramTree| {
         ffemu::predict(tree, ffemu::FfOptions::new(8)).predicted_cycles as f64
@@ -76,11 +81,22 @@ pub fn tolerance_sweep() -> Vec<ToleranceRow> {
     for tolerance in [0.0f64, 0.01, 0.05, 0.10, 0.25] {
         let (ctree, _) = proftree::compress_tree(
             &uncompressed.tree,
-            CompressOptions { tolerance: tolerance.max(1e-9), min_children: 4 },
+            CompressOptions {
+                tolerance: tolerance.max(1e-9),
+                min_children: 4,
+            },
         );
         let drift = (ff(&ctree) - base).abs() / base;
-        println!("{tolerance:>12.2} {:>10} {:>11.2}%", ctree.len(), drift * 100.0);
-        rows.push(ToleranceRow { tolerance, nodes: ctree.len(), prediction_drift: drift });
+        println!(
+            "{tolerance:>12.2} {:>10} {:>11.2}%",
+            ctree.len(),
+            drift * 100.0
+        );
+        rows.push(ToleranceRow {
+            tolerance,
+            nodes: ctree.len(),
+            prediction_drift: drift,
+        });
     }
     println!("  -> the paper's 5% keeps the tree small at negligible drift;");
     println!("     lossy 25% buys little more and starts distorting lengths.");
@@ -144,7 +160,10 @@ pub fn lock_penalty_sweep(samples: u64) -> Vec<LockPenaltyRow> {
             .collect();
         let e = mean(&errors);
         println!("{penalty:>10} {:>11.1}%", e * 100.0);
-        rows.push(LockPenaltyRow { penalty, mean_error: e });
+        rows.push(LockPenaltyRow {
+            penalty,
+            mean_error: e,
+        });
     }
     println!("  -> the machine's context-switch cost (2000) minimises the error;");
     println!("     0 overpredicts (locks look free), 8000 overcorrects.");

@@ -33,7 +33,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { command: String::new(), quick: false, samples: 30 };
+    let mut args = Args {
+        command: String::new(),
+        quick: false,
+        samples: 30,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -83,8 +87,22 @@ fn main() {
     };
     if args.command == "all" {
         for cmd in [
-            "fig5", "fig7", "eq6", "fig2", "table1", "table3", "table4", "compression",
-            "overhead", "pipeline", "superlinear", "memsweep", "ablations", "fig11", "fig12", "fig12x",
+            "fig5",
+            "fig7",
+            "eq6",
+            "fig2",
+            "table1",
+            "table3",
+            "table4",
+            "compression",
+            "overhead",
+            "pipeline",
+            "superlinear",
+            "memsweep",
+            "ablations",
+            "fig11",
+            "fig12",
+            "fig12x",
         ] {
             println!("\n================= {cmd} =================");
             run(cmd);

@@ -23,7 +23,10 @@ pub struct NamedBench {
 pub fn paper_benchmarks() -> Vec<NamedBench> {
     fn wrap(b: impl Benchmark + 'static) -> NamedBench {
         let spec = b.spec();
-        NamedBench { bench: Box::new(b), spec }
+        NamedBench {
+            bench: Box::new(b),
+            spec,
+        }
     }
     vec![
         wrap(Md::paper()),
@@ -41,17 +44,46 @@ pub fn paper_benchmarks() -> Vec<NamedBench> {
 pub fn quick_benchmarks() -> Vec<NamedBench> {
     fn wrap(b: impl Benchmark + 'static) -> NamedBench {
         let spec = b.spec();
-        NamedBench { bench: Box::new(b), spec }
+        NamedBench {
+            bench: Box::new(b),
+            spec,
+        }
     }
     vec![
-        wrap(Md { nparts: 256, steps: 1 }),
+        wrap(Md {
+            nparts: 256,
+            steps: 1,
+        }),
         wrap(Lu { size: 128 }),
-        wrap(Fft { n: 1 << 13, cutoff: 1 << 9, combine_cutoff: 1 << 10 }),
-        wrap(QSort { n: 1 << 14, cutoff: 1 << 10 }),
-        wrap(Ep { pairs: 1 << 16, block: 1 << 10 }),
-        wrap(Ft { dim: 32, iters: 1, lines_per_task: 16 }),
-        wrap(Mg { dim: 32, cycles: 1, coarsest: 8 }),
-        wrap(Cg { n: 4096, nnz_per_row: 12, iters: 2, rows_per_task: 128 }),
+        wrap(Fft {
+            n: 1 << 13,
+            cutoff: 1 << 9,
+            combine_cutoff: 1 << 10,
+        }),
+        wrap(QSort {
+            n: 1 << 14,
+            cutoff: 1 << 10,
+        }),
+        wrap(Ep {
+            pairs: 1 << 16,
+            block: 1 << 10,
+        }),
+        wrap(Ft {
+            dim: 32,
+            iters: 1,
+            lines_per_task: 16,
+        }),
+        wrap(Mg {
+            dim: 32,
+            cycles: 1,
+            coarsest: 8,
+        }),
+        wrap(Cg {
+            n: 4096,
+            nnz_per_row: 12,
+            iters: 2,
+            rows_per_task: 128,
+        }),
     ]
 }
 
@@ -63,7 +95,9 @@ pub fn standard_prophet() -> Prophet {
 /// Ground-truth speedup of a profiled benchmark at `threads`.
 pub fn real_speedup(profiled: &Profiled, spec: &BenchSpec, threads: u32) -> f64 {
     let opts = RealOptions::new(threads, spec.paradigm, spec.schedule);
-    run_real(&profiled.tree, &opts).expect("ground truth run").speedup
+    run_real(&profiled.tree, &opts)
+        .expect("ground truth run")
+        .speedup
 }
 
 /// Synthesizer prediction (`Pred`/`PredM` of Fig. 12).
@@ -116,7 +150,9 @@ pub fn ff_speedup(
 /// validation experiments, which fix OpenMP).
 pub fn real_openmp(profiled: &Profiled, schedule: Schedule, threads: u32) -> f64 {
     let opts = RealOptions::new(threads, Paradigm::OpenMp, schedule);
-    run_real(&profiled.tree, &opts).expect("ground truth").speedup
+    run_real(&profiled.tree, &opts)
+        .expect("ground truth")
+        .speedup
 }
 
 /// The standard machine (captions, conversions).

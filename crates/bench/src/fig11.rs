@@ -66,7 +66,11 @@ fn schedules_for(pred: Predictor) -> Vec<Schedule> {
         // Suitability has no schedule notion; the paper compares it to
         // dynamic-1 behaviour.
         Predictor::Suit => vec![Schedule::dynamic1()],
-        _ => vec![Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()],
+        _ => vec![
+            Schedule::static1(),
+            Schedule::static_block(),
+            Schedule::dynamic1(),
+        ],
     }
 }
 
@@ -88,34 +92,52 @@ pub fn run_panel(
         for schedule in schedules_for(predictor) {
             let real = real_openmp(&profiled, schedule, cores);
             let predicted = match predictor {
-                Predictor::Ff | Predictor::Syn => prophet
-                    .predict(
-                        &profiled,
-                        &PredictOptions {
-                            threads: cores,
-                            schedule,
-                            emulator: if predictor == Predictor::Ff {
-                                Emulator::FastForward
-                            } else {
-                                Emulator::Synthesizer
+                Predictor::Ff | Predictor::Syn => {
+                    prophet
+                        .predict(
+                            &profiled,
+                            &PredictOptions {
+                                threads: cores,
+                                schedule,
+                                emulator: if predictor == Predictor::Ff {
+                                    Emulator::FastForward
+                                } else {
+                                    Emulator::Synthesizer
+                                },
+                                memory_model: false,
+                                ..Default::default()
                             },
-                            memory_model: false,
-                            ..Default::default()
-                        },
-                    )
-                    .expect("prediction")
-                    .speedup,
+                        )
+                        .expect("prediction")
+                        .speedup
+                }
                 Predictor::Suit => suitability_predict(&profiled.tree, cores).speedup,
             };
-            points.push(Point { seed, schedule: schedule.name(), real, predicted });
+            points.push(Point {
+                seed,
+                schedule: schedule.name(),
+                real,
+                predicted,
+            });
         }
     }
-    let errors: Vec<f64> =
-        points.iter().map(|p| (p.predicted - p.real).abs() / p.real).collect();
+    let errors: Vec<f64> = points
+        .iter()
+        .map(|p| (p.predicted - p.real).abs() / p.real)
+        .collect();
     let mean_error = crate::common::mean(&errors);
     let max_error = errors.iter().cloned().fold(0.0, f64::max);
-    println!("  {id}: {} points, {}", points.len(), error_summary(&errors));
-    Panel { id: id.to_string(), points, mean_error, max_error }
+    println!(
+        "  {id}: {} points, {}",
+        points.len(),
+        error_summary(&errors)
+    );
+    Panel {
+        id: id.to_string(),
+        points,
+        mean_error,
+        max_error,
+    }
 }
 
 /// Run all six panels. `samples` per panel (the paper used 300; the
@@ -126,12 +148,54 @@ pub fn run(samples: u64) -> Vec<Panel> {
     let _ = prophet.calibration();
     println!("Fig. 11 — validation panels ({samples} samples each):");
     let panels = vec![
-        run_panel(&mut prophet, "(a) Test1  8-core FF", Family::Test1, Predictor::Ff, 8, samples),
-        run_panel(&mut prophet, "(b) Test1 12-core FF", Family::Test1, Predictor::Ff, 12, samples),
-        run_panel(&mut prophet, "(c) Test2  8-core FF", Family::Test2, Predictor::Ff, 8, samples),
-        run_panel(&mut prophet, "(d) Test2 12-core FF", Family::Test2, Predictor::Ff, 12, samples),
-        run_panel(&mut prophet, "(e) Test2 12-core SYN", Family::Test2, Predictor::Syn, 12, samples),
-        run_panel(&mut prophet, "(f) Test2  4-core SUIT", Family::Test2, Predictor::Suit, 4, samples),
+        run_panel(
+            &mut prophet,
+            "(a) Test1  8-core FF",
+            Family::Test1,
+            Predictor::Ff,
+            8,
+            samples,
+        ),
+        run_panel(
+            &mut prophet,
+            "(b) Test1 12-core FF",
+            Family::Test1,
+            Predictor::Ff,
+            12,
+            samples,
+        ),
+        run_panel(
+            &mut prophet,
+            "(c) Test2  8-core FF",
+            Family::Test2,
+            Predictor::Ff,
+            8,
+            samples,
+        ),
+        run_panel(
+            &mut prophet,
+            "(d) Test2 12-core FF",
+            Family::Test2,
+            Predictor::Ff,
+            12,
+            samples,
+        ),
+        run_panel(
+            &mut prophet,
+            "(e) Test2 12-core SYN",
+            Family::Test2,
+            Predictor::Syn,
+            12,
+            samples,
+        ),
+        run_panel(
+            &mut prophet,
+            "(f) Test2  4-core SUIT",
+            Family::Test2,
+            Predictor::Suit,
+            4,
+            samples,
+        ),
     ];
     println!("\npaper reference: Test1 FF avg <4% (max 23%); Test2 FF avg 7% (max 68%);");
     println!("                 Test2 SYN avg 3% (max 19%); Suitability notably worse on Test2.");

@@ -6,19 +6,25 @@ use baselines::suitability_curve;
 use prophet_core::SpeedupReport;
 
 use crate::common::{
-    paper_benchmarks, quick_benchmarks, real_speedup, standard_prophet, synth_speedup,
-    CPU_COUNTS,
+    paper_benchmarks, quick_benchmarks, real_speedup, standard_prophet, synth_speedup, CPU_COUNTS,
 };
 
 /// Run Fig. 12: one report per benchmark panel.
 pub fn run(quick: bool) -> Vec<SpeedupReport> {
-    let benches = if quick { quick_benchmarks() } else { paper_benchmarks() };
+    let benches = if quick {
+        quick_benchmarks()
+    } else {
+        paper_benchmarks()
+    };
     let mut prophet = standard_prophet();
     let _ = prophet.calibration();
     let mut reports = Vec::new();
 
     for nb in benches {
-        println!("Fig. 12 — {} ({}): profiling…", nb.spec.name, nb.spec.input_desc);
+        println!(
+            "Fig. 12 — {} ({}): profiling…",
+            nb.spec.name, nb.spec.input_desc
+        );
         let profiled = prophet.profile(nb.bench.as_ref());
         let mut report = SpeedupReport::new(
             format!("{}: {}", nb.spec.name, nb.spec.input_desc),
@@ -29,14 +35,26 @@ pub fn run(quick: bool) -> Vec<SpeedupReport> {
             let real = real_speedup(&profiled, &nb.spec, t);
             let pred = synth_speedup(&prophet, &profiled, &nb.spec, t, false);
             let predm = synth_speedup(&prophet, &profiled, &nb.spec, t, true);
-            report.push_row(t, vec![Some(real), Some(pred), Some(predm), Some(suit[i].1)]);
+            report.push_row(
+                t,
+                vec![Some(real), Some(pred), Some(predm), Some(suit[i].1)],
+            );
         }
         println!("{}", report.render());
         println!(
             "  errors vs Real: Pred {:.1}%  PredM {:.1}%  Suit {:.1}%\n",
-            report.mean_relative_error("Pred", "Real").unwrap_or(f64::NAN) * 100.0,
-            report.mean_relative_error("PredM", "Real").unwrap_or(f64::NAN) * 100.0,
-            report.mean_relative_error("Suit", "Real").unwrap_or(f64::NAN) * 100.0,
+            report
+                .mean_relative_error("Pred", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
+            report
+                .mean_relative_error("PredM", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
+            report
+                .mean_relative_error("Suit", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
         );
         reports.push(report);
     }

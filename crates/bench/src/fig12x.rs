@@ -10,12 +10,15 @@ use workloads::npb::Is;
 use workloads::ompscr::{Jacobi, Mandelbrot, Pi};
 use workloads::spec::Benchmark;
 
-use crate::common::{real_speedup, standard_prophet, synth_speedup, CPU_COUNTS, NamedBench};
+use crate::common::{real_speedup, standard_prophet, synth_speedup, NamedBench, CPU_COUNTS};
 
 fn extra_benchmarks(quick: bool) -> Vec<NamedBench> {
     fn wrap(b: impl Benchmark + 'static) -> NamedBench {
         let spec = b.spec();
-        NamedBench { bench: Box::new(b), spec }
+        NamedBench {
+            bench: Box::new(b),
+            spec,
+        }
     }
     if quick {
         vec![
@@ -40,7 +43,10 @@ pub fn run(quick: bool) -> Vec<SpeedupReport> {
     let _ = prophet.calibration();
     let mut reports = Vec::new();
     for nb in extra_benchmarks(quick) {
-        println!("Fig. 12x — {} ({}): profiling…", nb.spec.name, nb.spec.input_desc);
+        println!(
+            "Fig. 12x — {} ({}): profiling…",
+            nb.spec.name, nb.spec.input_desc
+        );
         let profiled = prophet.profile(nb.bench.as_ref());
         let mut report = SpeedupReport::new(
             format!("{}: {}", nb.spec.name, nb.spec.input_desc),
@@ -51,14 +57,26 @@ pub fn run(quick: bool) -> Vec<SpeedupReport> {
             let real = real_speedup(&profiled, &nb.spec, t);
             let pred = synth_speedup(&prophet, &profiled, &nb.spec, t, false);
             let predm = synth_speedup(&prophet, &profiled, &nb.spec, t, true);
-            report.push_row(t, vec![Some(real), Some(pred), Some(predm), Some(suit[i].1)]);
+            report.push_row(
+                t,
+                vec![Some(real), Some(pred), Some(predm), Some(suit[i].1)],
+            );
         }
         println!("{}", report.render());
         println!(
             "  errors vs Real: Pred {:.1}%  PredM {:.1}%  Suit {:.1}%\n",
-            report.mean_relative_error("Pred", "Real").unwrap_or(f64::NAN) * 100.0,
-            report.mean_relative_error("PredM", "Real").unwrap_or(f64::NAN) * 100.0,
-            report.mean_relative_error("Suit", "Real").unwrap_or(f64::NAN) * 100.0,
+            report
+                .mean_relative_error("Pred", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
+            report
+                .mean_relative_error("PredM", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
+            report
+                .mean_relative_error("Suit", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
         );
         reports.push(report);
     }

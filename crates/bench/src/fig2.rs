@@ -11,7 +11,15 @@ use crate::common::{real_speedup, standard_prophet, synth_speedup, CPU_COUNTS};
 
 /// Run the Fig. 2 experiment; returns the Real/Pred(+mem) report.
 pub fn run(quick: bool) -> SpeedupReport {
-    let ft = if quick { Ft { dim: 32, iters: 1, lines_per_task: 16 } } else { Ft::paper() };
+    let ft = if quick {
+        Ft {
+            dim: 32,
+            iters: 1,
+            lines_per_task: 16,
+        }
+    } else {
+        Ft::paper()
+    };
     let spec = ft.spec();
     let mut prophet = standard_prophet();
     println!("Fig. 2 — {} ({}): profiling…", spec.name, spec.input_desc);
@@ -30,7 +38,10 @@ pub fn run(quick: bool) -> SpeedupReport {
     println!(
         "prediction error vs real: {:.1}% (paper's Fig. 2 point: predictions \
          track the saturating curve)",
-        report.mean_relative_error("Pred", "Real").unwrap_or(f64::NAN) * 100.0
+        report
+            .mean_relative_error("Pred", "Real")
+            .unwrap_or(f64::NAN)
+            * 100.0
     );
     report
 }

@@ -51,7 +51,10 @@ pub fn run_fig5() -> Vec<Fig5Row> {
     ];
     let mut rows = Vec::new();
     println!("Fig. 5 — scheduling-policy emulation (3 iterations + lock, 2 cores)");
-    println!("{:<12} {:>12} {:>10} {:>14} {:>10}", "schedule", "paper cyc", "FF cyc", "paper spd", "FF spd");
+    println!(
+        "{:<12} {:>12} {:>10} {:>14} {:>10}",
+        "schedule", "paper cyc", "FF cyc", "paper spd", "FF spd"
+    );
     for (schedule, paper_cycles, paper_speedup) in cases {
         let p = ffemu::predict(
             &tree,
@@ -118,8 +121,12 @@ fn fig7_program(unit: u64) -> ParallelProgram {
     let mk_inner = |a: u64, b: u64| {
         POp::Par(ParSection {
             tasks: vec![
-                Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(a * unit))] }),
-                Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(b * unit))] }),
+                Rc::new(TaskBody {
+                    ops: vec![POp::Work(WorkPacket::cpu(a * unit))],
+                }),
+                Rc::new(TaskBody {
+                    ops: vec![POp::Work(WorkPacket::cpu(b * unit))],
+                }),
             ],
             schedule: Schedule::static1(),
             nowait: false,
@@ -129,8 +136,12 @@ fn fig7_program(unit: u64) -> ParallelProgram {
     ParallelProgram {
         ops: vec![POp::Par(ParSection {
             tasks: vec![
-                Rc::new(TaskBody { ops: vec![mk_inner(10, 5)] }),
-                Rc::new(TaskBody { ops: vec![mk_inner(5, 10)] }),
+                Rc::new(TaskBody {
+                    ops: vec![mk_inner(10, 5)],
+                }),
+                Rc::new(TaskBody {
+                    ops: vec![mk_inner(5, 10)],
+                }),
             ],
             schedule: Schedule::static1(),
             nowait: false,
@@ -179,5 +190,9 @@ pub fn run_fig7() -> Fig7Result {
     println!("  Real (machine):   {real:.2}");
     println!("  FF prediction:    {ff:.2}   <- the documented limitation");
     println!("  SYN prediction:   {synthesizer:.2}");
-    Fig7Result { real, ff, synthesizer }
+    Fig7Result {
+        real,
+        ff,
+        synthesizer,
+    }
 }

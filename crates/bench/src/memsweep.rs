@@ -41,7 +41,11 @@ pub fn run() -> (Vec<SweepRow>, Vec<SpeedupReport>) {
         "dim", "KiB", "x LLC", "β12", "Real@12", "PredM@12"
     );
     for dim in [16u64, 32, 64] {
-        let ft = Ft { dim, iters: 2, lines_per_task: 16 };
+        let ft = Ft {
+            dim,
+            iters: 2,
+            lines_per_task: 16,
+        };
         let spec = ft.spec();
         let footprint = ft.footprint();
         let profiled = prophet.profile(&ft);
@@ -54,8 +58,11 @@ pub fn run() -> (Vec<SweepRow>, Vec<SpeedupReport>) {
         }
 
         let mut report = SpeedupReport::new(
-            format!("FT {dim}^3 ({} KiB, {:.1}x LLC)", footprint >> 10,
-                footprint as f64 / llc as f64),
+            format!(
+                "FT {dim}^3 ({} KiB, {:.1}x LLC)",
+                footprint >> 10,
+                footprint as f64 / llc as f64
+            ),
             vec!["Real".into(), "PredM".into()],
         );
         let mut real_12 = 0.0;

@@ -21,8 +21,14 @@ pub fn run() -> Vec<SpeedupReport> {
     let mut reports = Vec::new();
 
     for (title, params) in [
-        ("balanced 4-stage (ideal = 4x)", PipelineParams::balanced(200, 4, 25_000)),
-        ("transcoder (bottleneck law = 2.08x)", PipelineParams::transcoder(200)),
+        (
+            "balanced 4-stage (ideal = 4x)",
+            PipelineParams::balanced(200, 4, 25_000),
+        ),
+        (
+            "transcoder (bottleneck law = 2.08x)",
+            PipelineParams::transcoder(200),
+        ),
     ] {
         let wl = PipelineWl::new(params);
         let profiled = prophet.profile(&wl);
@@ -37,7 +43,9 @@ pub fn run() -> Vec<SpeedupReport> {
             let mut real_opts =
                 RealOptions::new(threads, Paradigm::OpenMp, Schedule::static_block());
             real_opts.machine = real_opts.machine.with_cores(threads);
-            let real = run_real(&profiled.tree, &real_opts).expect("ground truth").speedup;
+            let real = run_real(&profiled.tree, &real_opts)
+                .expect("ground truth")
+                .speedup;
             let ff = prophet
                 .predict(
                     &profiled,
@@ -52,14 +60,23 @@ pub fn run() -> Vec<SpeedupReport> {
             let mut so = synthemu::SynthOptions::new(threads, Paradigm::OpenMp);
             so.machine = prophet.machine().with_cores(threads);
             let syn = synthemu::predict(&profiled.tree, &so).expect("syn").speedup;
-            report.push_row(threads, vec![Some(real), Some(ff), Some(syn), Some(suit[i].1)]);
+            report.push_row(
+                threads,
+                vec![Some(real), Some(ff), Some(syn), Some(suit[i].1)],
+            );
         }
         println!("{}", report.render());
         println!(
             "  errors vs Real: FF {:.1}%  SYN {:.1}%  Suit {:.1}%\n",
             report.mean_relative_error("FF", "Real").unwrap_or(f64::NAN) * 100.0,
-            report.mean_relative_error("SYN", "Real").unwrap_or(f64::NAN) * 100.0,
-            report.mean_relative_error("Suit", "Real").unwrap_or(f64::NAN) * 100.0,
+            report
+                .mean_relative_error("SYN", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
+            report
+                .mean_relative_error("Suit", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
         );
         reports.push(report);
     }

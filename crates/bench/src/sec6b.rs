@@ -26,8 +26,10 @@ pub struct CompressionRow {
 }
 
 fn measure(name: &str, prog: &dyn tracer::AnnotatedProgram) -> CompressionRow {
-    let mut opts = ProfileOptions::default();
-    opts.compress = true;
+    let opts = ProfileOptions {
+        compress: true,
+        ..ProfileOptions::default()
+    };
     let r = profile(prog, opts);
     let stats = r.compress_stats.expect("compression enabled");
     CompressionRow {
@@ -46,7 +48,12 @@ pub fn run(quick: bool) -> Vec<CompressionRow> {
 
     // CG: the paper's 93%-reduction example.
     let cg = if quick {
-        Cg { n: 4096, nnz_per_row: 12, iters: 2, rows_per_task: 128 }
+        Cg {
+            n: 4096,
+            nnz_per_row: 12,
+            iters: 2,
+            rows_per_task: 128,
+        }
     } else {
         Cg::paper()
     };

@@ -25,7 +25,11 @@ pub struct OverheadRow {
 
 /// Run the §VII-D overhead measurements.
 pub fn run(quick: bool) -> Vec<OverheadRow> {
-    let benches = if quick { quick_benchmarks() } else { paper_benchmarks() };
+    let benches = if quick {
+        quick_benchmarks()
+    } else {
+        paper_benchmarks()
+    };
     let mut prophet = standard_prophet();
     let _ = prophet.calibration();
     let mut rows = Vec::new();

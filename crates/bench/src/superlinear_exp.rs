@@ -22,7 +22,11 @@ use workloads::{run_real, RealOptions};
 pub fn run() -> SpeedupReport {
     // FT scaled so its 512 KiB footprint is 4× a 128 KiB LLC: the whole
     // set spills serially, but a 6-way split fits.
-    let ft = Ft { dim: 32, iters: 1, lines_per_task: 16 };
+    let ft = Ft {
+        dim: 32,
+        iters: 1,
+        lines_per_task: 16,
+    };
     let footprint = ft.footprint();
     let mut hierarchy = HierarchyConfig::westmere_scaled();
     hierarchy.llc.capacity_bytes = 128 << 10;
@@ -42,7 +46,11 @@ pub fn run() -> SpeedupReport {
     );
     let mut report = SpeedupReport::new(
         "cache-trend extension (Table IV row 3)",
-        vec!["Real(trend)".into(), "Pred(A4)".into(), "Pred(trend)".into()],
+        vec![
+            "Real(trend)".into(),
+            "Pred(A4)".into(),
+            "Pred(trend)".into(),
+        ],
     );
 
     for threads in [2u32, 4, 6, 8, 10, 12] {
@@ -52,7 +60,9 @@ pub fn run() -> SpeedupReport {
         let mut opts = RealOptions::new(threads, Paradigm::OpenMp, Schedule::static_block());
         opts.machine = machine;
         opts.miss_scale = retention;
-        let real = run_real(&profiled.tree, &opts).expect("trended run").speedup;
+        let real = run_real(&profiled.tree, &opts)
+            .expect("trended run")
+            .speedup;
 
         // Assumption-4 prediction (the published model).
         let ff = |tree: &proftree::ProgramTree| {
@@ -73,7 +83,9 @@ pub fn run() -> SpeedupReport {
                 &cal,
                 &inputs,
                 threads,
-                CacheTrend::Shrinks { footprint_bytes: footprint },
+                CacheTrend::Shrinks {
+                    footprint_bytes: footprint,
+                },
                 llc,
             );
             if let NodeKind::Sec { burden, .. } = &mut trended.node_mut(sec).kind {
@@ -89,8 +101,14 @@ pub fn run() -> SpeedupReport {
         "errors vs trended Real: Assumption-4 {:.1}%, trend-aware {:.1}% — the\n\
          published model underestimates once per-thread working sets fit the\n\
          cache (the paper's MD/LU observation); the extension closes the gap.",
-        report.mean_relative_error("Pred(A4)", "Real(trend)").unwrap_or(f64::NAN) * 100.0,
-        report.mean_relative_error("Pred(trend)", "Real(trend)").unwrap_or(f64::NAN) * 100.0,
+        report
+            .mean_relative_error("Pred(A4)", "Real(trend)")
+            .unwrap_or(f64::NAN)
+            * 100.0,
+        report
+            .mean_relative_error("Pred(trend)", "Real(trend)")
+            .unwrap_or(f64::NAN)
+            * 100.0,
     );
     report
 }

@@ -57,7 +57,11 @@ pub fn run() -> Vec<Cell> {
         p.shape = workloads::shapes::Shape::Uniform;
         let t1 = Test1::new(p);
         let spec = t1.spec();
-        cases.push(Case { pattern: "simple", profiled: prophet.profile(&t1), spec });
+        cases.push(Case {
+            pattern: "simple",
+            profiled: prophet.profile(&t1),
+            spec,
+        });
     }
     {
         // Imbalance: a diagonal Test1.
@@ -66,39 +70,62 @@ pub fn run() -> Vec<Cell> {
         p.ratio_lock = [0.0, 0.0];
         let t1 = Test1::new(p);
         let spec = t1.spec();
-        cases.push(Case { pattern: "imbalance", profiled: prophet.profile(&t1), spec });
+        cases.push(Case {
+            pattern: "imbalance",
+            profiled: prophet.profile(&t1),
+            spec,
+        });
     }
     {
         // Inner-loop parallelism: LU.
         let lu = Lu { size: 128 };
         let spec = lu.spec();
-        cases.push(Case { pattern: "inner-loop", profiled: prophet.profile(&lu), spec });
+        cases.push(Case {
+            pattern: "inner-loop",
+            profiled: prophet.profile(&lu),
+            spec,
+        });
     }
     {
         // Recursive parallelism: FFT under Cilk.
-        let fft = Fft { n: 1 << 13, cutoff: 1 << 9, combine_cutoff: 1 << 10 };
+        let fft = Fft {
+            n: 1 << 13,
+            cutoff: 1 << 9,
+            combine_cutoff: 1 << 10,
+        };
         let spec = fft.spec();
-        cases.push(Case { pattern: "recursive", profiled: prophet.profile(&fft), spec });
+        cases.push(Case {
+            pattern: "recursive",
+            profiled: prophet.profile(&fft),
+            spec,
+        });
     }
     {
         // Memory-limited: FT at paper scale.
         let ft = Ft::paper();
         let spec = ft.spec();
-        cases.push(Case { pattern: "memory", profiled: prophet.profile(&ft), spec });
+        cases.push(Case {
+            pattern: "memory",
+            profiled: prophet.profile(&ft),
+            spec,
+        });
     }
 
     println!("Table I — measured tool errors per pattern class ({cores} cores)");
-    println!("{:<18} {:>10} {:>12} {:>14}", "pattern", "Kismet", "Suitability", "Prophet");
+    println!(
+        "{:<18} {:>10} {:>12} {:>14}",
+        "pattern", "Kismet", "Suitability", "Prophet"
+    );
     for case in &cases {
         let real = real_speedup(&case.profiled, &case.spec, cores);
 
         // Kismet-like: upper bound, no schedule/memory model.
         let kis = kismet_upper_bound(&case.profiled.tree, cores);
-        let kis_err = Some((kis - real).abs() / real);
+        let kis_err = (kis - real).abs() / real;
 
         // Suitability-like.
         let suit = suitability_predict(&case.profiled.tree, cores).speedup;
-        let suit_err = Some((suit - real).abs() / real);
+        let suit_err = (suit - real).abs() / real;
 
         // Parallel Prophet: synthesizer with memory model, matching the
         // benchmark's paradigm/schedule.
@@ -119,32 +146,32 @@ pub fn run() -> Vec<Cell> {
             )
             .expect("prophet prediction")
             .speedup;
-        let pp_err = Some((pp - real).abs() / real);
+        let pp_err = (pp - real).abs() / real;
 
         println!(
             "{:<18} {:>8.0}% {} {:>9.0}% {} {:>11.0}% {}",
             case.pattern,
-            kis_err.unwrap() * 100.0,
-            symbol(kis_err),
-            suit_err.unwrap() * 100.0,
-            symbol(suit_err),
-            pp_err.unwrap() * 100.0,
-            symbol(pp_err),
+            kis_err * 100.0,
+            symbol(Some(kis_err)),
+            suit_err * 100.0,
+            symbol(Some(suit_err)),
+            pp_err * 100.0,
+            symbol(Some(pp_err)),
         );
-        for (tool, err) in
-            [("Kismet", kis_err), ("Suitability", suit_err), ("ParallelProphet", pp_err)]
-        {
+        for (tool, err) in [
+            ("Kismet", kis_err),
+            ("Suitability", suit_err),
+            ("ParallelProphet", pp_err),
+        ] {
             cells.push(Cell {
                 tool: tool.to_string(),
                 pattern: case.pattern.to_string(),
-                error: err,
-                symbol: symbol(err),
+                error: Some(err),
+                symbol: symbol(Some(err)),
             });
         }
     }
-    println!(
-        "\n(Cilkview is omitted: it requires already-parallelised input — Table I row 1.)"
-    );
+    println!("\n(Cilkview is omitted: it requires already-parallelised input — Table I row 1.)");
     cells
 }
 
@@ -153,7 +180,11 @@ pub fn prophet_speedup(prophet: &Prophet, profiled: &prophet_core::Profiled, cor
     prophet
         .predict(
             profiled,
-            &PredictOptions { threads: cores, emulator: Emulator::Synthesizer, ..Default::default() },
+            &PredictOptions {
+                threads: cores,
+                emulator: Emulator::Synthesizer,
+                ..Default::default()
+            },
         )
         .expect("prediction")
         .speedup

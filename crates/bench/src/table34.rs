@@ -9,7 +9,9 @@ use serde::Serialize;
 use std::time::Instant;
 use workloads::{Test1, Test1Params, Test2, Test2Params};
 
-use crate::common::{machine, mean, paper_benchmarks, quick_benchmarks, real_openmp, real_speedup, standard_prophet};
+use crate::common::{
+    machine, mean, paper_benchmarks, quick_benchmarks, real_openmp, real_speedup, standard_prophet,
+};
 
 /// Table III row: one emulator's measured characteristics.
 #[derive(Debug, Serialize)]
@@ -39,8 +41,14 @@ pub fn run_table3(samples: u64) -> Vec<Table3Row> {
         let mut errors = [Vec::new(), Vec::new()];
         for seed in 0..samples {
             for (fam, profiled) in [
-                (0usize, prophet.profile(&Test1::new(Test1Params::random(seed)))),
-                (1usize, prophet.profile(&Test2::new(Test2Params::random(seed)))),
+                (
+                    0usize,
+                    prophet.profile(&Test1::new(Test1Params::random(seed))),
+                ),
+                (
+                    1usize,
+                    prophet.profile(&Test2::new(Test2Params::random(seed))),
+                ),
             ] {
                 let real = real_openmp(&profiled, schedule, cores);
                 let start = Instant::now();
@@ -69,7 +77,10 @@ pub fn run_table3(samples: u64) -> Vec<Table3Row> {
         });
     }
 
-    println!("Table III — FF vs synthesizer ({} samples, {cores} cores, static-1):", samples);
+    println!(
+        "Table III — FF vs synthesizer ({} samples, {cores} cores, static-1):",
+        samples
+    );
     println!(
         "{:<14} {:>14} {:>16} {:>12} {:>14}",
         "emulator", "flat s/est", "nested s/est", "flat err", "nested err"
@@ -109,13 +120,20 @@ pub struct Table4Row {
 
 /// Run the Table IV classification over the benchmark suite.
 pub fn run_table4(quick: bool) -> Vec<Table4Row> {
-    let benches = if quick { quick_benchmarks() } else { paper_benchmarks() };
+    let benches = if quick {
+        quick_benchmarks()
+    } else {
+        paper_benchmarks()
+    };
     let mut prophet = standard_prophet();
     let _ = prophet.calibration();
     let cfg = machine();
     let mut rows = Vec::new();
     println!("Table IV — traffic classification (Par ≅ Ser row) and observed outcome:");
-    println!("{:<12} {:>12} {:>10} {:>22} {:>10}", "bench", "δ MB/s", "class", "expected", "real@12");
+    println!(
+        "{:<12} {:>12} {:>10} {:>22} {:>10}",
+        "bench", "δ MB/s", "class", "expected", "real@12"
+    );
     for nb in benches {
         let profiled = prophet.profile(nb.bench.as_ref());
         // Traffic of the heaviest section (weighted by cycles).

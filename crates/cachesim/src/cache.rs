@@ -51,8 +51,14 @@ impl Cache {
     /// Build an empty cache. `sets()` must be a power of two.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             sets: vec![vec![Way::default(); cfg.ways as usize]; sets as usize],
             set_mask: sets - 1,
@@ -82,7 +88,10 @@ impl Cache {
             if w.valid && w.tag == tag {
                 w.stamp = self.clock;
                 w.dirty |= is_write;
-                return AccessResult { hit: true, writeback: None };
+                return AccessResult {
+                    hit: true,
+                    writeback: None,
+                };
             }
         }
 
@@ -101,8 +110,16 @@ impl Cache {
         } else {
             None
         };
-        ways[victim] = Way { tag, valid: true, dirty: is_write, stamp: self.clock };
-        AccessResult { hit: false, writeback }
+        ways[victim] = Way {
+            tag,
+            valid: true,
+            dirty: is_write,
+            stamp: self.clock,
+        };
+        AccessResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Install a line without an explicit demand access (used to absorb a
@@ -128,7 +145,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        Cache::new(CacheConfig { capacity_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -195,7 +216,11 @@ mod tests {
 
     #[test]
     fn sets_must_be_power_of_two() {
-        let cfg = CacheConfig { capacity_bytes: 512, ways: 2, line_bytes: 64 };
+        let cfg = CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        };
         assert_eq!(cfg.sets(), 4);
     }
 }

@@ -81,8 +81,18 @@ mod tests {
 
     #[test]
     fn delta_by_subtraction() {
-        let a = Counters { instructions: 100, cycles: 200, llc_misses: 5, ..Default::default() };
-        let b = Counters { instructions: 350, cycles: 900, llc_misses: 25, ..Default::default() };
+        let a = Counters {
+            instructions: 100,
+            cycles: 200,
+            llc_misses: 5,
+            ..Default::default()
+        };
+        let b = Counters {
+            instructions: 350,
+            cycles: 900,
+            llc_misses: 25,
+            ..Default::default()
+        };
         let d = b - a;
         assert_eq!(d.instructions, 250);
         assert_eq!(d.cycles, 700);

@@ -22,7 +22,12 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { cpi_base: 0.75, l2_latency: 8.0, llc_latency: 26.0, dram_stall: 60.0 }
+        CostModel {
+            cpi_base: 0.75,
+            l2_latency: 8.0,
+            llc_latency: 26.0,
+            dram_stall: 60.0,
+        }
     }
 }
 
@@ -45,9 +50,21 @@ impl HierarchyConfig {
     /// footprints — DESIGN.md §6).
     pub fn westmere_scaled() -> Self {
         HierarchyConfig {
-            l1: CacheConfig { capacity_bytes: 32 << 10, ways: 8, line_bytes: 64 },
-            l2: CacheConfig { capacity_bytes: 256 << 10, ways: 8, line_bytes: 64 },
-            llc: CacheConfig { capacity_bytes: 1536 << 10, ways: 12, line_bytes: 64 },
+            l1: CacheConfig {
+                capacity_bytes: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 256 << 10,
+                ways: 8,
+                line_bytes: 64,
+            },
+            llc: CacheConfig {
+                capacity_bytes: 1536 << 10,
+                ways: 12,
+                line_bytes: 64,
+            },
             cost: CostModel::default(),
         }
     }
@@ -55,9 +72,21 @@ impl HierarchyConfig {
     /// A tiny hierarchy for unit tests.
     pub fn tiny() -> Self {
         HierarchyConfig {
-            l1: CacheConfig { capacity_bytes: 512, ways: 2, line_bytes: 64 },
-            l2: CacheConfig { capacity_bytes: 2048, ways: 4, line_bytes: 64 },
-            llc: CacheConfig { capacity_bytes: 8192, ways: 4, line_bytes: 64 },
+            l1: CacheConfig {
+                capacity_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 2048,
+                ways: 4,
+                line_bytes: 64,
+            },
+            llc: CacheConfig {
+                capacity_bytes: 8192,
+                ways: 4,
+                line_bytes: 64,
+            },
             cost: CostModel::default(),
         }
     }

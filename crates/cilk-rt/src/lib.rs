@@ -31,6 +31,24 @@ use machsim::{
 };
 use serde::{Deserialize, Serialize};
 
+/// Record an event on the machine's recorder via the worker's [`Env`],
+/// timestamped with virtual time. Expands to nothing without the `obs`
+/// feature.
+#[cfg(feature = "obs")]
+macro_rules! obs_env {
+    ($env:expr, $($kind:tt)+) => {
+        if let Some(h) = $env.obs() {
+            let t = $env.now();
+            h.record(t, prophet_obs::EventKind::$($kind)+);
+        }
+    };
+}
+
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_env {
+    ($env:expr, $($kind:tt)+) => {};
+}
+
 /// Runtime overheads in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CilkOverheads {
@@ -49,13 +67,25 @@ pub struct CilkOverheads {
 impl CilkOverheads {
     /// All zero, for exact-arithmetic tests.
     pub fn zero() -> Self {
-        CilkOverheads { spawn: 0, steal: 0, steal_backoff: 50, sync: 0, leaf_iter: 0 }
+        CilkOverheads {
+            spawn: 0,
+            steal: 0,
+            steal_backoff: 50,
+            sync: 0,
+            leaf_iter: 0,
+        }
     }
 
     /// Calibrated defaults for the scaled Westmere machine (Cilk spawns
     /// are a few tens of cycles; steals cost hundreds).
     pub fn westmere_scaled() -> Self {
-        CilkOverheads { spawn: 35, steal: 400, steal_backoff: 150, sync: 40, leaf_iter: 8 }
+        CilkOverheads {
+            spawn: 35,
+            steal: 400,
+            steal_backoff: 150,
+            sync: 40,
+            leaf_iter: 8,
+        }
     }
 }
 
@@ -82,7 +112,12 @@ struct SecCtl {
 /// A schedulable unit sitting in a deque.
 enum Strand {
     /// A half-open range of section tasks, to be split or executed.
-    Range { sec: Rc<SecCtl>, lo: usize, hi: usize, join: Rc<JoinCtl> },
+    Range {
+        sec: Rc<SecCtl>,
+        lo: usize,
+        hi: usize,
+        join: Rc<JoinCtl>,
+    },
     /// A resumable interpreter state (continuation). Currently
     /// continuations resume in place on the worker that satisfies the
     /// join ("the last one to arrive continues"), so this variant exists
@@ -107,7 +142,11 @@ enum CFrame {
         lock_stage: Option<(LockStage, SimLockId, WorkPacket)>,
     },
     /// Executing leaf iterations `pos..end` of a section.
-    Leaf { sec: Rc<SecCtl>, pos: usize, end: usize },
+    Leaf {
+        sec: Rc<SecCtl>,
+        pos: usize,
+        end: usize,
+    },
 }
 
 /// A resumable execution: interpreter frames plus the join to notify on
@@ -196,23 +235,35 @@ impl CilkWorker {
                 self.pending_ovh += self.pool.overheads.sync;
                 self.current = Some(state);
             }
-            Strand::Range { sec, lo, mut hi, join } => {
+            Strand::Range {
+                sec,
+                lo,
+                mut hi,
+                join,
+            } => {
                 // Recursive halving: push upper halves, keep the lower.
                 while hi - lo > sec.grain {
                     let mid = lo + (hi - lo) / 2;
                     join.pending.set(join.pending.get() + 1);
-                    self.pool.deques[self.rank as usize].borrow_mut().push_back(Strand::Range {
-                        sec: sec.clone(),
-                        lo: mid,
-                        hi,
-                        join: join.clone(),
-                    });
+                    self.pool.deques[self.rank as usize]
+                        .borrow_mut()
+                        .push_back(Strand::Range {
+                            sec: sec.clone(),
+                            lo: mid,
+                            hi,
+                            join: join.clone(),
+                        });
                     self.pending_ovh += self.pool.overheads.spawn;
+                    obs_env!(env, TaskSpawn { worker: self.rank });
                     self.pool.wake_one(env);
                     hi = mid;
                 }
                 self.current = Some(ExecState {
-                    frames: vec![CFrame::Leaf { sec, pos: lo, end: hi }],
+                    frames: vec![CFrame::Leaf {
+                        sec,
+                        pos: lo,
+                        end: hi,
+                    }],
                     join: Some(join),
                 });
             }
@@ -238,6 +289,7 @@ impl CilkWorker {
                         .take()
                         .expect("join completed twice or never suspended");
                     self.pending_ovh += self.pool.overheads.sync;
+                    obs_env!(env, TaskSync { worker: self.rank });
                     self.current = Some(resume);
                 }
             }
@@ -269,9 +321,25 @@ impl ThreadBody for CilkWorker {
                         continue;
                     }
                     if let Some(s) = self.pool.deques[v as usize].borrow_mut().pop_front() {
+                        obs_env!(
+                            env,
+                            StealAttempt {
+                                thief: self.rank,
+                                victim: v,
+                                success: true,
+                            }
+                        );
                         stolen = Some(s);
                         break;
                     }
+                    obs_env!(
+                        env,
+                        StealAttempt {
+                            thief: self.rank,
+                            victim: v,
+                            success: false
+                        }
+                    );
                 }
                 if let Some(strand) = stolen {
                     self.pending_ovh += self.pool.overheads.steal;
@@ -296,8 +364,7 @@ impl ThreadBody for CilkWorker {
                 self.steal_fails = 0;
                 let me = env.me();
                 self.pool.parked.borrow_mut().push(me);
-                let any_work =
-                    self.pool.deques.iter().any(|d| !d.borrow().is_empty());
+                let any_work = self.pool.deques.iter().any(|d| !d.borrow().is_empty());
                 if any_work || self.pool.done.get() {
                     self.pool.parked.borrow_mut().retain(|&t| t != me);
                     continue;
@@ -316,7 +383,11 @@ impl ThreadBody for CilkWorker {
                         let task = sec.tasks[*pos].clone();
                         *pos += 1;
                         let iter_ovh = self.pool.overheads.leaf_iter;
-                        exec.frames.push(CFrame::Seq { body: task, idx: 0, lock_stage: None });
+                        exec.frames.push(CFrame::Seq {
+                            body: task,
+                            idx: 0,
+                            lock_stage: None,
+                        });
                         if iter_ovh > 0 {
                             return Action::Compute(WorkPacket::cpu(iter_ovh));
                         }
@@ -325,7 +396,11 @@ impl ThreadBody for CilkWorker {
                     exec.frames.pop();
                     continue;
                 }
-                CFrame::Seq { body, idx, lock_stage } => {
+                CFrame::Seq {
+                    body,
+                    idx,
+                    lock_stage,
+                } => {
                     if let Some((stage, lock, work)) = *lock_stage {
                         match stage {
                             LockStage::Acquire => {
@@ -356,8 +431,7 @@ impl ThreadBody for CilkWorker {
                         POp::Locked { lock, work } => {
                             let (lock, work) = (*lock, *work);
                             let sim = self.pool.lock_for(env, lock);
-                            if let Some(CFrame::Seq { lock_stage, .. }) = exec.frames.last_mut()
-                            {
+                            if let Some(CFrame::Seq { lock_stage, .. }) = exec.frames.last_mut() {
                                 *lock_stage = Some((LockStage::Acquire, sim, work));
                             }
                             continue;
@@ -372,9 +446,7 @@ impl ThreadBody for CilkWorker {
                             // Pipelines are hosted by the OpenMP-like
                             // runtime's stage threads; a Cilk worker pool
                             // has no stage affinity to offer.
-                            unimplemented!(
-                                "pipeline regions run under the OpenMP-like runtime"
-                            )
+                            unimplemented!("pipeline regions run under the OpenMP-like runtime")
                         }
                     }
                 }
@@ -389,16 +461,24 @@ impl CilkWorker {
     fn suspend_for_section(&mut self, env: &mut dyn Env, sec: ParSection) {
         let n = sec.tasks.len();
         let grain = cilk_for_grain(n, self.pool.nworkers);
-        let join = Rc::new(JoinCtl { pending: Cell::new(1), resume: RefCell::new(None) });
-        let sec_ctl = Rc::new(SecCtl { tasks: sec.tasks, grain });
+        let join = Rc::new(JoinCtl {
+            pending: Cell::new(1),
+            resume: RefCell::new(None),
+        });
+        let sec_ctl = Rc::new(SecCtl {
+            tasks: sec.tasks,
+            grain,
+        });
         let suspended = self.current.take().expect("suspending without execution");
         *join.resume.borrow_mut() = Some(suspended);
-        self.pool.deques[self.rank as usize].borrow_mut().push_back(Strand::Range {
-            sec: sec_ctl,
-            lo: 0,
-            hi: n,
-            join,
-        });
+        self.pool.deques[self.rank as usize]
+            .borrow_mut()
+            .push_back(Strand::Range {
+                sec: sec_ctl,
+                lo: 0,
+                hi: n,
+                join,
+            });
         self.pending_ovh += self.pool.overheads.spawn;
         self.pool.wake_one(env);
     }
@@ -408,7 +488,7 @@ impl CilkWorker {
 /// Cilk Plus runtime.
 pub fn cilk_for_grain(n: usize, workers: u32) -> usize {
     let denom = 8 * workers as usize;
-    ((n + denom - 1) / denom).clamp(1, 2048)
+    n.div_ceil(denom).clamp(1, 2048)
 }
 
 /// Run `program` on a fresh machine with `nworkers` Cilk workers.
@@ -418,10 +498,23 @@ pub fn run_program_cilk(
     overheads: CilkOverheads,
     nworkers: u32,
 ) -> Result<RunStats, RunError> {
-    let nworkers = nworkers.max(1);
     let mut machine = Machine::new(cfg);
+    run_program_cilk_on(&mut machine, program, overheads, nworkers)
+}
+
+/// Run `program` on an existing (fresh) machine — use this to configure
+/// the machine first, e.g. attach a `prophet-obs` recorder.
+pub fn run_program_cilk_on(
+    machine: &mut Machine,
+    program: &ParallelProgram,
+    overheads: CilkOverheads,
+    nworkers: u32,
+) -> Result<RunStats, RunError> {
+    let nworkers = nworkers.max(1);
     let pool = Rc::new(Pool {
-        deques: (0..nworkers).map(|_| RefCell::new(VecDeque::new())).collect(),
+        deques: (0..nworkers)
+            .map(|_| RefCell::new(VecDeque::new()))
+            .collect(),
         done: Cell::new(false),
         locks: RefCell::new(HashMap::new()),
         overheads,
@@ -430,7 +523,9 @@ pub fn run_program_cilk(
     });
     let main = ExecState {
         frames: vec![CFrame::Seq {
-            body: Rc::new(TaskBody { ops: program.ops.clone() }),
+            body: Rc::new(TaskBody {
+                ops: program.ops.clone(),
+            }),
             idx: 0,
             lock_stage: None,
         }],
@@ -450,9 +545,15 @@ mod tests {
     fn loop_prog(lens: &[u64]) -> ParallelProgram {
         let tasks = lens
             .iter()
-            .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+            .map(|&l| {
+                Rc::new(TaskBody {
+                    ops: vec![POp::Work(WorkPacket::cpu(l))],
+                })
+            })
             .collect();
-        ParallelProgram { ops: vec![POp::Par(ParSection::new(tasks))] }
+        ParallelProgram {
+            ops: vec![POp::Par(ParSection::new(tasks))],
+        }
     }
 
     #[test]
@@ -491,19 +592,24 @@ mod tests {
         // the FFT/QSort shape.
         fn rec(depth: u32) -> Rc<TaskBody> {
             if depth == 0 {
-                return Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(10_000))] });
+                return Rc::new(TaskBody {
+                    ops: vec![POp::Work(WorkPacket::cpu(10_000))],
+                });
             }
             Rc::new(TaskBody {
-                ops: vec![POp::Par(ParSection::new(vec![rec(depth - 1), rec(depth - 1)]))],
+                ops: vec![POp::Par(ParSection::new(vec![
+                    rec(depth - 1),
+                    rec(depth - 1),
+                ]))],
             })
         }
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection::new(vec![rec(4)]))],
         };
-        let t1 = run_program_cilk(MachineConfig::small(1), &prog, CilkOverheads::zero(), 1)
-            .unwrap();
-        let t4 = run_program_cilk(MachineConfig::small(4), &prog, CilkOverheads::zero(), 4)
-            .unwrap();
+        let t1 =
+            run_program_cilk(MachineConfig::small(1), &prog, CilkOverheads::zero(), 1).unwrap();
+        let t4 =
+            run_program_cilk(MachineConfig::small(4), &prog, CilkOverheads::zero(), 4).unwrap();
         // Only the fixed worker pool runs — no thread explosion.
         assert_eq!(t4.threads_spawned, 4);
         let speedup = t1.elapsed_cycles as f64 / t4.elapsed_cycles as f64;
@@ -529,10 +635,17 @@ mod tests {
     #[test]
     fn locks_serialize_across_stolen_tasks() {
         let task = Rc::new(TaskBody {
-            ops: vec![POp::Locked { lock: 9, work: WorkPacket::cpu(1_000) }],
+            ops: vec![POp::Locked {
+                lock: 9,
+                work: WorkPacket::cpu(1_000),
+            }],
         });
         let prog = ParallelProgram {
-            ops: vec![POp::Par(ParSection::new(vec![task.clone(), task.clone(), task]))],
+            ops: vec![POp::Par(ParSection::new(vec![
+                task.clone(),
+                task.clone(),
+                task,
+            ]))],
         };
         let s = run_program_cilk(MachineConfig::small(4), &prog, CilkOverheads::zero(), 4).unwrap();
         assert!(s.elapsed_cycles >= 3_000, "elapsed {}", s.elapsed_cycles);
@@ -546,23 +659,29 @@ mod tests {
         prog.ops.push(POp::Work(WorkPacket::cpu(700)));
         let s = run_program_cilk(MachineConfig::small(4), &prog, CilkOverheads::zero(), 4).unwrap();
         assert!(s.elapsed_cycles >= 500 + 2_000 + 700);
-        assert!(s.elapsed_cycles < 500 + 2_000 + 700 + 1_500, "elapsed {}", s.elapsed_cycles);
+        assert!(
+            s.elapsed_cycles < 500 + 2_000 + 700 + 1_500,
+            "elapsed {}",
+            s.elapsed_cycles
+        );
     }
 
     #[test]
     fn determinism() {
         let lens: Vec<u64> = (1..=40).map(|i| (i * 37) % 900 + 100).collect();
         let prog = loop_prog(&lens);
-        let a = run_program_cilk(MachineConfig::small(3), &prog, CilkOverheads::default(), 3)
-            .unwrap();
-        let b = run_program_cilk(MachineConfig::small(3), &prog, CilkOverheads::default(), 3)
-            .unwrap();
+        let a =
+            run_program_cilk(MachineConfig::small(3), &prog, CilkOverheads::default(), 3).unwrap();
+        let b =
+            run_program_cilk(MachineConfig::small(3), &prog, CilkOverheads::default(), 3).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn empty_section_completes() {
-        let prog = ParallelProgram { ops: vec![POp::Par(ParSection::new(vec![]))] };
+        let prog = ParallelProgram {
+            ops: vec![POp::Par(ParSection::new(vec![]))],
+        };
         let s = run_program_cilk(MachineConfig::small(2), &prog, CilkOverheads::zero(), 2).unwrap();
         assert!(s.elapsed_cycles < 2_000);
     }
@@ -581,6 +700,9 @@ mod tests {
         let dear = run_program_cilk(MachineConfig::small(4), &prog, heavy, 4)
             .unwrap()
             .elapsed_cycles;
-        assert!(dear as f64 > 1.5 * cheap as f64, "cheap={cheap} dear={dear}");
+        assert!(
+            dear as f64 > 1.5 * cheap as f64,
+            "cheap={cheap} dear={dear}"
+        );
     }
 }

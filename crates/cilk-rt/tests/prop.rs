@@ -12,9 +12,15 @@ use machsim::{MachineConfig, WorkPacket};
 fn loop_prog(lens: &[u64]) -> ParallelProgram {
     let tasks = lens
         .iter()
-        .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+        .map(|&l| {
+            Rc::new(TaskBody {
+                ops: vec![POp::Work(WorkPacket::cpu(l))],
+            })
+        })
         .collect();
-    ParallelProgram { ops: vec![POp::Par(ParSection::new(tasks))] }
+    ParallelProgram {
+        ops: vec![POp::Par(ParSection::new(tasks))],
+    }
 }
 
 /// A random binary recursion: `levels` deep, leaves of the given lengths
@@ -24,7 +30,9 @@ fn recursive_prog(levels: u32, leaf_lens: &[u64]) -> ParallelProgram {
         if levels == 0 {
             let len = leaf_lens[*idx % leaf_lens.len()];
             *idx += 1;
-            return Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(len))] });
+            return Rc::new(TaskBody {
+                ops: vec![POp::Work(WorkPacket::cpu(len))],
+            });
         }
         Rc::new(TaskBody {
             ops: vec![POp::Par(ParSection::new(vec![
@@ -35,7 +43,9 @@ fn recursive_prog(levels: u32, leaf_lens: &[u64]) -> ParallelProgram {
     }
     let mut idx = 0;
     ParallelProgram {
-        ops: vec![POp::Par(ParSection::new(vec![rec(levels, leaf_lens, &mut idx)]))],
+        ops: vec![POp::Par(ParSection::new(vec![rec(
+            levels, leaf_lens, &mut idx,
+        )]))],
     }
 }
 

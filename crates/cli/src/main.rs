@@ -5,10 +5,19 @@
 //! prophet predict <workload> [--threads 2,4,8,12] [--schedule static|static-1|dynamic-1]
 //!                            [--paradigm openmp|cilk|omptask] [--emulator ff|syn]
 //!                            [--no-memory-model] [--real] [--json]
+//! prophet trace <workload> [--cores N] [--out trace.json] [--format chrome|jsonl|summary]
+//!                          [--emulator ff|syn] [--paradigm ..] [--schedule ..]
 //! prophet diagnose <workload> [--threads N]
 //! prophet recommend <workload>
 //! prophet calibrate
 //! ```
+//!
+//! `trace` runs the parallelised program on the simulated machine (or,
+//! with `--emulator ff|syn`, drives an emulator) with a `prophet-obs`
+//! recorder attached and exports the virtual-time event trace — Chrome
+//! Trace Event JSON (open in Perfetto / `chrome://tracing`), JSONL, or a
+//! terminal timeline. Traces are deterministic: the same workload and
+//! seed produce byte-identical output.
 //!
 //! Workloads are the built-in benchmark suite (OmpSCR, NPB, Test1/Test2,
 //! pipeline). Annotating your own program means implementing
@@ -53,7 +62,10 @@ fn workload(name: &str) -> Option<Box<dyn Benchmark>> {
 
 const WORKLOADS: &[(&str, &str)] = &[
     ("md", "OmpSCR molecular dynamics (compute-bound O(n²))"),
-    ("lu", "OmpSCR LU reduction (inner-loop parallelism, triangular)"),
+    (
+        "lu",
+        "OmpSCR LU reduction (inner-loop parallelism, triangular)",
+    ),
     ("fft", "OmpSCR recursive FFT (Cilk, bandwidth-hungry)"),
     ("qsort", "OmpSCR quicksort (Cilk, partition-bound)"),
     ("pi", "OmpSCR Pi integration (reduction lock)"),
@@ -69,16 +81,28 @@ const WORKLOADS: &[(&str, &str)] = &[
     ("test2:<seed>", "random Fig. 10 validation program (nested)"),
 ];
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Jsonl,
+    Summary,
+}
+
 struct Args {
     command: String,
     workload: Option<String>,
     threads: Vec<u32>,
     schedule: Schedule,
     paradigm: Option<Paradigm>,
-    emulator: Emulator,
+    /// `None` means per-command default: synthesizer for `predict`, the
+    /// ground-truth machine run for `trace`.
+    emulator: Option<Emulator>,
     memory_model: bool,
     with_real: bool,
     json: bool,
+    cores: Option<u32>,
+    out: Option<String>,
+    format: TraceFormat,
 }
 
 fn die(msg: &str) -> ! {
@@ -94,10 +118,13 @@ fn parse_args() -> Args {
         threads: vec![2, 4, 6, 8, 10, 12],
         schedule: Schedule::static_block(),
         paradigm: None,
-        emulator: Emulator::Synthesizer,
+        emulator: None,
         memory_model: true,
         with_real: false,
         json: false,
+        cores: None,
+        out: None,
+        format: TraceFormat::Chrome,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -132,10 +159,25 @@ fn parse_args() -> Args {
                 });
             }
             "--emulator" => {
-                args.emulator = match it.next().as_deref() {
+                args.emulator = Some(match it.next().as_deref() {
                     Some("ff") => Emulator::FastForward,
                     Some("syn") => Emulator::Synthesizer,
                     _ => die("bad --emulator (ff | syn)"),
+                });
+            }
+            "--cores" => {
+                let v = it.next().unwrap_or_else(|| die("--cores needs a count"));
+                args.cores = Some(v.parse().unwrap_or_else(|_| die("bad core count")));
+            }
+            "--out" => {
+                args.out = Some(it.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("chrome") => TraceFormat::Chrome,
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("summary") => TraceFormat::Summary,
+                    _ => die("bad --format (chrome | jsonl | summary)"),
                 };
             }
             "--no-memory-model" => args.memory_model = false,
@@ -170,7 +212,9 @@ fn main() {
                 "prophet — predict parallel speedup from annotated serial code\n\n\
                  commands:\n  list\n  predict <workload> [--threads ..] [--schedule ..] \
                  [--paradigm ..] [--emulator ff|syn] [--no-memory-model] [--real] [--json]\n  \
-                 diagnose <workload> [--threads N]\n  recommend <workload>\n  calibrate"
+                 trace <workload> [--cores N] [--out trace.json] \
+                 [--format chrome|jsonl|summary] [--emulator ff|syn]\n  \
+                 diagnose <workload> [--threads N] [--json]\n  recommend <workload>\n  calibrate"
             );
         }
         "list" => {
@@ -200,12 +244,13 @@ fn main() {
         "predict" => {
             let (w, spec) = get_workload(&args);
             let paradigm = args.paradigm.unwrap_or(spec.paradigm);
+            let emulator = args.emulator.unwrap_or(Emulator::Synthesizer);
             let mut prophet = Prophet::new();
             eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
             let profiled = prophet.profile(w.as_ref());
             let mut series = vec![format!(
                 "{}/{}",
-                match args.emulator {
+                match emulator {
                     Emulator::FastForward => "FF",
                     Emulator::Synthesizer => "SYN",
                 },
@@ -216,12 +261,19 @@ fn main() {
             }
             let mut report =
                 SpeedupReport::new(format!("{} {}", spec.name, spec.input_desc), series);
+            // Machine statistics of each --real run, keyed by thread count,
+            // surfaced as derived rates in the --json output.
+            let mut real_stats: Vec<(u32, machsim::RunStats)> = Vec::new();
             for &t in &args.threads {
                 let mut row = Vec::new();
                 if args.with_real {
                     let mut o = RealOptions::new(t, paradigm, args.schedule);
                     o.machine = *prophet.machine();
-                    row.push(run_real(&profiled.tree, &o).ok().map(|r| r.speedup).flatten_none());
+                    let r = run_real(&profiled.tree, &o).ok();
+                    if let Some(r) = &r {
+                        real_stats.push((t, r.stats.clone()));
+                    }
+                    row.push(r.map(|r| r.speedup).flatten_none());
                 }
                 let pred = prophet.predict(
                     &profiled,
@@ -229,7 +281,7 @@ fn main() {
                         threads: t,
                         paradigm,
                         schedule: args.schedule,
-                        emulator: args.emulator,
+                        emulator,
                         memory_model: args.memory_model,
                     },
                 );
@@ -237,22 +289,164 @@ fn main() {
                 report.push_row(t, row);
             }
             if args.json {
-                println!("{}", report.to_json());
+                if real_stats.is_empty() {
+                    println!("{}", report.to_json());
+                } else {
+                    let machine_rows: Vec<serde_json::Value> = real_stats
+                        .iter()
+                        .map(|(t, s)| {
+                            serde_json::Value::Object(vec![
+                                ("threads".to_string(), serde_json::Value::U64(u64::from(*t))),
+                                (
+                                    "utilization_percent".to_string(),
+                                    serde_json::Value::F64(s.utilization_percent(*t)),
+                                ),
+                                (
+                                    "lock_contention_ratio".to_string(),
+                                    serde_json::Value::F64(s.lock_contention_ratio()),
+                                ),
+                                (
+                                    "context_switches_per_mcycle".to_string(),
+                                    serde_json::Value::F64(s.context_switch_rate()),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    let combined = serde_json::Value::Object(vec![
+                        ("report".to_string(), serde::Serialize::to_value(&report)),
+                        (
+                            "machine".to_string(),
+                            serde_json::Value::Array(machine_rows),
+                        ),
+                    ]);
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&combined).expect("serialise")
+                    );
+                }
             } else {
                 println!("{}", report.render());
             }
         }
+        "trace" => {
+            let (w, spec) = get_workload(&args);
+            let paradigm = args.paradigm.unwrap_or(spec.paradigm);
+            let mut prophet = Prophet::new();
+            eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
+            let profiled = prophet.profile(w.as_ref());
+            let cores = args
+                .cores
+                .or_else(|| args.threads.first().copied())
+                .unwrap_or(4);
+            let obs = prophet_obs::ObsHandle::new(prophet_obs::Recorder::new());
+            // Which engine generates events: the ground-truth machine run
+            // by default, or an emulator when --emulator is given.
+            let track_cores = match args.emulator {
+                Some(Emulator::FastForward) => {
+                    let p = ffemu::predict_with_obs(
+                        &profiled.tree,
+                        ffemu::FfOptions {
+                            cpus: cores,
+                            schedule: args.schedule,
+                            overheads: prophet_core::omp_rt::OmpOverheads::westmere_scaled(),
+                            use_burden: args.memory_model,
+                            contended_lock_penalty: prophet.machine().context_switch_cycles,
+                            model_pipelines: true,
+                        },
+                        obs.clone(),
+                    );
+                    eprintln!("ff emulation: {:.2}x predicted at {cores} cpus", p.speedup);
+                    cores
+                }
+                Some(Emulator::Synthesizer) => {
+                    let mut so = synthemu::SynthOptions::new(cores, paradigm);
+                    so.machine = *prophet.machine();
+                    so.schedule = args.schedule;
+                    so.use_burden = args.memory_model;
+                    let p = synthemu::predict_with_obs(&profiled.tree, &so, obs.clone())
+                        .unwrap_or_else(|e| die(&e.to_string()));
+                    eprintln!(
+                        "synthesizer: {:.2}x predicted at {cores} threads",
+                        p.speedup
+                    );
+                    prophet.machine().cores
+                }
+                None => {
+                    let mut o = RealOptions::new(cores, paradigm, args.schedule);
+                    o.machine = *prophet.machine();
+                    let r = workloads::run_real_with_obs(&profiled.tree, &o, obs.clone())
+                        .unwrap_or_else(|e| die(&e.to_string()));
+                    eprintln!("machine run: {:.2}x at {cores} threads", r.speedup);
+                    prophet.machine().cores
+                }
+            };
+            let text = obs.with(|rec| match args.format {
+                TraceFormat::Chrome => prophet_obs::chrome_trace_json(rec, track_cores),
+                TraceFormat::Jsonl => prophet_obs::jsonl_dump(rec),
+                TraceFormat::Summary => prophet_obs::timeline_summary(rec, track_cores),
+            });
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, text.as_bytes())
+                        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                    let events = obs.with(|rec| rec.len());
+                    eprintln!("wrote {path} ({events} events)");
+                }
+                None => println!("{text}"),
+            }
+        }
         "diagnose" => {
             let (w, spec) = get_workload(&args);
+            let paradigm = args.paradigm.unwrap_or(spec.paradigm);
             let mut prophet = Prophet::new();
             eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
             let profiled = prophet.profile(w.as_ref());
             let threads = args.threads.last().copied().unwrap_or(12);
             let d = diagnose(&profiled.tree, threads, args.schedule);
+            // Evidence: one ground-truth run with the recorder attached,
+            // so the analytical verdicts come with observed utilisation,
+            // lock contention and bandwidth occupancy.
+            let obs = prophet_obs::ObsHandle::new(prophet_obs::Recorder::new());
+            let mut o = RealOptions::new(threads, paradigm, args.schedule);
+            o.machine = *prophet.machine();
+            let metrics = workloads::run_real_with_obs(&profiled.tree, &o, obs.clone())
+                .ok()
+                .map(|_| {
+                    obs.with(|rec| {
+                        prophet_obs::TraceMetrics::from_recorder(rec, prophet.machine().cores)
+                    })
+                });
             if args.json {
-                println!("{}", serde_json::to_string_pretty(&d).expect("serialise"));
+                let mut obj = vec![("diagnosis".to_string(), serde::Serialize::to_value(&d))];
+                if let Some(m) = &metrics {
+                    obj.push(("evidence".to_string(), m.to_value()));
+                }
+                let combined = serde_json::Value::Object(obj);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&combined).expect("serialise")
+                );
             } else {
                 println!("{}", d.render());
+                if let Some(m) = &metrics {
+                    println!("evidence from one machine run at {threads} threads:");
+                    println!("  core utilization: {:>5.1}%", m.utilization() * 100.0);
+                    if let Some(f) = m.registry.gauge("lock_wait_fraction") {
+                        println!("  lock-wait cycles: {:>5.1}% of elapsed", f * 100.0);
+                    }
+                    for (lock, st) in m.hottest_locks().into_iter().take(3) {
+                        println!(
+                            "  lock {lock}: {} acquires, {} waited, {} cycles blocked",
+                            st.acquires, st.waits, st.total_wait
+                        );
+                    }
+                    if m.peak_dram_active() > 0 {
+                        println!(
+                            "  peak concurrent DRAM-active packets: {}",
+                            m.peak_dram_active()
+                        );
+                    }
+                }
             }
         }
         "recommend" => {
@@ -260,7 +454,9 @@ fn main() {
             let mut prophet = Prophet::new();
             eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
             let profiled = prophet.profile(w.as_ref());
-            let rec = prophet.recommend(&profiled).unwrap_or_else(|e| die(&e.to_string()));
+            let rec = prophet
+                .recommend(&profiled)
+                .unwrap_or_else(|e| die(&e.to_string()));
             println!(
                 "best: {} / {} at {} threads -> {:.2}x",
                 rec.best.paradigm, rec.best.schedule, rec.best.threads, rec.best.speedup

@@ -129,10 +129,20 @@ pub fn diagnose(tree: &ProgramTree, threads: u32, schedule: Schedule) -> Diagnos
         let speedup = probe(&iso, base_opts);
 
         // Idealisation probes: remove one factor at a time.
-        let no_memory = probe(&iso, FfOptions { use_burden: false, ..base_opts });
+        let no_memory = probe(
+            &iso,
+            FfOptions {
+                use_burden: false,
+                ..base_opts
+            },
+        );
         let no_overhead = probe(
             &iso,
-            FfOptions { overheads: OmpOverheads::zero(), contended_lock_penalty: 0, ..base_opts },
+            FfOptions {
+                overheads: OmpOverheads::zero(),
+                contended_lock_penalty: 0,
+                ..base_opts
+            },
         );
         // Free locks: strip L nodes into U nodes.
         let lockless = {
@@ -147,9 +157,7 @@ pub fn diagnose(tree: &ProgramTree, threads: u32, schedule: Schedule) -> Diagnos
         };
         // Perfect balance: the work/threads bound with burden applied.
         let burden = match &tree.node(sec).kind {
-            NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } => {
-                burden.factor(threads)
-            }
+            NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } => burden.factor(threads),
             _ => 1.0,
         };
         let balanced = threads as f64 / burden;
@@ -197,14 +205,16 @@ pub fn diagnose(tree: &ProgramTree, threads: u32, schedule: Schedule) -> Diagnos
     // share and keep the dominant bottleneck.
     let mut merged: Vec<SectionDiagnosis> = Vec::new();
     for s in sections {
-        match merged.iter_mut().find(|m| m.name == s.name && m.bottleneck == s.bottleneck) {
+        match merged
+            .iter_mut()
+            .find(|m| m.name == s.name && m.bottleneck == s.bottleneck)
+        {
             Some(m) => {
                 let w_old = m.serial_cycles as f64;
                 let w_new = s.serial_cycles as f64;
                 let w = (w_old + w_new).max(1.0);
                 m.speedup = (m.speedup * w_old + s.speedup * w_new) / w;
-                m.speedup_if_fixed =
-                    (m.speedup_if_fixed * w_old + s.speedup_if_fixed * w_new) / w;
+                m.speedup_if_fixed = (m.speedup_if_fixed * w_old + s.speedup_if_fixed * w_new) / w;
                 m.serial_cycles += s.serial_cycles;
                 m.share += s.share;
             }

@@ -163,14 +163,19 @@ impl Default for Prophet {
 impl Prophet {
     /// A prophet for the default (scaled Westmere) machine.
     pub fn new() -> Self {
-        Self::with_machine(MachineConfig::westmere_scaled(), HierarchyConfig::westmere_scaled())
+        Self::with_machine(
+            MachineConfig::westmere_scaled(),
+            HierarchyConfig::westmere_scaled(),
+        )
     }
 
     /// A prophet for a custom machine/cache configuration.
     pub fn with_machine(machine: MachineConfig, hierarchy: HierarchyConfig) -> Self {
-        let mut profile_options = ProfileOptions::default();
-        profile_options.machine = machine;
-        profile_options.hierarchy = hierarchy;
+        let profile_options = ProfileOptions {
+            machine,
+            hierarchy,
+            ..ProfileOptions::default()
+        };
         Prophet {
             machine,
             hierarchy,
@@ -221,7 +226,11 @@ impl Prophet {
         let counts = self.burden_thread_counts.clone();
         let cal = self.calibration().clone();
         memmodel::apply_burden(&mut tree, &cal, &counts);
-        Profiled { name: program.name().to_string(), tree, profile: result }
+        Profiled {
+            name: program.name().to_string(),
+            tree,
+            profile: result,
+        }
     }
 
     /// Like [`Prophet::profile`], but apply a cache-trend hypothesis
@@ -239,7 +248,11 @@ impl Prophet {
         let cal = self.calibration().clone();
         let llc = self.hierarchy.llc.capacity_bytes;
         memmodel::apply_burden_with_trend(&mut tree, &cal, &counts, trend, llc);
-        Profiled { name: program.name().to_string(), tree, profile: result }
+        Profiled {
+            name: program.name().to_string(),
+            tree,
+            profile: result,
+        }
     }
 
     /// Predict the speedup of a profiled program (step 4).
@@ -358,7 +371,11 @@ impl Prophet {
         let mut all = self.explore(
             profiled,
             &[self.machine.cores],
-            &[Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()],
+            &[
+                Schedule::static1(),
+                Schedule::static_block(),
+                Schedule::dynamic1(),
+            ],
             &[Paradigm::OpenMp],
             Emulator::Synthesizer,
         )?;
@@ -442,11 +459,18 @@ mod tests {
             schedule: Schedule::static1(),
             ..Default::default()
         };
-        let curve = prophet.speedup_curve(&profiled, &base, &[2, 12, 24]).unwrap();
+        let curve = prophet
+            .speedup_curve(&profiled, &base, &[2, 12, 24])
+            .unwrap();
         assert_eq!(curve.len(), 3);
 
-        let base = PredictOptions { emulator: Emulator::Synthesizer, ..base };
-        let curve = prophet.speedup_curve(&profiled, &base, &[2, 12, 24]).unwrap();
+        let base = PredictOptions {
+            emulator: Emulator::Synthesizer,
+            ..base
+        };
+        let curve = prophet
+            .speedup_curve(&profiled, &base, &[2, 12, 24])
+            .unwrap();
         assert_eq!(curve.len(), 2, "24 > 12 cores must be skipped");
     }
 
@@ -478,7 +502,9 @@ mod tests {
         let base = prophet.profile(&Balanced);
         let trended = prophet.profile_with_trend(
             &Balanced,
-            CacheTrend::Shrinks { footprint_bytes: 1 << 24 },
+            CacheTrend::Shrinks {
+                footprint_bytes: 1 << 24,
+            },
         );
         // Balanced is compute-bound: trends must not invent burden.
         assert_eq!(base.tree.total_length(), trended.tree.total_length());
@@ -496,7 +522,9 @@ mod tests {
     fn prediction_serializes() {
         let mut prophet = quick_prophet();
         let profiled = prophet.profile(&Balanced);
-        let pred = prophet.predict(&profiled, &PredictOptions::default()).unwrap();
+        let pred = prophet
+            .predict(&profiled, &PredictOptions::default())
+            .unwrap();
         let js = serde_json::to_string(&pred).unwrap();
         assert!(js.contains("speedup"));
     }

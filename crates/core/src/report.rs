@@ -29,7 +29,11 @@ pub struct SpeedupReport {
 impl SpeedupReport {
     /// New empty report.
     pub fn new(title: impl Into<String>, series: Vec<String>) -> Self {
-        SpeedupReport { title: title.into(), series, rows: Vec::new() }
+        SpeedupReport {
+            title: title.into(),
+            series,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; `speedups` must align with the series labels.
@@ -70,7 +74,13 @@ impl SpeedupReport {
     /// the series labels so long names stay readable.
     pub fn render(&self) -> String {
         use std::fmt::Write;
-        let width = self.series.iter().map(|s| s.len() + 2).max().unwrap_or(10).max(10);
+        let width = self
+            .series
+            .iter()
+            .map(|s| s.len() + 2)
+            .max()
+            .unwrap_or(10)
+            .max(10);
         let mut out = String::new();
         writeln!(out, "== {} ==", self.title).unwrap();
         write!(out, "{:>8}", "threads").unwrap();

@@ -191,7 +191,10 @@ impl Default for DepProfiler {
 impl DepProfiler {
     /// A fresh profiler.
     pub fn new() -> Self {
-        DepProfiler { stack: Vec::new(), finished: Vec::new() }
+        DepProfiler {
+            stack: Vec::new(),
+            finished: Vec::new(),
+        }
     }
 
     /// Enter a loop.
@@ -213,7 +216,11 @@ impl DepProfiler {
     /// Start the next iteration of the innermost loop.
     pub fn iter_begin(&mut self) {
         let frame = self.stack.last_mut().expect("iter_begin outside a loop");
-        frame.iter = if frame.iter == NEVER { 0 } else { frame.iter + 1 };
+        frame.iter = if frame.iter == NEVER {
+            0
+        } else {
+            frame.iter + 1
+        };
         frame.read_this_iter.clear();
     }
 
@@ -228,7 +235,11 @@ impl DepProfiler {
         self.finished.push(LoopReport {
             name: frame.name,
             depth: frame.depth,
-            iterations: if frame.iter == NEVER { 0 } else { frame.iter + 1 },
+            iterations: if frame.iter == NEVER {
+                0
+            } else {
+                frame.iter + 1
+            },
             carried_flow: frame.carried_flow,
             carried_anti: frame.carried_anti,
             carried_output: frame.carried_output,
@@ -297,8 +308,14 @@ impl DepProfiler {
 
     /// Finish and report. Panics if loops are still open.
     pub fn finish(self) -> DepReport {
-        assert!(self.stack.is_empty(), "{} loop(s) left open", self.stack.len());
-        DepReport { loops: self.finished }
+        assert!(
+            self.stack.is_empty(),
+            "{} loop(s) left open",
+            self.stack.len()
+        );
+        DepReport {
+            loops: self.finished,
+        }
     }
 }
 

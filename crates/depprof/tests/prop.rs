@@ -23,8 +23,10 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
     prop_oneof![
         (2u64..60, 1u64..16).prop_map(|(iters, stride)| Pattern::Map { iters, stride }),
         (3u64..60, 1u64..6).prop_map(|(iters, cells)| Pattern::Reduce { iters, cells }),
-        (1u64..12, 1u64..8)
-            .prop_map(|(extra, lag)| Pattern::Recurrence { iters: lag + extra, lag }),
+        (1u64..12, 1u64..8).prop_map(|(extra, lag)| Pattern::Recurrence {
+            iters: lag + extra,
+            lag
+        }),
         (2u64..60).prop_map(|iters| Pattern::Scratch { iters }),
     ]
 }

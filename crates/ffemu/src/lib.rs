@@ -37,6 +37,22 @@ use omp_rt::{Dispenser, OmpOverheads};
 use proftree::{visit::expanded_children, Cycles, LockId, NodeId, NodeKind, ProgramTree};
 use serde::{Deserialize, Serialize};
 
+/// Record an event on the emulation's recorder at emulated time `$t`.
+/// Expands to nothing without the `obs` feature.
+#[cfg(feature = "obs")]
+macro_rules! obs_at {
+    ($st:expr, $t:expr, $($kind:tt)+) => {
+        if let Some(h) = $st.obs.as_ref() {
+            h.record($t, prophet_obs::EventKind::$($kind)+);
+        }
+    };
+}
+
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_at {
+    ($st:expr, $t:expr, $($kind:tt)+) => {};
+}
+
 /// Options for one FF prediction.
 #[derive(Debug, Clone, Copy)]
 pub struct FfOptions {
@@ -94,6 +110,31 @@ struct FfState<'t> {
     cpu_time: Vec<u64>,
     /// Per-user-lock free-at clock.
     lock_free: HashMap<LockId, u64>,
+    /// Structured event recorder (emulated-time timestamps).
+    #[cfg(feature = "obs")]
+    obs: Option<prophet_obs::ObsHandle>,
+}
+
+/// Record the begin/end of a top-level emulated section span.
+#[cfg(feature = "obs")]
+fn obs_section_span(st: &FfState<'_>, begin: bool, idx: usize, t: u64) {
+    if let Some(h) = st.obs.as_ref() {
+        let label = h.intern(&format!("sec{idx}"));
+        let kind = if begin {
+            prophet_obs::EventKind::SpanBegin {
+                kind: prophet_obs::SpanKind::EmuSection,
+                label,
+                thread: u32::MAX,
+            }
+        } else {
+            prophet_obs::EventKind::SpanEnd {
+                kind: prophet_obs::SpanKind::EmuSection,
+                label,
+                thread: u32::MAX,
+            }
+        };
+        h.record(t, kind);
+    }
 }
 
 /// A CPU's cursor through its assigned tasks inside one section.
@@ -116,7 +157,33 @@ pub fn predict(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
         opts,
         cpu_time: vec![0; opts.cpus.max(1) as usize],
         lock_free: HashMap::new(),
+        #[cfg(feature = "obs")]
+        obs: None,
     };
+    predict_run(&mut st)
+}
+
+/// [`predict`], recording heap pops, chunk dispatches, emulated lock
+/// events and section spans on `obs` with emulated-time timestamps.
+#[cfg(feature = "obs")]
+pub fn predict_with_obs(
+    tree: &ProgramTree,
+    opts: FfOptions,
+    obs: prophet_obs::ObsHandle,
+) -> FfPrediction {
+    let mut st = FfState {
+        tree,
+        opts,
+        cpu_time: vec![0; opts.cpus.max(1) as usize],
+        lock_free: HashMap::new(),
+        obs: Some(obs),
+    };
+    predict_run(&mut st)
+}
+
+fn predict_run(st: &mut FfState<'_>) -> FfPrediction {
+    let tree = st.tree;
+    let opts = st.opts;
     let serial_cycles = tree.total_length();
     let mut now = 0u64;
     let mut sections = Vec::new();
@@ -126,26 +193,42 @@ pub fn predict(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
                 now += tree.node(child).length;
             }
             NodeKind::Sec { burden, .. } => {
-                let factor = if opts.use_burden { burden.factor(opts.cpus) } else { 1.0 };
+                let factor = if opts.use_burden {
+                    burden.factor(opts.cpus)
+                } else {
+                    1.0
+                };
                 // Top-level sections start with every CPU synchronised.
                 for t in st.cpu_time.iter_mut() {
                     *t = now;
                 }
-                let end = emulate_section(&mut st, child, 0, now, factor);
+                #[cfg(feature = "obs")]
+                obs_section_span(st, true, sections.len(), now);
+                let end = emulate_section(st, child, 0, now, factor);
+                #[cfg(feature = "obs")]
+                obs_section_span(st, false, sections.len(), end);
                 sections.push((tree.node(child).length, end - now));
                 now = end;
             }
             NodeKind::Pipe { burden, .. } => {
-                let factor = if opts.use_burden { burden.factor(opts.cpus) } else { 1.0 };
+                let factor = if opts.use_burden {
+                    burden.factor(opts.cpus)
+                } else {
+                    1.0
+                };
                 for t in st.cpu_time.iter_mut() {
                     *t = now;
                 }
+                #[cfg(feature = "obs")]
+                obs_section_span(st, true, sections.len(), now);
                 let end = if opts.model_pipelines {
-                    emulate_pipe(&mut st, child, now, factor)
+                    emulate_pipe(st, child, now, factor)
                 } else {
                     // Tool without pipeline support: serial execution.
                     now + scale(tree.node(child).length, factor)
                 };
+                #[cfg(feature = "obs")]
+                obs_section_span(st, false, sections.len(), end);
                 sections.push((tree.node(child).length, end - now));
                 now = end;
             }
@@ -163,13 +246,7 @@ pub fn predict(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
 
 /// Emulate one section hosted by `host`, starting at `start`. Returns the
 /// section end time (after the implicit barrier and join overhead).
-fn emulate_section(
-    st: &mut FfState<'_>,
-    sec: NodeId,
-    host: usize,
-    start: u64,
-    burden: f64,
-) -> u64 {
+fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, burden: f64) -> u64 {
     let n = st.cpu_time.len();
     let tasks: Vec<NodeId> = expanded_children(st.tree, sec).collect();
     if tasks.is_empty() {
@@ -196,9 +273,8 @@ fn emulate_section(
         .collect();
 
     // Priority heap serialising the competing CPUs (paper §IV-C).
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
-        .map(|i| Reverse((runs[i].time, i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n).map(|i| Reverse((runs[i].time, i))).collect();
 
     let mut section_end = body_start;
     while let Some(Reverse((t, i))) = heap.pop() {
@@ -209,14 +285,30 @@ fn emulate_section(
             }
             continue;
         }
+        obs_at!(
+            st,
+            t,
+            EmuHeapPop {
+                cpu: runs[i].cpu as u32
+            }
+        );
         // Need a task op to execute?
         if runs[i].ops.is_empty() {
             if runs[i].pending.is_empty() {
                 match dispenser.next_chunk(runs[i].rank) {
                     Some((s, e)) => {
                         runs[i].time += st.opts.overheads.dispatch_for(&st.opts.schedule);
-                        for k in s..e {
-                            runs[i].pending.push_back(tasks[k]);
+                        obs_at!(
+                            st,
+                            runs[i].time,
+                            ChunkDispatch {
+                                worker: runs[i].rank,
+                                lo: s as u32,
+                                hi: e as u32
+                            }
+                        );
+                        for t in &tasks[s..e] {
+                            runs[i].pending.push_back(*t);
                         }
                     }
                     None => {
@@ -248,13 +340,36 @@ fn emulate_section(
             NodeKind::L { lock } => {
                 let free = st.lock_free.get(lock).copied().unwrap_or(0);
                 let contended = free > runs[i].time;
-                let mut acquired =
-                    runs[i].time.max(free) + st.opts.overheads.lock_acquire;
+                let mut acquired = runs[i].time.max(free) + st.opts.overheads.lock_acquire;
                 if contended {
                     acquired += st.opts.contended_lock_penalty;
+                    obs_at!(
+                        st,
+                        runs[i].time,
+                        LockWait {
+                            lock: *lock,
+                            thread: runs[i].cpu as u32
+                        }
+                    );
                 }
                 let released =
                     acquired + scale(node.length, burden) + st.opts.overheads.lock_release;
+                obs_at!(
+                    st,
+                    acquired,
+                    LockAcquire {
+                        lock: *lock,
+                        thread: runs[i].cpu as u32
+                    }
+                );
+                obs_at!(
+                    st,
+                    released,
+                    LockRelease {
+                        lock: *lock,
+                        thread: runs[i].cpu as u32
+                    }
+                );
                 st.lock_free.insert(*lock, released);
                 runs[i].time = released;
             }
@@ -545,11 +660,16 @@ mod tests {
 
     #[test]
     fn speedup_never_exceeds_cpus_without_superlinearity() {
-        let iters: Vec<(u64, u64, u64)> =
-            (0..40).map(|i| (100 + (i * 97) % 900, (i % 3) * 50, 50)).collect();
+        let iters: Vec<(u64, u64, u64)> = (0..40)
+            .map(|i| (100 + (i * 97) % 900, (i % 3) * 50, 50))
+            .collect();
         let tree = lock_loop(&iters);
         for cpus in [2u32, 4, 8] {
-            for sched in [Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()] {
+            for sched in [
+                Schedule::static1(),
+                Schedule::static_block(),
+                Schedule::dynamic1(),
+            ] {
                 let p = predict(&tree, zero_opts(cpus, sched));
                 assert!(p.speedup <= cpus as f64 + 1e-9);
                 assert!(p.speedup >= 1.0 - 1e-9);

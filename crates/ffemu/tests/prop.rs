@@ -22,7 +22,11 @@ fn loop_strategy() -> impl Strategy<Value = LoopSpec> {
         0u8..4,
         1u32..20_000,
     )
-        .prop_map(|(lens, lock_every, lock_len)| LoopSpec { lens, lock_every, lock_len })
+        .prop_map(|(lens, lock_every, lock_len)| LoopSpec {
+            lens,
+            lock_every,
+            lock_len,
+        })
 }
 
 fn build(specs: &[LoopSpec], serial: u32) -> ProgramTree {

@@ -51,9 +51,11 @@ pub mod trace;
 pub use config::MachineConfig;
 pub use machine::{Machine, RunError};
 pub use mem::MemSolver;
-pub use prog::{POp, ParSection, ParallelProgram, Paradigm, PipeItem, PipeSection, Schedule, TaskBody};
+pub use prog::{
+    POp, ParSection, Paradigm, ParallelProgram, PipeItem, PipeSection, Schedule, TaskBody,
+};
 pub use script::{ScriptBody, ScriptOp};
 pub use stats::RunStats;
 pub use sync::{BarrierId, SimLockId};
-pub use trace::{Span, Timeline};
 pub use thread::{Action, Env, ThreadBody, ThreadId, WorkPacket};
+pub use trace::{Span, Timeline};

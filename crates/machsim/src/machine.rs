@@ -9,6 +9,24 @@ use crate::stats::{RunStats, ThreadStats};
 use crate::sync::{BarrierId, BarrierState, LockState, ParkState, SimLockId};
 use crate::thread::{Action, Env, ThreadBody, ThreadId};
 
+/// Record an event on the machine's attached recorder, timestamped with
+/// the current virtual time. Expands to nothing without the `obs`
+/// feature, so call sites carry zero cost in untraced builds.
+#[cfg(feature = "obs")]
+macro_rules! obs {
+    ($m:expr, $($kind:tt)+) => {
+        if let Some(h) = $m.obs.as_ref() {
+            let t = $m.now;
+            h.record(t, prophet_obs::EventKind::$($kind)+);
+        }
+    };
+}
+
+#[cfg(not(feature = "obs"))]
+macro_rules! obs {
+    ($m:expr, $($kind:tt)+) => {};
+}
+
 /// Errors terminating a run abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
@@ -31,10 +49,18 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Deadlock { at, blocked } => {
-                write!(f, "deadlock at cycle {at}: {} thread(s) blocked forever", blocked.len())
+                write!(
+                    f,
+                    "deadlock at cycle {at}: {} thread(s) blocked forever",
+                    blocked.len()
+                )
             }
             RunError::RunawayThread { thread } => {
-                write!(f, "thread {:?} performed too many zero-time actions", thread)
+                write!(
+                    f,
+                    "thread {:?} performed too many zero-time actions",
+                    thread
+                )
             }
         }
     }
@@ -120,6 +146,9 @@ pub struct Machine {
     pending_cs: Vec<u64>,
     /// Execution timeline, recorded when tracing is enabled.
     trace: Option<crate::trace::Timeline>,
+    /// Structured event recorder, when attached.
+    #[cfg(feature = "obs")]
+    obs: Option<prophet_obs::ObsHandle>,
 }
 
 impl Machine {
@@ -142,8 +171,24 @@ impl Machine {
             rates_dirty: false,
             pending_cs: vec![0; cfg.cores as usize],
             trace: None,
+            #[cfg(feature = "obs")]
+            obs: None,
             cfg,
         }
+    }
+
+    /// Attach a structured-event recorder; every scheduler, lock,
+    /// barrier and DRAM-rate transition is recorded against it from now
+    /// on. Clone the handle to share the same recorder with runtimes.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, obs: prophet_obs::ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached recorder, if any.
+    #[cfg(feature = "obs")]
+    pub fn obs_handle(&self) -> Option<prophet_obs::ObsHandle> {
+        self.obs.clone()
     }
 
     /// Record per-core execution spans for this run (see
@@ -176,13 +221,17 @@ impl Machine {
             state: TState::Ready,
             packet: None,
             park: ParkState::default(),
-            stats: ThreadStats { spawned_at: self.now, ..Default::default() },
+            stats: ThreadStats {
+                spawned_at: self.now,
+                ..Default::default()
+            },
             dram_carry: 0.0,
         });
         self.ready.push_back(id);
         self.live_threads += 1;
         self.peak_live = self.peak_live.max(self.live_threads);
         self.stats.threads_spawned += 1;
+        obs!(self, ThreadSpawn { thread: id.0 });
         id
     }
 
@@ -211,9 +260,11 @@ impl Machine {
         let elapsed = (t - self.now) as f64;
         if elapsed > 0.0 {
             for core in 0..self.cores.len() {
-                let Some(tid) = self.cores[core].running else { continue };
+                let Some(tid) = self.cores[core].running else {
+                    continue;
+                };
                 let slot = &mut self.threads[tid.0 as usize];
-                slot.stats.busy_cycles += (t - self.now).min(u64::MAX);
+                slot.stats.busy_cycles += t - self.now;
                 if let Some(p) = slot.packet.as_mut() {
                     let progress = elapsed / p.stretch;
                     let before = p.remaining;
@@ -222,8 +273,7 @@ impl Machine {
                     // the fractional remainder so totals stay exact.
                     if p.m > 0.0 && p.baseline_total > 0.0 {
                         let frac = (before - p.remaining) / p.baseline_total;
-                        let exact =
-                            frac * p.m * self.cfg.line_bytes as f64 + slot.dram_carry;
+                        let exact = frac * p.m * self.cfg.line_bytes as f64 + slot.dram_carry;
                         let bytes = exact.floor() as u64;
                         slot.dram_carry = exact - bytes as f64;
                         slot.stats.dram_bytes += bytes;
@@ -231,8 +281,8 @@ impl Machine {
                     }
                 }
             }
-            self.stats.busy_cycles += (t - self.now)
-                * self.cores.iter().filter(|c| c.running.is_some()).count() as u64;
+            self.stats.busy_cycles +=
+                (t - self.now) * self.cores.iter().filter(|c| c.running.is_some()).count() as u64;
         }
         self.now = t;
     }
@@ -247,9 +297,20 @@ impl Machine {
             .filter_map(|tid| self.threads[tid.0 as usize].packet.map(|p| (p.c, p.m)))
             .collect();
         let omega = self.solver.solve(&segs);
+        obs!(
+            self,
+            DramRate {
+                active: segs.iter().filter(|&&(_, m)| m > 0.0).count() as u32,
+                omega_milli: (omega * 1000.0).round() as u64,
+            }
+        );
         for core in 0..self.cores.len() {
-            let Some(tid) = self.cores[core].running else { continue };
-            let Some(p) = self.threads[tid.0 as usize].packet.as_mut() else { continue };
+            let Some(tid) = self.cores[core].running else {
+                continue;
+            };
+            let Some(p) = self.threads[tid.0 as usize].packet.as_mut() else {
+                continue;
+            };
             p.stretch = self.solver.stretch(p.c, p.m, omega);
             let eta = (p.remaining * p.stretch).ceil().max(0.0) as u64;
             self.cores[core].rate_gen += 1;
@@ -262,15 +323,13 @@ impl Machine {
 
     /// Fill idle cores from the ready queue, driving each dispatched thread.
     fn dispatch_all(&mut self) -> Result<(), RunError> {
-        loop {
-            let Some(core) = self.cores.iter().position(|c| c.running.is_none()) else {
+        while let Some(core) = self.cores.iter().position(|c| c.running.is_none()) {
+            let Some(tid) = self.ready.pop_front() else {
                 break;
             };
-            let Some(tid) = self.ready.pop_front() else { break };
             debug_assert_eq!(self.threads[tid.0 as usize].state, TState::Ready);
             // Charge a context switch when the core last ran someone else.
-            if self.cores[core].last_thread != Some(tid) && self.cores[core].last_thread.is_some()
-            {
+            if self.cores[core].last_thread != Some(tid) && self.cores[core].last_thread.is_some() {
                 self.stats.context_switches += 1;
                 self.pending_cs[core] = self.cfg.context_switch_cycles;
             }
@@ -279,12 +338,22 @@ impl Machine {
             self.cores[core].running_since = self.now;
             self.cores[core].run_gen += 1;
             self.threads[tid.0 as usize].state = TState::Running(core);
+            obs!(
+                self,
+                ThreadDispatch {
+                    core: core as u32,
+                    thread: tid.0
+                }
+            );
             // Resuming a preempted packet?
             if self.threads[tid.0 as usize].packet.is_some() {
                 // Fold the context-switch cost into the resumed packet.
                 let cs = std::mem::take(&mut self.pending_cs[core]) as f64;
                 if cs > 0.0 {
-                    let p = self.threads[tid.0 as usize].packet.as_mut().expect("checked");
+                    let p = self.threads[tid.0 as usize]
+                        .packet
+                        .as_mut()
+                        .expect("checked");
                     p.c += cs;
                     p.remaining += cs;
                     p.baseline_total += cs;
@@ -343,29 +412,74 @@ impl Machine {
                 }
                 Action::Acquire(l) => {
                     if self.locks[l.0 as usize].acquire(tid) {
+                        obs!(
+                            self,
+                            LockAcquire {
+                                lock: l.0,
+                                thread: tid.0
+                            }
+                        );
                         continue;
                     }
+                    obs!(
+                        self,
+                        LockWait {
+                            lock: l.0,
+                            thread: tid.0
+                        }
+                    );
                     self.block(tid, core);
                     return Ok(());
                 }
                 Action::Release(l) => {
+                    obs!(
+                        self,
+                        LockRelease {
+                            lock: l.0,
+                            thread: tid.0
+                        }
+                    );
                     if let Some(next) = self.locks[l.0 as usize].release(tid) {
+                        // FIFO hand-off: ownership transfers at release.
+                        obs!(
+                            self,
+                            LockAcquire {
+                                lock: l.0,
+                                thread: next.0
+                            }
+                        );
                         self.make_ready(next);
                     }
                     continue;
                 }
-                Action::Barrier(b) => match self.barriers[b.0 as usize].arrive(tid) {
-                    Some(woken) => {
-                        for w in woken {
-                            self.make_ready(w);
+                Action::Barrier(b) => {
+                    obs!(
+                        self,
+                        BarrierEnter {
+                            barrier: b.0,
+                            thread: tid.0
                         }
-                        continue;
+                    );
+                    match self.barriers[b.0 as usize].arrive(tid) {
+                        Some(woken) => {
+                            obs!(
+                                self,
+                                BarrierRelease {
+                                    barrier: b.0,
+                                    woken: woken.len() as u32,
+                                }
+                            );
+                            for w in woken {
+                                self.make_ready(w);
+                            }
+                            continue;
+                        }
+                        None => {
+                            self.block(tid, core);
+                            return Ok(());
+                        }
                     }
-                    None => {
-                        self.block(tid, core);
-                        return Ok(());
-                    }
-                },
+                }
                 Action::Park => {
                     let park = &mut self.threads[tid.0 as usize].park;
                     if park.permit {
@@ -377,12 +491,26 @@ impl Machine {
                     return Ok(());
                 }
                 Action::Yield => {
+                    obs!(
+                        self,
+                        ThreadYield {
+                            core: core as u32,
+                            thread: tid.0
+                        }
+                    );
                     self.threads[tid.0 as usize].state = TState::Ready;
                     self.ready.push_back(tid);
                     self.free_core(core);
                     return Ok(());
                 }
                 Action::Exit => {
+                    obs!(
+                        self,
+                        ThreadExit {
+                            core: core as u32,
+                            thread: tid.0
+                        }
+                    );
                     let slot = &mut self.threads[tid.0 as usize];
                     slot.state = TState::Done;
                     slot.body = None;
@@ -396,6 +524,13 @@ impl Machine {
     }
 
     fn block(&mut self, tid: ThreadId, core: usize) {
+        obs!(
+            self,
+            ThreadBlock {
+                core: core as u32,
+                thread: tid.0
+            }
+        );
         self.threads[tid.0 as usize].state = TState::Blocked;
         self.free_core(core);
     }
@@ -414,7 +549,11 @@ impl Machine {
 
     fn make_ready(&mut self, tid: ThreadId) {
         let slot = &mut self.threads[tid.0 as usize];
-        debug_assert_eq!(slot.state, TState::Blocked, "make_ready on non-blocked thread");
+        debug_assert_eq!(
+            slot.state,
+            TState::Blocked,
+            "make_ready on non-blocked thread"
+        );
         slot.state = TState::Ready;
         self.ready.push_back(tid);
     }
@@ -440,7 +579,7 @@ impl Machine {
                     let tid = self.cores[core].running.expect("completion on idle core");
                     let slot = &mut self.threads[tid.0 as usize];
                     debug_assert!(
-                        slot.packet.map_or(false, |p| p.remaining <= 1.0),
+                        slot.packet.is_some_and(|p| p.remaining <= 1.0),
                         "completion fired with work remaining"
                     );
                     slot.packet = None;
@@ -454,6 +593,13 @@ impl Machine {
                         self.arm_quantum(core);
                     } else {
                         self.stats.preemptions += 1;
+                        obs!(
+                            self,
+                            ThreadPreempt {
+                                core: core as u32,
+                                thread: tid.0
+                            }
+                        );
                         self.threads[tid.0 as usize].state = TState::Ready;
                         self.ready.push_back(tid);
                         self.free_core(core);
@@ -474,7 +620,10 @@ impl Machine {
                 .filter(|(_, s)| !matches!(s.state, TState::Done))
                 .map(|(i, _)| ThreadId(i as u32))
                 .collect();
-            return Err(RunError::Deadlock { at: self.now, blocked });
+            return Err(RunError::Deadlock {
+                at: self.now,
+                blocked,
+            });
         }
 
         self.stats.elapsed_cycles = self.now;
@@ -510,6 +659,7 @@ impl Env for MachineEnv<'_> {
         let slot = &mut self.m.threads[thread.0 as usize];
         if slot.park.parked {
             slot.park.parked = false;
+            obs!(self.m, ThreadUnpark { thread: thread.0 });
             self.m.make_ready(thread);
         } else {
             slot.park.permit = true;
@@ -526,5 +676,10 @@ impl Env for MachineEnv<'_> {
 
     fn cores(&self) -> u32 {
         self.m.cfg.cores
+    }
+
+    #[cfg(feature = "obs")]
+    fn obs(&self) -> Option<prophet_obs::ObsHandle> {
+        self.m.obs.clone()
     }
 }

@@ -175,7 +175,10 @@ mod tests {
             assert!(omega >= prev - 1e-9, "not monotone at n={n}");
             prev = omega;
         }
-        assert!(prev > 60.0 * 2.0, "12 hungry threads should be heavily contended: {prev}");
+        assert!(
+            prev > 60.0 * 2.0,
+            "12 hungry threads should be heavily contended: {prev}"
+        );
     }
 
     #[test]
@@ -213,7 +216,7 @@ mod tests {
     fn stretch_scales_with_memory_share() {
         let s = solver();
         let omega = 120.0; // doubled stall
-        // All-memory segment: stretch = 2.
+                           // All-memory segment: stretch = 2.
         assert!((s.stretch(0.0, 100.0, omega) - 2.0).abs() < 1e-12);
         // Half-memory segment stretches less.
         let f = s.stretch(6000.0, 100.0, omega);

@@ -144,7 +144,12 @@ pub struct ParSection {
 impl ParSection {
     /// A section with default policy over the given tasks.
     pub fn new(tasks: Vec<Rc<TaskBody>>) -> Self {
-        ParSection { tasks, schedule: Schedule::static_block(), nowait: false, team: None }
+        ParSection {
+            tasks,
+            schedule: Schedule::static_block(),
+            nowait: false,
+            team: None,
+        }
     }
 }
 
@@ -164,9 +169,7 @@ impl ParallelProgram {
                 .map(|op| match op {
                     POp::Work(p) => p.baseline_cycles(omega0),
                     POp::Locked { work, .. } => work.baseline_cycles(omega0),
-                    POp::Par(sec) => {
-                        sec.tasks.iter().map(|t| ops_total(&t.ops, omega0)).sum()
-                    }
+                    POp::Par(sec) => sec.tasks.iter().map(|t| ops_total(&t.ops, omega0)).sum(),
                     POp::Pipe(pipe) => pipe
                         .items
                         .iter()
@@ -217,7 +220,10 @@ mod tests {
         let task = Rc::new(TaskBody {
             ops: vec![
                 POp::Work(WorkPacket::cpu(100)),
-                POp::Locked { lock: 0, work: WorkPacket::cpu(50) },
+                POp::Locked {
+                    lock: 0,
+                    work: WorkPacket::cpu(50),
+                },
             ],
         });
         let prog = ParallelProgram {

@@ -61,6 +61,32 @@ impl RunStats {
             self.dram_bytes as f64 / self.elapsed_cycles as f64
         }
     }
+
+    /// Average core utilisation as a percentage over `cores`
+    /// (`utilization × 100`).
+    pub fn utilization_percent(&self, cores: u32) -> f64 {
+        self.utilization(cores) * 100.0
+    }
+
+    /// Fraction of lock acquisitions that had to wait, in `[0, 1]`.
+    /// Zero when no locks were taken.
+    pub fn lock_contention_ratio(&self) -> f64 {
+        if self.lock_acquisitions == 0 {
+            0.0
+        } else {
+            self.lock_contended as f64 / self.lock_acquisitions as f64
+        }
+    }
+
+    /// Context switches per million simulated cycles. Zero for an
+    /// empty run.
+    pub fn context_switch_rate(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.context_switches as f64 * 1.0e6 / self.elapsed_cycles as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +106,29 @@ mod tests {
         let empty = RunStats::default();
         assert_eq!(empty.utilization(4), 0.0);
         assert_eq!(empty.avg_traffic_bytes_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = RunStats {
+            elapsed_cycles: 2_000_000,
+            busy_cycles: 1_000_000,
+            context_switches: 500,
+            lock_acquisitions: 200,
+            lock_contended: 50,
+            ..Default::default()
+        };
+        assert!((s.utilization_percent(1) - 50.0).abs() < 1e-9);
+        assert!((s.lock_contention_ratio() - 0.25).abs() < 1e-12);
+        // 500 switches over 2M cycles = 250 per million.
+        assert!((s.context_switch_rate() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_rates_empty_run_are_zero() {
+        let empty = RunStats::default();
+        assert_eq!(empty.lock_contention_ratio(), 0.0);
+        assert_eq!(empty.context_switch_rate(), 0.0);
+        assert_eq!(empty.utilization_percent(8), 0.0);
     }
 }

@@ -77,7 +77,10 @@ pub struct BarrierState {
 impl BarrierState {
     /// New barrier for `parties` threads.
     pub fn new(parties: u32) -> Self {
-        BarrierState { parties, waiting: Vec::new() }
+        BarrierState {
+            parties,
+            waiting: Vec::new(),
+        }
     }
 
     /// Thread `t` arrives. Returns `Some(threads_to_wake)` when `t` was the

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::sync::{BarrierId, SimLockId};
 
 /// Identifier of a simulated thread.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ThreadId(pub u32);
 
 /// One preemptible unit of computation: a pure-CPU part plus an LLC-miss
@@ -24,12 +22,18 @@ pub struct WorkPacket {
 impl WorkPacket {
     /// A packet with no memory traffic.
     pub fn cpu(cycles: u64) -> Self {
-        WorkPacket { compute_cycles: cycles, llc_misses: 0 }
+        WorkPacket {
+            compute_cycles: cycles,
+            llc_misses: 0,
+        }
     }
 
     /// A packet with both compute cycles and LLC misses.
     pub fn new(compute_cycles: u64, llc_misses: u64) -> Self {
-        WorkPacket { compute_cycles, llc_misses }
+        WorkPacket {
+            compute_cycles,
+            llc_misses,
+        }
     }
 
     /// True when the packet performs no work at all.
@@ -87,6 +91,13 @@ pub trait Env {
     /// Number of cores on the machine (runtimes size their worker pools
     /// from this).
     fn cores(&self) -> u32;
+    /// The machine's structured-event recorder, when one is attached.
+    /// Runtimes use it to record their own events (chunk dispatches,
+    /// steals, region spans) on the shared virtual clock.
+    #[cfg(feature = "obs")]
+    fn obs(&self) -> Option<prophet_obs::ObsHandle> {
+        None
+    }
 }
 
 /// A simulated thread's program, written as a resumable state machine.

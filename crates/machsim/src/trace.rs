@@ -30,7 +30,12 @@ impl Timeline {
     /// Record a span (ignores zero-length spans).
     pub fn push(&mut self, core: u32, thread: ThreadId, start: u64, end: u64) {
         if end > start {
-            self.spans.push(Span { core, thread, start, end });
+            self.spans.push(Span {
+                core,
+                thread,
+                start,
+                end,
+            });
         }
     }
 
@@ -41,7 +46,11 @@ impl Timeline {
 
     /// Total busy cycles per thread.
     pub fn busy_of(&self, thread: ThreadId) -> u64 {
-        self.spans.iter().filter(|s| s.thread == thread).map(|s| s.end - s.start).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.thread == thread)
+            .map(|s| s.end - s.start)
+            .sum()
     }
 
     /// Render an ASCII Gantt chart, one row per core, `width` characters
@@ -60,8 +69,8 @@ impl Timeline {
             let mut row = vec!['.'; width];
             for s in self.spans.iter().filter(|s| s.core == core) {
                 let a = (s.start as u128 * width as u128 / horizon as u128) as usize;
-                let b = ((s.end as u128 * width as u128).div_ceil(horizon as u128) as usize)
-                    .min(width);
+                let b =
+                    ((s.end as u128 * width as u128).div_ceil(horizon as u128) as usize).min(width);
                 for cell in row.iter_mut().take(b).skip(a) {
                     *cell = glyph(s.thread);
                 }

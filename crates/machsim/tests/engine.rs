@@ -1,9 +1,7 @@
 //! End-to-end tests of the machine engine: scheduling, preemption,
 //! synchronisation, and memory contention.
 
-use machsim::{
-    Machine, MachineConfig, ScriptBody, ScriptOp, ThreadId, WorkPacket,
-};
+use machsim::{Machine, MachineConfig, ScriptBody, ScriptOp, ThreadId, WorkPacket};
 
 fn cpu(n: u64) -> ScriptOp {
     ScriptOp::Compute(WorkPacket::cpu(n))
@@ -120,7 +118,11 @@ fn barrier_joins_threads() {
     let b = m.create_barrier(3);
     // Unequal phases before the barrier; equal after.
     for len in [1_000u64, 2_000, 3_000] {
-        m.spawn(ScriptBody::new(vec![cpu(len), ScriptOp::Barrier(b), cpu(500)]));
+        m.spawn(ScriptBody::new(vec![
+            cpu(len),
+            ScriptOp::Barrier(b),
+            cpu(500),
+        ]));
     }
     let s = m.run().unwrap();
     // Barrier at 3000 (slowest), then 500 more.
@@ -132,7 +134,10 @@ fn park_unpark_handshake() {
     let mut m = Machine::new(MachineConfig::small(2));
     // Thread 0 parks; thread 1 computes then unparks 0.
     m.spawn(ScriptBody::new(vec![ScriptOp::Park, cpu(100)]));
-    m.spawn(ScriptBody::new(vec![cpu(2_000), ScriptOp::Unpark(ThreadId(0))]));
+    m.spawn(ScriptBody::new(vec![
+        cpu(2_000),
+        ScriptOp::Unpark(ThreadId(0)),
+    ]));
     let s = m.run().unwrap();
     assert_eq!(s.elapsed_cycles, 2_100);
 }
@@ -190,7 +195,10 @@ fn memory_contention_stretches_makespan() {
     }
     let t8 = m8.run().unwrap().elapsed_cycles;
     let ratio = t8 as f64 / t1 as f64;
-    assert!((1.9..2.1).contains(&ratio), "expected ~2x stretch, got {ratio}");
+    assert!(
+        (1.9..2.1).contains(&ratio),
+        "expected ~2x stretch, got {ratio}"
+    );
 }
 
 #[test]
@@ -200,8 +208,12 @@ fn cpu_threads_unaffected_by_memory_contention() {
     cfg.queue_kappa = 0.0;
     let mut m = Machine::new(cfg);
     // Two hungry memory threads + one pure-CPU thread.
-    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(0, 10_000))]));
-    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(0, 10_000))]));
+    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(
+        0, 10_000,
+    ))]));
+    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(
+        0, 10_000,
+    ))]));
     m.spawn(ScriptBody::new(vec![cpu(50_000)]));
     let s = m.run().unwrap();
     // The CPU thread finishes exactly on time.
@@ -213,7 +225,9 @@ fn dram_bytes_accounted() {
     let mut cfg = MachineConfig::small(1);
     cfg.line_bytes = 64;
     let mut m = Machine::new(cfg);
-    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(1_000, 100))]));
+    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(
+        1_000, 100,
+    ))]));
     let s = m.run().unwrap();
     assert_eq!(s.dram_bytes, 6_400);
     assert_eq!(s.threads[0].dram_bytes, 6_400);
@@ -279,7 +293,10 @@ fn spawn_from_running_thread() {
     }
 
     let mut m = Machine::new(MachineConfig::small(4));
-    m.spawn(Parent { phase: 0, barrier: None });
+    m.spawn(Parent {
+        phase: 0,
+        barrier: None,
+    });
     let s = m.run().unwrap();
     assert_eq!(s.threads_spawned, 3);
     assert_eq!(s.elapsed_cycles, 1_000);
@@ -290,7 +307,9 @@ fn mixed_compute_and_memory_baseline_duration() {
     // C=1000, M=100, ω0=60 → baseline 7000 cycles when alone.
     let cfg = MachineConfig::small(1);
     let mut m = Machine::new(cfg);
-    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(1_000, 100))]));
+    m.spawn(ScriptBody::new(vec![ScriptOp::Compute(WorkPacket::new(
+        1_000, 100,
+    ))]));
     let s = m.run().unwrap();
     assert_eq!(s.elapsed_cycles, 7_000);
 }

@@ -12,8 +12,7 @@ struct ThreadScript {
 }
 
 fn script_strategy() -> impl Strategy<Value = ThreadScript> {
-    proptest::collection::vec((0u8..4, 1u32..20_000), 1..8)
-        .prop_map(|ops| ThreadScript { ops })
+    proptest::collection::vec((0u8..4, 1u32..20_000), 1..8).prop_map(|ops| ThreadScript { ops })
 }
 
 /// Materialise a thread script against a fixed pair of locks. Lock ops

@@ -166,13 +166,22 @@ mod tests {
             assert!(b >= 1.0);
             prev = b;
         }
-        assert!(prev > 1.1, "12-thread burden should be material, got {prev}");
+        assert!(
+            prev > 1.1,
+            "12-thread burden should be material, got {prev}"
+        );
     }
 
     #[test]
     fn compute_bound_sections_never_burdened() {
         let cal = cal();
-        let i = BurdenInputs { n: 1e8, t: 8e7, d: 100.0, mpi: 1e-6, delta_mbps: 10.0 };
+        let i = BurdenInputs {
+            n: 1e8,
+            t: 8e7,
+            d: 100.0,
+            mpi: 1e-6,
+            delta_mbps: 10.0,
+        };
         for t in [2u32, 12] {
             assert_eq!(section_burden(&cal, &i, t), 1.0);
         }

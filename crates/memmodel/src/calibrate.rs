@@ -124,11 +124,7 @@ fn generator_packet(cycles: u64, phi: f64, omega0: f64) -> WorkPacket {
 
 /// Run `threads` identical generators and return (per-thread traffic MB/s,
 /// effective ω).
-fn run_generators(
-    cfg: &MachineConfig,
-    threads: u32,
-    packet: WorkPacket,
-) -> (f64, f64) {
+fn run_generators(cfg: &MachineConfig, threads: u32, packet: WorkPacket) -> (f64, f64) {
     let mut m = Machine::new(*cfg);
     for _ in 0..threads {
         m.spawn(ScriptBody::new(vec![ScriptOp::Compute(packet)]));
@@ -200,8 +196,16 @@ pub fn calibrate(cfg: MachineConfig, opts: &CalibrationOptions) -> MemCalibratio
         let xs: Vec<f64> = pts.iter().map(|s| s.delta_serial_mbps).collect();
         let ys: Vec<f64> = pts.iter().map(|s| s.delta_t_mbps * t as f64).collect();
         let linear = t == 2;
-        let fit = if linear { fit_linear(&xs, &ys) } else { fit_log(&xs, &ys) };
-        psi.push(PsiFit { threads: t, linear, fit });
+        let fit = if linear {
+            fit_linear(&xs, &ys)
+        } else {
+            fit_log(&xs, &ys)
+        };
+        psi.push(PsiFit {
+            threads: t,
+            linear,
+            fit,
+        });
     }
 
     // Fit Φ on memory-dominated samples only (the paper's generator makes
@@ -216,7 +220,9 @@ pub fn calibrate(cfg: MachineConfig, opts: &CalibrationOptions) -> MemCalibratio
         .collect();
     let xs: Vec<f64> = pts.iter().map(|s| s.delta_t_mbps).collect();
     let ys: Vec<f64> = pts.iter().map(|s| s.omega_t).collect();
-    let phi = PhiFit { fit: fit_power(&xs, &ys) };
+    let phi = PhiFit {
+        fit: fit_power(&xs, &ys),
+    };
 
     MemCalibration {
         psi,
@@ -246,9 +252,7 @@ impl MemCalibration {
                 let b = hi.delta_t(delta_mbps);
                 (a + (b - a) * w).min(delta_mbps)
             }
-            Err(i) if i == self.psi.len() => {
-                self.psi[i - 1].delta_t(delta_mbps).min(delta_mbps)
-            }
+            Err(i) if i == self.psi.len() => self.psi[i - 1].delta_t(delta_mbps).min(delta_mbps),
             Err(i) => {
                 let lo = &self.psi[i - 1];
                 let hi = &self.psi[i];
@@ -354,7 +358,10 @@ mod tests {
         let d4 = cal.delta_t(delta, 4);
         let d8 = cal.delta_t(delta, 8);
         let d6 = cal.delta_t(delta, 6);
-        assert!(d6 <= d4 + 1e-9 && d6 >= d8 - 1e-9, "d6 {d6} outside [{d8}, {d4}]");
+        assert!(
+            d6 <= d4 + 1e-9 && d6 >= d8 - 1e-9,
+            "d6 {d6} outside [{d8}, {d4}]"
+        );
     }
 
     #[test]

@@ -24,13 +24,25 @@ fn linreg(xs: &[f64], ys: &[f64]) -> Fit {
     let sxx: f64 = xs.iter().map(|x| x * x).sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
     let denom = n * sxx - sx * sx;
-    let a = if denom.abs() < 1e-12 { 0.0 } else { (n * sxy - sx * sy) / denom };
+    let a = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
     let b = (sy - a * sx) / n;
     // R².
     let mean_y = sy / n;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a * x + b)).powi(2)).sum();
-    let r2 = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (a * x + b)).powi(2))
+        .sum();
+    let r2 = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Fit { a, b, r2 }
 }
 
@@ -51,7 +63,11 @@ pub fn fit_power(xs: &[f64], ys: &[f64]) -> Fit {
     let ly: Vec<f64> = ys.iter().map(|&y| y.max(1e-12).ln()).collect();
     let f = linreg(&lx, &ly);
     // ln y = b_exp·ln x + ln a  →  a = e^intercept, b = slope.
-    Fit { a: f.b.exp(), b: f.a, r2: f.r2 }
+    Fit {
+        a: f.b.exp(),
+        b: f.a,
+        r2: f.r2,
+    }
 }
 
 /// Evaluate a linear fit.

@@ -29,6 +29,10 @@ pub mod fit;
 pub mod superlinear;
 
 pub use burden::{apply_burden, classify_traffic, section_burden, BurdenInputs, TrafficClass};
-pub use calibrate::{calibrate, CalibrationOptions, CalibrationSample, MemCalibration, PhiFit, PsiFit};
+pub use calibrate::{
+    calibrate, CalibrationOptions, CalibrationSample, MemCalibration, PhiFit, PsiFit,
+};
 pub use fit::{fit_linear, fit_log, fit_power, Fit};
-pub use superlinear::{apply_burden_with_trend, miss_retention, mpi_t, section_burden_with_trend, CacheTrend};
+pub use superlinear::{
+    apply_burden_with_trend, miss_retention, mpi_t, section_burden_with_trend, CacheTrend,
+};

@@ -106,7 +106,11 @@ pub fn section_burden_with_trend(
     let mpi_par = mpi_t(inputs, threads, trend, llc_bytes);
     // The contention stall ω_t responds to the *new* traffic level: scale
     // the serial traffic by the miss ratio before asking Ψ/Φ.
-    let traffic_scale = if inputs.mpi > 0.0 { mpi_par / inputs.mpi } else { 1.0 };
+    let traffic_scale = if inputs.mpi > 0.0 {
+        mpi_par / inputs.mpi
+    } else {
+        1.0
+    };
     let omega_t = cal.omega_t(inputs.delta_mbps * traffic_scale, threads);
     let beta = (cpi_cache + mpi_par * omega_t) / (cpi_cache + inputs.mpi * omega);
     if beta.is_finite() {
@@ -137,7 +141,12 @@ pub fn apply_burden_with_trend(
         let inputs = BurdenInputs::from_profile(&profile);
         let entries: Vec<(u32, f64)> = thread_counts
             .iter()
-            .map(|&t| (t, section_burden_with_trend(cal, &inputs, t, trend, llc_bytes)))
+            .map(|&t| {
+                (
+                    t,
+                    section_burden_with_trend(cal, &inputs, t, trend, llc_bytes),
+                )
+            })
             .collect();
         let table = proftree::BurdenTable::from_entries(entries);
         match &mut tree.node_mut(sec).kind {
@@ -215,7 +224,9 @@ mod tests {
         let i = memory_bound(&cal);
         let llc = 1_500_000u64;
         // Footprint 4×LLC: at 8+ threads each share fits → β < 1.
-        let trend = CacheTrend::Shrinks { footprint_bytes: 4 * llc };
+        let trend = CacheTrend::Shrinks {
+            footprint_bytes: 4 * llc,
+        };
         let b8 = section_burden_with_trend(&cal, &i, 8, trend, llc);
         assert!(b8 < 1.0, "expected super-linear bonus, got {b8}");
         assert!(b8 >= 0.4);
@@ -233,7 +244,9 @@ mod tests {
             &cal,
             &i,
             8,
-            CacheTrend::Grows { per_thread_growth: 0.15 },
+            CacheTrend::Grows {
+                per_thread_growth: 0.15,
+            },
             1 << 21,
         );
         assert!(grown > base, "growth {grown} should exceed base {base}");
@@ -242,11 +255,21 @@ mod tests {
     #[test]
     fn compute_bound_sections_unaffected_by_trends() {
         let cal = cal();
-        let i = BurdenInputs { n: 1e8, t: 8e7, d: 10.0, mpi: 1e-7, delta_mbps: 1.0 };
+        let i = BurdenInputs {
+            n: 1e8,
+            t: 8e7,
+            d: 10.0,
+            mpi: 1e-7,
+            delta_mbps: 1.0,
+        };
         for trend in [
             CacheTrend::Unchanged,
-            CacheTrend::Shrinks { footprint_bytes: 1 << 30 },
-            CacheTrend::Grows { per_thread_growth: 0.5 },
+            CacheTrend::Shrinks {
+                footprint_bytes: 1 << 30,
+            },
+            CacheTrend::Grows {
+                per_thread_growth: 0.5,
+            },
         ] {
             assert_eq!(section_burden_with_trend(&cal, &i, 12, trend, 1 << 21), 1.0);
         }
@@ -267,7 +290,9 @@ mod tests {
             &cal,
             &i,
             12,
-            CacheTrend::Shrinks { footprint_bytes: 3 << 20 },
+            CacheTrend::Shrinks {
+                footprint_bytes: 3 << 20,
+            },
             1 << 21,
         );
         assert!(b >= 0.4, "floor violated: {b}");

@@ -1,0 +1,519 @@
+//! Trace exporters: Chrome Trace Event (Perfetto-loadable) JSON, compact
+//! JSONL, and a plain-text timeline summary.
+//!
+//! All three walk the recorder's event stream in insertion order and use
+//! only ordered containers, so same-seed runs export byte-identical
+//! output — the determinism the golden-file tests rely on.
+
+use std::collections::BTreeSet;
+
+use serde::Value;
+
+use crate::metrics::{core_intervals, TraceMetrics};
+use crate::record::{Event, EventKind, Recorder, SpanKind};
+
+/// `pid` used for the simulated-core tracks in Chrome traces.
+pub const PID_CORES: u64 = 0;
+/// `pid` used for the per-thread/worker tracks.
+pub const PID_THREADS: u64 = 1;
+/// `pid` used for the DRAM bandwidth counter track.
+pub const PID_MEMORY: u64 = 2;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+/// Structured fields of an event (identifier-style, labels resolved),
+/// shared between the JSONL dump and the Chrome-trace `args` objects.
+fn kind_fields(rec: &Recorder, kind: &EventKind) -> Vec<(String, Value)> {
+    let u = |v: u32| Value::U64(v as u64);
+    let f = |name: &str, v: Value| (name.to_string(), v);
+    match *kind {
+        EventKind::ThreadSpawn { thread } | EventKind::ThreadUnpark { thread } => {
+            vec![f("thread", u(thread))]
+        }
+        EventKind::ThreadDispatch { core, thread }
+        | EventKind::ThreadPreempt { core, thread }
+        | EventKind::ThreadYield { core, thread }
+        | EventKind::ThreadBlock { core, thread }
+        | EventKind::ThreadExit { core, thread } => {
+            vec![f("core", u(core)), f("thread", u(thread))]
+        }
+        EventKind::LockAcquire { lock, thread }
+        | EventKind::LockWait { lock, thread }
+        | EventKind::LockRelease { lock, thread } => {
+            vec![f("lock", u(lock)), f("thread", u(thread))]
+        }
+        EventKind::BarrierEnter { barrier, thread } => {
+            vec![f("barrier", u(barrier)), f("thread", u(thread))]
+        }
+        EventKind::BarrierRelease { barrier, woken } => {
+            vec![f("barrier", u(barrier)), f("woken", u(woken))]
+        }
+        EventKind::DramRate {
+            active,
+            omega_milli,
+        } => {
+            vec![
+                f("active", u(active)),
+                f("omega_milli", Value::U64(omega_milli)),
+            ]
+        }
+        EventKind::ChunkDispatch { worker, lo, hi } => {
+            vec![f("worker", u(worker)), f("lo", u(lo)), f("hi", u(hi))]
+        }
+        EventKind::StealAttempt {
+            thief,
+            victim,
+            success,
+        } => {
+            vec![
+                f("thief", u(thief)),
+                f("victim", u(victim)),
+                f("success", Value::Bool(success)),
+            ]
+        }
+        EventKind::TaskSpawn { worker } | EventKind::TaskSync { worker } => {
+            vec![f("worker", u(worker))]
+        }
+        EventKind::EmuHeapPop { cpu } => vec![f("cpu", u(cpu))],
+        EventKind::OverheadSubtract { cycles } => vec![f("cycles", Value::U64(cycles))],
+        EventKind::SpanBegin {
+            kind,
+            label,
+            thread,
+        }
+        | EventKind::SpanEnd {
+            kind,
+            label,
+            thread,
+        } => {
+            let mut v = vec![f("span", s(kind.name())), f("label", s(rec.label(label)))];
+            if thread != u32::MAX {
+                v.push(f("thread", u(thread)));
+            }
+            v
+        }
+    }
+}
+
+/// The `tid` an event's instant marker should land on in the thread
+/// process, or `None` for events that aren't per-thread instants.
+fn event_tid(kind: &EventKind) -> Option<u64> {
+    match *kind {
+        EventKind::ThreadSpawn { thread }
+        | EventKind::ThreadUnpark { thread }
+        | EventKind::LockAcquire { thread, .. }
+        | EventKind::LockWait { thread, .. }
+        | EventKind::LockRelease { thread, .. }
+        | EventKind::BarrierEnter { thread, .. } => Some(thread as u64),
+        EventKind::BarrierRelease { .. } => Some(0),
+        EventKind::ChunkDispatch { worker, .. }
+        | EventKind::TaskSpawn { worker }
+        | EventKind::TaskSync { worker } => Some(worker as u64),
+        EventKind::StealAttempt { thief, .. } => Some(thief as u64),
+        EventKind::EmuHeapPop { cpu } => Some(cpu as u64),
+        EventKind::OverheadSubtract { .. } => Some(0),
+        // Scheduler transitions are visible as core spans; DRAM rates
+        // become counter samples; spans become complete events.
+        _ => None,
+    }
+}
+
+/// Export the trace as Chrome Trace Event Format JSON.
+///
+/// Track layout: process [`PID_CORES`] has one track per simulated core
+/// showing which thread occupied it (complete `X` events); process
+/// [`PID_THREADS`] has one track per thread/worker carrying annotation
+/// and runtime spans plus instant markers; process [`PID_MEMORY`] holds
+/// a `dram_active` counter sampled at each rate recomputation. Load the
+/// file in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(rec: &Recorder, cores: u32) -> String {
+    let mut events: Vec<Value> = Vec::new();
+
+    // -- metadata: process and track names ---------------------------------
+    let meta = |pid: u64, tid: u64, what: &str, name: &str| {
+        obj(vec![
+            ("name", s(what)),
+            ("ph", s("M")),
+            ("pid", Value::U64(pid)),
+            ("tid", Value::U64(tid)),
+            ("args", obj(vec![("name", s(name))])),
+        ])
+    };
+    events.push(meta(PID_CORES, 0, "process_name", "cores"));
+    events.push(meta(PID_THREADS, 0, "process_name", "threads"));
+    events.push(meta(PID_MEMORY, 0, "process_name", "memory"));
+
+    let intervals = core_intervals(rec);
+    let ncores = (cores as u64).max(
+        intervals
+            .iter()
+            .map(|iv| iv.core as u64 + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    for c in 0..ncores {
+        events.push(meta(PID_CORES, c, "thread_name", &format!("core {c}")));
+    }
+    let mut tids: BTreeSet<u64> = BTreeSet::new();
+    for ev in rec.events() {
+        if let Some(tid) = event_tid(&ev.kind) {
+            tids.insert(tid);
+        }
+        if let EventKind::SpanBegin { thread, .. } | EventKind::SpanEnd { thread, .. } = ev.kind {
+            if thread != u32::MAX {
+                tids.insert(thread as u64);
+            }
+        }
+    }
+    for &tid in &tids {
+        events.push(meta(
+            PID_THREADS,
+            tid,
+            "thread_name",
+            &format!("thread {tid}"),
+        ));
+    }
+
+    // -- core occupancy: one complete event per busy interval --------------
+    for iv in &intervals {
+        events.push(obj(vec![
+            ("name", s(&format!("T{}", iv.thread))),
+            ("cat", s("core")),
+            ("ph", s("X")),
+            ("ts", Value::U64(iv.start)),
+            ("dur", Value::U64(iv.end - iv.start)),
+            ("pid", Value::U64(PID_CORES)),
+            ("tid", Value::U64(iv.core as u64)),
+            ("args", obj(vec![("thread", Value::U64(iv.thread as u64))])),
+        ]));
+    }
+
+    // -- spans, instants, counters in event order --------------------------
+    // Open span stack per (kind, thread): SpanEnd matches the latest begin.
+    let mut open: Vec<(SpanKind, u32, u32, u64)> = Vec::new(); // (kind, thread, label, start)
+    for ev in rec.events() {
+        match ev.kind {
+            EventKind::SpanBegin {
+                kind,
+                label,
+                thread,
+            } => {
+                open.push((kind, thread, label, ev.t));
+            }
+            EventKind::SpanEnd {
+                kind,
+                label,
+                thread,
+            } => {
+                let found = open
+                    .iter()
+                    .rposition(|&(k, th, l, _)| k == kind && th == thread && l == label);
+                if let Some(i) = found {
+                    let (_, _, _, start) = open.remove(i);
+                    let tid = if thread == u32::MAX { 0 } else { thread as u64 };
+                    events.push(obj(vec![
+                        ("name", s(rec.label(label))),
+                        ("cat", s(kind.name())),
+                        ("ph", s("X")),
+                        ("ts", Value::U64(start)),
+                        ("dur", Value::U64(ev.t - start)),
+                        ("pid", Value::U64(PID_THREADS)),
+                        ("tid", Value::U64(tid)),
+                        ("args", obj(vec![("span", s(kind.name()))])),
+                    ]));
+                }
+            }
+            EventKind::DramRate {
+                active,
+                omega_milli,
+            } => {
+                events.push(obj(vec![
+                    ("name", s("dram_active")),
+                    ("ph", s("C")),
+                    ("ts", Value::U64(ev.t)),
+                    ("pid", Value::U64(PID_MEMORY)),
+                    ("tid", Value::U64(0)),
+                    ("args", obj(vec![("active", Value::U64(active as u64))])),
+                ]));
+                events.push(obj(vec![
+                    ("name", s("omega_milli")),
+                    ("ph", s("C")),
+                    ("ts", Value::U64(ev.t)),
+                    ("pid", Value::U64(PID_MEMORY)),
+                    ("tid", Value::U64(0)),
+                    ("args", obj(vec![("omega_milli", Value::U64(omega_milli))])),
+                ]));
+            }
+            _ => {
+                if let Some(tid) = event_tid(&ev.kind) {
+                    events.push(obj(vec![
+                        ("name", s(ev.kind.name())),
+                        ("cat", s("event")),
+                        ("ph", s("i")),
+                        ("ts", Value::U64(ev.t)),
+                        ("pid", Value::U64(PID_THREADS)),
+                        ("tid", Value::U64(tid)),
+                        ("s", s("t")),
+                        ("args", Value::Object(kind_fields(rec, &ev.kind))),
+                    ]));
+                }
+            }
+        }
+    }
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![
+                ("generator", s("prophet-obs")),
+                ("clock", s("virtual-cycles")),
+                ("events_recorded", Value::U64(rec.len() as u64)),
+                ("events_dropped", Value::U64(rec.dropped())),
+            ]),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("serialising a Value cannot fail")
+}
+
+fn event_to_value(rec: &Recorder, ev: &Event) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("t".to_string(), Value::U64(ev.t)),
+        ("kind".to_string(), s(ev.kind.name())),
+    ];
+    fields.extend(kind_fields(rec, &ev.kind));
+    Value::Object(fields)
+}
+
+/// Export the trace as JSON Lines: one compact object per event, in
+/// event order, with interned labels resolved. Suited to `grep`/`jq`
+/// pipelines and golden-file diffs.
+pub fn jsonl_dump(rec: &Recorder) -> String {
+    let mut out = String::new();
+    for ev in rec.events() {
+        let line = serde_json::to_string(&event_to_value(rec, ev))
+            .expect("serialising a Value cannot fail");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Render a plain-text summary of the trace: headline numbers, event
+/// counts, a per-core utilisation table, the utilisation timeline, the
+/// most contended locks, and bandwidth occupancy.
+pub fn timeline_summary(rec: &Recorder, cores: u32) -> String {
+    let m = TraceMetrics::from_recorder(rec, cores);
+    let mut out = String::new();
+    out.push_str("== trace summary ==\n");
+    out.push_str(&format!(
+        "events: {} recorded, {} dropped; span: {} cycles on {} cores\n",
+        rec.len(),
+        rec.dropped(),
+        m.elapsed,
+        m.cores
+    ));
+    out.push_str(&format!(
+        "overall core utilization: {:5.1}%\n",
+        m.utilization() * 100.0
+    ));
+
+    out.push_str("\n-- event counts --\n");
+    for (name, count) in m.registry.counters() {
+        if let Some(kind) = name.strip_prefix("events.") {
+            out.push_str(&format!("  {kind:<20} {count:>10}\n"));
+        }
+    }
+
+    out.push_str("\n-- per-core busy --\n");
+    for (c, &busy) in m.core_busy.iter().enumerate() {
+        let frac = if m.elapsed > 0 {
+            busy as f64 / m.elapsed as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  core {c:<3} [{}] {:5.1}%  ({busy} cycles)\n",
+            bar(frac, 40),
+            frac * 100.0
+        ));
+    }
+
+    out.push_str("\n-- utilization timeline (cores busy over virtual time) --\n  [");
+    for &u in &m.utilization_timeline {
+        let glyph = match (u * 8.0) as u32 {
+            0 => ' ',
+            1 => '.',
+            2 => ':',
+            3 => '-',
+            4 => '=',
+            5 => '+',
+            6 => '*',
+            7 => '%',
+            _ => '#',
+        };
+        out.push(glyph);
+    }
+    out.push_str("]\n");
+
+    let hot = m.hottest_locks();
+    if !hot.is_empty() {
+        out.push_str("\n-- locks by total wait --\n");
+        for (lock, st) in hot.iter().take(5) {
+            let pct = if m.elapsed > 0 {
+                st.total_wait as f64 / m.elapsed as f64 * 100.0
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  lock {lock:<4} acquires {:>7}  waits {:>7}  wait cycles {:>10} ({pct:4.1}% of span)\n",
+                st.acquires, st.waits, st.total_wait
+            ));
+        }
+        if m.lock_wait.count() > 0 {
+            out.push_str(&format!(
+                "  wait distribution: mean {:.0}, p50 {}, p95 {}, max {}\n",
+                m.lock_wait.mean(),
+                m.lock_wait.quantile(0.50),
+                m.lock_wait.quantile(0.95),
+                m.lock_wait.max()
+            ));
+        }
+    }
+
+    if !m.bandwidth.is_empty() {
+        out.push_str(&format!(
+            "\n-- memory --\n  dram rate recomputations: {}, peak concurrently-active packets: {}\n",
+            m.bandwidth.len(),
+            m.peak_dram_active()
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventKind as K, Recorder};
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new();
+        let lbl = r.intern("region0");
+        r.record(0, K::ThreadDispatch { core: 0, thread: 1 });
+        r.record(
+            0,
+            K::SpanBegin {
+                kind: SpanKind::Region,
+                label: lbl,
+                thread: 1,
+            },
+        );
+        r.record(5, K::LockWait { lock: 0, thread: 1 });
+        r.record(9, K::LockAcquire { lock: 0, thread: 1 });
+        r.record(12, K::LockRelease { lock: 0, thread: 1 });
+        r.record(
+            15,
+            K::DramRate {
+                active: 3,
+                omega_milli: 2500,
+            },
+        );
+        r.record(
+            20,
+            K::SpanEnd {
+                kind: SpanKind::Region,
+                label: lbl,
+                thread: 1,
+            },
+        );
+        r.record(20, K::ThreadExit { core: 0, thread: 1 });
+        r
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_tracks() {
+        let r = sample_recorder();
+        let json = chrome_trace_json(&r, 2);
+        let doc = serde_json::from_str(&json).expect("valid JSON");
+        let Value::Object(fields) = &doc else {
+            panic!("object expected")
+        };
+        let events = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents");
+        let Value::Array(events) = events else {
+            panic!("array expected")
+        };
+        // Must contain metadata, an X core span, an X region span, a
+        // counter sample and instant markers.
+        let phases: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                Value::Object(f) => f
+                    .iter()
+                    .find(|(k, _)| k == "ph")
+                    .and_then(|(_, v)| match v {
+                        Value::Str(s) => Some(s.clone()),
+                        _ => None,
+                    }),
+                _ => None,
+            })
+            .collect();
+        for needed in ["M", "X", "C", "i"] {
+            assert!(phases.iter().any(|p| p == needed), "missing phase {needed}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic() {
+        let a = chrome_trace_json(&sample_recorder(), 2);
+        let b = chrome_trace_json(&sample_recorder(), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let r = sample_recorder();
+        let dump = jsonl_dump(&r);
+        assert_eq!(dump.lines().count(), r.len());
+        for line in dump.lines() {
+            serde_json::from_str::<Value>(line).expect("each line is valid JSON");
+        }
+        assert!(dump.contains("\"kind\":\"lock_acquire\""));
+        assert!(dump.contains("\"label\":\"region0\""));
+    }
+
+    #[test]
+    fn summary_mentions_headline_sections() {
+        let r = sample_recorder();
+        let text = timeline_summary(&r, 2);
+        assert!(text.contains("trace summary"));
+        assert!(text.contains("per-core busy"));
+        assert!(text.contains("locks by total wait"));
+        assert!(text.contains("dram rate recomputations"));
+    }
+}

@@ -1,0 +1,620 @@
+//! Metrics registry and trace-derived metrics.
+//!
+//! [`MetricsRegistry`] is a plain name→value store (counters, gauges,
+//! log₂ histograms). [`TraceMetrics`] replays a [`Recorder`]'s event
+//! stream and derives the aggregates the paper's analysis sections care
+//! about: per-core utilisation, lock-wait distribution and per-lock
+//! contention, steal success rate, and the DRAM bandwidth-occupancy
+//! time series. All containers are ordered (`BTreeMap` / `Vec`), so
+//! serialising a registry is deterministic.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::record::{EventKind, Recorder};
+
+/// A log₂-bucketed histogram of `u64` samples (cycle durations).
+///
+/// Bucket `i` holds samples `v` with `bit_len(v) == i`, i.e. bucket 0 is
+/// exactly `0`, bucket 1 is `1`, bucket 2 is `2..=3`, and so on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate p-quantile (`0.0..=1.0`) from bucket midpoints.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Midpoint of bucket i: [2^(i-1), 2^i).
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+
+    /// JSON representation (count/sum/min/max/mean/p50/p95 + buckets).
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".into(), Value::U64(self.count)),
+            ("sum".into(), Value::U64(self.sum)),
+            ("min".into(), Value::U64(self.min())),
+            ("max".into(), Value::U64(self.max)),
+            ("mean".into(), Value::F64(self.mean())),
+            ("p50".into(), Value::U64(self.quantile(0.50))),
+            ("p95".into(), Value::U64(self.quantile(0.95))),
+            (
+                "buckets".into(),
+                Value::Array(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, c)| Value::Array(vec![Value::U64(lo), Value::U64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Name→value metrics store with deterministic iteration order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a counter (created at 0).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Read a gauge (`None` when absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record a sample into a named histogram (created empty).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Read a histogram (`None` when absent).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// JSON representation: `{counters: {...}, gauges: {...}, histograms: {...}}`.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "counters".into(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::U64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Value::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::F64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Value::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One interval during which a thread occupied a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreInterval {
+    /// Core index.
+    pub core: u32,
+    /// Thread that ran.
+    pub thread: u32,
+    /// Interval start (cycles).
+    pub start: u64,
+    /// Interval end (cycles).
+    pub end: u64,
+}
+
+/// Reconstruct per-core busy intervals from the scheduler events.
+///
+/// An interval opens at `ThreadDispatch` and closes at the next
+/// preempt/yield/block/exit on the same core. A still-open interval is
+/// closed at the trace's final timestamp.
+pub fn core_intervals(rec: &Recorder) -> Vec<CoreInterval> {
+    let mut open: BTreeMap<u32, (u32, u64)> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut last_t = 0;
+    for ev in rec.events() {
+        last_t = last_t.max(ev.t);
+        match ev.kind {
+            EventKind::ThreadDispatch { core, thread } => {
+                // A dangling open interval on this core (lost close due to
+                // ring wrap) is closed at the new dispatch.
+                if let Some((th, start)) = open.insert(core, (thread, ev.t)) {
+                    out.push(CoreInterval {
+                        core,
+                        thread: th,
+                        start,
+                        end: ev.t,
+                    });
+                }
+            }
+            EventKind::ThreadPreempt { core, thread }
+            | EventKind::ThreadYield { core, thread }
+            | EventKind::ThreadBlock { core, thread }
+            | EventKind::ThreadExit { core, thread } => {
+                if let Some((th, start)) = open.remove(&core) {
+                    let th = if th == thread { th } else { thread };
+                    out.push(CoreInterval {
+                        core,
+                        thread: th,
+                        start,
+                        end: ev.t,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    for (core, (thread, start)) in open {
+        out.push(CoreInterval {
+            core,
+            thread,
+            start,
+            end: last_t,
+        });
+    }
+    out.sort_by_key(|iv| (iv.start, iv.core, iv.end));
+    out
+}
+
+/// Contention statistics for one lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStat {
+    /// Successful acquisitions.
+    pub acquires: u64,
+    /// Acquisitions that had to wait first.
+    pub waits: u64,
+    /// Total cycles spent waiting across all threads.
+    pub total_wait: u64,
+}
+
+/// Aggregates derived from one recorded run.
+#[derive(Debug, Clone)]
+pub struct TraceMetrics {
+    /// Per-event-kind counts and headline gauges.
+    pub registry: MetricsRegistry,
+    /// Number of cores the run simulated.
+    pub cores: u32,
+    /// Virtual end time of the trace (cycles).
+    pub elapsed: u64,
+    /// Busy cycles per core, indexed by core id.
+    pub core_busy: Vec<u64>,
+    /// Fraction of cores busy per time bucket (at most
+    /// [`TIMELINE_BUCKETS`] buckets spanning `0..elapsed`).
+    pub utilization_timeline: Vec<f64>,
+    /// Distribution of individual lock-wait durations.
+    pub lock_wait: Histogram,
+    /// Per-lock contention, keyed by lock id.
+    pub locks: BTreeMap<u32, LockStat>,
+    /// `(t, active, omega_milli)` DRAM-rate recomputation series.
+    pub bandwidth: Vec<(u64, u32, u64)>,
+}
+
+/// Buckets in [`TraceMetrics::utilization_timeline`].
+pub const TIMELINE_BUCKETS: usize = 60;
+
+impl TraceMetrics {
+    /// Derive metrics from a recorded run on `cores` simulated cores.
+    pub fn from_recorder(rec: &Recorder, cores: u32) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let mut elapsed = 0u64;
+        let mut locks: BTreeMap<u32, LockStat> = BTreeMap::new();
+        let mut lock_wait = Histogram::new();
+        // (lock, thread) -> wait-start time.
+        let mut waiting: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut bandwidth = Vec::new();
+        let mut steal_attempts = 0u64;
+        let mut steal_hits = 0u64;
+
+        for ev in rec.events() {
+            elapsed = elapsed.max(ev.t);
+            registry.inc(&format!("events.{}", ev.kind.name()), 1);
+            match ev.kind {
+                EventKind::LockWait { lock, thread } => {
+                    waiting.insert((lock, thread), ev.t);
+                    locks.entry(lock).or_default().waits += 1;
+                }
+                EventKind::LockAcquire { lock, thread } => {
+                    let st = locks.entry(lock).or_default();
+                    st.acquires += 1;
+                    if let Some(start) = waiting.remove(&(lock, thread)) {
+                        let wait = ev.t.saturating_sub(start);
+                        st.total_wait += wait;
+                        lock_wait.observe(wait);
+                        registry.observe("lock_wait_cycles", wait);
+                    }
+                }
+                EventKind::DramRate {
+                    active,
+                    omega_milli,
+                } => {
+                    bandwidth.push((ev.t, active, omega_milli));
+                }
+                EventKind::StealAttempt { success, .. } => {
+                    steal_attempts += 1;
+                    if success {
+                        steal_hits += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let intervals = core_intervals(rec);
+        let ncores = cores.max(intervals.iter().map(|iv| iv.core + 1).max().unwrap_or(0)) as usize;
+        let mut core_busy = vec![0u64; ncores];
+        let mut timeline = vec![0u64; TIMELINE_BUCKETS];
+        // Ceiling division so the last bucket always covers `elapsed`
+        // (a truncated width would leave a tail no bucket advances past).
+        let bucket_w = elapsed.div_ceil(TIMELINE_BUCKETS as u64).max(1);
+        for iv in &intervals {
+            core_busy[iv.core as usize] += iv.end - iv.start;
+            // Spread busy cycles over the buckets the interval covers.
+            let mut t = iv.start;
+            while t < iv.end {
+                let b = ((t / bucket_w) as usize).min(TIMELINE_BUCKETS - 1);
+                let bucket_end = ((b as u64) + 1) * bucket_w;
+                let upto = iv.end.min(bucket_end);
+                timeline[b] += upto - t;
+                t = upto;
+            }
+        }
+        // Normalise by each bucket's actually-covered width: the final
+        // bucket may only partially overlap `0..elapsed`, and buckets
+        // entirely past it are dropped.
+        let used = if elapsed == 0 {
+            0
+        } else {
+            elapsed.div_ceil(bucket_w) as usize
+        };
+        let utilization_timeline: Vec<f64> = timeline[..used.min(TIMELINE_BUCKETS)]
+            .iter()
+            .enumerate()
+            .map(|(b, &busy)| {
+                let width = bucket_w.min(elapsed - b as u64 * bucket_w);
+                let denom = (width * ncores.max(1) as u64) as f64;
+                (busy as f64 / denom).min(1.0)
+            })
+            .collect();
+
+        if steal_attempts > 0 {
+            registry.set_gauge(
+                "steal_success_rate",
+                steal_hits as f64 / steal_attempts as f64,
+            );
+        }
+        let total_busy: u64 = core_busy.iter().sum();
+        if elapsed > 0 && ncores > 0 {
+            registry.set_gauge(
+                "core_utilization",
+                total_busy as f64 / (elapsed as f64 * ncores as f64),
+            );
+        }
+        if elapsed > 0 {
+            registry.set_gauge(
+                "lock_wait_fraction",
+                lock_wait.sum() as f64 / elapsed as f64,
+            );
+        }
+
+        TraceMetrics {
+            registry,
+            cores: ncores as u32,
+            elapsed,
+            core_busy,
+            utilization_timeline,
+            lock_wait,
+            locks,
+            bandwidth,
+        }
+    }
+
+    /// Overall core utilisation in `0.0..=1.0`.
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed == 0 || self.core_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.core_busy.iter().sum();
+        busy as f64 / (self.elapsed as f64 * self.core_busy.len() as f64)
+    }
+
+    /// Locks ordered by total wait, most contended first.
+    pub fn hottest_locks(&self) -> Vec<(u32, LockStat)> {
+        let mut v: Vec<(u32, LockStat)> = self.locks.iter().map(|(&k, &s)| (k, s)).collect();
+        v.sort_by(|a, b| b.1.total_wait.cmp(&a.1.total_wait).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Peak concurrently-memory-active packet count seen by the solver.
+    pub fn peak_dram_active(&self) -> u32 {
+        self.bandwidth.iter().map(|&(_, a, _)| a).max().unwrap_or(0)
+    }
+
+    /// JSON representation of the derived metrics.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("cores".into(), Value::U64(self.cores as u64)),
+            ("elapsed_cycles".into(), Value::U64(self.elapsed)),
+            ("utilization".into(), Value::F64(self.utilization())),
+            (
+                "core_busy_cycles".into(),
+                Value::Array(self.core_busy.iter().map(|&b| Value::U64(b)).collect()),
+            ),
+            (
+                "utilization_timeline".into(),
+                Value::Array(
+                    self.utilization_timeline
+                        .iter()
+                        .map(|&u| Value::F64(u))
+                        .collect(),
+                ),
+            ),
+            ("lock_wait".into(), self.lock_wait.to_value()),
+            (
+                "locks".into(),
+                Value::Object(
+                    self.locks
+                        .iter()
+                        .map(|(id, st)| {
+                            (
+                                id.to_string(),
+                                Value::Object(vec![
+                                    ("acquires".into(), Value::U64(st.acquires)),
+                                    ("waits".into(), Value::U64(st.waits)),
+                                    ("total_wait".into(), Value::U64(st.total_wait)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "bandwidth".into(),
+                Value::Array(
+                    self.bandwidth
+                        .iter()
+                        .map(|&(t, a, o)| {
+                            Value::Array(vec![Value::U64(t), Value::U64(a as u64), Value::U64(o)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "peak_dram_active".into(),
+                Value::U64(self.peak_dram_active() as u64),
+            ),
+            ("registry".into(), self.registry.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventKind as K, Recorder};
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!(h.mean() > 184.0 && h.mean() < 185.0);
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn registry_counts_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a", 2);
+        m.inc("a", 3);
+        m.set_gauge("g", 0.5);
+        m.observe("h", 7);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), Some(0.5));
+        assert_eq!(m.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn core_intervals_reconstruct() {
+        let mut r = Recorder::new();
+        r.record(0, K::ThreadDispatch { core: 0, thread: 1 });
+        r.record(10, K::ThreadPreempt { core: 0, thread: 1 });
+        r.record(10, K::ThreadDispatch { core: 0, thread: 2 });
+        r.record(25, K::ThreadExit { core: 0, thread: 2 });
+        r.record(5, K::ThreadDispatch { core: 1, thread: 3 });
+        // Core 1 never closes: closed at trace end (t=25).
+        let ivs = core_intervals(&r);
+        assert_eq!(ivs.len(), 3);
+        assert!(ivs.contains(&CoreInterval {
+            core: 0,
+            thread: 1,
+            start: 0,
+            end: 10
+        }));
+        assert!(ivs.contains(&CoreInterval {
+            core: 0,
+            thread: 2,
+            start: 10,
+            end: 25
+        }));
+        assert!(ivs.contains(&CoreInterval {
+            core: 1,
+            thread: 3,
+            start: 5,
+            end: 25
+        }));
+    }
+
+    #[test]
+    fn lock_wait_pairs_up() {
+        let mut r = Recorder::new();
+        r.record(0, K::LockWait { lock: 7, thread: 1 });
+        r.record(40, K::LockAcquire { lock: 7, thread: 1 });
+        r.record(50, K::LockAcquire { lock: 7, thread: 2 }); // uncontended
+        let m = TraceMetrics::from_recorder(&r, 2);
+        let st = m.locks[&7];
+        assert_eq!(st.acquires, 2);
+        assert_eq!(st.waits, 1);
+        assert_eq!(st.total_wait, 40);
+        assert_eq!(m.lock_wait.count(), 1);
+        assert_eq!(m.lock_wait.sum(), 40);
+    }
+
+    #[test]
+    fn utilization_full_when_all_cores_busy() {
+        let mut r = Recorder::new();
+        for c in 0..2 {
+            r.record(0, K::ThreadDispatch { core: c, thread: c });
+            r.record(100, K::ThreadExit { core: c, thread: c });
+        }
+        let m = TraceMetrics::from_recorder(&r, 2);
+        assert!((m.utilization() - 1.0).abs() < 1e-9);
+        assert_eq!(m.core_busy, vec![100, 100]);
+        assert!(m.utilization_timeline.iter().all(|&u| u > 0.99));
+    }
+}

@@ -59,18 +59,24 @@ impl Dispenser {
     pub fn new(schedule: Schedule, n: usize, team: u32) -> Self {
         let team = team.max(1);
         match schedule {
-            Schedule::Static { chunk: None } => {
-                Dispenser::StaticBlock { n, team, taken: vec![false; team as usize] }
-            }
+            Schedule::Static { chunk: None } => Dispenser::StaticBlock {
+                n,
+                team,
+                taken: vec![false; team as usize],
+            },
             Schedule::Static { chunk: Some(c) } => Dispenser::StaticChunk {
                 n,
                 chunk: (c as usize).max(1),
                 team,
-                next: (0..team as usize).map(|r| r * (c as usize).max(1)).collect(),
+                next: (0..team as usize)
+                    .map(|r| r * (c as usize).max(1))
+                    .collect(),
             },
-            Schedule::Dynamic { chunk } => {
-                Dispenser::Dynamic { n, chunk: (chunk as usize).max(1), cursor: 0 }
-            }
+            Schedule::Dynamic { chunk } => Dispenser::Dynamic {
+                n,
+                chunk: (chunk as usize).max(1),
+                cursor: 0,
+            },
             Schedule::Guided { min_chunk } => Dispenser::Guided {
                 n,
                 min_chunk: (min_chunk as usize).max(1),
@@ -103,7 +109,12 @@ impl Dispenser {
                     Some((start, start + size))
                 }
             }
-            Dispenser::StaticChunk { n, chunk, team, next } => {
+            Dispenser::StaticChunk {
+                n,
+                chunk,
+                team,
+                next,
+            } => {
                 let r = rank as usize;
                 let start = next[r];
                 if start >= *n {
@@ -120,7 +131,12 @@ impl Dispenser {
                 *cursor = (*cursor + *chunk).min(*n);
                 Some((start, *cursor))
             }
-            Dispenser::Guided { n, min_chunk, team, cursor } => {
+            Dispenser::Guided {
+                n,
+                min_chunk,
+                team,
+                cursor,
+            } => {
                 if *cursor >= *n {
                     return None;
                 }
@@ -165,12 +181,15 @@ mod tests {
         for per_rank in chunks {
             for &(s, e) in per_rank {
                 assert!(s < e && e <= n, "bad chunk ({s},{e}) of {n}");
-                for x in s..e {
-                    hit[x] += 1;
+                for h in &mut hit[s..e] {
+                    *h += 1;
                 }
             }
         }
-        assert!(hit.iter().all(|&h| h == 1), "iterations not covered exactly once: {hit:?}");
+        assert!(
+            hit.iter().all(|&h| h == 1),
+            "iterations not covered exactly once: {hit:?}"
+        );
     }
 
     #[test]
@@ -197,7 +216,10 @@ mod tests {
 
     #[test]
     fn static_chunk_larger_chunks() {
-        let chunks = drain(Dispenser::new(Schedule::Static { chunk: Some(3) }, 10, 2), 2);
+        let chunks = drain(
+            Dispenser::new(Schedule::Static { chunk: Some(3) }, 10, 2),
+            2,
+        );
         covers_exactly(&chunks, 10);
         assert_eq!(chunks[0][0], (0, 3));
         assert_eq!(chunks[1][0], (3, 6));
@@ -221,7 +243,10 @@ mod tests {
         };
         assert_eq!(flat[0], (0, 25));
         let sizes: Vec<usize> = flat.iter().map(|&(s, e)| e - s).collect();
-        assert!(sizes.windows(2).all(|w| w[1] <= w[0]), "sizes not shrinking: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[1] <= w[0]),
+            "sizes not shrinking: {sizes:?}"
+        );
     }
 
     #[test]

@@ -17,6 +17,48 @@
 //! EPCC-style microbenchmark methodology the paper cites ([6, 8]); see
 //! [`OmpOverheads`].
 
+/// Record an event on the machine's recorder via the worker's [`Env`],
+/// timestamped with virtual time. Expands to nothing without the `obs`
+/// feature.
+#[cfg(feature = "obs")]
+macro_rules! obs_env {
+    ($env:expr, $($kind:tt)+) => {
+        if let Some(h) = $env.obs() {
+            let t = $env.now();
+            h.record(t, prophet_obs::EventKind::$($kind)+);
+        }
+    };
+}
+
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_env {
+    ($env:expr, $($kind:tt)+) => {};
+}
+
+/// Record the begin or end of a labelled region span for the calling
+/// thread on the machine's recorder.
+#[cfg(feature = "obs")]
+pub(crate) fn obs_span(env: &mut dyn machsim::Env, begin: bool, label: &str) {
+    if let Some(h) = env.obs() {
+        let label = h.intern(label);
+        let thread = env.me().0;
+        let kind = if begin {
+            prophet_obs::EventKind::SpanBegin {
+                kind: prophet_obs::SpanKind::Region,
+                label,
+                thread,
+            }
+        } else {
+            prophet_obs::EventKind::SpanEnd {
+                kind: prophet_obs::SpanKind::Region,
+                label,
+                thread,
+            }
+        };
+        h.record(env.now(), kind);
+    }
+}
+
 pub mod dispenser;
 pub mod overhead;
 pub mod pipeline;
@@ -26,7 +68,7 @@ pub mod worker;
 pub use dispenser::Dispenser;
 pub use overhead::OmpOverheads;
 pub use pipeline::PipeCtl;
-pub use tasks::{run_program_tasks, TaskOverheads};
+pub use tasks::{run_program_tasks, run_program_tasks_on, TaskOverheads};
 pub use worker::{run_program, run_program_on, OmpRuntime, Worker};
 
 #[cfg(test)]
@@ -42,7 +84,11 @@ mod tests {
     fn loop_prog(lens: &[u64], schedule: Schedule) -> ParallelProgram {
         let tasks = lens
             .iter()
-            .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+            .map(|&l| {
+                Rc::new(TaskBody {
+                    ops: vec![POp::Work(WorkPacket::cpu(l))],
+                })
+            })
             .collect();
         ParallelProgram {
             ops: vec![POp::Par(ParSection {
@@ -72,7 +118,10 @@ mod tests {
             Rc::new(TaskBody {
                 ops: vec![
                     POp::Work(WorkPacket::cpu(a)),
-                    POp::Locked { lock: 1, work: WorkPacket::cpu(l) },
+                    POp::Locked {
+                        lock: 1,
+                        work: WorkPacket::cpu(l),
+                    },
                     POp::Work(WorkPacket::cpu(b)),
                 ],
             })
@@ -138,10 +187,20 @@ mod tests {
         // block partition.
         let lens: Vec<u64> = (1..=32).map(|i| i * 100).collect();
         let cfg = MachineConfig::small(4);
-        let st = run_program(cfg, &loop_prog(&lens, Schedule::static_block()), OmpOverheads::zero(), 4)
-            .unwrap();
-        let dy = run_program(cfg, &loop_prog(&lens, Schedule::dynamic1()), OmpOverheads::zero(), 4)
-            .unwrap();
+        let st = run_program(
+            cfg,
+            &loop_prog(&lens, Schedule::static_block()),
+            OmpOverheads::zero(),
+            4,
+        )
+        .unwrap();
+        let dy = run_program(
+            cfg,
+            &loop_prog(&lens, Schedule::dynamic1()),
+            OmpOverheads::zero(),
+            4,
+        )
+        .unwrap();
         assert!(
             dy.elapsed_cycles < st.elapsed_cycles,
             "dynamic {} !< static {}",
@@ -197,13 +256,19 @@ mod tests {
         // threads were spawned over the run.
         let inner = ParSection {
             tasks: (0..2)
-                .map(|_| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(500))] }))
+                .map(|_| {
+                    Rc::new(TaskBody {
+                        ops: vec![POp::Work(WorkPacket::cpu(500))],
+                    })
+                })
                 .collect(),
             schedule: Schedule::static1(),
             nowait: false,
             team: Some(2),
         };
-        let outer_task = Rc::new(TaskBody { ops: vec![POp::Par(inner)] });
+        let outer_task = Rc::new(TaskBody {
+            ops: vec![POp::Par(inner)],
+        });
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
                 tasks: vec![outer_task.clone(), outer_task],
@@ -230,16 +295,24 @@ mod tests {
         let mk_inner = |a: u64, b: u64| {
             POp::Par(ParSection {
                 tasks: vec![
-                    Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(a * unit))] }),
-                    Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(b * unit))] }),
+                    Rc::new(TaskBody {
+                        ops: vec![POp::Work(WorkPacket::cpu(a * unit))],
+                    }),
+                    Rc::new(TaskBody {
+                        ops: vec![POp::Work(WorkPacket::cpu(b * unit))],
+                    }),
                 ],
                 schedule: Schedule::static1(),
                 nowait: false,
                 team: Some(2),
             })
         };
-        let t_a = Rc::new(TaskBody { ops: vec![mk_inner(10, 5)] });
-        let t_b = Rc::new(TaskBody { ops: vec![mk_inner(5, 10)] });
+        let t_a = Rc::new(TaskBody {
+            ops: vec![mk_inner(10, 5)],
+        });
+        let t_b = Rc::new(TaskBody {
+            ops: vec![mk_inner(5, 10)],
+        });
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
                 tasks: vec![t_a, t_b],
@@ -264,10 +337,16 @@ mod tests {
     fn critical_sections_respect_user_lock_identity() {
         // Two different locks don't serialise against each other.
         let t1 = Rc::new(TaskBody {
-            ops: vec![POp::Locked { lock: 1, work: WorkPacket::cpu(1000) }],
+            ops: vec![POp::Locked {
+                lock: 1,
+                work: WorkPacket::cpu(1000),
+            }],
         });
         let t2 = Rc::new(TaskBody {
-            ops: vec![POp::Locked { lock: 2, work: WorkPacket::cpu(1000) }],
+            ops: vec![POp::Locked {
+                lock: 2,
+                work: WorkPacket::cpu(1000),
+            }],
         });
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
@@ -282,7 +361,10 @@ mod tests {
 
         // The same lock does serialise.
         let t3 = Rc::new(TaskBody {
-            ops: vec![POp::Locked { lock: 1, work: WorkPacket::cpu(1000) }],
+            ops: vec![POp::Locked {
+                lock: 1,
+                work: WorkPacket::cpu(1000),
+            }],
         });
         let prog2 = ParallelProgram {
             ops: vec![POp::Par(ParSection {
@@ -304,7 +386,9 @@ mod tests {
                 POp::Par(ParSection {
                     tasks: (0..4)
                         .map(|_| {
-                            Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(1000))] })
+                            Rc::new(TaskBody {
+                                ops: vec![POp::Work(WorkPacket::cpu(1000))],
+                            })
                         })
                         .collect(),
                     schedule: Schedule::static1(),

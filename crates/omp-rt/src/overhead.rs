@@ -87,8 +87,14 @@ mod tests {
     #[test]
     fn dispatch_selector() {
         let o = OmpOverheads::westmere_scaled();
-        assert_eq!(o.dispatch_for(&machsim::Schedule::static1()), o.static_dispatch);
-        assert_eq!(o.dispatch_for(&machsim::Schedule::dynamic1()), o.dynamic_dispatch);
+        assert_eq!(
+            o.dispatch_for(&machsim::Schedule::static1()),
+            o.static_dispatch
+        );
+        assert_eq!(
+            o.dispatch_for(&machsim::Schedule::dynamic1()),
+            o.dynamic_dispatch
+        );
         assert_eq!(
             o.dispatch_for(&machsim::Schedule::Guided { min_chunk: 1 }),
             o.dynamic_dispatch

@@ -137,9 +137,7 @@ impl ThreadBody for StageBody {
                     continue;
                 }
                 Some(other) => {
-                    unreachable!(
-                        "pipeline stages may only contain Work/Locked ops, got {other:?}"
-                    )
+                    unreachable!("pipeline stages may only contain Work/Locked ops, got {other:?}")
                 }
                 None => {
                     // Item finished at this stage: publish and wake the
@@ -182,7 +180,9 @@ mod tests {
                 })
             })
             .collect();
-        ParallelProgram { ops: vec![POp::Pipe(PipeSection { items, stages })] }
+        ParallelProgram {
+            ops: vec![POp::Pipe(PipeSection { items, stages })],
+        }
     }
 
     #[test]
@@ -233,7 +233,10 @@ mod tests {
     #[test]
     fn empty_pipeline_is_noop() {
         let prog = ParallelProgram {
-            ops: vec![POp::Pipe(PipeSection { items: vec![], stages: 0 })],
+            ops: vec![POp::Pipe(PipeSection {
+                items: vec![],
+                stages: 0,
+            })],
         };
         let s = run_program(MachineConfig::small(2), &prog, OmpOverheads::zero(), 2).unwrap();
         assert!(s.elapsed_cycles < 1_000);
@@ -246,7 +249,10 @@ mod tests {
         let item = Rc::new(PipeItem {
             stages: vec![
                 vec![POp::Work(WorkPacket::cpu(100))],
-                vec![POp::Locked { lock: 5, work: WorkPacket::cpu(300) }],
+                vec![POp::Locked {
+                    lock: 5,
+                    work: WorkPacket::cpu(300),
+                }],
             ],
         });
         let prog = ParallelProgram {

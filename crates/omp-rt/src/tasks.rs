@@ -36,13 +36,23 @@ pub struct TaskOverheads {
 impl TaskOverheads {
     /// All zero (exact-arithmetic tests); idle backoff stays minimal.
     pub fn zero() -> Self {
-        TaskOverheads { push: 0, pop: 0, sync: 0, idle_backoff: 50 }
+        TaskOverheads {
+            push: 0,
+            pop: 0,
+            sync: 0,
+            idle_backoff: 50,
+        }
     }
 
     /// Calibrated defaults: central-queue operations are heavier than
     /// Cilk deque pushes (they take a shared lock).
     pub fn westmere_scaled() -> Self {
-        TaskOverheads { push: 90, pop: 90, sync: 60, idle_backoff: 150 }
+        TaskOverheads {
+            push: 90,
+            pop: 90,
+            sync: 60,
+            idle_backoff: 150,
+        }
     }
 }
 
@@ -176,6 +186,7 @@ impl ThreadBody for TaskWorker {
                     self.queue_op = QueueOp::None;
                     let n = self.pending_push.len();
                     for t in self.pending_push.drain(..) {
+                        obs_env!(env, TaskSpawn { worker: env.me().0 });
                         self.pool.queue.borrow_mut().push_back(t);
                     }
                     for _ in 0..n {
@@ -217,7 +228,12 @@ impl ThreadBody for TaskWorker {
             };
 
             // Interpret the current task.
-            let Some(TFrame::Seq { body, idx, lock_stage }) = exec.frames.last_mut() else {
+            let Some(TFrame::Seq {
+                body,
+                idx,
+                lock_stage,
+            }) = exec.frames.last_mut()
+            else {
                 // Task finished: notify the join.
                 let state = self.current.take().expect("finishing without task");
                 match state.join {
@@ -234,6 +250,7 @@ impl ThreadBody for TaskWorker {
                                 .borrow_mut()
                                 .take()
                                 .expect("taskwait resumed twice");
+                            obs_env!(env, TaskSync { worker: env.me().0 });
                             self.current = Some(resume);
                             let sync = self.pool.overheads.sync;
                             if sync > 0 {
@@ -285,8 +302,10 @@ impl ThreadBody for TaskWorker {
                     // parent behind a join and enqueue every child task.
                     let sec: ParSection = sec.clone();
                     *idx += 1;
-                    let join =
-                        Rc::new(JoinCtl { pending: Cell::new(sec.tasks.len()), resume: RefCell::new(None) });
+                    let join = Rc::new(JoinCtl {
+                        pending: Cell::new(sec.tasks.len()),
+                        resume: RefCell::new(None),
+                    });
                     let n = sec.tasks.len();
                     if n == 0 {
                         continue;
@@ -295,7 +314,11 @@ impl ThreadBody for TaskWorker {
                     *join.resume.borrow_mut() = Some(suspended);
                     for task in sec.tasks {
                         self.pending_push.push(ExecState {
-                            frames: vec![TFrame::Seq { body: task, idx: 0, lock_stage: None }],
+                            frames: vec![TFrame::Seq {
+                                body: task,
+                                idx: 0,
+                                lock_stage: None,
+                            }],
                             join: Some(join.clone()),
                         });
                     }
@@ -319,8 +342,20 @@ pub fn run_program_tasks(
     overheads: TaskOverheads,
     nworkers: u32,
 ) -> Result<RunStats, RunError> {
-    let nworkers = nworkers.max(1);
     let mut machine = Machine::new(cfg);
+    run_program_tasks_on(&mut machine, program, overheads, nworkers)
+}
+
+/// Run `program` under the task runtime on an existing (fresh) machine —
+/// use this to configure the machine first, e.g. attach a `prophet-obs`
+/// recorder.
+pub fn run_program_tasks_on(
+    machine: &mut Machine,
+    program: &ParallelProgram,
+    overheads: TaskOverheads,
+    nworkers: u32,
+) -> Result<RunStats, RunError> {
+    let nworkers = nworkers.max(1);
     let pool = Rc::new(TaskPool {
         queue: RefCell::new(VecDeque::new()),
         queue_lock: Cell::new(None),
@@ -331,7 +366,9 @@ pub fn run_program_tasks(
     });
     let main = ExecState {
         frames: vec![TFrame::Seq {
-            body: Rc::new(TaskBody { ops: program.ops.clone() }),
+            body: Rc::new(TaskBody {
+                ops: program.ops.clone(),
+            }),
             idx: 0,
             lock_stage: None,
         }],
@@ -363,9 +400,15 @@ mod tests {
     fn loop_prog(lens: &[u64]) -> ParallelProgram {
         let tasks = lens
             .iter()
-            .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+            .map(|&l| {
+                Rc::new(TaskBody {
+                    ops: vec![POp::Work(WorkPacket::cpu(l))],
+                })
+            })
             .collect();
-        ParallelProgram { ops: vec![POp::Par(ParSection::new(tasks))] }
+        ParallelProgram {
+            ops: vec![POp::Par(ParSection::new(tasks))],
+        }
     }
 
     #[test]
@@ -385,15 +428,22 @@ mod tests {
     fn recursive_tasks_complete_without_thread_explosion() {
         fn rec(depth: u32) -> Rc<TaskBody> {
             if depth == 0 {
-                return Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(5_000))] });
+                return Rc::new(TaskBody {
+                    ops: vec![POp::Work(WorkPacket::cpu(5_000))],
+                });
             }
             Rc::new(TaskBody {
-                ops: vec![POp::Par(ParSection::new(vec![rec(depth - 1), rec(depth - 1)]))],
+                ops: vec![POp::Par(ParSection::new(vec![
+                    rec(depth - 1),
+                    rec(depth - 1),
+                ]))],
             })
         }
-        let prog = ParallelProgram { ops: vec![POp::Par(ParSection::new(vec![rec(5)]))] };
-        let s = run_program_tasks(MachineConfig::small(4), &prog, TaskOverheads::zero(), 4)
-            .unwrap();
+        let prog = ParallelProgram {
+            ops: vec![POp::Par(ParSection::new(vec![rec(5)]))],
+        };
+        let s =
+            run_program_tasks(MachineConfig::small(4), &prog, TaskOverheads::zero(), 4).unwrap();
         assert_eq!(s.threads_spawned, 4);
         assert!(s.busy_cycles >= 32 * 5_000);
     }
@@ -445,19 +495,29 @@ mod tests {
         .unwrap()
         .elapsed_cycles;
         let ratio = tasks as f64 / cilk as f64;
-        assert!((0.9..1.15).contains(&ratio), "coarse grain parity broke: {ratio}");
+        assert!(
+            (0.9..1.15).contains(&ratio),
+            "coarse grain parity broke: {ratio}"
+        );
     }
 
     #[test]
     fn locks_respected() {
         let task = Rc::new(TaskBody {
-            ops: vec![POp::Locked { lock: 3, work: WorkPacket::cpu(10_000) }],
+            ops: vec![POp::Locked {
+                lock: 3,
+                work: WorkPacket::cpu(10_000),
+            }],
         });
         let prog = ParallelProgram {
-            ops: vec![POp::Par(ParSection::new(vec![task.clone(), task.clone(), task]))],
+            ops: vec![POp::Par(ParSection::new(vec![
+                task.clone(),
+                task.clone(),
+                task,
+            ]))],
         };
-        let s = run_program_tasks(MachineConfig::small(4), &prog, TaskOverheads::zero(), 4)
-            .unwrap();
+        let s =
+            run_program_tasks(MachineConfig::small(4), &prog, TaskOverheads::zero(), 4).unwrap();
         assert!(s.elapsed_cycles >= 30_000);
         // Machine-wide lock stats also count the central queue lock.
         assert!(s.lock_acquisitions >= 3);

@@ -34,7 +34,11 @@ pub struct OmpRuntime {
 impl OmpRuntime {
     /// New runtime state.
     pub fn new(overheads: OmpOverheads, default_team: u32) -> Rc<Self> {
-        Rc::new(OmpRuntime { overheads, default_team: default_team.max(1), locks: RefCell::new(HashMap::new()) })
+        Rc::new(OmpRuntime {
+            overheads,
+            default_team: default_team.max(1),
+            locks: RefCell::new(HashMap::new()),
+        })
     }
 
     pub(crate) fn lock_for(&self, env: &mut dyn Env, user_lock: u32) -> SimLockId {
@@ -77,7 +81,11 @@ struct SeqFrame {
 
 impl SeqFrame {
     fn new(body: Rc<TaskBody>) -> Self {
-        SeqFrame { body, idx: 0, lock_stage: None }
+        SeqFrame {
+            body,
+            idx: 0,
+            lock_stage: None,
+        }
     }
 }
 
@@ -126,8 +134,13 @@ pub struct Worker {
 impl Worker {
     /// Master worker executing the whole program.
     pub fn master(rt: Rc<OmpRuntime>, program: &ParallelProgram) -> Self {
-        let body = Rc::new(TaskBody { ops: program.ops.clone() });
-        Worker { rt, stack: vec![Frame::Seq(SeqFrame::new(body))] }
+        let body = Rc::new(TaskBody {
+            ops: program.ops.clone(),
+        });
+        Worker {
+            rt,
+            stack: vec![Frame::Seq(SeqFrame::new(body))],
+        }
     }
 
     fn team_member(rt: Rc<OmpRuntime>, ctl: Rc<RegionCtl>, rank: u32) -> Self {
@@ -148,7 +161,11 @@ impl Worker {
     /// team, and return the master's region frame.
     fn enter_region(&self, env: &mut dyn Env, sec: &ParSection) -> RegionFrame {
         let team = sec.team.unwrap_or(self.rt.default_team).max(1);
-        let barrier = if sec.nowait { None } else { Some(env.create_barrier(team)) };
+        let barrier = if sec.nowait {
+            None
+        } else {
+            Some(env.create_barrier(team))
+        };
         let ctl = Rc::new(RegionCtl {
             tasks: sec.tasks.clone(),
             dispenser: RefCell::new(Dispenser::new(sec.schedule, sec.tasks.len(), team)),
@@ -156,7 +173,11 @@ impl Worker {
             dispatch_ovh: self.rt.overheads.dispatch_for(&sec.schedule),
         });
         for rank in 1..team {
-            env.spawn(Box::new(Worker::team_member(self.rt.clone(), ctl.clone(), rank)));
+            env.spawn(Box::new(Worker::team_member(
+                self.rt.clone(),
+                ctl.clone(),
+                rank,
+            )));
         }
         RegionFrame {
             ctl,
@@ -233,6 +254,8 @@ impl ThreadBody for Worker {
                             let sec = sec.clone();
                             f.idx += 1;
                             let fork = self.rt.overheads.parallel_start;
+                            #[cfg(feature = "obs")]
+                            crate::obs_span(env, true, "omp_parallel");
                             let frame = self.enter_region(env, &sec);
                             self.stack.push(Frame::Region(frame));
                             // Fork overhead charged to the master before it
@@ -289,6 +312,14 @@ impl ThreadBody for Worker {
                         let chunk = f.ctl.dispenser.borrow_mut().next_chunk(f.rank);
                         match chunk {
                             Some((s, e)) => {
+                                obs_env!(
+                                    env,
+                                    ChunkDispatch {
+                                        worker: f.rank,
+                                        lo: s as u32,
+                                        hi: e as u32,
+                                    }
+                                );
                                 f.chunk = Some((s, e));
                                 f.pos = s;
                                 f.phase = RPhase::IterOvh;
@@ -311,7 +342,11 @@ impl ThreadBody for Worker {
                         let (_, e) = f.chunk.expect("chunk set in Grab");
                         let task = f.ctl.tasks[f.pos].clone();
                         f.pos += 1;
-                        f.phase = if f.pos < e { RPhase::IterOvh } else { RPhase::PayDispatch };
+                        f.phase = if f.pos < e {
+                            RPhase::IterOvh
+                        } else {
+                            RPhase::PayDispatch
+                        };
                         self.stack.push(Frame::Seq(SeqFrame::new(task)));
                         continue;
                     }
@@ -328,6 +363,8 @@ impl ThreadBody for Worker {
                         if !is_master {
                             return Action::Exit;
                         }
+                        #[cfg(feature = "obs")]
+                        crate::obs_span(env, false, "omp_parallel");
                         self.stack.pop();
                         if join > 0 {
                             return Action::Compute(WorkPacket::cpu(join));

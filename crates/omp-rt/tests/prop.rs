@@ -22,10 +22,19 @@ fn schedule_strategy() -> impl Strategy<Value = Schedule> {
 fn loop_prog(lens: &[u64], schedule: Schedule, team: Option<u32>) -> ParallelProgram {
     let tasks = lens
         .iter()
-        .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+        .map(|&l| {
+            Rc::new(TaskBody {
+                ops: vec![POp::Work(WorkPacket::cpu(l))],
+            })
+        })
         .collect();
     ParallelProgram {
-        ops: vec![POp::Par(ParSection { tasks, schedule, nowait: false, team })],
+        ops: vec![POp::Par(ParSection {
+            tasks,
+            schedule,
+            nowait: false,
+            team,
+        })],
     }
 }
 
@@ -59,8 +68,8 @@ proptest! {
             match d.next_chunk(r) {
                 Some((s, e)) => {
                     prop_assert!(s < e && e <= n, "bad chunk ({s},{e})");
-                    for k in s..e {
-                        hits[k] += 1;
+                    for h in &mut hits[s..e] {
+                        *h += 1;
                     }
                 }
                 None => {

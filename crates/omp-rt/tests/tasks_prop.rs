@@ -11,9 +11,15 @@ use omp_rt::{run_program_tasks, TaskOverheads};
 fn loop_prog(lens: &[u64]) -> ParallelProgram {
     let tasks = lens
         .iter()
-        .map(|&l| Rc::new(TaskBody { ops: vec![POp::Work(WorkPacket::cpu(l))] }))
+        .map(|&l| {
+            Rc::new(TaskBody {
+                ops: vec![POp::Work(WorkPacket::cpu(l))],
+            })
+        })
         .collect();
-    ParallelProgram { ops: vec![POp::Par(ParSection::new(tasks))] }
+    ParallelProgram {
+        ops: vec![POp::Par(ParSection::new(tasks))],
+    }
 }
 
 proptest! {

@@ -71,10 +71,16 @@ impl std::fmt::Display for BuildError {
                 write!(f, "annotation underflow: {found} ended with nothing open")
             }
             BuildError::WrongLock { held, released } => {
-                write!(f, "lock mismatch: released lock {released} while holding {held}")
+                write!(
+                    f,
+                    "lock mismatch: released lock {released} while holding {held}"
+                )
             }
             BuildError::NestedLock { held } => {
-                write!(f, "nested lock: LOCK_BEGIN while already holding lock {held}")
+                write!(
+                    f,
+                    "nested lock: LOCK_BEGIN while already holding lock {held}"
+                )
             }
             BuildError::TaskOutsideSection => {
                 write!(f, "PAR_TASK_BEGIN outside of a parallel section")
@@ -85,10 +91,16 @@ impl std::fmt::Display for BuildError {
                 write!(f, "{depth} annotation frame(s) left open at end of program")
             }
             BuildError::ComputationInsideSection => {
-                write!(f, "computation directly inside a section (outside any task)")
+                write!(
+                    f,
+                    "computation directly inside a section (outside any task)"
+                )
             }
             BuildError::WrongStage { open, ended } => {
-                write!(f, "stage mismatch: ended stage {ended} while stage {open} is open")
+                write!(
+                    f,
+                    "stage mismatch: ended stage {ended} while stage {open} is open"
+                )
             }
         }
     }
@@ -172,7 +184,10 @@ impl TreeBuilder {
         match self.stack.last().map(|f| f.kind) {
             Some(FrameKind::Lock(_)) => return Err(BuildError::SectionInsideLock),
             Some(FrameKind::Sec) => {
-                return Err(BuildError::MismatchedEnd { found: "section begin", open: "section" })
+                return Err(BuildError::MismatchedEnd {
+                    found: "section begin",
+                    open: "section",
+                })
             }
             _ => {}
         }
@@ -187,7 +202,10 @@ impl TreeBuilder {
             children: ChildList::Plain(Vec::new()),
         });
         self.attach(node);
-        self.stack.push(Frame { kind: FrameKind::Sec, node });
+        self.stack.push(Frame {
+            kind: FrameKind::Sec,
+            node,
+        });
         Ok(())
     }
 
@@ -233,7 +251,10 @@ impl TreeBuilder {
             children: ChildList::Plain(Vec::new()),
         });
         self.attach(node);
-        self.stack.push(Frame { kind: FrameKind::Pipe, node });
+        self.stack.push(Frame {
+            kind: FrameKind::Pipe,
+            node,
+        });
         Ok(())
     }
 
@@ -265,7 +286,10 @@ impl TreeBuilder {
             children: ChildList::Plain(Vec::new()),
         });
         self.attach(node);
-        self.stack.push(Frame { kind: FrameKind::Stage(stage), node });
+        self.stack.push(Frame {
+            kind: FrameKind::Stage(stage),
+            node,
+        });
         Ok(())
     }
 
@@ -298,12 +322,17 @@ impl TreeBuilder {
             _ => return Err(BuildError::TaskOutsideSection),
         }
         let node = self.push_node(Node {
-            kind: NodeKind::Task { name: name.to_owned() },
+            kind: NodeKind::Task {
+                name: name.to_owned(),
+            },
             length: 0,
             children: ChildList::Plain(Vec::new()),
         });
         self.attach(node);
-        self.stack.push(Frame { kind: FrameKind::Task, node });
+        self.stack.push(Frame {
+            kind: FrameKind::Task,
+            node,
+        });
         Ok(())
     }
 
@@ -312,7 +341,10 @@ impl TreeBuilder {
         match self.stack.last() {
             None => return Err(BuildError::UnderflowEnd { found: "task" }),
             Some(f) if f.kind != FrameKind::Task => {
-                return Err(BuildError::MismatchedEnd { found: "task", open: kind_name(f.kind) })
+                return Err(BuildError::MismatchedEnd {
+                    found: "task",
+                    open: kind_name(f.kind),
+                })
             }
             _ => {}
         }
@@ -331,7 +363,10 @@ impl TreeBuilder {
         }
         let node = self.push_node(Node::l(lock, 0));
         self.attach(node);
-        self.stack.push(Frame { kind: FrameKind::Lock(lock), node });
+        self.stack.push(Frame {
+            kind: FrameKind::Lock(lock),
+            node,
+        });
         Ok(())
     }
 
@@ -342,7 +377,10 @@ impl TreeBuilder {
             Some(f) => match f.kind {
                 FrameKind::Lock(held) if held == lock => {}
                 FrameKind::Lock(held) => {
-                    return Err(BuildError::WrongLock { held, released: lock })
+                    return Err(BuildError::WrongLock {
+                        held,
+                        released: lock,
+                    })
                 }
                 other => {
                     return Err(BuildError::MismatchedEnd {
@@ -436,7 +474,9 @@ impl TreeBuilder {
     /// Finish building. Fails when annotations are still open.
     pub fn finish(self) -> Result<ProgramTree, BuildError> {
         if !self.stack.is_empty() {
-            return Err(BuildError::UnclosedAnnotations { depth: self.stack.len() });
+            return Err(BuildError::UnclosedAnnotations {
+                depth: self.stack.len(),
+            });
         }
         let tree = ProgramTree::from_nodes(self.nodes);
         debug_assert_eq!(tree.validate(), Ok(()));
@@ -542,7 +582,10 @@ mod tests {
         assert_eq!(tree.total_length(), 42);
         // nowait flag captured.
         let sec = tree.top_level_sections()[0];
-        assert!(matches!(tree.node(sec).kind, NodeKind::Sec { nowait: true, .. }));
+        assert!(matches!(
+            tree.node(sec).kind,
+            NodeKind::Sec { nowait: true, .. }
+        ));
     }
 
     #[test]
@@ -555,14 +598,23 @@ mod tests {
     fn error_mismatched_end() {
         let mut b = TreeBuilder::new();
         b.begin_sec("s").unwrap();
-        assert!(matches!(b.end_task(), Err(BuildError::MismatchedEnd { .. })));
+        assert!(matches!(
+            b.end_task(),
+            Err(BuildError::MismatchedEnd { .. })
+        ));
     }
 
     #[test]
     fn error_underflow() {
         let mut b = TreeBuilder::new();
-        assert!(matches!(b.end_sec(false), Err(BuildError::UnderflowEnd { .. })));
-        assert!(matches!(b.end_lock(0), Err(BuildError::UnderflowEnd { .. })));
+        assert!(matches!(
+            b.end_sec(false),
+            Err(BuildError::UnderflowEnd { .. })
+        ));
+        assert!(matches!(
+            b.end_lock(0),
+            Err(BuildError::UnderflowEnd { .. })
+        ));
     }
 
     #[test]
@@ -571,7 +623,13 @@ mod tests {
         b.begin_sec("s").unwrap();
         b.begin_task("t").unwrap();
         b.begin_lock(1).unwrap();
-        assert_eq!(b.end_lock(2), Err(BuildError::WrongLock { held: 1, released: 2 }));
+        assert_eq!(
+            b.end_lock(2),
+            Err(BuildError::WrongLock {
+                held: 1,
+                released: 2
+            })
+        );
     }
 
     #[test]
@@ -587,7 +645,10 @@ mod tests {
     fn error_unclosed_at_finish() {
         let mut b = TreeBuilder::new();
         b.begin_sec("s").unwrap();
-        assert_eq!(b.finish().unwrap_err(), BuildError::UnclosedAnnotations { depth: 1 });
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::UnclosedAnnotations { depth: 1 }
+        );
     }
 
     #[test]
@@ -627,11 +688,23 @@ mod tests {
         let sec = b.end_sec(false).unwrap();
         b.set_section_mem(
             sec,
-            MemProfile { instructions: 100, cycles: 200, llc_misses: 5, dram_bytes: 320, traffic_mbps: 10.0 },
+            MemProfile {
+                instructions: 100,
+                cycles: 200,
+                llc_misses: 5,
+                dram_bytes: 320,
+                traffic_mbps: 10.0,
+            },
         );
         b.set_section_mem(
             sec,
-            MemProfile { instructions: 100, cycles: 200, llc_misses: 5, dram_bytes: 320, traffic_mbps: 10.0 },
+            MemProfile {
+                instructions: 100,
+                cycles: 200,
+                llc_misses: 5,
+                dram_bytes: 320,
+                traffic_mbps: 10.0,
+            },
         );
         let tree = b.finish().unwrap();
         if let NodeKind::Sec { mem: Some(m), .. } = &tree.node(sec).kind {

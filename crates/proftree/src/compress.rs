@@ -36,7 +36,10 @@ pub struct CompressOptions {
 
 impl Default for CompressOptions {
     fn default() -> Self {
-        CompressOptions { tolerance: 0.05, min_children: 4 }
+        CompressOptions {
+            tolerance: 0.05,
+            min_children: 4,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ impl CompressOptions {
     /// Lossy preset: a wide tolerance that trades length fidelity for
     /// memory, the paper's "last resort".
     pub fn lossy() -> Self {
-        CompressOptions { tolerance: 0.25, min_children: 2 }
+        CompressOptions {
+            tolerance: 0.25,
+            min_children: 2,
+        }
     }
 }
 
@@ -150,15 +156,18 @@ impl<'a> Compressor<'a> {
         }
         let node = self.src.node(id);
         let mut h = 0xcbf29ce484222325u64;
-        h = Self::fnv(h, match &node.kind {
-            NodeKind::Root => 0,
-            NodeKind::Sec { .. } => 1,
-            NodeKind::Task { .. } => 2,
-            NodeKind::U => 3,
-            NodeKind::L { .. } => 4,
-            NodeKind::Pipe { .. } => 5,
-            NodeKind::Stage { .. } => 6,
-        });
+        h = Self::fnv(
+            h,
+            match &node.kind {
+                NodeKind::Root => 0,
+                NodeKind::Sec { .. } => 1,
+                NodeKind::Task { .. } => 2,
+                NodeKind::U => 3,
+                NodeKind::L { .. } => 4,
+                NodeKind::Pipe { .. } => 5,
+                NodeKind::Stage { .. } => 6,
+            },
+        );
         match &node.kind {
             NodeKind::Sec { name, nowait, .. } => {
                 h = Self::hash_str(h, name);
@@ -224,13 +233,21 @@ impl<'a> Compressor<'a> {
             ChildList::Rle(runs) => {
                 let new_runs: Vec<Run> = runs
                     .iter()
-                    .map(|r| Run { node: self.emit(r.node), count: r.count, total_length: r.total_length })
+                    .map(|r| Run {
+                        node: self.emit(r.node),
+                        count: r.count,
+                        total_length: r.total_length,
+                    })
                     .collect();
                 ChildList::Rle(new_runs)
             }
         };
         let new_id = self.out.len() as NodeId;
-        self.out.push(Node { kind: src_node.kind, length: src_node.length, children: new_children });
+        self.out.push(Node {
+            kind: src_node.kind,
+            length: src_node.length,
+            children: new_children,
+        });
         if !matches!(self.out[new_id as usize].kind, NodeKind::Root) {
             self.dict.insert(key, new_id);
         }
@@ -254,7 +271,11 @@ impl<'a> Compressor<'a> {
                 last.total_length += len;
             } else {
                 let rep = self.emit(c);
-                runs.push(Run { node: rep, count: 1, total_length: len });
+                runs.push(Run {
+                    node: rep,
+                    count: 1,
+                    total_length: len,
+                });
                 last_key = Some(key);
             }
         }
@@ -302,7 +323,7 @@ fn reindex_root_first(nodes: Vec<Node>, root: NodeId) -> Vec<Node> {
     // Move root to front preserving relative order of the rest.
     let root_node = nodes.remove(root as usize);
     ordered.push(root_node);
-    ordered.extend(nodes.into_iter());
+    ordered.extend(nodes);
     for mut node in ordered {
         match &mut node.children {
             ChildList::Plain(v) => {
@@ -390,8 +411,7 @@ mod tests {
         // Stored: alternating runs but only 2 distinct representatives
         // (dictionary sharing), so node count stays tiny.
         assert!(c.len() <= 8, "got {} nodes", c.len());
-        let expanded: Vec<Cycles> =
-            TaskSeq::new(&c, sec).map(|t| c.node(t).length).collect();
+        let expanded: Vec<Cycles> = TaskSeq::new(&c, sec).map(|t| c.node(t).length).collect();
         assert_eq!(expanded.len(), 100);
         assert_eq!(expanded[0], 100);
         assert_eq!(expanded[1], 9000);
@@ -440,7 +460,10 @@ mod tests {
         c.validate().unwrap();
         // Children of root reachable and correct kind.
         for id in expanded_children(&c, ProgramTree::ROOT) {
-            assert!(matches!(c.node(id).kind, NodeKind::Sec { .. } | NodeKind::U));
+            assert!(matches!(
+                c.node(id).kind,
+                NodeKind::Sec { .. } | NodeKind::U
+            ));
         }
     }
 

@@ -98,7 +98,11 @@ impl BurdenTable {
 
     /// Insert or replace the factor for a thread count.
     pub fn set(&mut self, threads: u32, burden: f64) {
-        let burden = if burden.is_finite() && burden >= 0.05 { burden } else { 1.0 };
+        let burden = if burden.is_finite() && burden >= 0.05 {
+            burden
+        } else {
+            1.0
+        };
         match self.entries.binary_search_by_key(&threads, |&(t, _)| t) {
             Ok(i) => self.entries[i].1 = burden,
             Err(i) => self.entries.insert(i, (threads, burden)),
@@ -279,12 +283,20 @@ pub struct Node {
 impl Node {
     /// A terminal U node of the given length.
     pub fn u(length: Cycles) -> Self {
-        Node { kind: NodeKind::U, length, children: ChildList::Plain(Vec::new()) }
+        Node {
+            kind: NodeKind::U,
+            length,
+            children: ChildList::Plain(Vec::new()),
+        }
     }
 
     /// A terminal L node of the given length protected by `lock`.
     pub fn l(lock: LockId, length: Cycles) -> Self {
-        Node { kind: NodeKind::L { lock }, length, children: ChildList::Plain(Vec::new()) }
+        Node {
+            kind: NodeKind::L { lock },
+            length,
+            children: ChildList::Plain(Vec::new()),
+        }
     }
 }
 
@@ -333,7 +345,7 @@ impl ProgramTree {
 
     /// All node ids in storage order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as NodeId).into_iter()
+        0..self.nodes.len() as NodeId
     }
 
     /// The root node.
@@ -357,9 +369,11 @@ impl ProgramTree {
         };
         match &self.root().children {
             ChildList::Plain(v) => v.iter().copied().filter(|&id| is_region(id)).collect(),
-            ChildList::Rle(runs) => {
-                runs.iter().filter(|r| is_region(r.node)).map(|r| r.node).collect()
-            }
+            ChildList::Rle(runs) => runs
+                .iter()
+                .filter(|r| is_region(r.node))
+                .map(|r| r.node)
+                .collect(),
         }
     }
 
@@ -450,20 +464,20 @@ impl ProgramTree {
                     return Err(format!("node {i} references out-of-range child {c}"));
                 }
                 let child = &self.nodes[c as usize];
-                let ok = match (&n.kind, &child.kind) {
-                    (NodeKind::Root, NodeKind::Sec { .. }) => true,
-                    (NodeKind::Root, NodeKind::Pipe { .. }) => true,
-                    (NodeKind::Root, NodeKind::U) => true,
-                    (NodeKind::Sec { .. }, NodeKind::Task { .. }) => true,
-                    (NodeKind::Pipe { .. }, NodeKind::Task { .. }) => true,
-                    (NodeKind::Task { .. }, NodeKind::U) => true,
-                    (NodeKind::Task { .. }, NodeKind::L { .. }) => true,
-                    (NodeKind::Task { .. }, NodeKind::Sec { .. }) => true,
-                    (NodeKind::Task { .. }, NodeKind::Stage { .. }) => true,
-                    (NodeKind::Stage { .. }, NodeKind::U) => true,
-                    (NodeKind::Stage { .. }, NodeKind::L { .. }) => true,
-                    _ => false,
-                };
+                let ok = matches!(
+                    (&n.kind, &child.kind),
+                    (NodeKind::Root, NodeKind::Sec { .. })
+                        | (NodeKind::Root, NodeKind::Pipe { .. })
+                        | (NodeKind::Root, NodeKind::U)
+                        | (NodeKind::Sec { .. }, NodeKind::Task { .. })
+                        | (NodeKind::Pipe { .. }, NodeKind::Task { .. })
+                        | (NodeKind::Task { .. }, NodeKind::U)
+                        | (NodeKind::Task { .. }, NodeKind::L { .. })
+                        | (NodeKind::Task { .. }, NodeKind::Sec { .. })
+                        | (NodeKind::Task { .. }, NodeKind::Stage { .. })
+                        | (NodeKind::Stage { .. }, NodeKind::U)
+                        | (NodeKind::Stage { .. }, NodeKind::L { .. })
+                );
                 if !ok {
                     return Err(format!(
                         "node {i} ({}) has invalid child kind {}",
@@ -511,8 +525,14 @@ impl ProgramTree {
             ChildList::Rle(runs) => {
                 for r in runs {
                     use std::fmt::Write;
-                    writeln!(out, "{}x{} (total {})", "  ".repeat(depth + 1), r.count, r.total_length)
-                        .unwrap();
+                    writeln!(
+                        out,
+                        "{}x{} (total {})",
+                        "  ".repeat(depth + 1),
+                        r.count,
+                        r.total_length
+                    )
+                    .unwrap();
                     self.render_node(r.node, depth + 2, out);
                 }
             }
@@ -584,8 +604,16 @@ mod tests {
         assert_eq!(plain.logical_len(), 3);
         assert_eq!(plain.stored_len(), 3);
         let rle = ChildList::Rle(vec![
-            Run { node: 1, count: 10, total_length: 100 },
-            Run { node: 2, count: 5, total_length: 55 },
+            Run {
+                node: 1,
+                count: 10,
+                total_length: 100,
+            },
+            Run {
+                node: 2,
+                count: 5,
+                total_length: 55,
+            },
         ]);
         assert_eq!(rle.logical_len(), 15);
         assert_eq!(rle.stored_len(), 2);
@@ -630,7 +658,11 @@ mod tests {
     #[test]
     fn validate_rejects_bad_parentage() {
         let nodes = vec![
-            Node { kind: NodeKind::Root, length: 5, children: ChildList::Plain(vec![1]) },
+            Node {
+                kind: NodeKind::Root,
+                length: 5,
+                children: ChildList::Plain(vec![1]),
+            },
             // A Task directly under Root is invalid.
             Node {
                 kind: NodeKind::Task { name: "t".into() },
@@ -645,7 +677,11 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let nodes = vec![
-            Node { kind: NodeKind::Root, length: 7, children: ChildList::Plain(vec![1]) },
+            Node {
+                kind: NodeKind::Root,
+                length: 7,
+                children: ChildList::Plain(vec![1]),
+            },
             Node {
                 kind: NodeKind::Sec {
                     name: "loop".into(),

@@ -173,9 +173,10 @@ pub fn span_of(tree: &ProgramTree, id: NodeId) -> Cycles {
     let node = tree.node(id);
     match &node.kind {
         NodeKind::U | NodeKind::L { .. } => node.length,
-        NodeKind::Sec { .. } => {
-            expanded_children(tree, id).map(|t| span_of(tree, t)).max().unwrap_or(0)
-        }
+        NodeKind::Sec { .. } => expanded_children(tree, id)
+            .map(|t| span_of(tree, t))
+            .max()
+            .unwrap_or(0),
         NodeKind::Task { .. } | NodeKind::Stage { .. } | NodeKind::Root => {
             expanded_children(tree, id).map(|c| span_of(tree, c)).sum()
         }

@@ -26,7 +26,10 @@ impl<'a> ExpandedChildren<'a> {
     pub fn new(tree: &'a ProgramTree, id: NodeId) -> Self {
         let state = match &tree.node(id).children {
             ChildList::Plain(v) => ExpandState::Plain(v.iter()),
-            ChildList::Rle(runs) => ExpandState::Rle { runs: runs.iter(), current: None },
+            ChildList::Rle(runs) => ExpandState::Rle {
+                runs: runs.iter(),
+                current: None,
+            },
         };
         ExpandedChildren { tree, state }
     }
@@ -75,7 +78,9 @@ impl<'a> TaskSeq<'a> {
     /// Tasks of section `sec` in iteration order.
     pub fn new(tree: &'a ProgramTree, sec: NodeId) -> Self {
         debug_assert!(matches!(tree.node(sec).kind, NodeKind::Sec { .. }));
-        TaskSeq { inner: ExpandedChildren::new(tree, sec) }
+        TaskSeq {
+            inner: ExpandedChildren::new(tree, sec),
+        }
     }
 }
 
@@ -136,7 +141,11 @@ mod tests {
     fn rle_tree() -> ProgramTree {
         // Root -> Sec with tasks [A x3, B x2] (RLE), each task one U child.
         let nodes = vec![
-            Node { kind: NodeKind::Root, length: 320, children: ChildList::Plain(vec![1]) },
+            Node {
+                kind: NodeKind::Root,
+                length: 320,
+                children: ChildList::Plain(vec![1]),
+            },
             Node {
                 kind: NodeKind::Sec {
                     name: "s".into(),
@@ -146,8 +155,16 @@ mod tests {
                 },
                 length: 320,
                 children: ChildList::Rle(vec![
-                    Run { node: 2, count: 3, total_length: 300 },
-                    Run { node: 4, count: 2, total_length: 20 },
+                    Run {
+                        node: 2,
+                        count: 3,
+                        total_length: 300,
+                    },
+                    Run {
+                        node: 4,
+                        count: 2,
+                        total_length: 20,
+                    },
                 ]),
             },
             Node {
@@ -190,9 +207,7 @@ mod tests {
         });
         assert_eq!(
             tags,
-            vec![
-                "Root", "Sec", "Task", "U", "Task", "U", "Task", "U", "Task", "U", "Task", "U"
-            ]
+            vec!["Root", "Sec", "Task", "U", "Task", "U", "Task", "U", "Task", "U", "Task", "U"]
         );
     }
 

@@ -1,21 +1,35 @@
 //! Property-based tests for program-tree construction and compression.
 
-use proptest::prelude::*;
 use proftree::visit::logical_node_count;
 use proftree::{compress_tree, CompressOptions, ProgramTree, TreeBuilder, WorkSummary};
+use proptest::prelude::*;
 
 /// A recipe for building a random but *valid* annotated program.
 #[derive(Debug, Clone)]
 enum Step {
-    Loop { trips: u8, base: u32, jitter: u32, lock_every: u8 },
+    Loop {
+        trips: u8,
+        base: u32,
+        jitter: u32,
+        lock_every: u8,
+    },
     Serial(u32),
-    NestedLoop { outer: u8, inner: u8, base: u32 },
+    NestedLoop {
+        outer: u8,
+        inner: u8,
+        base: u32,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         (1u8..40, 1u32..10_000, 0u32..500, 0u8..4).prop_map(|(trips, base, jitter, lock_every)| {
-            Step::Loop { trips, base, jitter, lock_every }
+            Step::Loop {
+                trips,
+                base,
+                jitter,
+                lock_every,
+            }
         }),
         (1u32..50_000).prop_map(Step::Serial),
         (1u8..8, 1u8..8, 1u32..5_000).prop_map(|(outer, inner, base)| Step::NestedLoop {
@@ -31,7 +45,12 @@ fn build(steps: &[Step]) -> ProgramTree {
     for (si, step) in steps.iter().enumerate() {
         match step {
             Step::Serial(c) => b.add_compute(*c as u64).unwrap(),
-            Step::Loop { trips, base, jitter, lock_every } => {
+            Step::Loop {
+                trips,
+                base,
+                jitter,
+                lock_every,
+            } => {
                 b.begin_sec(&format!("loop{si}")).unwrap();
                 for i in 0..*trips {
                     b.begin_task("t").unwrap();

@@ -33,10 +33,10 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use cilk_rt::{run_program_cilk, CilkOverheads};
-use machsim::prog::{POp, ParSection, ParallelProgram, Paradigm, Schedule, TaskBody};
+use cilk_rt::{run_program_cilk_on, CilkOverheads};
+use machsim::prog::{POp, ParSection, Paradigm, ParallelProgram, Schedule, TaskBody};
 use machsim::{MachineConfig, RunError, WorkPacket};
-use omp_rt::{run_program, OmpOverheads};
+use omp_rt::{run_program_on, OmpOverheads};
 use proftree::{visit::expanded_children, NodeId, NodeKind, ProgramTree};
 use serde::{Deserialize, Serialize};
 
@@ -159,7 +159,9 @@ impl<'t> Gen<'t> {
                 NodeKind::Sec { .. } => {
                     self.overhead_emitted += self.opts.recursive_call_overhead;
                     if self.opts.recursive_call_overhead > 0 {
-                        ops.push(POp::Work(WorkPacket::cpu(self.opts.recursive_call_overhead)));
+                        ops.push(POp::Work(WorkPacket::cpu(
+                            self.opts.recursive_call_overhead,
+                        )));
                     }
                     ops.push(POp::Par(self.section_ir(child)));
                 }
@@ -212,7 +214,9 @@ impl<'t> Gen<'t> {
                 }
             }
             stages = stages.max(stage_ops.len() as u32);
-            items.push(std::rc::Rc::new(machsim::prog::PipeItem { stages: stage_ops }));
+            items.push(std::rc::Rc::new(machsim::prog::PipeItem {
+                stages: stage_ops,
+            }));
         }
         machsim::prog::PipeSection { items, stages }
     }
@@ -222,8 +226,9 @@ impl<'t> Gen<'t> {
             NodeKind::Sec { nowait, .. } => *nowait,
             other => unreachable!("expected Sec, got {}", other.tag()),
         };
-        let tasks: Vec<Rc<TaskBody>> =
-            expanded_children(self.tree, sec).map(|t| self.task_body(t)).collect();
+        let tasks: Vec<Rc<TaskBody>> = expanded_children(self.tree, sec)
+            .map(|t| self.task_body(t))
+            .collect();
         ParSection {
             tasks,
             schedule: self.opts.schedule,
@@ -270,13 +275,45 @@ fn emulate_section(
     sec: NodeId,
     opts: &SynthOptions,
 ) -> Result<SectionEmul, RunError> {
+    let mut machine = machsim::Machine::new(opts.machine);
+    run_section(tree, sec, opts, &mut machine)
+}
+
+/// [`emulate_section`] with a `prophet-obs` recorder attached to the
+/// fresh measurement machine. The machine's virtual clock restarts at 0
+/// for every top-level section, so timestamps are section-local.
+#[cfg(feature = "obs")]
+fn emulate_section_obs(
+    tree: &ProgramTree,
+    sec: NodeId,
+    opts: &SynthOptions,
+    obs: &prophet_obs::ObsHandle,
+) -> Result<SectionEmul, RunError> {
+    let mut machine = machsim::Machine::new(opts.machine);
+    machine.attach_obs(obs.clone());
+    run_section(tree, sec, opts, &mut machine)
+}
+
+/// Generate the section's IR and measure it on `machine` (fresh).
+fn run_section(
+    tree: &ProgramTree,
+    sec: NodeId,
+    opts: &SynthOptions,
+    machine: &mut machsim::Machine,
+) -> Result<SectionEmul, RunError> {
     let burden = match &tree.node(sec).kind {
         NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } if opts.use_burden => {
             burden.factor(opts.threads)
         }
         _ => 1.0,
     };
-    let mut gen = Gen { tree, factor: burden, opts: *opts, memo: HashMap::new(), overhead_emitted: 0 };
+    let mut gen = Gen {
+        tree,
+        factor: burden,
+        opts: *opts,
+        memo: HashMap::new(),
+        overhead_emitted: 0,
+    };
     let top_op = match &tree.node(sec).kind {
         NodeKind::Pipe { .. } => POp::Pipe(gen.pipe_ir(sec)),
         _ => POp::Par(gen.section_ir(sec)),
@@ -286,21 +323,16 @@ fn emulate_section(
     let is_pipe = matches!(program.ops.first(), Some(POp::Pipe(_)));
     let stats = match opts.paradigm {
         // Pipelines are hosted by the OpenMP-like runtime's stage threads.
-        Paradigm::OpenMp => {
-            run_program(opts.machine, &program, opts.omp_overheads, opts.threads)?
-        }
+        Paradigm::OpenMp => run_program_on(machine, &program, opts.omp_overheads, opts.threads)?,
         Paradigm::CilkPlus | Paradigm::OmpTask if is_pipe => {
-            run_program(opts.machine, &program, opts.omp_overheads, opts.threads)?
+            run_program_on(machine, &program, opts.omp_overheads, opts.threads)?
         }
         Paradigm::CilkPlus => {
-            run_program_cilk(opts.machine, &program, opts.cilk_overheads, opts.threads)?
+            run_program_cilk_on(machine, &program, opts.cilk_overheads, opts.threads)?
         }
-        Paradigm::OmpTask => omp_rt::run_program_tasks(
-            opts.machine,
-            &program,
-            opts.task_overheads,
-            opts.threads,
-        )?,
+        Paradigm::OmpTask => {
+            omp_rt::run_program_tasks_on(machine, &program, opts.task_overheads, opts.threads)?
+        }
     };
     let gross = stats.elapsed_cycles;
     // Subtract the balanced estimate of per-worker traversal overhead
@@ -308,6 +340,13 @@ fn emulate_section(
     // as total/threads — imperfect under imbalance, as the paper notes).
     let est = gen.overhead_emitted / opts.threads.max(1) as u64;
     let net = gross.saturating_sub(est).max(1);
+    #[cfg(feature = "obs")]
+    if let Some(h) = machine.obs_handle() {
+        h.record(
+            gross,
+            prophet_obs::EventKind::OverheadSubtract { cycles: est },
+        );
+    }
     Ok(SectionEmul {
         serial_cycles: tree.node(sec).length,
         gross_cycles: gross,
@@ -318,16 +357,34 @@ fn emulate_section(
 
 /// Predict the speedup of `tree` with the synthesizer.
 pub fn predict(tree: &ProgramTree, opts: &SynthOptions) -> Result<SynthPrediction, RunError> {
-    assert!(
-        opts.threads >= 1,
-        "synthesizer needs at least one thread"
-    );
+    predict_with(tree, opts, |sec| emulate_section(tree, sec, opts))
+}
+
+/// [`predict`], recording every measurement machine's scheduler events
+/// plus the synthesizer's overhead-subtraction corrections on `obs`.
+/// Each top-level section is measured on a fresh machine whose virtual
+/// clock restarts at 0, so timestamps are section-local.
+#[cfg(feature = "obs")]
+pub fn predict_with_obs(
+    tree: &ProgramTree,
+    opts: &SynthOptions,
+    obs: prophet_obs::ObsHandle,
+) -> Result<SynthPrediction, RunError> {
+    predict_with(tree, opts, |sec| emulate_section_obs(tree, sec, opts, &obs))
+}
+
+fn predict_with(
+    tree: &ProgramTree,
+    opts: &SynthOptions,
+    mut emul: impl FnMut(NodeId) -> Result<SectionEmul, RunError>,
+) -> Result<SynthPrediction, RunError> {
+    assert!(opts.threads >= 1, "synthesizer needs at least one thread");
     let serial_cycles = tree.total_length();
     let serial_top = tree.top_level_serial_length();
     let mut sections = Vec::new();
     let mut emulated_total = serial_top;
     for sec in tree.top_level_sections() {
-        let e = emulate_section(tree, sec, opts)?;
+        let e = emul(sec)?;
         emulated_total += e.net_cycles;
         sections.push(e);
     }
@@ -429,7 +486,11 @@ mod tests {
         o.schedule = Schedule::static1();
         o.machine.quantum_cycles = 5_000;
         let p = predict(&tree, &o).unwrap();
-        assert!(p.speedup > 1.85, "synthesizer should see ~2.0, got {}", p.speedup);
+        assert!(
+            p.speedup > 1.85,
+            "synthesizer should see ~2.0, got {}",
+            p.speedup
+        );
     }
 
     #[test]
@@ -464,8 +525,11 @@ mod tests {
         o.schedule = Schedule::static1();
         let p = predict(&tree, &o).unwrap();
         // 50_000 serial + ~10_000 parallel.
-        assert!((p.predicted_cycles as i64 - 60_000).unsigned_abs() < 500,
-            "predicted {}", p.predicted_cycles);
+        assert!(
+            (p.predicted_cycles as i64 - 60_000).unsigned_abs() < 500,
+            "predicted {}",
+            p.predicted_cycles
+        );
     }
 
     #[test]
@@ -484,7 +548,11 @@ mod tests {
         let mut o = zero_opts(4, Paradigm::OpenMp, 4);
         o.schedule = Schedule::static1();
         let p = predict(&tree, &o).unwrap();
-        assert!((p.speedup - 1.0).abs() < 0.05, "lock-bound speedup {}", p.speedup);
+        assert!(
+            (p.speedup - 1.0).abs() < 0.05,
+            "lock-bound speedup {}",
+            p.speedup
+        );
     }
 
     #[test]

@@ -27,13 +27,15 @@ fn loop_strategy() -> impl Strategy<Value = LoopSpec> {
         0u8..5,
         proptest::collection::vec(2_000u32..30_000, 2..6),
     )
-        .prop_map(|(lens, lock_every, lock_len, nested_every, nested_lens)| LoopSpec {
-            lens,
-            lock_every,
-            lock_len,
-            nested_every,
-            nested_lens,
-        })
+        .prop_map(
+            |(lens, lock_every, lock_len, nested_every, nested_lens)| LoopSpec {
+                lens,
+                lock_every,
+                lock_len,
+                nested_every,
+                nested_lens,
+            },
+        )
 }
 
 fn build(specs: &[LoopSpec], serial: u32) -> ProgramTree {

@@ -130,6 +130,12 @@ pub struct Tracer {
     section_depth: usize,
     /// Pending top-level section nodes awaiting counter attachment.
     pending_mem: Vec<(NodeId, MemProfile)>,
+    /// Structured event recorder (virtual-time annotation spans).
+    #[cfg(feature = "obs")]
+    obs: Option<prophet_obs::ObsHandle>,
+    /// Open annotation span labels, innermost last (obs span matching).
+    #[cfg(feature = "obs")]
+    span_labels: Vec<u32>,
 }
 
 impl Tracer {
@@ -144,8 +150,50 @@ impl Tracer {
             open_top_section: None,
             section_depth: 0,
             pending_mem: Vec::new(),
+            #[cfg(feature = "obs")]
+            obs: None,
+            #[cfg(feature = "obs")]
+            span_labels: Vec::new(),
             opts,
         }
+    }
+
+    /// Attach a `prophet-obs` recorder: every annotation pair becomes a
+    /// span at the tracer's net virtual time, and `finish` records the
+    /// total profiling overhead as an `overhead_subtract` event.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, obs: prophet_obs::ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// Record an annotation span boundary. On `begin`, `label` is
+    /// interned and pushed; on end the innermost label is popped so the
+    /// span end matches its begin even without the original name.
+    #[cfg(feature = "obs")]
+    fn obs_span(&mut self, begin: bool, kind: prophet_obs::SpanKind, label: Option<&str>) {
+        let Some(h) = self.obs.as_ref() else { return };
+        let label = if begin {
+            let l = h.intern(label.unwrap_or("?"));
+            self.span_labels.push(l);
+            l
+        } else {
+            self.span_labels.pop().unwrap_or(0)
+        };
+        let t = self.mem.cycles();
+        let kind = if begin {
+            prophet_obs::EventKind::SpanBegin {
+                kind,
+                label,
+                thread: 0,
+            }
+        } else {
+            prophet_obs::EventKind::SpanEnd {
+                kind,
+                label,
+                thread: 0,
+            }
+        };
+        h.record(t, kind);
     }
 
     // ----- computation interface (the program's virtual data path) -----
@@ -194,6 +242,8 @@ impl Tracer {
         let delta = self.mark();
         self.builder.add_compute(delta)?;
         self.builder.begin_sec(name)?;
+        #[cfg(feature = "obs")]
+        self.obs_span(true, prophet_obs::SpanKind::AnnotationSec, Some(name));
         if self.section_depth == 0 {
             // Start hardware counters for the top-level section.
             self.overhead_cycles += self.opts.counter_read_overhead;
@@ -213,6 +263,8 @@ impl Tracer {
         let delta = self.mark();
         self.builder.add_compute(delta)?;
         let sec_node = self.builder.end_sec(nowait)?;
+        #[cfg(feature = "obs")]
+        self.obs_span(false, prophet_obs::SpanKind::AnnotationSec, None);
         self.section_depth -= 1;
         if self.section_depth == 0 {
             if let Some((_, at_begin)) = self.open_top_section.take() {
@@ -242,7 +294,10 @@ impl Tracer {
     pub fn try_par_task_begin(&mut self, name: &str) -> Result<(), BuildError> {
         let delta = self.mark();
         self.builder.add_compute(delta)?;
-        self.builder.begin_task(name)
+        self.builder.begin_task(name)?;
+        #[cfg(feature = "obs")]
+        self.obs_span(true, prophet_obs::SpanKind::AnnotationTask, Some(name));
+        Ok(())
     }
 
     /// `PAR_TASK_END()`.
@@ -254,7 +309,10 @@ impl Tracer {
     pub fn try_par_task_end(&mut self) -> Result<(), BuildError> {
         let delta = self.mark();
         self.builder.add_compute(delta)?;
-        self.builder.end_task().map(|_| ())
+        self.builder.end_task()?;
+        #[cfg(feature = "obs")]
+        self.obs_span(false, prophet_obs::SpanKind::AnnotationTask, None);
+        Ok(())
     }
 
     /// `PIPE_BEGIN(name)`: open a pipeline region (the §VII-E pipeline
@@ -269,6 +327,8 @@ impl Tracer {
         let delta = self.mark();
         self.builder.add_compute(delta)?;
         self.builder.begin_pipe(name)?;
+        #[cfg(feature = "obs")]
+        self.obs_span(true, prophet_obs::SpanKind::AnnotationSec, Some(name));
         if self.section_depth == 0 {
             self.overhead_cycles += self.opts.counter_read_overhead;
             self.open_top_section = Some((0, self.mem.snapshot()));
@@ -287,6 +347,8 @@ impl Tracer {
         let delta = self.mark();
         self.builder.add_compute(delta)?;
         let node = self.builder.end_pipe()?;
+        #[cfg(feature = "obs")]
+        self.obs_span(false, prophet_obs::SpanKind::AnnotationSec, None);
         self.section_depth -= 1;
         if self.section_depth == 0 {
             if let Some((_, at_begin)) = self.open_top_section.take() {
@@ -340,7 +402,14 @@ impl Tracer {
     pub fn try_lock_begin(&mut self, lock: u32) -> Result<(), BuildError> {
         let delta = self.mark();
         self.builder.add_compute(delta)?;
-        self.builder.begin_lock(lock)
+        self.builder.begin_lock(lock)?;
+        #[cfg(feature = "obs")]
+        self.obs_span(
+            true,
+            prophet_obs::SpanKind::AnnotationLock,
+            Some(&format!("lock{lock}")),
+        );
+        Ok(())
     }
 
     /// `LOCK_END(id)`.
@@ -352,7 +421,10 @@ impl Tracer {
     pub fn try_lock_end(&mut self, lock: u32) -> Result<(), BuildError> {
         let delta = self.mark();
         self.builder.add_compute(delta)?;
-        self.builder.end_lock(lock)
+        self.builder.end_lock(lock)?;
+        #[cfg(feature = "obs")]
+        self.obs_span(false, prophet_obs::SpanKind::AnnotationLock, None);
+        Ok(())
     }
 
     /// Finish profiling: close the tree, optionally compress, and report.
@@ -360,6 +432,15 @@ impl Tracer {
         let now = self.mem.cycles();
         let tail = now - self.last_mark;
         self.builder.add_compute(tail)?;
+        #[cfg(feature = "obs")]
+        if let Some(h) = self.obs.as_ref() {
+            h.record(
+                now,
+                prophet_obs::EventKind::OverheadSubtract {
+                    cycles: self.overhead_cycles,
+                },
+            );
+        }
         let tree = self.builder.finish()?;
         let peak_tree_bytes = tree.approx_bytes();
         let counters = self.mem.snapshot();
@@ -386,6 +467,22 @@ impl Tracer {
 /// Profile an annotated program end to end.
 pub fn profile(program: &dyn AnnotatedProgram, opts: ProfileOptions) -> ProfileResult {
     let mut t = Tracer::new(opts);
+    program.run(&mut t);
+    t.finish()
+        .unwrap_or_else(|e| panic!("annotation error in {}: {e}", program.name()))
+}
+
+/// [`profile`] with a `prophet-obs` recorder attached: annotation pairs
+/// become spans on the serial virtual clock and the accumulated tracer
+/// overhead is recorded at the end of the run.
+#[cfg(feature = "obs")]
+pub fn profile_with_obs(
+    program: &dyn AnnotatedProgram,
+    opts: ProfileOptions,
+    obs: prophet_obs::ObsHandle,
+) -> ProfileResult {
+    let mut t = Tracer::new(opts);
+    t.attach_obs(obs);
     program.run(&mut t);
     t.finish()
         .unwrap_or_else(|e| panic!("annotation error in {}: {e}", program.name()))
@@ -499,9 +596,11 @@ mod tests {
     #[test]
     fn overhead_excluded_from_lengths_but_reported() {
         let run = |ovh: u64| {
-            let mut opts = ProfileOptions::default();
-            opts.annotation_overhead = ovh;
-            opts.counter_read_overhead = 0;
+            let opts = ProfileOptions {
+                annotation_overhead: ovh,
+                counter_read_overhead: 0,
+                ..ProfileOptions::default()
+            };
             let mut t = Tracer::new(opts);
             t.par_sec_begin("s");
             for _ in 0..10 {
@@ -514,7 +613,10 @@ mod tests {
         };
         let cheap = run(0);
         let dear = run(500);
-        assert_eq!(cheap.net_cycles, dear.net_cycles, "net lengths must not see overhead");
+        assert_eq!(
+            cheap.net_cycles, dear.net_cycles,
+            "net lengths must not see overhead"
+        );
         assert!(dear.gross_cycles > dear.net_cycles);
         assert!(dear.slowdown() > 1.5);
         assert!((cheap.slowdown() - 1.0).abs() < 1e-9);
@@ -568,7 +670,10 @@ mod tests {
         let r = profile(&P, ProfileOptions::default());
         assert_eq!(r.tree.top_level_sections().len(), 1);
         let sec = r.tree.top_level_sections()[0];
-        assert!(matches!(r.tree.node(sec).kind, NodeKind::Sec { nowait: true, .. }));
+        assert!(matches!(
+            r.tree.node(sec).kind,
+            NodeKind::Sec { nowait: true, .. }
+        ));
     }
 
     #[test]

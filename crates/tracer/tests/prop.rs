@@ -11,8 +11,13 @@ use tracer::{ProfileOptions, Tracer};
 #[derive(Debug, Clone)]
 enum Step {
     Serial(u32),
-    Loop { tasks: Vec<(u32, Option<(u8, u32)>)> }, // (work, lock(id, len))
-    Pipe { items: u8, stages: Vec<u32> },
+    Loop {
+        tasks: Vec<(u32, Option<(u8, u32)>)>,
+    }, // (work, lock(id, len))
+    Pipe {
+        items: u8,
+        stages: Vec<u32>,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
@@ -29,9 +34,10 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn opts() -> ProfileOptions {
-    let mut o = ProfileOptions::default();
-    o.annotation_overhead = 100;
-    o
+    ProfileOptions {
+        annotation_overhead: 100,
+        ..ProfileOptions::default()
+    }
 }
 
 fn run(steps: &[Step], compress: bool) -> tracer::ProfileResult {

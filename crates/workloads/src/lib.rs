@@ -37,7 +37,9 @@ pub mod test2;
 pub mod vmem;
 
 pub use pipeline_wl::{PipelineParams, PipelineWl};
-pub use real::{real_program, run_real, RealOptions, RealResult};
+#[cfg(feature = "obs")]
+pub use real::run_real_with_obs;
+pub use real::{real_program, run_real, run_real_on, RealOptions, RealResult};
 pub use spec::{BenchSpec, Benchmark};
 pub use test1::{Test1, Test1Params};
 pub use test2::{Test2, Test2Params};

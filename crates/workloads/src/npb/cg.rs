@@ -28,13 +28,23 @@ pub struct Cg {
 impl Cg {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Cg { n: 512, nnz_per_row: 8, iters: 1, rows_per_task: 64 }
+        Cg {
+            n: 512,
+            nnz_per_row: 8,
+            iters: 1,
+            rows_per_task: 64,
+        }
     }
 
     /// Experiment instance: ~32k rows × 24 nnz ≈ 6 MB of matrix + vectors
     /// on the 1.5 MB LLC (paper: B/400MB on 12 MB).
     pub fn paper() -> Self {
-        Cg { n: 1 << 15, nnz_per_row: 24, iters: 3, rows_per_task: 256 }
+        Cg {
+            n: 1 << 15,
+            nnz_per_row: 24,
+            iters: 3,
+            rows_per_task: 256,
+        }
     }
 
     /// Footprint: CSR values+cols plus four vectors.
@@ -49,7 +59,7 @@ fn col_of(row: u64, k: u64, n: u64) -> u64 {
     let mut x = row.wrapping_mul(0x9E3779B97F4A7C15) ^ k.wrapping_mul(0xD1B54A32D192ED03);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 27;
-    if k % 3 == 0 {
+    if k.is_multiple_of(3) {
         // Banded entry near the diagonal.
         (row + (x % 32)) % n
     } else {
@@ -154,7 +164,12 @@ impl Benchmark for Cg {
             name: "NPB-CG".into(),
             paradigm: Paradigm::OpenMp,
             schedule: Schedule::static_block(),
-            input_desc: format!("{}x{}nnz/{}MB", self.n, self.nnz_per_row, self.footprint() >> 20),
+            input_desc: format!(
+                "{}x{}nnz/{}MB",
+                self.n,
+                self.nnz_per_row,
+                self.footprint() >> 20
+            ),
             footprint_bytes: self.footprint(),
         }
     }
@@ -185,9 +200,16 @@ mod tests {
 
     #[test]
     fn gather_makes_spmv_memory_hungry_at_scale() {
-        let cg = Cg { n: 8192, nnz_per_row: 12, iters: 1, rows_per_task: 256 };
-        let mut opts = ProfileOptions::default();
-        opts.hierarchy = cachesim::HierarchyConfig::tiny();
+        let cg = Cg {
+            n: 8192,
+            nnz_per_row: 12,
+            iters: 1,
+            rows_per_task: 256,
+        };
+        let opts = ProfileOptions {
+            hierarchy: cachesim::HierarchyConfig::tiny(),
+            ..ProfileOptions::default()
+        };
         let r = profile(&cg, opts);
         let secs = r.tree.top_level_sections();
         if let NodeKind::Sec { mem: Some(m), .. } = &r.tree.node(secs[0]).kind {

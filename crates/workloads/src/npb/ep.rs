@@ -25,12 +25,18 @@ pub struct Ep {
 impl Ep {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Ep { pairs: 1 << 12, block: 1 << 8 }
+        Ep {
+            pairs: 1 << 12,
+            block: 1 << 8,
+        }
     }
 
     /// Experiment instance.
     pub fn paper() -> Self {
-        Ep { pairs: 1 << 20, block: 1 << 13 }
+        Ep {
+            pairs: 1 << 20,
+            block: 1 << 13,
+        }
     }
 }
 
@@ -56,8 +62,8 @@ impl AnnotatedProgram for Ep {
                 // deterministic proxy for the branch.
                 if (b ^ _i) % 4 != 3 {
                     t.work(12); // log/sqrt of the accepted pair
-                    t.read(tally.at(((b + _i) % 10) as u64));
-                    t.write(tally.at(((b + _i) % 10) as u64));
+                    t.read(tally.at((b + _i) % 10));
+                    t.write(tally.at((b + _i) % 10));
                 }
             }
             t.par_task_end();
@@ -67,7 +73,7 @@ impl AnnotatedProgram for Ep {
         // Reduction of tallies (serial, negligible).
         for k in 0..10 {
             t.read(global.at(k));
-            t.work(blocks * 1);
+            t.work(blocks);
             t.write(global.at(k));
         }
     }

@@ -28,14 +28,22 @@ pub struct Ft {
 impl Ft {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Ft { dim: 16, iters: 1, lines_per_task: 8 }
+        Ft {
+            dim: 16,
+            iters: 1,
+            lines_per_task: 8,
+        }
     }
 
     /// Experiment instance: 64³ complex = 4 MB on the 1.5 MB LLC (the
     /// paper's B class is 850 MB on 12 MB — tens of× the cache; ours is
     /// ~3×, enough to put every strided pass in the streaming regime).
     pub fn paper() -> Self {
-        Ft { dim: 64, iters: 2, lines_per_task: 16 }
+        Ft {
+            dim: 64,
+            iters: 2,
+            lines_per_task: 16,
+        }
     }
 
     /// Footprint: the complex grid.
@@ -171,9 +179,15 @@ mod tests {
     #[test]
     fn strided_passes_are_memory_hungrier() {
         // Use a footprint that exceeds the tiny test hierarchy's LLC.
-        let ft = Ft { dim: 32, iters: 1, lines_per_task: 8 };
-        let mut opts = ProfileOptions::default();
-        opts.hierarchy = cachesim::HierarchyConfig::tiny();
+        let ft = Ft {
+            dim: 32,
+            iters: 1,
+            lines_per_task: 8,
+        };
+        let opts = ProfileOptions {
+            hierarchy: cachesim::HierarchyConfig::tiny(),
+            ..ProfileOptions::default()
+        };
         let r = profile(&ft, opts);
         let secs = r.tree.top_level_sections();
         let get_mpi = |i: usize| match &r.tree.node(secs[i]).kind {

@@ -25,13 +25,23 @@ pub struct Is {
 impl Is {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Is { keys: 1 << 12, buckets: 1 << 8, iterations: 2, keys_per_task: 1 << 8 }
+        Is {
+            keys: 1 << 12,
+            buckets: 1 << 8,
+            iterations: 2,
+            keys_per_task: 1 << 8,
+        }
     }
 
     /// Experiment instance: 2¹⁸ keys × 2¹² buckets (scaled from class B's
     /// 2²⁵ × 2²¹).
     pub fn paper() -> Self {
-        Is { keys: 1 << 18, buckets: 1 << 12, iterations: 3, keys_per_task: 1 << 12 }
+        Is {
+            keys: 1 << 18,
+            buckets: 1 << 12,
+            iterations: 3,
+            keys_per_task: 1 << 12,
+        }
     }
 
     /// Footprint: keys + two count arrays.
@@ -151,7 +161,12 @@ mod tests {
     fn is_tree_compresses_massively() {
         // The paper's §VI-B point: IS generates a huge, highly-repetitive
         // tree that compression collapses.
-        let is = Is { keys: 1 << 14, buckets: 1 << 8, iterations: 2, keys_per_task: 16 };
+        let is = Is {
+            keys: 1 << 14,
+            buckets: 1 << 8,
+            iterations: 2,
+            keys_per_task: 16,
+        };
         let r = profile(&is, ProfileOptions::default());
         let stats = r.compress_stats.expect("compression on");
         assert!(stats.nodes_before > 4_000, "before {}", stats.nodes_before);

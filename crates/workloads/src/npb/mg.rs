@@ -26,13 +26,21 @@ pub struct Mg {
 impl Mg {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Mg { dim: 16, cycles: 1, coarsest: 4 }
+        Mg {
+            dim: 16,
+            cycles: 1,
+            coarsest: 4,
+        }
     }
 
     /// Experiment instance: 64³ f64 grids u and r ≈ 4 MB on the 1.5 MB
     /// LLC (paper: B/470MB on 12 MB).
     pub fn paper() -> Self {
-        Mg { dim: 64, cycles: 2, coarsest: 8 }
+        Mg {
+            dim: 64,
+            cycles: 2,
+            coarsest: 8,
+        }
     }
 
     /// Footprint: u and r at the finest level (coarser levels are ⅛ each).

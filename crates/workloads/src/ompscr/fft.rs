@@ -28,13 +28,21 @@ pub struct Fft {
 impl Fft {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Fft { n: 1 << 10, cutoff: 1 << 8, combine_cutoff: 1 << 9 }
+        Fft {
+            n: 1 << 10,
+            cutoff: 1 << 8,
+            combine_cutoff: 1 << 9,
+        }
     }
 
     /// Experiment instance: 2¹⁷ complex points = 2 MB + 2 MB scratch on
     /// the 1.5 MB simulated LLC (paper: `2048/118MB` vs 12 MB).
     pub fn paper() -> Self {
-        Fft { n: 1 << 17, cutoff: 1 << 11, combine_cutoff: 1 << 12 }
+        Fft {
+            n: 1 << 17,
+            cutoff: 1 << 11,
+            combine_cutoff: 1 << 12,
+        }
     }
 
     /// Footprint: data + scratch arrays of 16-byte complex.
@@ -51,7 +59,7 @@ fn fft_rec(
     scratch: &VArray,
     off: u64,
     len: u64,
-    stride_level: u32,
+    _stride_level: u32,
     cfg: &Fft,
 ) {
     if len <= 1 {
@@ -78,15 +86,15 @@ fn fft_rec(
         // cilk_spawn FFT(even); FFT(odd); cilk_sync.
         t.par_sec_begin("fft_spawn");
         t.par_task_begin("even");
-        fft_rec(t, data, scratch, off, half, stride_level + 1, cfg);
+        fft_rec(t, data, scratch, off, half, _stride_level + 1, cfg);
         t.par_task_end();
         t.par_task_begin("odd");
-        fft_rec(t, data, scratch, off + half, half, stride_level + 1, cfg);
+        fft_rec(t, data, scratch, off + half, half, _stride_level + 1, cfg);
         t.par_task_end();
         t.par_sec_end(false);
     } else {
-        fft_rec(t, data, scratch, off, half, stride_level + 1, cfg);
-        fft_rec(t, data, scratch, off + half, half, stride_level + 1, cfg);
+        fft_rec(t, data, scratch, off, half, _stride_level + 1, cfg);
+        fft_rec(t, data, scratch, off + half, half, _stride_level + 1, cfg);
     }
 
     // Combine: butterflies over the two halves (the Fig. 1(b) cilk_for).
@@ -123,7 +131,10 @@ impl AnnotatedProgram for Fft {
     }
 
     fn run(&self, t: &mut Tracer) {
-        assert!(self.n.is_power_of_two(), "FFT length must be a power of two");
+        assert!(
+            self.n.is_power_of_two(),
+            "FFT length must be a power of two"
+        );
         let mut heap = VAlloc::new();
         let data = VArray::alloc(&mut heap, self.n, 16);
         let scratch = VArray::alloc(&mut heap, self.n, 16);
@@ -164,16 +175,32 @@ mod tests {
         let r = profile(&Fft::small(), ProfileOptions::default());
         let stats = TreeStats::gather(&r.tree);
         // log2(1024/256) = 2 spawn levels plus combine sections.
-        assert!(stats.max_section_depth >= 2, "depth {}", stats.max_section_depth);
+        assert!(
+            stats.max_section_depth >= 2,
+            "depth {}",
+            stats.max_section_depth
+        );
         assert_eq!(r.tree.top_level_sections().len(), 1);
     }
 
     #[test]
     fn fft_work_scales_n_log_n() {
-        let small = profile(&Fft { n: 1 << 9, cutoff: 1 << 7, combine_cutoff: 1 << 8 },
-            ProfileOptions::default());
-        let big = profile(&Fft { n: 1 << 11, cutoff: 1 << 7, combine_cutoff: 1 << 8 },
-            ProfileOptions::default());
+        let small = profile(
+            &Fft {
+                n: 1 << 9,
+                cutoff: 1 << 7,
+                combine_cutoff: 1 << 8,
+            },
+            ProfileOptions::default(),
+        );
+        let big = profile(
+            &Fft {
+                n: 1 << 11,
+                cutoff: 1 << 7,
+                combine_cutoff: 1 << 8,
+            },
+            ProfileOptions::default(),
+        );
         let ratio = big.net_cycles as f64 / small.net_cycles as f64;
         // 4× points → slightly over 4× work (log factor 11/9).
         assert!((4.0..6.5).contains(&ratio), "ratio {ratio}");

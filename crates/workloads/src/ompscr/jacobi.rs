@@ -23,13 +23,21 @@ pub struct Jacobi {
 impl Jacobi {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Jacobi { n: 64, sweeps: 1, rows_per_task: 8 }
+        Jacobi {
+            n: 64,
+            sweeps: 1,
+            rows_per_task: 8,
+        }
     }
 
     /// Experiment instance: 512² × 2 grids of f64 = 4 MB on the 1.5 MB
     /// LLC.
     pub fn paper() -> Self {
-        Jacobi { n: 512, sweeps: 2, rows_per_task: 16 }
+        Jacobi {
+            n: 512,
+            sweeps: 2,
+            rows_per_task: 16,
+        }
     }
 
     /// Footprint of the two grids.
@@ -125,9 +133,15 @@ mod tests {
 
     #[test]
     fn large_grid_is_memory_hungry() {
-        let j = Jacobi { n: 256, sweeps: 1, rows_per_task: 16 };
-        let mut opts = ProfileOptions::default();
-        opts.hierarchy = cachesim::HierarchyConfig::tiny();
+        let j = Jacobi {
+            n: 256,
+            sweeps: 1,
+            rows_per_task: 16,
+        };
+        let opts = ProfileOptions {
+            hierarchy: cachesim::HierarchyConfig::tiny(),
+            ..ProfileOptions::default()
+        };
         let r = profile(&j, opts);
         assert!(r.counters.mpi() > 0.01, "mpi {}", r.counters.mpi());
     }

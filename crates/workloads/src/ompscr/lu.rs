@@ -120,8 +120,10 @@ mod tests {
     #[test]
     fn inner_trip_counts_shrink() {
         let lu = Lu::small();
-        let mut opts = ProfileOptions::default();
-        opts.compress = false;
+        let opts = ProfileOptions {
+            compress: false,
+            ..ProfileOptions::default()
+        };
         let r = profile(&lu, opts);
         let secs = r.tree.top_level_sections();
         let first = TaskSeq::new(&r.tree, secs[0]).count() as u64;

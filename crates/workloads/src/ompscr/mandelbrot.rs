@@ -24,12 +24,20 @@ pub struct Mandelbrot {
 impl Mandelbrot {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Mandelbrot { width: 64, height: 48, max_iter: 64 }
+        Mandelbrot {
+            width: 64,
+            height: 48,
+            max_iter: 64,
+        }
     }
 
     /// Experiment instance.
     pub fn paper() -> Self {
-        Mandelbrot { width: 256, height: 192, max_iter: 256 }
+        Mandelbrot {
+            width: 256,
+            height: 192,
+            max_iter: 256,
+        }
     }
 }
 
@@ -87,15 +95,22 @@ mod tests {
     #[test]
     fn rows_are_genuinely_imbalanced() {
         let m = Mandelbrot::small();
-        let mut opts = ProfileOptions::default();
-        opts.compress = false;
+        let opts = ProfileOptions {
+            compress: false,
+            ..ProfileOptions::default()
+        };
         let r = profile(&m, opts);
         let sec = r.tree.top_level_sections()[0];
-        let lens: Vec<u64> =
-            TaskSeq::new(&r.tree, sec).map(|t| r.tree.node(t).length).collect();
+        let lens: Vec<u64> = TaskSeq::new(&r.tree, sec)
+            .map(|t| r.tree.node(t).length)
+            .collect();
         assert_eq!(lens.len() as u64, m.height);
         let max = *lens.iter().max().unwrap() as f64;
         let min = *lens.iter().min().unwrap() as f64;
-        assert!(max / min > 3.0, "fractal imbalance expected: max/min = {}", max / min);
+        assert!(
+            max / min > 3.0,
+            "fractal imbalance expected: max/min = {}",
+            max / min
+        );
     }
 }

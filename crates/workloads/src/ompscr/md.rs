@@ -25,12 +25,18 @@ pub struct Md {
 impl Md {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Md { nparts: 128, steps: 1 }
+        Md {
+            nparts: 128,
+            steps: 1,
+        }
     }
 
     /// The experiment instance (scaled from the paper's 8192 particles).
     pub fn paper() -> Self {
-        Md { nparts: 1024, steps: 1 }
+        Md {
+            nparts: 1024,
+            steps: 1,
+        }
     }
 
     /// Approximate footprint: pos/vel/acc/force, 3 doubles each.

@@ -21,12 +21,18 @@ pub struct Pi {
 impl Pi {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        Pi { intervals: 1 << 12, block: 1 << 8 }
+        Pi {
+            intervals: 1 << 12,
+            block: 1 << 8,
+        }
     }
 
     /// Experiment instance.
     pub fn paper() -> Self {
-        Pi { intervals: 1 << 20, block: 1 << 13 }
+        Pi {
+            intervals: 1 << 20,
+            block: 1 << 13,
+        }
     }
 }
 

@@ -25,13 +25,19 @@ pub struct QSort {
 impl QSort {
     /// Tiny instance for tests.
     pub fn small() -> Self {
-        QSort { n: 2_000, cutoff: 256 }
+        QSort {
+            n: 2_000,
+            cutoff: 256,
+        }
     }
 
     /// Experiment instance (paper: `2048/4MB`; ours: 256k u32 = 1 MB on
     /// the 1.5 MB LLC).
     pub fn paper() -> Self {
-        QSort { n: 1 << 18, cutoff: 1 << 13 }
+        QSort {
+            n: 1 << 18,
+            cutoff: 1 << 13,
+        }
     }
 
     /// Footprint of the array.
@@ -191,14 +197,30 @@ mod tests {
     fn qsort_sorts_and_profiles() {
         let r = profile(&QSort::small(), ProfileOptions::default());
         let stats = TreeStats::gather(&r.tree);
-        assert!(stats.max_section_depth >= 2, "depth {}", stats.max_section_depth);
+        assert!(
+            stats.max_section_depth >= 2,
+            "depth {}",
+            stats.max_section_depth
+        );
         assert!(r.net_cycles > 0);
     }
 
     #[test]
     fn deeper_recursion_with_smaller_cutoff() {
-        let a = profile(&QSort { n: 4_000, cutoff: 2_000 }, ProfileOptions::default());
-        let b = profile(&QSort { n: 4_000, cutoff: 250 }, ProfileOptions::default());
+        let a = profile(
+            &QSort {
+                n: 4_000,
+                cutoff: 2_000,
+            },
+            ProfileOptions::default(),
+        );
+        let b = profile(
+            &QSort {
+                n: 4_000,
+                cutoff: 250,
+            },
+            ProfileOptions::default(),
+        );
         let da = TreeStats::gather(&a.tree).max_section_depth;
         let db = TreeStats::gather(&b.tree).max_section_depth;
         assert!(db > da, "cutoff 250 depth {db} !> cutoff 2000 depth {da}");

@@ -76,14 +76,8 @@ impl AnnotatedProgram for PipelineWl {
             for (s, &base) in p.stage_cost.iter().enumerate() {
                 t.stage_begin(s as u32);
                 let m = (base as f64 * (1.0 - p.jitter)).max(1.0) as u64;
-                let cost = compute_overhead(
-                    p.shape,
-                    i,
-                    p.items,
-                    m,
-                    base,
-                    p.seed ^ (s as u64) << 32,
-                );
+                let cost =
+                    compute_overhead(p.shape, i, p.items, m, base, p.seed ^ (s as u64) << 32);
                 t.work(cost);
                 t.stage_end(s as u32);
             }
@@ -146,8 +140,10 @@ mod tests {
             jitter: 0.0,
             seed: 3,
         });
-        let mut opts = ProfileOptions::default();
-        opts.compress = false;
+        let opts = ProfileOptions {
+            compress: false,
+            ..ProfileOptions::default()
+        };
         let r = profile(&wl, opts);
         // Find stage nodes; stage 1 nodes should be twice stage 0.
         let mut s0 = 0u64;

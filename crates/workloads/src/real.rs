@@ -14,10 +14,10 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use cilk_rt::{run_program_cilk, CilkOverheads};
-use machsim::prog::{POp, ParSection, ParallelProgram, Paradigm, Schedule, TaskBody};
+use cilk_rt::{run_program_cilk_on, CilkOverheads};
+use machsim::prog::{POp, ParSection, Paradigm, ParallelProgram, Schedule, TaskBody};
 use machsim::{MachineConfig, RunError, RunStats, WorkPacket};
-use omp_rt::{run_program, OmpOverheads};
+use omp_rt::{run_program_on, OmpOverheads};
 use proftree::{visit::expanded_children, NodeId, NodeKind, ProgramTree};
 use serde::{Deserialize, Serialize};
 
@@ -172,11 +172,24 @@ impl<'t> Conv<'t> {
 
     fn section(&mut self, sec: NodeId, inherited_rate: f64) -> ParSection {
         let own_rate = section_miss_rate(self.tree, sec);
-        let rate = if own_rate > 0.0 { own_rate } else { inherited_rate };
-        let nowait = matches!(&self.tree.node(sec).kind, NodeKind::Sec { nowait: true, .. });
-        let tasks: Vec<Rc<TaskBody>> =
-            expanded_children(self.tree, sec).map(|t| self.task_body(t, rate)).collect();
-        ParSection { tasks, schedule: self.schedule, nowait, team: Some(self.threads) }
+        let rate = if own_rate > 0.0 {
+            own_rate
+        } else {
+            inherited_rate
+        };
+        let nowait = matches!(
+            &self.tree.node(sec).kind,
+            NodeKind::Sec { nowait: true, .. }
+        );
+        let tasks: Vec<Rc<TaskBody>> = expanded_children(self.tree, sec)
+            .map(|t| self.task_body(t, rate))
+            .collect();
+        ParSection {
+            tasks,
+            schedule: self.schedule,
+            nowait,
+            team: Some(self.threads),
+        }
     }
 }
 
@@ -210,25 +223,44 @@ pub fn real_program(tree: &ProgramTree, opts: &RealOptions) -> ParallelProgram {
 
 /// Run the parallelised program and report its real speedup.
 pub fn run_real(tree: &ProgramTree, opts: &RealOptions) -> Result<RealResult, RunError> {
+    let mut machine = machsim::Machine::new(opts.machine);
+    run_real_on(tree, opts, &mut machine)
+}
+
+/// [`run_real`] with a `prophet-obs` recorder attached to the machine:
+/// every scheduler, lock, barrier, chunk and steal event of the run is
+/// recorded on the machine's virtual clock.
+#[cfg(feature = "obs")]
+pub fn run_real_with_obs(
+    tree: &ProgramTree,
+    opts: &RealOptions,
+    obs: prophet_obs::ObsHandle,
+) -> Result<RealResult, RunError> {
+    let mut machine = machsim::Machine::new(opts.machine);
+    machine.attach_obs(obs);
+    run_real_on(tree, opts, &mut machine)
+}
+
+/// Run the parallelised program on an existing (fresh) machine.
+pub fn run_real_on(
+    tree: &ProgramTree,
+    opts: &RealOptions,
+    machine: &mut machsim::Machine,
+) -> Result<RealResult, RunError> {
     let program = real_program(tree, opts);
     let has_pipe = program.ops.iter().any(|op| matches!(op, POp::Pipe(_)));
     let stats = match opts.paradigm {
         // Pipelines are hosted by the OpenMP-like runtime's stage threads.
-        Paradigm::OpenMp => {
-            run_program(opts.machine, &program, opts.omp_overheads, opts.threads)?
-        }
+        Paradigm::OpenMp => run_program_on(machine, &program, opts.omp_overheads, opts.threads)?,
         Paradigm::CilkPlus | Paradigm::OmpTask if has_pipe => {
-            run_program(opts.machine, &program, opts.omp_overheads, opts.threads)?
+            run_program_on(machine, &program, opts.omp_overheads, opts.threads)?
         }
         Paradigm::CilkPlus => {
-            run_program_cilk(opts.machine, &program, opts.cilk_overheads, opts.threads)?
+            run_program_cilk_on(machine, &program, opts.cilk_overheads, opts.threads)?
         }
-        Paradigm::OmpTask => omp_rt::run_program_tasks(
-            opts.machine,
-            &program,
-            opts.task_overheads,
-            opts.threads,
-        )?,
+        Paradigm::OmpTask => {
+            omp_rt::run_program_tasks_on(machine, &program, opts.task_overheads, opts.threads)?
+        }
     };
     let serial_cycles = tree.total_length();
     Ok(RealResult {
@@ -334,7 +366,10 @@ mod tests {
         let s1 = r1.speedup;
         let s12 = r12.speedup;
         assert!((s1 - 1.0).abs() < 0.05, "s1 {s1}");
-        assert!(s12 < 3.0, "12-thread speedup should saturate near 2, got {s12}");
+        assert!(
+            s12 < 3.0,
+            "12-thread speedup should saturate near 2, got {s12}"
+        );
         assert!(s12 > 1.5, "but it should still beat serial, got {s12}");
     }
 

@@ -101,10 +101,12 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_and_varied() {
-        let a: Vec<u64> =
-            (0..50).map(|i| compute_overhead(Shape::Random, i, 50, 0, 1_000_000, 7)).collect();
-        let b: Vec<u64> =
-            (0..50).map(|i| compute_overhead(Shape::Random, i, 50, 0, 1_000_000, 7)).collect();
+        let a: Vec<u64> = (0..50)
+            .map(|i| compute_overhead(Shape::Random, i, 50, 0, 1_000_000, 7))
+            .collect();
+        let b: Vec<u64> = (0..50)
+            .map(|i| compute_overhead(Shape::Random, i, 50, 0, 1_000_000, 7))
+            .collect();
         assert_eq!(a, b);
         let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
         assert!(distinct.len() > 40, "random shape not varied");
@@ -112,8 +114,9 @@ mod tests {
 
     #[test]
     fn bimodal_has_two_modes() {
-        let vals: Vec<u64> =
-            (0..1000).map(|i| compute_overhead(Shape::Bimodal, i, 1000, 5, 500, 3)).collect();
+        let vals: Vec<u64> = (0..1000)
+            .map(|i| compute_overhead(Shape::Bimodal, i, 1000, 5, 500, 3))
+            .collect();
         let cheap = vals.iter().filter(|&&v| v == 5).count();
         let dear = vals.iter().filter(|&&v| v == 500).count();
         assert_eq!(cheap + dear, 1000);

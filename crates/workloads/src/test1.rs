@@ -42,7 +42,7 @@ impl Test1Params {
         let i_max = rng.gen_range(16..=200);
         let shape = Shape::ALL[rng.gen_range(0..Shape::ALL.len())];
         let min_cost = rng.gen_range(16_000..=160_000);
-        let max_cost = min_cost * rng.gen_range(2..=20);
+        let max_cost = min_cost * rng.gen_range(2u64..=20);
         // Random mixture of delay and lock weights.
         let mut w = [0f64; 5];
         for x in w.iter_mut() {
@@ -103,8 +103,7 @@ impl Test1 {
         t.par_sec_begin(sec_name);
         for i in 0..p.i_max {
             t.par_task_begin("it");
-            let cost =
-                compute_overhead(p.shape, i, p.i_max, p.min_cost, p.max_cost, p.seed);
+            let cost = compute_overhead(p.shape, i, p.i_max, p.min_cost, p.max_cost, p.seed);
             let part = |r: f64| -> u64 { (cost as f64 * r).round() as u64 };
             t.work(part(p.ratio_delay[0]));
             if p.ratio_lock[0] > 0.0 && coin(p.seed, i, 1, p.lock_prob[0]) {

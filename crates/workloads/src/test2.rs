@@ -44,7 +44,7 @@ impl Test2Params {
         let k_max = rng.gen_range(8..=48);
         let shape = Shape::ALL[rng.gen_range(0..Shape::ALL.len())];
         let min_cost = rng.gen_range(32_000..=240_000);
-        let max_cost = min_cost * rng.gen_range(2..=10);
+        let max_cost = min_cost * rng.gen_range(2u64..=10);
         let a = rng.gen_range(0.1..0.9);
         let mut inner = Test1Params::random(seed ^ 0x5151_1515_2222_0002);
         inner.i_max = rng.gen_range(4..=32);

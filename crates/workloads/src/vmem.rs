@@ -50,7 +50,11 @@ pub struct VArray {
 impl VArray {
     /// Allocate an array of `len` elements of `elem` bytes.
     pub fn alloc(a: &mut VAlloc, len: u64, elem: u64) -> Self {
-        VArray { base: a.alloc(len * elem), elem, len }
+        VArray {
+            base: a.alloc(len * elem),
+            elem,
+            len,
+        }
     }
 
     /// Address of element `i`.
@@ -75,7 +79,11 @@ pub struct VArray3 {
 impl VArray3 {
     /// Allocate a `dim³` array.
     pub fn alloc(a: &mut VAlloc, dim: u64, elem: u64) -> Self {
-        VArray3 { base: a.alloc(dim * dim * dim * elem), elem, dim }
+        VArray3 {
+            base: a.alloc(dim * dim * dim * elem),
+            elem,
+            dim,
+        }
     }
 
     /// Address of `(x, y, z)`.

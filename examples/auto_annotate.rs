@@ -119,8 +119,11 @@ fn main() {
         println!("  {s}");
     }
 
-    let parallel_loops =
-        report.loops.iter().filter(|l| l.verdict().is_parallel()).count();
+    let parallel_loops = report
+        .loops
+        .iter()
+        .filter(|l| l.verdict().is_parallel())
+        .count();
     println!(
         "\n{} of {} loops are annotation candidates.\n",
         parallel_loops,
@@ -128,7 +131,11 @@ fn main() {
     );
     assert_eq!(
         report.loops.iter().map(|l| l.verdict()).collect::<Vec<_>>(),
-        vec![Verdict::Parallel, Verdict::ParallelWithReduction, Verdict::Serial],
+        vec![
+            Verdict::Parallel,
+            Verdict::ParallelWithReduction,
+            Verdict::Serial
+        ],
         "expected blur ∥, histogram ∥(reduction), scan serial"
     );
 

@@ -55,7 +55,15 @@ fn main() {
         );
     }
     println!("{}", report.render());
-    let err = report.mean_relative_error("Pred", "Real").unwrap_or(f64::NAN);
-    let suit_err = report.mean_relative_error("Suit", "Real").unwrap_or(f64::NAN);
-    println!("mean relative error: Pred {:.1}%  Suit {:.1}%", err * 100.0, suit_err * 100.0);
+    let err = report
+        .mean_relative_error("Pred", "Real")
+        .unwrap_or(f64::NAN);
+    let suit_err = report
+        .mean_relative_error("Suit", "Real")
+        .unwrap_or(f64::NAN);
+    println!(
+        "mean relative error: Pred {:.1}%  Suit {:.1}%",
+        err * 100.0,
+        suit_err * 100.0
+    );
 }

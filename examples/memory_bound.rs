@@ -15,15 +15,23 @@ use workloads::{run_real, RealOptions};
 fn main() {
     // A smaller FT on a proportionally smaller LLC keeps the example
     // quick while staying several× over the cache (DESIGN.md §6).
-    let ft = Ft { dim: 32, iters: 1, lines_per_task: 16 };
+    let ft = Ft {
+        dim: 32,
+        iters: 1,
+        lines_per_task: 16,
+    };
     let mut hierarchy = HierarchyConfig::westmere_scaled();
     hierarchy.llc.capacity_bytes = 128 << 10;
     hierarchy.llc.ways = 8;
     let machine = MachineConfig::westmere_scaled();
 
     let spec = ft.spec();
-    println!("benchmark: {} ({}, LLC {} KiB)", spec.name, spec.input_desc,
-        hierarchy.llc.capacity_bytes >> 10);
+    println!(
+        "benchmark: {} ({}, LLC {} KiB)",
+        spec.name,
+        spec.input_desc,
+        hierarchy.llc.capacity_bytes >> 10
+    );
 
     let mut prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
@@ -53,10 +61,22 @@ fn main() {
             ..Default::default()
         };
         let pred = prophet
-            .predict(&profiled, &PredictOptions { memory_model: false, ..base })
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    memory_model: false,
+                    ..base
+                },
+            )
             .expect("pred");
         let predm = prophet
-            .predict(&profiled, &PredictOptions { memory_model: true, ..base })
+            .predict(
+                &profiled,
+                &PredictOptions {
+                    memory_model: true,
+                    ..base
+                },
+            )
             .expect("predm");
         report.push_row(
             threads,
@@ -67,7 +87,13 @@ fn main() {
     println!(
         "errors vs Real: Pred {:.1}%, PredM {:.1}% — the memory model captures \
          the saturation.",
-        report.mean_relative_error("Pred", "Real").unwrap_or(f64::NAN) * 100.0,
-        report.mean_relative_error("PredM", "Real").unwrap_or(f64::NAN) * 100.0
+        report
+            .mean_relative_error("Pred", "Real")
+            .unwrap_or(f64::NAN)
+            * 100.0,
+        report
+            .mean_relative_error("PredM", "Real")
+            .unwrap_or(f64::NAN)
+            * 100.0
     );
 }

@@ -28,7 +28,9 @@ fn main() {
     let stats = proftree::TreeStats::gather(&profiled.tree);
     println!(
         "profiled: {} pipe node(s), {} stored stage nodes, {} tree nodes\n",
-        stats.pipes, stats.stages, profiled.tree.len()
+        stats.pipes,
+        stats.stages,
+        profiled.tree.len()
     );
 
     let mut report = SpeedupReport::new(
@@ -38,26 +40,38 @@ fn main() {
     for threads in [2u32, 4, 6, 8] {
         // A pipeline always runs all its stage threads; "t threads" means
         // a t-core machine.
-        let mut real_opts =
-            RealOptions::new(threads, Paradigm::OpenMp, Schedule::static_block());
+        let mut real_opts = RealOptions::new(threads, Paradigm::OpenMp, Schedule::static_block());
         real_opts.machine = real_opts.machine.with_cores(threads);
         let real = run_real(&profiled.tree, &real_opts).expect("ground truth");
         let ff = prophet
             .predict(
                 &profiled,
-                &PredictOptions { threads, emulator: Emulator::FastForward, ..Default::default() },
+                &PredictOptions {
+                    threads,
+                    emulator: Emulator::FastForward,
+                    ..Default::default()
+                },
             )
             .expect("ff");
         let syn = prophet
             .predict(
                 &profiled,
-                &PredictOptions { threads, emulator: Emulator::Synthesizer, ..Default::default() },
+                &PredictOptions {
+                    threads,
+                    emulator: Emulator::Synthesizer,
+                    ..Default::default()
+                },
             )
             .expect("syn");
         let suit = suitability_predict(&profiled.tree, threads);
         report.push_row(
             threads,
-            vec![Some(real.speedup), Some(ff.speedup), Some(syn.speedup), Some(suit.speedup)],
+            vec![
+                Some(real.speedup),
+                Some(ff.speedup),
+                Some(syn.speedup),
+                Some(suit.speedup),
+            ],
         );
     }
     println!("{}", report.render());

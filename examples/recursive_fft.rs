@@ -12,7 +12,11 @@ use workloads::spec::Benchmark;
 use workloads::{run_real, RealOptions};
 
 fn main() {
-    let fft = Fft { n: 1 << 13, cutoff: 1 << 9, combine_cutoff: 1 << 10 };
+    let fft = Fft {
+        n: 1 << 13,
+        cutoff: 1 << 9,
+        combine_cutoff: 1 << 10,
+    };
     let spec = fft.spec();
     println!("benchmark: {} ({})", spec.name, spec.input_desc);
 
@@ -86,7 +90,10 @@ fn main() {
     println!(
         "SYN error {:.1}% vs FF error {:.1}% — the synthesizer models the \
          work-stealing runtime the FF cannot.",
-        report.mean_relative_error("SYN", "Real").unwrap_or(f64::NAN) * 100.0,
+        report
+            .mean_relative_error("SYN", "Real")
+            .unwrap_or(f64::NAN)
+            * 100.0,
         report.mean_relative_error("FF", "Real").unwrap_or(f64::NAN) * 100.0
     );
 }

@@ -47,13 +47,22 @@ fn main() {
     println!("  (static)    -> ~1.20x   (T0: I0,I1 | T1: I2)");
     println!("  (dynamic,1) -> ~1.58x   (T0: I0 | T1: I1,I2)\n");
 
-    for schedule in [Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()] {
+    for schedule in [
+        Schedule::static1(),
+        Schedule::static_block(),
+        Schedule::dynamic1(),
+    ] {
         let mut line = format!("{:<12}", schedule.name());
         for emulator in [Emulator::FastForward, Emulator::Synthesizer] {
             let p = prophet
                 .predict(
                     &profiled,
-                    &PredictOptions { threads: 2, schedule, emulator, ..Default::default() },
+                    &PredictOptions {
+                        threads: 2,
+                        schedule,
+                        emulator,
+                        ..Default::default()
+                    },
                 )
                 .expect("prediction");
             line.push_str(&format!(
@@ -70,14 +79,23 @@ fn main() {
 
     // Draw the actual machine schedules, Fig. 5 style (threads: 0 =
     // worker 0/master, 1 = worker 1).
-    println!("
-machine schedules (Gantt, 64 columns ≈ the paper's Fig. 5 boxes):");
-    for schedule in [Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()] {
+    println!(
+        "
+machine schedules (Gantt, 64 columns ≈ the paper's Fig. 5 boxes):"
+    );
+    for schedule in [
+        Schedule::static1(),
+        Schedule::static_block(),
+        Schedule::dynamic1(),
+    ] {
         let mk = |a: u64, l: u64, b: u64| {
             Rc::new(TaskBody {
                 ops: vec![
                     POp::Work(WorkPacket::cpu(a * 1000)),
-                    POp::Locked { lock: 1, work: WorkPacket::cpu(l * 1000) },
+                    POp::Locked {
+                        lock: 1,
+                        work: WorkPacket::cpu(l * 1000),
+                    },
                     POp::Work(WorkPacket::cpu(b * 1000)),
                 ],
             })
@@ -92,10 +110,14 @@ machine schedules (Gantt, 64 columns ≈ the paper's Fig. 5 boxes):");
         };
         let mut m = Machine::new(MachineConfig::small(2));
         m.enable_tracing();
-        let stats = omp_rt::run_program_on(&mut m, &prog, OmpOverheads::zero(), 2)
-            .expect("machine run");
-        println!("
-{} ({} cycles):", schedule.name(), stats.elapsed_cycles);
+        let stats =
+            omp_rt::run_program_on(&mut m, &prog, OmpOverheads::zero(), 2).expect("machine run");
+        println!(
+            "
+{} ({} cycles):",
+            schedule.name(),
+            stats.elapsed_cycles
+        );
         print!(
             "{}",
             stats.timeline.expect("tracing enabled").render_gantt(64)

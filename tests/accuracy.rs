@@ -107,8 +107,11 @@ fn synthesizer_beats_suitability_on_test2() {
         let prog = Test2::new(params);
         let profiled = prophet.profile(&prog);
         let schedule = Schedule::dynamic1();
-        let real =
-            run_real(&profiled.tree, &RealOptions::new(4, Paradigm::OpenMp, schedule)).unwrap();
+        let real = run_real(
+            &profiled.tree,
+            &RealOptions::new(4, Paradigm::OpenMp, schedule),
+        )
+        .unwrap();
         let syn = prophet
             .predict(
                 &profiled,

@@ -4,15 +4,19 @@
 
 use cachesim::HierarchyConfig;
 use machsim::{MachineConfig, Paradigm, Schedule};
-use prophet_core::{Emulator, PredictOptions, Prophet};
 use proftree::NodeKind;
+use prophet_core::{Emulator, PredictOptions, Prophet};
 use workloads::npb::{Ep, Ft};
 use workloads::{run_real, RealOptions};
 
 /// FT scaled to a small LLC so the test is fast but still several× over
 /// the cache (the streaming regime of the real B-class run).
 fn small_ft_setup() -> (Ft, MachineConfig, HierarchyConfig) {
-    let ft = Ft { dim: 32, iters: 1, lines_per_task: 16 };
+    let ft = Ft {
+        dim: 32,
+        iters: 1,
+        lines_per_task: 16,
+    };
     let mut hierarchy = HierarchyConfig::westmere_scaled();
     // Shrink the cache (power-of-two set counts require adjusting ways).
     hierarchy.llc.capacity_bytes = 128 << 10;
@@ -41,7 +45,10 @@ fn ft_gets_nontrivial_burden_factors() {
             }
         }
     }
-    assert!(burdened >= 2, "expected burdened FT sections, got {burdened}");
+    assert!(
+        burdened >= 2,
+        "expected burdened FT sections, got {burdened}"
+    );
 }
 
 #[test]
@@ -61,10 +68,22 @@ fn predm_tracks_real_saturation_better_than_pred() {
         ..Default::default()
     };
     let pred = prophet
-        .predict(&profiled, &PredictOptions { memory_model: false, ..base })
+        .predict(
+            &profiled,
+            &PredictOptions {
+                memory_model: false,
+                ..base
+            },
+        )
         .unwrap();
     let predm = prophet
-        .predict(&profiled, &PredictOptions { memory_model: true, ..base })
+        .predict(
+            &profiled,
+            &PredictOptions {
+                memory_model: true,
+                ..base
+            },
+        )
         .unwrap();
 
     // The Fig. 2 claim: without the model, overestimation; with it, the
@@ -92,10 +111,17 @@ fn predm_tracks_real_saturation_better_than_pred() {
 fn ep_burden_stays_unit_and_scales_linearly() {
     let mut prophet = Prophet::new();
     // A mid-size EP: large enough that fork/join overhead is negligible.
-    let profiled = prophet.profile(&Ep { pairs: 1 << 17, block: 1 << 10 });
+    let profiled = prophet.profile(&Ep {
+        pairs: 1 << 17,
+        block: 1 << 10,
+    });
     for sec in profiled.tree.top_level_sections() {
         if let NodeKind::Sec { burden, .. } = &profiled.tree.node(sec).kind {
-            assert!(burden.is_unit(), "EP must not be burdened: {:?}", burden.entries());
+            assert!(
+                burden.is_unit(),
+                "EP must not be burdened: {:?}",
+                burden.entries()
+            );
         }
     }
     let pred = prophet
@@ -109,7 +135,11 @@ fn ep_burden_stays_unit_and_scales_linearly() {
             },
         )
         .unwrap();
-    assert!(pred.speedup > 10.0, "EP should be near-linear, got {:.2}", pred.speedup);
+    assert!(
+        pred.speedup > 10.0,
+        "EP should be near-linear, got {:.2}",
+        pred.speedup
+    );
 }
 
 #[test]

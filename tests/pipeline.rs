@@ -29,7 +29,11 @@ fn test1_pipeline_ff_and_synth_against_real() {
     let mut prophet = quick_prophet();
     let profiled = prophet.profile(&prog);
 
-    for schedule in [Schedule::static1(), Schedule::static_block(), Schedule::dynamic1()] {
+    for schedule in [
+        Schedule::static1(),
+        Schedule::static_block(),
+        Schedule::dynamic1(),
+    ] {
         let real = run_real(
             &profiled.tree,
             &RealOptions::new(8, Paradigm::OpenMp, schedule),
@@ -39,7 +43,12 @@ fn test1_pipeline_ff_and_synth_against_real() {
             let pred = prophet
                 .predict(
                     &profiled,
-                    &PredictOptions { threads: 8, schedule, emulator, ..Default::default() },
+                    &PredictOptions {
+                        threads: 8,
+                        schedule,
+                        emulator,
+                        ..Default::default()
+                    },
                 )
                 .expect("prediction");
             let rel = (pred.speedup - real.speedup).abs() / real.speedup;
@@ -64,8 +73,11 @@ fn test2_nested_synthesizer_tracks_real() {
     let profiled = prophet.profile(&prog);
 
     let schedule = Schedule::static1();
-    let real =
-        run_real(&profiled.tree, &RealOptions::new(8, Paradigm::OpenMp, schedule)).unwrap();
+    let real = run_real(
+        &profiled.tree,
+        &RealOptions::new(8, Paradigm::OpenMp, schedule),
+    )
+    .unwrap();
     let syn = prophet
         .predict(
             &profiled,
@@ -120,13 +132,17 @@ fn compression_does_not_change_predictions_materially() {
     let prog = Test1::new(Test1Params::random(100));
     let mut prophet = quick_prophet();
 
-    let mut opts_nc = tracer::ProfileOptions::default();
-    opts_nc.compress = false;
+    let opts_nc = tracer::ProfileOptions {
+        compress: false,
+        ..tracer::ProfileOptions::default()
+    };
     prophet.set_profile_options(opts_nc);
     let uncompressed = prophet.profile(&prog);
 
-    let mut opts_c = tracer::ProfileOptions::default();
-    opts_c.compress = true;
+    let opts_c = tracer::ProfileOptions {
+        compress: true,
+        ..tracer::ProfileOptions::default()
+    };
     prophet.set_profile_options(opts_c);
     let compressed = prophet.profile(&prog);
 
@@ -140,7 +156,11 @@ fn compression_does_not_change_predictions_materially() {
     let a = prophet.predict(&uncompressed, &po).unwrap();
     let b = prophet.predict(&compressed, &po).unwrap();
     let rel = (a.speedup - b.speedup).abs() / a.speedup;
-    assert!(rel < 0.07, "compression changed prediction by {:.1}%", rel * 100.0);
+    assert!(
+        rel < 0.07,
+        "compression changed prediction by {:.1}%",
+        rel * 100.0
+    );
 }
 
 #[test]
@@ -148,7 +168,13 @@ fn annotation_errors_are_reported_not_swallowed() {
     use tracer::{ProfileOptions, Tracer};
     let mut t = Tracer::new(ProfileOptions::default());
     t.par_sec_begin("s");
-    assert!(t.try_lock_begin(1).is_err(), "lock directly in section must error");
+    assert!(
+        t.try_lock_begin(1).is_err(),
+        "lock directly in section must error"
+    );
     assert!(t.try_par_sec_end(false).is_ok());
-    assert!(t.try_par_task_end().is_err(), "unmatched task end must error");
+    assert!(
+        t.try_par_task_end().is_err(),
+        "unmatched task end must error"
+    );
 }

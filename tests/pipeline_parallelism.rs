@@ -41,7 +41,11 @@ fn balanced_pipeline_approaches_stage_count_speedup() {
         let pred = prophet
             .predict(
                 &profiled,
-                &PredictOptions { threads: 4, emulator, ..Default::default() },
+                &PredictOptions {
+                    threads: 4,
+                    emulator,
+                    ..Default::default()
+                },
             )
             .unwrap();
         let rel = (pred.speedup - real.speedup).abs() / real.speedup;
@@ -76,11 +80,20 @@ fn bottleneck_stage_governs_speedup() {
     let ff = prophet
         .predict(
             &profiled,
-            &PredictOptions { threads: 4, emulator: Emulator::FastForward, ..Default::default() },
+            &PredictOptions {
+                threads: 4,
+                emulator: Emulator::FastForward,
+                ..Default::default()
+            },
         )
         .unwrap();
     let rel = (ff.speedup - real.speedup).abs() / real.speedup;
-    assert!(rel < 0.15, "FF {:.2} vs real {:.2}", ff.speedup, real.speedup);
+    assert!(
+        rel < 0.15,
+        "FF {:.2} vs real {:.2}",
+        ff.speedup,
+        real.speedup
+    );
 }
 
 #[test]
@@ -93,7 +106,11 @@ fn fewer_cores_than_stages_handled() {
     let mut opts = RealOptions::new(2, Paradigm::OpenMp, Schedule::static_block());
     opts.machine = machsim::MachineConfig::westmere_scaled().with_cores(2);
     let real = run_real(&profiled.tree, &opts).unwrap();
-    assert!(real.speedup <= 2.2, "2 cores can't give {:.2}", real.speedup);
+    assert!(
+        real.speedup <= 2.2,
+        "2 cores can't give {:.2}",
+        real.speedup
+    );
 
     let mut prophet2 = Prophet::with_machine(
         machsim::MachineConfig::westmere_scaled().with_cores(2),
@@ -111,11 +128,20 @@ fn fewer_cores_than_stages_handled() {
     let ff = prophet2
         .predict(
             &profiled2,
-            &PredictOptions { threads: 2, emulator: Emulator::FastForward, ..Default::default() },
+            &PredictOptions {
+                threads: 2,
+                emulator: Emulator::FastForward,
+                ..Default::default()
+            },
         )
         .unwrap();
     let rel = (ff.speedup - real.speedup).abs() / real.speedup;
-    assert!(rel < 0.2, "FF {:.2} vs real {:.2}", ff.speedup, real.speedup);
+    assert!(
+        rel < 0.2,
+        "FF {:.2} vs real {:.2}",
+        ff.speedup,
+        real.speedup
+    );
 }
 
 #[test]

@@ -13,7 +13,11 @@ use workloads::{run_real, RealOptions};
 
 /// The memory-bound FT setup from the memory-model tests.
 fn setup() -> (Ft, MachineConfig, HierarchyConfig) {
-    let ft = Ft { dim: 32, iters: 1, lines_per_task: 16 };
+    let ft = Ft {
+        dim: 32,
+        iters: 1,
+        lines_per_task: 16,
+    };
     let mut hierarchy = HierarchyConfig::westmere_scaled();
     hierarchy.llc.capacity_bytes = 128 << 10;
     hierarchy.llc.ways = 8;
@@ -31,7 +35,10 @@ fn shrinking_misses_make_the_machine_superlinear_capable() {
 
     let threads = 12u32;
     let retention = miss_retention(footprint, threads, llc);
-    assert!(retention < 0.5, "12-way split should fit: retention {retention}");
+    assert!(
+        retention < 0.5,
+        "12-way split should fit: retention {retention}"
+    );
 
     let base_opts = {
         let mut o = RealOptions::new(threads, Paradigm::OpenMp, Schedule::static_block());
@@ -91,7 +98,9 @@ fn trend_aware_burden_tracks_trended_ground_truth() {
             &cal,
             &inputs,
             threads,
-            CacheTrend::Shrinks { footprint_bytes: footprint },
+            CacheTrend::Shrinks {
+                footprint_bytes: footprint,
+            },
             llc,
         );
         if let NodeKind::Sec { burden, .. } = &mut trended_tree.node_mut(sec).kind {
@@ -135,11 +144,15 @@ fn growth_trend_predicts_worse_scaling_than_assumption4() {
                 &cal,
                 &i,
                 8,
-                CacheTrend::Grows { per_thread_growth: 0.2 },
+                CacheTrend::Grows {
+                    per_thread_growth: 0.2,
+                },
                 hierarchy.llc.capacity_bytes,
             );
-            assert!(grown >= base, "growth must not shrink burden: {grown} < {base}");
+            assert!(
+                grown >= base,
+                "growth must not shrink burden: {grown} < {base}"
+            );
         }
     }
 }
-

@@ -1,0 +1,386 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The real serde_derive depends on syn/quote, which cannot be fetched in
+//! this offline environment. Because the workspace's serialised types are
+//! all plain non-generic structs and enums without `#[serde(...)]`
+//! attributes, a direct walk over [`proc_macro::TokenTree`]s is enough to
+//! recover the shape and emit `Serialize` / `Deserialize` impls against
+//! the concrete `serde::Value` data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    /// One-field tuple struct; serialised transparently as its inner value.
+    Newtype {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Remove attributes (`#[...]`, including doc comments) from a token list.
+fn strip_attrs(tokens: &mut Vec<TokenTree>) {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut it = std::mem::take(tokens).into_iter().peekable();
+    while let Some(tt) = it.next() {
+        if let TokenTree::Punct(p) = &tt {
+            if p.as_char() == '#' {
+                // Swallow the following bracket group (outer attribute).
+                if matches!(
+                    it.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+                ) {
+                    it.next();
+                    continue;
+                }
+            }
+        }
+        out.push(tt);
+    }
+    *tokens = out;
+}
+
+/// Split a token list at top-level commas. Tracks `<`/`>` depth because
+/// angle brackets are punct tokens, not groups.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("non-empty").push(tt);
+    }
+    if parts.last().is_some_and(|p| p.is_empty()) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Field name from tokens like `pub name : Type`.
+fn field_name(tokens: &[TokenTree]) -> String {
+    let mut last_ident = None;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                return last_ident.expect("field name before ':'");
+            }
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    panic!("could not find field name in {tokens:?}");
+}
+
+fn parse_fields(group: TokenStream) -> Vec<String> {
+    let mut tokens: Vec<TokenTree> = group.into_iter().collect();
+    strip_attrs(&mut tokens);
+    split_commas(tokens)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| field_name(&part))
+        .collect()
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut tokens: Vec<TokenTree> = group.into_iter().collect();
+    strip_attrs(&mut tokens);
+    split_commas(tokens)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let name = match &part[0] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            match part.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let arity = split_commas(inner)
+                        .into_iter()
+                        .filter(|p| !p.is_empty())
+                        .count();
+                    Variant::Tuple(name, arity)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Variant::Struct(name, parse_fields(g.stream()))
+                }
+                None => Variant::Unit(name),
+                other => panic!("unsupported variant shape after {name}: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    strip_attrs(&mut tokens);
+    let mut it = tokens.into_iter().peekable();
+    // Skip visibility (`pub`, optionally followed by `(crate)` etc.).
+    let mut kind = None;
+    for tt in it.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = Some(s);
+                break;
+            }
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type {name}");
+    }
+    let body = it.find_map(|tt| match tt {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some((g.stream(), true)),
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+            Some((g.stream(), false))
+        }
+        _ => None,
+    });
+    match body {
+        Some((body, true)) if kind == "struct" => Shape::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        Some((body, true)) => Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        Some((body, false)) => {
+            let mut tokens: Vec<TokenTree> = body.into_iter().collect();
+            strip_attrs(&mut tokens);
+            let arity = split_commas(tokens)
+                .into_iter()
+                .filter(|p| !p.is_empty())
+                .count();
+            if arity != 1 {
+                panic!("vendored serde_derive only supports 1-field tuple structs ({name} has {arity})");
+            }
+            Shape::Newtype { name }
+        }
+        None => panic!("vendored serde_derive requires a body for {name}"),
+    }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{f}\".to_string(), \
+                         serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}\n"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => {
+                        format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n")
+                    }
+                    Variant::Tuple(vn, 1) => format!(
+                        "{name}::{vn}(__f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         serde::Serialize::to_value(__f0))]),\n"
+                    ),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), serde::Value::Object(vec![{}]))]),\n",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_field_reads(fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value({src}.get(\"{f}\")\
+                 .unwrap_or(&serde::Value::Null))\
+                 .map_err(|e| serde::Error::msg(format!(\"field {f}: {{e}}\")))?,\n"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let reads = gen_field_reads(fields, "__v");
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         Ok({name} {{\n{reads}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}\n"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    _ => None,
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(vn, 1) => Some(format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::from_value(__items.get({i})\
+                                     .unwrap_or(&serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => match __inner {{\n\
+                                 serde::Value::Array(__items) => Ok({name}::{vn}({})),\n\
+                                 _ => Err(serde::Error::msg(\"expected array for variant {vn}\")),\n\
+                             }},\n",
+                            reads.join(", ")
+                        ))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let reads = gen_field_reads(fields, "__inner");
+                        Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{\n{reads}}}),\n"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => Err(serde::Error::msg(format!(\
+                                     \"unknown {name} variant {{__other}}\"))),\n\
+                             }},\n\
+                             serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__k, __inner) = &__fields[0];\n\
+                                 match __k.as_str() {{\n\
+                                     {data_arms}\
+                                     __other => Err(serde::Error::msg(format!(\
+                                         \"unknown {name} variant {{__other}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(serde::Error::msg(\"expected string or 1-key object for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (vendored stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (vendored stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
