@@ -1,0 +1,80 @@
+//! Criterion bench: sweep-engine throughput, one worker vs all cores.
+//!
+//! Beyond the criterion timings, the bench records a serial-vs-parallel
+//! wall-clock comparison of one fixed grid into `BENCH_sweep.json` at the
+//! workspace root, so CI (multi-core) captures the fan-out speedup the
+//! single-core numbers cannot show.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_core::machsim::Schedule;
+use prophet_core::Prophet;
+use serde::Serialize;
+use sweep::{GridSpec, PredictorSpec, SweepEngine, WorkloadSpec};
+
+fn grid() -> GridSpec {
+    let mut grid = GridSpec::new((0..6).map(WorkloadSpec::test1).collect());
+    grid.threads = vec![2, 8];
+    grid.schedules = vec![Schedule::static1(), Schedule::dynamic1()];
+    grid.predictors = vec![PredictorSpec::real(), PredictorSpec::ff(true)];
+    grid
+}
+
+/// One full engine run (fresh cache, so profiling cost is included), in
+/// seconds.
+fn run_once(jobs: usize) -> f64 {
+    let engine = SweepEngine::new(Prophet::new()).with_jobs(jobs);
+    let t0 = std::time::Instant::now();
+    let r = engine.run(&grid());
+    assert_eq!(r.jobs_skipped, 0);
+    t0.elapsed().as_secs_f64()
+}
+
+#[derive(Serialize)]
+struct SweepBench {
+    grid_jobs: usize,
+    workers_parallel: usize,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    parallel_speedup: f64,
+}
+
+fn record_speedup() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let grid_jobs = grid().expand().len();
+    let serial = run_once(1);
+    let parallel = run_once(0);
+    let record = SweepBench {
+        grid_jobs,
+        workers_parallel: workers,
+        serial_seconds: serial,
+        parallel_seconds: parallel,
+        parallel_speedup: serial / parallel,
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sweep.json");
+    let body = serde_json::to_string_pretty(&record).expect("serialise bench record");
+    std::fs::write(&path, body)
+        .unwrap_or_else(|e| eprintln!("warn: cannot write {}: {e}", path.display()));
+    eprintln!(
+        "sweep: {} jobs — {serial:.2}s serial, {parallel:.2}s on {workers} worker(s) \
+         ({:.2}x) -> {}",
+        grid_jobs,
+        serial / parallel,
+        path.display()
+    );
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_engine");
+    g.sample_size(10);
+    g.bench_function("jobs_1", |b| b.iter(|| run_once(1)));
+    g.bench_function("jobs_all", |b| b.iter(|| run_once(0)));
+    g.finish();
+    record_speedup();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

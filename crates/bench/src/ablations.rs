@@ -1,15 +1,42 @@
 //! Ablation studies for the reproduction's design choices: each knob that
 //! makes a prediction mechanism work is disabled or swept to show it
 //! matters.
+//!
+//! All three studies run on the parallel sweep engine — per-job
+//! [`Overrides`] carry the swept knob (machine quantum, FF lock penalty)
+//! into the grid, and the lock-heavy Test1 instances are profiled once
+//! each in the shared cache however many penalties sweep over them.
 
-use machsim::{MachineConfig, Schedule};
+use std::sync::Arc;
+
+use machsim::{MachineConfig, Paradigm, Schedule};
 use omp_rt::OmpOverheads;
 use proftree::CompressOptions;
 use serde::Serialize;
-use workloads::{run_real, RealOptions, Test1, Test1Params};
+use sweep::{Overrides, PredictorSpec, SweepEngine, SweepJob, WorkloadSpec};
+use workloads::{Test1, Test1Params};
 
-use crate::common::mean;
+use crate::common::{mean, standard_prophet};
 use crate::fig57::fig7_tree;
+
+/// Wrap a hand-built tree (no annotated program behind it) as a sweep
+/// workload with a synthetic profiling record.
+fn tree_workload(key: &str, tree: proftree::ProgramTree) -> WorkloadSpec {
+    let name = key.to_string();
+    WorkloadSpec::custom(key.to_string(), move |_| prophet_core::Profiled {
+        name: name.clone(),
+        profile: tracer::ProfileResult {
+            tree: tree.clone(),
+            net_cycles: tree.total_length(),
+            gross_cycles: tree.total_length(),
+            annotation_events: 0,
+            compress_stats: None,
+            peak_tree_bytes: 0,
+            counters: Default::default(),
+        },
+        tree: tree.clone(),
+    })
+}
 
 /// Ablation 1 — OS preemption (the quantum) is what lets the machine
 /// reach 2.0 on the Fig. 7 nested case: as the quantum grows past the
@@ -24,24 +51,44 @@ pub struct QuantumRow {
 }
 
 /// Sweep the quantum on the Fig. 7 program.
-pub fn quantum_sweep() -> Vec<QuantumRow> {
+pub fn quantum_sweep(engine: &SweepEngine) -> Vec<QuantumRow> {
+    const QUANTA: [u64; 5] = [1_000, 5_000, 20_000, 100_000, 1_000_000];
     let unit = 10_000u64;
-    let tree = fig7_tree(unit);
-    let mut rows = Vec::new();
+    let wls = vec![tree_workload("fig7", fig7_tree(unit))];
+    let jobs: Vec<SweepJob> = QUANTA
+        .iter()
+        .map(|&quantum| {
+            let mut machine = MachineConfig::small(2);
+            machine.quantum_cycles = quantum;
+            SweepJob {
+                workload: 0,
+                threads: 2,
+                schedule: Schedule::static1(),
+                paradigm: Paradigm::OpenMp,
+                spec: PredictorSpec::real(),
+                overrides: Overrides {
+                    machine: Some(machine),
+                    lock_penalty: None,
+                    omp_overheads: Some(OmpOverheads::zero()),
+                },
+            }
+        })
+        .collect();
+    let result = engine.run_jobs(&wls, &jobs);
+
     println!("Ablation 1 — scheduling quantum vs Fig. 7 ground truth:");
     println!("{:>12} {:>10}", "quantum", "real");
-    for quantum in [1_000u64, 5_000, 20_000, 100_000, 1_000_000] {
-        let mut opts = RealOptions::new(2, machsim::Paradigm::OpenMp, Schedule::static1());
-        opts.machine = MachineConfig::small(2);
-        opts.machine.quantum_cycles = quantum;
-        opts.omp_overheads = OmpOverheads::zero();
-        let real = run_real(&tree, &opts).expect("fig7 run").speedup;
-        println!("{quantum:>12} {real:>10.2}");
-        rows.push(QuantumRow {
-            quantum,
-            real_speedup: real,
-        });
-    }
+    let rows: Vec<QuantumRow> = QUANTA
+        .iter()
+        .zip(&result.points)
+        .map(|(&quantum, p)| {
+            println!("{quantum:>12} {:>10.2}", p.speedup);
+            QuantumRow {
+                quantum,
+                real_speedup: p.speedup,
+            }
+        })
+        .collect();
     println!("  -> fine quanta time-slice the oversubscribed threads (2.0); a");
     println!("     quantum beyond the task lengths degenerates to the FF's 1.5.");
     rows
@@ -60,7 +107,8 @@ pub struct ToleranceRow {
 }
 
 /// Sweep the compression tolerance on a poorly-compressible Test1.
-pub fn tolerance_sweep() -> Vec<ToleranceRow> {
+pub fn tolerance_sweep(engine: &SweepEngine) -> Vec<ToleranceRow> {
+    const TOLERANCES: [f64; 5] = [0.0, 0.01, 0.05, 0.10, 0.25];
     let mut params = Test1Params::random(2024);
     params.shape = workloads::shapes::Shape::Random;
     params.i_max = 2_000;
@@ -69,32 +117,67 @@ pub fn tolerance_sweep() -> Vec<ToleranceRow> {
         compress: false,
         ..tracer::ProfileOptions::default()
     };
-    let uncompressed = tracer::profile(&prog, opts);
-    let ff = |tree: &proftree::ProgramTree| {
-        ffemu::predict(tree, ffemu::FfOptions::new(8)).predicted_cycles as f64
-    };
-    let base = ff(&uncompressed.tree);
+    // Trace once; each tolerance workload recompresses the shared
+    // uncompressed tree inside its (cache-guarded) profiling closure.
+    let uncompressed = Arc::new(tracer::profile(&prog, opts));
+
+    let base_key = "test1-rand2024:tol=none";
+    let u = Arc::clone(&uncompressed);
+    let mut wls = vec![WorkloadSpec::custom(base_key, move |_| {
+        prophet_core::Profiled {
+            name: base_key.to_string(),
+            tree: u.tree.clone(),
+            profile: (*u).clone(),
+        }
+    })];
+    for &tolerance in &TOLERANCES {
+        let key = format!("test1-rand2024:tol={tolerance}");
+        let name = key.clone();
+        let u = Arc::clone(&uncompressed);
+        wls.push(WorkloadSpec::custom(key, move |_| {
+            let (ctree, _) = proftree::compress_tree(
+                &u.tree,
+                CompressOptions {
+                    tolerance: tolerance.max(1e-9),
+                    min_children: 4,
+                },
+            );
+            prophet_core::Profiled {
+                name: name.clone(),
+                tree: ctree,
+                profile: (*u).clone(),
+            }
+        }));
+    }
+    let jobs: Vec<SweepJob> = (0..wls.len())
+        .map(|w| SweepJob {
+            workload: w,
+            threads: 8,
+            schedule: Schedule::static_block(),
+            paradigm: Paradigm::OpenMp,
+            spec: PredictorSpec::ff(true),
+            overrides: Overrides::default(),
+        })
+        .collect();
+    let result = engine.run_jobs(&wls, &jobs);
+    let base = result.points[0].predicted_cycles as f64;
 
     let mut rows = Vec::new();
     println!("\nAblation 2 — compression tolerance (Test1-random, 2000 iterations):");
     println!("{:>12} {:>10} {:>12}", "tolerance", "nodes", "drift");
-    for tolerance in [0.0f64, 0.01, 0.05, 0.10, 0.25] {
-        let (ctree, _) = proftree::compress_tree(
-            &uncompressed.tree,
-            CompressOptions {
-                tolerance: tolerance.max(1e-9),
-                min_children: 4,
-            },
-        );
-        let drift = (ff(&ctree) - base).abs() / base;
-        println!(
-            "{tolerance:>12.2} {:>10} {:>11.2}%",
-            ctree.len(),
-            drift * 100.0
-        );
+    for (i, &tolerance) in TOLERANCES.iter().enumerate() {
+        let point = &result.points[i + 1];
+        // The compressed tree is still resident in the shared cache; the
+        // second lookup is a guaranteed hit.
+        let profiled = engine
+            .cache()
+            .get_or_profile(&point.workload, || unreachable!("profiled during sweep"));
+        let nodes = profiled.tree.len();
+        let drift = (point.predicted_cycles as f64 - base).abs() / base;
+        println!("{tolerance:>12.2} {nodes:>10} {:>11.2}%", drift * 100.0);
         rows.push(ToleranceRow {
             tolerance,
-            nodes: ctree.len(),
+            nodes,
             prediction_drift: drift,
         });
     }
@@ -114,47 +197,68 @@ pub struct LockPenaltyRow {
     pub mean_error: f64,
 }
 
-/// Sweep the penalty on lock-heavy Test1 samples.
-pub fn lock_penalty_sweep(samples: u64) -> Vec<LockPenaltyRow> {
+/// Sweep the penalty on lock-heavy Test1 samples. Each instance is
+/// profiled once (shared cache) and evaluated under every penalty via a
+/// per-job [`Overrides::lock_penalty`].
+pub fn lock_penalty_sweep(engine: &SweepEngine, samples: u64) -> Vec<LockPenaltyRow> {
+    const PENALTIES: [u64; 4] = [0, 500, 2_000, 8_000];
     // Force lock-heavy instances.
-    let progs: Vec<Test1> = (0..samples)
+    let wls: Vec<WorkloadSpec> = (0..samples)
         .map(|seed| {
-            let mut p = Test1Params::random(seed);
-            p.lock_prob = [0.95, 0.4];
-            p.ratio_lock = [0.3, 0.15];
-            p.ratio_delay = [0.25, 0.2, 0.1];
-            Test1::new(p)
+            let key = format!("test1-lockheavy:{seed}");
+            let name = key.clone();
+            WorkloadSpec::custom(key, move |_| {
+                let mut p = Test1Params::random(seed);
+                p.lock_prob = [0.95, 0.4];
+                p.ratio_lock = [0.3, 0.15];
+                p.ratio_delay = [0.25, 0.2, 0.1];
+                let r = tracer::profile(&Test1::new(p), tracer::ProfileOptions::default());
+                prophet_core::Profiled {
+                    name: name.clone(),
+                    tree: r.tree.clone(),
+                    profile: r,
+                }
+            })
         })
         .collect();
-    let profiles: Vec<_> = progs
-        .iter()
-        .map(|p| tracer::profile(p, tracer::ProfileOptions::default()))
-        .collect();
-    let reals: Vec<f64> = profiles
-        .iter()
-        .map(|r| {
-            run_real(
-                &r.tree,
-                &RealOptions::new(8, machsim::Paradigm::OpenMp, Schedule::static1()),
-            )
-            .expect("real run")
-            .speedup
-        })
-        .collect();
+    let mut jobs = Vec::new();
+    for w in 0..wls.len() {
+        jobs.push(SweepJob {
+            workload: w,
+            threads: 8,
+            schedule: Schedule::static1(),
+            paradigm: Paradigm::OpenMp,
+            spec: PredictorSpec::real(),
+            overrides: Overrides::default(),
+        });
+        for &penalty in &PENALTIES {
+            jobs.push(SweepJob {
+                workload: w,
+                threads: 8,
+                schedule: Schedule::static1(),
+                paradigm: Paradigm::OpenMp,
+                spec: PredictorSpec::ff(false),
+                overrides: Overrides {
+                    lock_penalty: Some(penalty),
+                    ..Default::default()
+                },
+            });
+        }
+    }
+    let result = engine.run_jobs(&wls, &jobs);
 
+    let stride = 1 + PENALTIES.len();
     let mut rows = Vec::new();
-    println!("\nAblation 3 — contended-lock penalty in the FF (lock-heavy Test1, 8 cores):");
+    println!(
+        "\nAblation 3 — contended-lock penalty in the FF (lock-heavy Test1, \
+         {samples} instances, 8 cores):"
+    );
     println!("{:>10} {:>12}", "penalty", "mean error");
-    for penalty in [0u64, 500, 2_000, 8_000] {
-        let errors: Vec<f64> = profiles
-            .iter()
-            .zip(&reals)
-            .map(|(r, &real)| {
-                let mut o = ffemu::FfOptions::new(8);
-                o.schedule = Schedule::static1();
-                o.use_burden = false;
-                o.contended_lock_penalty = penalty;
-                let pred = ffemu::predict(&r.tree, o).speedup;
+    for (pi, &penalty) in PENALTIES.iter().enumerate() {
+        let errors: Vec<f64> = (0..wls.len())
+            .map(|w| {
+                let real = result.points[w * stride].speedup;
+                let pred = result.points[w * stride + 1 + pi].speedup;
                 (pred - real).abs() / real
             })
             .collect();
@@ -179,13 +283,28 @@ pub struct Ablations {
     pub tolerance: Vec<ToleranceRow>,
     /// Lock-penalty sweep.
     pub lock_penalty: Vec<LockPenaltyRow>,
+    /// `--samples` as requested on the command line.
+    pub lock_penalty_samples_requested: u64,
+    /// Lock-heavy instances actually swept (requested count clamped to
+    /// the supported 4..=16 range).
+    pub lock_penalty_samples_effective: u64,
 }
 
 /// Run everything.
 pub fn run(samples: u64) -> Ablations {
+    let engine = SweepEngine::new(standard_prophet());
+    let effective = samples.clamp(4, 16);
+    if effective != samples {
+        println!(
+            "note: ablation 3 clamps --samples {samples} to {effective} \
+             lock-heavy instances (supported range 4..=16)"
+        );
+    }
     Ablations {
-        quantum: quantum_sweep(),
-        tolerance: tolerance_sweep(),
-        lock_penalty: lock_penalty_sweep(samples.clamp(4, 16)),
+        quantum: quantum_sweep(&engine),
+        tolerance: tolerance_sweep(&engine),
+        lock_penalty: lock_penalty_sweep(&engine, effective),
+        lock_penalty_samples_requested: samples,
+        lock_penalty_samples_effective: effective,
     }
 }

@@ -2,7 +2,8 @@
 //! benchmark set, prediction helpers, and result plumbing.
 
 use machsim::{MachineConfig, Paradigm, Schedule};
-use prophet_core::{Emulator, PredictOptions, Profiled, Prophet};
+use prophet_core::{Emulator, PredictOptions, Profiled, Prophet, SpeedupReport};
+use sweep::{Overrides, PredictorSpec, SweepEngine, SweepJob, WorkloadSpec};
 use workloads::npb::{Cg, Ep, Ft, Mg};
 use workloads::ompscr::{Fft, Lu, Md, QSort};
 use workloads::spec::{BenchSpec, Benchmark};
@@ -13,15 +14,25 @@ pub const CPU_COUNTS: [u32; 6] = [2, 4, 6, 8, 10, 12];
 
 /// A named benchmark in the standard evaluation set.
 pub struct NamedBench {
-    /// The benchmark object.
-    pub bench: Box<dyn Benchmark>,
+    /// The benchmark object (`Send + Sync` so a sweep can profile it from
+    /// any worker thread).
+    pub bench: Box<dyn Benchmark + Send + Sync>,
     /// Its parallelisation spec.
     pub spec: BenchSpec,
 }
 
+/// Turn a benchmark into a sweep workload keyed by its display name; the
+/// benchmark object moves into the profiling closure.
+pub fn bench_workload(nb: NamedBench) -> (BenchSpec, WorkloadSpec) {
+    let spec = nb.spec;
+    let bench = nb.bench;
+    let wl = WorkloadSpec::custom(spec.name.clone(), move |p| p.profile(bench.as_ref()));
+    (spec, wl)
+}
+
 /// The eight benchmarks of Fig. 12 at experiment ("paper") scale.
 pub fn paper_benchmarks() -> Vec<NamedBench> {
-    fn wrap(b: impl Benchmark + 'static) -> NamedBench {
+    fn wrap(b: impl Benchmark + Send + Sync + 'static) -> NamedBench {
         let spec = b.spec();
         NamedBench {
             bench: Box::new(b),
@@ -42,7 +53,7 @@ pub fn paper_benchmarks() -> Vec<NamedBench> {
 
 /// Reduced-size variants for quick runs (`--quick`).
 pub fn quick_benchmarks() -> Vec<NamedBench> {
-    fn wrap(b: impl Benchmark + 'static) -> NamedBench {
+    fn wrap(b: impl Benchmark + Send + Sync + 'static) -> NamedBench {
         let spec = b.spec();
         NamedBench {
             bench: Box::new(b),
@@ -90,6 +101,83 @@ pub fn quick_benchmarks() -> Vec<NamedBench> {
 /// A prophet with the standard machine and full calibration.
 pub fn standard_prophet() -> Prophet {
     Prophet::new()
+}
+
+/// The Fig. 12 panel protocol — Real vs Pred (synthesizer, no memory
+/// model) vs PredM (with it) vs Suit over [`CPU_COUNTS`] — evaluated on
+/// the sweep engine: each benchmark is profiled once (shared-profile
+/// cache) and every benchmark × CPU-count × series point fans out over
+/// the engine's worker threads.
+pub fn benchmark_panel_reports(label: &str, benches: Vec<NamedBench>) -> Vec<SpeedupReport> {
+    const SERIES: [&str; 4] = ["Real", "Pred", "PredM", "Suit"];
+    let engine = SweepEngine::new(standard_prophet());
+    let _ = engine.prophet().calibration();
+    let mut specs = Vec::new();
+    let mut wls = Vec::new();
+    for nb in benches {
+        let (spec, wl) = bench_workload(nb);
+        specs.push(spec);
+        wls.push(wl);
+    }
+    let mut jobs = Vec::new();
+    for (w, spec) in specs.iter().enumerate() {
+        for &t in &CPU_COUNTS {
+            for ps in [
+                PredictorSpec::real(),
+                PredictorSpec::syn(false),
+                PredictorSpec::syn(true),
+                PredictorSpec::suit(),
+            ] {
+                jobs.push(SweepJob {
+                    workload: w,
+                    threads: t,
+                    schedule: spec.schedule,
+                    paradigm: spec.paradigm,
+                    spec: ps,
+                    overrides: Overrides::default(),
+                });
+            }
+        }
+    }
+    let result = engine.run_jobs(&wls, &jobs);
+    // CPU_COUNTS tops out at the machine's core count, so nothing skips
+    // and every (benchmark, threads) row gets all four series in order.
+    assert_eq!(result.jobs_skipped, 0, "panel grid must not skip jobs");
+
+    let mut reports = Vec::new();
+    let mut points = result.points.iter();
+    for spec in &specs {
+        let mut report = SpeedupReport::new(
+            format!("{}: {}", spec.name, spec.input_desc),
+            SERIES.iter().map(|s| s.to_string()).collect(),
+        );
+        for &t in &CPU_COUNTS {
+            let row: Vec<Option<f64>> = SERIES
+                .iter()
+                .map(|_| points.next().map(|p| p.speedup))
+                .collect();
+            report.push_row(t, row);
+        }
+        println!("{label} — {} ({})", spec.name, spec.input_desc);
+        println!("{}", report.render());
+        println!(
+            "  errors vs Real: Pred {:.1}%  PredM {:.1}%  Suit {:.1}%\n",
+            report
+                .mean_relative_error("Pred", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
+            report
+                .mean_relative_error("PredM", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
+            report
+                .mean_relative_error("Suit", "Real")
+                .unwrap_or(f64::NAN)
+                * 100.0,
+        );
+        reports.push(report);
+    }
+    reports
 }
 
 /// Ground-truth speedup of a profiled benchmark at `threads`.

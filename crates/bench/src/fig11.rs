@@ -6,14 +6,17 @@
 //! 4-core Suitability. Each sample is predicted and then actually
 //! parallelised and run under all three schedules —
 //! `(static,1)`, `(static)`, `(dynamic,1)`.
+//!
+//! All panels run on one shared sweep engine: every grid point (sample ×
+//! schedule × {Real, predictor}) fans out over worker threads, and the
+//! profile cache traces each (family, seed) once even though seeds recur
+//! across panels — panel (b) reuses every profile panel (a) produced.
 
-use baselines::suitability_predict;
 use machsim::Schedule;
-use prophet_core::{Emulator, PredictOptions, Prophet};
 use serde::Serialize;
-use workloads::{Test1, Test1Params, Test2, Test2Params};
+use sweep::{GridSpec, PredictorSpec, SweepEngine, SweepPredictor, WorkloadSpec};
 
-use crate::common::{error_summary, real_openmp, standard_prophet};
+use crate::common::{error_summary, standard_prophet};
 
 /// One scatter point.
 #[derive(Debug, Clone, Serialize)]
@@ -76,50 +79,53 @@ fn schedules_for(pred: Predictor) -> Vec<Schedule> {
 
 /// Run one panel over `samples` random programs at `cores`.
 pub fn run_panel(
-    prophet: &mut Prophet,
+    engine: &SweepEngine,
     id: &str,
     family: Family,
     predictor: Predictor,
     cores: u32,
     samples: u64,
 ) -> Panel {
+    let workloads: Vec<WorkloadSpec> = (0..samples)
+        .map(|seed| match family {
+            Family::Test1 => WorkloadSpec::test1(seed),
+            Family::Test2 => WorkloadSpec::test2(seed),
+        })
+        .collect();
+    let mut grid = GridSpec::new(workloads);
+    grid.threads = vec![cores];
+    grid.schedules = schedules_for(predictor);
+    grid.predictors = vec![
+        PredictorSpec::real(),
+        match predictor {
+            Predictor::Ff => PredictorSpec::ff(false),
+            Predictor::Syn => PredictorSpec::syn(false),
+            Predictor::Suit => PredictorSpec::suit(),
+        },
+    ];
+    let result = engine.run(&grid);
+    assert_eq!(result.jobs_skipped, 0, "panel cores fit the machine");
+
+    // Expansion order puts the Real/predicted pair for each
+    // (seed, schedule) adjacently.
     let mut points = Vec::new();
-    for seed in 0..samples {
-        let profiled = match family {
-            Family::Test1 => prophet.profile(&Test1::new(Test1Params::random(seed))),
-            Family::Test2 => prophet.profile(&Test2::new(Test2Params::random(seed))),
+    for pair in result.points.chunks(2) {
+        let [real, pred] = pair else {
+            unreachable!("odd point count in panel grid")
         };
-        for schedule in schedules_for(predictor) {
-            let real = real_openmp(&profiled, schedule, cores);
-            let predicted = match predictor {
-                Predictor::Ff | Predictor::Syn => {
-                    prophet
-                        .predict(
-                            &profiled,
-                            &PredictOptions {
-                                threads: cores,
-                                schedule,
-                                emulator: if predictor == Predictor::Ff {
-                                    Emulator::FastForward
-                                } else {
-                                    Emulator::Synthesizer
-                                },
-                                memory_model: false,
-                                ..Default::default()
-                            },
-                        )
-                        .expect("prediction")
-                        .speedup
-                }
-                Predictor::Suit => suitability_predict(&profiled.tree, cores).speedup,
-            };
-            points.push(Point {
-                seed,
-                schedule: schedule.name(),
-                real,
-                predicted,
-            });
-        }
+        assert_eq!(real.predictor, SweepPredictor::Real);
+        let seed: u64 = real
+            .workload
+            .split(':')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("seeded workload key");
+        points.push(Point {
+            seed,
+            schedule: real.schedule.clone(),
+            real: real.speedup,
+            predicted: pred.speedup,
+        });
     }
     let errors: Vec<f64> = points
         .iter()
@@ -143,13 +149,13 @@ pub fn run_panel(
 /// Run all six panels. `samples` per panel (the paper used 300; the
 /// default harness uses fewer for wall-clock sanity — pass `--samples N`).
 pub fn run(samples: u64) -> Vec<Panel> {
-    let mut prophet = standard_prophet();
+    let engine = SweepEngine::new(standard_prophet());
     // Trigger calibration once before timing-sensitive loops.
-    let _ = prophet.calibration();
+    let _ = engine.prophet().calibration();
     println!("Fig. 11 — validation panels ({samples} samples each):");
     let panels = vec![
         run_panel(
-            &mut prophet,
+            &engine,
             "(a) Test1  8-core FF",
             Family::Test1,
             Predictor::Ff,
@@ -157,7 +163,7 @@ pub fn run(samples: u64) -> Vec<Panel> {
             samples,
         ),
         run_panel(
-            &mut prophet,
+            &engine,
             "(b) Test1 12-core FF",
             Family::Test1,
             Predictor::Ff,
@@ -165,7 +171,7 @@ pub fn run(samples: u64) -> Vec<Panel> {
             samples,
         ),
         run_panel(
-            &mut prophet,
+            &engine,
             "(c) Test2  8-core FF",
             Family::Test2,
             Predictor::Ff,
@@ -173,7 +179,7 @@ pub fn run(samples: u64) -> Vec<Panel> {
             samples,
         ),
         run_panel(
-            &mut prophet,
+            &engine,
             "(d) Test2 12-core FF",
             Family::Test2,
             Predictor::Ff,
@@ -181,7 +187,7 @@ pub fn run(samples: u64) -> Vec<Panel> {
             samples,
         ),
         run_panel(
-            &mut prophet,
+            &engine,
             "(e) Test2 12-core SYN",
             Family::Test2,
             Predictor::Syn,
@@ -189,7 +195,7 @@ pub fn run(samples: u64) -> Vec<Panel> {
             samples,
         ),
         run_panel(
-            &mut prophet,
+            &engine,
             "(f) Test2  4-core SUIT",
             Family::Test2,
             Predictor::Suit,
@@ -197,7 +203,12 @@ pub fn run(samples: u64) -> Vec<Panel> {
             samples,
         ),
     ];
-    println!("\npaper reference: Test1 FF avg <4% (max 23%); Test2 FF avg 7% (max 68%);");
+    let cache = engine.cache().stats();
+    println!(
+        "\nprofile cache: {} programs traced once, {} reuses across panels",
+        cache.misses, cache.hits
+    );
+    println!("paper reference: Test1 FF avg <4% (max 23%); Test2 FF avg 7% (max 68%);");
     println!("                 Test2 SYN avg 3% (max 19%); Suitability notably worse on Test2.");
     panels
 }

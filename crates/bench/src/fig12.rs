@@ -1,13 +1,14 @@
 //! Fig. 12: the eight OmpSCR/NPB benchmarks — Real vs Pred (synthesizer
 //! without the memory model) vs PredM (with it) vs Suit
 //! (Suitability-like), over 2-12 cores.
+//!
+//! Evaluated on the parallel sweep engine: the 8 × 6 × 4 grid of
+//! (benchmark, CPU count, series) points fans out over worker threads,
+//! with each benchmark profiled exactly once.
 
-use baselines::suitability_curve;
 use prophet_core::SpeedupReport;
 
-use crate::common::{
-    paper_benchmarks, quick_benchmarks, real_speedup, standard_prophet, synth_speedup, CPU_COUNTS,
-};
+use crate::common::{benchmark_panel_reports, paper_benchmarks, quick_benchmarks};
 
 /// Run Fig. 12: one report per benchmark panel.
 pub fn run(quick: bool) -> Vec<SpeedupReport> {
@@ -16,47 +17,5 @@ pub fn run(quick: bool) -> Vec<SpeedupReport> {
     } else {
         paper_benchmarks()
     };
-    let mut prophet = standard_prophet();
-    let _ = prophet.calibration();
-    let mut reports = Vec::new();
-
-    for nb in benches {
-        println!(
-            "Fig. 12 — {} ({}): profiling…",
-            nb.spec.name, nb.spec.input_desc
-        );
-        let profiled = prophet.profile(nb.bench.as_ref());
-        let mut report = SpeedupReport::new(
-            format!("{}: {}", nb.spec.name, nb.spec.input_desc),
-            vec!["Real".into(), "Pred".into(), "PredM".into(), "Suit".into()],
-        );
-        let suit = suitability_curve(&profiled.tree, &CPU_COUNTS);
-        for (i, &t) in CPU_COUNTS.iter().enumerate() {
-            let real = real_speedup(&profiled, &nb.spec, t);
-            let pred = synth_speedup(&prophet, &profiled, &nb.spec, t, false);
-            let predm = synth_speedup(&prophet, &profiled, &nb.spec, t, true);
-            report.push_row(
-                t,
-                vec![Some(real), Some(pred), Some(predm), Some(suit[i].1)],
-            );
-        }
-        println!("{}", report.render());
-        println!(
-            "  errors vs Real: Pred {:.1}%  PredM {:.1}%  Suit {:.1}%\n",
-            report
-                .mean_relative_error("Pred", "Real")
-                .unwrap_or(f64::NAN)
-                * 100.0,
-            report
-                .mean_relative_error("PredM", "Real")
-                .unwrap_or(f64::NAN)
-                * 100.0,
-            report
-                .mean_relative_error("Suit", "Real")
-                .unwrap_or(f64::NAN)
-                * 100.0,
-        );
-        reports.push(report);
-    }
-    reports
+    benchmark_panel_reports("Fig. 12", benches)
 }

@@ -2,18 +2,17 @@
 //! Fig. 12 set — Pi (reduction), Mandelbrot (dynamic-scheduling poster
 //! child), Jacobi (bandwidth-bound stencil), and NPB-IS (the §VI-B
 //! compression stress case) — evaluated with the same
-//! Real/Pred/PredM/Suit protocol.
+//! Real/Pred/PredM/Suit protocol on the parallel sweep engine.
 
-use baselines::suitability_curve;
 use prophet_core::SpeedupReport;
 use workloads::npb::Is;
 use workloads::ompscr::{Jacobi, Mandelbrot, Pi};
 use workloads::spec::Benchmark;
 
-use crate::common::{real_speedup, standard_prophet, synth_speedup, NamedBench, CPU_COUNTS};
+use crate::common::{benchmark_panel_reports, NamedBench};
 
 fn extra_benchmarks(quick: bool) -> Vec<NamedBench> {
-    fn wrap(b: impl Benchmark + 'static) -> NamedBench {
+    fn wrap(b: impl Benchmark + Send + Sync + 'static) -> NamedBench {
         let spec = b.spec();
         NamedBench {
             bench: Box::new(b),
@@ -39,46 +38,5 @@ fn extra_benchmarks(quick: bool) -> Vec<NamedBench> {
 
 /// Run the extended panel.
 pub fn run(quick: bool) -> Vec<SpeedupReport> {
-    let mut prophet = standard_prophet();
-    let _ = prophet.calibration();
-    let mut reports = Vec::new();
-    for nb in extra_benchmarks(quick) {
-        println!(
-            "Fig. 12x — {} ({}): profiling…",
-            nb.spec.name, nb.spec.input_desc
-        );
-        let profiled = prophet.profile(nb.bench.as_ref());
-        let mut report = SpeedupReport::new(
-            format!("{}: {}", nb.spec.name, nb.spec.input_desc),
-            vec!["Real".into(), "Pred".into(), "PredM".into(), "Suit".into()],
-        );
-        let suit = suitability_curve(&profiled.tree, &CPU_COUNTS);
-        for (i, &t) in CPU_COUNTS.iter().enumerate() {
-            let real = real_speedup(&profiled, &nb.spec, t);
-            let pred = synth_speedup(&prophet, &profiled, &nb.spec, t, false);
-            let predm = synth_speedup(&prophet, &profiled, &nb.spec, t, true);
-            report.push_row(
-                t,
-                vec![Some(real), Some(pred), Some(predm), Some(suit[i].1)],
-            );
-        }
-        println!("{}", report.render());
-        println!(
-            "  errors vs Real: Pred {:.1}%  PredM {:.1}%  Suit {:.1}%\n",
-            report
-                .mean_relative_error("Pred", "Real")
-                .unwrap_or(f64::NAN)
-                * 100.0,
-            report
-                .mean_relative_error("PredM", "Real")
-                .unwrap_or(f64::NAN)
-                * 100.0,
-            report
-                .mean_relative_error("Suit", "Real")
-                .unwrap_or(f64::NAN)
-                * 100.0,
-        );
-        reports.push(report);
-    }
-    reports
+    benchmark_panel_reports("Fig. 12x", extra_benchmarks(quick))
 }

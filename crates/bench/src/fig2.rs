@@ -21,7 +21,7 @@ pub fn run(quick: bool) -> SpeedupReport {
         Ft::paper()
     };
     let spec = ft.spec();
-    let mut prophet = standard_prophet();
+    let prophet = standard_prophet();
     println!("Fig. 2 — {} ({}): profiling…", spec.name, spec.input_desc);
     let profiled = prophet.profile(&ft);
 

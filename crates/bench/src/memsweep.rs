@@ -1,14 +1,17 @@
 //! Footprint sweep: how saturation and the burden factors grow as the
 //! working set scales past the LLC — the regime transition behind
 //! Table IV's columns, swept end to end on FT.
+//!
+//! The grid (dim × threads × {Real, PredM}) runs on the parallel sweep
+//! engine; each FT instance is profiled once and the burden inspection
+//! afterwards reuses the cached profile.
 
-use machsim::Paradigm;
 use proftree::NodeKind;
-use prophet_core::{Emulator, PredictOptions, Prophet, SpeedupReport};
+use prophet_core::{Prophet, SpeedupReport};
 use serde::Serialize;
+use sweep::{GridSpec, PredictorSpec, SweepEngine, WorkloadSpec};
 use workloads::npb::Ft;
 use workloads::spec::Benchmark;
-use workloads::{run_real, RealOptions};
 
 /// One footprint point.
 #[derive(Debug, Serialize)]
@@ -27,11 +30,37 @@ pub struct SweepRow {
     pub predm_12: f64,
 }
 
+const DIMS: [u64; 3] = [16, 32, 64];
+const THREADS: [u32; 4] = [2, 4, 8, 12];
+
 /// Run the sweep.
 pub fn run() -> (Vec<SweepRow>, Vec<SpeedupReport>) {
-    let mut prophet = Prophet::new();
-    let _ = prophet.calibration();
-    let llc = prophet.hierarchy().llc.capacity_bytes;
+    let engine = SweepEngine::new(Prophet::new());
+    let _ = engine.prophet().calibration();
+    let llc = engine.prophet().hierarchy().llc.capacity_bytes;
+
+    let mut footprints = Vec::new();
+    let mut schedule = None;
+    let workloads: Vec<WorkloadSpec> = DIMS
+        .iter()
+        .map(|&dim| {
+            let ft = Ft {
+                dim,
+                iters: 2,
+                lines_per_task: 16,
+            };
+            footprints.push(ft.footprint());
+            schedule = Some(ft.spec().schedule);
+            let key = format!("ft:{dim}");
+            WorkloadSpec::custom(key, move |p| p.profile(&ft))
+        })
+        .collect();
+    let mut grid = GridSpec::new(workloads);
+    grid.threads = THREADS.to_vec();
+    grid.schedules = vec![schedule.expect("at least one dim")];
+    grid.predictors = vec![PredictorSpec::real(), PredictorSpec::syn(true)];
+    let result = engine.run(&grid);
+    assert_eq!(result.jobs_skipped, 0, "thread counts fit the machine");
 
     let mut rows = Vec::new();
     let mut reports = Vec::new();
@@ -40,15 +69,13 @@ pub fn run() -> (Vec<SweepRow>, Vec<SpeedupReport>) {
         "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "dim", "KiB", "x LLC", "β12", "Real@12", "PredM@12"
     );
-    for dim in [16u64, 32, 64] {
-        let ft = Ft {
-            dim,
-            iters: 2,
-            lines_per_task: 16,
-        };
-        let spec = ft.spec();
-        let footprint = ft.footprint();
-        let profiled = prophet.profile(&ft);
+    // Points per dim: THREADS × [Real, PredM], in grid order.
+    let stride = THREADS.len() * 2;
+    for (i, &dim) in DIMS.iter().enumerate() {
+        let footprint = footprints[i];
+        let profiled = engine
+            .cache()
+            .get_or_profile(&format!("ft:{dim}"), || unreachable!("profiled in sweep"));
 
         let mut max_burden = 1.0f64;
         for sec in profiled.tree.top_level_sections() {
@@ -67,25 +94,9 @@ pub fn run() -> (Vec<SweepRow>, Vec<SpeedupReport>) {
         );
         let mut real_12 = 0.0;
         let mut predm_12 = 0.0;
-        for threads in [2u32, 4, 8, 12] {
-            let real = run_real(
-                &profiled.tree,
-                &RealOptions::new(threads, Paradigm::OpenMp, spec.schedule),
-            )
-            .expect("real run")
-            .speedup;
-            let predm = prophet
-                .predict(
-                    &profiled,
-                    &PredictOptions {
-                        threads,
-                        schedule: spec.schedule,
-                        emulator: Emulator::Synthesizer,
-                        ..Default::default()
-                    },
-                )
-                .expect("prediction")
-                .speedup;
+        for (j, &threads) in THREADS.iter().enumerate() {
+            let real = result.points[i * stride + j * 2].speedup;
+            let predm = result.points[i * stride + j * 2 + 1].speedup;
             if threads == 12 {
                 real_12 = real;
                 predm_12 = predm;

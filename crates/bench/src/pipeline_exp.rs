@@ -16,7 +16,7 @@ use crate::common::standard_prophet;
 
 /// Run the pipeline experiment.
 pub fn run() -> Vec<SpeedupReport> {
-    let mut prophet = standard_prophet();
+    let prophet = standard_prophet();
     let _ = prophet.calibration();
     let mut reports = Vec::new();
 

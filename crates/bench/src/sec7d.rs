@@ -30,7 +30,7 @@ pub fn run(quick: bool) -> Vec<OverheadRow> {
     } else {
         paper_benchmarks()
     };
-    let mut prophet = standard_prophet();
+    let prophet = standard_prophet();
     let _ = prophet.calibration();
     let mut rows = Vec::new();
     println!("§VII-D — tool overheads:");

@@ -35,7 +35,7 @@ pub fn run() -> SpeedupReport {
     let llc = hierarchy.llc.capacity_bytes;
     let machine = MachineConfig::westmere_scaled();
 
-    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
     let cal = prophet.calibration().clone();
 

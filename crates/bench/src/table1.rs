@@ -40,7 +40,7 @@ fn symbol(error: Option<f64>) -> char {
 /// Run the Table I experiment at 8 cores.
 pub fn run() -> Vec<Cell> {
     let cores = 8u32;
-    let mut prophet = standard_prophet();
+    let prophet = standard_prophet();
     let _ = prophet.calibration();
     let mut cells = Vec::new();
 

@@ -30,7 +30,7 @@ pub struct Table3Row {
 
 /// Run the Table III measurement.
 pub fn run_table3(samples: u64) -> Vec<Table3Row> {
-    let mut prophet = standard_prophet();
+    let prophet = standard_prophet();
     let _ = prophet.calibration();
     let cores = 8;
     let schedule = Schedule::static1();
@@ -125,7 +125,7 @@ pub fn run_table4(quick: bool) -> Vec<Table4Row> {
     } else {
         paper_benchmarks()
     };
-    let mut prophet = standard_prophet();
+    let prophet = standard_prophet();
     let _ = prophet.calibration();
     let cfg = machine();
     let mut rows = Vec::new();

@@ -10,7 +10,17 @@
 //! prophet diagnose <workload> [--threads N]
 //! prophet recommend <workload>
 //! prophet calibrate
+//! prophet sweep <workloads> [--jobs N] [--threads 2,4,8] [--schedules static,dynamic-1]
+//!                           [--predictors real,syn] [--paradigm ..] [--out sweep.json]
 //! ```
+//!
+//! `sweep` evaluates the full grid `{workload × threads × schedule ×
+//! predictor}` on the parallel sweep engine: workloads are profiled once
+//! each (shared-profile cache) and grid points fan out over `--jobs`
+//! worker threads. `<workloads>` is a comma list of workload names;
+//! `test1:<a>..<b>`/`test2:<a>..<b>` expand to one workload per seed.
+//! Output is deterministic: the JSON is byte-identical for any `--jobs`
+//! value (timings go to stderr, never into the JSON).
 //!
 //! `trace` runs the parallelised program on the simulated machine (or,
 //! with `--emulator ff|syn`, drives an emulator) with a `prophet-obs`
@@ -25,7 +35,9 @@
 //! `quickstart` example.
 
 use machsim::{Paradigm, Schedule};
+use prophet_core::tracer::AnnotatedProgram;
 use prophet_core::{diagnose, Emulator, PredictOptions, Prophet, SpeedupReport};
+use sweep::{GridSpec, PredictorSpec, SweepEngine, WorkloadSpec};
 use workloads::npb::{Cg, Ep, Ft, Is, Mg};
 use workloads::ompscr::{Fft, Jacobi, Lu, Mandelbrot, Md, Pi, QSort};
 use workloads::spec::{BenchSpec, Benchmark};
@@ -103,12 +115,47 @@ struct Args {
     cores: Option<u32>,
     out: Option<String>,
     format: TraceFormat,
+    /// Sweep worker threads (0 = all available cores).
+    jobs: usize,
+    /// Sweep schedule axis; empty = just `schedule`.
+    schedules: Vec<Schedule>,
+    /// Sweep predictor axis; empty = `real,syn`.
+    predictors: Vec<PredictorSpec>,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("run `prophet help` for usage");
     std::process::exit(2)
+}
+
+fn parse_schedule(s: Option<&str>) -> Schedule {
+    match s {
+        Some("static") => Schedule::static_block(),
+        Some("static-1") => Schedule::static1(),
+        Some("dynamic-1") => Schedule::dynamic1(),
+        Some(s) if s.starts_with("static-") => Schedule::Static {
+            chunk: s[7..].parse().ok(),
+        },
+        Some(s) if s.starts_with("dynamic-") => Schedule::Dynamic {
+            chunk: s[8..].parse().unwrap_or_else(|_| die("bad chunk")),
+        },
+        _ => die("bad schedule (static | static-N | dynamic-N)"),
+    }
+}
+
+fn parse_predictor(s: &str) -> PredictorSpec {
+    // `-mm` disables the memory model for that series; bare `ff`/`syn`
+    // (and `+mm`) keep it on.
+    match s {
+        "real" => PredictorSpec::real(),
+        "suit" => PredictorSpec::suit(),
+        "ff" | "ff+mm" => PredictorSpec::ff(true),
+        "ff-mm" => PredictorSpec::ff(false),
+        "syn" | "syn+mm" => PredictorSpec::syn(true),
+        "syn-mm" => PredictorSpec::syn(false),
+        _ => die("bad predictor (real | ff[±mm] | syn[±mm] | suit)"),
+    }
 }
 
 fn parse_args() -> Args {
@@ -125,6 +172,9 @@ fn parse_args() -> Args {
         cores: None,
         out: None,
         format: TraceFormat::Chrome,
+        jobs: 0,
+        schedules: Vec::new(),
+        predictors: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -137,18 +187,24 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--schedule" => {
-                args.schedule = match it.next().as_deref() {
-                    Some("static") => Schedule::static_block(),
-                    Some("static-1") => Schedule::static1(),
-                    Some("dynamic-1") => Schedule::dynamic1(),
-                    Some(s) if s.starts_with("static-") => Schedule::Static {
-                        chunk: s[7..].parse().ok(),
-                    },
-                    Some(s) if s.starts_with("dynamic-") => Schedule::Dynamic {
-                        chunk: s[8..].parse().unwrap_or_else(|_| die("bad chunk")),
-                    },
-                    _ => die("bad --schedule (static | static-N | dynamic-N)"),
-                };
+                args.schedule = parse_schedule(it.next().as_deref());
+            }
+            "--schedules" => {
+                let v = it.next().unwrap_or_else(|| die("--schedules needs a list"));
+                args.schedules = v
+                    .split(',')
+                    .map(|s| parse_schedule(Some(s.trim())))
+                    .collect();
+            }
+            "--predictors" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--predictors needs a list"));
+                args.predictors = v.split(',').map(|s| parse_predictor(s.trim())).collect();
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| die("--jobs needs a count"));
+                args.jobs = v.parse().unwrap_or_else(|_| die("bad job count"));
             }
             "--paradigm" => {
                 args.paradigm = Some(match it.next().as_deref() {
@@ -194,6 +250,44 @@ fn parse_args() -> Args {
     args
 }
 
+/// Expand the `sweep` workload list: comma-separated workload names,
+/// with `test1:<a>..<b>` / `test2:<a>..<b>` producing one workload per
+/// seed in `a..b`.
+fn parse_sweep_workloads(list: &str) -> Vec<WorkloadSpec> {
+    let mut out = Vec::new();
+    for tok in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if let Some((fam, range)) = tok.split_once(':') {
+            if let Some((a, b)) = range.split_once("..") {
+                let a: u64 = a.parse().unwrap_or_else(|_| die("bad seed range start"));
+                let b: u64 = b.parse().unwrap_or_else(|_| die("bad seed range end"));
+                if b <= a {
+                    die(&format!("empty seed range {tok}"));
+                }
+                for seed in a..b {
+                    out.push(match fam {
+                        "test1" => WorkloadSpec::test1(seed),
+                        "test2" => WorkloadSpec::test2(seed),
+                        _ => die("seed ranges only apply to test1/test2"),
+                    });
+                }
+                continue;
+            }
+        }
+        if workload(tok).is_none() {
+            die(&format!("unknown workload '{tok}'"));
+        }
+        let name = tok.to_string();
+        out.push(WorkloadSpec::program(
+            name.clone(),
+            move || -> Box<dyn AnnotatedProgram> { workload(&name).expect("validated workload") },
+        ));
+    }
+    if out.is_empty() {
+        die("sweep needs at least one workload");
+    }
+    out
+}
+
 fn get_workload(args: &Args) -> (Box<dyn Benchmark>, BenchSpec) {
     let name = args
         .workload
@@ -214,7 +308,9 @@ fn main() {
                  [--paradigm ..] [--emulator ff|syn] [--no-memory-model] [--real] [--json]\n  \
                  trace <workload> [--cores N] [--out trace.json] \
                  [--format chrome|jsonl|summary] [--emulator ff|syn]\n  \
-                 diagnose <workload> [--threads N] [--json]\n  recommend <workload>\n  calibrate"
+                 diagnose <workload> [--threads N] [--json]\n  recommend <workload>\n  calibrate\n  \
+                 sweep <w1,w2,..|test1:<a>..<b>> [--jobs N] [--threads ..] \
+                 [--schedules s1,s2] [--predictors real,ff,syn,suit] [--paradigm ..] [--out f.json]"
             );
         }
         "list" => {
@@ -223,7 +319,7 @@ fn main() {
             }
         }
         "calibrate" => {
-            let mut prophet = Prophet::new();
+            let prophet = Prophet::new();
             let cal = prophet.calibration();
             println!("traffic floor: {:.0} MB/s", cal.traffic_floor_mbps);
             for p in &cal.psi {
@@ -245,7 +341,7 @@ fn main() {
             let (w, spec) = get_workload(&args);
             let paradigm = args.paradigm.unwrap_or(spec.paradigm);
             let emulator = args.emulator.unwrap_or(Emulator::Synthesizer);
-            let mut prophet = Prophet::new();
+            let prophet = Prophet::new();
             eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
             let profiled = prophet.profile(w.as_ref());
             let mut series = vec![format!(
@@ -331,7 +427,7 @@ fn main() {
         "trace" => {
             let (w, spec) = get_workload(&args);
             let paradigm = args.paradigm.unwrap_or(spec.paradigm);
-            let mut prophet = Prophet::new();
+            let prophet = Prophet::new();
             eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
             let profiled = prophet.profile(w.as_ref());
             let cores = args
@@ -398,7 +494,7 @@ fn main() {
         "diagnose" => {
             let (w, spec) = get_workload(&args);
             let paradigm = args.paradigm.unwrap_or(spec.paradigm);
-            let mut prophet = Prophet::new();
+            let prophet = Prophet::new();
             eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
             let profiled = prophet.profile(w.as_ref());
             let threads = args.threads.last().copied().unwrap_or(12);
@@ -449,9 +545,55 @@ fn main() {
                 }
             }
         }
+        "sweep" => {
+            let list = args
+                .workload
+                .as_deref()
+                .unwrap_or_else(|| die("sweep needs workloads, e.g. test1:0..8,lu,ft"));
+            let mut grid = GridSpec::new(parse_sweep_workloads(list));
+            grid.threads = args.threads.clone();
+            grid.schedules = if args.schedules.is_empty() {
+                vec![args.schedule]
+            } else {
+                args.schedules.clone()
+            };
+            grid.paradigms = vec![args.paradigm.unwrap_or(Paradigm::OpenMp)];
+            grid.predictors = if args.predictors.is_empty() {
+                vec![PredictorSpec::real(), PredictorSpec::syn(args.memory_model)]
+            } else {
+                args.predictors.clone()
+            };
+            let engine = SweepEngine::new(Prophet::new()).with_jobs(args.jobs);
+            let t0 = std::time::Instant::now();
+            let result = engine.run(&grid);
+            let elapsed = t0.elapsed().as_secs_f64();
+            // Timing is stderr-only: stdout/--out JSON stays byte-identical
+            // across --jobs values.
+            let workers = if args.jobs == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            } else {
+                args.jobs
+            };
+            eprintln!(
+                "sweep: {} jobs ({} skipped), {} profiles traced + {} cache hits, \
+                 {elapsed:.2}s on {workers} worker thread(s)",
+                result.jobs_total, result.jobs_skipped, result.cache.misses, result.cache.hits,
+            );
+            let body = serde_json::to_string_pretty(&result).expect("serialise sweep");
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, body.as_bytes())
+                        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                    eprintln!("wrote {path}");
+                }
+                None => println!("{body}"),
+            }
+        }
         "recommend" => {
             let (w, spec) = get_workload(&args);
-            let mut prophet = Prophet::new();
+            let prophet = Prophet::new();
             eprintln!("profiling {} ({})…", spec.name, spec.input_desc);
             let profiled = prophet.profile(w.as_ref());
             let rec = prophet

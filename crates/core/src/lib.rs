@@ -146,13 +146,30 @@ pub struct Prediction {
 }
 
 /// The Parallel Prophet tool: configuration + cached machine calibration.
+///
+/// Every prediction-path method takes `&self`: a `Prophet` (typically
+/// behind an [`std::sync::Arc`]) can profile and predict from many
+/// threads at once — grid points of a sweep run concurrently against one
+/// shared instance. The one lazily-computed piece of state, the Ψ/Φ
+/// calibration, memoises through a [`std::sync::OnceLock`], so the §V-D
+/// microbenchmark runs at most once per instance no matter how many
+/// threads race to first use.
 pub struct Prophet {
     machine: MachineConfig,
     hierarchy: HierarchyConfig,
     profile_options: ProfileOptions,
     burden_thread_counts: Vec<u32>,
-    calibration: Option<MemCalibration>,
+    calibration: std::sync::OnceLock<MemCalibration>,
 }
+
+// The prediction path is documented re-entrant; make the contract a
+// compile-time fact so a non-Send field can't regress it silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Prophet>();
+    assert_send_sync::<Profiled>();
+    assert_send_sync::<Prediction>();
+};
 
 impl Default for Prophet {
     fn default() -> Self {
@@ -181,7 +198,7 @@ impl Prophet {
             hierarchy,
             profile_options,
             burden_thread_counts: vec![2, 4, 6, 8, 10, 12],
-            calibration: None,
+            calibration: std::sync::OnceLock::new(),
         }
     }
 
@@ -203,29 +220,27 @@ impl Prophet {
     }
 
     /// Inject a pre-computed calibration (e.g. loaded from JSON) instead
-    /// of running the microbenchmark.
+    /// of running the microbenchmark. Replaces any memoised calibration.
     pub fn set_calibration(&mut self, cal: MemCalibration) {
-        self.calibration = Some(cal);
+        self.calibration = std::sync::OnceLock::new();
+        let _ = self.calibration.set(cal);
     }
 
     /// The Ψ/Φ calibration of this machine, computing it on first use
-    /// (runs the §V-D microbenchmark on the simulated machine).
-    pub fn calibration(&mut self) -> &MemCalibration {
-        if self.calibration.is_none() {
-            let opts = CalibrationOptions::default();
-            self.calibration = Some(calibrate(self.machine, &opts));
-        }
-        self.calibration.as_ref().expect("just set")
+    /// (runs the §V-D microbenchmark on the simulated machine). Memoised:
+    /// concurrent first callers block until the one computing it is done.
+    pub fn calibration(&self) -> &MemCalibration {
+        self.calibration
+            .get_or_init(|| calibrate(self.machine, &CalibrationOptions::default()))
     }
 
     /// Profile an annotated program and attach burden factors to every
     /// top-level section (steps 2-3 of the workflow).
-    pub fn profile(&mut self, program: &dyn AnnotatedProgram) -> Profiled {
+    pub fn profile(&self, program: &dyn AnnotatedProgram) -> Profiled {
         let result = tracer::profile(program, self.profile_options);
         let mut tree = result.tree.clone();
-        let counts = self.burden_thread_counts.clone();
-        let cal = self.calibration().clone();
-        memmodel::apply_burden(&mut tree, &cal, &counts);
+        let cal = self.calibration();
+        memmodel::apply_burden(&mut tree, cal, &self.burden_thread_counts);
         Profiled {
             name: program.name().to_string(),
             tree,
@@ -238,16 +253,15 @@ impl Prophet {
     /// computing burden factors. `CacheTrend::Shrinks` can produce
     /// sub-unit (super-linear bonus) factors.
     pub fn profile_with_trend(
-        &mut self,
+        &self,
         program: &dyn AnnotatedProgram,
         trend: CacheTrend,
     ) -> Profiled {
         let result = tracer::profile(program, self.profile_options);
         let mut tree = result.tree.clone();
-        let counts = self.burden_thread_counts.clone();
-        let cal = self.calibration().clone();
+        let cal = self.calibration();
         let llc = self.hierarchy.llc.capacity_bytes;
-        memmodel::apply_burden_with_trend(&mut tree, &cal, &counts, trend, llc);
+        memmodel::apply_burden_with_trend(&mut tree, cal, &self.burden_thread_counts, trend, llc);
         Profiled {
             name: program.name().to_string(),
             tree,
@@ -428,7 +442,7 @@ mod tests {
 
     #[test]
     fn end_to_end_balanced_loop() {
-        let mut prophet = quick_prophet();
+        let prophet = quick_prophet();
         let profiled = prophet.profile(&Balanced);
         for emulator in [Emulator::FastForward, Emulator::Synthesizer] {
             let pred = prophet
@@ -452,7 +466,7 @@ mod tests {
 
     #[test]
     fn ff_predicts_beyond_machine_cores_synth_does_not() {
-        let mut prophet = quick_prophet();
+        let prophet = quick_prophet();
         let profiled = prophet.profile(&Balanced);
         let base = PredictOptions {
             emulator: Emulator::FastForward,
@@ -476,7 +490,7 @@ mod tests {
 
     #[test]
     fn explore_covers_grid_and_recommend_picks_best() {
-        let mut prophet = quick_prophet();
+        let prophet = quick_prophet();
         let profiled = prophet.profile(&Balanced);
         let preds = prophet
             .explore(
@@ -498,7 +512,7 @@ mod tests {
     #[test]
     fn profile_with_trend_changes_burden_only() {
         use memmodel::CacheTrend;
-        let mut prophet = quick_prophet();
+        let prophet = quick_prophet();
         let base = prophet.profile(&Balanced);
         let trended = prophet.profile_with_trend(
             &Balanced,
@@ -520,7 +534,7 @@ mod tests {
 
     #[test]
     fn prediction_serializes() {
-        let mut prophet = quick_prophet();
+        let prophet = quick_prophet();
         let profiled = prophet.profile(&Balanced);
         let pred = prophet
             .predict(&profiled, &PredictOptions::default())

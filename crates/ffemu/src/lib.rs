@@ -110,6 +110,11 @@ struct FfState<'t> {
     cpu_time: Vec<u64>,
     /// Per-user-lock free-at clock.
     lock_free: HashMap<LockId, u64>,
+    /// Recycled task-list buffers: `emulate_section` borrows one per
+    /// activation and returns it on exit, so deep grids re-use the same
+    /// handful of allocations instead of collecting a fresh `Vec` per
+    /// section (the per-node scratch arena).
+    task_buf_pool: Vec<Vec<NodeId>>,
     /// Structured event recorder (emulated-time timestamps).
     #[cfg(feature = "obs")]
     obs: Option<prophet_obs::ObsHandle>,
@@ -157,6 +162,7 @@ pub fn predict(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
         opts,
         cpu_time: vec![0; opts.cpus.max(1) as usize],
         lock_free: HashMap::new(),
+        task_buf_pool: Vec::new(),
         #[cfg(feature = "obs")]
         obs: None,
     };
@@ -176,6 +182,7 @@ pub fn predict_with_obs(
         opts,
         cpu_time: vec![0; opts.cpus.max(1) as usize],
         lock_free: HashMap::new(),
+        task_buf_pool: Vec::new(),
         obs: Some(obs),
     };
     predict_run(&mut st)
@@ -248,8 +255,11 @@ fn predict_run(st: &mut FfState<'_>) -> FfPrediction {
 /// section end time (after the implicit barrier and join overhead).
 fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, burden: f64) -> u64 {
     let n = st.cpu_time.len();
-    let tasks: Vec<NodeId> = expanded_children(st.tree, sec).collect();
+    let mut tasks = st.task_buf_pool.pop().unwrap_or_default();
+    tasks.clear();
+    tasks.extend(expanded_children(st.tree, sec));
     if tasks.is_empty() {
+        st.task_buf_pool.push(tasks);
         return start + st.opts.overheads.parallel_start + st.opts.overheads.parallel_end;
     }
     let body_start = start + st.opts.overheads.parallel_start;
@@ -324,7 +334,11 @@ fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, b
             if let Some(task) = runs[i].pending.pop_front() {
                 runs[i].time += st.opts.overheads.iter_start;
                 runs[i].executed_any = true;
-                runs[i].ops = expanded_children(st.tree, task).collect();
+                // Refill the run's op queue in place: the buffer persists
+                // across the section's tasks, so steady state allocates
+                // nothing per task.
+                runs[i].ops.clear();
+                runs[i].ops.extend(expanded_children(st.tree, task));
             }
             heap.push(Reverse((runs[i].time, i)));
             continue;
@@ -386,6 +400,7 @@ fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, b
         heap.push(Reverse((runs[i].time, i)));
     }
 
+    st.task_buf_pool.push(tasks);
     section_end + st.opts.overheads.parallel_end
 }
 
@@ -404,8 +419,10 @@ fn emulate_pipe(st: &mut FfState<'_>, pipe: NodeId, start: u64, burden: f64) -> 
     let mut stage_clock: Map<u32, u64> = Map::new();
     let mut end = body_start;
     let mut total_work: u64 = 0;
-    let items: Vec<NodeId> = expanded_children(st.tree, pipe).collect();
-    for item in items {
+    // Single pass, no intermediate item list: the iterator borrows only
+    // the (shared) tree reference, not the mutable emulator state.
+    let tree = st.tree;
+    for item in expanded_children(tree, pipe) {
         let mut prev_stage_end = body_start;
         for stage in expanded_children(st.tree, item) {
             let s = match &st.tree.node(stage).kind {

@@ -631,8 +631,47 @@ impl Machine {
         self.stats.lock_acquisitions = self.locks.iter().map(|s| s.acquisitions).sum();
         self.stats.lock_contended = self.locks.iter().map(|s| s.contended).sum();
         self.stats.threads = self.threads.iter().map(|s| s.stats).collect();
-        self.stats.timeline = self.trace.clone();
-        Ok(self.stats.clone())
+        // Hand the run's accounting out by move: the timeline (only
+        // captured when tracing was requested) and the stats vector
+        // transfer ownership instead of being cloned per run — this is
+        // the sweep engine's hot finish path.
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.timeline = self.trace.take();
+        Ok(stats)
+    }
+
+    /// Return the machine to its just-constructed state while keeping
+    /// every internal allocation (event heap, ready queue, thread/lock
+    /// tables) for reuse. Emulators that measure many short programs on
+    /// "a fresh machine" call this between measurements instead of
+    /// constructing — and re-heap-allocating — a new [`Machine`].
+    ///
+    /// The attached obs recorder (when the `obs` feature is on) is kept;
+    /// tracing, if it was enabled, stays enabled with an empty timeline.
+    pub fn reset(&mut self) {
+        let tracing = self.trace.is_some();
+        self.now = 0;
+        self.seq = 0;
+        self.events.clear();
+        self.threads.clear();
+        self.ready.clear();
+        for core in self.cores.iter_mut() {
+            *core = Core::default();
+        }
+        self.locks.clear();
+        self.barriers.clear();
+        self.live_threads = 0;
+        self.peak_live = 0;
+        self.stats = RunStats::default();
+        self.rates_dirty = false;
+        for cs in self.pending_cs.iter_mut() {
+            *cs = 0;
+        }
+        self.trace = if tracing {
+            Some(crate::trace::Timeline::default())
+        } else {
+            None
+        };
     }
 }
 

@@ -1,0 +1,585 @@
+#![warn(missing_docs)]
+
+//! The parallel sweep engine: evaluate a declarative grid of prediction
+//! jobs `{workload × threads × schedule × paradigm × predictor}` with
+//! work-stealing fan-out across OS threads.
+//!
+//! Three properties make grid evaluation cheap and safe to parallelise:
+//!
+//! * **Re-entrant prediction.** Every [`Prophet`] prediction-path method
+//!   takes `&self`, so one instance behind an [`Arc`] serves every worker
+//!   concurrently; the machine calibration memoises through a `OnceLock`
+//!   and runs at most once no matter how many jobs race to first use.
+//! * **Shared-profile caching.** Jobs address workloads by a stable cache
+//!   key (e.g. `"test1:7"`). The [`ProfileCache`] guarantees each key is
+//!   traced and burden-annotated *exactly once* per sweep — concurrent
+//!   requesters block on the in-flight profile instead of re-running it —
+//!   and every consumer shares the result via `Arc<Profiled>`.
+//! * **Deterministic reduction.** Results are collected into
+//!   input-order slots regardless of which worker evaluates which job, and
+//!   nothing on the result path reads wall-clock time, so a sweep's output
+//!   is byte-identical across `--jobs` values.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use prophet_core::machsim::{MachineConfig, Paradigm, Schedule};
+use prophet_core::omp_rt::OmpOverheads;
+use prophet_core::tracer::AnnotatedProgram;
+use prophet_core::{baselines, ffemu, synthemu, Profiled, Prophet};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use workloads::{run_real, RealOptions, Test1, Test1Params, Test2, Test2Params};
+
+/// A workload a sweep can evaluate: a stable cache key plus a closure
+/// that profiles the program against a given prophet.
+///
+/// The closure — not a pre-built [`Profiled`] — is stored so the
+/// (expensive) trace runs lazily, at most once per sweep, inside the
+/// [`ProfileCache`]; specs for an entire grid are cheap to construct.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Cache key; equal keys share one profile. Convention:
+    /// `"<family>:<params-seed>"`.
+    pub key: String,
+    build: Arc<dyn Fn(&Prophet) -> Profiled + Send + Sync>,
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("key", &self.key)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkloadSpec {
+    /// A Test1 validation program with `Test1Params::random(seed)`.
+    pub fn test1(seed: u64) -> Self {
+        Self::program(format!("test1:{seed}"), move || {
+            Box::new(Test1::new(Test1Params::random(seed)))
+        })
+    }
+
+    /// A Test2 validation program with `Test2Params::random(seed)`.
+    pub fn test2(seed: u64) -> Self {
+        Self::program(format!("test2:{seed}"), move || {
+            Box::new(Test2::new(Test2Params::random(seed)))
+        })
+    }
+
+    /// A workload built from a program factory, profiled with the
+    /// prophet's standard options.
+    pub fn program(
+        key: impl Into<String>,
+        make: impl Fn() -> Box<dyn AnnotatedProgram> + Send + Sync + 'static,
+    ) -> Self {
+        WorkloadSpec {
+            key: key.into(),
+            build: Arc::new(move |p: &Prophet| p.profile(&*make())),
+        }
+    }
+
+    /// A workload with a fully custom profiling step (e.g. a non-default
+    /// compression tolerance). The key must encode whatever the closure
+    /// varies, or distinct configurations would collide in the cache.
+    pub fn custom(
+        key: impl Into<String>,
+        build: impl Fn(&Prophet) -> Profiled + Send + Sync + 'static,
+    ) -> Self {
+        WorkloadSpec {
+            key: key.into(),
+            build: Arc::new(build),
+        }
+    }
+}
+
+/// Counters of a [`ProfileCache`] after (or during) a sweep.
+///
+/// `misses` counts closures actually run — exactly one per distinct key,
+/// however many threads race — so the numbers are deterministic for a
+/// given job list regardless of `--jobs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from an already-profiled entry.
+    pub hits: u64,
+    /// Lookups that ran the profiler.
+    pub misses: u64,
+    /// Distinct keys resident.
+    pub entries: u64,
+}
+
+/// Concurrent once-per-key profile store shared by all sweep workers.
+///
+/// Internally each key maps to an `Arc<OnceLock<..>>` so the map lock is
+/// held only to find the cell; the (long) profiling run happens outside
+/// it, and concurrent requesters of the same key block on the cell
+/// rather than profiling twice.
+#[derive(Default)]
+pub struct ProfileCache {
+    inner: Mutex<HashMap<String, Arc<OnceLock<Arc<Profiled>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The profile for `key`, running `profile` (once, ever) on first use.
+    pub fn get_or_profile(&self, key: &str, profile: impl FnOnce() -> Profiled) -> Arc<Profiled> {
+        let cell = {
+            let mut map = self.inner.lock().expect("profile cache poisoned");
+            map.entry(key.to_string()).or_default().clone()
+        };
+        let mut ran = false;
+        let out = cell
+            .get_or_init(|| {
+                ran = true;
+                Arc::new(profile())
+            })
+            .clone();
+        if ran {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("profile cache poisoned").len() as u64,
+        }
+    }
+}
+
+/// What produces a grid point's speedup (the series of Fig. 11/12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepPredictor {
+    /// Ground truth: the actually-parallelised program on the simulated
+    /// machine.
+    Real,
+    /// The fast-forwarding emulator.
+    Ff,
+    /// The program-synthesis emulator (skipped when `threads` exceeds the
+    /// machine's cores — it can only measure the machine it has).
+    Syn,
+    /// The Intel-Advisor-style suitability baseline.
+    Suit,
+}
+
+impl SweepPredictor {
+    /// Stable lower-case name for keys/CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepPredictor::Real => "real",
+            SweepPredictor::Ff => "ff",
+            SweepPredictor::Syn => "syn",
+            SweepPredictor::Suit => "suit",
+        }
+    }
+}
+
+/// A predictor plus whether the memory performance model's burden factors
+/// apply (only meaningful for [`SweepPredictor::Ff`]/[`SweepPredictor::Syn`];
+/// `Real` and `Suit` ignore it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorSpec {
+    /// The predictor.
+    pub predictor: SweepPredictor,
+    /// Apply burden factors (the `PredM` vs `Pred` distinction).
+    pub memory_model: bool,
+}
+
+impl PredictorSpec {
+    /// Ground truth.
+    pub fn real() -> Self {
+        PredictorSpec {
+            predictor: SweepPredictor::Real,
+            memory_model: false,
+        }
+    }
+    /// Fast-forward emulator.
+    pub fn ff(memory_model: bool) -> Self {
+        PredictorSpec {
+            predictor: SweepPredictor::Ff,
+            memory_model,
+        }
+    }
+    /// Synthesizer.
+    pub fn syn(memory_model: bool) -> Self {
+        PredictorSpec {
+            predictor: SweepPredictor::Syn,
+            memory_model,
+        }
+    }
+    /// Suitability baseline.
+    pub fn suit() -> Self {
+        PredictorSpec {
+            predictor: SweepPredictor::Suit,
+            memory_model: false,
+        }
+    }
+}
+
+/// Per-job overrides of the prophet's standard configuration, so ablation
+/// sweeps (quantum, lock penalty, overhead studies) ride the same engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Overrides {
+    /// Replace the target machine (quantum studies set
+    /// `machine.quantum_cycles` here).
+    pub machine: Option<MachineConfig>,
+    /// FF contended-lock penalty, cycles.
+    pub lock_penalty: Option<u64>,
+    /// OpenMP construct overheads (Real, FF, and synthesizer runs).
+    pub omp_overheads: Option<OmpOverheads>,
+}
+
+/// One grid point to evaluate.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepJob {
+    /// Index into the sweep's workload list.
+    pub workload: usize,
+    /// Thread/CPU count.
+    pub threads: u32,
+    /// OpenMP schedule.
+    pub schedule: Schedule,
+    /// Threading paradigm.
+    pub paradigm: Paradigm,
+    /// Predictor and memory-model flag.
+    pub spec: PredictorSpec,
+    /// Configuration overrides.
+    pub overrides: Overrides,
+}
+
+/// A declarative grid: the cartesian product of its axes, expanded
+/// workload-major (workload, then threads, schedule, paradigm, predictor)
+/// so all jobs sharing a profile are adjacent in the job list.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Workloads (profiled once each).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Thread counts.
+    pub threads: Vec<u32>,
+    /// Schedules.
+    pub schedules: Vec<Schedule>,
+    /// Paradigms.
+    pub paradigms: Vec<Paradigm>,
+    /// Predictor series.
+    pub predictors: Vec<PredictorSpec>,
+    /// Overrides applied to every job.
+    pub overrides: Overrides,
+}
+
+impl GridSpec {
+    /// A grid over `workloads` with the standard single-axis defaults:
+    /// OpenMP, static-block, synthesizer + ground truth.
+    pub fn new(workloads: Vec<WorkloadSpec>) -> Self {
+        GridSpec {
+            workloads,
+            threads: vec![2, 4, 6, 8, 10, 12],
+            schedules: vec![Schedule::static_block()],
+            paradigms: vec![Paradigm::OpenMp],
+            predictors: vec![PredictorSpec::real(), PredictorSpec::syn(true)],
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// Expand to the ordered job list.
+    pub fn expand(&self) -> Vec<SweepJob> {
+        let mut jobs = Vec::with_capacity(
+            self.workloads.len()
+                * self.threads.len()
+                * self.schedules.len()
+                * self.paradigms.len()
+                * self.predictors.len(),
+        );
+        for w in 0..self.workloads.len() {
+            for &threads in &self.threads {
+                for &schedule in &self.schedules {
+                    for &paradigm in &self.paradigms {
+                        for &spec in &self.predictors {
+                            jobs.push(SweepJob {
+                                workload: w,
+                                threads,
+                                schedule,
+                                paradigm,
+                                spec,
+                                overrides: self.overrides,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Workload cache key.
+    pub workload: String,
+    /// Predictor.
+    pub predictor: SweepPredictor,
+    /// Memory model applied.
+    pub memory_model: bool,
+    /// Thread count.
+    pub threads: u32,
+    /// Schedule name (paper notation).
+    pub schedule: String,
+    /// Paradigm name.
+    pub paradigm: String,
+    /// Measured or predicted speedup.
+    pub speedup: f64,
+    /// Parallel time, cycles.
+    pub predicted_cycles: u64,
+    /// Serial time, cycles.
+    pub serial_cycles: u64,
+}
+
+/// The outcome of a sweep: points in deterministic job order (skipped
+/// jobs — synthesizer beyond the machine's cores — removed), plus cache
+/// counters. Nothing here depends on wall-clock time or worker count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Evaluated points, in job order.
+    pub points: Vec<SweepPoint>,
+    /// Jobs in the expanded grid.
+    pub jobs_total: usize,
+    /// Jobs skipped (synthesizer thread counts beyond the machine).
+    pub jobs_skipped: usize,
+    /// Profile-cache counters.
+    pub cache: CacheStats,
+}
+
+/// The engine: a shared prophet, a profile cache, and a worker count.
+pub struct SweepEngine {
+    prophet: Arc<Prophet>,
+    cache: ProfileCache,
+    jobs: usize,
+}
+
+impl SweepEngine {
+    /// An engine owning `prophet`, using every available core.
+    pub fn new(prophet: Prophet) -> Self {
+        Self::from_arc(Arc::new(prophet))
+    }
+
+    /// An engine sharing an existing prophet.
+    pub fn from_arc(prophet: Arc<Prophet>) -> Self {
+        SweepEngine {
+            prophet,
+            cache: ProfileCache::new(),
+            jobs: 0,
+        }
+    }
+
+    /// Set the worker count (`0` = all available cores).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The shared prophet.
+    pub fn prophet(&self) -> &Prophet {
+        &self.prophet
+    }
+
+    /// The profile cache (inspect [`ProfileCache::stats`] after a run).
+    pub fn cache(&self) -> &ProfileCache {
+        &self.cache
+    }
+
+    /// Evaluate a declarative grid.
+    pub fn run(&self, grid: &GridSpec) -> SweepResult {
+        self.run_jobs(&grid.workloads, &grid.expand())
+    }
+
+    /// Evaluate an explicit job list (for irregular grids where each
+    /// workload carries its own schedule/paradigm, e.g. Fig. 12).
+    pub fn run_jobs(&self, workloads: &[WorkloadSpec], jobs: &[SweepJob]) -> SweepResult {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.jobs)
+            .build()
+            .expect("sweep thread pool");
+        let evaluated: Vec<Option<SweepPoint>> =
+            pool.install(|| jobs.par_iter().map(|j| self.eval(workloads, j)).collect());
+        let jobs_total = jobs.len();
+        let points: Vec<SweepPoint> = evaluated.into_iter().flatten().collect();
+        SweepResult {
+            jobs_total,
+            jobs_skipped: jobs_total - points.len(),
+            points,
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Evaluate one job. `None` = deterministically skipped (synthesizer
+    /// thread count beyond the target machine's cores).
+    fn eval(&self, workloads: &[WorkloadSpec], job: &SweepJob) -> Option<SweepPoint> {
+        let machine = job
+            .overrides
+            .machine
+            .unwrap_or_else(|| *self.prophet.machine());
+        if job.spec.predictor == SweepPredictor::Syn && job.threads > machine.cores {
+            return None;
+        }
+        let spec = &workloads[job.workload];
+        let profiled = self
+            .cache
+            .get_or_profile(&spec.key, || (spec.build)(&self.prophet));
+
+        let (speedup, predicted_cycles, serial_cycles) = match job.spec.predictor {
+            SweepPredictor::Real => {
+                let mut opts = RealOptions::new(job.threads, job.paradigm, job.schedule);
+                opts.machine = machine;
+                if let Some(oh) = job.overrides.omp_overheads {
+                    opts.omp_overheads = oh;
+                }
+                let r = run_real(&profiled.tree, &opts).expect("ground-truth run");
+                (r.speedup, r.elapsed_cycles, r.serial_cycles)
+            }
+            SweepPredictor::Ff => {
+                let p = ffemu::predict(
+                    &profiled.tree,
+                    ffemu::FfOptions {
+                        cpus: job.threads,
+                        schedule: job.schedule,
+                        overheads: job
+                            .overrides
+                            .omp_overheads
+                            .unwrap_or_else(OmpOverheads::westmere_scaled),
+                        use_burden: job.spec.memory_model,
+                        contended_lock_penalty: job
+                            .overrides
+                            .lock_penalty
+                            .unwrap_or(machine.context_switch_cycles),
+                        model_pipelines: true,
+                    },
+                );
+                (p.speedup, p.predicted_cycles, p.serial_cycles)
+            }
+            SweepPredictor::Syn => {
+                let mut so = synthemu::SynthOptions::new(job.threads, job.paradigm);
+                so.machine = machine;
+                so.schedule = job.schedule;
+                so.use_burden = job.spec.memory_model;
+                if let Some(oh) = job.overrides.omp_overheads {
+                    so.omp_overheads = oh;
+                }
+                let p = synthemu::predict(&profiled.tree, &so).expect("synthesizer run");
+                (p.speedup, p.predicted_cycles, p.serial_cycles)
+            }
+            SweepPredictor::Suit => {
+                let p = baselines::suitability_predict(&profiled.tree, job.threads);
+                (p.speedup, p.predicted_cycles, p.serial_cycles)
+            }
+        };
+        Some(SweepPoint {
+            workload: spec.key.clone(),
+            predictor: job.spec.predictor,
+            memory_model: job.spec.memory_model,
+            threads: job.threads,
+            schedule: job.schedule.name(),
+            paradigm: job.paradigm.name().to_string(),
+            speedup,
+            predicted_cycles,
+            serial_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_prophet() -> Prophet {
+        Prophet::new()
+    }
+
+    #[test]
+    fn cache_same_key_shares_one_profile() {
+        let prophet = tiny_prophet();
+        let cache = ProfileCache::new();
+        let spec = WorkloadSpec::test1(3);
+        let a = cache.get_or_profile(&spec.key, || (spec.build)(&prophet));
+        let b = cache.get_or_profile(&spec.key, || (spec.build)(&prophet));
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one Arc<Profiled>");
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn cache_distinct_seeds_miss_separately() {
+        let prophet = tiny_prophet();
+        let cache = ProfileCache::new();
+        let s1 = WorkloadSpec::test1(1);
+        let s2 = WorkloadSpec::test1(2);
+        let a = cache.get_or_profile(&s1.key, || (s1.build)(&prophet));
+        let b = cache.get_or_profile(&s2.key, || (s2.build)(&prophet));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.tree.total_length(), 0);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.entries), (2, 0, 2));
+    }
+
+    #[test]
+    fn cache_profiles_once_under_concurrency() {
+        let prophet = Arc::new(tiny_prophet());
+        let cache = Arc::new(ProfileCache::new());
+        let spec = WorkloadSpec::test1(5);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let prophet = Arc::clone(&prophet);
+                let spec = spec.clone();
+                s.spawn(move || {
+                    let _ = cache.get_or_profile(&spec.key, || (spec.build)(&prophet));
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "profiler must run exactly once per key");
+        assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn grid_expansion_is_workload_major() {
+        let mut grid = GridSpec::new(vec![WorkloadSpec::test1(0), WorkloadSpec::test1(1)]);
+        grid.threads = vec![2, 4];
+        grid.predictors = vec![PredictorSpec::real()];
+        let jobs = grid.expand();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(
+            jobs.iter().map(|j| j.workload).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1]
+        );
+        assert_eq!(
+            jobs.iter().map(|j| j.threads).collect::<Vec<_>>(),
+            vec![2, 4, 2, 4]
+        );
+    }
+
+    #[test]
+    fn synthesizer_jobs_beyond_cores_are_skipped() {
+        let engine = SweepEngine::new(tiny_prophet()).with_jobs(1);
+        let mut grid = GridSpec::new(vec![WorkloadSpec::test1(11)]);
+        let cores = engine.prophet().machine().cores;
+        grid.threads = vec![2, cores + 4];
+        grid.predictors = vec![PredictorSpec::syn(false)];
+        let r = engine.run(&grid);
+        assert_eq!(r.jobs_total, 2);
+        assert_eq!(r.jobs_skipped, 1);
+        assert_eq!(r.points.len(), 1);
+        assert_eq!(r.points[0].threads, 2);
+    }
+}

@@ -269,32 +269,8 @@ fn body_overhead(body: &TaskBody, opts: &SynthOptions) -> u64 {
         .sum()
 }
 
-/// Emulate one top-level section (Fig. 8's `EmulTopLevelParSec`).
-fn emulate_section(
-    tree: &ProgramTree,
-    sec: NodeId,
-    opts: &SynthOptions,
-) -> Result<SectionEmul, RunError> {
-    let mut machine = machsim::Machine::new(opts.machine);
-    run_section(tree, sec, opts, &mut machine)
-}
-
-/// [`emulate_section`] with a `prophet-obs` recorder attached to the
-/// fresh measurement machine. The machine's virtual clock restarts at 0
-/// for every top-level section, so timestamps are section-local.
-#[cfg(feature = "obs")]
-fn emulate_section_obs(
-    tree: &ProgramTree,
-    sec: NodeId,
-    opts: &SynthOptions,
-    obs: &prophet_obs::ObsHandle,
-) -> Result<SectionEmul, RunError> {
-    let mut machine = machsim::Machine::new(opts.machine);
-    machine.attach_obs(obs.clone());
-    run_section(tree, sec, opts, &mut machine)
-}
-
-/// Generate the section's IR and measure it on `machine` (fresh).
+/// Generate the section's IR and measure it on `machine` (fresh or
+/// freshly [`machsim::Machine::reset`]).
 fn run_section(
     tree: &ProgramTree,
     sec: NodeId,
@@ -356,21 +332,43 @@ fn run_section(
 }
 
 /// Predict the speedup of `tree` with the synthesizer.
+///
+/// One measurement machine is allocated for the whole prediction and
+/// [`machsim::Machine::reset`] between top-level sections, so the
+/// event-heap/ready-queue allocations are paid once, not per section.
+/// Each section still observes a logically fresh machine (clock at 0).
 pub fn predict(tree: &ProgramTree, opts: &SynthOptions) -> Result<SynthPrediction, RunError> {
-    predict_with(tree, opts, |sec| emulate_section(tree, sec, opts))
+    let mut machine = machsim::Machine::new(opts.machine);
+    let mut used = false;
+    predict_with(tree, opts, move |sec| {
+        if used {
+            machine.reset();
+        }
+        used = true;
+        run_section(tree, sec, opts, &mut machine)
+    })
 }
 
 /// [`predict`], recording every measurement machine's scheduler events
 /// plus the synthesizer's overhead-subtraction corrections on `obs`.
-/// Each top-level section is measured on a fresh machine whose virtual
-/// clock restarts at 0, so timestamps are section-local.
+/// The measurement machine's virtual clock restarts at 0 for every
+/// top-level section, so timestamps are section-local.
 #[cfg(feature = "obs")]
 pub fn predict_with_obs(
     tree: &ProgramTree,
     opts: &SynthOptions,
     obs: prophet_obs::ObsHandle,
 ) -> Result<SynthPrediction, RunError> {
-    predict_with(tree, opts, |sec| emulate_section_obs(tree, sec, opts, &obs))
+    let mut machine = machsim::Machine::new(opts.machine);
+    machine.attach_obs(obs);
+    let mut used = false;
+    predict_with(tree, opts, move |sec| {
+        if used {
+            machine.reset();
+        }
+        used = true;
+        run_section(tree, sec, opts, &mut machine)
+    })
 }
 
 fn predict_with(

@@ -140,7 +140,7 @@ fn main() {
     );
 
     println!("step 2 — Parallel Prophet on the annotated program:\n");
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
     let profiled = prophet.profile(&Annotated);
     for threads in [2u32, 4, 8, 12] {
         let pred = prophet

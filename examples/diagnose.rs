@@ -63,7 +63,7 @@ impl AnnotatedProgram for FourPhases {
 }
 
 fn main() {
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
     let profiled = prophet.profile(&FourPhases);
     let d = diagnose(&profiled.tree, 8, Schedule::static_block());
     println!("{}", d.render());

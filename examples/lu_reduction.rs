@@ -18,7 +18,7 @@ fn main() {
     let spec = lu.spec();
     println!("benchmark: {} ({})", spec.name, spec.input_desc);
 
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
     let profiled = prophet.profile(&lu);
     println!(
         "profiled: {} inner sections, {} stored nodes ({} logical)\n",

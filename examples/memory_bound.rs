@@ -33,7 +33,7 @@ fn main() {
         hierarchy.llc.capacity_bytes >> 10
     );
 
-    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
 
     // Show the burden factors the memory model computed.

@@ -23,7 +23,7 @@ fn main() {
         total as f64 / bottleneck as f64
     );
 
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
     let profiled = prophet.profile(&wl);
     let stats = proftree::TreeStats::gather(&profiled.tree);
     println!(

@@ -31,7 +31,7 @@ impl AnnotatedProgram for FilterLoop {
 }
 
 fn main() {
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
 
     // One profiling run builds the program tree and memory profile.
     let profiled = prophet.profile(&FilterLoop);

@@ -20,7 +20,7 @@ fn main() {
     let spec = fft.spec();
     println!("benchmark: {} ({})", spec.name, spec.input_desc);
 
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
     let profiled = prophet.profile(&fft);
     let stats = proftree::TreeStats::gather(&profiled.tree);
     println!(

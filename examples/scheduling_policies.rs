@@ -39,7 +39,7 @@ impl AnnotatedProgram for Fig5Loop {
 }
 
 fn main() {
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
     let profiled = prophet.profile(&Fig5Loop);
     println!("serial time: {} cycles\n", profiled.profile.net_cycles);
     println!("paper Fig. 5 expectations on 2 cores:");

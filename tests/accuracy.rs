@@ -29,7 +29,7 @@ fn mean(xs: &[f64]) -> f64 {
 fn ff_is_accurate_on_test1_samples() {
     // Paper §VII-B: "average error ratio is less than 4%" for Test1 on
     // the FF (we allow a wider band for the mini sample).
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let mut errors = Vec::new();
     for seed in 0..8u64 {
         let prog = Test1::new(Test1Params::random(seed));
@@ -64,7 +64,7 @@ fn ff_is_accurate_on_test1_samples() {
 fn synthesizer_is_accurate_on_test2_samples() {
     // Paper §VII-B: synthesizer shows "a 3% average error ratio and 19%
     // at the maximum" on Test2 (wider bands for the mini sample).
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let mut errors = Vec::new();
     for seed in 0..6u64 {
         let prog = Test2::new(Test2Params::random(seed));
@@ -98,7 +98,7 @@ fn synthesizer_beats_suitability_on_test2() {
     // Fig. 11(e) vs 11(f): the synthesizer tracks reality; Suitability
     // (fixed scheduling, no preemption model, pessimistic region costs)
     // deviates more on nested/inner-loop-heavy programs.
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let mut syn_err = Vec::new();
     let mut suit_err = Vec::new();
     for seed in [1u64, 3, 9] {
@@ -137,7 +137,7 @@ fn synthesizer_beats_suitability_on_test2() {
 
 #[test]
 fn predictions_monotone_enough_in_threads() {
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let prog = Test1::new(Test1Params::random(77));
     let profiled = prophet.profile(&prog);
     let mut prev = 0.0f64;

@@ -28,7 +28,7 @@ fn small_ft_setup() -> (Ft, MachineConfig, HierarchyConfig) {
 #[test]
 fn ft_gets_nontrivial_burden_factors() {
     let (ft, machine, hierarchy) = small_ft_setup();
-    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
     let mut burdened = 0;
     for sec in profiled.tree.top_level_sections() {
@@ -54,7 +54,7 @@ fn ft_gets_nontrivial_burden_factors() {
 #[test]
 fn predm_tracks_real_saturation_better_than_pred() {
     let (ft, machine, hierarchy) = small_ft_setup();
-    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
 
     let mut real_opts = RealOptions::new(12, Paradigm::OpenMp, Schedule::static_block());
@@ -109,7 +109,7 @@ fn predm_tracks_real_saturation_better_than_pred() {
 
 #[test]
 fn ep_burden_stays_unit_and_scales_linearly() {
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
     // A mid-size EP: large enough that fork/join overhead is negligible.
     let profiled = prophet.profile(&Ep {
         pairs: 1 << 17,
@@ -145,7 +145,7 @@ fn ep_burden_stays_unit_and_scales_linearly() {
 #[test]
 fn real_run_saturates_on_bandwidth_limited_ft() {
     let (ft, machine, hierarchy) = small_ft_setup();
-    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
 
     let mk = |threads: u32| {

@@ -11,7 +11,7 @@ use workloads::{run_real_with_obs, RealOptions};
 /// Profile `w`, run the ground-truth machine at 4 cores with a fresh
 /// recorder attached, and export both trace formats.
 fn trace_once(w: &dyn Benchmark) -> (String, String) {
-    let mut prophet = Prophet::new();
+    let prophet = Prophet::new();
     let profiled = prophet.profile(w);
     let spec = w.spec();
     let mut opts = RealOptions::new(4, spec.paradigm, machsim::Schedule::static_block());

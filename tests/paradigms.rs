@@ -56,7 +56,7 @@ fn quick_prophet() -> Prophet {
 
 #[test]
 fn each_paradigm_prediction_tracks_its_own_ground_truth() {
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&FineRecursion);
     for paradigm in [Paradigm::CilkPlus, Paradigm::OmpTask] {
         let real = run_real(
@@ -92,7 +92,7 @@ fn work_stealing_beats_central_queue_on_fine_grain() {
     // recursive/fine-grained parallelism, the runtimes are NOT
     // interchangeable, and the synthesizer can quantify the gap before
     // any parallel code exists.
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&FineRecursion);
     let cilk = prophet
         .predict(
@@ -131,7 +131,7 @@ fn naive_nested_openmp_loses_to_task_runtimes() {
     // of too many spawned physical threads. For such recursive
     // parallelism, TBB, Cilk Plus, and OpenMP 3.0's task are much more
     // effective."
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&FineRecursion);
     let nested_omp = run_real(
         &profiled.tree,
@@ -157,7 +157,7 @@ fn naive_nested_openmp_loses_to_task_runtimes() {
 
 #[test]
 fn recommend_explores_all_three_paradigms() {
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&FineRecursion);
     let rec = prophet.recommend(&profiled).unwrap();
     let paradigms: std::collections::HashSet<&str> =

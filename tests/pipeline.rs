@@ -26,7 +26,7 @@ fn memmodel_quick() -> prophet_core::memmodel::MemCalibration {
 #[test]
 fn test1_pipeline_ff_and_synth_against_real() {
     let prog = Test1::new(Test1Params::random(42));
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&prog);
 
     for schedule in [
@@ -69,7 +69,7 @@ fn test2_nested_synthesizer_tracks_real() {
     let mut params = Test2Params::random(7);
     params.nested_prob = 1.0;
     let prog = Test2::new(params);
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&prog);
 
     let schedule = Schedule::static1();
@@ -102,7 +102,7 @@ fn test2_nested_synthesizer_tracks_real() {
 #[test]
 fn profile_is_reusable_across_predictions() {
     let prog = Test1::new(Test1Params::random(5));
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&prog);
     // Profile once, predict many — the paper's core workflow promise.
     let mut speedups = Vec::new();

@@ -22,7 +22,7 @@ fn quick_prophet() -> Prophet {
 #[test]
 fn balanced_pipeline_approaches_stage_count_speedup() {
     let wl = PipelineWl::new(PipelineParams::balanced(64, 4, 20_000));
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&wl);
 
     let real = run_real(
@@ -63,7 +63,7 @@ fn bottleneck_stage_governs_speedup() {
     // decode 20k, filter 60k, encode 35k, mux 10k: total 125k per item,
     // bottleneck 60k → asymptotic speedup 125/60 ≈ 2.08.
     let wl = PipelineWl::new(PipelineParams::transcoder(80));
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&wl);
 
     let real = run_real(
@@ -99,7 +99,7 @@ fn bottleneck_stage_governs_speedup() {
 #[test]
 fn fewer_cores_than_stages_handled() {
     let wl = PipelineWl::new(PipelineParams::balanced(40, 6, 10_000));
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&wl);
 
     // 6 stages on a 2-thread budget: speedup capped near 2.
@@ -149,7 +149,7 @@ fn suitability_has_no_pipeline_model() {
     // The Suitability-like baseline treats pipeline regions as serial —
     // its prediction must stay near 1 while the real pipeline speeds up.
     let wl = PipelineWl::new(PipelineParams::balanced(64, 4, 20_000));
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let profiled = prophet.profile(&wl);
     let suit = baselines::suitability_predict(&profiled.tree, 4);
     assert!(
@@ -183,7 +183,7 @@ fn annotation_errors_for_pipelines() {
 #[test]
 fn pipeline_speedup_monotone_in_item_count() {
     // Longer streams amortise fill/drain: speedup grows with items.
-    let mut prophet = quick_prophet();
+    let prophet = quick_prophet();
     let mut prev = 0.0;
     for items in [4u64, 16, 64] {
         let wl = PipelineWl::new(PipelineParams::balanced(items, 4, 20_000));

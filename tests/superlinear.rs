@@ -30,7 +30,7 @@ fn shrinking_misses_make_the_machine_superlinear_capable() {
     let (ft, machine, hierarchy) = setup();
     let llc = hierarchy.llc.capacity_bytes;
     let footprint = ft.footprint(); // 512 KiB = 4× the shrunken LLC
-    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
 
     let threads = 12u32;
@@ -64,7 +64,7 @@ fn trend_aware_burden_tracks_trended_ground_truth() {
     let (ft, machine, hierarchy) = setup();
     let llc = hierarchy.llc.capacity_bytes;
     let footprint = ft.footprint();
-    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
     let cal = prophet.calibration().clone();
 
@@ -130,7 +130,7 @@ fn trend_aware_burden_tracks_trended_ground_truth() {
 #[test]
 fn growth_trend_predicts_worse_scaling_than_assumption4() {
     let (ft, machine, hierarchy) = setup();
-    let mut prophet = Prophet::with_machine(machine, hierarchy);
+    let prophet = Prophet::with_machine(machine, hierarchy);
     let profiled = prophet.profile(&ft);
     let cal = prophet.calibration().clone();
     for sec in profiled.tree.top_level_sections() {

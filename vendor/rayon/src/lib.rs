@@ -1,0 +1,392 @@
+//! Offline stand-in for the `rayon` crate (1.x API subset).
+//!
+//! The build environment has no registry access, so — like the other
+//! crates under `vendor/` — this implements exactly the surface the
+//! workspace uses: [`ThreadPoolBuilder`] / [`ThreadPool::install`],
+//! slice [`prelude::IntoParallelRefIterator::par_iter`] with
+//! `map(..).collect::<Vec<_>>()`, [`join`], and
+//! [`current_num_threads`].
+//!
+//! Scheduling is dynamic self-balancing fan-out: workers (scoped OS
+//! threads, the caller included) claim item indices from a shared
+//! atomic counter, so an expensive item does not stall the queue behind
+//! it — the practical effect of rayon's work stealing for the
+//! flat fan-outs this workspace runs. Results land in per-index slots,
+//! so the collected order is the input order **regardless of thread
+//! count or interleaving**: callers get deterministic reductions for
+//! free, which the sweep engine's 1-vs-N-jobs byte-identity guarantee
+//! relies on.
+
+use std::cell::Cell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Traits imported by `use rayon::prelude::*`.
+    pub use crate::IntoParallelRefIterator;
+}
+
+thread_local! {
+    /// Thread count installed by the innermost `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Resolve a requested thread count: `0` means "all available".
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// The number of threads parallel operations on this thread fan out to:
+/// the installed pool's size, or the machine's available parallelism
+/// outside any pool.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    resolve_threads(installed)
+}
+
+/// Error building a thread pool (never produced by this stand-in; kept
+/// for API parity so callers can `?` / `expect` as with real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-sized) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool's thread count; `0` means one per available core.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: resolve_threads(self.num_threads),
+        })
+    }
+}
+
+/// A fan-out domain: `install` scopes parallel operations to this
+/// pool's thread count. Workers are scoped threads spawned per
+/// operation (cheap next to the simulation work they host), so the
+/// pool itself holds no OS resources.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool installed: parallel iterators inside it
+    /// fan out to `current_num_threads()` workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(self.threads));
+        let guard = RestoreThreads(prev);
+        let out = op();
+        drop(guard);
+        out
+    }
+}
+
+/// Restore the installed thread count even if `op` panics.
+struct RestoreThreads(usize);
+
+impl Drop for RestoreThreads {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|t| t.set(self.0));
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join closure panicked"))
+        })
+    }
+}
+
+/// `&'data self` → parallel iterator conversion (slices and `Vec`s).
+pub trait IntoParallelRefIterator<'data> {
+    /// The item type iterated over.
+    type Item: 'data;
+    /// The iterator type produced.
+    type Iter;
+
+    /// Iterate the collection in parallel by shared reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map each item through `f` (evaluated on the worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, R, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'data, T, R, F> {
+    items: &'data [T],
+    f: F,
+    _out: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> ParMap<'data, T, R, F> {
+    /// Evaluate the map across the installed thread count and collect
+    /// results **in input order**.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_vec(fan_out(self.items, &self.f))
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<R> {
+    /// Build the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Write-once result slots shared across workers. Each index is claimed
+/// by exactly one worker (via the atomic cursor), so writes are
+/// disjoint; the scope join is the happens-before edge that makes the
+/// final reads race-free.
+struct Slots<R> {
+    cells: Vec<MaybeUninit<R>>,
+    written: Vec<std::sync::atomic::AtomicBool>,
+}
+
+// SAFETY: workers only write disjoint indices (unique `fetch_add`
+// tickets) and no slot is read until all workers have joined.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(n: usize) -> Self {
+        Slots {
+            cells: (0..n).map(|_| MaybeUninit::uninit()).collect(),
+            written: (0..n)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    /// SAFETY: each index must be written at most once, from the worker
+    /// holding that index's ticket.
+    unsafe fn write(&self, i: usize, value: R) {
+        let cell = &self.cells[i] as *const MaybeUninit<R> as *mut MaybeUninit<R>;
+        unsafe { (*cell).write(value) };
+        self.written[i].store(true, Ordering::Release);
+    }
+
+    /// Consume the slots into an ordered `Vec`. Panics if any slot was
+    /// never written (a worker panicked mid-run).
+    fn into_vec(mut self) -> Vec<R> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        for (i, cell) in self.cells.drain(..).enumerate() {
+            assert!(
+                self.written[i].load(Ordering::Acquire),
+                "parallel worker died before producing item {i}"
+            );
+            // SAFETY: the flag says this slot was initialised.
+            out.push(unsafe { cell.assume_init() });
+        }
+        // Slots' Drop must not double-free: mark everything consumed.
+        self.written.clear();
+        out
+    }
+}
+
+impl<R> Drop for Slots<R> {
+    fn drop(&mut self) {
+        // Drop any initialised-but-unconsumed results (panic unwind).
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            if i < self.written.len() && *self.written[i].get_mut() {
+                // SAFETY: flagged slots hold initialised values.
+                unsafe { cell.assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// The execution core: dynamic (self-balancing) assignment of item
+/// indices to `current_num_threads()` workers, results slotted by
+/// index so output order is input order.
+fn fan_out<'data, T: Sync, R: Send>(
+    items: &'data [T],
+    f: &(impl Fn(&'data T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots = Slots::new(n);
+    let cursor = AtomicUsize::new(0);
+    let work = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        // SAFETY: ticket `i` is unique to this worker.
+        unsafe { slots.write(i, f(&items[i])) };
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers).map(|_| s.spawn(work)).collect();
+        work();
+        for h in handles {
+            h.join().expect("rayon worker panicked");
+        }
+    });
+    slots.into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<u64> =
+                pool.install(|| items.par_iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        // Outside install, the default applies again.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 2 + 2, || "ok"));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let empty: Vec<u32> = Vec::new();
+        let got: Vec<u32> = pool.install(|| empty.par_iter().map(|x| *x).collect::<Vec<_>>());
+        assert!(got.is_empty());
+        let one = [7u32];
+        let got: Vec<u32> = pool.install(|| one.par_iter().map(|x| x + 1).collect::<Vec<_>>());
+        assert_eq!(got, vec![8]);
+    }
+
+    #[test]
+    fn heavy_items_do_not_unbalance_results() {
+        // Dynamic assignment: one slow item must not reorder output.
+        let items: Vec<u64> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<u64> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|&x| {
+                    if x == 0 {
+                        // Busy work to hold one worker.
+                        let mut acc = 0u64;
+                        for i in 0..200_000u64 {
+                            acc = acc.wrapping_add(i * i);
+                        }
+                        std::hint::black_box(acc);
+                    }
+                    x
+                })
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(got, items);
+    }
+}
