@@ -71,6 +71,7 @@ fn raw_predict(tree: &ProgramTree, cpus: u32) -> FfPrediction {
         // Advisor's emulator has no pipeline model (Table I): pipeline
         // regions are treated as serial code.
         model_pipelines: false,
+        expand_runs: false,
     };
     predict(tree, opts)
 }
@@ -155,6 +156,7 @@ mod tests {
                 use_burden: false,
                 contended_lock_penalty: 2_000,
                 model_pipelines: true,
+                expand_runs: false,
             },
         );
         assert!(

@@ -48,6 +48,7 @@ fn opts(cpus: u32, schedule: Schedule) -> FfOptions {
         use_burden: false,
         contended_lock_penalty: 2_000,
         model_pipelines: true,
+        expand_runs: false,
     }
 }
 

@@ -44,7 +44,7 @@ fn record_speedup() {
         .unwrap_or(1);
     let grid_jobs = grid().expand().len();
     let serial = run_once(1);
-    let parallel = run_once(0);
+    let parallel = run_once(workers);
     let record = SweepBench {
         grid_jobs,
         workers_parallel: workers,

@@ -65,6 +65,7 @@ pub fn run_fig5() -> Vec<Fig5Row> {
                 use_burden: false,
                 contended_lock_penalty: 0,
                 model_pipelines: true,
+                expand_runs: false,
             },
         );
         println!(
@@ -127,7 +128,8 @@ fn fig7_program(unit: u64) -> ParallelProgram {
                 Rc::new(TaskBody {
                     ops: vec![POp::Work(WorkPacket::cpu(b * unit))],
                 }),
-            ],
+            ]
+            .into(),
             schedule: Schedule::static1(),
             nowait: false,
             team: Some(2),
@@ -142,7 +144,8 @@ fn fig7_program(unit: u64) -> ParallelProgram {
                 Rc::new(TaskBody {
                     ops: vec![mk_inner(5, 10)],
                 }),
-            ],
+            ]
+            .into(),
             schedule: Schedule::static1(),
             nowait: false,
             team: Some(2),
@@ -173,6 +176,7 @@ pub fn run_fig7() -> Fig7Result {
             use_burden: false,
             contended_lock_penalty: 0,
             model_pipelines: true,
+            expand_runs: false,
         },
     )
     .speedup;

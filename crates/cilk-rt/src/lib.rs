@@ -25,7 +25,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use machsim::prog::{POp, ParSection, ParallelProgram, TaskBody};
+use machsim::prog::{POp, ParSection, ParallelProgram, TaskBody, TaskList};
 use machsim::{
     Action, Env, Machine, MachineConfig, RunError, RunStats, SimLockId, ThreadBody, WorkPacket,
 };
@@ -105,7 +105,7 @@ struct JoinCtl {
 
 /// Immutable description of a section being executed as a task range.
 struct SecCtl {
-    tasks: Vec<Rc<TaskBody>>,
+    tasks: TaskList,
     grain: usize,
 }
 

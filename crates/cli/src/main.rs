@@ -11,7 +11,8 @@
 //! prophet recommend <workload>
 //! prophet calibrate
 //! prophet sweep <workloads> [--jobs N] [--threads 2,4,8] [--schedules static,dynamic-1]
-//!                           [--predictors real,syn] [--paradigm ..] [--out sweep.json]
+//!                           [--predictors real,syn] [--paradigm ..] [--timings]
+//!                           [--out sweep.json]
 //! ```
 //!
 //! `sweep` evaluates the full grid `{workload × threads × schedule ×
@@ -20,7 +21,10 @@
 //! worker threads. `<workloads>` is a comma list of workload names;
 //! `test1:<a>..<b>`/`test2:<a>..<b>` expand to one workload per seed.
 //! Output is deterministic: the JSON is byte-identical for any `--jobs`
-//! value (timings go to stderr, never into the JSON).
+//! value (timings go to stderr, never into the JSON). `--timings` opts
+//! into appending a per-stage wall-clock `"timings"` object (profile /
+//! predict / elapsed nanoseconds) to the JSON — useful for measuring the
+//! run-aware fast paths, but inherently not byte-stable across runs.
 //!
 //! `trace` runs the parallelised program on the simulated machine (or,
 //! with `--emulator ff|syn`, drives an emulator) with a `prophet-obs`
@@ -121,6 +125,9 @@ struct Args {
     schedules: Vec<Schedule>,
     /// Sweep predictor axis; empty = `real,syn`.
     predictors: Vec<PredictorSpec>,
+    /// Append per-stage wall-clock timings to the sweep JSON (opt-in:
+    /// timed output is not byte-stable across runs).
+    timings: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -175,6 +182,7 @@ fn parse_args() -> Args {
         jobs: 0,
         schedules: Vec::new(),
         predictors: Vec::new(),
+        timings: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -239,6 +247,7 @@ fn parse_args() -> Args {
             "--no-memory-model" => args.memory_model = false,
             "--real" => args.with_real = true,
             "--json" => args.json = true,
+            "--timings" => args.timings = true,
             cmd if args.command.is_empty() => args.command = cmd.to_string(),
             w if args.workload.is_none() => args.workload = Some(w.to_string()),
             other => die(&format!("unexpected argument {other}")),
@@ -310,7 +319,8 @@ fn main() {
                  [--format chrome|jsonl|summary] [--emulator ff|syn]\n  \
                  diagnose <workload> [--threads N] [--json]\n  recommend <workload>\n  calibrate\n  \
                  sweep <w1,w2,..|test1:<a>..<b>> [--jobs N] [--threads ..] \
-                 [--schedules s1,s2] [--predictors real,ff,syn,suit] [--paradigm ..] [--out f.json]"
+                 [--schedules s1,s2] [--predictors real,ff,syn,suit] [--paradigm ..] \
+                 [--timings] [--out f.json]"
             );
         }
         "list" => {
@@ -448,6 +458,7 @@ fn main() {
                             use_burden: args.memory_model,
                             contended_lock_penalty: prophet.machine().context_switch_cycles,
                             model_pipelines: true,
+                            expand_runs: false,
                         },
                         obs.clone(),
                     );
@@ -505,12 +516,34 @@ fn main() {
             let obs = prophet_obs::ObsHandle::new(prophet_obs::Recorder::new());
             let mut o = RealOptions::new(threads, paradigm, args.schedule);
             o.machine = *prophet.machine();
-            let metrics = workloads::run_real_with_obs(&profiled.tree, &o, obs.clone())
+            let mut machine = machsim::Machine::new(o.machine);
+            machine.attach_obs(obs.clone());
+            let metrics = workloads::run_real_on(&profiled.tree, &o, &mut machine)
                 .ok()
                 .map(|_| {
-                    obs.with(|rec| {
+                    let mut m = obs.with(|rec| {
                         prophet_obs::TraceMetrics::from_recorder(rec, prophet.machine().cores)
-                    })
+                    });
+                    // Simulator-side counters (ω-solver memoization, stale
+                    // event sweeps) live on the machine, not in the event
+                    // stream; fold them into the same registry.
+                    machine.publish_metrics(&mut m.registry);
+                    // FF fast-path counters from a run-aware prediction at
+                    // the same operating point.
+                    let (_, ffc) = ffemu::predict_counting(
+                        &profiled.tree,
+                        ffemu::FfOptions {
+                            cpus: threads,
+                            schedule: args.schedule,
+                            overheads: o.omp_overheads,
+                            use_burden: args.memory_model,
+                            contended_lock_penalty: o.machine.context_switch_cycles,
+                            model_pipelines: true,
+                            expand_runs: false,
+                        },
+                    );
+                    ffemu::publish_counters(&ffc, &mut m.registry);
+                    m
                 });
             if args.json {
                 let mut obj = vec![("diagnosis".to_string(), serde::Serialize::to_value(&d))];
@@ -542,6 +575,16 @@ fn main() {
                             m.peak_dram_active()
                         );
                     }
+                    println!(
+                        "  ω-solver cache hits: {}, stale events swept: {}",
+                        m.registry.counter("machsim.omega_cache_hits"),
+                        m.registry.counter("machsim.stale_events_skipped"),
+                    );
+                    println!(
+                        "  FF fast path: {} runs closed-form, {} iterations skipped",
+                        m.registry.counter("ff.runs_fastpathed"),
+                        m.registry.counter("ff.iters_skipped"),
+                    );
                 }
             }
         }
@@ -581,7 +624,34 @@ fn main() {
                  {elapsed:.2}s on {workers} worker thread(s)",
                 result.jobs_total, result.jobs_skipped, result.cache.misses, result.cache.hits,
             );
-            let body = serde_json::to_string_pretty(&result).expect("serialise sweep");
+            // Without --timings the JSON is exactly the serialised
+            // SweepResult: byte-identical across --jobs values and runs.
+            // With --timings a diagnostic "timings" object is appended to
+            // the top-level object (wall-clock, so not byte-stable).
+            let body = if args.timings {
+                let stages = engine.stage_timings();
+                eprintln!(
+                    "sweep timings: profile {:.3}s, predict {:.3}s (summed across workers)",
+                    stages.profile_nanos as f64 / 1e9,
+                    stages.predict_nanos as f64 / 1e9,
+                );
+                let mut v = serde::Serialize::to_value(&result);
+                if let serde_json::Value::Object(fields) = &mut v {
+                    let mut t = serde::Serialize::to_value(&stages);
+                    if let serde_json::Value::Object(tf) = &mut t {
+                        tf.push((
+                            "elapsed_nanos".to_string(),
+                            serde_json::Value::U64(
+                                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            ),
+                        ));
+                    }
+                    fields.push(("timings".to_string(), t));
+                }
+                serde_json::to_string_pretty(&v).expect("serialise sweep")
+            } else {
+                serde_json::to_string_pretty(&result).expect("serialise sweep")
+            };
             match &args.out {
                 Some(path) => {
                     std::fs::write(path, body.as_bytes())

@@ -115,6 +115,7 @@ pub fn diagnose(tree: &ProgramTree, threads: u32, schedule: Schedule) -> Diagnos
         use_burden: true,
         contended_lock_penalty: 2_000,
         model_pipelines: true,
+        expand_runs: false,
     };
     let overall = predict(tree, base_opts);
 

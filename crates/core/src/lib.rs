@@ -286,6 +286,7 @@ impl Prophet {
                         use_burden: opts.memory_model,
                         contended_lock_penalty: self.machine.context_switch_cycles,
                         model_pipelines: true,
+                        expand_runs: false,
                     },
                 );
                 (p.speedup, p.predicted_cycles, p.serial_cycles)

@@ -34,7 +34,10 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use machsim::Schedule;
 use omp_rt::{Dispenser, OmpOverheads};
-use proftree::{visit::expanded_children, Cycles, LockId, NodeId, NodeKind, ProgramTree};
+use proftree::{
+    visit::{expanded_children, run_seq},
+    Cycles, LockId, NodeId, NodeKind, ProgramTree,
+};
 use serde::{Deserialize, Serialize};
 
 /// Record an event on the emulation's recorder at emulated time `$t`.
@@ -72,6 +75,11 @@ pub struct FfOptions {
     /// support (the Suitability-like baseline) set this to `false` and
     /// emulate pipeline regions serially.
     pub model_pipelines: bool,
+    /// Test-only escape hatch: disable the run-aware closed-form fast
+    /// path and emulate every logical iteration through the heap. The
+    /// prediction is bit-identical either way (see `tests/ff_runaware.rs`);
+    /// expansion merely restores the O(trip count) emulation cost.
+    pub expand_runs: bool,
 }
 
 impl FfOptions {
@@ -84,8 +92,23 @@ impl FfOptions {
             use_burden: true,
             contended_lock_penalty: 2_000,
             model_pipelines: true,
+            expand_runs: false,
         }
     }
+}
+
+/// Fast-path effectiveness counters from one FF prediction. Exposed via
+/// [`predict_counting`]; publish into a metrics registry with
+/// [`publish_counters`] (obs feature).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FfCounters {
+    /// Child runs advanced in closed form instead of per-iteration heap
+    /// emulation (one per `(task, count)` run of a fast-pathed section).
+    pub runs_fastpathed: u64,
+    /// Logical iterations beyond each run's representative whose heap
+    /// emulation was skipped (`Σ count - Σ runs` over fast-pathed
+    /// sections).
+    pub iters_skipped: u64,
 }
 
 /// Prediction output.
@@ -115,6 +138,8 @@ struct FfState<'t> {
     /// handful of allocations instead of collecting a fresh `Vec` per
     /// section (the per-node scratch arena).
     task_buf_pool: Vec<Vec<NodeId>>,
+    /// Fast-path effectiveness counters for this prediction.
+    counters: FfCounters,
     /// Structured event recorder (emulated-time timestamps).
     #[cfg(feature = "obs")]
     obs: Option<prophet_obs::ObsHandle>,
@@ -157,16 +182,32 @@ struct CpuRun {
 
 /// Predict the speedup of `tree` under `opts`.
 pub fn predict(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
+    predict_counting(tree, opts).0
+}
+
+/// [`predict`], additionally returning the run-aware fast-path counters
+/// (`ff.runs_fastpathed` / `ff.iters_skipped`).
+pub fn predict_counting(tree: &ProgramTree, opts: FfOptions) -> (FfPrediction, FfCounters) {
     let mut st = FfState {
         tree,
         opts,
         cpu_time: vec![0; opts.cpus.max(1) as usize],
         lock_free: HashMap::new(),
         task_buf_pool: Vec::new(),
+        counters: FfCounters::default(),
         #[cfg(feature = "obs")]
         obs: None,
     };
-    predict_run(&mut st)
+    let p = predict_run(&mut st);
+    (p, st.counters)
+}
+
+/// Publish FF fast-path counters into a metrics registry under the
+/// `ff.*` names.
+#[cfg(feature = "obs")]
+pub fn publish_counters(c: &FfCounters, reg: &mut prophet_obs::MetricsRegistry) {
+    reg.inc("ff.runs_fastpathed", c.runs_fastpathed);
+    reg.inc("ff.iters_skipped", c.iters_skipped);
 }
 
 /// [`predict`], recording heap pops, chunk dispatches, emulated lock
@@ -183,6 +224,7 @@ pub fn predict_with_obs(
         cpu_time: vec![0; opts.cpus.max(1) as usize],
         lock_free: HashMap::new(),
         task_buf_pool: Vec::new(),
+        counters: FfCounters::default(),
         obs: Some(obs),
     };
     predict_run(&mut st)
@@ -251,9 +293,140 @@ fn predict_run(st: &mut FfState<'_>) -> FfPrediction {
     }
 }
 
+/// Run-aware closed-form emulation of one section, or `None` when a
+/// steadiness precondition fails and the exact per-iteration path must
+/// run instead (DESIGN.md §12).
+///
+/// Preconditions: static/static,c schedule (per-rank chunk sequences are
+/// fixed, independent of arrival order) and pure-`U` task bodies (locks
+/// couple ranks through the shared per-lock clock; nested sections book
+/// time on other CPUs). Under them every rank's final clock is
+/// `start + dispatches·dispatch_ovh + Σ_assigned (iter_start + body)`,
+/// a sum of the identical u64 terms the heap path accumulates one pop at
+/// a time — so the result is bit-identical, computed in O(ranks × runs).
+fn fastpath_section(
+    st: &mut FfState<'_>,
+    sec: NodeId,
+    host: usize,
+    start: u64,
+    burden: f64,
+) -> Option<u64> {
+    if st.opts.expand_runs {
+        return None;
+    }
+    // The fast path emits no per-iteration events (EmuHeapPop,
+    // ChunkDispatch): with a recorder attached, keep the full trace.
+    #[cfg(feature = "obs")]
+    if st.obs.is_some() {
+        return None;
+    }
+    let chunk = match st.opts.schedule {
+        Schedule::Static { chunk } => chunk,
+        _ => return None,
+    };
+    let tree = st.tree;
+    let opts = st.opts;
+
+    // Steadiness check + per-run cost table. `cost` is one iteration of
+    // the run's representative task: iter_start + its scaled U ops.
+    struct RunCost {
+        lo: u64,
+        hi: u64,
+        cost: u64,
+    }
+    let mut run_costs: Vec<RunCost> = Vec::new();
+    let mut cost_memo: HashMap<NodeId, Option<u64>> = HashMap::new();
+    let mut n_total = 0u64;
+    for (task, count) in run_seq(tree, sec) {
+        let cost = *cost_memo.entry(task).or_insert_with(|| {
+            let mut c = opts.overheads.iter_start;
+            for (op, k) in run_seq(tree, task) {
+                match &tree.node(op).kind {
+                    NodeKind::U => c += k as u64 * scale(tree.node(op).length, burden),
+                    _ => return None,
+                }
+            }
+            Some(c)
+        });
+        let cost = cost?;
+        run_costs.push(RunCost {
+            lo: n_total,
+            hi: n_total + count as u64,
+            cost,
+        });
+        n_total += count as u64;
+    }
+    if n_total == 0 {
+        return Some(start + opts.overheads.parallel_start + opts.overheads.parallel_end);
+    }
+
+    let nranks = st.cpu_time.len();
+    let team = nranks as u64;
+    let body_start = start + opts.overheads.parallel_start;
+    let dispatch_ovh = opts.overheads.dispatch_for(&opts.schedule);
+    let mut section_end = body_start;
+    for r in 0..nranks {
+        let cpu = (host + r) % nranks;
+        let r64 = r as u64;
+        // (assigned iters, chunk dispatches, Σ per-iteration costs) for
+        // rank r, mirroring the Dispenser's exact chunk arithmetic.
+        let (assigned, dispatches, body_cost) = match chunk {
+            None => {
+                // static: one contiguous block, first n%team ranks one
+                // extra; empty blocks pay no dispatch.
+                let base = n_total / team;
+                let rem = n_total % team;
+                let lo = r64 * base + r64.min(rem);
+                let size = base + u64::from(r64 < rem);
+                let mut cost = 0u64;
+                for rc in &run_costs {
+                    let a = rc.lo.max(lo);
+                    let b = rc.hi.min(lo + size);
+                    if b > a {
+                        cost += (b - a) * rc.cost;
+                    }
+                }
+                (size, u64::from(size > 0), cost)
+            }
+            Some(c) => {
+                // static,c: chunks [r·c + j·team·c, +c) ∩ [0, n). The
+                // assignment is periodic with period team·c, so the count
+                // of rank-r iterations below x is closed-form.
+                let c = (c as u64).max(1);
+                let period = c * team;
+                if r64 * c >= n_total {
+                    (0, 0, 0)
+                } else {
+                    let dispatches = (n_total - r64 * c).div_ceil(period);
+                    let f = |x: u64| (x / period) * c + (x % period).saturating_sub(r64 * c).min(c);
+                    let mut assigned = 0u64;
+                    let mut cost = 0u64;
+                    for rc in &run_costs {
+                        let k = f(rc.hi) - f(rc.lo);
+                        assigned += k;
+                        cost += k * rc.cost;
+                    }
+                    (assigned, dispatches, cost)
+                }
+            }
+        };
+        if assigned > 0 {
+            let end = body_start.max(st.cpu_time[cpu]) + dispatches * dispatch_ovh + body_cost;
+            section_end = section_end.max(end);
+            st.cpu_time[cpu] = st.cpu_time[cpu].max(end);
+        }
+    }
+    st.counters.runs_fastpathed += run_costs.len() as u64;
+    st.counters.iters_skipped += n_total - run_costs.len() as u64;
+    Some(section_end + opts.overheads.parallel_end)
+}
+
 /// Emulate one section hosted by `host`, starting at `start`. Returns the
 /// section end time (after the implicit barrier and join overhead).
 fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, burden: f64) -> u64 {
+    if let Some(end) = fastpath_section(st, sec, host, start, burden) {
+        return end;
+    }
     let n = st.cpu_time.len();
     let mut tasks = st.task_buf_pool.pop().unwrap_or_default();
     tasks.clear();
@@ -503,6 +676,7 @@ mod tests {
             use_burden: true,
             contended_lock_penalty: 0,
             model_pipelines: true,
+            expand_runs: false,
         }
     }
 
@@ -710,5 +884,65 @@ mod tests {
         let a = predict(&tree, zero_opts(6, Schedule::static1()));
         let b = predict(&ctree, zero_opts(6, Schedule::static1()));
         assert_eq!(a.predicted_cycles, b.predicted_cycles);
+    }
+
+    #[test]
+    fn fastpath_matches_expanded_on_static_schedules() {
+        // Imbalanced iterations + a remainder that doesn't divide the
+        // team, to exercise remainder chunks in the closed forms.
+        let iters: Vec<(u64, u64, u64)> = (0..37).map(|i| (100 + (i % 5) * 333, 0, 0)).collect();
+        let tree = lock_loop(&iters);
+        let (ctree, _) = proftree::compress_tree(&tree, proftree::CompressOptions::default());
+        for t in [&tree, &ctree] {
+            for cpus in [1u32, 2, 3, 4, 8, 12] {
+                for sched in [
+                    Schedule::static_block(),
+                    Schedule::static1(),
+                    Schedule::Static { chunk: Some(3) },
+                    Schedule::Static { chunk: Some(64) },
+                ] {
+                    let mut fast = zero_opts(cpus, sched);
+                    fast.overheads.iter_start = 7;
+                    fast.overheads.static_dispatch = 13;
+                    let mut slow = fast;
+                    slow.expand_runs = true;
+                    let a = predict(t, fast);
+                    let b = predict(t, slow);
+                    assert_eq!(
+                        a.predicted_cycles, b.predicted_cycles,
+                        "cpus={cpus} sched={sched:?}"
+                    );
+                    assert_eq!(a.sections, b.sections);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fastpath_counters_track_compressed_runs() {
+        let iters: Vec<(u64, u64, u64)> = (0..500).map(|_| (750, 0, 0)).collect();
+        let tree = lock_loop(&iters);
+        let (ctree, _) = proftree::compress_tree(&tree, proftree::CompressOptions::default());
+        let (_, c) = predict_counting(&ctree, zero_opts(4, Schedule::static1()));
+        assert!(c.runs_fastpathed >= 1);
+        // 500 logical iterations compress into few runs; nearly all are
+        // skipped by the closed form.
+        assert!(c.iters_skipped > 450, "iters_skipped {}", c.iters_skipped);
+        // The forced-expansion path reports zero fast-path activity.
+        let mut o = zero_opts(4, Schedule::static1());
+        o.expand_runs = true;
+        let (_, c) = predict_counting(&ctree, o);
+        assert_eq!(c, FfCounters::default());
+        // Dynamic scheduling cannot fast-path.
+        let (_, c) = predict_counting(&ctree, zero_opts(4, Schedule::dynamic1()));
+        assert_eq!(c, FfCounters::default());
+    }
+
+    #[test]
+    fn locked_sections_fall_back_to_exact_path() {
+        let tree = lock_loop(&[(150, 450, 50), (100, 300, 200), (150, 50, 50)]);
+        let (p, c) = predict_counting(&tree, zero_opts(2, Schedule::static1()));
+        assert_eq!(p.predicted_cycles, 1150);
+        assert_eq!(c, FfCounters::default());
     }
 }

@@ -57,6 +57,7 @@ fn zero_opts(cpus: u32, schedule: Schedule) -> FfOptions {
         use_burden: false,
         contended_lock_penalty: 0,
         model_pipelines: true,
+        expand_runs: false,
     }
 }
 

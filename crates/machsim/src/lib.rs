@@ -52,7 +52,7 @@ pub use config::MachineConfig;
 pub use machine::{Machine, RunError};
 pub use mem::MemSolver;
 pub use prog::{
-    POp, ParSection, Paradigm, ParallelProgram, PipeItem, PipeSection, Schedule, TaskBody,
+    POp, ParSection, Paradigm, ParallelProgram, PipeItem, PipeSection, Schedule, TaskBody, TaskList,
 };
 pub use script::{ScriptBody, ScriptOp};
 pub use stats::RunStats;

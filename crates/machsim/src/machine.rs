@@ -1,7 +1,7 @@
 //! The discrete-event engine: cores, OS scheduler, and time.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::config::MachineConfig;
 use crate::mem::MemSolver;
@@ -123,6 +123,12 @@ enum Event {
 /// Safety valve: max instantaneous actions a body may take consecutively.
 const MAX_ZERO_TIME_STEPS: u32 = 1_000_000;
 
+/// ω-cache entry cap: one entry per distinct running-segment composition;
+/// real programs cycle through a handful, so the cap only guards against
+/// adversarial churn. On overflow the cache is dropped wholesale (it is
+/// pure memoization — correctness never depends on its contents).
+const OMEGA_CACHE_CAP: usize = 1024;
+
 /// The simulated machine. Spawn initial threads with [`Machine::spawn`],
 /// then call [`Machine::run`] to completion.
 pub struct Machine {
@@ -144,6 +150,21 @@ pub struct Machine {
     rates_dirty: bool,
     /// Pending context-switch cycles to fold into the next packet per core.
     pending_cs: Vec<u64>,
+    /// Memoized ω fixed points, keyed by the *ordered* bit-exact `(C, M)`
+    /// running-segment sequence. The key must be ordered, not a sorted
+    /// multiset: the solver sums per-segment f64 traffic in core order,
+    /// so a permuted composition may solve to a different low bit and
+    /// multiset keying would leak it across orderings (DESIGN.md §12).
+    omega_cache: HashMap<Vec<(u64, u64)>, f64>,
+    /// Scratch for building ω-cache keys without per-event allocation.
+    omega_key: Vec<(u64, u64)>,
+    /// Scratch for the running `(C, M)` segment list.
+    seg_scratch: Vec<(f64, f64)>,
+    /// ω solves avoided via the cache (observability; survives `reset`).
+    omega_cache_hits: u64,
+    /// Invalidated events dropped — popped-and-skipped or swept in bulk
+    /// (observability; survives `reset`).
+    stale_events_skipped: u64,
     /// Execution timeline, recorded when tracing is enabled.
     trace: Option<crate::trace::Timeline>,
     /// Structured event recorder, when attached.
@@ -170,6 +191,11 @@ impl Machine {
             stats: RunStats::default(),
             rates_dirty: false,
             pending_cs: vec![0; cfg.cores as usize],
+            omega_cache: HashMap::new(),
+            omega_key: Vec::new(),
+            seg_scratch: Vec::new(),
+            omega_cache_hits: 0,
+            stale_events_skipped: 0,
             trace: None,
             #[cfg(feature = "obs")]
             obs: None,
@@ -289,14 +315,39 @@ impl Machine {
 
     /// Recompute the shared stall, each packet's stretch, and reschedule
     /// every completion event. Called whenever membership changes.
+    ///
+    /// The ω fixed point depends only on the running `(C, M)` segment
+    /// composition, which repeats heavily across membership changes (the
+    /// same team phases in and out of the same packets), so the solve is
+    /// memoized on the exact ordered composition. A cache hit returns the
+    /// bit-identical ω the solver would have produced — `MemSolver::solve`
+    /// is a pure function of its input.
     fn recompute_rates(&mut self) {
-        let segs: Vec<(f64, f64)> = self
-            .cores
-            .iter()
-            .filter_map(|c| c.running)
-            .filter_map(|tid| self.threads[tid.0 as usize].packet.map(|p| (p.c, p.m)))
-            .collect();
-        let omega = self.solver.solve(&segs);
+        let mut segs = std::mem::take(&mut self.seg_scratch);
+        segs.clear();
+        segs.extend(
+            self.cores
+                .iter()
+                .filter_map(|c| c.running)
+                .filter_map(|tid| self.threads[tid.0 as usize].packet.map(|p| (p.c, p.m))),
+        );
+        self.omega_key.clear();
+        self.omega_key
+            .extend(segs.iter().map(|&(c, m)| (c.to_bits(), m.to_bits())));
+        let omega = match self.omega_cache.get(self.omega_key.as_slice()) {
+            Some(&w) => {
+                self.omega_cache_hits += 1;
+                w
+            }
+            None => {
+                let w = self.solver.solve(&segs);
+                if self.omega_cache.len() >= OMEGA_CACHE_CAP {
+                    self.omega_cache.clear();
+                }
+                self.omega_cache.insert(self.omega_key.clone(), w);
+                w
+            }
+        };
         obs!(
             self,
             DramRate {
@@ -319,6 +370,31 @@ impl Machine {
             self.push_event(at, Event::PacketDone { core, gen });
         }
         self.rates_dirty = false;
+        self.seg_scratch = segs;
+        // Each reschedule invalidates the cores' previous completion
+        // events, so the heap accretes stale entries; rebuild it once the
+        // dead weight dominates (live events are bounded by 2 per core).
+        if self.events.len() > 64.max(8 * self.cores.len()) {
+            self.sweep_stale_events();
+        }
+    }
+
+    /// Drop every invalidated event from the heap in one pass. Generation
+    /// counters only ever increase, so an event that is stale now can
+    /// never become valid again — dropping it is equivalent to the
+    /// pop-and-skip it would otherwise get. Rebuilding the heap preserves
+    /// pop order exactly: `(time, seq, event)` keys are unique (`seq` is
+    /// a strictly increasing tie-break), so the surviving set pops in the
+    /// same total order from any heap shape.
+    fn sweep_stale_events(&mut self) {
+        let before = self.events.len();
+        let mut vec = std::mem::take(&mut self.events).into_vec();
+        vec.retain(|&Reverse((_, _, ev))| match ev {
+            Event::PacketDone { core, gen } => self.cores[core].rate_gen == gen,
+            Event::Quantum { core, gen } => self.cores[core].run_gen == gen,
+        });
+        self.stale_events_skipped += (before - vec.len()) as u64;
+        self.events = BinaryHeap::from(vec);
     }
 
     /// Fill idle cores from the ready queue, driving each dispatched thread.
@@ -571,6 +647,7 @@ impl Machine {
                 Event::Quantum { core, gen } => self.cores[core].run_gen == gen,
             };
             if !valid {
+                self.stale_events_skipped += 1;
                 continue;
             }
             self.settle(t);
@@ -672,6 +749,45 @@ impl Machine {
         } else {
             None
         };
+        // Reuse audit: everything that could leak one run's scheduling
+        // into the next must be gone. (The ω cache and the observability
+        // counters deliberately survive — the cache is pure memoization
+        // keyed on solver inputs, and the counters are cumulative.)
+        debug_assert!(self.events.is_empty(), "event heap not cleared");
+        debug_assert!(self.ready.is_empty(), "ready queue not cleared");
+        debug_assert!(self.threads.is_empty(), "thread table not cleared");
+        debug_assert_eq!(self.seq, 0, "event sequence not reset");
+        debug_assert!(!self.rates_dirty, "solver state not settled");
+        debug_assert!(
+            self.cores
+                .iter()
+                .all(|c| c.running.is_none() && c.rate_gen == 0 && c.run_gen == 0),
+            "packet generation counters not cleared"
+        );
+        debug_assert!(
+            self.pending_cs.iter().all(|&cs| cs == 0),
+            "pending context switches not cleared"
+        );
+    }
+
+    /// ω-solver fixed-point solves avoided via the composition cache.
+    /// Cumulative across [`Machine::reset`].
+    pub fn omega_cache_hits(&self) -> u64 {
+        self.omega_cache_hits
+    }
+
+    /// Invalidated heap events dropped (popped-and-skipped or bulk-swept).
+    /// Cumulative across [`Machine::reset`].
+    pub fn stale_events_skipped(&self) -> u64 {
+        self.stale_events_skipped
+    }
+
+    /// Publish the machine's observability counters into a metrics
+    /// registry under the `machsim.*` names.
+    #[cfg(feature = "obs")]
+    pub fn publish_metrics(&self, reg: &mut prophet_obs::MetricsRegistry) {
+        reg.inc("machsim.omega_cache_hits", self.omega_cache_hits);
+        reg.inc("machsim.stale_events_skipped", self.stale_events_skipped);
     }
 }
 

@@ -83,7 +83,7 @@ impl Schedule {
 }
 
 /// One operation in a task body or the main program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum POp {
     /// Unprotected computation (a `U` node / FakeDelay).
     Work(WorkPacket),
@@ -104,7 +104,7 @@ pub enum POp {
 /// One stream item of a pipeline: its per-stage operation lists. Stage
 /// ops may be `Work` or `Locked`; nested `Par`/`Pipe` inside a stage is
 /// not supported by the runtimes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipeItem {
     /// Ops per stage, in stage order. All items of one pipeline must
     /// have the same stage count.
@@ -112,7 +112,7 @@ pub struct PipeItem {
 }
 
 /// A pipeline region: one thread per stage, items processed in order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipeSection {
     /// Stream items in order (Rc-shared for repeated items).
     pub items: Vec<Rc<PipeItem>>,
@@ -122,17 +122,181 @@ pub struct PipeSection {
 
 /// A task body: the ordered operations of one parallel task. Shared via
 /// `Rc` so compressed trees stay compressed in the IR.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TaskBody {
     /// Ordered operations.
     pub ops: Vec<POp>,
 }
 
+/// The ordered task list of a parallel section, stored run-length
+/// encoded: adjacent repeats of the *same* `Rc<TaskBody>` are kept once
+/// with a multiplicity. Building the IR from a compressed program tree
+/// therefore costs O(runs), not O(trip count), while logical indexing
+/// (`tasks[i]`), iteration, and `len()` still follow expanded order —
+/// runtimes that replay every iteration are unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct TaskList {
+    /// `(body, count)` runs in logical order. Counts are nonzero and
+    /// adjacent runs never share the same body pointer (canonical form).
+    runs: Vec<(Rc<TaskBody>, u32)>,
+    /// `ends[i]` = logical index one past run `i` (prefix sums).
+    ends: Vec<usize>,
+}
+
+impl TaskList {
+    /// Build from `(body, count)` runs; zero-count runs are dropped and
+    /// adjacent runs of the same body pointer are coalesced so the
+    /// canonical form is independent of how the caller grouped them.
+    pub fn from_runs(runs: impl IntoIterator<Item = (Rc<TaskBody>, u32)>) -> Self {
+        let mut out: Vec<(Rc<TaskBody>, u32)> = Vec::new();
+        for (body, count) in runs {
+            if count == 0 {
+                continue;
+            }
+            match out.last_mut() {
+                Some((prev, c)) if Rc::ptr_eq(prev, &body) => *c += count,
+                _ => out.push((body, count)),
+            }
+        }
+        let mut ends = Vec::with_capacity(out.len());
+        let mut total = 0usize;
+        for (_, c) in &out {
+            total += *c as usize;
+            ends.push(total);
+        }
+        TaskList { runs: out, ends }
+    }
+
+    /// Logical (expanded) task count.
+    pub fn len(&self) -> usize {
+        self.ends.last().copied().unwrap_or(0)
+    }
+
+    /// True when the section has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The underlying `(body, count)` runs in logical order.
+    pub fn runs(&self) -> &[(Rc<TaskBody>, u32)] {
+        &self.runs
+    }
+
+    /// Iterate tasks in logical (expanded) order.
+    pub fn iter(&self) -> TaskIter<'_> {
+        TaskIter {
+            runs: self.runs.iter(),
+            current: None,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for TaskList {
+    type Output = Rc<TaskBody>;
+
+    fn index(&self, idx: usize) -> &Rc<TaskBody> {
+        let pos = self.ends.partition_point(|&e| e <= idx);
+        &self.runs[pos].0
+    }
+}
+
+impl From<Vec<Rc<TaskBody>>> for TaskList {
+    fn from(tasks: Vec<Rc<TaskBody>>) -> Self {
+        TaskList::from_runs(tasks.into_iter().map(|t| (t, 1)))
+    }
+}
+
+impl FromIterator<Rc<TaskBody>> for TaskList {
+    fn from_iter<I: IntoIterator<Item = Rc<TaskBody>>>(iter: I) -> Self {
+        TaskList::from_runs(iter.into_iter().map(|t| (t, 1)))
+    }
+}
+
+impl PartialEq for TaskList {
+    /// Logical-sequence equality: two lists are equal iff their expanded
+    /// task sequences are equal element-wise, regardless of run grouping.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+/// Logical-order iterator over a [`TaskList`].
+pub struct TaskIter<'a> {
+    runs: std::slice::Iter<'a, (Rc<TaskBody>, u32)>,
+    current: Option<(&'a Rc<TaskBody>, u32)>,
+}
+
+impl<'a> Iterator for TaskIter<'a> {
+    type Item = &'a Rc<TaskBody>;
+
+    fn next(&mut self) -> Option<&'a Rc<TaskBody>> {
+        loop {
+            if let Some((body, remaining)) = &mut self.current {
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    return Some(body);
+                }
+                self.current = None;
+            }
+            let (body, count) = self.runs.next()?;
+            self.current = Some((body, *count));
+        }
+    }
+}
+
+/// Owned logical-order iterator (yields `Rc` clones for repeats).
+pub struct TaskListIntoIter {
+    runs: std::vec::IntoIter<(Rc<TaskBody>, u32)>,
+    current: Option<(Rc<TaskBody>, u32)>,
+}
+
+impl Iterator for TaskListIntoIter {
+    type Item = Rc<TaskBody>;
+
+    fn next(&mut self) -> Option<Rc<TaskBody>> {
+        loop {
+            if let Some((body, remaining)) = &mut self.current {
+                if *remaining > 1 {
+                    *remaining -= 1;
+                    return Some(body.clone());
+                }
+                let (body, _) = self.current.take().expect("current run present");
+                return Some(body);
+            }
+            let (body, count) = self.runs.next()?;
+            debug_assert!(count > 0, "TaskList stores no zero-count runs");
+            self.current = Some((body, count));
+        }
+    }
+}
+
+impl IntoIterator for TaskList {
+    type Item = Rc<TaskBody>;
+    type IntoIter = TaskListIntoIter;
+
+    fn into_iter(self) -> TaskListIntoIter {
+        TaskListIntoIter {
+            runs: self.runs.into_iter(),
+            current: None,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskList {
+    type Item = &'a Rc<TaskBody>;
+    type IntoIter = TaskIter<'a>;
+
+    fn into_iter(self) -> TaskIter<'a> {
+        self.iter()
+    }
+}
+
 /// A parallel section: tasks that may run concurrently.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParSection {
-    /// Tasks in iteration order (Rc-shared for repeated iterations).
-    pub tasks: Vec<Rc<TaskBody>>,
+    /// Tasks in iteration order, run-length encoded over `Rc`-shared
+    /// repeated iterations.
+    pub tasks: TaskList,
     /// Scheduling policy (OpenMP runtimes; Cilk ignores it).
     pub schedule: Schedule,
     /// Suppress the implicit end barrier.
@@ -145,7 +309,7 @@ impl ParSection {
     /// A section with default policy over the given tasks.
     pub fn new(tasks: Vec<Rc<TaskBody>>) -> Self {
         ParSection {
-            tasks,
+            tasks: tasks.into(),
             schedule: Schedule::static_block(),
             nowait: false,
             team: None,
@@ -154,7 +318,7 @@ impl ParSection {
 }
 
 /// A whole program: the master thread's operation sequence.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParallelProgram {
     /// Top-level operations, executed by the master.
     pub ops: Vec<POp>,
@@ -234,5 +398,48 @@ mod tests {
         };
         assert_eq!(prog.total_baseline_cycles(60.0), 10.0 + 3.0 * 150.0);
         assert_eq!(prog.leaf_ops(), 1 + 3 * 2);
+    }
+
+    #[test]
+    fn task_list_coalesces_and_indexes_logically() {
+        let a = Rc::new(TaskBody {
+            ops: vec![POp::Work(WorkPacket::cpu(1))],
+        });
+        let b = Rc::new(TaskBody {
+            ops: vec![POp::Work(WorkPacket::cpu(2))],
+        });
+        // Adjacent same-pointer runs coalesce; zero counts drop.
+        let list = TaskList::from_runs(vec![
+            (a.clone(), 2),
+            (a.clone(), 3),
+            (b.clone(), 0),
+            (b.clone(), 1),
+        ]);
+        assert_eq!(list.runs().len(), 2);
+        assert_eq!(list.len(), 6);
+        for i in 0..5 {
+            assert!(Rc::ptr_eq(&list[i], &a), "index {i}");
+        }
+        assert!(Rc::ptr_eq(&list[5], &b));
+
+        // From<Vec> matches from_runs, and equality is logical.
+        let flat: TaskList = vec![
+            a.clone(),
+            a.clone(),
+            a.clone(),
+            a.clone(),
+            a.clone(),
+            b.clone(),
+        ]
+        .into();
+        assert_eq!(flat, list);
+        assert_eq!(flat.runs().len(), 2);
+
+        // Borrowing and owning iterators expand in logical order.
+        assert_eq!(list.iter().count(), 6);
+        let owned: Vec<_> = list.clone().into_iter().collect();
+        assert_eq!(owned.len(), 6);
+        assert!(Rc::ptr_eq(&owned[4], &a));
+        assert!(Rc::ptr_eq(&owned[5], &b));
     }
 }

@@ -325,3 +325,60 @@ fn yield_rotates_ready_queue() {
     assert_eq!(s.threads[1].finished_at, 200);
     assert_eq!(s.threads[0].finished_at, 300);
 }
+
+/// A memory-bound mixed workload: several threads alternating compute and
+/// DRAM-heavy packets, enough to exercise the ω solver repeatedly.
+fn memory_bound_scripts(m: &mut Machine) {
+    for t in 0..4u64 {
+        let mut ops = Vec::new();
+        for i in 0..6 {
+            ops.push(ScriptOp::Compute(WorkPacket::new(
+                500 + t * 37,
+                200 + (i % 3) * 50,
+            )));
+            ops.push(ScriptOp::Compute(WorkPacket::cpu(200)));
+        }
+        m.spawn(ScriptBody::new(ops));
+    }
+}
+
+#[test]
+fn reset_reuse_matches_fresh_machines() {
+    // Two back-to-back runs on ONE machine (reset between) must produce
+    // exactly the stats of two fresh machines: reset leaves no residue in
+    // the event heap, solver caches, or generation counters.
+    let mut cfg = MachineConfig::small(2);
+    cfg.quantum_cycles = 1_000;
+    let fresh: Vec<_> = (0..2)
+        .map(|_| {
+            let mut m = Machine::new(cfg);
+            memory_bound_scripts(&mut m);
+            m.run().unwrap()
+        })
+        .collect();
+
+    let mut reused = Machine::new(cfg);
+    memory_bound_scripts(&mut reused);
+    let first = reused.run().unwrap();
+    reused.reset();
+    memory_bound_scripts(&mut reused);
+    let second = reused.run().unwrap();
+
+    assert_eq!(first, fresh[0], "first run on reused machine");
+    assert_eq!(second, fresh[1], "second run after reset");
+    assert_eq!(first, second, "identical programs, identical stats");
+}
+
+#[test]
+fn omega_cache_hits_on_memory_bound_run() {
+    // Threads repeatedly form the same (C, M) running-set compositions, so
+    // the memoised solver should serve a healthy share of recomputations
+    // from cache.
+    let mut m = Machine::new(MachineConfig::small(2));
+    memory_bound_scripts(&mut m);
+    m.run().unwrap();
+    assert!(
+        m.omega_cache_hits() > 0,
+        "expected ω cache hits on a memory-bound workload"
+    );
+}

@@ -132,7 +132,7 @@ mod tests {
         // (static,1): T0 gets I0,I2; T1 gets I1 → paper: 1150 + ε.
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
-                tasks: tasks.clone(),
+                tasks: tasks.clone().into(),
                 schedule: Schedule::static1(),
                 nowait: false,
                 team: None,
@@ -149,7 +149,7 @@ mod tests {
         // (static): T0 gets I0,I1; T1 gets I2 → paper: 1250 + ε.
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
-                tasks: tasks.clone(),
+                tasks: tasks.clone().into(),
                 schedule: Schedule::static_block(),
                 nowait: false,
                 team: None,
@@ -166,7 +166,7 @@ mod tests {
         // (dynamic,1): T0 gets I0; T1 gets I1 then I2 → paper: 950 + ε.
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
-                tasks,
+                tasks: tasks.into(),
                 schedule: Schedule::dynamic1(),
                 nowait: false,
                 team: None,
@@ -271,7 +271,7 @@ mod tests {
         });
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
-                tasks: vec![outer_task.clone(), outer_task],
+                tasks: vec![outer_task.clone(), outer_task].into(),
                 schedule: Schedule::static1(),
                 nowait: false,
                 team: Some(2),
@@ -301,7 +301,8 @@ mod tests {
                     Rc::new(TaskBody {
                         ops: vec![POp::Work(WorkPacket::cpu(b * unit))],
                     }),
-                ],
+                ]
+                .into(),
                 schedule: Schedule::static1(),
                 nowait: false,
                 team: Some(2),
@@ -315,7 +316,7 @@ mod tests {
         });
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
-                tasks: vec![t_a, t_b],
+                tasks: vec![t_a, t_b].into(),
                 schedule: Schedule::static1(),
                 nowait: false,
                 team: Some(2),
@@ -350,7 +351,7 @@ mod tests {
         });
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
-                tasks: vec![t1, t2],
+                tasks: vec![t1, t2].into(),
                 schedule: Schedule::static1(),
                 nowait: false,
                 team: None,
@@ -368,7 +369,7 @@ mod tests {
         });
         let prog2 = ParallelProgram {
             ops: vec![POp::Par(ParSection {
-                tasks: vec![t3.clone(), t3],
+                tasks: vec![t3.clone(), t3].into(),
                 schedule: Schedule::static1(),
                 nowait: false,
                 team: None,

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use machsim::prog::{POp, ParSection, ParallelProgram, TaskBody};
+use machsim::prog::{POp, ParSection, ParallelProgram, TaskBody, TaskList};
 use machsim::{
     Action, BarrierId, Env, Machine, MachineConfig, RunError, RunStats, SimLockId, ThreadBody,
     WorkPacket,
@@ -53,7 +53,7 @@ impl OmpRuntime {
 
 /// Control block of one parallel-region *instance*.
 struct RegionCtl {
-    tasks: Vec<Rc<TaskBody>>,
+    tasks: TaskList,
     dispenser: RefCell<Dispenser>,
     /// End barrier; `None` when the section is `nowait`.
     barrier: Option<BarrierId>,

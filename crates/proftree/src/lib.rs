@@ -39,4 +39,4 @@ pub use node::{
     BurdenTable, ChildList, Cycles, LockId, MemProfile, Node, NodeId, NodeKind, ProgramTree, Run,
 };
 pub use stats::{TreeStats, WorkSummary};
-pub use visit::{ExpandedChildren, TaskSeq};
+pub use visit::{ExpandedChildren, RunSeq, TaskSeq};

@@ -361,11 +361,26 @@ pub struct SweepResult {
     pub cache: CacheStats,
 }
 
+/// Wall-clock nanoseconds a sweep spent in each pipeline stage, summed
+/// across workers. Diagnostics only: timings live on the [`SweepEngine`],
+/// never inside [`SweepResult`], so sweep output stays byte-identical
+/// across worker counts and runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Nanoseconds spent profiling workloads (cache misses only; hits
+    /// cost nothing beyond the lookup).
+    pub profile_nanos: u64,
+    /// Nanoseconds spent inside predictor backends (ff/syn/real/suit).
+    pub predict_nanos: u64,
+}
+
 /// The engine: a shared prophet, a profile cache, and a worker count.
 pub struct SweepEngine {
     prophet: Arc<Prophet>,
     cache: ProfileCache,
     jobs: usize,
+    profile_nanos: AtomicU64,
+    predict_nanos: AtomicU64,
 }
 
 impl SweepEngine {
@@ -380,6 +395,8 @@ impl SweepEngine {
             prophet,
             cache: ProfileCache::new(),
             jobs: 0,
+            profile_nanos: AtomicU64::new(0),
+            predict_nanos: AtomicU64::new(0),
         }
     }
 
@@ -397,6 +414,16 @@ impl SweepEngine {
     /// The profile cache (inspect [`ProfileCache::stats`] after a run).
     pub fn cache(&self) -> &ProfileCache {
         &self.cache
+    }
+
+    /// Cumulative per-stage wall-clock spent by this engine's sweeps.
+    /// Summed across workers, so on a parallel sweep the total exceeds
+    /// elapsed time. Never folded into [`SweepResult`].
+    pub fn stage_timings(&self) -> StageTimings {
+        StageTimings {
+            profile_nanos: self.profile_nanos.load(Ordering::Relaxed),
+            predict_nanos: self.predict_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Evaluate a declarative grid.
@@ -434,10 +461,16 @@ impl SweepEngine {
             return None;
         }
         let spec = &workloads[job.workload];
+        let profile_t0 = std::time::Instant::now();
         let profiled = self
             .cache
             .get_or_profile(&spec.key, || (spec.build)(&self.prophet));
+        self.profile_nanos.fetch_add(
+            u64::try_from(profile_t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
 
+        let predict_t0 = std::time::Instant::now();
         let (speedup, predicted_cycles, serial_cycles) = match job.spec.predictor {
             SweepPredictor::Real => {
                 let mut opts = RealOptions::new(job.threads, job.paradigm, job.schedule);
@@ -464,6 +497,7 @@ impl SweepEngine {
                             .lock_penalty
                             .unwrap_or(machine.context_switch_cycles),
                         model_pipelines: true,
+                        expand_runs: false,
                     },
                 );
                 (p.speedup, p.predicted_cycles, p.serial_cycles)
@@ -484,6 +518,10 @@ impl SweepEngine {
                 (p.speedup, p.predicted_cycles, p.serial_cycles)
             }
         };
+        self.predict_nanos.fetch_add(
+            u64::try_from(predict_t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
         Some(SweepPoint {
             workload: spec.key.clone(),
             predictor: job.spec.predictor,
@@ -581,5 +619,23 @@ mod tests {
         assert_eq!(r.jobs_skipped, 1);
         assert_eq!(r.points.len(), 1);
         assert_eq!(r.points[0].threads, 2);
+    }
+
+    #[test]
+    fn stage_timings_accumulate_outside_the_result() {
+        let engine = SweepEngine::new(tiny_prophet()).with_jobs(1);
+        assert_eq!(engine.stage_timings(), StageTimings::default());
+        let mut grid = GridSpec::new(vec![WorkloadSpec::test1(21)]);
+        grid.threads = vec![2];
+        grid.predictors = vec![PredictorSpec::ff(true)];
+        let r = engine.run(&grid);
+        let t = engine.stage_timings();
+        assert!(t.profile_nanos > 0, "profiling took measurable time");
+        assert!(t.predict_nanos > 0, "prediction took measurable time");
+        // Timings are diagnostics on the engine; the result JSON — which
+        // the determinism test byte-compares across worker counts — must
+        // not carry them.
+        let json = serde_json::to_string(&r).expect("serialise sweep");
+        assert!(!json.contains("nanos"), "timings leaked into SweepResult");
     }
 }

@@ -34,10 +34,13 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use cilk_rt::{run_program_cilk_on, CilkOverheads};
-use machsim::prog::{POp, ParSection, Paradigm, ParallelProgram, Schedule, TaskBody};
+use machsim::prog::{POp, ParSection, Paradigm, ParallelProgram, Schedule, TaskBody, TaskList};
 use machsim::{MachineConfig, RunError, WorkPacket};
 use omp_rt::{run_program_on, OmpOverheads};
-use proftree::{visit::expanded_children, NodeId, NodeKind, ProgramTree};
+use proftree::{
+    visit::{expanded_children, run_seq},
+    NodeId, NodeKind, ProgramTree,
+};
 use serde::{Deserialize, Serialize};
 
 /// Options for one synthesizer prediction.
@@ -64,6 +67,11 @@ pub struct SynthOptions {
     pub access_node_overhead: u64,
     /// Synthesizer cost per nested-section recursion.
     pub recursive_call_overhead: u64,
+    /// Test-only escape hatch: emit one IR entry per *logical* iteration
+    /// instead of run-batched `(body, count)` blocks. The generated
+    /// program is identical either way (see `tests/ff_runaware.rs`);
+    /// expansion merely restores the O(trip count) emission cost.
+    pub expand_runs: bool,
 }
 
 impl SynthOptions {
@@ -80,6 +88,7 @@ impl SynthOptions {
             use_burden: true,
             access_node_overhead: 50,
             recursive_call_overhead: 50,
+            expand_runs: false,
         }
     }
 }
@@ -116,6 +125,9 @@ struct Gen<'t> {
     factor: f64,
     opts: SynthOptions,
     memo: HashMap<NodeId, Rc<TaskBody>>,
+    /// Per-task cached [`body_overhead`] so run-batched emission charges
+    /// `count × overhead` without re-walking the body per iteration.
+    ovh_memo: HashMap<NodeId, u64>,
     /// Total synthesizer-overhead cycles emitted (logical).
     overhead_emitted: u64,
 }
@@ -129,12 +141,23 @@ impl<'t> Gen<'t> {
         }
     }
 
+    /// Logical overhead embedded in `task`'s already-generated body,
+    /// cached per task node.
+    fn cached_overhead(&mut self, task: NodeId, body: &Rc<TaskBody>) -> u64 {
+        if let Some(&h) = self.ovh_memo.get(&task) {
+            return h;
+        }
+        let h = body_overhead(body, &self.opts);
+        self.ovh_memo.insert(task, h);
+        h
+    }
+
     fn task_body(&mut self, task: NodeId) -> Rc<TaskBody> {
-        if let Some(b) = self.memo.get(&task) {
+        if let Some(b) = self.memo.get(&task).cloned() {
             // Shared (compressed) subtree: overhead still accrues per
             // logical execution.
-            self.overhead_emitted += body_overhead(b, &self.opts);
-            return b.clone();
+            self.overhead_emitted += self.cached_overhead(task, &b);
+            return b;
         }
         let mut ops = Vec::new();
         for child in expanded_children(self.tree, task) {
@@ -226,9 +249,31 @@ impl<'t> Gen<'t> {
             NodeKind::Sec { nowait, .. } => *nowait,
             other => unreachable!("expected Sec, got {}", other.tag()),
         };
-        let tasks: Vec<Rc<TaskBody>> = expanded_children(self.tree, sec)
-            .map(|t| self.task_body(t))
-            .collect();
+        let tasks: TaskList = if self.opts.expand_runs {
+            expanded_children(self.tree, sec)
+                .map(|t| self.task_body(t))
+                .collect::<Vec<_>>()
+                .into()
+        } else {
+            // Run-batched emission: one `(body, count)` entry per RLE run.
+            // The first iteration's overhead accrues inside `task_body`
+            // (build or memo hit); the remaining `count - 1` iterations
+            // charge the cached per-body overhead in one multiply —
+            // exactly the sum the expanded path accumulates one memo hit
+            // at a time.
+            let tree = self.tree;
+            let runs: Vec<(Rc<TaskBody>, u32)> = run_seq(tree, sec)
+                .map(|(t, count)| {
+                    let body = self.task_body(t);
+                    if count > 1 {
+                        let h = self.cached_overhead(t, &body);
+                        self.overhead_emitted += (count as u64 - 1) * h;
+                    }
+                    (body, count)
+                })
+                .collect();
+            TaskList::from_runs(runs)
+        };
         ParSection {
             tasks,
             schedule: self.opts.schedule,
@@ -245,11 +290,14 @@ fn body_overhead(body: &TaskBody, opts: &SynthOptions) -> u64 {
         .map(|op| match op {
             POp::Work(_) | POp::Locked { .. } => opts.access_node_overhead,
             POp::Par(sec) => {
+                // Per-run multiply instead of per-logical-task walk: the
+                // u64 product equals the repeated sum exactly.
                 opts.recursive_call_overhead
                     + sec
                         .tasks
+                        .runs()
                         .iter()
-                        .map(|t| body_overhead(t, opts))
+                        .map(|(t, c)| *c as u64 * body_overhead(t, opts))
                         .sum::<u64>()
             }
             POp::Pipe(pipe) => {
@@ -269,14 +317,15 @@ fn body_overhead(body: &TaskBody, opts: &SynthOptions) -> u64 {
         .sum()
 }
 
-/// Generate the section's IR and measure it on `machine` (fresh or
-/// freshly [`machsim::Machine::reset`]).
-fn run_section(
+/// Generate the program the synthesizer would measure for top-level
+/// section (or pipeline) `sec`, plus the logical traversal-overhead
+/// cycles it embeds. Public so the run-batched and force-expanded
+/// emission paths can be compared structurally (`tests/ff_runaware.rs`).
+pub fn section_program(
     tree: &ProgramTree,
     sec: NodeId,
     opts: &SynthOptions,
-    machine: &mut machsim::Machine,
-) -> Result<SectionEmul, RunError> {
+) -> (ParallelProgram, u64) {
     let burden = match &tree.node(sec).kind {
         NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } if opts.use_burden => {
             burden.factor(opts.threads)
@@ -288,13 +337,31 @@ fn run_section(
         factor: burden,
         opts: *opts,
         memo: HashMap::new(),
+        ovh_memo: HashMap::new(),
         overhead_emitted: 0,
     };
     let top_op = match &tree.node(sec).kind {
         NodeKind::Pipe { .. } => POp::Pipe(gen.pipe_ir(sec)),
         _ => POp::Par(gen.section_ir(sec)),
     };
-    let program = ParallelProgram { ops: vec![top_op] };
+    (ParallelProgram { ops: vec![top_op] }, gen.overhead_emitted)
+}
+
+/// Generate the section's IR and measure it on `machine` (fresh or
+/// freshly [`machsim::Machine::reset`]).
+fn run_section(
+    tree: &ProgramTree,
+    sec: NodeId,
+    opts: &SynthOptions,
+    machine: &mut machsim::Machine,
+) -> Result<SectionEmul, RunError> {
+    let (program, overhead_emitted) = section_program(tree, sec, opts);
+    let burden = match &tree.node(sec).kind {
+        NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } if opts.use_burden => {
+            burden.factor(opts.threads)
+        }
+        _ => 1.0,
+    };
 
     let is_pipe = matches!(program.ops.first(), Some(POp::Pipe(_)));
     let stats = match opts.paradigm {
@@ -314,7 +381,7 @@ fn run_section(
     // Subtract the balanced estimate of per-worker traversal overhead
     // (Fig. 8 line 26 takes the longest per-worker count; we estimate it
     // as total/threads — imperfect under imbalance, as the paper notes).
-    let est = gen.overhead_emitted / opts.threads.max(1) as u64;
+    let est = overhead_emitted / opts.threads.max(1) as u64;
     let net = gross.saturating_sub(est).max(1);
     #[cfg(feature = "obs")]
     if let Some(h) = machine.obs_handle() {

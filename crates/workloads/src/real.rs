@@ -185,7 +185,7 @@ impl<'t> Conv<'t> {
             .map(|t| self.task_body(t, rate))
             .collect();
         ParSection {
-            tasks,
+            tasks: tasks.into(),
             schedule: self.schedule,
             nowait,
             team: Some(self.threads),

@@ -102,7 +102,7 @@ machine schedules (Gantt, 64 columns ≈ the paper's Fig. 5 boxes):"
         };
         let prog = ParallelProgram {
             ops: vec![POp::Par(ParSection {
-                tasks: vec![mk(150, 450, 50), mk(100, 300, 200), mk(150, 50, 50)],
+                tasks: vec![mk(150, 450, 50), mk(100, 300, 200), mk(150, 50, 50)].into(),
                 schedule,
                 nowait: false,
                 team: Some(2),
