@@ -13,6 +13,10 @@
 //! prophet sweep <workloads> [--jobs N] [--threads 2,4,8] [--schedules static,dynamic-1]
 //!                           [--predictors real,syn] [--paradigm ..] [--timings]
 //!                           [--out sweep.json]
+//! prophet serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] [--cache-cap N]
+//!               [--jobs N]
+//! prophet loadgen [workloads] [--addr ..] [--requests N] [--concurrency N]
+//!                 [--expect-cache-hits]
 //! ```
 //!
 //! `sweep` evaluates the full grid `{workload × threads × schedule ×
@@ -25,6 +29,12 @@
 //! into appending a per-stage wall-clock `"timings"` object (profile /
 //! predict / elapsed nanoseconds) to the JSON — useful for measuring the
 //! run-aware fast paths, but inherently not byte-stable across runs.
+//!
+//! `serve` runs the batching prediction daemon (`prophet-serve`): one
+//! process-wide engine, bounded admission queue, request batching, and a
+//! result cache, with `/predict`, `/healthz` and `/metrics` endpoints.
+//! `loadgen` drives a running daemon with a deterministic request mix
+//! and verifies every response class is byte-identical.
 //!
 //! `trace` runs the parallelised program on the simulated machine (or,
 //! with `--emulator ff|syn`, drives an emulator) with a `prophet-obs`
@@ -128,41 +138,43 @@ struct Args {
     /// Append per-stage wall-clock timings to the sweep JSON (opt-in:
     /// timed output is not byte-stable across runs).
     timings: bool,
+    /// serve/loadgen: daemon address.
+    addr: String,
+    /// serve: batch-worker threads.
+    workers: usize,
+    /// serve: admission-queue capacity.
+    queue_cap: usize,
+    /// serve: result-cache capacity in entries.
+    cache_cap: usize,
+    /// loadgen: total requests.
+    requests: usize,
+    /// loadgen: concurrent client threads.
+    concurrency: usize,
+    /// loadgen: require result- and profile-cache hits after the run.
+    expect_cache_hits: bool,
 }
+
+/// One-line usage shown on every argument error: the full verb list, so
+/// a typo'd command never fails silently or with a partial hint.
+const USAGE: &str = "usage: prophet <list | predict | trace | diagnose | recommend | calibrate \
+                     | sweep | serve | loadgen> [args] — `prophet help` for details";
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("run `prophet help` for usage");
+    eprintln!("{USAGE}");
     std::process::exit(2)
 }
 
 fn parse_schedule(s: Option<&str>) -> Schedule {
-    match s {
-        Some("static") => Schedule::static_block(),
-        Some("static-1") => Schedule::static1(),
-        Some("dynamic-1") => Schedule::dynamic1(),
-        Some(s) if s.starts_with("static-") => Schedule::Static {
-            chunk: s[7..].parse().ok(),
-        },
-        Some(s) if s.starts_with("dynamic-") => Schedule::Dynamic {
-            chunk: s[8..].parse().unwrap_or_else(|_| die("bad chunk")),
-        },
-        _ => die("bad schedule (static | static-N | dynamic-N)"),
-    }
+    s.and_then(Schedule::parse)
+        .unwrap_or_else(|| die("bad schedule (static | static-N | dynamic-N | guided-N)"))
 }
 
 fn parse_predictor(s: &str) -> PredictorSpec {
     // `-mm` disables the memory model for that series; bare `ff`/`syn`
     // (and `+mm`) keep it on.
-    match s {
-        "real" => PredictorSpec::real(),
-        "suit" => PredictorSpec::suit(),
-        "ff" | "ff+mm" => PredictorSpec::ff(true),
-        "ff-mm" => PredictorSpec::ff(false),
-        "syn" | "syn+mm" => PredictorSpec::syn(true),
-        "syn-mm" => PredictorSpec::syn(false),
-        _ => die("bad predictor (real | ff[±mm] | syn[±mm] | suit)"),
-    }
+    PredictorSpec::parse(s)
+        .unwrap_or_else(|| die("bad predictor (real | ff[±mm] | syn[±mm] | suit)"))
 }
 
 fn parse_args() -> Args {
@@ -183,6 +195,13 @@ fn parse_args() -> Args {
         schedules: Vec::new(),
         predictors: Vec::new(),
         timings: false,
+        addr: "127.0.0.1:7177".to_string(),
+        workers: 2,
+        queue_cap: 256,
+        cache_cap: 512,
+        requests: 50,
+        concurrency: 8,
+        expect_cache_hits: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -215,12 +234,12 @@ fn parse_args() -> Args {
                 args.jobs = v.parse().unwrap_or_else(|_| die("bad job count"));
             }
             "--paradigm" => {
-                args.paradigm = Some(match it.next().as_deref() {
-                    Some("openmp") => Paradigm::OpenMp,
-                    Some("cilk") => Paradigm::CilkPlus,
-                    Some("omptask") => Paradigm::OmpTask,
-                    _ => die("bad --paradigm (openmp | cilk | omptask)"),
-                });
+                args.paradigm = Some(
+                    it.next()
+                        .as_deref()
+                        .and_then(Paradigm::parse)
+                        .unwrap_or_else(|| die("bad --paradigm (openmp | cilk | omptask)")),
+                );
             }
             "--emulator" => {
                 args.emulator = Some(match it.next().as_deref() {
@@ -244,10 +263,41 @@ fn parse_args() -> Args {
                     _ => die("bad --format (chrome | jsonl | summary)"),
                 };
             }
+            "--addr" => {
+                args.addr = it.next().unwrap_or_else(|| die("--addr needs host:port"));
+            }
+            "--workers" => {
+                let v = it.next().unwrap_or_else(|| die("--workers needs a count"));
+                args.workers = v.parse().unwrap_or_else(|_| die("bad worker count"));
+            }
+            "--queue-cap" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--queue-cap needs a count"));
+                args.queue_cap = v.parse().unwrap_or_else(|_| die("bad queue capacity"));
+            }
+            "--cache-cap" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--cache-cap needs a count"));
+                args.cache_cap = v.parse().unwrap_or_else(|_| die("bad cache capacity"));
+            }
+            "--requests" => {
+                let v = it.next().unwrap_or_else(|| die("--requests needs a count"));
+                args.requests = v.parse().unwrap_or_else(|_| die("bad request count"));
+            }
+            "--concurrency" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--concurrency needs a count"));
+                args.concurrency = v.parse().unwrap_or_else(|_| die("bad concurrency"));
+            }
+            "--expect-cache-hits" => args.expect_cache_hits = true,
             "--no-memory-model" => args.memory_model = false,
             "--real" => args.with_real = true,
             "--json" => args.json = true,
             "--timings" => args.timings = true,
+            flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
             cmd if args.command.is_empty() => args.command = cmd.to_string(),
             w if args.workload.is_none() => args.workload = Some(w.to_string()),
             other => die(&format!("unexpected argument {other}")),
@@ -259,31 +309,36 @@ fn parse_args() -> Args {
     args
 }
 
-/// Expand the `sweep` workload list: comma-separated workload names,
-/// with `test1:<a>..<b>` / `test2:<a>..<b>` producing one workload per
-/// seed in `a..b`.
-fn parse_sweep_workloads(list: &str) -> Vec<WorkloadSpec> {
+/// Expand a workload list: comma-separated workload names, with
+/// `test1:<a>..<b>` / `test2:<a>..<b>` producing one workload per seed
+/// in `a..b`. Fallible so `prophet serve` can reuse it as the request
+/// resolver — there a bad list is the *client's* 400, not our exit 2.
+fn try_parse_sweep_workloads(list: &str) -> Result<Vec<WorkloadSpec>, String> {
     let mut out = Vec::new();
     for tok in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         if let Some((fam, range)) = tok.split_once(':') {
             if let Some((a, b)) = range.split_once("..") {
-                let a: u64 = a.parse().unwrap_or_else(|_| die("bad seed range start"));
-                let b: u64 = b.parse().unwrap_or_else(|_| die("bad seed range end"));
+                let a: u64 = a
+                    .parse()
+                    .map_err(|_| format!("bad seed range start in '{tok}'"))?;
+                let b: u64 = b
+                    .parse()
+                    .map_err(|_| format!("bad seed range end in '{tok}'"))?;
                 if b <= a {
-                    die(&format!("empty seed range {tok}"));
+                    return Err(format!("empty seed range {tok}"));
                 }
                 for seed in a..b {
                     out.push(match fam {
                         "test1" => WorkloadSpec::test1(seed),
                         "test2" => WorkloadSpec::test2(seed),
-                        _ => die("seed ranges only apply to test1/test2"),
+                        _ => return Err("seed ranges only apply to test1/test2".to_string()),
                     });
                 }
                 continue;
             }
         }
         if workload(tok).is_none() {
-            die(&format!("unknown workload '{tok}'"));
+            return Err(format!("unknown workload '{tok}'"));
         }
         let name = tok.to_string();
         out.push(WorkloadSpec::program(
@@ -292,9 +347,13 @@ fn parse_sweep_workloads(list: &str) -> Vec<WorkloadSpec> {
         ));
     }
     if out.is_empty() {
-        die("sweep needs at least one workload");
+        return Err("need at least one workload".to_string());
     }
-    out
+    Ok(out)
+}
+
+fn parse_sweep_workloads(list: &str) -> Vec<WorkloadSpec> {
+    try_parse_sweep_workloads(list).unwrap_or_else(|e| die(&e))
 }
 
 fn get_workload(args: &Args) -> (Box<dyn Benchmark>, BenchSpec) {
@@ -320,7 +379,11 @@ fn main() {
                  diagnose <workload> [--threads N] [--json]\n  recommend <workload>\n  calibrate\n  \
                  sweep <w1,w2,..|test1:<a>..<b>> [--jobs N] [--threads ..] \
                  [--schedules s1,s2] [--predictors real,ff,syn,suit] [--paradigm ..] \
-                 [--timings] [--out f.json]"
+                 [--timings] [--out f.json]\n  \
+                 serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] \
+                 [--cache-cap N] [--jobs N]\n  \
+                 loadgen [workloads] [--addr ..] [--requests N] [--concurrency N] \
+                 [--expect-cache-hits]"
             );
         }
         "list" => {
@@ -659,6 +722,64 @@ fn main() {
                     eprintln!("wrote {path}");
                 }
                 None => println!("{body}"),
+            }
+        }
+        "serve" => {
+            let cfg = serve::ServeConfig {
+                addr: args.addr.clone(),
+                workers: args.workers.max(1),
+                queue_cap: args.queue_cap.max(1),
+                result_cache_cap: args.cache_cap,
+                engine_jobs: args.jobs,
+                ..serve::ServeConfig::default()
+            };
+            let resolver: serve::Resolver = std::sync::Arc::new(try_parse_sweep_workloads);
+            let workers = cfg.workers;
+            let handle = serve::Server::start(cfg, resolver)
+                .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", args.addr)));
+            let shutdown = serve::signal::install_handlers();
+            eprintln!(
+                "prophet-serve listening on {} ({workers} worker(s), queue {} , cache {}); \
+                 SIGTERM/ctrl-c drains",
+                handle.local_addr(),
+                args.queue_cap.max(1),
+                args.cache_cap,
+            );
+            while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            eprintln!("signal received, draining in-flight requests…");
+            handle.shutdown();
+            eprintln!("prophet-serve: shutdown complete");
+        }
+        "loadgen" => {
+            let list = args
+                .workload
+                .as_deref()
+                .unwrap_or("test1:0,test1:1,test1:2,test1:3");
+            // Validate locally with the same resolver the daemon uses, so
+            // a typo fails here and not as 50 identical 400s.
+            try_parse_sweep_workloads(list).unwrap_or_else(|e| die(&e));
+            let bodies: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|tok| {
+                    format!(r#"{{"workload":"{tok}","threads":[2,4],"predictors":["syn+mm"]}}"#)
+                })
+                .collect();
+            let opts = serve::loadgen::LoadgenOptions {
+                addr: args.addr.clone(),
+                requests: args.requests,
+                concurrency: args.concurrency,
+                bodies,
+                expect_cache_hits: args.expect_cache_hits,
+            };
+            let report = serve::loadgen::run(&opts);
+            println!("{}", report.summary());
+            if !report.success(&opts) {
+                eprintln!("loadgen: FAILED");
+                std::process::exit(1);
             }
         }
         "recommend" => {

@@ -31,6 +31,17 @@ impl Paradigm {
             Paradigm::OmpTask => "OmpTask",
         }
     }
+
+    /// Parse a CLI/request spelling (`openmp` | `cilk` | `omptask`,
+    /// case-insensitive; display names also accepted).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "openmp" => Some(Paradigm::OpenMp),
+            "cilk" | "cilkplus" => Some(Paradigm::CilkPlus),
+            "omptask" => Some(Paradigm::OmpTask),
+            _ => None,
+        }
+    }
 }
 
 /// OpenMP loop-scheduling policy (paper Fig. 5 distinguishes
@@ -69,6 +80,28 @@ impl Schedule {
     /// `schedule(dynamic,1)`.
     pub fn dynamic1() -> Self {
         Schedule::Dynamic { chunk: 1 }
+    }
+
+    /// Parse a paper-style name (the inverse of [`Schedule::name`]):
+    /// `static` | `static-N` | `dynamic-N` | `guided-N`. Returns `None`
+    /// for anything else, including malformed chunk counts.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "static" {
+            return Some(Schedule::static_block());
+        }
+        if let Some(c) = s.strip_prefix("static-") {
+            return c.parse().ok().map(|c| Schedule::Static { chunk: Some(c) });
+        }
+        if let Some(c) = s.strip_prefix("dynamic-") {
+            return c.parse().ok().map(|chunk| Schedule::Dynamic { chunk });
+        }
+        if let Some(m) = s.strip_prefix("guided-") {
+            return m
+                .parse()
+                .ok()
+                .map(|min_chunk| Schedule::Guided { min_chunk });
+        }
+        None
     }
 
     /// Paper-style display name, e.g. `"static-1"`.

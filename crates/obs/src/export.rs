@@ -413,6 +413,57 @@ pub fn timeline_summary(rec: &Recorder, cores: u32) -> String {
     out
 }
 
+/// Sanitise a metric name into the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a [`MetricsRegistry`] in the Prometheus text exposition
+/// format: counters and gauges one sample each, histograms as
+/// cumulative `_bucket{le="..."}` series (upper bounds from the log₂
+/// buckets) plus `_sum`/`_count`. Deterministic: the registry iterates
+/// in name order and buckets in bound order.
+pub fn prometheus_text(reg: &crate::metrics::MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in reg.gauges() {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in reg.histograms() {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (lower, count) in h.nonzero_buckets() {
+            cumulative += count;
+            // Bucket with lower bound 2^(i-1) holds values < 2^i.
+            let le = if lower == 0 { 0 } else { lower * 2 - 1 };
+            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("{n}_sum {}\n", h.sum()));
+        out.push_str(&format!("{n}_count {}\n", h.count()));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,5 +566,27 @@ mod tests {
         assert!(text.contains("per-core busy"));
         assert!(text.contains("locks by total wait"));
         assert!(text.contains("dram rate recomputations"));
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let mut reg = crate::metrics::MetricsRegistry::new();
+        reg.inc("serve.requests_total", 3);
+        reg.set_gauge("serve.queue_depth", 2.0);
+        for v in [1u64, 2, 3, 900] {
+            reg.observe("serve.batch_size", v);
+        }
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE serve_requests_total counter\nserve_requests_total 3\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 2\n"));
+        assert!(text.contains("# TYPE serve_batch_size histogram"));
+        assert!(text.contains("serve_batch_size_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("serve_batch_size_sum 906"));
+        assert!(text.contains("serve_batch_size_count 4"));
+        // Bucket series are cumulative: the last finite bound covers all
+        // but nothing beyond the total.
+        assert!(text.contains("serve_batch_size_bucket{le=\"1023\"} 4"));
+        // Deterministic output.
+        assert_eq!(text, prometheus_text(&reg));
     }
 }

@@ -28,6 +28,6 @@ pub mod export;
 pub mod metrics;
 pub mod record;
 
-pub use export::{chrome_trace_json, jsonl_dump, timeline_summary};
+pub use export::{chrome_trace_json, jsonl_dump, prometheus_text, timeline_summary};
 pub use metrics::{Histogram, MetricsRegistry, TraceMetrics};
 pub use record::{Event, EventKind, ObsHandle, ObsLevel, Recorder, SpanKind};

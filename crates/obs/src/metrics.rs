@@ -194,6 +194,24 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Install a pre-built histogram under `name`, replacing any
+    /// existing one. Lets producers that aggregate samples elsewhere
+    /// (e.g. the serve daemon's latency recorders) publish snapshots
+    /// into a registry without replaying every observation.
+    pub fn insert_histogram(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_string(), h);
+    }
+
     /// JSON representation: `{counters: {...}, gauges: {...}, histograms: {...}}`.
     pub fn to_value(&self) -> Value {
         Value::Object(vec![

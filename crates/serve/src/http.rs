@@ -1,0 +1,286 @@
+//! A deliberately minimal HTTP/1.1 codec over blocking `TcpStream`s.
+//!
+//! The daemon speaks exactly the subset loadgen, curl, and the CI smoke
+//! test need: one request per connection (`Connection: close`),
+//! `Content-Length` bodies, no chunked encoding, no keep-alive. Keeping
+//! the codec ~200 lines is the point — the workspace is offline, so a
+//! real HTTP stack is not an option, and the service's value is in the
+//! batching layer, not the framing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed inbound request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (without `?`), empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of a `k=v` query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be parsed; maps to a 4xx status.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Socket error or EOF before a full head arrived.
+    Io(std::io::Error),
+    /// Malformed request line or header.
+    Malformed(&'static str),
+    /// Head or body exceeded its size cap.
+    TooLarge,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "socket error: {e}"),
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::TooLarge => write!(f, "request too large"),
+        }
+    }
+}
+
+/// Read and parse one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(ParseError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing request target"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header without ':'"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse()
+                .map_err(|_| ParseError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// An outbound response: status plus a UTF-8 body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body text.
+    pub body: String,
+    /// Extra `(name, value)` headers (e.g. `X-Cache`).
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error response with a standard `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let obj = serde::Value::Object(vec![(
+            "error".to_string(),
+            serde::Value::Str(message.to_string()),
+        )]);
+        Response::json(
+            status,
+            serde_json::to_string(&obj).expect("serialise error"),
+        )
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Attach an extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Serialise and write a response; errors are ignored (the peer may
+/// have gone away, which is its prerogative).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(resp.body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// What [`client_request`] returns: `(status, headers, body)`.
+pub type ClientResponse = (u16, Vec<(String, String)>, String);
+
+/// A one-shot blocking HTTP client call: connect, send, read to EOF.
+/// Returns `(status, headers, body)`. Used by `prophet loadgen`, the
+/// integration tests, and the CI smoke step, so CI needs no curl.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = find_head_end(&raw).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+    })?;
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| {
+            l.split_once(':')
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    let body = String::from_utf8_lossy(&raw[head_end + 4..]).to_string();
+    Ok((status, headers, body))
+}

@@ -1,0 +1,788 @@
+#![warn(missing_docs)]
+
+//! `prophet-serve` — a batching, backpressured prediction service over
+//! the sweep engine.
+//!
+//! Every CLI entry point profiles, calibrates, and throws the warm state
+//! away. This crate gives the reproduction the shape the ROADMAP's north
+//! star demands: a long-lived daemon where one process-wide
+//! [`Prophet`]/[`SweepEngine`] serves every request, so profiling and
+//! calibration amortise across traffic. The moving parts:
+//!
+//! * **Admission control.** A bounded request queue; when it is full new
+//!   work is *shed* with a 429 instead of queued into unbounded latency.
+//!   Per-request deadlines turn into 504s rather than hung sockets, and
+//!   a drain flag turns admissions into 503s during shutdown.
+//! * **Batching.** Workers drain up to `batch_max` queued requests at
+//!   once, deduplicate identical specs, splice every request's grid into
+//!   one job list, and fan it out through [`SweepEngine::run_jobs`] — so
+//!   concurrent requests share one rayon fan-out *and* one profile
+//!   cache, then get their slices of the result back.
+//! * **Result cache.** A bounded LRU keyed on the canonical request,
+//!   layered above the engine's profile cache: repeat requests cost a
+//!   map lookup, not an emulation.
+//! * **Determinism.** A response body is byte-identical whether it was
+//!   computed cold, coalesced into a batch, or served from the cache —
+//!   and identical to `prophet sweep` run with the same spec, because
+//!   the per-request [`SweepResult`] (including its as-if-run-alone
+//!   cache counters) depends only on the spec, never on traffic shape.
+//!
+//! HTTP endpoints: `POST /predict`, `GET /healthz`, `GET /metrics`
+//! (JSON, or Prometheus text with `?format=prom`).
+
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod signal;
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use prophet_core::machsim::{Paradigm, Schedule};
+use prophet_core::Prophet;
+use serde::Deserialize;
+use sweep::{
+    CacheStats, GridSpec, Overrides, PredictorSpec, SweepEngine, SweepJob, SweepResult,
+    WorkloadSpec,
+};
+
+use http::{Request, Response};
+use metrics::ServerMetrics;
+
+/// Maps a workload-list string (the `prophet sweep` syntax, e.g.
+/// `"test1:0..4,lu"`) to workload specs, or a client-facing error.
+/// Injected so the crate stays decoupled from the CLI's benchmark table.
+pub type Resolver = Arc<dyn Fn(&str) -> Result<Vec<WorkloadSpec>, String> + Send + Sync>;
+
+/// Daemon configuration.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `"127.0.0.1:7177"` (port 0 = ephemeral).
+    pub addr: String,
+    /// Batch-worker threads. 0 is test-only: requests queue but nothing
+    /// drains them until shutdown fails them with 503.
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it requests shed with 429.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries (0 disables the cache).
+    pub result_cache_cap: usize,
+    /// Max requests coalesced into one engine batch.
+    pub batch_max: usize,
+    /// How long a worker lingers after picking up work, letting
+    /// near-simultaneous requests join its batch. 0 = no linger.
+    pub batch_linger_ms: u64,
+    /// Deadline for requests that do not send `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// LRU capacity of the engine's profile cache (`None` = unbounded —
+    /// do not run an internet-facing daemon that way).
+    pub profile_cache_cap: Option<usize>,
+    /// Rayon worker threads per batch evaluation (0 = all cores).
+    pub engine_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7177".to_string(),
+            workers: 2,
+            queue_cap: 256,
+            result_cache_cap: 512,
+            batch_max: 16,
+            batch_linger_ms: 1,
+            default_deadline_ms: 30_000,
+            profile_cache_cap: Some(256),
+            engine_jobs: 0,
+        }
+    }
+}
+
+/// Hard cap on jobs one request may expand to (workloads × threads ×
+/// schedules × predictors); larger grids are rejected with 400.
+const MAX_JOBS_PER_REQUEST: usize = 4096;
+
+/// Raw `POST /predict` body. Singular and plural spellings are both
+/// accepted where that reads naturally (`workload`/`workloads`,
+/// `schedule`/`schedules`).
+#[derive(Debug, Clone, Deserialize)]
+struct RawRequest {
+    workload: Option<String>,
+    workloads: Option<String>,
+    threads: Option<Vec<u32>>,
+    schedule: Option<String>,
+    schedules: Option<Vec<String>>,
+    paradigm: Option<String>,
+    predictors: Option<Vec<String>>,
+    deadline_ms: Option<u64>,
+}
+
+/// A validated prediction request: the resolved grid axes. Two requests
+/// with the same [`canonical_key`](Self::canonical_key) are guaranteed
+/// the same response bytes.
+#[derive(Clone)]
+pub struct NormalizedRequest {
+    workloads: Vec<WorkloadSpec>,
+    threads: Vec<u32>,
+    schedules: Vec<Schedule>,
+    paradigm: Paradigm,
+    predictors: Vec<PredictorSpec>,
+}
+
+impl NormalizedRequest {
+    /// Parse and validate a request body. Returns the normalized
+    /// request plus the client's deadline override, if any.
+    pub fn parse(body: &str, resolver: &Resolver) -> Result<(Self, Option<u64>), String> {
+        let raw: RawRequest =
+            serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let list = match (&raw.workload, &raw.workloads) {
+            (Some(_), Some(_)) => {
+                return Err("give either \"workload\" or \"workloads\", not both".to_string())
+            }
+            (Some(w), None) | (None, Some(w)) => w.clone(),
+            (None, None) => return Err("missing \"workload\"".to_string()),
+        };
+        let workloads = resolver(&list)?;
+        if workloads.is_empty() {
+            return Err("workload list resolved to nothing".to_string());
+        }
+        let threads = raw.threads.unwrap_or_else(|| vec![2, 4, 6, 8, 10, 12]);
+        if threads.is_empty() || threads.iter().any(|&t| t == 0 || t > 256) {
+            return Err("threads must be a non-empty list of 1..=256".to_string());
+        }
+        let schedule_names = match (&raw.schedule, &raw.schedules) {
+            (Some(_), Some(_)) => {
+                return Err("give either \"schedule\" or \"schedules\", not both".to_string())
+            }
+            (Some(s), None) => vec![s.clone()],
+            (None, Some(v)) => v.clone(),
+            (None, None) => vec!["static".to_string()],
+        };
+        if schedule_names.is_empty() {
+            return Err("schedules must be non-empty".to_string());
+        }
+        let schedules = schedule_names
+            .iter()
+            .map(|s| {
+                Schedule::parse(s).ok_or_else(|| {
+                    format!("bad schedule '{s}' (static | static-N | dynamic-N | guided-N)")
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let paradigm = match &raw.paradigm {
+            None => Paradigm::OpenMp,
+            Some(p) => Paradigm::parse(p)
+                .ok_or_else(|| format!("bad paradigm '{p}' (openmp | cilk | omptask)"))?,
+        };
+        let predictors = match &raw.predictors {
+            None => vec![PredictorSpec::real(), PredictorSpec::syn(true)],
+            Some(v) if v.is_empty() => return Err("predictors must be non-empty".to_string()),
+            Some(v) => v
+                .iter()
+                .map(|p| {
+                    PredictorSpec::parse(p).ok_or_else(|| {
+                        format!("bad predictor '{p}' (real | ff[±mm] | syn[±mm] | suit)")
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let jobs = workloads.len() * threads.len() * schedules.len() * predictors.len();
+        if jobs > MAX_JOBS_PER_REQUEST {
+            return Err(format!(
+                "grid expands to {jobs} jobs, above the {MAX_JOBS_PER_REQUEST} cap"
+            ));
+        }
+        Ok((
+            NormalizedRequest {
+                workloads,
+                threads,
+                schedules,
+                paradigm,
+                predictors,
+            },
+            raw.deadline_ms,
+        ))
+    }
+
+    /// Canonical identity of this request: equal keys ⇒ byte-identical
+    /// responses. The result cache and batch deduplication key on it.
+    /// The deadline is deliberately not part of the identity.
+    pub fn canonical_key(&self) -> String {
+        let workloads: Vec<&str> = self.workloads.iter().map(|w| w.key.as_str()).collect();
+        let schedules: Vec<String> = self.schedules.iter().map(|s| s.name()).collect();
+        let predictors: Vec<String> = self.predictors.iter().map(|p| p.label()).collect();
+        format!(
+            "w=[{}];t={:?};s=[{}];par={};pred=[{}]",
+            workloads.join(","),
+            self.threads,
+            schedules.join(","),
+            self.paradigm.name(),
+            predictors.join(",")
+        )
+    }
+
+    /// The request as a declarative grid.
+    fn grid(&self) -> GridSpec {
+        GridSpec {
+            workloads: self.workloads.clone(),
+            threads: self.threads.clone(),
+            schedules: self.schedules.clone(),
+            paradigms: vec![self.paradigm],
+            predictors: self.predictors.clone(),
+            overrides: Overrides::default(),
+        }
+    }
+}
+
+/// Evaluate a batch of deduplicated requests as **one** engine fan-out
+/// and return each request's response body.
+///
+/// All grids are spliced into a single job list (workload indices
+/// rebased onto a shared workload table) so one `run_jobs` call
+/// evaluates everything — one rayon pool, one profile cache, profiles
+/// shared across requests that touch the same workload. The combined
+/// result is then sliced back apart in job order.
+///
+/// Each body serialises a [`SweepResult`] whose cache counters are
+/// *as-if-run-alone* (replaying the request's own job order against an
+/// empty cache), so the bytes match a fresh `prophet sweep` of the same
+/// spec exactly — regardless of what else shared the batch or how warm
+/// the daemon's caches were.
+pub fn evaluate_requests(engine: &SweepEngine, reqs: &[NormalizedRequest]) -> Vec<String> {
+    let mut all_workloads: Vec<WorkloadSpec> = Vec::new();
+    let mut all_jobs: Vec<SweepJob> = Vec::new();
+    let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    for req in reqs {
+        let grid = req.grid();
+        let base = all_workloads.len();
+        let start = all_jobs.len();
+        for mut job in grid.expand() {
+            job.workload += base;
+            all_jobs.push(job);
+        }
+        all_workloads.extend(grid.workloads);
+        ranges.push(start..all_jobs.len());
+    }
+    let combined = engine.run_jobs(&all_workloads, &all_jobs);
+
+    let mut bodies = Vec::with_capacity(reqs.len());
+    let mut next_point = 0usize;
+    for range in ranges {
+        let jobs = &all_jobs[range];
+        let mut points = Vec::new();
+        let mut skipped = 0usize;
+        let mut seen: Vec<&str> = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for job in jobs {
+            if engine.would_skip(job) {
+                skipped += 1;
+                continue;
+            }
+            let key = all_workloads[job.workload].key.as_str();
+            if seen.contains(&key) {
+                hits += 1;
+            } else {
+                seen.push(key);
+                misses += 1;
+            }
+            points.push(combined.points[next_point].clone());
+            next_point += 1;
+        }
+        let result = SweepResult {
+            jobs_total: jobs.len(),
+            jobs_skipped: skipped,
+            points,
+            cache: CacheStats {
+                hits,
+                misses,
+                entries: misses,
+                evictions: 0,
+            },
+        };
+        bodies.push(serde_json::to_string_pretty(&result).expect("serialise response"));
+    }
+    debug_assert_eq!(next_point, combined.points.len(), "points fully consumed");
+    bodies
+}
+
+/// Bounded LRU of canonical-request → response-body.
+struct ResultCache {
+    map: HashMap<String, (String, u64)>,
+    cap: usize,
+    tick: u64,
+}
+
+impl ResultCache {
+    fn new(cap: usize) -> Self {
+        ResultCache {
+            map: HashMap::new(),
+            cap,
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<String> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(body, used)| {
+            *used = tick;
+            body.clone()
+        })
+    }
+
+    /// Insert, returning how many entries were evicted.
+    fn insert(&mut self, key: &str, body: String) -> u64 {
+        if self.cap == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        self.map.insert(key.to_string(), (body, self.tick));
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity map");
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// One admitted, not-yet-answered prediction request.
+struct Pending {
+    req: NormalizedRequest,
+    key: String,
+    enqueued: Instant,
+    deadline: Instant,
+    ticket: Arc<Ticket>,
+}
+
+/// Rendezvous between the connection thread and the batch worker.
+struct Ticket {
+    slot: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Arc<Self> {
+        Arc::new(Ticket {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Install the response if none is set yet; returns whether this
+    /// call won (so a status is counted exactly once).
+    fn fulfill(&self, resp: Response) -> bool {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        if slot.is_none() {
+            *slot = Some(resp);
+            self.cv.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wait until a response is installed or `deadline` passes.
+    fn wait_until(&self, deadline: Instant) -> Option<Response> {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        while slot.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket poisoned");
+            slot = guard;
+        }
+        slot.clone()
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    engine: Arc<SweepEngine>,
+    resolver: Resolver,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    /// Stop admitting prediction work; workers exit once the queue is dry.
+    draining: AtomicBool,
+    /// Stop the accept loop entirely.
+    stop_accept: AtomicBool,
+    results: Mutex<ResultCache>,
+    metrics: ServerMetrics,
+}
+
+/// The daemon. [`Server::start`] binds, spawns the acceptor and worker
+/// pool, and returns a handle; the process keeps serving until
+/// [`ServerHandle::shutdown`].
+pub struct Server;
+
+/// A running daemon: its address plus the thread handles needed to
+/// drain and join it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr` and start serving on background threads.
+    pub fn start(cfg: ServeConfig, resolver: Resolver) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let engine = Arc::new(
+            SweepEngine::new(Prophet::new())
+                .with_jobs(cfg.engine_jobs)
+                .with_profile_cache_capacity(cfg.profile_cache_cap),
+        );
+        let shared = Arc::new(Shared {
+            engine,
+            resolver,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stop_accept: AtomicBool::new(false),
+            results: Mutex::new(ResultCache::new(cfg.result_cache_cap)),
+            metrics: ServerMetrics::default(),
+            cfg,
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The daemon's metric counters (tests and embedders; HTTP clients
+    /// use `/metrics`).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Gracefully shut down: stop admitting, let workers drain every
+    /// already-admitted request, fail anything left 503, then stop
+    /// accepting and join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Anything still queued (workers == 0, or admitted in the
+        // narrow window after the workers exited) fails closed.
+        let leftovers: Vec<Pending> = {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.drain(..).collect()
+        };
+        for p in leftovers {
+            if p.ticket.fulfill(Response::error(503, "shutting down")) {
+                self.shared
+                    .metrics
+                    .rejected_draining
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.shared.stop_accept.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.conns.lock().expect("conns poisoned");
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(15)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(15)));
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared))
+                    .expect("spawn connection handler");
+                let mut conns = conns.lock().expect("conns poisoned");
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.stop_accept.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+    let resp = match http::read_request(&mut stream) {
+        Ok(req) => route(&req, shared),
+        Err(http::ParseError::TooLarge) => Response::error(413, "request too large"),
+        Err(e) => Response::error(400, &e.to_string()),
+    };
+    http::write_response(&mut stream, &resp);
+    shared.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let obj = serde::Value::Object(vec![
+                ("status".to_string(), serde::Value::Str("ok".to_string())),
+                (
+                    "draining".to_string(),
+                    serde::Value::Bool(shared.draining.load(Ordering::SeqCst)),
+                ),
+            ]);
+            Response::json(200, serde_json::to_string(&obj).expect("serialise healthz"))
+        }
+        ("GET", "/metrics") => {
+            let stats = shared.engine.cache().stats();
+            match req.query_param("format") {
+                Some("prom") | Some("prometheus") => {
+                    Response::text(200, shared.metrics.render_prometheus(stats))
+                }
+                _ => Response::json(200, shared.metrics.render_json(stats)),
+            }
+        }
+        ("POST", "/predict") => predict(req, shared),
+        ("GET", "/predict") => Response::error(405, "use POST /predict"),
+        _ => Response::error(404, "unknown endpoint (try /predict, /healthz, /metrics)"),
+    }
+}
+
+fn predict(req: &Request, shared: &Arc<Shared>) -> Response {
+    let m = &shared.metrics;
+    m.requests_total.fetch_add(1, Ordering::Relaxed);
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            m.client_errors.fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, "body is not UTF-8");
+        }
+    };
+    let (norm, deadline_ms) = match NormalizedRequest::parse(body, &shared.resolver) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            m.client_errors.fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, &e);
+        }
+    };
+    let key = norm.canonical_key();
+
+    // Layer 1: the result cache.
+    if let Some(body) = shared.results.lock().expect("results poisoned").get(&key) {
+        m.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.responses_ok.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, body).with_header("x-cache", "hit");
+    }
+    m.result_cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    if shared.draining.load(Ordering::SeqCst) {
+        m.rejected_draining.fetch_add(1, Ordering::Relaxed);
+        return Response::error(503, "shutting down");
+    }
+
+    // Layer 2: bounded admission.
+    let deadline_ms = deadline_ms
+        .unwrap_or(shared.cfg.default_deadline_ms)
+        .clamp(1, 600_000);
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    let ticket = Ticket::new();
+    {
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        if q.len() >= shared.cfg.queue_cap {
+            m.shed_total.fetch_add(1, Ordering::Relaxed);
+            return Response::error(429, "overloaded: admission queue full")
+                .with_header("retry-after", "1");
+        }
+        q.push_back(Pending {
+            req: norm,
+            key,
+            enqueued: Instant::now(),
+            deadline,
+            ticket: Arc::clone(&ticket),
+        });
+        m.queue_depth.store(q.len() as u64, Ordering::Relaxed);
+    }
+    shared.queue_cv.notify_one();
+
+    // Small grace beyond the deadline so a worker that just started the
+    // batch gets to deliver instead of racing the timeout.
+    match ticket.wait_until(deadline + Duration::from_millis(250)) {
+        Some(resp) => {
+            if resp.status == 200 {
+                m.responses_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            resp
+        }
+        None => {
+            let timeout = Response::error(504, "deadline exceeded");
+            if ticket.fulfill(timeout.clone()) {
+                m.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            // Either we won (timeout) or a response landed just now.
+            let resp = ticket.wait_until(Instant::now()).unwrap_or(timeout);
+            if resp.status == 200 {
+                m.responses_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            resp
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        // Block for the first request (or drain-exit).
+        let first = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(p) = q.pop_front() {
+                    shared
+                        .metrics
+                        .queue_depth
+                        .store(q.len() as u64, Ordering::Relaxed);
+                    break p;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                q = guard;
+            }
+        };
+        // Linger briefly so a burst of near-simultaneous requests lands
+        // in this batch instead of the next.
+        if shared.cfg.batch_linger_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.cfg.batch_linger_ms));
+        }
+        let mut batch = vec![first];
+        {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            while batch.len() < shared.cfg.batch_max {
+                match q.pop_front() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+            shared
+                .metrics
+                .queue_depth
+                .store(q.len() as u64, Ordering::Relaxed);
+        }
+        process_batch(shared, batch);
+    }
+}
+
+fn process_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
+    let m = &shared.metrics;
+    let now = Instant::now();
+    let mut queue_waits: Vec<u64> = Vec::with_capacity(batch.len());
+    // Deduplicate by canonical key: one evaluation answers every ticket.
+    let mut groups: Vec<(String, NormalizedRequest, Vec<Arc<Ticket>>)> = Vec::new();
+    let mut live = 0usize;
+    for p in batch {
+        queue_waits.push(u64::try_from((now - p.enqueued).as_nanos()).unwrap_or(u64::MAX));
+        if now >= p.deadline {
+            if p.ticket.fulfill(Response::error(504, "deadline exceeded")) {
+                m.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            continue;
+        }
+        live += 1;
+        match groups.iter_mut().find(|(k, _, _)| *k == p.key) {
+            Some((_, _, tickets)) => tickets.push(p.ticket),
+            None => groups.push((p.key, p.req, vec![p.ticket])),
+        }
+    }
+    if groups.is_empty() {
+        return;
+    }
+
+    let reqs: Vec<NormalizedRequest> = groups.iter().map(|(_, r, _)| r.clone()).collect();
+    let t0 = Instant::now();
+    let bodies = evaluate_requests(&shared.engine, &reqs);
+    let predict_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    m.record_batch(live, &queue_waits, predict_nanos);
+
+    for ((key, _, tickets), body) in groups.into_iter().zip(bodies) {
+        let evicted = shared
+            .results
+            .lock()
+            .expect("results poisoned")
+            .insert(&key, body.clone());
+        m.result_cache_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+        for ticket in tickets {
+            ticket.fulfill(Response::json(200, body.clone()).with_header("x-cache", "miss"));
+        }
+    }
+}
+
+/// Compile-time guarantee the shared state can cross threads.
+#[allow(dead_code)]
+fn assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Shared>();
+    check::<ServerMetrics>();
+}

@@ -1,0 +1,199 @@
+//! A deterministic closed-loop load generator for the daemon.
+//!
+//! `prophet loadgen` and the CI smoke step drive a running `prophet
+//! serve` over loopback: N requests across C worker threads, request
+//! bodies assigned round-robin (request *i* gets body *i mod B*), so a
+//! run is reproducible and every response has a known reference class.
+//! The generator cross-checks the service's central invariant — all
+//! responses for the same body must be **byte-identical**, whether they
+//! were computed cold, coalesced into a batch, or served from the
+//! result cache — and can additionally require that the daemon's caches
+//! actually produced hits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::http::client_request;
+
+/// Load-generation parameters.
+#[derive(Clone)]
+pub struct LoadgenOptions {
+    /// Daemon address, e.g. `"127.0.0.1:7177"`.
+    pub addr: String,
+    /// Total requests to send.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Request bodies, cycled round-robin over the request index.
+    pub bodies: Vec<String>,
+    /// After the run, fetch `/metrics` and require at least one result-
+    /// cache hit and one profile-cache hit (the smoke-test assertion).
+    pub expect_cache_hits: bool,
+}
+
+/// The outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// 200 responses.
+    pub ok: usize,
+    /// 429 responses (shed by admission control).
+    pub shed: usize,
+    /// Everything else: transport errors and non-200/429 statuses.
+    pub failed: usize,
+    /// 200 responses whose body differed from the first response seen
+    /// for the same request body — a determinism violation.
+    pub mismatches: usize,
+    /// Fastest request, nanoseconds.
+    pub min_nanos: u64,
+    /// Mean request latency, nanoseconds.
+    pub mean_nanos: u64,
+    /// Slowest request, nanoseconds.
+    pub max_nanos: u64,
+    /// `serve.result_cache_hits` read from `/metrics` after the run.
+    pub result_cache_hits: Option<u64>,
+    /// `sweep.profile_cache_hits` read from `/metrics` after the run.
+    pub profile_cache_hits: Option<u64>,
+}
+
+impl LoadgenReport {
+    /// True when every request succeeded, every response class was
+    /// byte-identical, and (when requested) the caches produced hits.
+    pub fn success(&self, opts: &LoadgenOptions) -> bool {
+        let cache_ok = !opts.expect_cache_hits
+            || (self.result_cache_hits.unwrap_or(0) > 0
+                && self.profile_cache_hits.unwrap_or(0) > 0);
+        self.ok == self.requests && self.mismatches == 0 && cache_ok
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "requests={} ok={} shed={} failed={} mismatches={} \
+             latency_ms min={:.2} mean={:.2} max={:.2} \
+             result_cache_hits={} profile_cache_hits={}",
+            self.requests,
+            self.ok,
+            self.shed,
+            self.failed,
+            self.mismatches,
+            self.min_nanos as f64 / 1e6,
+            self.mean_nanos as f64 / 1e6,
+            self.max_nanos as f64 / 1e6,
+            self.result_cache_hits
+                .map_or("?".to_string(), |v| v.to_string()),
+            self.profile_cache_hits
+                .map_or("?".to_string(), |v| v.to_string()),
+        )
+    }
+}
+
+/// Run the load: `opts.requests` POSTs to `/predict` across
+/// `opts.concurrency` threads, then read `/metrics` once.
+pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
+    assert!(!opts.bodies.is_empty(), "loadgen needs at least one body");
+    let concurrency = opts.concurrency.max(1);
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    // First 200 body seen per body class; later responses must match it.
+    let reference: Arc<Mutex<Vec<Option<String>>>> =
+        Arc::new(Mutex::new(vec![None; opts.bodies.len()]));
+
+    std::thread::scope(|scope| {
+        for t in 0..concurrency {
+            let opts = opts.clone();
+            let ok = Arc::clone(&ok);
+            let shed = Arc::clone(&shed);
+            let failed = Arc::clone(&failed);
+            let mismatches = Arc::clone(&mismatches);
+            let latencies = Arc::clone(&latencies);
+            let reference = Arc::clone(&reference);
+            scope.spawn(move || {
+                let mut i = t;
+                while i < opts.requests {
+                    let class = i % opts.bodies.len();
+                    let body = &opts.bodies[class];
+                    let start = Instant::now();
+                    let outcome = client_request(&opts.addr, "POST", "/predict", Some(body));
+                    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    latencies.lock().expect("latencies poisoned").push(nanos);
+                    match outcome {
+                        Ok((200, _, resp_body)) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            let mut refs = reference.lock().expect("reference poisoned");
+                            match &refs[class] {
+                                None => refs[class] = Some(resp_body),
+                                Some(expected) if *expected == resp_body => {}
+                                Some(_) => {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Ok((429, _, _)) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) | Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += concurrency;
+                }
+            });
+        }
+    });
+
+    let lat = latencies.lock().expect("latencies poisoned");
+    let (min, max, mean) = if lat.is_empty() {
+        (0, 0, 0)
+    } else {
+        let sum: u128 = lat.iter().map(|&n| u128::from(n)).sum();
+        (
+            *lat.iter().min().expect("non-empty"),
+            *lat.iter().max().expect("non-empty"),
+            u64::try_from(sum / lat.len() as u128).unwrap_or(u64::MAX),
+        )
+    };
+
+    let (result_cache_hits, profile_cache_hits) = read_cache_hit_counters(&opts.addr);
+
+    LoadgenReport {
+        requests: opts.requests,
+        ok: usize::try_from(ok.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
+        shed: usize::try_from(shed.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
+        failed: usize::try_from(failed.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
+        mismatches: usize::try_from(mismatches.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
+        min_nanos: min,
+        mean_nanos: mean,
+        max_nanos: max,
+        result_cache_hits,
+        profile_cache_hits,
+    }
+}
+
+/// Fetch `/metrics` and pull the two cache-hit counters out of the JSON
+/// (both the obs-backed and the degraded non-obs body nest counters
+/// under a top-level `"counters"` object).
+fn read_cache_hit_counters(addr: &str) -> (Option<u64>, Option<u64>) {
+    let Ok((200, _, body)) = client_request(addr, "GET", "/metrics", None) else {
+        return (None, None);
+    };
+    let Ok(value) = serde_json::from_str::<serde::Value>(&body) else {
+        return (None, None);
+    };
+    let counter = |name: &str| {
+        value
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(serde::Value::as_f64)
+            .map(|v| v as u64)
+    };
+    (
+        counter("serve.result_cache_hits"),
+        counter("sweep.profile_cache_hits"),
+    )
+}

@@ -1,0 +1,198 @@
+//! Daemon metrics: lock-free counters on the hot path, rendered on
+//! demand by `/metrics` as JSON or Prometheus text.
+//!
+//! Counters and gauges are plain atomics so admission and batching never
+//! contend on a metrics lock. Latency/batch-size histograms need the
+//! `prophet-obs` log₂ [`prophet_obs::Histogram`] and sit behind the
+//! `obs` feature (a short mutex hold per batch, off the admission path);
+//! without the feature the endpoint degrades to counters and gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "obs")]
+use std::sync::Mutex;
+
+use sweep::CacheStats;
+
+/// Histograms published when the `obs` feature is on.
+#[cfg(feature = "obs")]
+#[derive(Default)]
+struct Histos {
+    /// Requests coalesced per engine batch.
+    batch_size: prophet_obs::Histogram,
+    /// Nanoseconds a request waited in the admission queue.
+    queue_wait_nanos: prophet_obs::Histogram,
+    /// Nanoseconds one batch spent inside the sweep engine.
+    batch_predict_nanos: prophet_obs::Histogram,
+}
+
+/// Process-wide serving counters.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Prediction requests admitted, shed, or cache-served (every POST
+    /// /predict that parsed).
+    pub requests_total: AtomicU64,
+    /// 200 responses produced (cache hits and computed).
+    pub responses_ok: AtomicU64,
+    /// Requests rejected with 429 because the queue was full.
+    pub shed_total: AtomicU64,
+    /// Requests rejected with 503 during drain.
+    pub rejected_draining: AtomicU64,
+    /// Requests that exceeded their deadline (504).
+    pub deadline_timeouts: AtomicU64,
+    /// 4xx parse/validation failures.
+    pub client_errors: AtomicU64,
+    /// Responses served straight from the result cache.
+    pub result_cache_hits: AtomicU64,
+    /// Admitted requests that missed the result cache.
+    pub result_cache_misses: AtomicU64,
+    /// Result-cache entries displaced by LRU pressure.
+    pub result_cache_evictions: AtomicU64,
+    /// Engine batches evaluated.
+    pub batches_total: AtomicU64,
+    /// Requests evaluated inside those batches.
+    pub batched_requests: AtomicU64,
+    /// Current admission-queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// Connections currently being handled (gauge).
+    pub inflight: AtomicU64,
+    #[cfg(feature = "obs")]
+    histos: Mutex<Histos>,
+}
+
+impl ServerMetrics {
+    /// Record one batch: size plus queue-wait and predict latencies.
+    pub fn record_batch(&self, size: usize, queue_waits: &[u64], predict_nanos: u64) {
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        {
+            let mut h = self.histos.lock().expect("metrics histos poisoned");
+            h.batch_size.observe(size as u64);
+            for &w in queue_waits {
+                h.queue_wait_nanos.observe(w);
+            }
+            h.batch_predict_nanos.observe(predict_nanos);
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (queue_waits, predict_nanos);
+        }
+    }
+
+    fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        vec![
+            ("serve.requests_total", c(&self.requests_total)),
+            ("serve.responses_ok", c(&self.responses_ok)),
+            ("serve.shed_total", c(&self.shed_total)),
+            ("serve.rejected_draining", c(&self.rejected_draining)),
+            ("serve.deadline_timeouts", c(&self.deadline_timeouts)),
+            ("serve.client_errors", c(&self.client_errors)),
+            ("serve.result_cache_hits", c(&self.result_cache_hits)),
+            ("serve.result_cache_misses", c(&self.result_cache_misses)),
+            (
+                "serve.result_cache_evictions",
+                c(&self.result_cache_evictions),
+            ),
+            ("serve.batches_total", c(&self.batches_total)),
+            ("serve.batched_requests", c(&self.batched_requests)),
+        ]
+    }
+
+    fn gauge_snapshot(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            (
+                "serve.queue_depth",
+                self.queue_depth.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "serve.inflight",
+                self.inflight.load(Ordering::Relaxed) as f64,
+            ),
+        ]
+    }
+
+    /// Fold serving + profile-cache counters into a fresh obs registry.
+    #[cfg(feature = "obs")]
+    pub fn registry(&self, profile_cache: CacheStats) -> prophet_obs::MetricsRegistry {
+        let mut reg = prophet_obs::MetricsRegistry::new();
+        for (name, v) in self.counter_snapshot() {
+            reg.inc(name, v);
+        }
+        for (name, v) in profile_cache_counters(profile_cache) {
+            reg.inc(name, v);
+        }
+        for (name, v) in self.gauge_snapshot() {
+            reg.set_gauge(name, v);
+        }
+        let h = self.histos.lock().expect("metrics histos poisoned");
+        reg.insert_histogram("serve.batch_size", h.batch_size.clone());
+        reg.insert_histogram("serve.queue_wait_nanos", h.queue_wait_nanos.clone());
+        reg.insert_histogram("serve.batch_predict_nanos", h.batch_predict_nanos.clone());
+        reg
+    }
+
+    /// JSON body for `/metrics`.
+    pub fn render_json(&self, profile_cache: CacheStats) -> String {
+        #[cfg(feature = "obs")]
+        {
+            serde_json::to_string_pretty(&self.registry(profile_cache).to_value())
+                .expect("serialise metrics")
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let counters: Vec<(String, serde::Value)> = self
+                .counter_snapshot()
+                .into_iter()
+                .chain(profile_cache_counters(profile_cache))
+                .map(|(k, v)| (k.to_string(), serde::Value::U64(v)))
+                .collect();
+            let gauges: Vec<(String, serde::Value)> = self
+                .gauge_snapshot()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), serde::Value::F64(v)))
+                .collect();
+            let obj = serde::Value::Object(vec![
+                ("counters".to_string(), serde::Value::Object(counters)),
+                ("gauges".to_string(), serde::Value::Object(gauges)),
+            ]);
+            serde_json::to_string_pretty(&obj).expect("serialise metrics")
+        }
+    }
+
+    /// Prometheus text body for `/metrics?format=prom`.
+    pub fn render_prometheus(&self, profile_cache: CacheStats) -> String {
+        #[cfg(feature = "obs")]
+        {
+            prophet_obs::prometheus_text(&self.registry(profile_cache))
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let mut out = String::new();
+            for (name, v) in self
+                .counter_snapshot()
+                .into_iter()
+                .chain(profile_cache_counters(profile_cache))
+            {
+                let n = name.replace('.', "_");
+                out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+            }
+            for (name, v) in self.gauge_snapshot() {
+                let n = name.replace('.', "_");
+                out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+            }
+            out
+        }
+    }
+}
+
+/// The engine profile cache's counters under stable metric names.
+fn profile_cache_counters(stats: CacheStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("sweep.profile_cache_hits", stats.hits),
+        ("sweep.profile_cache_misses", stats.misses),
+        ("sweep.profile_cache_entries", stats.entries),
+        ("sweep.profile_cache_evictions", stats.evictions),
+    ]
+}

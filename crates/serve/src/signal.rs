@@ -1,0 +1,41 @@
+//! SIGTERM/SIGINT → a process-wide shutdown flag.
+//!
+//! The workspace is offline (no `signal-hook`/`ctrlc` crates), so this
+//! registers handlers through libc's `signal(2)` directly — std already
+//! links libc on unix targets. The handler only stores to a static
+//! atomic, which is async-signal-safe; the serve loop polls the flag and
+//! runs the actual graceful drain on a normal thread.
+
+use std::sync::atomic::AtomicBool;
+#[cfg(unix)]
+use std::sync::atomic::Ordering;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGINT and SIGTERM handlers and return the flag they set.
+/// On non-unix targets this returns a flag that is simply never set.
+#[cfg(unix)]
+pub fn install_handlers() -> &'static AtomicBool {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+    &SHUTDOWN
+}
+
+/// Non-unix fallback: no handlers, the flag stays false.
+#[cfg(not(unix))]
+pub fn install_handlers() -> &'static AtomicBool {
+    &SHUTDOWN
+}

@@ -99,7 +99,9 @@ impl WorkloadSpec {
 ///
 /// `misses` counts closures actually run — exactly one per distinct key,
 /// however many threads race — so the numbers are deterministic for a
-/// given job list regardless of `--jobs`.
+/// given job list regardless of `--jobs`. `evictions` stays 0 for the
+/// default unbounded cache; a capacity-bounded cache (the long-lived
+/// `prophet serve` daemon) counts every key displaced by LRU pressure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups served from an already-profiled entry.
@@ -108,6 +110,23 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct keys resident.
     pub entries: u64,
+    /// Keys evicted under LRU capacity pressure (0 when unbounded).
+    pub evictions: u64,
+}
+
+/// One resident cache entry: the shared profile cell plus its LRU stamp.
+struct CacheSlot {
+    cell: Arc<OnceLock<Arc<Profiled>>>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<String, CacheSlot>,
+    /// LRU capacity; `None` = unbounded (the default, so one-shot sweep
+    /// output is unchanged).
+    cap: Option<usize>,
+    /// Monotonic use counter stamping recency.
+    tick: u64,
 }
 
 /// Concurrent once-per-key profile store shared by all sweep workers.
@@ -116,24 +135,82 @@ pub struct CacheStats {
 /// held only to find the cell; the (long) profiling run happens outside
 /// it, and concurrent requesters of the same key block on the cell
 /// rather than profiling twice.
-#[derive(Default)]
+///
+/// By default the cache is unbounded — correct for one-shot sweeps,
+/// where the working set is the grid itself. A long-lived daemon must
+/// bound it: [`ProfileCache::with_capacity`] keeps at most `cap` keys,
+/// evicting the least-recently-used entry (and counting it in
+/// [`CacheStats::evictions`]) when a new key would exceed the cap.
+/// Evicting a key whose profile is still being computed is safe: waiters
+/// hold their own `Arc` to the cell and complete normally; the cache
+/// merely forgets the result.
 pub struct ProfileCache {
-    inner: Mutex<HashMap<String, Arc<OnceLock<Arc<Profiled>>>>>,
+    inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ProfileCache {
+    fn default() -> Self {
+        Self::with_capacity(None)
+    }
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The profile for `key`, running `profile` (once, ever) on first use.
+    /// An empty cache keeping at most `cap` keys (`None` = unbounded).
+    /// A cap of 0 is clamped to 1 so the entry being requested always
+    /// fits.
+    pub fn with_capacity(cap: Option<usize>) -> Self {
+        ProfileCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                cap: cap.map(|c| c.max(1)),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The profile for `key`, running `profile` on first use (at most
+    /// once per residency — an evicted key re-profiles when it returns).
     pub fn get_or_profile(&self, key: &str, profile: impl FnOnce() -> Profiled) -> Arc<Profiled> {
         let cell = {
-            let mut map = self.inner.lock().expect("profile cache poisoned");
-            map.entry(key.to_string()).or_default().clone()
+            let mut inner = self.inner.lock().expect("profile cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let slot = inner
+                .map
+                .entry(key.to_string())
+                .or_insert_with(|| CacheSlot {
+                    cell: Arc::new(OnceLock::new()),
+                    last_used: tick,
+                });
+            slot.last_used = tick;
+            let cell = slot.cell.clone();
+            if let Some(cap) = inner.cap {
+                while inner.map.len() > cap {
+                    // Evict the least-recently-used key other than the
+                    // one just touched (it carries the newest stamp, so
+                    // min-by-stamp never selects it while len > 1).
+                    let victim = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, s)| s.last_used)
+                        .map(|(k, _)| k.clone())
+                        .expect("non-empty over-capacity map");
+                    inner.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            cell
         };
         let mut ran = false;
         let out = cell
@@ -155,7 +232,8 @@ impl ProfileCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("profile cache poisoned").len() as u64,
+            entries: self.inner.lock().expect("profile cache poisoned").map.len() as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +303,34 @@ impl PredictorSpec {
         PredictorSpec {
             predictor: SweepPredictor::Suit,
             memory_model: false,
+        }
+    }
+
+    /// Parse a CLI/request spelling. `ff`/`syn` default the memory model
+    /// on; a `-mm` suffix disables it and `+mm` states the default
+    /// explicitly. Returns `None` for unknown predictors.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "real" => PredictorSpec::real(),
+            "suit" => PredictorSpec::suit(),
+            "ff" | "ff+mm" => PredictorSpec::ff(true),
+            "ff-mm" => PredictorSpec::ff(false),
+            "syn" | "syn+mm" => PredictorSpec::syn(true),
+            "syn-mm" => PredictorSpec::syn(false),
+            _ => return None,
+        })
+    }
+
+    /// Stable spelling accepted back by [`PredictorSpec::parse`]
+    /// (`real`, `ff+mm`, `syn-mm`, ...).
+    pub fn label(self) -> String {
+        match self.predictor {
+            SweepPredictor::Real | SweepPredictor::Suit => self.predictor.name().to_string(),
+            SweepPredictor::Ff | SweepPredictor::Syn => format!(
+                "{}{}",
+                self.predictor.name(),
+                if self.memory_model { "+mm" } else { "-mm" }
+            ),
         }
     }
 }
@@ -406,6 +512,14 @@ impl SweepEngine {
         self
     }
 
+    /// Bound the profile cache to an LRU capacity (`None` = unbounded,
+    /// the default). Intended for long-lived engines (`prophet serve`);
+    /// replaces the cache, so call before the first sweep.
+    pub fn with_profile_cache_capacity(mut self, cap: Option<usize>) -> Self {
+        self.cache = ProfileCache::with_capacity(cap);
+        self
+    }
+
     /// The shared prophet.
     pub fn prophet(&self) -> &Prophet {
         &self.prophet
@@ -450,6 +564,19 @@ impl SweepEngine {
         }
     }
 
+    /// Whether `job` would be deterministically skipped (synthesizer
+    /// thread count beyond the target machine's cores). Exposed so
+    /// callers that slice a combined job list back apart — the serve
+    /// batcher — can reconstruct each slice's point count without
+    /// re-evaluating anything.
+    pub fn would_skip(&self, job: &SweepJob) -> bool {
+        let machine = job
+            .overrides
+            .machine
+            .unwrap_or_else(|| *self.prophet.machine());
+        job.spec.predictor == SweepPredictor::Syn && job.threads > machine.cores
+    }
+
     /// Evaluate one job. `None` = deterministically skipped (synthesizer
     /// thread count beyond the target machine's cores).
     fn eval(&self, workloads: &[WorkloadSpec], job: &SweepJob) -> Option<SweepPoint> {
@@ -457,7 +584,7 @@ impl SweepEngine {
             .overrides
             .machine
             .unwrap_or_else(|| *self.prophet.machine());
-        if job.spec.predictor == SweepPredictor::Syn && job.threads > machine.cores {
+        if self.would_skip(job) {
             return None;
         }
         let spec = &workloads[job.workload];
@@ -588,6 +715,55 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, 1, "profiler must run exactly once per key");
         assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let prophet = tiny_prophet();
+        let cache = ProfileCache::with_capacity(Some(2));
+        let specs: Vec<WorkloadSpec> = (0..3).map(WorkloadSpec::test1).collect();
+        let profile = |s: &WorkloadSpec| {
+            let _ = cache.get_or_profile(&s.key, || (s.build)(&prophet));
+        };
+        profile(&specs[0]);
+        profile(&specs[1]);
+        profile(&specs[0]); // refresh 0: now 1 is the LRU entry
+        profile(&specs[2]); // evicts 1
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        // 0 stayed resident (refresh + hit); 1 must re-profile.
+        profile(&specs[0]);
+        assert_eq!(cache.stats().hits, 2);
+        profile(&specs[1]);
+        assert_eq!(cache.stats().misses, 4, "evicted key profiles again");
+    }
+
+    #[test]
+    fn unbounded_cache_reports_zero_evictions() {
+        let prophet = tiny_prophet();
+        let cache = ProfileCache::new();
+        for seed in 0..4 {
+            let s = WorkloadSpec::test1(seed);
+            let _ = cache.get_or_profile(&s.key, || (s.build)(&prophet));
+        }
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (4, 0));
+    }
+
+    #[test]
+    fn predictor_labels_roundtrip() {
+        for s in [
+            PredictorSpec::real(),
+            PredictorSpec::suit(),
+            PredictorSpec::ff(true),
+            PredictorSpec::ff(false),
+            PredictorSpec::syn(true),
+            PredictorSpec::syn(false),
+        ] {
+            assert_eq!(PredictorSpec::parse(&s.label()), Some(s));
+        }
+        assert_eq!(PredictorSpec::parse("bogus"), None);
     }
 
     #[test]

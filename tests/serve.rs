@@ -1,0 +1,225 @@
+//! Integration tests for `prophet-serve`: the batching invariants are
+//! exercised in-process, the daemon end-to-end over loopback.
+//!
+//! The invariant everything hangs on: a response body is a pure function
+//! of the request spec — identical cold, batched with strangers, or
+//! served from the result cache, and identical to `prophet sweep` run
+//! with the same grid.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use prophet_core::machsim::{Paradigm, Schedule};
+use prophet_core::Prophet;
+use serve::http::client_request;
+use serve::{evaluate_requests, NormalizedRequest, Resolver, ServeConfig, Server, ServerHandle};
+use sweep::{GridSpec, Overrides, PredictorSpec, SweepEngine, WorkloadSpec};
+
+/// Test resolver: `t1-<seed>` → `WorkloadSpec::test1(seed)`, comma-lists
+/// allowed, anything else is an error.
+fn test_resolver() -> Resolver {
+    Arc::new(|list: &str| {
+        list.split(',')
+            .map(|tok| {
+                tok.trim()
+                    .strip_prefix("t1-")
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(WorkloadSpec::test1)
+                    .ok_or_else(|| format!("unknown workload '{tok}'"))
+            })
+            .collect()
+    })
+}
+
+fn fresh_engine() -> SweepEngine {
+    SweepEngine::new(Prophet::new()).with_jobs(1)
+}
+
+fn parse(body: &str) -> NormalizedRequest {
+    NormalizedRequest::parse(body, &test_resolver())
+        .expect("request parses")
+        .0
+}
+
+fn start_server(cfg: ServeConfig) -> ServerHandle {
+    Server::start(cfg, test_resolver()).expect("server binds")
+}
+
+fn loopback_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        engine_jobs: 1,
+        ..ServeConfig::default()
+    }
+}
+
+const BODY_A: &str = r#"{"workload":"t1-1","threads":[2,4],"predictors":["syn+mm"]}"#;
+const BODY_B: &str = r#"{"workload":"t1-2,t1-1","threads":[2],"predictors":["real","syn+mm"]}"#;
+
+/// (a) in-process: a request evaluated inside a mixed batch produces the
+/// same bytes as the same request evaluated alone on a fresh engine, and
+/// the same bytes as a direct `SweepEngine::run` of the equivalent grid
+/// (what `prophet sweep` serialises).
+#[test]
+fn batched_response_matches_solo_and_cli_sweep() {
+    let req_a = parse(BODY_A);
+    let req_b = parse(BODY_B);
+
+    // One engine, both requests in one batch (shared profile cache).
+    let batched = evaluate_requests(&fresh_engine(), &[req_a.clone(), req_b.clone()]);
+    assert_eq!(batched.len(), 2);
+
+    // Each request alone on a cold engine.
+    let solo_a = evaluate_requests(&fresh_engine(), &[req_a]);
+    let solo_b = evaluate_requests(&fresh_engine(), &[req_b]);
+    assert_eq!(batched[0], solo_a[0], "batching changed request A's bytes");
+    assert_eq!(batched[1], solo_b[0], "batching changed request B's bytes");
+
+    // And against the CLI path: prophet sweep pretty-prints the
+    // SweepResult of the equivalent grid on a fresh engine.
+    let grid = GridSpec {
+        workloads: vec![WorkloadSpec::test1(1)],
+        threads: vec![2, 4],
+        schedules: vec![Schedule::static_block()],
+        paradigms: vec![Paradigm::OpenMp],
+        predictors: vec![PredictorSpec::syn(true)],
+        overrides: Overrides::default(),
+    };
+    let cli = serde_json::to_string_pretty(&fresh_engine().run(&grid)).unwrap();
+    assert_eq!(batched[0], cli, "served bytes differ from `prophet sweep`");
+}
+
+/// (b) loopback: cold, batched, and cached responses are byte-identical;
+/// the cache advertises itself; /healthz and /metrics work.
+#[test]
+fn loopback_cold_then_cached_is_byte_identical() {
+    let handle = start_server(loopback_config());
+    let addr = handle.local_addr().to_string();
+
+    let (s1, h1, cold) = client_request(&addr, "POST", "/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s1, 200, "cold request failed: {cold}");
+    assert_eq!(header(&h1, "x-cache"), Some("miss"));
+
+    let (s2, h2, cached) = client_request(&addr, "POST", "/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s2, 200);
+    assert_eq!(header(&h2, "x-cache"), Some("hit"));
+    assert_eq!(cold, cached, "cache changed the response bytes");
+
+    // The daemon's bytes equal an in-process cold evaluation.
+    let solo = evaluate_requests(&fresh_engine(), &[parse(BODY_A)]);
+    assert_eq!(cold, solo[0], "daemon bytes differ from direct evaluation");
+
+    // Health and metrics endpoints.
+    let (hs, _, health) = client_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(hs, 200);
+    assert!(health.contains("ok"), "unexpected healthz body: {health}");
+
+    let (ms, _, metrics) = client_request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(ms, 200);
+    let v: serde::Value = serde_json::from_str(&metrics).expect("metrics JSON parses");
+    let hits = v
+        .get("counters")
+        .and_then(|c| c.get("serve.result_cache_hits"))
+        .and_then(serde::Value::as_f64)
+        .expect("result_cache_hits counter present");
+    assert!(hits >= 1.0, "expected a recorded cache hit, got {hits}");
+
+    let (ps, _, prom) = client_request(&addr, "GET", "/metrics?format=prom", None).unwrap();
+    assert_eq!(ps, 200);
+    assert!(prom.contains("# TYPE"), "not Prometheus text: {prom}");
+
+    let (nf, _, _) = client_request(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(nf, 404);
+    let (mna, _, _) = client_request(&addr, "GET", "/predict", None).unwrap();
+    assert_eq!(mna, 405);
+    let (bad, _, _) = client_request(&addr, "POST", "/predict", Some("{\"workload\":42")).unwrap();
+    assert_eq!(bad, 400);
+
+    handle.shutdown();
+}
+
+/// (c) queue overflow sheds with 429 instead of hanging, and drain fails
+/// queued-but-unserved work with 503.
+#[test]
+fn queue_overflow_sheds_and_drain_fails_closed() {
+    let cfg = ServeConfig {
+        workers: 0, // nothing drains the queue: requests park until shutdown
+        queue_cap: 2,
+        result_cache_cap: 0,
+        ..loopback_config()
+    };
+    let handle = start_server(cfg);
+    let addr = handle.local_addr().to_string();
+
+    // Two distinct requests fill the queue...
+    let parked: Vec<_> = [BODY_A, BODY_B]
+        .into_iter()
+        .map(|body| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client_request(&addr, "POST", "/predict", Some(body)))
+        })
+        .collect();
+    wait_for(
+        || handle.metrics().queue_depth.load(Ordering::Relaxed) == 2,
+        "queue to fill",
+    );
+
+    // ...so the third is shed immediately rather than hung.
+    let third = r#"{"workload":"t1-3","threads":[2],"predictors":["syn+mm"]}"#;
+    let (status, _, body) = client_request(&addr, "POST", "/predict", Some(third)).unwrap();
+    assert_eq!(status, 429, "expected shed, got {status}: {body}");
+    assert_eq!(handle.metrics().shed_total.load(Ordering::Relaxed), 1);
+
+    // Drain: with no workers the queued pair fails closed with 503.
+    handle.shutdown();
+    for t in parked {
+        let (status, _, _) = t.join().unwrap().unwrap();
+        assert_eq!(status, 503, "parked request should fail closed on drain");
+    }
+}
+
+/// (d) graceful shutdown completes admitted in-flight work with 200.
+#[test]
+fn graceful_shutdown_completes_inflight_requests() {
+    let handle = start_server(loopback_config());
+    let addr = handle.local_addr().to_string();
+
+    // Warm-up proves the pipeline works end to end.
+    let (s, _, _) = client_request(&addr, "POST", "/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s, 200);
+
+    // Admit a fresh (uncached) request, then shut down while it is in
+    // flight: drain must answer it 200, not drop it.
+    let inflight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || client_request(&addr, "POST", "/predict", Some(BODY_B)))
+    };
+    wait_for(
+        || handle.metrics().requests_total.load(Ordering::Relaxed) >= 2,
+        "in-flight request admission",
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    handle.shutdown();
+
+    let (status, _, body) = inflight.join().unwrap().unwrap();
+    assert_eq!(status, 200, "in-flight request dropped on shutdown: {body}");
+    let solo = evaluate_requests(&fresh_engine(), &[parse(BODY_B)]);
+    assert_eq!(body, solo[0], "drained response bytes drifted");
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
