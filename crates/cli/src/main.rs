@@ -14,9 +14,10 @@
 //!                           [--predictors real,syn] [--paradigm ..] [--timings]
 //!                           [--out sweep.json]
 //! prophet serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] [--cache-cap N]
-//!               [--jobs N]
-//! prophet loadgen [workloads] [--addr ..] [--requests N] [--concurrency N]
-//!                 [--expect-cache-hits]
+//!               [--jobs N] [--store-dir DIR] [--shards a:p,b:p --self-addr a:p]
+//! prophet route [--addr 127.0.0.1:7178] --shards a:p,b:p
+//! prophet loadgen [workloads] [--addr ..] [--shards a:p,b:p] [--requests N]
+//!                 [--concurrency N] [--expect-cache-hits]
 //! ```
 //!
 //! `sweep` evaluates the full grid `{workload × threads × schedule ×
@@ -32,9 +33,15 @@
 //!
 //! `serve` runs the batching prediction daemon (`prophet-serve`): one
 //! process-wide engine, bounded admission queue, request batching, and a
-//! result cache, with `/predict`, `/healthz` and `/metrics` endpoints.
-//! `loadgen` drives a running daemon with a deterministic request mix
-//! and verifies every response class is byte-identical.
+//! result cache, with `/v1/predict`, `/v1/healthz` and `/v1/metrics`
+//! endpoints (unversioned aliases deprecated). `--store-dir` persists
+//! every computed profile to an append-only store so restarts serve from
+//! disk instead of re-profiling; `--shards`/`--self-addr` makes the
+//! daemon a member of a consistent-hash ring that partitions the key
+//! space. `route` runs the stateless ring-fronting proxy, and `loadgen`
+//! drives a daemon (or, with `--shards`, a whole ring) with a
+//! deterministic request mix and verifies every response class is
+//! byte-identical.
 //!
 //! `trace` runs the parallelised program on the simulated machine (or,
 //! with `--emulator ff|syn`, drives an emulator) with a `prophet-obs`
@@ -152,12 +159,18 @@ struct Args {
     concurrency: usize,
     /// loadgen: require result- and profile-cache hits after the run.
     expect_cache_hits: bool,
+    /// serve: persistent profile-store directory.
+    store_dir: Option<String>,
+    /// serve/route/loadgen: shard-ring addresses.
+    shards: Vec<String>,
+    /// serve: this daemon's own address in the ring.
+    self_addr: Option<String>,
 }
 
 /// One-line usage shown on every argument error: the full verb list, so
 /// a typo'd command never fails silently or with a partial hint.
 const USAGE: &str = "usage: prophet <list | predict | trace | diagnose | recommend | calibrate \
-                     | sweep | serve | loadgen> [args] — `prophet help` for details";
+                     | sweep | serve | route | loadgen> [args] — `prophet help` for details";
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -202,6 +215,9 @@ fn parse_args() -> Args {
         requests: 50,
         concurrency: 8,
         expect_cache_hits: false,
+        store_dir: None,
+        shards: Vec::new(),
+        self_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -292,6 +308,28 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--concurrency needs a count"));
                 args.concurrency = v.parse().unwrap_or_else(|_| die("bad concurrency"));
             }
+            "--store-dir" => {
+                args.store_dir = Some(it.next().unwrap_or_else(|| die("--store-dir needs a path")));
+            }
+            "--shards" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--shards needs host:port,host:port,.."));
+                args.shards = v
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if args.shards.is_empty() {
+                    die("--shards needs at least one address");
+                }
+            }
+            "--self-addr" => {
+                args.self_addr = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--self-addr needs host:port")),
+                );
+            }
             "--expect-cache-hits" => args.expect_cache_hits = true,
             "--no-memory-model" => args.memory_model = false,
             "--real" => args.with_real = true,
@@ -381,9 +419,11 @@ fn main() {
                  [--schedules s1,s2] [--predictors real,ff,syn,suit] [--paradigm ..] \
                  [--timings] [--out f.json]\n  \
                  serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] \
-                 [--cache-cap N] [--jobs N]\n  \
-                 loadgen [workloads] [--addr ..] [--requests N] [--concurrency N] \
-                 [--expect-cache-hits]"
+                 [--cache-cap N] [--jobs N] [--store-dir DIR] \
+                 [--shards a:p,b:p --self-addr a:p]\n  \
+                 route [--addr 127.0.0.1:7178] --shards a:p,b:p\n  \
+                 loadgen [workloads] [--addr ..] [--shards a:p,b:p] [--requests N] \
+                 [--concurrency N] [--expect-cache-hits]"
             );
         }
         "list" => {
@@ -731,16 +771,29 @@ fn main() {
                 queue_cap: args.queue_cap.max(1),
                 result_cache_cap: args.cache_cap,
                 engine_jobs: args.jobs,
+                store_dir: args.store_dir.clone(),
+                shard_ring: args.shards.clone(),
+                shard_self: args.self_addr.clone(),
                 ..serve::ServeConfig::default()
             };
             let resolver: serve::Resolver = std::sync::Arc::new(try_parse_sweep_workloads);
             let workers = cfg.workers;
             let handle = serve::Server::start(cfg, resolver)
-                .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", args.addr)));
+                .unwrap_or_else(|e| die(&format!("cannot start on {}: {e}", args.addr)));
             let shutdown = serve::signal::install_handlers();
+            let store_note = match (&args.store_dir, handle.store()) {
+                (Some(dir), Some(s)) => format!(", store {dir} ({} profiles)", s.len()),
+                _ => String::new(),
+            };
+            let shard_note = match &args.self_addr {
+                Some(own) if !args.shards.is_empty() => {
+                    format!(", shard {own} of {}", args.shards.len())
+                }
+                _ => String::new(),
+            };
             eprintln!(
-                "prophet-serve listening on {} ({workers} worker(s), queue {} , cache {}); \
-                 SIGTERM/ctrl-c drains",
+                "prophet-serve listening on {} ({workers} worker(s), queue {}, cache {}\
+                 {store_note}{shard_note}); SIGTERM/ctrl-c drains",
                 handle.local_addr(),
                 args.queue_cap.max(1),
                 args.cache_cap,
@@ -752,28 +805,65 @@ fn main() {
             handle.shutdown();
             eprintln!("prophet-serve: shutdown complete");
         }
+        "route" => {
+            if args.shards.is_empty() {
+                die("route needs --shards host:port,host:port,..");
+            }
+            let cfg = serve::router::RouterConfig {
+                addr: if args.addr == "127.0.0.1:7177" {
+                    // Default to one port above the daemon default so
+                    // `prophet serve` + `prophet route` coexist out of the box.
+                    "127.0.0.1:7178".to_string()
+                } else {
+                    args.addr.clone()
+                },
+                shards: args.shards.clone(),
+            };
+            let resolver: serve::Resolver = std::sync::Arc::new(try_parse_sweep_workloads);
+            let handle = serve::router::Router::start(cfg, resolver)
+                .unwrap_or_else(|e| die(&format!("cannot start router: {e}")));
+            let shutdown = serve::signal::install_handlers();
+            eprintln!(
+                "prophet-route listening on {} fronting {} shard(s); SIGTERM/ctrl-c stops",
+                handle.local_addr(),
+                args.shards.len(),
+            );
+            while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            eprintln!("signal received, stopping router…");
+            handle.shutdown();
+            eprintln!("prophet-route: shutdown complete");
+        }
         "loadgen" => {
             let list = args
                 .workload
                 .as_deref()
                 .unwrap_or("test1:0,test1:1,test1:2,test1:3");
             // Validate locally with the same resolver the daemon uses, so
-            // a typo fails here and not as 50 identical 400s.
-            try_parse_sweep_workloads(list).unwrap_or_else(|e| die(&e));
-            let bodies: Vec<String> = list
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(|tok| {
-                    format!(r#"{{"workload":"{tok}","threads":[2,4],"predictors":["syn+mm"]}}"#)
-                })
-                .collect();
+            // a typo fails here and not as 50 identical 400s. The per-token
+            // resolution also yields each body's route key for --shards.
+            let mut bodies = Vec::new();
+            let mut route_keys = Vec::new();
+            for tok in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let specs = try_parse_sweep_workloads(tok).unwrap_or_else(|e| die(&e));
+                route_keys.push(specs[0].key.clone());
+                let req = serve::api::PredictRequest {
+                    workload: Some(tok.to_string()),
+                    threads: Some(vec![2, 4]),
+                    predictors: Some(vec!["syn+mm".to_string()]),
+                    ..serve::api::PredictRequest::default()
+                };
+                bodies.push(req.to_json());
+            }
             let opts = serve::loadgen::LoadgenOptions {
                 addr: args.addr.clone(),
                 requests: args.requests,
                 concurrency: args.concurrency,
                 bodies,
                 expect_cache_hits: args.expect_cache_hits,
+                shards: args.shards.clone(),
+                route_keys,
             };
             let report = serve::loadgen::run(&opts);
             println!("{}", report.summary());

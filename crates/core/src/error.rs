@@ -1,0 +1,183 @@
+//! The unified error type of the Parallel Prophet stack.
+//!
+//! Before this module existed every layer invented its own failure
+//! shape: `machsim` returned [`RunError`], the serve daemon passed raw
+//! strings around and hard-coded HTTP status numbers at each call site,
+//! and store I/O surfaced as `std::io::Error`. [`ProphetError`] unifies
+//! them behind one enum whose variants map **1:1** onto
+//!
+//! * a stable machine-readable [`code`](ProphetError::code) (wire
+//!   contract: error bodies carry it verbatim),
+//! * an HTTP status ([`http_status`](ProphetError::http_status)) used by
+//!   the `/v1/` API, and
+//! * a CLI exit code ([`exit_code`](ProphetError::exit_code)).
+//!
+//! The mapping is part of the v1 API's compatibility surface: codes may
+//! gain variants but existing ones never change meaning.
+
+use machsim::RunError;
+use serde::{Deserialize, Serialize};
+
+/// Every failure the prediction stack can surface to a caller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProphetError {
+    /// The request could not be parsed at the transport level (bad JSON,
+    /// non-UTF-8 body). HTTP 400.
+    InvalidRequest(String),
+    /// The request parsed but is semantically unusable: unknown
+    /// workload, bad schedule spelling, empty or oversized grid.
+    /// HTTP 422.
+    Unprocessable(String),
+    /// Admission control shed the request (queue full). HTTP 429;
+    /// retryable by contract.
+    Overloaded,
+    /// The service cannot take work right now (draining for shutdown, or
+    /// a shard proxy could not reach the owning daemon). HTTP 503.
+    Unavailable(String),
+    /// The request's deadline elapsed before a worker delivered.
+    /// HTTP 504.
+    DeadlineExceeded,
+    /// The emulation itself failed (deadlock, runaway thread body).
+    /// HTTP 500.
+    Run(RunError),
+    /// The persistent profile store failed at the I/O layer. HTTP 500.
+    Store(String),
+}
+
+impl ProphetError {
+    /// Stable machine-readable code. Part of the v1 wire contract:
+    /// clients branch on this, never on the human-readable message.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProphetError::InvalidRequest(_) => "invalid_request",
+            ProphetError::Unprocessable(_) => "unprocessable",
+            ProphetError::Overloaded => "overloaded",
+            ProphetError::Unavailable(_) => "unavailable",
+            ProphetError::DeadlineExceeded => "deadline_exceeded",
+            ProphetError::Run(_) => "run_failed",
+            ProphetError::Store(_) => "store_io",
+        }
+    }
+
+    /// The HTTP status the v1 API answers this error with.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ProphetError::InvalidRequest(_) => 400,
+            ProphetError::Unprocessable(_) => 422,
+            ProphetError::Overloaded => 429,
+            ProphetError::Unavailable(_) => 503,
+            ProphetError::DeadlineExceeded => 504,
+            ProphetError::Run(_) | ProphetError::Store(_) => 500,
+        }
+    }
+
+    /// The process exit code CLI verbs use for this error. `2` matches
+    /// the CLI's long-standing usage-error convention; the rest are
+    /// distinct so scripts can branch without parsing stderr.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ProphetError::InvalidRequest(_) => 2,
+            ProphetError::Unprocessable(_) => 3,
+            ProphetError::Overloaded => 4,
+            ProphetError::Unavailable(_) => 5,
+            ProphetError::DeadlineExceeded => 6,
+            ProphetError::Run(_) => 7,
+            ProphetError::Store(_) => 8,
+        }
+    }
+
+    /// True for errors a client may retry verbatim after backing off.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ProphetError::Overloaded
+                | ProphetError::Unavailable(_)
+                | ProphetError::DeadlineExceeded
+        )
+    }
+}
+
+impl std::fmt::Display for ProphetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProphetError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            ProphetError::Unprocessable(m) => write!(f, "unprocessable request: {m}"),
+            ProphetError::Overloaded => write!(f, "overloaded: admission queue full"),
+            ProphetError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            ProphetError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ProphetError::Run(e) => write!(f, "emulation failed: {e}"),
+            ProphetError::Store(m) => write!(f, "profile store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProphetError {}
+
+impl From<RunError> for ProphetError {
+    fn from(e: RunError) -> Self {
+        ProphetError::Run(e)
+    }
+}
+
+impl From<std::io::Error> for ProphetError {
+    fn from(e: std::io::Error) -> Self {
+        ProphetError::Store(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> Vec<ProphetError> {
+        vec![
+            ProphetError::InvalidRequest("x".into()),
+            ProphetError::Unprocessable("x".into()),
+            ProphetError::Overloaded,
+            ProphetError::Unavailable("drain".into()),
+            ProphetError::DeadlineExceeded,
+            ProphetError::Run(RunError::RunawayThread {
+                thread: machsim::ThreadId(0),
+            }),
+            ProphetError::Store("disk full".into()),
+        ]
+    }
+
+    #[test]
+    fn codes_statuses_and_exits_are_distinct_per_variant() {
+        let errs = all();
+        let codes: Vec<&str> = errs.iter().map(|e| e.code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), errs.len(), "codes must be unique: {codes:?}");
+        let mut exits: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
+        exits.sort_unstable();
+        exits.dedup();
+        assert_eq!(exits.len(), errs.len(), "exit codes must be unique");
+        for e in &errs {
+            assert!(matches!(e.http_status(), 400 | 422 | 429 | 500 | 503 | 504));
+        }
+    }
+
+    #[test]
+    fn retryability_follows_the_status_class() {
+        assert!(ProphetError::Overloaded.is_retryable());
+        assert!(ProphetError::DeadlineExceeded.is_retryable());
+        assert!(!ProphetError::Unprocessable("x".into()).is_retryable());
+        assert!(!ProphetError::Store("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn conversions_land_in_the_right_variant() {
+        let e: ProphetError = RunError::RunawayThread {
+            thread: machsim::ThreadId(3),
+        }
+        .into();
+        assert_eq!(e.code(), "run_failed");
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: ProphetError = io.into();
+        assert_eq!(e.code(), "store_io");
+        assert_eq!(e.http_status(), 500);
+    }
+}

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod diagnose;
+pub mod error;
 pub mod report;
 
 use cachesim::HierarchyConfig;
@@ -62,6 +63,7 @@ use serde::{Deserialize, Serialize};
 use tracer::{AnnotatedProgram, ProfileOptions, ProfileResult};
 
 pub use diagnose::{diagnose, Bottleneck, Diagnosis, SectionDiagnosis};
+pub use error::ProphetError;
 pub use report::{PredictionRow, SpeedupReport};
 
 // Re-export the subsystem crates so downstream users need only one
@@ -116,7 +118,12 @@ impl Default for PredictOptions {
 
 /// A profiled program: the tree (with burden factors attached) plus the
 /// profiling record.
-#[derive(Debug, Clone)]
+///
+/// Serializable end to end so profiles can be persisted by the
+/// `prophet-store` on-disk store and re-loaded byte-identically: every
+/// numeric field round-trips exactly through the JSON data model
+/// (integers stay integers; floats print in shortest-roundtrip form).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Profiled {
     /// Program name.
     pub name: String,
@@ -177,29 +184,127 @@ impl Default for Prophet {
     }
 }
 
-impl Prophet {
-    /// A prophet for the default (scaled Westmere) machine.
+/// 64-bit FNV-1a hash — the stack's stable content fingerprint.
+///
+/// Chosen over a cryptographic hash because fingerprints here only guard
+/// against *accidental* mismatches (a machine config edit, a stale store
+/// directory), never adversaries, and FNV-1a is dependency-free and
+/// byte-order independent. The constants are the canonical FNV-1a 64
+/// offset basis and prime; the function must never change, as persisted
+/// store keys embed its output.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Step-wise construction of a [`Prophet`].
+///
+/// Replaces the old mutate-after-`new` pattern
+/// (`set_profile_options`/`set_calibration`): every knob is set before
+/// the instance exists, so a fully-built `Prophet` can go straight
+/// behind an [`Arc`](std::sync::Arc) without a mutable warm-up phase.
+///
+/// ```
+/// use prophet_core::Prophet;
+/// use machsim::MachineConfig;
+/// use cachesim::HierarchyConfig;
+///
+/// let prophet = Prophet::builder()
+///     .machine(MachineConfig::westmere_scaled(), HierarchyConfig::westmere_scaled())
+///     .build();
+/// assert_eq!(prophet.machine().cores, 12);
+/// ```
+#[derive(Default)]
+pub struct ProphetBuilder {
+    machine: Option<MachineConfig>,
+    hierarchy: Option<HierarchyConfig>,
+    profile_options: Option<ProfileOptions>,
+    calibration: Option<MemCalibration>,
+    burden_thread_counts: Option<Vec<u32>>,
+}
+
+impl ProphetBuilder {
+    /// A builder with every knob at its default (scaled Westmere).
     pub fn new() -> Self {
-        Self::with_machine(
-            MachineConfig::westmere_scaled(),
-            HierarchyConfig::westmere_scaled(),
-        )
+        Self::default()
     }
 
-    /// A prophet for a custom machine/cache configuration.
-    pub fn with_machine(machine: MachineConfig, hierarchy: HierarchyConfig) -> Self {
-        let profile_options = ProfileOptions {
+    /// Target machine and cache hierarchy.
+    pub fn machine(mut self, machine: MachineConfig, hierarchy: HierarchyConfig) -> Self {
+        self.machine = Some(machine);
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// Profiling options (annotation overhead, compression…). The
+    /// machine/hierarchy fields inside are overwritten at
+    /// [`build`](ProphetBuilder::build) time to stay consistent with
+    /// [`machine`](Self::machine).
+    pub fn profile_options(mut self, opts: ProfileOptions) -> Self {
+        self.profile_options = Some(opts);
+        self
+    }
+
+    /// Inject a pre-computed Ψ/Φ calibration (e.g. loaded from JSON)
+    /// instead of running the microbenchmark on first use.
+    pub fn calibration(mut self, cal: MemCalibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
+    /// Thread counts the memory model computes burden factors for.
+    pub fn burden_thread_counts(mut self, counts: Vec<u32>) -> Self {
+        self.burden_thread_counts = Some(counts);
+        self
+    }
+
+    /// Build the prophet.
+    pub fn build(self) -> Prophet {
+        let machine = self.machine.unwrap_or_else(MachineConfig::westmere_scaled);
+        let hierarchy = self
+            .hierarchy
+            .unwrap_or_else(HierarchyConfig::westmere_scaled);
+        let mut profile_options = self.profile_options.unwrap_or_else(|| ProfileOptions {
             machine,
             hierarchy,
             ..ProfileOptions::default()
-        };
+        });
+        profile_options.machine = machine;
+        profile_options.hierarchy = hierarchy;
+        let calibration = std::sync::OnceLock::new();
+        if let Some(cal) = self.calibration {
+            let _ = calibration.set(cal);
+        }
         Prophet {
             machine,
             hierarchy,
             profile_options,
-            burden_thread_counts: vec![2, 4, 6, 8, 10, 12],
-            calibration: std::sync::OnceLock::new(),
+            burden_thread_counts: self
+                .burden_thread_counts
+                .unwrap_or_else(|| vec![2, 4, 6, 8, 10, 12]),
+            calibration,
         }
+    }
+}
+
+impl Prophet {
+    /// A prophet for the default (scaled Westmere) machine.
+    pub fn new() -> Self {
+        ProphetBuilder::new().build()
+    }
+
+    /// Start building a configured prophet.
+    pub fn builder() -> ProphetBuilder {
+        ProphetBuilder::new()
+    }
+
+    /// A prophet for a custom machine/cache configuration.
+    pub fn with_machine(machine: MachineConfig, hierarchy: HierarchyConfig) -> Self {
+        ProphetBuilder::new().machine(machine, hierarchy).build()
     }
 
     /// The machine configuration predictions target.
@@ -213,6 +318,7 @@ impl Prophet {
     }
 
     /// Override profiling options (annotation overhead, compression…).
+    #[deprecated(note = "construct via Prophet::builder().profile_options(..) instead")]
     pub fn set_profile_options(&mut self, opts: ProfileOptions) {
         self.profile_options = opts;
         self.profile_options.machine = self.machine;
@@ -221,6 +327,7 @@ impl Prophet {
 
     /// Inject a pre-computed calibration (e.g. loaded from JSON) instead
     /// of running the microbenchmark. Replaces any memoised calibration.
+    #[deprecated(note = "construct via Prophet::builder().calibration(..) instead")]
     pub fn set_calibration(&mut self, cal: MemCalibration) {
         self.calibration = std::sync::OnceLock::new();
         let _ = self.calibration.set(cal);
@@ -232,6 +339,37 @@ impl Prophet {
     pub fn calibration(&self) -> &MemCalibration {
         self.calibration
             .get_or_init(|| calibrate(self.machine, &CalibrationOptions::default()))
+    }
+
+    /// Fingerprint of the active Ψ/Φ calibration (computing it first if
+    /// needed). Two prophets with byte-identical calibrations — and hence
+    /// identical burden factors — share a fingerprint; a persisted profile
+    /// keyed on it can only ever be replayed against the calibration that
+    /// produced it.
+    pub fn calibration_fingerprint(&self) -> u64 {
+        let json =
+            serde_json::to_string(self.calibration()).expect("calibration serializes infallibly");
+        fingerprint64(json.as_bytes())
+    }
+
+    /// Fingerprint of everything besides the calibration that shapes a
+    /// [`Profiled`]: machine, hierarchy, profiling overheads, compression
+    /// settings, and the burden thread counts attached to the tree. Any
+    /// change to these must invalidate persisted profiles.
+    pub fn profile_options_fingerprint(&self) -> u64 {
+        let o = &self.profile_options;
+        let canonical = format!(
+            "machine={};hierarchy={};ann={};ctr={};compress={};tol={:?};minch={};burden={:?}",
+            serde_json::to_string(&o.machine).expect("machine serializes infallibly"),
+            serde_json::to_string(&o.hierarchy).expect("hierarchy serializes infallibly"),
+            o.annotation_overhead,
+            o.counter_read_overhead,
+            o.compress,
+            o.compress_options.tolerance,
+            o.compress_options.min_children,
+            self.burden_thread_counts,
+        );
+        fingerprint64(canonical.as_bytes())
     }
 
     /// Profile an annotated program and attach burden factors to every
@@ -428,17 +566,17 @@ mod tests {
     }
 
     fn quick_prophet() -> Prophet {
-        let mut p = Prophet::new();
         // Keep test runtime small: light calibration.
-        p.set_calibration(memmodel::calibrate(
-            MachineConfig::westmere_scaled(),
-            &CalibrationOptions {
-                thread_counts: vec![2, 4, 8, 12],
-                intensity_steps: 6,
-                packet_cycles: 200_000,
-            },
-        ));
-        p
+        Prophet::builder()
+            .calibration(memmodel::calibrate(
+                MachineConfig::westmere_scaled(),
+                &CalibrationOptions {
+                    thread_counts: vec![2, 4, 8, 12],
+                    intensity_steps: 6,
+                    packet_cycles: 200_000,
+                },
+            ))
+            .build()
     }
 
     #[test]
@@ -531,6 +669,59 @@ mod tests {
         {
             assert_eq!(base.tree.node(a).length, trended.tree.node(b).length);
         }
+    }
+
+    #[test]
+    fn builder_matches_mutated_construction_and_fingerprints_discriminate() {
+        let built = quick_prophet();
+        // Fingerprints are deterministic for equal configuration…
+        assert_eq!(
+            built.profile_options_fingerprint(),
+            quick_prophet().profile_options_fingerprint()
+        );
+        assert_eq!(
+            built.calibration_fingerprint(),
+            quick_prophet().calibration_fingerprint()
+        );
+        // …and move when anything that shapes a profile moves.
+        let other_counts = Prophet::builder().burden_thread_counts(vec![2, 4]).build();
+        assert_ne!(
+            built.profile_options_fingerprint(),
+            other_counts.profile_options_fingerprint()
+        );
+        let full_cal = Prophet::new();
+        assert_ne!(
+            built.calibration_fingerprint(),
+            full_cal.calibration_fingerprint(),
+            "light and full calibrations must not collide"
+        );
+    }
+
+    #[test]
+    fn profiled_round_trips_through_json_byte_identically() {
+        let prophet = quick_prophet();
+        let profiled = prophet.profile(&Balanced);
+        let js = serde_json::to_string(&profiled).unwrap();
+        let back: Profiled = serde_json::from_str(&js).unwrap();
+        let js2 = serde_json::to_string(&back).unwrap();
+        assert_eq!(js, js2, "persisted profile must re-serialize identically");
+        // And the reloaded profile predicts identically.
+        let a = prophet
+            .predict(&profiled, &PredictOptions::default())
+            .unwrap();
+        let b = prophet.predict(&back, &PredictOptions::default()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(fingerprint64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fingerprint64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -28,7 +28,10 @@ macro_rules! obs {
 }
 
 /// Errors terminating a run abnormally.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable so the serve daemon's unified error type can carry a
+/// run failure across the wire inside an error body.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum RunError {
     /// No runnable thread and no pending event, but threads remain alive.
     Deadlock {

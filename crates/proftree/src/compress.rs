@@ -21,6 +21,8 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::node::{ChildList, Cycles, Node, NodeId, NodeKind, ProgramTree, Run};
 use crate::visit::logical_node_count;
 
@@ -55,7 +57,7 @@ impl CompressOptions {
 }
 
 /// Before/after accounting for one compression.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CompressStats {
     /// Stored nodes before.
     pub nodes_before: usize,

@@ -1,0 +1,143 @@
+//! The typed v1 wire contract, shared by the server, the load
+//! generator, the CLI, and the integration tests.
+//!
+//! Before this module the request shape lived as a private struct inside
+//! the server and every client hand-rolled JSON with `format!`. Now both
+//! ends speak the same serde structs, so a field rename is a compile
+//! error everywhere at once instead of a silent 400 at runtime.
+//!
+//! Versioning: the canonical endpoints live under `/v1/`
+//! (`POST /v1/predict`, `GET /v1/healthz`, `GET /v1/metrics`); the
+//! unversioned spellings remain as deprecated aliases answering
+//! byte-identical bodies with a `Deprecation` header. The body shapes
+//! here, the error codes of
+//! [`ProphetError::code`](prophet_core::ProphetError::code), and their
+//! status mapping are the compatibility surface of v1.
+
+use prophet_core::ProphetError;
+use serde::{Deserialize, Serialize};
+
+use crate::http::Response;
+
+/// Body of `POST /v1/predict`. Every field is optional; singular and
+/// plural spellings are both accepted where that reads naturally
+/// (`workload`/`workloads`, `schedule`/`schedules`), though one of the
+/// workload spellings is required.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Workload list in `prophet sweep` syntax (e.g. `"test1:0..4"`).
+    pub workload: Option<String>,
+    /// Alias of `workload`; give one or the other, never both.
+    pub workloads: Option<String>,
+    /// Thread counts; defaults to `[2, 4, 6, 8, 10, 12]`.
+    pub threads: Option<Vec<u32>>,
+    /// One schedule (`static`, `static-N`, `dynamic-N`, `guided-N`).
+    pub schedule: Option<String>,
+    /// Several schedules; give `schedule` or `schedules`, never both.
+    pub schedules: Option<Vec<String>>,
+    /// Threading paradigm (`openmp`, `cilk`, `omptask`); default openmp.
+    pub paradigm: Option<String>,
+    /// Predictor series (`real`, `ff[±mm]`, `syn[±mm]`, `suit`);
+    /// defaults to `["real", "syn"]`.
+    pub predictors: Option<Vec<String>>,
+    /// Per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl PredictRequest {
+    /// A request predicting `workloads` with every other axis at its
+    /// default.
+    pub fn for_workloads(workloads: impl Into<String>) -> Self {
+        PredictRequest {
+            workload: Some(workloads.into()),
+            ..PredictRequest::default()
+        }
+    }
+
+    /// Serialize to the JSON body the daemon accepts.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serialise predict request")
+    }
+}
+
+/// Body of a 200 `POST /v1/predict` response: exactly a
+/// [`SweepResult`](sweep::SweepResult), pretty-printed. An alias rather
+/// than a wrapper so the serve path cannot drift from `prophet sweep`
+/// output — the byte-identity between the two is a tested contract.
+pub type PredictResponse = sweep::SweepResult;
+
+/// Body of every non-2xx response: a human-readable message plus the
+/// stable machine-readable code of
+/// [`ProphetError::code`](prophet_core::ProphetError::code). Clients
+/// branch on `code`, never on `error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable description; wording may change between releases.
+    pub error: String,
+    /// Stable machine-readable code (`"overloaded"`,
+    /// `"deadline_exceeded"`, ...); the v1 contract.
+    pub code: String,
+}
+
+impl ErrorBody {
+    /// The wire body for an error.
+    pub fn of(err: &ProphetError) -> Self {
+        ErrorBody {
+            error: err.to_string(),
+            code: err.code().to_string(),
+        }
+    }
+}
+
+/// The HTTP response for a [`ProphetError`]: its mapped status with an
+/// [`ErrorBody`] JSON payload. Retryable errors carry `Retry-After: 1`.
+pub fn error_response(err: &ProphetError) -> Response {
+    let body = serde_json::to_string(&ErrorBody::of(err)).expect("serialise error body");
+    let resp = Response::json(err.http_status(), body);
+    if err.is_retryable() {
+        resp.with_header("retry-after", "1")
+    } else {
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_request_round_trips() {
+        let req = PredictRequest {
+            workload: Some("test1:0..2".to_string()),
+            threads: Some(vec![2, 4]),
+            schedules: Some(vec!["static".to_string(), "dynamic-1".to_string()]),
+            predictors: Some(vec!["ff".to_string()]),
+            deadline_ms: Some(1_500),
+            ..PredictRequest::default()
+        };
+        let back: PredictRequest = serde_json::from_str(&req.to_json()).unwrap();
+        assert_eq!(back.workload.as_deref(), Some("test1:0..2"));
+        assert_eq!(back.workloads, None);
+        assert_eq!(back.threads, Some(vec![2, 4]));
+        assert_eq!(back.schedules.as_ref().map(Vec::len), Some(2));
+        assert_eq!(back.deadline_ms, Some(1_500));
+    }
+
+    #[test]
+    fn error_response_maps_status_code_and_body() {
+        let resp = error_response(&ProphetError::Overloaded);
+        assert_eq!(resp.status, 429);
+        let body: ErrorBody = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(body.code, "overloaded");
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "retry-after" && v == "1"));
+
+        let resp = error_response(&ProphetError::Unprocessable("bad schedule".to_string()));
+        assert_eq!(resp.status, 422);
+        let body: ErrorBody = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(body.code, "unprocessable");
+        assert!(resp.extra_headers.is_empty());
+    }
+}

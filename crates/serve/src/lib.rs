@@ -26,13 +26,27 @@
 //!   and identical to `prophet sweep` run with the same spec, because
 //!   the per-request [`SweepResult`] (including its as-if-run-alone
 //!   cache counters) depends only on the spec, never on traffic shape.
+//! * **Persistence.** With [`ServeConfig::store_dir`] set, every profile
+//!   the engine computes is written behind to an append-only
+//!   [`store::ProfileStore`], and restarts read profiles back instead of
+//!   re-running the profiler — same bytes, none of the profiling cost.
+//! * **Sharding.** With [`ServeConfig::shard_ring`] set, the daemon only
+//!   evaluates keys it owns on the [`ring::ShardRing`] and transparently
+//!   forwards the rest to their owner, so a fleet partitions the key
+//!   space instead of replicating it.
 //!
-//! HTTP endpoints: `POST /predict`, `GET /healthz`, `GET /metrics`
-//! (JSON, or Prometheus text with `?format=prom`).
+//! HTTP endpoints (v1, with unversioned spellings kept as deprecated
+//! aliases): `POST /v1/predict`, `GET /v1/healthz`, `GET /v1/metrics`
+//! (JSON, or Prometheus text with `?format=prom`). Wire types live in
+//! [`api`]; error bodies carry the stable codes of
+//! [`ProphetError::code`].
 
+pub mod api;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod ring;
+pub mod router;
 pub mod signal;
 
 use std::collections::{HashMap, VecDeque};
@@ -43,15 +57,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use prophet_core::machsim::{Paradigm, Schedule};
-use prophet_core::Prophet;
-use serde::Deserialize;
+use prophet_core::{Prophet, ProphetError};
+use store::{KeyedStore, ProfileStore};
 use sweep::{
     CacheStats, GridSpec, Overrides, PredictorSpec, SweepEngine, SweepJob, SweepResult,
     WorkloadSpec,
 };
 
-use http::{Request, Response};
+use api::{error_response, PredictRequest};
+use http::{client_request, Request, Response};
 use metrics::ServerMetrics;
+use ring::ShardRing;
 
 /// Maps a workload-list string (the `prophet sweep` syntax, e.g.
 /// `"test1:0..4,lu"`) to workload specs, or a client-facing error.
@@ -82,6 +98,19 @@ pub struct ServeConfig {
     pub profile_cache_cap: Option<usize>,
     /// Rayon worker threads per batch evaluation (0 = all cores).
     pub engine_jobs: usize,
+    /// Directory of the persistent profile store (`None` = in-memory
+    /// only). With a store, a restarted daemon reads profiles back from
+    /// disk instead of re-profiling — byte-identical responses, none of
+    /// the profiling cost.
+    pub store_dir: Option<String>,
+    /// Addresses of every daemon in the shard ring (empty = unsharded).
+    /// All daemons, the router, and `loadgen --shards` must be given the
+    /// same list — ownership is derived from it with no coordination.
+    pub shard_ring: Vec<String>,
+    /// This daemon's own address as it appears in
+    /// [`shard_ring`](Self::shard_ring). Required when the ring is
+    /// non-empty; keys owned by other shards are forwarded to them.
+    pub shard_self: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -96,28 +125,16 @@ impl Default for ServeConfig {
             default_deadline_ms: 30_000,
             profile_cache_cap: Some(256),
             engine_jobs: 0,
+            store_dir: None,
+            shard_ring: Vec::new(),
+            shard_self: None,
         }
     }
 }
 
 /// Hard cap on jobs one request may expand to (workloads × threads ×
-/// schedules × predictors); larger grids are rejected with 400.
+/// schedules × predictors); larger grids are rejected with 422.
 const MAX_JOBS_PER_REQUEST: usize = 4096;
-
-/// Raw `POST /predict` body. Singular and plural spellings are both
-/// accepted where that reads naturally (`workload`/`workloads`,
-/// `schedule`/`schedules`).
-#[derive(Debug, Clone, Deserialize)]
-struct RawRequest {
-    workload: Option<String>,
-    workloads: Option<String>,
-    threads: Option<Vec<u32>>,
-    schedule: Option<String>,
-    schedules: Option<Vec<String>>,
-    paradigm: Option<String>,
-    predictors: Option<Vec<String>>,
-    deadline_ms: Option<u64>,
-}
 
 /// A validated prediction request: the resolved grid axes. Two requests
 /// with the same [`canonical_key`](Self::canonical_key) are guaranteed
@@ -134,65 +151,83 @@ pub struct NormalizedRequest {
 impl NormalizedRequest {
     /// Parse and validate a request body. Returns the normalized
     /// request plus the client's deadline override, if any.
-    pub fn parse(body: &str, resolver: &Resolver) -> Result<(Self, Option<u64>), String> {
-        let raw: RawRequest =
-            serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    ///
+    /// Error split: a body that is not well-formed JSON is
+    /// [`ProphetError::InvalidRequest`] (HTTP 400); a body that parses
+    /// but names things that don't exist or violate limits is
+    /// [`ProphetError::Unprocessable`] (HTTP 422).
+    pub fn parse(body: &str, resolver: &Resolver) -> Result<(Self, Option<u64>), ProphetError> {
+        let raw: PredictRequest = serde_json::from_str(body)
+            .map_err(|e| ProphetError::InvalidRequest(format!("invalid JSON: {e}")))?;
+        let semantic = ProphetError::Unprocessable;
         let list = match (&raw.workload, &raw.workloads) {
             (Some(_), Some(_)) => {
-                return Err("give either \"workload\" or \"workloads\", not both".to_string())
+                return Err(semantic(
+                    "give either \"workload\" or \"workloads\", not both".to_string(),
+                ))
             }
             (Some(w), None) | (None, Some(w)) => w.clone(),
-            (None, None) => return Err("missing \"workload\"".to_string()),
+            (None, None) => return Err(semantic("missing \"workload\"".to_string())),
         };
-        let workloads = resolver(&list)?;
+        let workloads = resolver(&list).map_err(semantic)?;
         if workloads.is_empty() {
-            return Err("workload list resolved to nothing".to_string());
+            return Err(semantic("workload list resolved to nothing".to_string()));
         }
         let threads = raw.threads.unwrap_or_else(|| vec![2, 4, 6, 8, 10, 12]);
         if threads.is_empty() || threads.iter().any(|&t| t == 0 || t > 256) {
-            return Err("threads must be a non-empty list of 1..=256".to_string());
+            return Err(semantic(
+                "threads must be a non-empty list of 1..=256".to_string(),
+            ));
         }
         let schedule_names = match (&raw.schedule, &raw.schedules) {
             (Some(_), Some(_)) => {
-                return Err("give either \"schedule\" or \"schedules\", not both".to_string())
+                return Err(semantic(
+                    "give either \"schedule\" or \"schedules\", not both".to_string(),
+                ))
             }
             (Some(s), None) => vec![s.clone()],
             (None, Some(v)) => v.clone(),
             (None, None) => vec!["static".to_string()],
         };
         if schedule_names.is_empty() {
-            return Err("schedules must be non-empty".to_string());
+            return Err(semantic("schedules must be non-empty".to_string()));
         }
         let schedules = schedule_names
             .iter()
             .map(|s| {
                 Schedule::parse(s).ok_or_else(|| {
-                    format!("bad schedule '{s}' (static | static-N | dynamic-N | guided-N)")
+                    semantic(format!(
+                        "bad schedule '{s}' (static | static-N | dynamic-N | guided-N)"
+                    ))
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
         let paradigm = match &raw.paradigm {
             None => Paradigm::OpenMp,
             Some(p) => Paradigm::parse(p)
-                .ok_or_else(|| format!("bad paradigm '{p}' (openmp | cilk | omptask)"))?,
+                .ok_or_else(|| semantic(format!("bad paradigm '{p}' (openmp | cilk | omptask)")))?,
         };
         let predictors = match &raw.predictors {
             None => vec![PredictorSpec::real(), PredictorSpec::syn(true)],
-            Some(v) if v.is_empty() => return Err("predictors must be non-empty".to_string()),
+            Some(v) if v.is_empty() => {
+                return Err(semantic("predictors must be non-empty".to_string()))
+            }
             Some(v) => v
                 .iter()
                 .map(|p| {
                     PredictorSpec::parse(p).ok_or_else(|| {
-                        format!("bad predictor '{p}' (real | ff[±mm] | syn[±mm] | suit)")
+                        semantic(format!(
+                            "bad predictor '{p}' (real | ff[±mm] | syn[±mm] | suit)"
+                        ))
                     })
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };
         let jobs = workloads.len() * threads.len() * schedules.len() * predictors.len();
         if jobs > MAX_JOBS_PER_REQUEST {
-            return Err(format!(
+            return Err(semantic(format!(
                 "grid expands to {jobs} jobs, above the {MAX_JOBS_PER_REQUEST} cap"
-            ));
+            )));
         }
         Ok((
             NormalizedRequest {
@@ -204,6 +239,13 @@ impl NormalizedRequest {
             },
             raw.deadline_ms,
         ))
+    }
+
+    /// The key sharding routes on: the first workload's cache key. The
+    /// router, ring-aware daemons, and `loadgen --shards` all derive it
+    /// from the body the same way, so they agree on the owning shard.
+    pub fn route_key(&self) -> &str {
+        &self.workloads[0].key
     }
 
     /// Canonical identity of this request: equal keys ⇒ byte-identical
@@ -299,6 +341,11 @@ pub fn evaluate_requests(engine: &SweepEngine, reqs: &[NormalizedRequest]) -> Ve
                 misses,
                 entries: misses,
                 evictions: 0,
+                // As-if-run-alone bytes must not depend on whether the
+                // daemon has a store (its counters never serialise, but
+                // the struct is also compared in tests).
+                store_hits: 0,
+                store_writes: 0,
             },
         };
         bodies.push(serde_json::to_string_pretty(&result).expect("serialise response"));
@@ -420,6 +467,12 @@ struct Shared {
     stop_accept: AtomicBool,
     results: Mutex<ResultCache>,
     metrics: ServerMetrics,
+    /// The persistent profile store, when `store_dir` is configured.
+    /// The engine holds its own handle; this one serves `/metrics`,
+    /// flush-on-shutdown, and tests.
+    store: Option<Arc<ProfileStore>>,
+    /// `(ring, own address)` when `shard_ring` is configured.
+    shard: Option<(ShardRing, String)>,
 }
 
 /// The daemon. [`Server::start`] binds, spawns the acceptor and worker
@@ -439,15 +492,47 @@ pub struct ServerHandle {
 
 impl Server {
     /// Bind `cfg.addr` and start serving on background threads.
+    ///
+    /// With `cfg.store_dir` set, the persistent store is opened (and its
+    /// log recovered) before the socket binds, so a daemon that reports
+    /// healthy can already serve from disk. With `cfg.shard_ring` set,
+    /// `cfg.shard_self` must name this daemon's own entry in the ring.
     pub fn start(cfg: ServeConfig, resolver: Resolver) -> std::io::Result<ServerHandle> {
+        let shard = match (&cfg.shard_ring[..], &cfg.shard_self) {
+            ([], _) => None,
+            (_, None) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "shard_ring set but shard_self missing",
+                ));
+            }
+            (ring_addrs, Some(own)) => {
+                if !ring_addrs.contains(own) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("shard_self '{own}' is not in shard_ring"),
+                    ));
+                }
+                Some((ShardRing::new(ring_addrs.iter().cloned()), own.clone()))
+            }
+        };
+        let store = match &cfg.store_dir {
+            None => None,
+            Some(dir) => Some(Arc::new(
+                ProfileStore::open(dir).map_err(|e| std::io::Error::other(e.to_string()))?,
+            )),
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let engine = Arc::new(
-            SweepEngine::new(Prophet::new())
-                .with_jobs(cfg.engine_jobs)
-                .with_profile_cache_capacity(cfg.profile_cache_cap),
-        );
+        let mut engine = SweepEngine::new(Prophet::new())
+            .with_jobs(cfg.engine_jobs)
+            .with_profile_cache_capacity(cfg.profile_cache_cap);
+        if let Some(store) = &store {
+            let keyed = KeyedStore::new(Arc::clone(store), engine.prophet());
+            engine = engine.with_profile_store(Arc::new(keyed));
+        }
+        let engine = Arc::new(engine);
         let shared = Arc::new(Shared {
             engine,
             resolver,
@@ -457,6 +542,8 @@ impl Server {
             stop_accept: AtomicBool::new(false),
             results: Mutex::new(ResultCache::new(cfg.result_cache_cap)),
             metrics: ServerMetrics::default(),
+            store,
+            shard,
             cfg,
         });
 
@@ -502,6 +589,17 @@ impl ServerHandle {
         &self.shared.metrics
     }
 
+    /// A live snapshot of the engine's profile-cache counters,
+    /// including the store read-through/write-behind counters.
+    pub fn profile_cache_stats(&self) -> CacheStats {
+        self.shared.engine.cache().stats()
+    }
+
+    /// The persistent profile store, when one is configured.
+    pub fn store(&self) -> Option<&Arc<ProfileStore>> {
+        self.shared.store.as_ref()
+    }
+
     /// Gracefully shut down: stop admitting, let workers drain every
     /// already-admitted request, fail anything left 503, then stop
     /// accepting and join all threads.
@@ -518,11 +616,17 @@ impl ServerHandle {
             q.drain(..).collect()
         };
         for p in leftovers {
-            if p.ticket.fulfill(Response::error(503, "shutting down")) {
+            let resp = error_response(&ProphetError::Unavailable("shutting down".to_string()));
+            if p.ticket.fulfill(resp) {
                 self.shared
                     .metrics
                     .rejected_draining
                     .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(store) = &self.shared.store {
+            if let Err(e) = store.flush() {
+                eprintln!("warning: profile store flush on shutdown failed: {e}");
             }
         }
         self.shared.stop_accept.store(true, Ordering::SeqCst);
@@ -582,7 +686,14 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
+    // `/v1/predict` is the canonical spelling; the bare `/predict` era
+    // predates versioning and stays as a deprecated alias answering the
+    // exact same bytes, plus a `Deprecation` header.
+    let (path, versioned) = match req.path.strip_prefix("/v1") {
+        Some(rest) => (rest, true),
+        None => (req.path.as_str(), false),
+    };
+    let resp = match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             let obj = serde::Value::Object(vec![
                 ("status".to_string(), serde::Value::Str("ok".to_string())),
@@ -603,8 +714,16 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
             }
         }
         ("POST", "/predict") => predict(req, shared),
-        ("GET", "/predict") => Response::error(405, "use POST /predict"),
-        _ => Response::error(404, "unknown endpoint (try /predict, /healthz, /metrics)"),
+        ("GET", "/predict") => Response::error(405, "use POST /v1/predict"),
+        _ => Response::error(
+            404,
+            "unknown endpoint (try /v1/predict, /v1/healthz, /v1/metrics)",
+        ),
+    };
+    if versioned || resp.status == 404 {
+        resp
+    } else {
+        resp.with_header("deprecation", "true; see /v1")
     }
 }
 
@@ -615,16 +734,39 @@ fn predict(req: &Request, shared: &Arc<Shared>) -> Response {
         Ok(s) => s,
         Err(_) => {
             m.client_errors.fetch_add(1, Ordering::Relaxed);
-            return Response::error(400, "body is not UTF-8");
+            return error_response(&ProphetError::InvalidRequest(
+                "body is not UTF-8".to_string(),
+            ));
         }
     };
     let (norm, deadline_ms) = match NormalizedRequest::parse(body, &shared.resolver) {
         Ok(parsed) => parsed,
         Err(e) => {
             m.client_errors.fetch_add(1, Ordering::Relaxed);
-            return Response::error(400, &e);
+            return error_response(&e);
         }
     };
+
+    // Sharded: keys another daemon owns are forwarded to it, so every
+    // profile lives on exactly one shard no matter which daemon the
+    // client happened to hit.
+    if let Some((ring, own)) = &shared.shard {
+        let owner = ring.owner(norm.route_key());
+        if owner != own {
+            m.proxied_total.fetch_add(1, Ordering::Relaxed);
+            return match client_request(owner, "POST", "/v1/predict", Some(body)) {
+                Ok((status, _, resp_body)) => {
+                    Response::json(status, resp_body).with_header("x-shard", owner.to_string())
+                }
+                Err(e) => {
+                    m.proxy_errors.fetch_add(1, Ordering::Relaxed);
+                    error_response(&ProphetError::Unavailable(format!(
+                        "shard {owner} unreachable: {e}"
+                    )))
+                }
+            };
+        }
+    }
     let key = norm.canonical_key();
 
     // Layer 1: the result cache.
@@ -637,7 +779,7 @@ fn predict(req: &Request, shared: &Arc<Shared>) -> Response {
 
     if shared.draining.load(Ordering::SeqCst) {
         m.rejected_draining.fetch_add(1, Ordering::Relaxed);
-        return Response::error(503, "shutting down");
+        return error_response(&ProphetError::Unavailable("shutting down".to_string()));
     }
 
     // Layer 2: bounded admission.
@@ -650,8 +792,7 @@ fn predict(req: &Request, shared: &Arc<Shared>) -> Response {
         let mut q = shared.queue.lock().expect("queue poisoned");
         if q.len() >= shared.cfg.queue_cap {
             m.shed_total.fetch_add(1, Ordering::Relaxed);
-            return Response::error(429, "overloaded: admission queue full")
-                .with_header("retry-after", "1");
+            return error_response(&ProphetError::Overloaded);
         }
         q.push_back(Pending {
             req: norm,
@@ -674,7 +815,7 @@ fn predict(req: &Request, shared: &Arc<Shared>) -> Response {
             resp
         }
         None => {
-            let timeout = Response::error(504, "deadline exceeded");
+            let timeout = error_response(&ProphetError::DeadlineExceeded);
             if ticket.fulfill(timeout.clone()) {
                 m.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
             }
@@ -744,7 +885,9 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
     for p in batch {
         queue_waits.push(u64::try_from((now - p.enqueued).as_nanos()).unwrap_or(u64::MAX));
         if now >= p.deadline {
-            if p.ticket.fulfill(Response::error(504, "deadline exceeded")) {
+            if p.ticket
+                .fulfill(error_response(&ProphetError::DeadlineExceeded))
+            {
                 m.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
             }
             continue;

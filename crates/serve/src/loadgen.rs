@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::http::client_request;
+use crate::ring::ShardRing;
 
 /// Load-generation parameters.
 #[derive(Clone)]
@@ -30,6 +31,14 @@ pub struct LoadgenOptions {
     /// After the run, fetch `/metrics` and require at least one result-
     /// cache hit and one profile-cache hit (the smoke-test assertion).
     pub expect_cache_hits: bool,
+    /// Shard-ring addresses. When non-empty, each body class is sent
+    /// straight to the shard owning its route key (client-side routing,
+    /// same ring the daemons use) and `addr` is ignored for predicts;
+    /// post-run metrics are summed across every shard.
+    pub shards: Vec<String>,
+    /// Route key per body class, parallel to `bodies` (the first
+    /// workload's cache key). Required when `shards` is non-empty.
+    pub route_keys: Vec<String>,
 }
 
 /// The outcome of a load-generation run.
@@ -90,10 +99,27 @@ impl LoadgenReport {
     }
 }
 
-/// Run the load: `opts.requests` POSTs to `/predict` across
-/// `opts.concurrency` threads, then read `/metrics` once.
+/// Run the load: `opts.requests` POSTs to `/v1/predict` across
+/// `opts.concurrency` threads, then read `/v1/metrics` once.
 pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
     assert!(!opts.bodies.is_empty(), "loadgen needs at least one body");
+    // Per-class target address: the shard owning the class's route key
+    // in sharded mode, the single daemon otherwise.
+    let targets: Vec<String> = if opts.shards.is_empty() {
+        vec![opts.addr.clone(); opts.bodies.len()]
+    } else {
+        assert_eq!(
+            opts.route_keys.len(),
+            opts.bodies.len(),
+            "sharded loadgen needs one route key per body"
+        );
+        let ring = ShardRing::new(opts.shards.iter().cloned());
+        opts.route_keys
+            .iter()
+            .map(|k| ring.owner(k).to_string())
+            .collect()
+    };
+    let targets = &targets;
     let concurrency = opts.concurrency.max(1);
     let ok = Arc::new(AtomicU64::new(0));
     let shed = Arc::new(AtomicU64::new(0));
@@ -119,7 +145,8 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
                     let class = i % opts.bodies.len();
                     let body = &opts.bodies[class];
                     let start = Instant::now();
-                    let outcome = client_request(&opts.addr, "POST", "/predict", Some(body));
+                    let outcome =
+                        client_request(&targets[class], "POST", "/v1/predict", Some(body));
                     let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     latencies.lock().expect("latencies poisoned").push(nanos);
                     match outcome {
@@ -159,7 +186,18 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
         )
     };
 
-    let (result_cache_hits, profile_cache_hits) = read_cache_hit_counters(&opts.addr);
+    let (result_cache_hits, profile_cache_hits) = if opts.shards.is_empty() {
+        read_cache_hit_counters(&opts.addr)
+    } else {
+        // Fleet totals: sum each counter over every shard we can reach.
+        let mut totals = (None, None);
+        for shard in &opts.shards {
+            let (r, p) = read_cache_hit_counters(shard);
+            totals.0 = merge_counter(totals.0, r);
+            totals.1 = merge_counter(totals.1, p);
+        }
+        totals
+    };
 
     LoadgenReport {
         requests: opts.requests,
@@ -175,11 +213,18 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
     }
 }
 
+fn merge_counter(acc: Option<u64>, next: Option<u64>) -> Option<u64> {
+    match (acc, next) {
+        (Some(a), Some(b)) => Some(a + b),
+        (one, None) | (None, one) => one,
+    }
+}
+
 /// Fetch `/metrics` and pull the two cache-hit counters out of the JSON
 /// (both the obs-backed and the degraded non-obs body nest counters
 /// under a top-level `"counters"` object).
 fn read_cache_hit_counters(addr: &str) -> (Option<u64>, Option<u64>) {
-    let Ok((200, _, body)) = client_request(addr, "GET", "/metrics", None) else {
+    let Ok((200, _, body)) = client_request(addr, "GET", "/v1/metrics", None) else {
         return (None, None);
     };
     let Ok(value) = serde_json::from_str::<serde::Value>(&body) else {

@@ -47,6 +47,10 @@ pub struct ServerMetrics {
     pub result_cache_misses: AtomicU64,
     /// Result-cache entries displaced by LRU pressure.
     pub result_cache_evictions: AtomicU64,
+    /// Requests forwarded to their owning shard (sharded daemons only).
+    pub proxied_total: AtomicU64,
+    /// Forwards that failed because the owning shard was unreachable.
+    pub proxy_errors: AtomicU64,
     /// Engine batches evaluated.
     pub batches_total: AtomicU64,
     /// Requests evaluated inside those batches.
@@ -95,6 +99,8 @@ impl ServerMetrics {
                 "serve.result_cache_evictions",
                 c(&self.result_cache_evictions),
             ),
+            ("serve.proxied_total", c(&self.proxied_total)),
+            ("serve.proxy_errors", c(&self.proxy_errors)),
             ("serve.batches_total", c(&self.batches_total)),
             ("serve.batched_requests", c(&self.batched_requests)),
         ]
@@ -187,12 +193,17 @@ impl ServerMetrics {
     }
 }
 
-/// The engine profile cache's counters under stable metric names.
+/// The engine profile cache's counters under stable metric names. The
+/// store pair splits the misses: `profiles = misses - store_hits` is
+/// how many times the daemon actually ran the profiler.
 fn profile_cache_counters(stats: CacheStats) -> Vec<(&'static str, u64)> {
     vec![
         ("sweep.profile_cache_hits", stats.hits),
         ("sweep.profile_cache_misses", stats.misses),
         ("sweep.profile_cache_entries", stats.entries),
         ("sweep.profile_cache_evictions", stats.evictions),
+        ("sweep.profile_store_hits", stats.store_hits),
+        ("sweep.profile_store_writes", stats.store_writes),
+        ("sweep.profiles_run", stats.profiles()),
     ]
 }

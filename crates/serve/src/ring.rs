@@ -1,0 +1,164 @@
+//! Consistent-hash ring over shard daemon addresses.
+//!
+//! Horizontal scaling for the prediction service: each canonical
+//! workload key is owned by exactly one daemon, chosen by consistent
+//! hashing, so every shard's profile cache and persistent store hold a
+//! disjoint slice of the key space instead of N copies of all of it.
+//! Clients (`prophet loadgen --shards`), the standalone router
+//! (`prophet route`), and ring-aware daemons all build the same
+//! [`ShardRing`] from the same address list, so they agree on ownership
+//! with no coordination protocol.
+//!
+//! The construction is the classic one: each address is hashed at
+//! [`VNODES`] virtual points onto a `u64` circle; a key is owned by the
+//! first point clockwise of its own hash. Virtual nodes smooth the load
+//! split (with one point per shard the largest arc dominates), and
+//! removing a shard only reassigns the arcs it owned. Hashing is
+//! [`fingerprint64`] followed by a fixed avalanche finalizer — stable
+//! across processes, architectures, and releases, which is what makes
+//! the "no coordination" claim true.
+
+use prophet_core::fingerprint64;
+
+/// Virtual nodes per shard address.
+const VNODES: u32 = 64;
+
+/// FNV-1a clusters short, similar strings (workload keys, `addr#N`
+/// replica labels) into narrow bands of the u64 space, which makes a
+/// raw-FNV ring badly lumpy. This splitmix64-style finalizer avalanches
+/// every input bit across the word. Deterministic and fixed: ring
+/// placement is a cross-process contract, like [`fingerprint64`] itself.
+fn spread(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+/// Position of an arbitrary string on the ring circle.
+fn ring_hash(s: &str) -> u64 {
+    spread(fingerprint64(s.as_bytes()))
+}
+
+/// An immutable consistent-hash ring over shard addresses.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    /// Shard addresses, in the order given.
+    addrs: Vec<String>,
+    /// `(point, addr index)` sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl ShardRing {
+    /// A ring over `addrs` (must be non-empty; duplicates are
+    /// collapsed). The order of `addrs` does not affect ownership —
+    /// only the address strings themselves do.
+    pub fn new(addrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let mut unique: Vec<String> = Vec::new();
+        for a in addrs {
+            let a = a.into();
+            if !unique.contains(&a) {
+                unique.push(a);
+            }
+        }
+        assert!(!unique.is_empty(), "shard ring needs at least one address");
+        let mut points = Vec::with_capacity(unique.len() * VNODES as usize);
+        for (i, addr) in unique.iter().enumerate() {
+            for replica in 0..VNODES {
+                points.push((ring_hash(&format!("{addr}#{replica}")), i));
+            }
+        }
+        points.sort_unstable();
+        ShardRing {
+            addrs: unique,
+            points,
+        }
+    }
+
+    /// The shard addresses, deduplicated, in first-seen order.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Always false: construction requires at least one address.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Index (into [`addrs`](Self::addrs)) of the shard owning `key`:
+    /// the first ring point at or clockwise of the key's hash.
+    pub fn owner_index(&self, key: &str) -> usize {
+        let h = ring_hash(key);
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let (_, idx) = self.points[if at == self.points.len() { 0 } else { at }];
+        idx
+    }
+
+    /// Address of the shard owning `key`.
+    pub fn owner(&self, key: &str) -> &str {
+        &self.addrs[self.owner_index(key)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = ShardRing::new(["a:1"]);
+        for key in ["x", "y", "test1:0", "test2:99"] {
+            assert_eq!(ring.owner(key), "a:1");
+        }
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_order_independent() {
+        let ring1 = ShardRing::new(["a:1", "b:2", "c:3"]);
+        let ring2 = ShardRing::new(["c:3", "a:1", "b:2"]);
+        for i in 0..100 {
+            let key = format!("test1:{i}");
+            assert_eq!(ring1.owner(&key), ring2.owner(&key));
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let ring = ShardRing::new(["a:1", "b:2", "c:3"]);
+        let mut counts = [0usize; 3];
+        for i in 0..300 {
+            counts[ring.owner_index(&format!("wl:{i}"))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 30, "shard {i} owns only {c}/300 keys — ring too lumpy");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        let full = ShardRing::new(["a:1", "b:2", "c:3"]);
+        let reduced = ShardRing::new(["a:1", "b:2"]);
+        for i in 0..200 {
+            let key = format!("wl:{i}");
+            if full.owner(&key) != "c:3" {
+                assert_eq!(
+                    full.owner(&key),
+                    reduced.owner(&key),
+                    "key {key} moved despite its owner surviving"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let ring = ShardRing::new(["a:1", "a:1", "b:2"]);
+        assert_eq!(ring.len(), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! `prophet route` — a stateless proxy fronting a shard ring.
+//!
+//! The router owns no engine, no caches, and no store; it parses just
+//! enough of each `POST /v1/predict` body to compute the request's
+//! route key (the first resolved workload's cache key), forwards the
+//! request verbatim to the shard that owns that key on the
+//! [`ShardRing`], and relays the response. Because the body is
+//! forwarded untouched and ownership is deterministic, a routed
+//! response is byte-identical to asking the owning daemon directly —
+//! the property the shard integration test pins.
+//!
+//! `GET /v1/healthz` aggregates every shard's health; `GET /v1/metrics`
+//! fetches every shard's JSON metrics and merges them (counters and
+//! gauges summed, histograms dropped), adding the router's own
+//! forwarding counters under `router.*`.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use prophet_core::ProphetError;
+
+use crate::api::error_response;
+use crate::http::{self, client_request, Request, Response};
+use crate::ring::ShardRing;
+use crate::{NormalizedRequest, Resolver};
+
+/// Router configuration.
+#[derive(Clone)]
+pub struct RouterConfig {
+    /// Listen address (port 0 = ephemeral).
+    pub addr: String,
+    /// Shard daemon addresses forming the ring.
+    pub shards: Vec<String>,
+}
+
+/// Forwarding counters, exposed under `router.*` in merged metrics.
+#[derive(Default)]
+pub struct RouterMetrics {
+    /// Requests the router accepted (any endpoint).
+    pub requests_total: AtomicU64,
+    /// Predict requests forwarded to a shard.
+    pub forwarded_total: AtomicU64,
+    /// Forwards that failed at the transport level (shard unreachable).
+    pub upstream_errors: AtomicU64,
+}
+
+struct RouterShared {
+    ring: ShardRing,
+    resolver: Resolver,
+    metrics: RouterMetrics,
+    stop: AtomicBool,
+}
+
+/// A running router: its bound address plus the threads to join on
+/// shutdown.
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// The router service; see the module docs.
+pub struct Router;
+
+impl Router {
+    /// Bind `cfg.addr` and start proxying on background threads. The
+    /// resolver must be the same one the shards use, or router and
+    /// shard would disagree on workload keys.
+    pub fn start(cfg: RouterConfig, resolver: Resolver) -> std::io::Result<RouterHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            ring: ShardRing::new(cfg.shards),
+            resolver,
+            metrics: RouterMetrics::default(),
+            stop: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("route-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn route acceptor")
+        };
+        Ok(RouterHandle {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            conns,
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The router's forwarding counters.
+    pub fn metrics(&self) -> &RouterMetrics {
+        &self.shared.metrics
+    }
+
+    /// The ring this router forwards over.
+    pub fn ring(&self) -> &ShardRing {
+        &self.shared.ring
+    }
+
+    /// Stop accepting and join every thread. In-flight forwards finish.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.conns.lock().expect("conns poisoned");
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<RouterShared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(15)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(15)));
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("route-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared))
+                    .expect("spawn route connection");
+                let mut conns = conns.lock().expect("conns poisoned");
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<RouterShared>) {
+    let resp = match http::read_request(&mut stream) {
+        Ok(req) => route(&req, shared),
+        Err(http::ParseError::TooLarge) => Response::error(413, "request too large"),
+        Err(e) => error_response(&ProphetError::InvalidRequest(e.to_string())),
+    };
+    http::write_response(&mut stream, &resp);
+}
+
+fn route(req: &Request, shared: &Arc<RouterShared>) -> Response {
+    shared
+        .metrics
+        .requests_total
+        .fetch_add(1, Ordering::Relaxed);
+    // `/v1/...` and legacy unversioned paths are equivalent, like on the
+    // daemons themselves.
+    let path = req.path.strip_prefix("/v1").unwrap_or(&req.path);
+    match (req.method.as_str(), path) {
+        ("POST", "/predict") => forward_predict(req, shared),
+        ("GET", "/healthz") => aggregate_healthz(shared),
+        ("GET", "/metrics") => merge_metrics(req, shared),
+        ("GET", "/predict") => Response::error(405, "use POST /v1/predict"),
+        _ => Response::error(
+            404,
+            "unknown endpoint (try /v1/predict, /v1/healthz, /v1/metrics)",
+        ),
+    }
+}
+
+/// The route key of a request body: the first resolved workload's cache
+/// key. Any workload of the request would do — what matters is that
+/// router, ring-aware daemons, and `loadgen --shards` derive the *same*
+/// key from the same body — and the first is the cheapest stable pick.
+pub fn route_key(body: &str, resolver: &Resolver) -> Result<String, ProphetError> {
+    let (norm, _deadline) = NormalizedRequest::parse(body, resolver)?;
+    Ok(norm.route_key().to_string())
+}
+
+fn forward_predict(req: &Request, shared: &Arc<RouterShared>) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            return error_response(&ProphetError::InvalidRequest(
+                "body is not UTF-8".to_string(),
+            ))
+        }
+    };
+    let key = match route_key(body, &shared.resolver) {
+        Ok(k) => k,
+        Err(e) => return error_response(&e),
+    };
+    let owner = shared.ring.owner(&key);
+    shared
+        .metrics
+        .forwarded_total
+        .fetch_add(1, Ordering::Relaxed);
+    match client_request(owner, "POST", "/v1/predict", Some(body)) {
+        Ok((status, _headers, resp_body)) => {
+            Response::json(status, resp_body).with_header("x-shard", owner.to_string())
+        }
+        Err(e) => {
+            shared
+                .metrics
+                .upstream_errors
+                .fetch_add(1, Ordering::Relaxed);
+            error_response(&ProphetError::Unavailable(format!(
+                "shard {owner} unreachable: {e}"
+            )))
+        }
+    }
+}
+
+fn aggregate_healthz(shared: &Arc<RouterShared>) -> Response {
+    let mut shards = Vec::new();
+    let mut all_ok = true;
+    for addr in shared.ring.addrs() {
+        let ok = matches!(
+            client_request(addr, "GET", "/v1/healthz", None),
+            Ok((200, _, _))
+        );
+        all_ok &= ok;
+        shards.push(serde::Value::Object(vec![
+            ("addr".to_string(), serde::Value::Str(addr.clone())),
+            (
+                "status".to_string(),
+                serde::Value::Str(if ok { "ok" } else { "unreachable" }.to_string()),
+            ),
+        ]));
+    }
+    let obj = serde::Value::Object(vec![
+        (
+            "status".to_string(),
+            serde::Value::Str(if all_ok { "ok" } else { "degraded" }.to_string()),
+        ),
+        ("shards".to_string(), serde::Value::Array(shards)),
+    ]);
+    Response::json(
+        if all_ok { 200 } else { 503 },
+        serde_json::to_string(&obj).expect("serialise healthz"),
+    )
+}
+
+/// Fetch every shard's JSON metrics and merge: counters and gauges are
+/// summed across shards (a gauge sum is the fleet total — queue depth,
+/// inflight — which is the useful aggregate); histograms are dropped
+/// because log₂ buckets do not merge losslessly from rendered JSON.
+fn merge_metrics(req: &Request, shared: &Arc<RouterShared>) -> Response {
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut gauges: Vec<(String, f64)> = Vec::new();
+    let mut shard_list = Vec::new();
+    let mut reached = 0usize;
+    for addr in shared.ring.addrs() {
+        let ok = match client_request(addr, "GET", "/v1/metrics", None) {
+            Ok((200, _, body)) => match serde_json::from_str::<serde::Value>(&body) {
+                Ok(value) => {
+                    merge_section(&value, "counters", &mut counters, |v| {
+                        v.as_f64().map(|f| f as u64)
+                    });
+                    merge_section(&value, "gauges", &mut gauges, serde::Value::as_f64);
+                    reached += 1;
+                    true
+                }
+                Err(_) => false,
+            },
+            _ => false,
+        };
+        shard_list.push(serde::Value::Object(vec![
+            ("addr".to_string(), serde::Value::Str(addr.clone())),
+            ("reached".to_string(), serde::Value::Bool(ok)),
+        ]));
+    }
+    let m = &shared.metrics;
+    counters.push((
+        "router.requests_total".to_string(),
+        m.requests_total.load(Ordering::Relaxed),
+    ));
+    counters.push((
+        "router.forwarded_total".to_string(),
+        m.forwarded_total.load(Ordering::Relaxed),
+    ));
+    counters.push((
+        "router.upstream_errors".to_string(),
+        m.upstream_errors.load(Ordering::Relaxed),
+    ));
+    counters.push(("router.shards_reachable".to_string(), reached as u64));
+
+    let obj = serde::Value::Object(vec![
+        (
+            "counters".to_string(),
+            serde::Value::Object(
+                counters
+                    .into_iter()
+                    .map(|(k, v)| (k, serde::Value::U64(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".to_string(),
+            serde::Value::Object(
+                gauges
+                    .into_iter()
+                    .map(|(k, v)| (k, serde::Value::F64(v)))
+                    .collect(),
+            ),
+        ),
+        ("shards".to_string(), serde::Value::Array(shard_list)),
+    ]);
+    let _ = req; // format=prom is not offered on the merged endpoint
+    Response::json(
+        200,
+        serde_json::to_string_pretty(&obj).expect("serialise metrics"),
+    )
+}
+
+/// Add every numeric entry of `value[section]` into `acc` by name.
+fn merge_section<T: Copy + std::ops::Add<Output = T>>(
+    value: &serde::Value,
+    section: &str,
+    acc: &mut Vec<(String, T)>,
+    convert: impl Fn(&serde::Value) -> Option<T>,
+) {
+    let Some(serde::Value::Object(fields)) = value.get(section) else {
+        return;
+    };
+    for (name, v) in fields {
+        let Some(n) = convert(v) else { continue };
+        match acc.iter_mut().find(|(k, _)| k == name) {
+            Some((_, total)) => *total = *total + n,
+            None => acc.push((name.clone(), n)),
+        }
+    }
+}

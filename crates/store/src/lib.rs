@@ -1,0 +1,713 @@
+#![warn(missing_docs)]
+
+//! # prophet-store — the persistent profile store
+//!
+//! Profiling a workload is the expensive half of a prediction: the
+//! tracer walks the annotated program, the cache simulator counts
+//! misses, and the memory model attaches burden factors. All of it is
+//! deterministic, so a profile computed yesterday is byte-for-byte the
+//! profile that would be computed today — provided the machine
+//! configuration, profiling options, and Ψ/Φ calibration are unchanged.
+//! This crate persists that work across process restarts:
+//!
+//! * [`ProfileStore`] — an append-only on-disk log of serialized
+//!   [`Profiled`] trees with CRC-checked records, a manifest updated by
+//!   atomic rename, and an LRU-bounded decode cache. Reads are plain
+//!   `seek + read` (no mmap), so the store works on any filesystem.
+//! * [`KeyedStore`] — the adapter wiring a store into the sweep
+//!   engine's [`ProfileCache`](sweep::ProfileCache): it namespaces every
+//!   workload cache key with the owning prophet's calibration and
+//!   profile-options fingerprints, so a store directory can be shared by
+//!   differently-configured daemons without ever replaying a profile
+//!   computed under other assumptions.
+//!
+//! ## On-disk format (version 1)
+//!
+//! A store directory holds two files:
+//!
+//! ```text
+//! profiles.v1.log   append-only record log
+//! MANIFEST.json     {"version":1,"records":N,"committed_len":L}
+//! ```
+//!
+//! Each log record is framed as
+//!
+//! ```text
+//! magic "PSR1" | u32 key_len | u32 payload_len | u32 crc32(payload) | key | payload
+//! ```
+//!
+//! with all integers little-endian and the payload the JSON encoding of
+//! one [`Profiled`]. On open the log is scanned front to back; the scan
+//! stops at the first truncated or CRC-corrupt record, logs a warning,
+//! and truncates the log back to the last valid boundary (classic
+//! write-ahead-log recovery: a crash mid-append costs at most the
+//! record being appended). The manifest is rewritten via
+//! write-to-temp-then-rename after every append, so it never names
+//! bytes that aren't durably framed.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use prophet_core::{Profiled, ProphetError};
+use serde::{Deserialize, Serialize};
+use sweep::ProfileStorage;
+
+/// Magic prefix of every log record (`P`rophet `S`tore `R`ecord v`1`).
+const MAGIC: [u8; 4] = *b"PSR1";
+/// Fixed-size portion of a record frame: magic + three u32 fields.
+const HEADER_LEN: u64 = 16;
+/// Name of the record log inside a store directory.
+const LOG_NAME: &str = "profiles.v1.log";
+/// Name of the manifest inside a store directory.
+const MANIFEST_NAME: &str = "MANIFEST.json";
+/// Decoded-profile LRU capacity.
+const DECODE_CACHE_CAP: usize = 32;
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), bit-reflected,
+/// table-driven. Guards every record payload against torn writes and
+/// bit rot; not a defense against adversaries (neither is the rest of
+/// the store).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // The table is tiny; building it per call keeps the crate
+    // dependency- and static-state-free. Store operations are rare
+    // (once per profile) so the 256-iteration setup cost is noise.
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xffff_ffff
+}
+
+/// Counters of a [`ProfileStore`]'s activity since open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// `get` calls that found a valid record.
+    pub hits: u64,
+    /// `get` calls for absent keys.
+    pub misses: u64,
+    /// Records appended by `put`.
+    pub writes: u64,
+    /// Records dropped during open-time recovery (truncated or
+    /// CRC-corrupt tails).
+    pub corrupt_skipped: u64,
+    /// Records resident in the log (valid, indexed).
+    pub records: u64,
+}
+
+/// The manifest file's JSON shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    records: u64,
+    committed_len: u64,
+}
+
+/// Location of one record's payload inside the log.
+#[derive(Clone, Copy)]
+struct IndexEntry {
+    payload_at: u64,
+    payload_len: u32,
+    crc: u32,
+}
+
+/// Mutable half of the store, behind one lock: the log handles, the
+/// key index, and the decode LRU. Store traffic is one operation per
+/// *profile* (seconds of tracer work), so a single mutex is nowhere
+/// near contention and buys crash-consistent append ordering for free.
+struct StoreInner {
+    log: fs::File,
+    /// Bytes of the log covered by valid records; the append offset.
+    valid_len: u64,
+    index: HashMap<String, IndexEntry>,
+    /// Decoded-profile LRU: key → (profile, recency stamp).
+    decoded: HashMap<String, (Arc<Profiled>, u64)>,
+    tick: u64,
+}
+
+/// Append-only on-disk profile store. See the crate docs for the
+/// format. All methods take `&self`; the store is safe to share across
+/// sweep workers behind an [`Arc`].
+pub struct ProfileStore {
+    dir: PathBuf,
+    inner: Mutex<StoreInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt_skipped: AtomicU64,
+}
+
+impl ProfileStore {
+    /// Open (creating if absent) the store in `dir`, scanning and
+    /// CRC-validating the record log. A truncated or corrupt tail is
+    /// skipped with a logged warning and trimmed so subsequent appends
+    /// re-use the space — never a panic and never an error: persisted
+    /// profiles are a cache, and a damaged cache entry just re-profiles.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ProphetError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let log_path = dir.join(LOG_NAME);
+        let mut log = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&log_path)?;
+
+        let mut bytes = Vec::new();
+        log.seek(SeekFrom::Start(0))?;
+        log.read_to_end(&mut bytes)?;
+
+        let mut index = HashMap::new();
+        let mut corrupt_skipped = 0u64;
+        let mut at = 0u64;
+        while at < bytes.len() as u64 {
+            match Self::scan_record(&bytes, at) {
+                Ok((key, entry, next)) => {
+                    index.insert(key, entry);
+                    at = next;
+                }
+                Err(reason) => {
+                    // Framing is lost from here on: every record behind
+                    // the damage is unreachable. Count them as one
+                    // skipped region (we cannot know how many records
+                    // the tail held) and trim the log so appends resync.
+                    corrupt_skipped += 1;
+                    eprintln!(
+                        "prophet-store: warning: {} at byte {at} of {}; \
+                         dropping {} trailing byte(s) and re-profiling on demand",
+                        reason,
+                        log_path.display(),
+                        bytes.len() as u64 - at
+                    );
+                    log.set_len(at)?;
+                    break;
+                }
+            }
+        }
+
+        let store = ProfileStore {
+            dir,
+            inner: Mutex::new(StoreInner {
+                log,
+                valid_len: at,
+                index,
+                decoded: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            corrupt_skipped: AtomicU64::new(corrupt_skipped),
+        };
+        // Re-committing the manifest on open heals a crash that landed
+        // between an append and its manifest rename.
+        store.commit_manifest()?;
+        Ok(store)
+    }
+
+    /// Validate the record starting at `at`; return its key, index
+    /// entry, and the offset of the next record.
+    fn scan_record(bytes: &[u8], at: u64) -> Result<(String, IndexEntry, u64), String> {
+        let rest = &bytes[at as usize..];
+        if (rest.len() as u64) < HEADER_LEN {
+            return Err(format!("truncated record header ({} bytes)", rest.len()));
+        }
+        if rest[..4] != MAGIC {
+            return Err("bad record magic".to_string());
+        }
+        let key_len = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as u64;
+        let payload_len = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as u64;
+        let crc = u32::from_le_bytes(rest[12..16].try_into().unwrap());
+        let total = HEADER_LEN + key_len + payload_len;
+        if (rest.len() as u64) < total {
+            return Err(format!(
+                "truncated record body (have {} of {total} bytes)",
+                rest.len()
+            ));
+        }
+        let key_bytes = &rest[HEADER_LEN as usize..(HEADER_LEN + key_len) as usize];
+        let key = std::str::from_utf8(key_bytes)
+            .map_err(|_| "non-UTF-8 record key".to_string())?
+            .to_string();
+        let payload = &rest[(HEADER_LEN + key_len) as usize..total as usize];
+        let actual = crc32(payload);
+        if actual != crc {
+            return Err(format!(
+                "CRC mismatch (stored {crc:08x}, computed {actual:08x})"
+            ));
+        }
+        Ok((
+            key,
+            IndexEntry {
+                payload_at: at + HEADER_LEN + key_len,
+                payload_len: payload_len as u32,
+                crc,
+            },
+            at + total,
+        ))
+    }
+
+    /// Atomically rewrite the manifest to describe the current log.
+    fn commit_manifest(&self) -> Result<(), ProphetError> {
+        let (records, committed_len) = {
+            let inner = self.inner.lock().expect("store lock poisoned");
+            (inner.index.len() as u64, inner.valid_len)
+        };
+        let manifest = Manifest {
+            version: 1,
+            records,
+            committed_len,
+        };
+        let json = serde_json::to_string(&manifest)
+            .map_err(|e| ProphetError::Store(format!("manifest encode: {e}")))?;
+        let tmp = self.dir.join(format!("{MANIFEST_NAME}.tmp"));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
+        Ok(())
+    }
+
+    /// The profile stored under `key`, if any. Decodes through a small
+    /// LRU so repeated loads of a hot key parse JSON once.
+    pub fn get(&self, key: &str) -> Result<Option<Profiled>, ProphetError> {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((profiled, stamp)) = inner.decoded.get_mut(key) {
+            *stamp = tick;
+            let out = profiled.clone();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some((*out).clone()));
+        }
+        let Some(entry) = inner.index.get(key).copied() else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        };
+        let mut payload = vec![0u8; entry.payload_len as usize];
+        inner.log.seek(SeekFrom::Start(entry.payload_at))?;
+        inner.log.read_exact(&mut payload)?;
+        if crc32(&payload) != entry.crc {
+            // The record was valid at open; damage appeared underneath
+            // a running store. Treat like open-time corruption: warn,
+            // forget the entry, re-profile.
+            eprintln!(
+                "prophet-store: warning: record for key {key:?} failed its CRC on read; \
+                 dropping it and re-profiling on demand"
+            );
+            inner.index.remove(key);
+            self.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        let json = std::str::from_utf8(&payload)
+            .map_err(|_| ProphetError::Store("non-UTF-8 payload".to_string()))?;
+        let profiled: Profiled = serde_json::from_str(json)
+            .map_err(|e| ProphetError::Store(format!("payload decode: {e}")))?;
+        let profiled = Arc::new(profiled);
+        Self::lru_insert(&mut inner, key.to_string(), profiled.clone(), tick);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some((*profiled).clone()))
+    }
+
+    /// Persist `profiled` under `key`. Keys are content-fingerprinted by
+    /// the caller ([`KeyedStore`]), so an existing key already holds this
+    /// exact profile and the append is skipped — first write wins and
+    /// the log never accumulates duplicates.
+    pub fn put(&self, key: &str, profiled: &Profiled) -> Result<(), ProphetError> {
+        let payload = serde_json::to_string(profiled)
+            .map_err(|e| ProphetError::Store(format!("payload encode: {e}")))?
+            .into_bytes();
+        let key_bytes = key.as_bytes();
+        if key_bytes.len() > u32::MAX as usize || payload.len() > u32::MAX as usize {
+            return Err(ProphetError::Store(
+                "record exceeds u32 framing".to_string(),
+            ));
+        }
+        let crc = crc32(&payload);
+        {
+            let mut inner = self.inner.lock().expect("store lock poisoned");
+            if inner.index.contains_key(key) {
+                return Ok(());
+            }
+            let mut frame =
+                Vec::with_capacity(HEADER_LEN as usize + key_bytes.len() + payload.len());
+            frame.extend_from_slice(&MAGIC);
+            frame.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc.to_le_bytes());
+            frame.extend_from_slice(key_bytes);
+            frame.extend_from_slice(&payload);
+
+            let at = inner.valid_len;
+            inner.log.seek(SeekFrom::Start(at))?;
+            inner.log.write_all(&frame)?;
+            inner.log.sync_all()?;
+            inner.valid_len = at + frame.len() as u64;
+            inner.index.insert(
+                key.to_string(),
+                IndexEntry {
+                    payload_at: at + HEADER_LEN + key_bytes.len() as u64,
+                    payload_len: payload.len() as u32,
+                    crc,
+                },
+            );
+            inner.tick += 1;
+            let tick = inner.tick;
+            Self::lru_insert(
+                &mut inner,
+                key.to_string(),
+                Arc::new(profiled.clone()),
+                tick,
+            );
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.commit_manifest()
+    }
+
+    fn lru_insert(inner: &mut StoreInner, key: String, profiled: Arc<Profiled>, tick: u64) {
+        inner.decoded.insert(key, (profiled, tick));
+        while inner.decoded.len() > DECODE_CACHE_CAP {
+            let victim = inner
+                .decoded
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity decode cache");
+            inner.decoded.remove(&victim);
+        }
+    }
+
+    /// Whether `key` has a stored record (no decode, no counter bump).
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("store lock poisoned")
+            .index
+            .contains_key(key)
+    }
+
+    /// Number of valid records resident in the log.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store lock poisoned").index.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            corrupt_skipped: self.corrupt_skipped.load(Ordering::Relaxed),
+            records: self.len() as u64,
+        }
+    }
+
+    /// Force log and manifest to disk. Appends already sync per record;
+    /// this is the explicit shutdown barrier for the serve daemon.
+    pub fn flush(&self) -> Result<(), ProphetError> {
+        self.inner
+            .lock()
+            .expect("store lock poisoned")
+            .log
+            .sync_all()?;
+        self.commit_manifest()
+    }
+
+    /// Export the current counters into an observability registry under
+    /// `store.*` names.
+    #[cfg(feature = "obs")]
+    pub fn export_metrics(&self, registry: &mut prophet_obs::MetricsRegistry) {
+        let s = self.stats();
+        registry.set_gauge("store.hits", s.hits as f64);
+        registry.set_gauge("store.misses", s.misses as f64);
+        registry.set_gauge("store.writes", s.writes as f64);
+        registry.set_gauge("store.corrupt_skipped", s.corrupt_skipped as f64);
+        registry.set_gauge("store.records", s.records as f64);
+    }
+}
+
+/// Adapter implementing the sweep engine's [`ProfileStorage`] over a
+/// [`ProfileStore`], namespacing workload cache keys with the owning
+/// prophet's fingerprints:
+///
+/// ```text
+/// <workload key>@cal=<calibration fp>;opt=<profile-options fp>
+/// ```
+///
+/// A persisted profile is only ever replayed by a prophet whose
+/// calibration *and* profiling configuration match the one that wrote
+/// it; any mismatch simply misses and re-profiles. Both operations are
+/// best-effort per the [`ProfileStorage`] contract: I/O errors warn on
+/// stderr and degrade to profiling, never failing a sweep.
+pub struct KeyedStore {
+    store: Arc<ProfileStore>,
+    suffix: String,
+}
+
+impl KeyedStore {
+    /// Bind `store` to `prophet`'s fingerprints. Computes the
+    /// calibration eagerly (fingerprinting needs it) — the daemon pays
+    /// that cost at startup instead of on the first request.
+    pub fn new(store: Arc<ProfileStore>, prophet: &prophet_core::Prophet) -> Self {
+        KeyedStore {
+            store,
+            suffix: format!(
+                "@cal={:016x};opt={:016x}",
+                prophet.calibration_fingerprint(),
+                prophet.profile_options_fingerprint()
+            ),
+        }
+    }
+
+    /// The store-level key for a workload cache key.
+    pub fn full_key(&self, key: &str) -> String {
+        format!("{key}{}", self.suffix)
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<ProfileStore> {
+        &self.store
+    }
+}
+
+impl ProfileStorage for KeyedStore {
+    fn load(&self, key: &str) -> Option<Profiled> {
+        match self.store.get(&self.full_key(key)) {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!("prophet-store: warning: load of {key:?} failed ({e}); re-profiling");
+                None
+            }
+        }
+    }
+
+    fn save(&self, key: &str, profiled: &Profiled) {
+        if let Err(e) = self.store.put(&self.full_key(key), profiled) {
+            eprintln!(
+                "prophet-store: warning: save of {key:?} failed ({e}); profile not persisted"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("prophet-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_profiled(name: &str) -> Profiled {
+        struct Tiny;
+        impl prophet_core::tracer::AnnotatedProgram for Tiny {
+            fn name(&self) -> &str {
+                "tiny"
+            }
+            fn run(&self, t: &mut prophet_core::tracer::Tracer) {
+                t.par_sec_begin("s");
+                t.par_task_begin("t");
+                t.work(5_000);
+                t.par_task_end();
+                t.par_sec_end(false);
+            }
+        }
+        let prophet = prophet_core::Prophet::builder()
+            .calibration(prophet_core::memmodel::calibrate(
+                prophet_core::machsim::MachineConfig::westmere_scaled(),
+                &prophet_core::memmodel::CalibrationOptions {
+                    thread_counts: vec![2],
+                    intensity_steps: 3,
+                    packet_cycles: 100_000,
+                },
+            ))
+            .build();
+        let mut p = prophet.profile(&Tiny);
+        p.name = name.to_string();
+        p
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_restart() {
+        let dir = tmpdir("roundtrip");
+        let profiled = sample_profiled("alpha");
+        {
+            let store = ProfileStore::open(&dir).unwrap();
+            assert!(store.is_empty());
+            store.put("k1", &profiled).unwrap();
+            let got = store.get("k1").unwrap().unwrap();
+            assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(&profiled).unwrap()
+            );
+            assert_eq!(store.get("absent").unwrap().map(|p| p.name), None);
+            let s = store.stats();
+            assert_eq!((s.hits, s.misses, s.writes, s.records), (1, 1, 1, 1));
+        }
+        // Re-open: the record survives and decodes identically.
+        let store = ProfileStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        let got = store.get("k1").unwrap().unwrap();
+        assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(&profiled).unwrap()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_put_is_a_noop() {
+        let dir = tmpdir("dup");
+        let store = ProfileStore::open(&dir).unwrap();
+        let profiled = sample_profiled("beta");
+        store.put("k", &profiled).unwrap();
+        let len_after_first = fs::metadata(dir.join(LOG_NAME)).unwrap().len();
+        store.put("k", &profiled).unwrap();
+        assert_eq!(
+            fs::metadata(dir.join(LOG_NAME)).unwrap().len(),
+            len_after_first,
+            "second put of the same key must not grow the log"
+        );
+        assert_eq!(store.stats().writes, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped_with_recovery() {
+        let dir = tmpdir("trunc");
+        {
+            let store = ProfileStore::open(&dir).unwrap();
+            store.put("whole", &sample_profiled("a")).unwrap();
+            store.put("torn", &sample_profiled("b")).unwrap();
+        }
+        // Tear the last record: drop its final 10 bytes (crash mid-append).
+        let log = dir.join(LOG_NAME);
+        let len = fs::metadata(&log).unwrap().len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .unwrap()
+            .set_len(len - 10)
+            .unwrap();
+
+        let store = ProfileStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "only the whole record survives");
+        assert!(store.get("whole").unwrap().is_some());
+        assert!(store.get("torn").unwrap().is_none());
+        assert_eq!(store.stats().corrupt_skipped, 1);
+        // The trim resynced the log: appends work and survive re-open.
+        store.put("torn", &sample_profiled("b2")).unwrap();
+        drop(store);
+        let store = ProfileStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("torn").unwrap().unwrap().name, "b2");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_is_skipped_not_panicked() {
+        let dir = tmpdir("corrupt");
+        {
+            let store = ProfileStore::open(&dir).unwrap();
+            store.put("first", &sample_profiled("a")).unwrap();
+            store.put("second", &sample_profiled("b")).unwrap();
+        }
+        // Flip one byte inside the second record's payload.
+        let log = dir.join(LOG_NAME);
+        let mut bytes = fs::read(&log).unwrap();
+        let mid = bytes.len() - 20;
+        bytes[mid] ^= 0xff;
+        fs::write(&log, &bytes).unwrap();
+
+        let store = ProfileStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "corruption drops the damaged tail");
+        assert!(store.get("first").unwrap().is_some());
+        assert_eq!(store.stats().corrupt_skipped, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_tracks_the_log() {
+        let dir = tmpdir("manifest");
+        let store = ProfileStore::open(&dir).unwrap();
+        store.put("k", &sample_profiled("a")).unwrap();
+        store.flush().unwrap();
+        let manifest: Manifest =
+            serde_json::from_str(&fs::read_to_string(dir.join(MANIFEST_NAME)).unwrap()).unwrap();
+        assert_eq!(manifest.version, 1);
+        assert_eq!(manifest.records, 1);
+        assert_eq!(
+            manifest.committed_len,
+            fs::metadata(dir.join(LOG_NAME)).unwrap().len()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keyed_store_namespaces_by_fingerprints() {
+        let dir = tmpdir("keyed");
+        let store = Arc::new(ProfileStore::open(&dir).unwrap());
+        let light = prophet_core::Prophet::builder()
+            .calibration(prophet_core::memmodel::calibrate(
+                prophet_core::machsim::MachineConfig::westmere_scaled(),
+                &prophet_core::memmodel::CalibrationOptions {
+                    thread_counts: vec![2],
+                    intensity_steps: 3,
+                    packet_cycles: 100_000,
+                },
+            ))
+            .build();
+        let keyed = KeyedStore::new(store.clone(), &light);
+        let profiled = sample_profiled("gamma");
+        keyed.save("wl:1", &profiled);
+        assert!(keyed.load("wl:1").is_some());
+
+        // A prophet with different options must not see the record.
+        let other = prophet_core::Prophet::builder()
+            .calibration(light.calibration().clone())
+            .burden_thread_counts(vec![2, 4])
+            .build();
+        let other_keyed = KeyedStore::new(store.clone(), &other);
+        assert!(
+            other_keyed.load("wl:1").is_none(),
+            "fingerprint mismatch must miss"
+        );
+        assert_ne!(keyed.full_key("wl:1"), other_keyed.full_key("wl:1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -95,23 +95,97 @@ impl WorkloadSpec {
     }
 }
 
+/// A persistent profile backend a [`ProfileCache`] reads through to and
+/// writes behind to: on a memory miss the cache first asks the store, and
+/// a freshly-profiled entry is handed to the store for safekeeping.
+///
+/// Implementations (the `prophet-store` on-disk store) must be safe to
+/// call from many sweep workers at once and must treat both operations as
+/// best-effort: a `load` returning `None` merely re-profiles, and a
+/// failed `save` must not fail the sweep (log and drop).
+pub trait ProfileStorage: Send + Sync {
+    /// The persisted profile for `key`, if one exists and is valid.
+    fn load(&self, key: &str) -> Option<Profiled>;
+    /// Persist a freshly-computed profile. Best-effort.
+    fn save(&self, key: &str, profiled: &Profiled);
+}
+
 /// Counters of a [`ProfileCache`] after (or during) a sweep.
 ///
-/// `misses` counts closures actually run — exactly one per distinct key,
-/// however many threads race — so the numbers are deterministic for a
-/// given job list regardless of `--jobs`. `evictions` stays 0 for the
-/// default unbounded cache; a capacity-bounded cache (the long-lived
+/// `misses` counts lookups not served from memory — exactly one per
+/// distinct key, however many threads race — so the numbers are
+/// deterministic for a given job list regardless of `--jobs`. With a
+/// [`ProfileStorage`] attached a miss is satisfied either by the store
+/// (`store_hits`) or by running the profiler; `misses - store_hits` is
+/// therefore the number of actual profiler runs — see
+/// [`CacheStats::profiles`]. `evictions` stays 0 for the default
+/// unbounded cache; a capacity-bounded cache (the long-lived
 /// `prophet serve` daemon) counts every key displaced by LRU pressure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialization note: only the four original fields (`hits`, `misses`,
+/// `entries`, `evictions`) appear in JSON. The store counters are
+/// deliberately excluded so a sweep's output stays byte-identical whether
+/// its profiles came from the profiler or from a warm store — the
+/// byte-stability contract predictions are pinned by. Store counters
+/// surface through `/metrics` and stderr instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from an already-profiled entry.
+    /// Lookups served from an already-profiled in-memory entry.
     pub hits: u64,
-    /// Lookups that ran the profiler.
+    /// Lookups not served from memory (store hit or profiler run).
     pub misses: u64,
     /// Distinct keys resident.
     pub entries: u64,
     /// Keys evicted under LRU capacity pressure (0 when unbounded).
     pub evictions: u64,
+    /// Misses satisfied by the persistent store instead of the profiler.
+    /// Not serialized (see above).
+    pub store_hits: u64,
+    /// Freshly-profiled entries handed to the persistent store.
+    /// Not serialized (see above).
+    pub store_writes: u64,
+}
+
+impl CacheStats {
+    /// Number of times the profiler actually ran: memory misses not
+    /// absorbed by the persistent store. Zero after a warm restart means
+    /// the store replayed every profile.
+    pub fn profiles(&self) -> u64 {
+        self.misses - self.store_hits
+    }
+}
+
+// Hand-written (not derived) so the store counters never reach JSON:
+// sweep output must stay byte-identical between a cold run and a
+// store-warmed restart.
+impl Serialize for CacheStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("hits".to_string(), serde::Value::U64(self.hits)),
+            ("misses".to_string(), serde::Value::U64(self.misses)),
+            ("entries".to_string(), serde::Value::U64(self.entries)),
+            ("evictions".to_string(), serde::Value::U64(self.evictions)),
+        ])
+    }
+}
+
+impl Deserialize for CacheStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| -> Result<u64, serde::Error> {
+            match v.get(name) {
+                Some(val) => u64::from_value(val),
+                None => Err(serde::Error::msg(format!("missing field {name}"))),
+            }
+        };
+        Ok(CacheStats {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            entries: field("entries")?,
+            evictions: field("evictions")?,
+            store_hits: 0,
+            store_writes: 0,
+        })
+    }
 }
 
 /// One resident cache entry: the shared profile cell plus its LRU stamp.
@@ -146,9 +220,14 @@ struct CacheInner {
 /// merely forgets the result.
 pub struct ProfileCache {
     inner: Mutex<CacheInner>,
+    /// Optional persistent backend: read-through on memory misses,
+    /// write-behind for fresh profiles.
+    storage: Option<Arc<dyn ProfileStorage>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    store_hits: AtomicU64,
+    store_writes: AtomicU64,
 }
 
 impl Default for ProfileCache {
@@ -173,10 +252,21 @@ impl ProfileCache {
                 cap: cap.map(|c| c.max(1)),
                 tick: 0,
             }),
+            storage: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a persistent backend. Memory misses first consult it
+    /// (read-through); freshly-run profiles are handed to it
+    /// (write-behind). Replacing an existing backend is allowed but the
+    /// counters are not reset.
+    pub fn set_storage(&mut self, storage: Arc<dyn ProfileStorage>) {
+        self.storage = Some(storage);
     }
 
     /// The profile for `key`, running `profile` on first use (at most
@@ -213,14 +303,31 @@ impl ProfileCache {
             cell
         };
         let mut ran = false;
+        let mut from_store = false;
+        let mut wrote_store = false;
         let out = cell
             .get_or_init(|| {
                 ran = true;
-                Arc::new(profile())
+                if let Some(stored) = self.storage.as_ref().and_then(|s| s.load(key)) {
+                    from_store = true;
+                    return Arc::new(stored);
+                }
+                let fresh = profile();
+                if let Some(storage) = &self.storage {
+                    storage.save(key, &fresh);
+                    wrote_store = true;
+                }
+                Arc::new(fresh)
             })
             .clone();
         if ran {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if from_store {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            if wrote_store {
+                self.store_writes.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -234,6 +341,8 @@ impl ProfileCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.inner.lock().expect("profile cache poisoned").map.len() as u64,
             evictions: self.evictions.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_writes: self.store_writes.load(Ordering::Relaxed),
         }
     }
 }
@@ -514,9 +623,18 @@ impl SweepEngine {
 
     /// Bound the profile cache to an LRU capacity (`None` = unbounded,
     /// the default). Intended for long-lived engines (`prophet serve`);
-    /// replaces the cache, so call before the first sweep.
+    /// replaces the cache (dropping any attached store), so call before
+    /// [`SweepEngine::with_profile_store`] and before the first sweep.
     pub fn with_profile_cache_capacity(mut self, cap: Option<usize>) -> Self {
         self.cache = ProfileCache::with_capacity(cap);
+        self
+    }
+
+    /// Attach a persistent profile store the cache reads through to.
+    /// On a daemon restart the store replays profiles instead of
+    /// re-running the tracer; predictions are byte-identical either way.
+    pub fn with_profile_store(mut self, storage: Arc<dyn ProfileStorage>) -> Self {
+        self.cache.set_storage(storage);
         self
     }
 
@@ -749,6 +867,81 @@ mod tests {
         }
         let s = cache.stats();
         assert_eq!((s.entries, s.evictions), (4, 0));
+    }
+
+    /// An in-memory [`ProfileStorage`] standing in for the on-disk store.
+    #[derive(Default)]
+    struct MapStore {
+        map: Mutex<HashMap<String, Profiled>>,
+        loads: AtomicU64,
+        saves: AtomicU64,
+    }
+
+    impl ProfileStorage for MapStore {
+        fn load(&self, key: &str) -> Option<Profiled> {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            self.map.lock().unwrap().get(key).cloned()
+        }
+        fn save(&self, key: &str, profiled: &Profiled) {
+            self.saves.fetch_add(1, Ordering::Relaxed);
+            self.map
+                .lock()
+                .unwrap()
+                .insert(key.to_string(), profiled.clone());
+        }
+    }
+
+    #[test]
+    fn storage_read_through_and_write_behind() {
+        let prophet = tiny_prophet();
+        let store = Arc::new(MapStore::default());
+
+        // Cold cache + empty store: the profiler runs, the store is fed.
+        let mut cold = ProfileCache::new();
+        cold.set_storage(store.clone() as Arc<dyn ProfileStorage>);
+        let spec = WorkloadSpec::test1(9);
+        let fresh = cold.get_or_profile(&spec.key, || (spec.build)(&prophet));
+        let s = cold.stats();
+        assert_eq!((s.misses, s.store_hits, s.store_writes), (1, 0, 1));
+        assert_eq!(s.profiles(), 1);
+
+        // A fresh cache over the warm store: zero profiler runs.
+        let mut warm = ProfileCache::new();
+        warm.set_storage(store.clone() as Arc<dyn ProfileStorage>);
+        let replayed = warm.get_or_profile(&spec.key, || panic!("profiler must not run"));
+        let s = warm.stats();
+        assert_eq!((s.misses, s.store_hits, s.store_writes), (1, 1, 0));
+        assert_eq!(s.profiles(), 0, "store absorbed the miss");
+        assert_eq!(
+            serde_json::to_string(&*fresh).unwrap(),
+            serde_json::to_string(&*replayed).unwrap(),
+            "replayed profile must match the fresh one byte for byte"
+        );
+
+        // Memory hits never touch the store.
+        let loads_before = store.loads.load(Ordering::Relaxed);
+        let _ = warm.get_or_profile(&spec.key, || panic!("profiler must not run"));
+        assert_eq!(store.loads.load(Ordering::Relaxed), loads_before);
+    }
+
+    #[test]
+    fn cache_stats_serialization_excludes_store_counters() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 2,
+            entries: 2,
+            evictions: 1,
+            store_hits: 2,
+            store_writes: 5,
+        };
+        let js = serde_json::to_string(&stats).unwrap();
+        assert_eq!(
+            js, r#"{"hits":3,"misses":2,"entries":2,"evictions":1}"#,
+            "store counters must never reach JSON (byte-stability contract)"
+        );
+        let back: CacheStats = serde_json::from_str(&js).unwrap();
+        assert_eq!((back.hits, back.misses), (3, 2));
+        assert_eq!((back.store_hits, back.store_writes), (0, 0));
     }
 
     #[test]

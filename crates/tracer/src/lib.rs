@@ -75,7 +75,11 @@ impl Default for ProfileOptions {
 }
 
 /// Result of profiling one annotated program.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a profile can be persisted (the `prophet-store`
+/// on-disk profile store) and re-loaded byte-identically: every field is
+/// either an integer or built from exactly-roundtripping parts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProfileResult {
     /// The program tree (compressed when requested).
     pub tree: ProgramTree,

@@ -9,16 +9,16 @@ use prophet_core::{Emulator, PredictOptions, Prophet};
 use workloads::{run_real, RealOptions, Test1, Test1Params, Test2, Test2Params};
 
 fn quick_prophet() -> Prophet {
-    let mut p = Prophet::new();
-    p.set_calibration(prophet_core::memmodel::calibrate(
-        machsim::MachineConfig::westmere_scaled(),
-        &prophet_core::memmodel::CalibrationOptions {
-            thread_counts: vec![2, 4, 8, 12],
-            intensity_steps: 6,
-            packet_cycles: 200_000,
-        },
-    ));
-    p
+    Prophet::builder()
+        .calibration(prophet_core::memmodel::calibrate(
+            machsim::MachineConfig::westmere_scaled(),
+            &prophet_core::memmodel::CalibrationOptions {
+                thread_counts: vec![2, 4, 8, 12],
+                intensity_steps: 6,
+                packet_cycles: 200_000,
+            },
+        ))
+        .build()
 }
 
 fn mean(xs: &[f64]) -> f64 {

@@ -21,8 +21,7 @@ fn quick_cal() -> prophet_core::memmodel::MemCalibration {
 fn profiling_is_deterministic() {
     let prog = Test1::new(Test1Params::random(33));
     let run = || {
-        let mut p = Prophet::new();
-        p.set_calibration(quick_cal());
+        let p = Prophet::builder().calibration(quick_cal()).build();
         p.profile(&prog)
     };
     let a = run();
@@ -42,8 +41,7 @@ fn calibration_is_deterministic() {
 #[test]
 fn predictions_are_deterministic() {
     let prog = Test2::new(Test2Params::random(4));
-    let mut prophet = Prophet::new();
-    prophet.set_calibration(quick_cal());
+    let prophet = Prophet::builder().calibration(quick_cal()).build();
     let profiled = prophet.profile(&prog);
     for emulator in [Emulator::FastForward, Emulator::Synthesizer] {
         let opts = PredictOptions {
@@ -62,8 +60,7 @@ fn predictions_are_deterministic() {
 #[test]
 fn ground_truth_is_deterministic() {
     let prog = Test1::new(Test1Params::random(8));
-    let mut prophet = Prophet::new();
-    prophet.set_calibration(quick_cal());
+    let prophet = Prophet::builder().calibration(quick_cal()).build();
     let profiled = prophet.profile(&prog);
     let opts = RealOptions::new(8, Paradigm::OpenMp, Schedule::dynamic1());
     let a = run_real(&profiled.tree, &opts).unwrap();

@@ -42,16 +42,16 @@ impl AnnotatedProgram for FineRecursion {
 }
 
 fn quick_prophet() -> Prophet {
-    let mut p = Prophet::new();
-    p.set_calibration(prophet_core::memmodel::calibrate(
-        machsim::MachineConfig::westmere_scaled(),
-        &prophet_core::memmodel::CalibrationOptions {
-            thread_counts: vec![2, 8],
-            intensity_steps: 4,
-            packet_cycles: 100_000,
-        },
-    ));
-    p
+    Prophet::builder()
+        .calibration(prophet_core::memmodel::calibrate(
+            machsim::MachineConfig::westmere_scaled(),
+            &prophet_core::memmodel::CalibrationOptions {
+                thread_counts: vec![2, 8],
+                intensity_steps: 4,
+                packet_cycles: 100_000,
+            },
+        ))
+        .build()
 }
 
 #[test]

@@ -7,9 +7,7 @@ use workloads::{run_real, RealOptions, Test1, Test1Params, Test2, Test2Params};
 
 /// A canned light calibration so tests don't pay the full microbenchmark.
 fn quick_prophet() -> Prophet {
-    let mut p = Prophet::new();
-    p.set_calibration(memmodel_quick());
-    p
+    Prophet::builder().calibration(memmodel_quick()).build()
 }
 
 fn memmodel_quick() -> prophet_core::memmodel::MemCalibration {
@@ -130,20 +128,23 @@ fn profile_is_reusable_across_predictions() {
 #[test]
 fn compression_does_not_change_predictions_materially() {
     let prog = Test1::new(Test1Params::random(100));
-    let mut prophet = quick_prophet();
 
-    let opts_nc = tracer::ProfileOptions {
-        compress: false,
-        ..tracer::ProfileOptions::default()
-    };
-    prophet.set_profile_options(opts_nc);
+    let prophet = Prophet::builder()
+        .calibration(memmodel_quick())
+        .profile_options(tracer::ProfileOptions {
+            compress: false,
+            ..tracer::ProfileOptions::default()
+        })
+        .build();
     let uncompressed = prophet.profile(&prog);
 
-    let opts_c = tracer::ProfileOptions {
-        compress: true,
-        ..tracer::ProfileOptions::default()
-    };
-    prophet.set_profile_options(opts_c);
+    let prophet = Prophet::builder()
+        .calibration(memmodel_quick())
+        .profile_options(tracer::ProfileOptions {
+            compress: true,
+            ..tracer::ProfileOptions::default()
+        })
+        .build();
     let compressed = prophet.profile(&prog);
 
     assert!(compressed.tree.len() <= uncompressed.tree.len());

@@ -7,16 +7,16 @@ use prophet_core::{Emulator, PredictOptions, Prophet};
 use workloads::{run_real, PipelineParams, PipelineWl, RealOptions};
 
 fn quick_prophet() -> Prophet {
-    let mut p = Prophet::new();
-    p.set_calibration(prophet_core::memmodel::calibrate(
-        machsim::MachineConfig::westmere_scaled(),
-        &prophet_core::memmodel::CalibrationOptions {
-            thread_counts: vec![2, 8],
-            intensity_steps: 4,
-            packet_cycles: 100_000,
-        },
-    ));
-    p
+    Prophet::builder()
+        .calibration(prophet_core::memmodel::calibrate(
+            machsim::MachineConfig::westmere_scaled(),
+            &prophet_core::memmodel::CalibrationOptions {
+                thread_counts: vec![2, 8],
+                intensity_steps: 4,
+                packet_cycles: 100_000,
+            },
+        ))
+        .build()
 }
 
 #[test]
@@ -112,18 +112,20 @@ fn fewer_cores_than_stages_handled() {
         real.speedup
     );
 
-    let mut prophet2 = Prophet::with_machine(
-        machsim::MachineConfig::westmere_scaled().with_cores(2),
-        cachesim::HierarchyConfig::westmere_scaled(),
-    );
-    prophet2.set_calibration(prophet_core::memmodel::calibrate(
-        machsim::MachineConfig::westmere_scaled().with_cores(2),
-        &prophet_core::memmodel::CalibrationOptions {
-            thread_counts: vec![2],
-            intensity_steps: 3,
-            packet_cycles: 100_000,
-        },
-    ));
+    let prophet2 = Prophet::builder()
+        .machine(
+            machsim::MachineConfig::westmere_scaled().with_cores(2),
+            cachesim::HierarchyConfig::westmere_scaled(),
+        )
+        .calibration(prophet_core::memmodel::calibrate(
+            machsim::MachineConfig::westmere_scaled().with_cores(2),
+            &prophet_core::memmodel::CalibrationOptions {
+                thread_counts: vec![2],
+                intensity_steps: 3,
+                packet_cycles: 100_000,
+            },
+        ))
+        .build();
     let profiled2 = prophet2.profile(&wl);
     let ff = prophet2
         .predict(

@@ -140,6 +140,53 @@ fn loopback_cold_then_cached_is_byte_identical() {
     handle.shutdown();
 }
 
+/// (b2) the versioned v1 endpoints and their deprecated unversioned
+/// aliases answer byte-identical bodies; the alias carries a
+/// `Deprecation` header; and the 400-vs-422 error split matches the
+/// stable `ProphetError` codes.
+#[test]
+fn v1_endpoints_alias_legacy_with_identical_bodies() {
+    let handle = start_server(loopback_config());
+    let addr = handle.local_addr().to_string();
+
+    let (s1, h1, v1) = client_request(&addr, "POST", "/v1/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s1, 200, "v1 predict failed: {v1}");
+    let (s2, h2, legacy) = client_request(&addr, "POST", "/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s2, 200);
+    assert_eq!(v1, legacy, "v1 and legacy bodies must be identical");
+    assert!(
+        header(&h2, "deprecation").is_some(),
+        "legacy spelling must carry a Deprecation header"
+    );
+    assert!(
+        header(&h1, "deprecation").is_none(),
+        "v1 spelling is not deprecated"
+    );
+
+    for endpoint in ["healthz", "metrics"] {
+        let (sv, _, _) = client_request(&addr, "GET", &format!("/v1/{endpoint}"), None).unwrap();
+        let (sl, hl, _) = client_request(&addr, "GET", &format!("/{endpoint}"), None).unwrap();
+        assert_eq!((sv, sl), (200, 200), "{endpoint} aliases disagree");
+        assert!(header(&hl, "deprecation").is_some());
+    }
+
+    // Malformed JSON is the client's 400 (invalid_request)...
+    let (status, _, body) =
+        client_request(&addr, "POST", "/v1/predict", Some("{\"workload\":42")).unwrap();
+    assert_eq!(status, 400);
+    let err: serve::api::ErrorBody = serde_json::from_str(&body).unwrap();
+    assert_eq!(err.code, "invalid_request");
+
+    // ...while well-formed JSON naming an unknown workload is a 422.
+    let (status, _, body) =
+        client_request(&addr, "POST", "/v1/predict", Some(r#"{"workload":"nope"}"#)).unwrap();
+    assert_eq!(status, 422);
+    let err: serve::api::ErrorBody = serde_json::from_str(&body).unwrap();
+    assert_eq!(err.code, "unprocessable");
+
+    handle.shutdown();
+}
+
 /// (c) queue overflow sheds with 429 instead of hanging, and drain fails
 /// queued-but-unserved work with 503.
 #[test]
