@@ -15,9 +15,10 @@
 //!                           [--out sweep.json]
 //! prophet serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] [--cache-cap N]
 //!               [--jobs N] [--store-dir DIR] [--shards a:p,b:p --self-addr a:p]
+//!               [--slo-ms N] [--access-log PATH]
 //! prophet route [--addr 127.0.0.1:7178] --shards a:p,b:p
 //! prophet loadgen [workloads] [--addr ..] [--shards a:p,b:p] [--requests N]
-//!                 [--concurrency N] [--expect-cache-hits]
+//!                 [--concurrency N] [--expect-cache-hits] [--bench-out PATH]
 //! ```
 //!
 //! `sweep` evaluates the full grid `{workload × threads × schedule ×
@@ -165,6 +166,12 @@ struct Args {
     shards: Vec<String>,
     /// serve: this daemon's own address in the ring.
     self_addr: Option<String>,
+    /// serve: SLO latency target for predicts, ms (0 = errors only).
+    slo_ms: u64,
+    /// serve: JSONL access-log path.
+    access_log: Option<String>,
+    /// loadgen: write the JSON bench report here.
+    bench_out: Option<String>,
 }
 
 /// One-line usage shown on every argument error: the full verb list, so
@@ -218,6 +225,9 @@ fn parse_args() -> Args {
         store_dir: None,
         shards: Vec::new(),
         self_addr: None,
+        slo_ms: 5_000,
+        access_log: None,
+        bench_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -330,6 +340,21 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--self-addr needs host:port")),
                 );
             }
+            "--slo-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--slo-ms needs a millisecond count"));
+                args.slo_ms = v.parse().unwrap_or_else(|_| die("bad SLO target"));
+            }
+            "--access-log" => {
+                args.access_log = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--access-log needs a path")),
+                );
+            }
+            "--bench-out" => {
+                args.bench_out = Some(it.next().unwrap_or_else(|| die("--bench-out needs a path")));
+            }
             "--expect-cache-hits" => args.expect_cache_hits = true,
             "--no-memory-model" => args.memory_model = false,
             "--real" => args.with_real = true,
@@ -420,10 +445,10 @@ fn main() {
                  [--timings] [--out f.json]\n  \
                  serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] \
                  [--cache-cap N] [--jobs N] [--store-dir DIR] \
-                 [--shards a:p,b:p --self-addr a:p]\n  \
+                 [--shards a:p,b:p --self-addr a:p] [--slo-ms N] [--access-log PATH]\n  \
                  route [--addr 127.0.0.1:7178] --shards a:p,b:p\n  \
                  loadgen [workloads] [--addr ..] [--shards a:p,b:p] [--requests N] \
-                 [--concurrency N] [--expect-cache-hits]"
+                 [--concurrency N] [--expect-cache-hits] [--bench-out PATH]"
             );
         }
         "list" => {
@@ -774,6 +799,8 @@ fn main() {
                 store_dir: args.store_dir.clone(),
                 shard_ring: args.shards.clone(),
                 shard_self: args.self_addr.clone(),
+                slo_ms: args.slo_ms,
+                access_log: args.access_log.clone(),
                 ..serve::ServeConfig::default()
             };
             let resolver: serve::Resolver = std::sync::Arc::new(try_parse_sweep_workloads);
@@ -864,6 +891,7 @@ fn main() {
                 expect_cache_hits: args.expect_cache_hits,
                 shards: args.shards.clone(),
                 route_keys,
+                bench_out: args.bench_out.clone(),
             };
             let report = serve::loadgen::run(&opts);
             println!("{}", report.summary());

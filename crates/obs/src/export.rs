@@ -19,7 +19,7 @@ pub const PID_THREADS: u64 = 1;
 /// `pid` used for the DRAM bandwidth counter track.
 pub const PID_MEMORY: u64 = 2;
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
         fields
             .into_iter()
@@ -28,7 +28,7 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     )
 }
 
-fn s(v: &str) -> Value {
+pub(crate) fn s(v: &str) -> Value {
     Value::Str(v.to_string())
 }
 

@@ -18,6 +18,10 @@
 //! * [`export`] — Chrome Trace Event / Perfetto JSON (one track per
 //!   simulated core and per runtime worker), a compact JSONL dump, and a
 //!   plain-text timeline summary for terminals.
+//! * [`wallspan`] — **wall-clock** request tracing for the serve fleet:
+//!   trace/span ids that propagate across processes, a log-linear
+//!   latency histogram with p50/p95/p99 readout, and Chrome-trace/JSONL
+//!   span exporters.
 //!
 //! Producers (machsim, omp-rt, cilk-rt, ffemu, synthemu, tracer) gate
 //! their instrumentation behind an `obs` cargo feature, so disabling the
@@ -27,7 +31,11 @@
 pub mod export;
 pub mod metrics;
 pub mod record;
+pub mod wallspan;
 
 pub use export::{chrome_trace_json, jsonl_dump, prometheus_text, timeline_summary};
 pub use metrics::{Histogram, MetricsRegistry, TraceMetrics};
 pub use record::{Event, EventKind, ObsHandle, ObsLevel, Recorder, SpanKind};
+pub use wallspan::{
+    HistSnapshot, IdGen, SpanId, SpanSink, TraceContext, TraceId, WallHistogram, WallSpan,
+};

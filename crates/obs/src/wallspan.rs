@@ -1,0 +1,887 @@
+//! Wall-clock request tracing for the serve fleet.
+//!
+//! Everything else in this crate observes **virtual** time inside the
+//! emulators; this module observes **wall-clock** time across the
+//! serving stack (daemon → router → shards → store), where a request's
+//! latency is real and distributed over processes:
+//!
+//! * [`TraceId`]/[`SpanId`] — 64-bit ids drawn from a splitmix64 stream
+//!   per process. Normally seeded from the clock; the
+//!   `PROPHET_TRACE_SEED` environment variable pins the stream so trace
+//!   exports stay goldenable in tests.
+//! * [`TraceContext`] — the `x-prophet-trace` header codec
+//!   (`<trace>-<parent span>`, both zero-padded hex), which is how one
+//!   trace id survives router → owner-shard → forwarded-shard hops.
+//! * [`SpanSink`] — a cheap shared append buffer, one per request; the
+//!   connection thread and the batch worker both push finished
+//!   [`WallSpan`]s into it without coordinating beyond a short lock.
+//! * [`WallHistogram`] — a log-linear latency histogram (each power-of-
+//!   two octave split into 32 linear sub-buckets, so quantile readout is
+//!   within ~3% of exact) with p50/p95/p99 and bucket-wise merging.
+//! * Exporters — Chrome-trace JSON (one track per process, loadable in
+//!   Perfetto) and a JSONL span dump that doubles as the wire format
+//!   when stitching a trace across processes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Value;
+
+use crate::export::{obj, s};
+
+/// The SplitMix64 mixer: a bijective avalanche over `u64`. Consecutive
+/// counter values map to statistically independent ids, so one atomic
+/// counter yields the whole id stream.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Read a `u64` out of a parsed JSON number without an f64 round-trip
+/// (exactness matters for unix-nano timestamps and bucket bounds).
+fn exact_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::U64(u) => Some(u),
+        Value::I64(i) => u64::try_from(i).ok(),
+        Value::F64(f) if f >= 0.0 => Some(f as u64),
+        _ => None,
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A 64-bit trace identifier shared by every span of one request, no
+/// matter how many processes it crossed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// A 64-bit span identifier, unique within its process's id stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl TraceId {
+    /// Zero-padded lower-case hex, the wire spelling.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the wire spelling (any-length hex accepted).
+    pub fn parse_hex(sv: &str) -> Option<TraceId> {
+        u64::from_str_radix(sv, 16).ok().map(TraceId)
+    }
+}
+
+impl SpanId {
+    /// Zero-padded lower-case hex, the wire spelling.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse_hex(sv: &str) -> Option<SpanId> {
+        u64::from_str_radix(sv, 16).ok().map(SpanId)
+    }
+}
+
+/// The id generator: one per process, an atomic counter fed through
+/// [`splitmix64`]. Lock-free and wait-free on the request path.
+pub struct IdGen {
+    state: AtomicU64,
+}
+
+impl IdGen {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> IdGen {
+        IdGen {
+            state: AtomicU64::new(seed),
+        }
+    }
+
+    /// The production constructor. When `PROPHET_TRACE_SEED` is set the
+    /// stream is `seed ^ fnv(process)` — deterministic per process name,
+    /// distinct across a fleet started with the same seed — otherwise it
+    /// is seeded from the clock and pid.
+    pub fn from_env(process: &str) -> IdGen {
+        let seed = match std::env::var("PROPHET_TRACE_SEED")
+            .ok()
+            .and_then(|sv| sv.parse::<u64>().ok())
+        {
+            Some(sv) => sv ^ fnv1a(process.as_bytes()),
+            None => {
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+                    .unwrap_or(0);
+                nanos ^ fnv1a(process.as_bytes()) ^ (u64::from(std::process::id()) << 32)
+            }
+        };
+        IdGen::new(seed)
+    }
+
+    fn next_raw(&self) -> u64 {
+        loop {
+            let n = self.state.fetch_add(1, Ordering::Relaxed);
+            let id = splitmix64(n);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Draw a fresh trace id.
+    pub fn next_trace(&self) -> TraceId {
+        TraceId(self.next_raw())
+    }
+
+    /// Draw a fresh span id.
+    pub fn next_span(&self) -> SpanId {
+        SpanId(self.next_raw())
+    }
+}
+
+/// The decoded `x-prophet-trace` request header: which trace this
+/// request belongs to and which remote span is its parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every hop shares.
+    pub trace: TraceId,
+    /// The sender's span that caused this request (the forward span).
+    pub parent: SpanId,
+}
+
+impl TraceContext {
+    /// The header value: `<trace hex>-<parent span hex>`.
+    pub fn header_value(&self) -> String {
+        format!("{}-{}", self.trace.hex(), self.parent.hex())
+    }
+
+    /// Parse a header value; `None` on anything malformed (a bad header
+    /// starts a fresh trace rather than failing the request).
+    pub fn parse(header: &str) -> Option<TraceContext> {
+        let (t, p) = header.trim().split_once('-')?;
+        Some(TraceContext {
+            trace: TraceId::parse_hex(t)?,
+            parent: SpanId::parse_hex(p)?,
+        })
+    }
+}
+
+/// One finished wall-clock span: a named interval of one request's life
+/// inside one process.
+#[derive(Clone, Debug)]
+pub struct WallSpan {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub id: SpanId,
+    /// Parent span id; `None` for a hop's root span with no inbound
+    /// trace context.
+    pub parent: Option<SpanId>,
+    /// Stage name (`request`, `parse`, `queue_wait`, `predict`, ...).
+    pub name: String,
+    /// The process that recorded it, e.g. `shard@127.0.0.1:7177`.
+    pub process: String,
+    /// Start time as unix nanoseconds (wall clock, so spans from
+    /// different processes align on one timeline).
+    pub start_unix_nanos: u64,
+    /// Duration in nanoseconds.
+    pub dur_nanos: u64,
+    /// Free-form `(key, value)` annotations.
+    pub tags: Vec<(String, String)>,
+}
+
+impl WallSpan {
+    /// JSON object form (also the JSONL wire format for stitching).
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![("trace", s(&self.trace.hex())), ("span", s(&self.id.hex()))];
+        if let Some(p) = self.parent {
+            fields.push(("parent", s(&p.hex())));
+        }
+        fields.push(("name", s(&self.name)));
+        fields.push(("process", s(&self.process)));
+        fields.push(("start_unix_nanos", Value::U64(self.start_unix_nanos)));
+        fields.push(("dur_nanos", Value::U64(self.dur_nanos)));
+        if !self.tags.is_empty() {
+            fields.push((
+                "tags",
+                Value::Object(
+                    self.tags
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        obj(fields)
+    }
+
+    /// Parse the object form back; `None` if required fields are
+    /// missing (a peer running an older build, say).
+    pub fn from_value(v: &Value) -> Option<WallSpan> {
+        let str_of = |name: &str| match v.get(name) {
+            Some(Value::Str(sv)) => Some(sv.clone()),
+            _ => None,
+        };
+        // Prefer the exact integer variant: unix-nano timestamps exceed
+        // f64's 53-bit mantissa, and stitching must not jitter them.
+        let u64_of = |name: &str| exact_u64(v.get(name)?);
+        let tags = match v.get("tags") {
+            Some(Value::Object(fields)) => fields
+                .iter()
+                .filter_map(|(k, tv)| match tv {
+                    Value::Str(sv) => Some((k.clone(), sv.clone())),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Some(WallSpan {
+            trace: TraceId::parse_hex(&str_of("trace")?)?,
+            id: SpanId::parse_hex(&str_of("span")?)?,
+            parent: str_of("parent").and_then(|p| SpanId::parse_hex(&p)),
+            name: str_of("name")?,
+            process: str_of("process")?,
+            start_unix_nanos: u64_of("start_unix_nanos")?,
+            dur_nanos: u64_of("dur_nanos")?,
+            tags,
+        })
+    }
+}
+
+/// A per-request span buffer shared between the connection thread and
+/// whichever batch worker serves the request. Contention is two threads
+/// and the critical section is one `Vec::push`, so a plain mutex is
+/// effectively uncontended ("lock-free-ish": no allocation or blocking
+/// beyond that push).
+#[derive(Clone, Default)]
+pub struct SpanSink {
+    spans: Arc<Mutex<Vec<WallSpan>>>,
+}
+
+impl SpanSink {
+    /// An empty sink.
+    pub fn new() -> SpanSink {
+        SpanSink::default()
+    }
+
+    /// Append a finished span.
+    pub fn push(&self, span: WallSpan) {
+        self.spans.lock().expect("span sink poisoned").push(span);
+    }
+
+    /// Take every span recorded so far, leaving the sink empty (late
+    /// pushes after a deadline timeout land in the empty sink and are
+    /// dropped with it).
+    pub fn drain(&self) -> Vec<WallSpan> {
+        std::mem::take(&mut *self.spans.lock().expect("span sink poisoned"))
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("span sink poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Linear region: values below `2^LINEAR_BITS` get one bucket each.
+const LINEAR_BITS: u32 = 6;
+/// Sub-buckets per octave above the linear region (`2^SUB_BITS`).
+const SUB_BITS: u32 = 5;
+const SUBS: u64 = 1 << SUB_BITS; // 32
+const LINEAR: u64 = 1 << LINEAR_BITS; // 64
+/// Total bucket count: the linear region plus 32 sub-buckets for each
+/// of the octaves 2^6..2^63.
+const NBUCKETS: usize = (LINEAR + (64 - LINEAR_BITS as u64) * SUBS) as usize;
+
+/// A log-linear (HDR-style) latency histogram over `u64` nanoseconds.
+///
+/// Values below 64 are exact; above, each power-of-two octave is split
+/// into 32 linear sub-buckets, so any quantile reads back within one
+/// sub-bucket — a relative error of at most 1/32 (~3%) — while the whole
+/// histogram is a fixed 15 KiB regardless of range. Buckets are
+/// position-aligned across instances, so fleets merge bucket-wise
+/// without loss ([`WallHistogram::merge`]).
+#[derive(Clone)]
+pub struct WallHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for WallHistogram {
+    fn default() -> Self {
+        WallHistogram::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR {
+        v as usize
+    } else {
+        let top = 63 - u64::from(v.leading_zeros()); // >= LINEAR_BITS
+        let sub = (v >> (top - u64::from(SUB_BITS))) & (SUBS - 1);
+        (LINEAR + (top - u64::from(LINEAR_BITS)) * SUBS + sub) as usize
+    }
+}
+
+fn bucket_lower(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR {
+        i
+    } else {
+        let oct = (i - LINEAR) / SUBS + u64::from(LINEAR_BITS);
+        let sub = (i - LINEAR) % SUBS;
+        (1u64 << oct) + (sub << (oct - u64::from(SUB_BITS)))
+    }
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= NBUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(i + 1) - 1
+    }
+}
+
+impl WallHistogram {
+    /// An empty histogram.
+    pub fn new() -> WallHistogram {
+        WallHistogram {
+            buckets: vec![0; NBUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value (nanoseconds by convention).
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `p` in `[0, 1]`: the lower bound of the
+    /// bucket holding the `ceil(p·count)`-th observation, clamped to the
+    /// observed min/max so p0/p100 are exact.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_lower(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Add another histogram bucket-wise (buckets are position-aligned
+    /// by construction, so this is lossless).
+    pub fn merge(&mut self, other: &WallHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(lower_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), c))
+            .collect()
+    }
+
+    /// JSON form, shape-compatible with [`crate::Histogram::to_value`]
+    /// (plus `p99`), so fleet-level consumers can merge either kind via
+    /// [`HistSnapshot`].
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("count", Value::U64(self.count)),
+            ("sum", Value::U64(self.sum)),
+            ("min", Value::U64(self.min())),
+            ("max", Value::U64(self.max)),
+            ("mean", Value::F64(self.mean())),
+            ("p50", Value::U64(self.quantile(0.50))),
+            ("p95", Value::U64(self.quantile(0.95))),
+            ("p99", Value::U64(self.quantile(0.99))),
+            (
+                "buckets",
+                Value::Array(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, c)| Value::Array(vec![Value::U64(lo), Value::U64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Prometheus exposition text for this histogram under `name`
+    /// (already sanitised): cumulative `_bucket{le=...}` lines from the
+    /// non-empty buckets, then `_sum` and `_count`.
+    pub fn prometheus_text(&self, name: &str) -> String {
+        let mut out = format!("# TYPE {name} histogram\n");
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_upper(i)
+            ));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.count));
+        out.push_str(&format!("{name}_sum {}\n", self.sum));
+        out.push_str(&format!("{name}_count {}\n", self.count));
+        out
+    }
+}
+
+/// A histogram parsed back from rendered JSON, for fleet-level merging:
+/// the router pulls each shard's `/v1/metrics`, folds same-named
+/// histograms together bucket-wise, and re-renders. Works for both
+/// [`WallHistogram`] and the log₂ [`crate::Histogram`] — what matters is
+/// that same-named histograms across shards use the same bucketing, and
+/// they do because every shard runs the same code.
+#[derive(Clone, Debug, Default)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Observed minimum (meaningless when `count == 0`).
+    pub min: u64,
+    /// Observed maximum.
+    pub max: u64,
+    /// `(lower_bound, count)` pairs, ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Parse the JSON form emitted by either histogram type.
+    pub fn from_value(v: &Value) -> Option<HistSnapshot> {
+        let u64_of = |name: &str| exact_u64(v.get(name)?);
+        let Some(Value::Array(raw)) = v.get("buckets") else {
+            return None;
+        };
+        let mut buckets = Vec::with_capacity(raw.len());
+        for pair in raw {
+            let Value::Array(kv) = pair else { return None };
+            let (Some(lo), Some(c)) = (
+                kv.first().and_then(exact_u64),
+                kv.get(1).and_then(exact_u64),
+            ) else {
+                return None;
+            };
+            buckets.push((lo, c));
+        }
+        Some(HistSnapshot {
+            count: u64_of("count")?,
+            sum: u64_of("sum")?,
+            min: u64_of("min")?,
+            max: u64_of("max")?,
+            buckets,
+        })
+    }
+
+    /// Fold another snapshot in, bucket-wise by lower bound.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for &(lo, c) in &other.buckets {
+            match self.buckets.iter_mut().find(|(l, _)| *l == lo) {
+                Some((_, total)) => *total += c,
+                None => self.buckets.push((lo, c)),
+            }
+        }
+        self.buckets.sort_unstable();
+    }
+
+    /// Quantile readout from the merged buckets (lower-bound semantics,
+    /// like [`WallHistogram::quantile`]).
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lo, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return lo.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Re-render in the shared JSON shape.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("count", Value::U64(self.count)),
+            ("sum", Value::U64(self.sum)),
+            (
+                "min",
+                Value::U64(if self.count == 0 { 0 } else { self.min }),
+            ),
+            ("max", Value::U64(self.max)),
+            (
+                "mean",
+                Value::F64(if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum as f64 / self.count as f64
+                }),
+            ),
+            ("p50", Value::U64(self.quantile(0.50))),
+            ("p95", Value::U64(self.quantile(0.95))),
+            ("p99", Value::U64(self.quantile(0.99))),
+            (
+                "buckets",
+                Value::Array(
+                    self.buckets
+                        .iter()
+                        .map(|&(lo, c)| Value::Array(vec![Value::U64(lo), Value::U64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Export spans as Chrome Trace Event JSON (Perfetto-loadable): one
+/// `pid` per recording process, complete (`X`) events with microsecond
+/// timestamps relative to the earliest span, ids and tags in `args`.
+/// Spans are sorted by `(start, process, id)` first, so the same span
+/// set always exports byte-identical JSON.
+pub fn spans_chrome_trace(spans: &[WallSpan]) -> String {
+    let mut spans: Vec<&WallSpan> = spans.iter().collect();
+    spans.sort_by(|a, b| {
+        (a.start_unix_nanos, &a.process, a.id).cmp(&(b.start_unix_nanos, &b.process, b.id))
+    });
+    let mut processes: Vec<&str> = spans.iter().map(|sp| sp.process.as_str()).collect();
+    processes.sort_unstable();
+    processes.dedup();
+    let pid_of = |p: &str| processes.iter().position(|q| *q == p).unwrap_or(0) as u64;
+    let t0 = spans
+        .iter()
+        .map(|sp| sp.start_unix_nanos)
+        .min()
+        .unwrap_or(0);
+
+    let mut events = Vec::new();
+    for (pid, name) in processes.iter().enumerate() {
+        events.push(obj(vec![
+            ("name", s("process_name")),
+            ("ph", s("M")),
+            ("pid", Value::U64(pid as u64)),
+            ("tid", Value::U64(0)),
+            ("args", obj(vec![("name", s(name))])),
+        ]));
+    }
+    for sp in &spans {
+        let mut args = vec![("trace", s(&sp.trace.hex())), ("span", s(&sp.id.hex()))];
+        if let Some(p) = sp.parent {
+            args.push(("parent", s(&p.hex())));
+        }
+        for (k, v) in &sp.tags {
+            args.push((k.as_str(), s(v)));
+        }
+        events.push(obj(vec![
+            ("name", s(&sp.name)),
+            ("ph", s("X")),
+            ("ts", Value::U64((sp.start_unix_nanos - t0) / 1_000)),
+            ("dur", Value::U64(sp.dur_nanos / 1_000)),
+            ("pid", Value::U64(pid_of(&sp.process))),
+            ("tid", Value::U64(0)),
+            ("args", obj(args)),
+        ]));
+    }
+
+    let trace_hex = spans.first().map(|sp| sp.trace.hex()).unwrap_or_default();
+    let root = obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![
+                ("trace", s(&trace_hex)),
+                ("spans", Value::U64(spans.len() as u64)),
+                ("epoch_unix_nanos", Value::U64(t0)),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&root).expect("serialise chrome trace")
+}
+
+/// Export spans as JSONL, one [`WallSpan::to_value`] object per line —
+/// the access-log span format and the stitching wire format.
+pub fn spans_jsonl(spans: &[WallSpan]) -> String {
+    let mut out = String::new();
+    for sp in spans {
+        out.push_str(&serde_json::to_string(&sp.to_value()).expect("serialise span"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL span dump back (lines that fail to parse are skipped:
+/// peers may be older builds).
+pub fn spans_from_jsonl(text: &str) -> Vec<WallSpan> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<Value>(l).ok())
+        .filter_map(|v| WallSpan::from_value(&v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_ids_are_deterministic_and_nonzero() {
+        let a = IdGen::new(42);
+        let b = IdGen::new(42);
+        let ids_a: Vec<u64> = (0..64).map(|_| a.next_span().0).collect();
+        let ids_b: Vec<u64> = (0..64).map(|_| b.next_span().0).collect();
+        assert_eq!(ids_a, ids_b, "same seed must yield the same stream");
+        assert!(ids_a.iter().all(|&id| id != 0));
+        let mut dedup = ids_a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids_a.len(), "ids must not collide in-stream");
+    }
+
+    #[test]
+    fn trace_context_roundtrips_through_header() {
+        let ctx = TraceContext {
+            trace: TraceId(0x0123_4567_89ab_cdef),
+            parent: SpanId(0xfeed_face_dead_beef),
+        };
+        let header = ctx.header_value();
+        assert_eq!(header, "0123456789abcdef-feedfacedeadbeef");
+        assert_eq!(TraceContext::parse(&header), Some(ctx));
+        assert_eq!(TraceContext::parse("nonsense"), None);
+        assert_eq!(TraceContext::parse(""), None);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_inverse() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 63, 64, 65, 100, 1_000, 1_000_000, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(i >= last, "index must be monotone in value");
+            last = i;
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+        }
+        for i in [0usize, 63, 64, 95, 96, 500, NBUCKETS - 1] {
+            assert_eq!(bucket_index(bucket_lower(i)), i);
+        }
+    }
+
+    #[test]
+    fn wall_histogram_quantiles_are_tight_and_monotone() {
+        let mut h = WallHistogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v * 1_000); // 1ms .. 1000ms in µs-scale units
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        // Log-linear error bound: within one 1/32 sub-bucket.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.04, "{p50}");
+        assert!((p95 as f64 - 950_000.0).abs() / 950_000.0 < 0.04, "{p95}");
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.04, "{p99}");
+    }
+
+    #[test]
+    fn wall_histogram_merge_equals_combined_stream() {
+        let mut a = WallHistogram::new();
+        let mut b = WallHistogram::new();
+        let mut both = WallHistogram::new();
+        for i in 0..500u64 {
+            let v = splitmix64(i) % 10_000_000;
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.nonzero_buckets(), both.nonzero_buckets());
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(p), both.quantile(p));
+        }
+    }
+
+    #[test]
+    fn hist_snapshot_merges_rendered_json_bucketwise() {
+        let mut a = WallHistogram::new();
+        let mut b = WallHistogram::new();
+        for v in [10u64, 200, 3_000, 40_000] {
+            a.observe(v);
+        }
+        for v in [10u64, 500_000, 6_000_000] {
+            b.observe(v);
+        }
+        let mut snap = HistSnapshot::from_value(&a.to_value()).expect("snapshot a");
+        snap.merge(&HistSnapshot::from_value(&b.to_value()).expect("snapshot b"));
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, a.sum() + b.sum());
+        assert_eq!(snap.min, 10);
+        assert_eq!(snap.max, 6_000_000);
+        // The shared value 10 landed in one merged bucket of count 2.
+        assert!(snap.buckets.iter().any(|&(lo, c)| lo == 10 && c == 2));
+        let rendered = snap.to_value();
+        assert!(rendered.get("p99").is_some());
+    }
+
+    fn span(
+        trace: u64,
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        process: &str,
+        start: u64,
+        dur: u64,
+    ) -> WallSpan {
+        WallSpan {
+            trace: TraceId(trace),
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name: name.to_string(),
+            process: process.to_string(),
+            start_unix_nanos: start,
+            dur_nanos: dur,
+            tags: vec![("status".to_string(), "200".to_string())],
+        }
+    }
+
+    #[test]
+    fn span_roundtrips_through_jsonl() {
+        let spans = vec![
+            span(7, 1, None, "request", "router@r", 1_000_000, 900_000),
+            span(7, 2, Some(1), "forward", "router@r", 1_100_000, 700_000),
+            span(7, 3, Some(2), "request", "shard@a", 1_200_000, 500_000),
+        ];
+        let jsonl = spans_jsonl(&spans);
+        assert_eq!(jsonl.lines().count(), 3);
+        let back = spans_from_jsonl(&jsonl);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[1].parent, Some(SpanId(1)));
+        assert_eq!(back[2].process, "shard@a");
+        assert_eq!(back[0].tags, spans[0].tags);
+    }
+
+    #[test]
+    fn chrome_trace_export_is_valid_and_deterministic() {
+        let spans = vec![
+            span(7, 3, Some(2), "request", "shard@a", 1_200_000, 500_000),
+            span(7, 1, None, "request", "router@r", 1_000_000, 900_000),
+            span(7, 2, Some(1), "forward", "router@r", 1_100_000, 700_000),
+        ];
+        let json = spans_chrome_trace(&spans);
+        let mut reordered = spans.clone();
+        reordered.rotate_left(1);
+        assert_eq!(
+            json,
+            spans_chrome_trace(&reordered),
+            "export must not depend on insertion order"
+        );
+        let v: Value = serde_json::from_str(&json).expect("chrome trace parses");
+        let Some(Value::Array(events)) = v.get("traceEvents") else {
+            panic!("missing traceEvents");
+        };
+        // 2 process_name metadata events + 3 spans.
+        assert_eq!(events.len(), 5);
+        let xs: Vec<&Value> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(Value::Str(p)) if p == "X"))
+            .collect();
+        assert_eq!(xs.len(), 3);
+        // Earliest span anchors ts = 0; all in the same trace.
+        assert!(xs
+            .iter()
+            .any(|e| matches!(e.get("ts"), Some(Value::U64(0)))));
+        for e in xs {
+            let trace = e.get("args").and_then(|a| a.get("trace"));
+            assert!(matches!(trace, Some(Value::Str(t)) if t == "0000000000000007"));
+        }
+    }
+}

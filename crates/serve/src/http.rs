@@ -253,15 +253,32 @@ pub fn client_request(
     path_and_query: &str,
     body: Option<&str>,
 ) -> std::io::Result<ClientResponse> {
+    client_request_with_headers(addr, method, path_and_query, body, &[])
+}
+
+/// [`client_request`] with extra request headers — how forwarding hops
+/// propagate `x-prophet-trace` and `x-request-id` to the next process.
+pub fn client_request_with_headers(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
     stream.set_write_timeout(Some(std::time::Duration::from_secs(60)))?;
     let body = body.unwrap_or("");
-    let req = format!(
+    let mut req = format!(
         "{method} {path_and_query} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+         content-length: {}\r\nconnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
     stream.write_all(req.as_bytes())?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;

@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod ring;
 pub mod router;
 pub mod signal;
+pub mod trace;
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -65,7 +66,7 @@ use sweep::{
 };
 
 use api::{error_response, PredictRequest};
-use http::{client_request, Request, Response};
+use http::{Request, Response};
 use metrics::ServerMetrics;
 use ring::ShardRing;
 
@@ -111,6 +112,19 @@ pub struct ServeConfig {
     /// [`shard_ring`](Self::shard_ring). Required when the ring is
     /// non-empty; keys owned by other shards are forwarded to them.
     pub shard_self: Option<String>,
+    /// SLO latency target for `/v1/predict`, in milliseconds. A request
+    /// is *good* when it returns 200 within the target; `/v1/metrics`
+    /// reports good/bad counters and error-budget burn. 0 disables the
+    /// latency target (only non-200s burn budget).
+    pub slo_ms: u64,
+    /// Path of the structured JSONL access log (`None` = no log). One
+    /// line per finished request: trace id, shard, per-stage
+    /// nanoseconds, status, cache disposition. Requires the `obs`
+    /// feature.
+    pub access_log: Option<String>,
+    /// How many finished traces the in-memory flight recorder keeps for
+    /// `GET /v1/debug/trace/<id>`.
+    pub trace_flight_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +142,9 @@ impl Default for ServeConfig {
             store_dir: None,
             shard_ring: Vec::new(),
             shard_self: None,
+            slo_ms: 5_000,
+            access_log: None,
+            trace_flight_cap: 256,
         }
     }
 }
@@ -293,6 +310,18 @@ impl NormalizedRequest {
 /// spec exactly — regardless of what else shared the batch or how warm
 /// the daemon's caches were.
 pub fn evaluate_requests(engine: &SweepEngine, reqs: &[NormalizedRequest]) -> Vec<String> {
+    evaluate_requests_timed(engine, reqs).0
+}
+
+/// [`evaluate_requests`] plus the nanoseconds spent serialising the
+/// response bodies, so the batch worker can report a `serialize` stage
+/// without re-measuring. The bodies are byte-identical to
+/// [`evaluate_requests`]'s — timing wraps the serialisation, it never
+/// changes it.
+pub(crate) fn evaluate_requests_timed(
+    engine: &SweepEngine,
+    reqs: &[NormalizedRequest],
+) -> (Vec<String>, u64) {
     let mut all_workloads: Vec<WorkloadSpec> = Vec::new();
     let mut all_jobs: Vec<SweepJob> = Vec::new();
     let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
@@ -310,6 +339,7 @@ pub fn evaluate_requests(engine: &SweepEngine, reqs: &[NormalizedRequest]) -> Ve
     let combined = engine.run_jobs(&all_workloads, &all_jobs);
 
     let mut bodies = Vec::with_capacity(reqs.len());
+    let mut serialize_nanos = 0u64;
     let mut next_point = 0usize;
     for range in ranges {
         let jobs = &all_jobs[range];
@@ -348,10 +378,14 @@ pub fn evaluate_requests(engine: &SweepEngine, reqs: &[NormalizedRequest]) -> Ve
                 store_writes: 0,
             },
         };
-        bodies.push(serde_json::to_string_pretty(&result).expect("serialise response"));
+        let t_ser = Instant::now();
+        let body = serde_json::to_string_pretty(&result).expect("serialise response");
+        serialize_nanos = serialize_nanos
+            .saturating_add(u64::try_from(t_ser.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        bodies.push(body);
     }
     debug_assert_eq!(next_point, combined.points.len(), "points fully consumed");
-    bodies
+    (bodies, serialize_nanos)
 }
 
 /// Bounded LRU of canonical-request → response-body.
@@ -408,6 +442,9 @@ struct Pending {
     enqueued: Instant,
     deadline: Instant,
     ticket: Arc<Ticket>,
+    /// The request's trace handle, so the batch worker can attach
+    /// queue-wait and predict-stage spans to the right trace.
+    trace: trace::ReqTrace,
 }
 
 /// Rendezvous between the connection thread and the batch worker.
@@ -473,6 +510,8 @@ struct Shared {
     store: Option<Arc<ProfileStore>>,
     /// `(ring, own address)` when `shard_ring` is configured.
     shard: Option<(ShardRing, String)>,
+    /// Per-process tracing state (a no-op shell without `obs`).
+    tracing: trace::Tracing,
 }
 
 /// The daemon. [`Server::start`] binds, spawns the acceptor and worker
@@ -533,6 +572,15 @@ impl Server {
             engine = engine.with_profile_store(Arc::new(keyed));
         }
         let engine = Arc::new(engine);
+        // The process label distinguishes hops in a stitched trace:
+        // `shard@addr` in a ring, `serve@addr` standalone.
+        let process = if shard.is_some() {
+            format!("shard@{local_addr}")
+        } else {
+            format!("serve@{local_addr}")
+        };
+        let tracing =
+            trace::Tracing::create(process, cfg.trace_flight_cap, cfg.access_log.as_deref())?;
         let shared = Arc::new(Shared {
             engine,
             resolver,
@@ -541,9 +589,10 @@ impl Server {
             draining: AtomicBool::new(false),
             stop_accept: AtomicBool::new(false),
             results: Mutex::new(ResultCache::new(cfg.result_cache_cap)),
-            metrics: ServerMetrics::default(),
+            metrics: ServerMetrics::new(cfg.slo_ms),
             store,
             shard,
+            tracing,
             cfg,
         });
 
@@ -675,17 +724,73 @@ fn accept_loop(
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
-    let resp = match http::read_request(&mut stream) {
-        Ok(req) => route(&req, shared),
-        Err(http::ParseError::TooLarge) => Response::error(413, "request too large"),
-        Err(e) => Response::error(400, &e.to_string()),
-    };
-    http::write_response(&mut stream, &resp);
-    shared.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+    let m = &shared.metrics;
+    m.inflight.fetch_add(1, Ordering::Relaxed);
+    let t_accept = Instant::now();
+    match http::read_request(&mut stream) {
+        Ok(req) => {
+            let trace = shared.tracing.begin(req.header("x-prophet-trace"));
+            let parse_nanos = u64::try_from(t_accept.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            trace.add_timed("parse", t_accept, parse_nanos, &[]);
+            m.observe_stage("parse", parse_nanos);
+            let is_predict =
+                req.method == "POST" && (req.path == "/predict" || req.path == "/v1/predict");
+            let mut resp = route(&req, shared, &trace);
+            // Echo the client's request id on every response, or
+            // synthesise one from the trace id when tracing is on.
+            let rid = req
+                .header("x-request-id")
+                .map(str::to_string)
+                .or_else(|| trace.trace_hex());
+            if let Some(rid) = &rid {
+                resp.extra_headers.push(("x-request-id", rid.clone()));
+            }
+            if let Some(hex) = trace.trace_hex() {
+                resp.extra_headers.push(("x-prophet-trace", hex));
+            }
+            let cache = resp
+                .extra_headers
+                .iter()
+                .find(|(k, _)| *k == "x-cache")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| "none".to_string());
+            let t_flush = Instant::now();
+            http::write_response(&mut stream, &resp);
+            let flush_nanos = u64::try_from(t_flush.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            trace.add_timed("flush", t_flush, flush_nanos, &[]);
+            m.observe_stage("flush", flush_nanos);
+            let mut tags: Vec<(&str, String)> = vec![("path", req.path.clone()), ("cache", cache)];
+            if let Some(rid) = rid {
+                tags.push(("request_id", rid));
+            }
+            if let Some((_, own)) = &shared.shard {
+                tags.push(("shard", own.clone()));
+            }
+            let total = trace.finish(&shared.tracing, resp.status, &tags);
+            if is_predict {
+                // Without `obs`, finish() reports 0; fall back to a
+                // direct measurement so SLO accounting still works.
+                let total = if total == 0 {
+                    u64::try_from(t_accept.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                } else {
+                    total
+                };
+                m.record_slo(resp.status, total);
+                m.observe_request_nanos(total);
+            }
+        }
+        Err(e) => {
+            let resp = match e {
+                http::ParseError::TooLarge => Response::error(413, "request too large"),
+                e => Response::error(400, &e.to_string()),
+            };
+            http::write_response(&mut stream, &resp);
+        }
+    }
+    m.inflight.fetch_sub(1, Ordering::Relaxed);
 }
 
-fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+fn route(req: &Request, shared: &Arc<Shared>, trace: &trace::ReqTrace) -> Response {
     // `/v1/predict` is the canonical spelling; the bare `/predict` era
     // predates versioning and stays as a deprecated alias answering the
     // exact same bytes, plus a `Deprecation` header.
@@ -713,8 +818,22 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
                 _ => Response::json(200, shared.metrics.render_json(stats)),
             }
         }
-        ("POST", "/predict") => predict(req, shared),
+        ("POST", "/predict") => predict(req, shared, trace),
         ("GET", "/predict") => Response::error(405, "use POST /v1/predict"),
+        ("GET", p) if p.starts_with("/debug/trace/") => {
+            let id_hex = &p["/debug/trace/".len()..];
+            // `scope=local` stops the stitching fan-out (it is what the
+            // fan-out sub-requests themselves use, so peers never
+            // recurse); `format=jsonl` selects the span-dump format.
+            let local_only = req.query_param("scope") == Some("local");
+            let jsonl = req.query_param("format") == Some("jsonl");
+            let peers: Vec<String> = match &shared.shard {
+                Some((ring, own)) => ring.addrs().iter().filter(|a| *a != own).cloned().collect(),
+                None => Vec::new(),
+            };
+            trace::debug_trace_response(&shared.tracing, id_hex, local_only, jsonl, &peers)
+        }
+        ("GET", "/debug/traces") => trace::debug_traces_response(&shared.tracing),
         _ => Response::error(
             404,
             "unknown endpoint (try /v1/predict, /v1/healthz, /v1/metrics)",
@@ -727,7 +846,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     }
 }
 
-fn predict(req: &Request, shared: &Arc<Shared>) -> Response {
+fn predict(req: &Request, shared: &Arc<Shared>, trace: &trace::ReqTrace) -> Response {
     let m = &shared.metrics;
     m.requests_total.fetch_add(1, Ordering::Relaxed);
     let body = match std::str::from_utf8(&req.body) {
@@ -754,7 +873,26 @@ fn predict(req: &Request, shared: &Arc<Shared>) -> Response {
         let owner = ring.owner(norm.route_key());
         if owner != own {
             m.proxied_total.fetch_add(1, Ordering::Relaxed);
-            return match client_request(owner, "POST", "/v1/predict", Some(body)) {
+            // The owner's request becomes a child of this forward span,
+            // carried over the wire in `x-prophet-trace`.
+            let fwd = trace.begin_span("forward");
+            let header = trace.propagation_header(&fwd);
+            let mut extra: Vec<(&str, &str)> = Vec::new();
+            if let Some(h) = &header {
+                extra.push(("x-prophet-trace", h));
+            }
+            if let Some(rid) = req.header("x-request-id") {
+                extra.push(("x-request-id", rid));
+            }
+            let t_fwd = Instant::now();
+            let result =
+                http::client_request_with_headers(owner, "POST", "/v1/predict", Some(body), &extra);
+            m.observe_stage(
+                "forward",
+                u64::try_from(t_fwd.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            trace.end_span(&fwd, &[("owner", owner.to_string())]);
+            return match result {
                 Ok((status, _, resp_body)) => {
                     Response::json(status, resp_body).with_header("x-shard", owner.to_string())
                 }
@@ -800,6 +938,7 @@ fn predict(req: &Request, shared: &Arc<Shared>) -> Response {
             enqueued: Instant::now(),
             deadline,
             ticket: Arc::clone(&ticket),
+            trace: trace.clone(),
         });
         m.queue_depth.store(q.len() as u64, Ordering::Relaxed);
     }
@@ -852,6 +991,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 q = guard;
             }
         };
+        let t_pick = Instant::now();
         // Linger briefly so a burst of near-simultaneous requests lands
         // in this batch instead of the next.
         if shared.cfg.batch_linger_ms > 0 {
@@ -871,19 +1011,25 @@ fn worker_loop(shared: &Arc<Shared>) {
                 .queue_depth
                 .store(q.len() as u64, Ordering::Relaxed);
         }
-        process_batch(shared, batch);
+        process_batch(shared, batch, t_pick);
     }
 }
 
-fn process_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
+fn process_batch(shared: &Arc<Shared>, batch: Vec<Pending>, t_pick: Instant) {
     let m = &shared.metrics;
     let now = Instant::now();
+    let assembly_nanos = u64::try_from((now - t_pick).as_nanos()).unwrap_or(u64::MAX);
     let mut queue_waits: Vec<u64> = Vec::with_capacity(batch.len());
+    // Every live request in the batch gets the same worker-side stage
+    // spans attached to its own trace.
+    let mut traces: Vec<trace::ReqTrace> = Vec::new();
     // Deduplicate by canonical key: one evaluation answers every ticket.
     let mut groups: Vec<(String, NormalizedRequest, Vec<Arc<Ticket>>)> = Vec::new();
     let mut live = 0usize;
+    let t_dedup = Instant::now();
     for p in batch {
-        queue_waits.push(u64::try_from((now - p.enqueued).as_nanos()).unwrap_or(u64::MAX));
+        let wait = u64::try_from((now - p.enqueued).as_nanos()).unwrap_or(u64::MAX);
+        queue_waits.push(wait);
         if now >= p.deadline {
             if p.ticket
                 .fulfill(error_response(&ProphetError::DeadlineExceeded))
@@ -893,20 +1039,66 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
             continue;
         }
         live += 1;
+        p.trace.add_timed("queue_wait", p.enqueued, wait, &[]);
+        m.observe_stage("queue_wait", wait);
+        traces.push(p.trace);
         match groups.iter_mut().find(|(k, _, _)| *k == p.key) {
             Some((_, _, tickets)) => tickets.push(p.ticket),
             None => groups.push((p.key, p.req, vec![p.ticket])),
         }
     }
+    let dedup_nanos = u64::try_from(t_dedup.elapsed().as_nanos()).unwrap_or(u64::MAX);
     if groups.is_empty() {
         return;
     }
 
     let reqs: Vec<NormalizedRequest> = groups.iter().map(|(_, r, _)| r.clone()).collect();
+    // Engine stage counters and store I/O counters are process-wide
+    // accumulators; deltas around the evaluation attribute this batch's
+    // share to profile/emulate/store sub-spans.
+    let stages_before = shared.engine.stage_timings();
+    let io_before = shared.store.as_ref().map_or((0, 0), |s| s.io_nanos());
     let t0 = Instant::now();
-    let bodies = evaluate_requests(&shared.engine, &reqs);
+    let (bodies, serialize_nanos) = evaluate_requests_timed(&shared.engine, &reqs);
     let predict_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let stage_delta = shared.engine.stage_timings().since(&stages_before);
+    let io_after = shared.store.as_ref().map_or((0, 0), |s| s.io_nanos());
+    let store_read_nanos = io_after.0.saturating_sub(io_before.0);
+    let store_write_nanos = io_after.1.saturating_sub(io_before.1);
     m.record_batch(live, &queue_waits, predict_nanos);
+    m.observe_stage("batch_assembly", assembly_nanos);
+    m.observe_stage("dedup", dedup_nanos);
+    m.observe_stage("predict", predict_nanos);
+    let sub_stages = [
+        ("profile", stage_delta.profile_nanos),
+        ("emulate", stage_delta.predict_nanos),
+        ("store_read", store_read_nanos),
+        ("store_write", store_write_nanos),
+        ("serialize", serialize_nanos),
+    ];
+    for (name, nanos) in sub_stages {
+        if nanos > 0 {
+            m.observe_stage(name, nanos);
+        }
+    }
+    let batch_tag = [("batch", live.to_string())];
+    // Sub-stage durations are summed across rayon workers, so they can
+    // exceed the predict span's wall time; they are laid out
+    // back-to-back under it as a breakdown, not a timeline.
+    let agg_tag = [("agg", "summed-across-workers".to_string())];
+    for trace in &traces {
+        trace.add_timed("batch_assembly", t_pick, assembly_nanos, &[]);
+        trace.add_timed("dedup", t_dedup, dedup_nanos, &[]);
+        let predict_span = trace.add_timed_span("predict", t0, predict_nanos, &batch_tag);
+        let mut cursor = t0;
+        for (name, nanos) in sub_stages {
+            if nanos == 0 {
+                continue;
+            }
+            trace.add_timed_under(&predict_span, name, cursor, nanos, &agg_tag);
+            cursor += Duration::from_nanos(nanos);
+        }
+    }
 
     for ((key, _, tickets), body) in groups.into_iter().zip(bodies) {
         let evicted = shared

@@ -39,6 +39,79 @@ pub struct LoadgenOptions {
     /// Route key per body class, parallel to `bodies` (the first
     /// workload's cache key). Required when `shards` is non-empty.
     pub route_keys: Vec<String>,
+    /// Write the full report (overall and per-class percentiles, RPS)
+    /// as JSON to this path after the run — the `BENCH_serve.json`
+    /// artifact CI archives and asserts on.
+    pub bench_out: Option<String>,
+}
+
+/// A latency distribution summary, nanoseconds.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Fastest observation.
+    pub min_nanos: u64,
+    /// Arithmetic mean.
+    pub mean_nanos: u64,
+    /// Median (nearest-rank).
+    pub p50_nanos: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95_nanos: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99_nanos: u64,
+    /// Slowest observation.
+    pub max_nanos: u64,
+}
+
+impl LatencySummary {
+    /// Summarise a sample set (sorts in place). Nearest-rank
+    /// percentiles come straight from the sorted samples, so
+    /// p50 ≤ p95 ≤ p99 ≤ max holds by construction.
+    pub fn from_samples(samples: &mut [u64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&n| u128::from(n)).sum();
+        let pct = |p: f64| {
+            let rank = (p * samples.len() as f64).ceil() as usize;
+            samples[rank.clamp(1, samples.len()) - 1]
+        };
+        LatencySummary {
+            min_nanos: samples[0],
+            mean_nanos: u64::try_from(sum / samples.len() as u128).unwrap_or(u64::MAX),
+            p50_nanos: pct(0.50),
+            p95_nanos: pct(0.95),
+            p99_nanos: pct(0.99),
+            max_nanos: samples[samples.len() - 1],
+        }
+    }
+
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("min".to_string(), serde::Value::U64(self.min_nanos)),
+            ("mean".to_string(), serde::Value::U64(self.mean_nanos)),
+            ("p50".to_string(), serde::Value::U64(self.p50_nanos)),
+            ("p95".to_string(), serde::Value::U64(self.p95_nanos)),
+            ("p99".to_string(), serde::Value::U64(self.p99_nanos)),
+            ("max".to_string(), serde::Value::U64(self.max_nanos)),
+        ])
+    }
+}
+
+/// Per-request-class results (class = body index, requests assigned
+/// round-robin).
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// Body-class index into [`LoadgenOptions::bodies`].
+    pub class: usize,
+    /// Requests sent for this class.
+    pub requests: usize,
+    /// 200 responses for this class.
+    pub ok: usize,
+    /// Requests per second over the whole run's wall time.
+    pub rps: f64,
+    /// This class's latency distribution.
+    pub latency: LatencySummary,
 }
 
 /// The outcome of a load-generation run.
@@ -55,12 +128,14 @@ pub struct LoadgenReport {
     /// 200 responses whose body differed from the first response seen
     /// for the same request body — a determinism violation.
     pub mismatches: usize,
-    /// Fastest request, nanoseconds.
-    pub min_nanos: u64,
-    /// Mean request latency, nanoseconds.
-    pub mean_nanos: u64,
-    /// Slowest request, nanoseconds.
-    pub max_nanos: u64,
+    /// Overall latency distribution across every request.
+    pub latency: LatencySummary,
+    /// Wall time of the whole run, nanoseconds.
+    pub elapsed_nanos: u64,
+    /// Requests per second over the run's wall time.
+    pub rps: f64,
+    /// Per-request-class latency and throughput.
+    pub classes: Vec<ClassReport>,
     /// `serve.result_cache_hits` read from `/metrics` after the run.
     pub result_cache_hits: Option<u64>,
     /// `sweep.profile_cache_hits` read from `/metrics` after the run.
@@ -80,22 +155,73 @@ impl LoadgenReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "requests={} ok={} shed={} failed={} mismatches={} \
-             latency_ms min={:.2} mean={:.2} max={:.2} \
+            "requests={} ok={} shed={} failed={} mismatches={} rps={:.1} \
+             latency_ms min={:.2} mean={:.2} p50={:.2} p95={:.2} p99={:.2} max={:.2} \
              result_cache_hits={} profile_cache_hits={}",
             self.requests,
             self.ok,
             self.shed,
             self.failed,
             self.mismatches,
-            self.min_nanos as f64 / 1e6,
-            self.mean_nanos as f64 / 1e6,
-            self.max_nanos as f64 / 1e6,
+            self.rps,
+            self.latency.min_nanos as f64 / 1e6,
+            self.latency.mean_nanos as f64 / 1e6,
+            self.latency.p50_nanos as f64 / 1e6,
+            self.latency.p95_nanos as f64 / 1e6,
+            self.latency.p99_nanos as f64 / 1e6,
+            self.latency.max_nanos as f64 / 1e6,
             self.result_cache_hits
                 .map_or("?".to_string(), |v| v.to_string()),
             self.profile_cache_hits
                 .map_or("?".to_string(), |v| v.to_string()),
         )
+    }
+
+    /// The report as JSON — the `BENCH_serve.json` schema.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<u64>| match v {
+            Some(n) => serde::Value::U64(n),
+            None => serde::Value::Null,
+        };
+        let classes: Vec<serde::Value> = self
+            .classes
+            .iter()
+            .map(|c| {
+                serde::Value::Object(vec![
+                    ("class".to_string(), serde::Value::U64(c.class as u64)),
+                    ("requests".to_string(), serde::Value::U64(c.requests as u64)),
+                    ("ok".to_string(), serde::Value::U64(c.ok as u64)),
+                    ("rps".to_string(), serde::Value::F64(c.rps)),
+                    ("latency_nanos".to_string(), c.latency.to_value()),
+                ])
+            })
+            .collect();
+        let obj = serde::Value::Object(vec![
+            (
+                "requests".to_string(),
+                serde::Value::U64(self.requests as u64),
+            ),
+            ("ok".to_string(), serde::Value::U64(self.ok as u64)),
+            ("shed".to_string(), serde::Value::U64(self.shed as u64)),
+            ("failed".to_string(), serde::Value::U64(self.failed as u64)),
+            (
+                "mismatches".to_string(),
+                serde::Value::U64(self.mismatches as u64),
+            ),
+            (
+                "elapsed_nanos".to_string(),
+                serde::Value::U64(self.elapsed_nanos),
+            ),
+            ("rps".to_string(), serde::Value::F64(self.rps)),
+            ("latency_nanos".to_string(), self.latency.to_value()),
+            ("classes".to_string(), serde::Value::Array(classes)),
+            ("result_cache_hits".to_string(), opt(self.result_cache_hits)),
+            (
+                "profile_cache_hits".to_string(),
+                opt(self.profile_cache_hits),
+            ),
+        ]);
+        serde_json::to_string_pretty(&obj).expect("serialise bench report")
     }
 }
 
@@ -125,11 +251,15 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
     let shed = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
     let mismatches = Arc::new(AtomicU64::new(0));
-    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    // Latency samples and 200-counts, one slot per body class.
+    let latencies: Arc<Mutex<Vec<Vec<u64>>>> =
+        Arc::new(Mutex::new(vec![Vec::new(); opts.bodies.len()]));
+    let ok_by_class: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![0; opts.bodies.len()]));
     // First 200 body seen per body class; later responses must match it.
     let reference: Arc<Mutex<Vec<Option<String>>>> =
         Arc::new(Mutex::new(vec![None; opts.bodies.len()]));
 
+    let t_run = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..concurrency {
             let opts = opts.clone();
@@ -138,6 +268,7 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
             let failed = Arc::clone(&failed);
             let mismatches = Arc::clone(&mismatches);
             let latencies = Arc::clone(&latencies);
+            let ok_by_class = Arc::clone(&ok_by_class);
             let reference = Arc::clone(&reference);
             scope.spawn(move || {
                 let mut i = t;
@@ -148,10 +279,11 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
                     let outcome =
                         client_request(&targets[class], "POST", "/v1/predict", Some(body));
                     let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    latencies.lock().expect("latencies poisoned").push(nanos);
+                    latencies.lock().expect("latencies poisoned")[class].push(nanos);
                     match outcome {
                         Ok((200, _, resp_body)) => {
                             ok.fetch_add(1, Ordering::Relaxed);
+                            ok_by_class.lock().expect("ok counts poisoned")[class] += 1;
                             let mut refs = reference.lock().expect("reference poisoned");
                             match &refs[class] {
                                 None => refs[class] = Some(resp_body),
@@ -174,17 +306,27 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
         }
     });
 
-    let lat = latencies.lock().expect("latencies poisoned");
-    let (min, max, mean) = if lat.is_empty() {
-        (0, 0, 0)
-    } else {
-        let sum: u128 = lat.iter().map(|&n| u128::from(n)).sum();
-        (
-            *lat.iter().min().expect("non-empty"),
-            *lat.iter().max().expect("non-empty"),
-            u64::try_from(sum / lat.len() as u128).unwrap_or(u64::MAX),
-        )
-    };
+    let elapsed_nanos = u64::try_from(t_run.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let elapsed_secs = (elapsed_nanos as f64 / 1e9).max(1e-9);
+    let per_class = latencies.lock().expect("latencies poisoned");
+    let ok_counts = ok_by_class.lock().expect("ok counts poisoned");
+    let mut all: Vec<u64> = per_class.iter().flatten().copied().collect();
+    let latency = LatencySummary::from_samples(&mut all);
+    let classes: Vec<ClassReport> = per_class
+        .iter()
+        .zip(ok_counts.iter())
+        .enumerate()
+        .map(|(class, (samples, &ok))| {
+            let mut samples = samples.clone();
+            ClassReport {
+                class,
+                requests: samples.len(),
+                ok,
+                rps: samples.len() as f64 / elapsed_secs,
+                latency: LatencySummary::from_samples(&mut samples),
+            }
+        })
+        .collect();
 
     let (result_cache_hits, profile_cache_hits) = if opts.shards.is_empty() {
         read_cache_hit_counters(&opts.addr)
@@ -199,18 +341,25 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
         totals
     };
 
-    LoadgenReport {
+    let report = LoadgenReport {
         requests: opts.requests,
         ok: usize::try_from(ok.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
         shed: usize::try_from(shed.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
         failed: usize::try_from(failed.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
         mismatches: usize::try_from(mismatches.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
-        min_nanos: min,
-        mean_nanos: mean,
-        max_nanos: max,
+        latency,
+        elapsed_nanos,
+        rps: opts.requests as f64 / elapsed_secs,
+        classes,
         result_cache_hits,
         profile_cache_hits,
+    };
+    if let Some(path) = &opts.bench_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("warning: failed to write bench report {path}: {e}");
+        }
     }
+    report
 }
 
 fn merge_counter(acc: Option<u64>, next: Option<u64>) -> Option<u64> {

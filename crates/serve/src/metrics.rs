@@ -25,6 +25,23 @@ struct Histos {
     batch_predict_nanos: prophet_obs::Histogram,
 }
 
+/// Wall-clock log-linear histograms (p50/p95/p99-grade resolution),
+/// published when the `obs` feature is on: end-to-end predict latency
+/// plus one histogram per lifecycle stage, fed by the same
+/// instrumentation points that emit trace spans.
+#[cfg(feature = "obs")]
+#[derive(Default)]
+struct WallStats {
+    request_nanos: prophet_obs::WallHistogram,
+    stages: std::collections::BTreeMap<&'static str, prophet_obs::WallHistogram>,
+}
+
+/// The fleet's availability objective for SLO math: 99.9%, i.e. an
+/// error budget of 0.1% of requests allowed to miss the `--slo-ms`
+/// target. Burn = (bad/total) / (1 - objective); burn 1.0 means the
+/// budget is being consumed exactly as provisioned, >1 means faster.
+pub const SLO_OBJECTIVE: f64 = 0.999;
+
 /// Process-wide serving counters.
 #[derive(Default)]
 pub struct ServerMetrics {
@@ -59,11 +76,67 @@ pub struct ServerMetrics {
     pub queue_depth: AtomicU64,
     /// Connections currently being handled (gauge).
     pub inflight: AtomicU64,
+    /// Predict requests answered 200 within the `--slo-ms` target.
+    pub slo_good_total: AtomicU64,
+    /// Predict requests that missed the target (slow or non-200).
+    pub slo_bad_total: AtomicU64,
+    /// The configured SLO latency target, milliseconds (0 = unset;
+    /// plain data, set once at construction).
+    slo_ms: u64,
     #[cfg(feature = "obs")]
     histos: Mutex<Histos>,
+    #[cfg(feature = "obs")]
+    wall: Mutex<WallStats>,
 }
 
 impl ServerMetrics {
+    /// Metrics with an SLO latency target (milliseconds) configured.
+    pub fn new(slo_ms: u64) -> Self {
+        ServerMetrics {
+            slo_ms,
+            ..Default::default()
+        }
+    }
+
+    /// Count one finished predict request against the SLO: good when it
+    /// answered 200 within the target, bad otherwise. Works without the
+    /// `obs` feature — SLO accounting needs only a clock and counters.
+    pub fn record_slo(&self, status: u16, total_nanos: u64) {
+        // slo_ms == 0 disables the latency target; only errors burn.
+        let within = self.slo_ms == 0 || total_nanos / 1_000_000 <= self.slo_ms;
+        if status == 200 && within {
+            self.slo_good_total.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.slo_bad_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one request's end-to-end wall latency (obs builds only).
+    pub fn observe_request_nanos(&self, nanos: u64) {
+        #[cfg(feature = "obs")]
+        self.wall
+            .lock()
+            .expect("wall stats poisoned")
+            .request_nanos
+            .observe(nanos);
+        #[cfg(not(feature = "obs"))]
+        let _ = nanos;
+    }
+
+    /// Record one lifecycle-stage duration (obs builds only). Stage
+    /// names must be static so the histogram set stays bounded.
+    pub fn observe_stage(&self, name: &'static str, nanos: u64) {
+        #[cfg(feature = "obs")]
+        self.wall
+            .lock()
+            .expect("wall stats poisoned")
+            .stages
+            .entry(name)
+            .or_default()
+            .observe(nanos);
+        #[cfg(not(feature = "obs"))]
+        let _ = (name, nanos);
+    }
     /// Record one batch: size plus queue-wait and predict latencies.
     pub fn record_batch(&self, size: usize, queue_waits: &[u64], predict_nanos: u64) {
         self.batches_total.fetch_add(1, Ordering::Relaxed);
@@ -103,10 +176,22 @@ impl ServerMetrics {
             ("serve.proxy_errors", c(&self.proxy_errors)),
             ("serve.batches_total", c(&self.batches_total)),
             ("serve.batched_requests", c(&self.batched_requests)),
+            ("serve.slo_good_total", c(&self.slo_good_total)),
+            ("serve.slo_bad_total", c(&self.slo_bad_total)),
         ]
     }
 
     fn gauge_snapshot(&self) -> Vec<(&'static str, f64)> {
+        let good = self.slo_good_total.load(Ordering::Relaxed);
+        let bad = self.slo_bad_total.load(Ordering::Relaxed);
+        let total = good + bad;
+        // See SLO_OBJECTIVE: 1.0 = burning the error budget exactly as
+        // provisioned; 0 until any request has been counted.
+        let burn = if total == 0 {
+            0.0
+        } else {
+            (bad as f64 / total as f64) / (1.0 - SLO_OBJECTIVE)
+        };
         vec![
             (
                 "serve.queue_depth",
@@ -116,6 +201,8 @@ impl ServerMetrics {
                 "serve.inflight",
                 self.inflight.load(Ordering::Relaxed) as f64,
             ),
+            ("serve.slo_target_ms", self.slo_ms as f64),
+            ("serve.slo_error_budget_burn", burn),
         ]
     }
 
@@ -139,12 +226,36 @@ impl ServerMetrics {
         reg
     }
 
+    /// The wall-clock histograms as `(name, json)` pairs, ordered and
+    /// shape-compatible with the registry's log₂ histograms (so the
+    /// router's bucket-wise merge treats them uniformly).
+    #[cfg(feature = "obs")]
+    fn wall_histogram_values(&self) -> Vec<(String, serde::Value)> {
+        let w = self.wall.lock().expect("wall stats poisoned");
+        let mut out = vec![(
+            "serve.request_nanos".to_string(),
+            w.request_nanos.to_value(),
+        )];
+        for (name, h) in &w.stages {
+            out.push((format!("serve.stage.{name}_nanos"), h.to_value()));
+        }
+        out
+    }
+
     /// JSON body for `/metrics`.
     pub fn render_json(&self, profile_cache: CacheStats) -> String {
         #[cfg(feature = "obs")]
         {
-            serde_json::to_string_pretty(&self.registry(profile_cache).to_value())
-                .expect("serialise metrics")
+            let mut value = self.registry(profile_cache).to_value();
+            if let serde::Value::Object(sections) = &mut value {
+                if let Some((_, serde::Value::Object(histos))) =
+                    sections.iter_mut().find(|(k, _)| k == "histograms")
+                {
+                    histos.extend(self.wall_histogram_values());
+                    histos.sort_by(|(a, _), (b, _)| a.cmp(b));
+                }
+            }
+            serde_json::to_string_pretty(&value).expect("serialise metrics")
         }
         #[cfg(not(feature = "obs"))]
         {
@@ -171,7 +282,13 @@ impl ServerMetrics {
     pub fn render_prometheus(&self, profile_cache: CacheStats) -> String {
         #[cfg(feature = "obs")]
         {
-            prophet_obs::prometheus_text(&self.registry(profile_cache))
+            let mut out = prophet_obs::prometheus_text(&self.registry(profile_cache));
+            let w = self.wall.lock().expect("wall stats poisoned");
+            out.push_str(&w.request_nanos.prometheus_text("serve_request_nanos"));
+            for (name, h) in &w.stages {
+                out.push_str(&h.prometheus_text(&format!("serve_stage_{name}_nanos")));
+            }
+            out
         }
         #[cfg(not(feature = "obs"))]
         {

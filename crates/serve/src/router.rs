@@ -11,21 +11,24 @@
 //!
 //! `GET /v1/healthz` aggregates every shard's health; `GET /v1/metrics`
 //! fetches every shard's JSON metrics and merges them (counters and
-//! gauges summed, histograms dropped), adding the router's own
-//! forwarding counters under `router.*`.
+//! gauges summed, histograms added bucket-wise), adding the router's
+//! own forwarding counters under `router.*`. With tracing on, every
+//! forward carries `x-prophet-trace`, so the router hop and the shard
+//! hops stitch into one trace, retrievable through the router's own
+//! `GET /v1/debug/trace/<id>`.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use prophet_core::ProphetError;
 
 use crate::api::error_response;
 use crate::http::{self, client_request, Request, Response};
 use crate::ring::ShardRing;
-use crate::{NormalizedRequest, Resolver};
+use crate::{trace, NormalizedRequest, Resolver};
 
 /// Router configuration.
 #[derive(Clone)]
@@ -52,6 +55,25 @@ struct RouterShared {
     resolver: Resolver,
     metrics: RouterMetrics,
     stop: AtomicBool,
+    /// Per-process tracing state (a no-op shell without `obs`).
+    tracing: trace::Tracing,
+    /// The router's own end-to-end predict latency, merged into
+    /// `/v1/metrics` as `router.request_nanos`.
+    #[cfg(feature = "obs")]
+    request_nanos: Mutex<prophet_obs::WallHistogram>,
+}
+
+impl RouterShared {
+    #[cfg(feature = "obs")]
+    fn observe_request(&self, nanos: u64) {
+        self.request_nanos
+            .lock()
+            .expect("router histogram poisoned")
+            .observe(nanos);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn observe_request(&self, _nanos: u64) {}
 }
 
 /// A running router: its bound address plus the threads to join on
@@ -74,11 +96,15 @@ impl Router {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let tracing = trace::Tracing::create(format!("router@{local_addr}"), 256, None)?;
         let shared = Arc::new(RouterShared {
             ring: ShardRing::new(cfg.shards),
             resolver,
             metrics: RouterMetrics::default(),
             stop: AtomicBool::new(false),
+            tracing,
+            #[cfg(feature = "obs")]
+            request_nanos: Mutex::new(prophet_obs::WallHistogram::new()),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -162,15 +188,64 @@ fn accept_loop(
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<RouterShared>) {
-    let resp = match http::read_request(&mut stream) {
-        Ok(req) => route(&req, shared),
-        Err(http::ParseError::TooLarge) => Response::error(413, "request too large"),
-        Err(e) => error_response(&ProphetError::InvalidRequest(e.to_string())),
+    let t_accept = Instant::now();
+    let (req, early) = match http::read_request(&mut stream) {
+        Ok(req) => (Some(req), None),
+        Err(http::ParseError::TooLarge) => (None, Some(Response::error(413, "request too large"))),
+        Err(e) => (
+            None,
+            Some(error_response(&ProphetError::InvalidRequest(e.to_string()))),
+        ),
     };
+    let trace = shared
+        .tracing
+        .begin(req.as_ref().and_then(|r| r.header("x-prophet-trace")));
+    let parse_nanos = u64::try_from(t_accept.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    trace.add_timed("parse", t_accept, parse_nanos, &[]);
+    let is_predict = req
+        .as_ref()
+        .is_some_and(|r| r.method == "POST" && (r.path == "/predict" || r.path == "/v1/predict"));
+    let mut resp = match (&req, early) {
+        (_, Some(resp)) => resp,
+        (Some(req), None) => route(req, shared, &trace),
+        (None, None) => unreachable!("read_request yields a request or an error response"),
+    };
+    // Every response — including parse errors — carries a request id:
+    // the client's, or one synthesised from the trace id.
+    let rid = req
+        .as_ref()
+        .and_then(|r| r.header("x-request-id"))
+        .map(str::to_string)
+        .or_else(|| trace.trace_hex());
+    if let Some(rid) = &rid {
+        resp.extra_headers.push(("x-request-id", rid.clone()));
+    }
+    if let Some(hex) = trace.trace_hex() {
+        resp.extra_headers.push(("x-prophet-trace", hex));
+    }
+    let t_flush = Instant::now();
     http::write_response(&mut stream, &resp);
+    let flush_nanos = u64::try_from(t_flush.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    trace.add_timed("flush", t_flush, flush_nanos, &[]);
+    let mut tags: Vec<(&str, String)> = vec![(
+        "path",
+        req.as_ref().map_or_else(String::new, |r| r.path.clone()),
+    )];
+    if let Some(rid) = rid {
+        tags.push(("request_id", rid));
+    }
+    let total = trace.finish(&shared.tracing, resp.status, &tags);
+    if is_predict {
+        let total = if total == 0 {
+            u64::try_from(t_accept.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        } else {
+            total
+        };
+        shared.observe_request(total);
+    }
 }
 
-fn route(req: &Request, shared: &Arc<RouterShared>) -> Response {
+fn route(req: &Request, shared: &Arc<RouterShared>, trace: &trace::ReqTrace) -> Response {
     shared
         .metrics
         .requests_total
@@ -179,10 +254,24 @@ fn route(req: &Request, shared: &Arc<RouterShared>) -> Response {
     // daemons themselves.
     let path = req.path.strip_prefix("/v1").unwrap_or(&req.path);
     match (req.method.as_str(), path) {
-        ("POST", "/predict") => forward_predict(req, shared),
+        ("POST", "/predict") => forward_predict(req, shared, trace),
         ("GET", "/healthz") => aggregate_healthz(shared),
         ("GET", "/metrics") => merge_metrics(req, shared),
         ("GET", "/predict") => Response::error(405, "use POST /v1/predict"),
+        ("GET", p) if p.starts_with("/debug/trace/") => {
+            let id_hex = &p["/debug/trace/".len()..];
+            let local_only = req.query_param("scope") == Some("local");
+            let jsonl = req.query_param("format") == Some("jsonl");
+            // The router is not in the ring, so every shard is a peer.
+            trace::debug_trace_response(
+                &shared.tracing,
+                id_hex,
+                local_only,
+                jsonl,
+                shared.ring.addrs(),
+            )
+        }
+        ("GET", "/debug/traces") => trace::debug_traces_response(&shared.tracing),
         _ => Response::error(
             404,
             "unknown endpoint (try /v1/predict, /v1/healthz, /v1/metrics)",
@@ -199,7 +288,7 @@ pub fn route_key(body: &str, resolver: &Resolver) -> Result<String, ProphetError
     Ok(norm.route_key().to_string())
 }
 
-fn forward_predict(req: &Request, shared: &Arc<RouterShared>) -> Response {
+fn forward_predict(req: &Request, shared: &Arc<RouterShared>, trace: &trace::ReqTrace) -> Response {
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => {
@@ -217,7 +306,21 @@ fn forward_predict(req: &Request, shared: &Arc<RouterShared>) -> Response {
         .metrics
         .forwarded_total
         .fetch_add(1, Ordering::Relaxed);
-    match client_request(owner, "POST", "/v1/predict", Some(body)) {
+    // The shard's request becomes a child of this forward span, carried
+    // over the wire in `x-prophet-trace`.
+    let fwd = trace.begin_span("forward");
+    let header = trace.propagation_header(&fwd);
+    let mut extra: Vec<(&str, &str)> = Vec::new();
+    if let Some(h) = &header {
+        extra.push(("x-prophet-trace", h));
+    }
+    if let Some(rid) = req.header("x-request-id") {
+        extra.push(("x-request-id", rid));
+    }
+    let result =
+        http::client_request_with_headers(owner, "POST", "/v1/predict", Some(body), &extra);
+    trace.end_span(&fwd, &[("owner", owner.to_string())]);
+    match result {
         Ok((status, _headers, resp_body)) => {
             Response::json(status, resp_body).with_header("x-shard", owner.to_string())
         }
@@ -265,11 +368,15 @@ fn aggregate_healthz(shared: &Arc<RouterShared>) -> Response {
 
 /// Fetch every shard's JSON metrics and merge: counters and gauges are
 /// summed across shards (a gauge sum is the fleet total — queue depth,
-/// inflight — which is the useful aggregate); histograms are dropped
-/// because log₂ buckets do not merge losslessly from rendered JSON.
+/// inflight — which is the useful aggregate). With `obs`, histograms
+/// are merged too — the rendered JSON carries each bucket's lower
+/// bound and count, and equal bucket layouts add bucket-wise, so the
+/// merged percentiles are exactly those of the pooled observations.
 fn merge_metrics(req: &Request, shared: &Arc<RouterShared>) -> Response {
     let mut counters: Vec<(String, u64)> = Vec::new();
     let mut gauges: Vec<(String, f64)> = Vec::new();
+    #[cfg(feature = "obs")]
+    let mut hists: Vec<(String, prophet_obs::HistSnapshot)> = Vec::new();
     let mut shard_list = Vec::new();
     let mut reached = 0usize;
     for addr in shared.ring.addrs() {
@@ -280,6 +387,8 @@ fn merge_metrics(req: &Request, shared: &Arc<RouterShared>) -> Response {
                         v.as_f64().map(|f| f as u64)
                     });
                     merge_section(&value, "gauges", &mut gauges, serde::Value::as_f64);
+                    #[cfg(feature = "obs")]
+                    merge_histograms(&value, &mut hists);
                     reached += 1;
                     true
                 }
@@ -307,7 +416,7 @@ fn merge_metrics(req: &Request, shared: &Arc<RouterShared>) -> Response {
     ));
     counters.push(("router.shards_reachable".to_string(), reached as u64));
 
-    let obj = serde::Value::Object(vec![
+    let mut fields = vec![
         (
             "counters".to_string(),
             serde::Value::Object(
@@ -326,13 +435,49 @@ fn merge_metrics(req: &Request, shared: &Arc<RouterShared>) -> Response {
                     .collect(),
             ),
         ),
-        ("shards".to_string(), serde::Value::Array(shard_list)),
-    ]);
+    ];
+    #[cfg(feature = "obs")]
+    {
+        let own = shared
+            .request_nanos
+            .lock()
+            .expect("router histogram poisoned")
+            .to_value();
+        if let Some(snap) = prophet_obs::HistSnapshot::from_value(&own) {
+            if snap.count > 0 {
+                hists.push(("router.request_nanos".to_string(), snap));
+            }
+        }
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.push((
+            "histograms".to_string(),
+            serde::Value::Object(hists.into_iter().map(|(k, h)| (k, h.to_value())).collect()),
+        ));
+    }
+    fields.push(("shards".to_string(), serde::Value::Array(shard_list)));
+    let obj = serde::Value::Object(fields);
     let _ = req; // format=prom is not offered on the merged endpoint
     Response::json(
         200,
         serde_json::to_string_pretty(&obj).expect("serialise metrics"),
     )
+}
+
+/// Add every histogram of `value["histograms"]` into `acc` bucket-wise.
+#[cfg(feature = "obs")]
+fn merge_histograms(value: &serde::Value, acc: &mut Vec<(String, prophet_obs::HistSnapshot)>) {
+    let Some(serde::Value::Object(fields)) = value.get("histograms") else {
+        return;
+    };
+    for (name, v) in fields {
+        let Some(snap) = prophet_obs::HistSnapshot::from_value(v) else {
+            continue;
+        };
+        match acc.iter_mut().find(|(k, _)| k == name) {
+            Some((_, total)) => total.merge(&snap),
+            None => acc.push((name.clone(), snap)),
+        }
+    }
 }
 
 /// Add every numeric entry of `value[section]` into `acc` by name.

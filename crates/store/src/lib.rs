@@ -150,6 +150,12 @@ pub struct ProfileStore {
     misses: AtomicU64,
     writes: AtomicU64,
     corrupt_skipped: AtomicU64,
+    /// Wall-clock nanoseconds spent inside `get` / `put`, cumulative.
+    /// Request tracing reads deltas around a batch to synthesise
+    /// store-read/store-write spans without plumbing timers through the
+    /// sweep engine.
+    read_nanos: AtomicU64,
+    write_nanos: AtomicU64,
 }
 
 impl ProfileStore {
@@ -214,6 +220,8 @@ impl ProfileStore {
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             corrupt_skipped: AtomicU64::new(corrupt_skipped),
+            read_nanos: AtomicU64::new(0),
+            write_nanos: AtomicU64::new(0),
         };
         // Re-committing the manifest on open heals a crash that landed
         // between an append and its manifest rename.
@@ -287,6 +295,16 @@ impl ProfileStore {
     /// The profile stored under `key`, if any. Decodes through a small
     /// LRU so repeated loads of a hot key parse JSON once.
     pub fn get(&self, key: &str) -> Result<Option<Profiled>, ProphetError> {
+        let t0 = std::time::Instant::now();
+        let out = self.get_inner(key);
+        self.read_nanos.fetch_add(
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        out
+    }
+
+    fn get_inner(&self, key: &str) -> Result<Option<Profiled>, ProphetError> {
         let mut inner = self.inner.lock().expect("store lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -331,6 +349,16 @@ impl ProfileStore {
     /// exact profile and the append is skipped — first write wins and
     /// the log never accumulates duplicates.
     pub fn put(&self, key: &str, profiled: &Profiled) -> Result<(), ProphetError> {
+        let t0 = std::time::Instant::now();
+        let out = self.put_inner(key, profiled);
+        self.write_nanos.fetch_add(
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        out
+    }
+
+    fn put_inner(&self, key: &str, profiled: &Profiled) -> Result<(), ProphetError> {
         let payload = serde_json::to_string(profiled)
             .map_err(|e| ProphetError::Store(format!("payload encode: {e}")))?
             .into_bytes();
@@ -424,6 +452,16 @@ impl ProfileStore {
         }
     }
 
+    /// Cumulative `(read, write)` wall-clock nanoseconds spent inside
+    /// `get` and `put`. Monotone; callers take deltas to attribute store
+    /// I/O time to a window of work (e.g. one serve batch).
+    pub fn io_nanos(&self) -> (u64, u64) {
+        (
+            self.read_nanos.load(Ordering::Relaxed),
+            self.write_nanos.load(Ordering::Relaxed),
+        )
+    }
+
     /// Force log and manifest to disk. Appends already sync per record;
     /// this is the explicit shutdown barrier for the serve daemon.
     pub fn flush(&self) -> Result<(), ProphetError> {
@@ -445,6 +483,9 @@ impl ProfileStore {
         registry.set_gauge("store.writes", s.writes as f64);
         registry.set_gauge("store.corrupt_skipped", s.corrupt_skipped as f64);
         registry.set_gauge("store.records", s.records as f64);
+        let (read_nanos, write_nanos) = self.io_nanos();
+        registry.set_gauge("store.read_nanos", read_nanos as f64);
+        registry.set_gauge("store.write_nanos", write_nanos as f64);
     }
 }
 

@@ -589,6 +589,20 @@ pub struct StageTimings {
     pub predict_nanos: u64,
 }
 
+impl StageTimings {
+    /// The stage time accrued since an `earlier` snapshot (saturating,
+    /// so a racing reset or wrap never yields a bogus huge delta). This
+    /// is how the serve daemon attributes one batch's engine time to
+    /// profile/predict sub-spans: snapshot before, snapshot after,
+    /// subtract.
+    pub fn since(&self, earlier: &StageTimings) -> StageTimings {
+        StageTimings {
+            profile_nanos: self.profile_nanos.saturating_sub(earlier.profile_nanos),
+            predict_nanos: self.predict_nanos.saturating_sub(earlier.predict_nanos),
+        }
+    }
+}
+
 /// The engine: a shared prophet, a profile cache, and a worker count.
 pub struct SweepEngine {
     prophet: Arc<Prophet>,

@@ -256,6 +256,140 @@ fn graceful_shutdown_completes_inflight_requests() {
     assert_eq!(body, solo[0], "drained response bytes drifted");
 }
 
+/// (e) observability: `/v1/metrics` carries the latency histograms and
+/// SLO accounting in both formats, every response carries trace and
+/// request-id headers, the flight recorder serves Chrome-trace JSON,
+/// and the JSONL access log records one line per request.
+#[test]
+fn slo_metrics_debug_traces_and_access_log() {
+    let log_path =
+        std::env::temp_dir().join(format!("prophet-access-test-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let cfg = ServeConfig {
+        slo_ms: 5_000,
+        access_log: Some(log_path.to_string_lossy().to_string()),
+        ..loopback_config()
+    };
+    let handle = start_server(cfg);
+    let addr = handle.local_addr().to_string();
+
+    let (s1, h1, _) = client_request(&addr, "POST", "/v1/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s1, 200);
+    let trace_hex = header(&h1, "x-prophet-trace")
+        .expect("responses carry the trace id")
+        .to_string();
+    assert_eq!(
+        header(&h1, "x-request-id"),
+        Some(trace_hex.as_str()),
+        "request id defaults to the trace id"
+    );
+    let (s2, _, _) = client_request(&addr, "POST", "/v1/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s2, 200);
+
+    // JSON metrics: SLO counters/gauges and the wall histograms.
+    let (ms, _, metrics) = client_request(&addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(ms, 200);
+    let v: serde::Value = serde_json::from_str(&metrics).expect("metrics JSON parses");
+    let counter = |name: &str| {
+        v.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(serde::Value::as_f64)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert!(counter("serve.slo_good_total") >= 2.0);
+    assert_eq!(counter("serve.slo_bad_total"), 0.0);
+    let gauge = |name: &str| {
+        v.get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(serde::Value::as_f64)
+            .unwrap_or_else(|| panic!("missing gauge {name}"))
+    };
+    assert_eq!(gauge("serve.slo_target_ms"), 5_000.0);
+    assert_eq!(gauge("serve.slo_error_budget_burn"), 0.0);
+    let hist_count = |name: &str| {
+        v.get("histograms")
+            .and_then(|h| h.get(name))
+            .and_then(|h| h.get("count"))
+            .and_then(serde::Value::as_f64)
+            .unwrap_or_else(|| panic!("missing histogram {name}"))
+    };
+    assert!(hist_count("serve.request_nanos") >= 2.0);
+    assert!(hist_count("serve.stage.parse_nanos") >= 2.0);
+    assert!(hist_count("serve.stage.predict_nanos") >= 1.0);
+
+    // Prometheus text: same series, exposition names.
+    let (ps, _, prom) = client_request(&addr, "GET", "/v1/metrics?format=prom", None).unwrap();
+    assert_eq!(ps, 200);
+    for series in [
+        "serve_request_nanos_bucket",
+        "serve_request_nanos_count",
+        "serve_stage_predict_nanos_bucket",
+        "serve_slo_good_total",
+    ] {
+        assert!(prom.contains(series), "prometheus text missing {series}");
+    }
+
+    // Flight recorder: the list endpoint knows the trace, and the trace
+    // endpoint replays it as Chrome-trace JSON. The trace is recorded
+    // just after the response is written, so poll briefly.
+    wait_for(
+        || {
+            matches!(
+                client_request(&addr, "GET", &format!("/v1/debug/trace/{trace_hex}"), None),
+                Ok((200, _, _))
+            )
+        },
+        "trace to land in the flight recorder",
+    );
+    let (ls, _, list) = client_request(&addr, "GET", "/v1/debug/traces", None).unwrap();
+    assert_eq!(ls, 200);
+    let lv: serde::Value = serde_json::from_str(&list).expect("trace list parses");
+    assert!(
+        lv.get("count")
+            .and_then(serde::Value::as_f64)
+            .unwrap_or(0.0)
+            >= 2.0,
+        "flight recorder should hold both requests: {list}"
+    );
+    let (ts, _, chrome) =
+        client_request(&addr, "GET", &format!("/v1/debug/trace/{trace_hex}"), None).unwrap();
+    assert_eq!(ts, 200);
+    let tv: serde::Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+    assert_eq!(
+        tv.get("otherData").and_then(|o| o.get("trace")),
+        Some(&serde::Value::Str(trace_hex.clone())),
+        "debug endpoint must return the requested trace"
+    );
+    let (bad, _, _) = client_request(&addr, "GET", "/v1/debug/trace/zzz", None).unwrap();
+    assert_eq!(bad, 400, "malformed trace ids are a client error");
+
+    // Access log: one JSON line per finished request, trace id and
+    // stage breakdown included.
+    wait_for(
+        || {
+            std::fs::read_to_string(&log_path)
+                .map(|s| s.lines().count() >= 2)
+                .unwrap_or(false)
+        },
+        "access log lines",
+    );
+    let log = std::fs::read_to_string(&log_path).expect("access log readable");
+    let mut saw_trace = false;
+    for line in log.lines() {
+        let lv: serde::Value = serde_json::from_str(line).expect("access-log line parses");
+        for field in ["ts_unix_nanos", "trace", "total_nanos", "status", "stages"] {
+            assert!(lv.get(field).is_some(), "access-log line missing {field}");
+        }
+        if lv.get("trace") == Some(&serde::Value::Str(trace_hex.clone())) {
+            saw_trace = true;
+        }
+    }
+    assert!(saw_trace, "access log must contain the traced request");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&log_path);
+}
+
 fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
     headers
         .iter()

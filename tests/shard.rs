@@ -175,6 +175,197 @@ fn two_shard_ring_routes_deterministically_with_identical_bytes() {
     daemon_b.shutdown();
 }
 
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn str_field<'a>(v: &'a serde::Value, name: &str) -> Option<&'a str> {
+    match v.get(name) {
+        Some(serde::Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// The trace finishes (lands in the flight recorder) just *after* the
+/// response is written, so poll the debug endpoint until the stitched
+/// trace shows at least `min_spans` spans across `min_processes`
+/// processes.
+fn wait_for_trace(addr: &str, trace_hex: &str, min_spans: usize, min_processes: usize) -> String {
+    let path = format!("/v1/debug/trace/{trace_hex}");
+    for _ in 0..200 {
+        if let Ok((200, _, body)) = client_request(addr, "GET", &path, None) {
+            if let Ok(v) = serde_json::from_str::<serde::Value>(&body) {
+                if let Some(serde::Value::Array(events)) = v.get("traceEvents") {
+                    let spans = events
+                        .iter()
+                        .filter(|e| str_field(e, "ph") == Some("X"))
+                        .count();
+                    let processes = events
+                        .iter()
+                        .filter(|e| str_field(e, "name") == Some("process_name"))
+                        .count();
+                    if spans >= min_spans && processes >= min_processes {
+                        return body;
+                    }
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("trace {trace_hex} never stitched to {min_spans} spans / {min_processes} processes");
+}
+
+/// Satellite invariant: a request forwarded router → owner shard (and a
+/// request forwarded shard → shard) carries ONE trace id end to end,
+/// the debug endpoint returns it as well-formed Chrome-trace JSON, and
+/// `x-request-id` is echoed on every response.
+#[test]
+fn trace_propagates_across_router_and_forwarded_hops() {
+    let addr_a = free_addr();
+    let addr_b = free_addr();
+    let ring_addrs = vec![addr_a.clone(), addr_b.clone()];
+    let shard_cfg = |own: &str| ServeConfig {
+        addr: own.to_string(),
+        workers: 1,
+        engine_jobs: 1,
+        shard_ring: ring_addrs.clone(),
+        shard_self: Some(own.to_string()),
+        ..ServeConfig::default()
+    };
+    let daemon_a = Server::start(shard_cfg(&addr_a), test_resolver()).expect("shard A starts");
+    let daemon_b = Server::start(shard_cfg(&addr_b), test_resolver()).expect("shard B starts");
+    let router = Router::start(
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: ring_addrs.clone(),
+        },
+        test_resolver(),
+    )
+    .expect("router starts");
+    let router_addr = router.local_addr().to_string();
+
+    // --- Client → router → owner shard, with a client request id. ---
+    let body = body_for(3);
+    let (status, headers, _) = serve::http::client_request_with_headers(
+        &router_addr,
+        "POST",
+        "/v1/predict",
+        Some(&body),
+        &[("x-request-id", "test-rid-42")],
+    )
+    .expect("routed predict");
+    assert_eq!(status, 200);
+    assert_eq!(
+        header_of(&headers, "x-request-id"),
+        Some("test-rid-42"),
+        "router must echo the client's request id"
+    );
+    let trace_hex = header_of(&headers, "x-prophet-trace")
+        .expect("router must return the trace id")
+        .to_string();
+
+    // The stitched trace: router hop + owner-shard hop, one trace id.
+    let chrome = wait_for_trace(&router_addr, &trace_hex, 6, 2);
+    let v: serde::Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+    let Some(serde::Value::Array(events)) = v.get("traceEvents") else {
+        panic!("no traceEvents array");
+    };
+    let xs: Vec<&serde::Value> = events
+        .iter()
+        .filter(|e| str_field(e, "ph") == Some("X"))
+        .collect();
+    assert!(xs.len() >= 6, "expected ≥6 spans, got {}", xs.len());
+    for e in &xs {
+        let args = e.get("args").expect("X event args");
+        assert_eq!(
+            str_field(args, "trace"),
+            Some(trace_hex.as_str()),
+            "every span must carry the propagated trace id"
+        );
+    }
+    // Parenting is well-formed: every parent points at a known span,
+    // and the router's root is the only orphan.
+    let span_ids: Vec<&str> = xs
+        .iter()
+        .filter_map(|e| str_field(e.get("args").unwrap(), "span"))
+        .collect();
+    let mut orphans = 0;
+    for e in &xs {
+        match str_field(e.get("args").unwrap(), "parent") {
+            Some(parent) => assert!(
+                span_ids.contains(&parent),
+                "span parent {parent} not in the trace"
+            ),
+            None => orphans += 1,
+        }
+    }
+    assert_eq!(orphans, 1, "exactly one root span (the router's)");
+    // Both the router and the owning shard contributed spans.
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|e| str_field(e, "name") == Some("process_name"))
+        .filter_map(|e| str_field(e.get("args").unwrap(), "name"))
+        .collect();
+    assert!(
+        process_names.iter().any(|p| p.starts_with("router@")),
+        "router hop missing from {process_names:?}"
+    );
+    assert!(
+        process_names.iter().any(|p| p.starts_with("shard@")),
+        "shard hop missing from {process_names:?}"
+    );
+
+    // --- Client → wrong shard → owner shard (daemon-side forward). ---
+    let ring = ShardRing::new(ring_addrs.clone());
+    let owner = ring.owner("test1:3").to_string();
+    let wrong = if owner == addr_a { &addr_b } else { &addr_a };
+    let (status, headers, _) =
+        client_request(wrong, "POST", "/v1/predict", Some(&body)).expect("forwarded predict");
+    assert_eq!(status, 200);
+    let fwd_trace = header_of(&headers, "x-prophet-trace")
+        .expect("daemon must return the trace id")
+        .to_string();
+    assert_ne!(fwd_trace, trace_hex, "a new request starts a new trace");
+    let chrome = wait_for_trace(wrong, &fwd_trace, 6, 2);
+    let v: serde::Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+    let Some(serde::Value::Array(events)) = v.get("traceEvents") else {
+        panic!("no traceEvents array");
+    };
+    let shard_processes = events
+        .iter()
+        .filter(|e| str_field(e, "name") == Some("process_name"))
+        .filter_map(|e| str_field(e.get("args").unwrap(), "name"))
+        .filter(|p| p.starts_with("shard@"))
+        .count();
+    assert_eq!(
+        shard_processes, 2,
+        "daemon-side forward must stitch both shards into one trace"
+    );
+
+    // --- x-request-id rides error responses too. ---
+    let (status, headers, _) = serve::http::client_request_with_headers(
+        &router_addr,
+        "GET",
+        "/v1/nope",
+        None,
+        &[("x-request-id", "err-rid")],
+    )
+    .expect("error request");
+    assert_eq!(status, 404);
+    assert_eq!(
+        header_of(&headers, "x-request-id"),
+        Some("err-rid"),
+        "request id must be echoed on errors"
+    );
+
+    router.shutdown();
+    daemon_a.shutdown();
+    daemon_b.shutdown();
+}
+
 /// Misconfiguration fails at startup, not at request time.
 #[test]
 fn shard_config_is_validated_at_start() {
