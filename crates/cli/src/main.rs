@@ -15,10 +15,12 @@
 //!                           [--out sweep.json]
 //! prophet serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] [--cache-cap N]
 //!               [--jobs N] [--store-dir DIR] [--shards a:p,b:p --self-addr a:p]
-//!               [--slo-ms N] [--access-log PATH]
+//!               [--slo-ms N] [--access-log PATH] [--max-conns N]
+//!               [--idle-timeout-ms N] [--header-timeout-ms N]
 //! prophet route [--addr 127.0.0.1:7178] --shards a:p,b:p
 //! prophet loadgen [workloads] [--addr ..] [--shards a:p,b:p] [--requests N]
-//!                 [--concurrency N] [--expect-cache-hits] [--bench-out PATH]
+//!                 [--concurrency N] [--expect-cache-hits] [--keep-alive]
+//!                 [--bench-out PATH]
 //! ```
 //!
 //! `sweep` evaluates the full grid `{workload × threads × schedule ×
@@ -172,6 +174,15 @@ struct Args {
     access_log: Option<String>,
     /// loadgen: write the JSON bench report here.
     bench_out: Option<String>,
+    /// loadgen: reuse keep-alive connections instead of dialing per
+    /// request.
+    keep_alive: bool,
+    /// serve: open-connection cap (excess accepts shed with 503).
+    max_conns: usize,
+    /// serve: idle keep-alive connection timeout, ms.
+    idle_timeout_ms: u64,
+    /// serve: request-header completion timeout, ms (408 on expiry).
+    header_timeout_ms: u64,
 }
 
 /// One-line usage shown on every argument error: the full verb list, so
@@ -228,6 +239,10 @@ fn parse_args() -> Args {
         slo_ms: 5_000,
         access_log: None,
         bench_out: None,
+        keep_alive: false,
+        max_conns: 1024,
+        idle_timeout_ms: 30_000,
+        header_timeout_ms: 10_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -355,6 +370,25 @@ fn parse_args() -> Args {
             "--bench-out" => {
                 args.bench_out = Some(it.next().unwrap_or_else(|| die("--bench-out needs a path")));
             }
+            "--max-conns" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--max-conns needs a count"));
+                args.max_conns = v.parse().unwrap_or_else(|_| die("bad connection cap"));
+            }
+            "--idle-timeout-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--idle-timeout-ms needs a millisecond count"));
+                args.idle_timeout_ms = v.parse().unwrap_or_else(|_| die("bad idle timeout"));
+            }
+            "--header-timeout-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--header-timeout-ms needs a millisecond count"));
+                args.header_timeout_ms = v.parse().unwrap_or_else(|_| die("bad header timeout"));
+            }
+            "--keep-alive" => args.keep_alive = true,
             "--expect-cache-hits" => args.expect_cache_hits = true,
             "--no-memory-model" => args.memory_model = false,
             "--real" => args.with_real = true,
@@ -445,10 +479,12 @@ fn main() {
                  [--timings] [--out f.json]\n  \
                  serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] \
                  [--cache-cap N] [--jobs N] [--store-dir DIR] \
-                 [--shards a:p,b:p --self-addr a:p] [--slo-ms N] [--access-log PATH]\n  \
+                 [--shards a:p,b:p --self-addr a:p] [--slo-ms N] [--access-log PATH] \
+                 [--max-conns N] [--idle-timeout-ms N] [--header-timeout-ms N]\n  \
                  route [--addr 127.0.0.1:7178] --shards a:p,b:p\n  \
                  loadgen [workloads] [--addr ..] [--shards a:p,b:p] [--requests N] \
-                 [--concurrency N] [--expect-cache-hits] [--bench-out PATH]"
+                 [--concurrency N] [--expect-cache-hits] [--keep-alive] [--bench-out PATH] \
+                 (--bench-out runs close + keep-alive legs and writes both)"
             );
         }
         "list" => {
@@ -801,6 +837,9 @@ fn main() {
                 shard_self: args.self_addr.clone(),
                 slo_ms: args.slo_ms,
                 access_log: args.access_log.clone(),
+                max_connections: args.max_conns,
+                idle_timeout_ms: args.idle_timeout_ms,
+                header_timeout_ms: args.header_timeout_ms,
                 ..serve::ServeConfig::default()
             };
             let resolver: serve::Resolver = std::sync::Arc::new(try_parse_sweep_workloads);
@@ -891,13 +930,38 @@ fn main() {
                 expect_cache_hits: args.expect_cache_hits,
                 shards: args.shards.clone(),
                 route_keys,
-                bench_out: args.bench_out.clone(),
+                bench_out: None,
+                keep_alive: args.keep_alive,
             };
-            let report = serve::loadgen::run(&opts);
-            println!("{}", report.summary());
-            if !report.success(&opts) {
-                eprintln!("loadgen: FAILED");
-                std::process::exit(1);
+            if let Some(path) = &args.bench_out {
+                // Bench mode: the same load twice — Connection: close,
+                // then keep-alive — written as the two-leg comparison
+                // artifact. The close leg warms the caches, so the legs
+                // differ in transport only.
+                let close_opts = serve::loadgen::LoadgenOptions {
+                    keep_alive: false,
+                    ..opts.clone()
+                };
+                let keepalive_opts = serve::loadgen::LoadgenOptions {
+                    keep_alive: true,
+                    ..opts.clone()
+                };
+                let close = serve::loadgen::run(&close_opts);
+                println!("{}", close.summary());
+                let keepalive = serve::loadgen::run(&keepalive_opts);
+                println!("{}", keepalive.summary());
+                serve::loadgen::write_bench_legs(path, &close, &keepalive);
+                if !close.success(&close_opts) || !keepalive.success(&keepalive_opts) {
+                    eprintln!("loadgen: FAILED");
+                    std::process::exit(1);
+                }
+            } else {
+                let report = serve::loadgen::run(&opts);
+                println!("{}", report.summary());
+                if !report.success(&opts) {
+                    eprintln!("loadgen: FAILED");
+                    std::process::exit(1);
+                }
             }
         }
         "recommend" => {

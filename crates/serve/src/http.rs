@@ -1,19 +1,35 @@
-//! A deliberately minimal HTTP/1.1 codec over blocking `TcpStream`s.
+//! A deliberately minimal HTTP/1.1 codec.
 //!
 //! The daemon speaks exactly the subset loadgen, curl, and the CI smoke
-//! test need: one request per connection (`Connection: close`),
-//! `Content-Length` bodies, no chunked encoding, no keep-alive. Keeping
-//! the codec ~200 lines is the point — the workspace is offline, so a
-//! real HTTP stack is not an option, and the service's value is in the
-//! batching layer, not the framing.
+//! test need: `Content-Length` bodies, no chunked encoding, HTTP/1.1
+//! keep-alive with pipelining. Keeping the codec small is the point —
+//! the workspace is offline, so a real HTTP stack is not an option, and
+//! the service's value is in the batching layer, not the framing.
+//!
+//! Two halves:
+//!
+//! * **Server side** — [`parse_request`] is an *incremental* parser over
+//!   a byte buffer: the event loop ([`crate::eloop`]) appends whatever
+//!   the socket had and asks "is a full request here yet?". Pipelined
+//!   requests arrive as consecutive parses of the same buffer.
+//!   [`Response`] serialises with an explicit keep-alive decision, and
+//!   its [`Body`] can be a shared `Arc<str>` so hot cached responses are
+//!   written zero-copy — the cache's bytes go straight to `write(2)`
+//!   without a per-request copy.
+//! * **Client side** — [`client_request`] is the old one-shot
+//!   `Connection: close` call; [`ClientConn`] is a persistent keep-alive
+//!   connection that frames responses by `Content-Length`, used by
+//!   `loadgen --keep-alive` and the router's pooled upstream
+//!   connections.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 
 /// Hard cap on the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Hard cap on a request body.
-const MAX_BODY_BYTES: usize = 1024 * 1024;
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// A parsed inbound request.
 #[derive(Debug)]
@@ -28,6 +44,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body bytes.
     pub body: Vec<u8>,
+    /// Whether the request line said `HTTP/1.1`.
+    pub http11: bool,
 }
 
 impl Request {
@@ -45,6 +63,18 @@ impl Request {
             let (k, v) = pair.split_once('=')?;
             (k == name).then_some(v)
         })
+    }
+
+    /// Whether the client wants the connection kept open after the
+    /// response: HTTP/1.1 defaults to keep-alive unless `Connection:
+    /// close`; HTTP/1.0 defaults to close unless `Connection:
+    /// keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
     }
 }
 
@@ -69,23 +99,23 @@ impl std::fmt::Display for ParseError {
     }
 }
 
-/// Read and parse one request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 2048];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// Incrementally parse one request from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete
+/// request (the caller should read more bytes and retry), or
+/// `Ok(Some((request, consumed)))` where `consumed` bytes belong to this
+/// request — anything after them is the start of the next pipelined
+/// request and must be kept.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(ParseError::TooLarge);
         }
-        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
-        if n == 0 {
-            return Err(ParseError::Malformed("connection closed mid-head"));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(ParseError::TooLarge);
+    }
 
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| ParseError::Malformed("non-UTF-8 head"))?;
@@ -100,6 +130,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     let target = parts
         .next()
         .ok_or(ParseError::Malformed("missing request target"))?;
+    let http11 = parts.next().is_none_or(|v| v == "HTTP/1.1");
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
@@ -129,23 +160,78 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
         return Err(ParseError::TooLarge);
     }
 
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
-        if n == 0 {
-            return Err(ParseError::Malformed("connection closed mid-body"));
-        }
-        body.extend_from_slice(&chunk[..n]);
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
     }
-    body.truncate(content_length);
+    let body = buf[body_start..body_start + content_length].to_vec();
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            http11,
+        },
+        body_start + content_length,
+    )))
+}
 
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    })
+/// A response body: either owned text, or a shared preserialized buffer
+/// (the result cache's hot path — written zero-copy, never recopied per
+/// request).
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Owned text, built for this response.
+    Text(String),
+    /// Shared preserialized bytes (e.g. a cached response body).
+    Shared(Arc<str>),
+}
+
+impl Body {
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_str().len()
+    }
+
+    /// True when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The body as text.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Body::Text(s) => s,
+            Body::Shared(s) => s,
+        }
+    }
+}
+
+impl std::ops::Deref for Body {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::Text(s)
+    }
+}
+
+impl From<Arc<str>> for Body {
+    fn from(s: Arc<str>) -> Body {
+        Body::Shared(s)
+    }
+}
+
+impl PartialEq<str> for Body {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
 }
 
 /// An outbound response: status plus a UTF-8 body.
@@ -155,19 +241,19 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
-    /// Body text.
-    pub body: String,
+    /// Body text (owned or shared).
+    pub body: Body,
     /// Extra `(name, value)` headers (e.g. `X-Cache`).
     pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
     /// A JSON response.
-    pub fn json(status: u16, body: String) -> Self {
+    pub fn json(status: u16, body: impl Into<Body>) -> Self {
         Response {
             status,
             content_type: "application/json",
-            body,
+            body: body.into(),
             extra_headers: Vec::new(),
         }
     }
@@ -189,7 +275,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
-            body,
+            body: body.into(),
             extra_headers: Vec::new(),
         }
     }
@@ -198,6 +284,26 @@ impl Response {
     pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
         self.extra_headers.push((name, value.into()));
         self
+    }
+
+    /// Serialise the response head, with an explicit keep-alive
+    /// decision. The body is deliberately not appended: the event loop
+    /// writes head and body as separate segments so a shared body is
+    /// never copied.
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        head.into_bytes()
     }
 }
 
@@ -218,25 +324,6 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialise and write a response; errors are ignored (the peer may
-/// have gone away, which is its prerogative).
-pub fn write_response(stream: &mut TcpStream, resp: &Response) {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
-        resp.status,
-        reason(resp.status),
-        resp.content_type,
-        resp.body.len()
-    );
-    for (name, value) in &resp.extra_headers {
-        head.push_str(&format!("{name}: {value}\r\n"));
-    }
-    head.push_str("\r\n");
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(resp.body.as_bytes());
-    let _ = stream.flush();
-}
-
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
@@ -244,9 +331,10 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// What [`client_request`] returns: `(status, headers, body)`.
 pub type ClientResponse = (u16, Vec<(String, String)>, String);
 
-/// A one-shot blocking HTTP client call: connect, send, read to EOF.
-/// Returns `(status, headers, body)`. Used by `prophet loadgen`, the
-/// integration tests, and the CI smoke step, so CI needs no curl.
+/// A one-shot blocking HTTP client call: connect, send with
+/// `Connection: close`, read the response. Returns `(status, headers,
+/// body)`. Used by `prophet loadgen`'s default mode, the integration
+/// tests, and the CI smoke step, so CI needs no curl.
 pub fn client_request(
     addr: &str,
     method: &str,
@@ -265,40 +353,276 @@ pub fn client_request_with_headers(
     body: Option<&str>,
     extra_headers: &[(&str, &str)],
 ) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
-    stream.set_write_timeout(Some(std::time::Duration::from_secs(60)))?;
-    let body = body.unwrap_or("");
-    let mut req = format!(
-        "{method} {path_and_query} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n",
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        req.push_str(&format!("{name}: {value}\r\n"));
-    }
-    req.push_str("\r\n");
-    req.push_str(body);
-    stream.write_all(req.as_bytes())?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let head_end = find_head_end(&raw).ok_or_else(|| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
-    })?;
-    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
-    let mut lines = head.split("\r\n");
-    let status_line = lines.next().unwrap_or("");
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
-    let headers: Vec<(String, String)> = lines
-        .filter_map(|l| {
-            l.split_once(':')
-                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+    let mut conn = ClientConn::connect(addr)?;
+    conn.request_with_policy(method, path_and_query, body, extra_headers, false)
+}
+
+/// A persistent keep-alive client connection.
+///
+/// Responses are framed by `Content-Length` (every response our servers
+/// produce carries one), so the stream survives across requests.
+/// [`is_reusable`](Self::is_reusable) turns false once the server
+/// answers `Connection: close` or the stream errors; callers then dial a
+/// fresh connection.
+pub struct ClientConn {
+    stream: TcpStream,
+    /// Bytes read past the previous response (start of the next one).
+    rbuf: Vec<u8>,
+    reusable: bool,
+}
+
+impl ClientConn {
+    /// Dial `addr` with the standard client timeouts.
+    pub fn connect(addr: &str) -> std::io::Result<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(std::time::Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(ClientConn {
+            stream,
+            rbuf: Vec::new(),
+            reusable: true,
         })
-        .collect();
-    let body = String::from_utf8_lossy(&raw[head_end + 4..]).to_string();
-    Ok((status, headers, body))
+    }
+
+    /// Whether the connection survived the last exchange and may carry
+    /// another request.
+    pub fn is_reusable(&self) -> bool {
+        self.reusable
+    }
+
+    /// Send one request with `Connection: keep-alive` and read its
+    /// response. After an `Err` the connection must be discarded.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request_with_policy(method, path_and_query, body, extra_headers, true)
+    }
+
+    fn request_with_policy(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+        keep_alive: bool,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let mut req = format!(
+            "{method} {path_and_query} HTTP/1.1\r\nhost: prophet\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: {}\r\n",
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in extra_headers {
+            req.push_str(&format!("{name}: {value}\r\n"));
+        }
+        req.push_str("\r\n");
+        req.push_str(body);
+        if let Err(e) = self.stream.write_all(req.as_bytes()) {
+            self.reusable = false;
+            return Err(e);
+        }
+        match self.read_response() {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.reusable = false;
+                Err(e)
+            }
+        }
+    }
+
+    /// Read one response: head, then exactly `Content-Length` body bytes
+    /// (or to EOF when the server did not frame the body).
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.rbuf) {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response-head",
+                ));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.rbuf[..head_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| {
+                l.split_once(':')
+                    .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            })
+            .collect();
+        let body_start = head_end + 4;
+        let content_length: Option<usize> = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok());
+        let body = match content_length {
+            Some(len) => {
+                while self.rbuf.len() < body_start + len {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-response-body",
+                        ));
+                    }
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                }
+                let body =
+                    String::from_utf8_lossy(&self.rbuf[body_start..body_start + len]).to_string();
+                // Keep anything past this response (the server never
+                // pipelines unrequested bytes, but be safe).
+                self.rbuf.drain(..body_start + len);
+                body
+            }
+            None => {
+                // Unframed: the server will close; read to EOF.
+                self.reusable = false;
+                let mut rest = std::mem::take(&mut self.rbuf);
+                self.stream.read_to_end(&mut rest)?;
+                String::from_utf8_lossy(&rest[body_start..]).to_string()
+            }
+        };
+        if headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"))
+        {
+            self.reusable = false;
+        }
+        Ok((status, headers, body))
+    }
+}
+
+/// A pool of persistent keep-alive connections to upstream daemons,
+/// keyed by address. Used by the sharded daemon's forwards and the
+/// router, so a forward reuses a warm TCP connection instead of paying
+/// a fresh handshake per request.
+///
+/// Failure semantics: a request on a *reused* connection that errors is
+/// retried once on a freshly dialed connection (the pooled socket may
+/// simply have been closed by the peer's idle timeout); an error on a
+/// fresh connection is returned to the caller.
+pub struct UpstreamPool {
+    conns: std::sync::Mutex<std::collections::HashMap<String, Vec<ClientConn>>>,
+    max_idle_per_target: usize,
+}
+
+impl UpstreamPool {
+    /// A pool keeping at most `max_idle_per_target` idle connections per
+    /// upstream address.
+    pub fn new(max_idle_per_target: usize) -> UpstreamPool {
+        UpstreamPool {
+            conns: std::sync::Mutex::new(std::collections::HashMap::new()),
+            max_idle_per_target,
+        }
+    }
+
+    fn checkout(&self, addr: &str) -> Option<ClientConn> {
+        self.conns
+            .lock()
+            .expect("upstream pool poisoned")
+            .get_mut(addr)
+            .and_then(Vec::pop)
+    }
+
+    fn put_back(&self, addr: &str, conn: ClientConn) {
+        if !conn.is_reusable() {
+            return;
+        }
+        let mut pool = self.conns.lock().expect("upstream pool poisoned");
+        let slot = pool.entry(addr.to_string()).or_default();
+        if slot.len() < self.max_idle_per_target {
+            slot.push(conn);
+        }
+    }
+
+    /// One request against `addr`, reusing a pooled connection when one
+    /// is available and returning it to the pool afterwards.
+    pub fn request(
+        &self,
+        addr: &str,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        if let Some(mut conn) = self.checkout(addr) {
+            // A stale pooled socket errors here; fall through to a fresh dial.
+            if let Ok(resp) = conn.request(method, path_and_query, body, extra_headers) {
+                self.put_back(addr, conn);
+                return Ok(resp);
+            }
+        }
+        let mut conn = ClientConn::connect(addr)?;
+        let resp = conn.request(method, path_and_query, body, extra_headers)?;
+        self.put_back(addr, conn);
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_parse_waits_for_full_request() {
+        let raw = b"POST /v1/predict HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody";
+        for cut in 0..raw.len() {
+            assert!(
+                parse_request(&raw[..cut]).expect("prefix parses").is_none(),
+                "cut at {cut} should be incomplete"
+            );
+        }
+        let (req, consumed) = parse_request(raw).unwrap().expect("full request parses");
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"body");
+        assert!(req.wants_keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let (first, consumed) = parse_request(raw).unwrap().expect("first parses");
+        assert_eq!(first.path, "/a");
+        let (second, rest) = parse_request(&raw[consumed..]).unwrap().expect("second");
+        assert_eq!(second.path, "/b");
+        assert!(!second.wants_keep_alive());
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1));
+        assert!(matches!(parse_request(&raw), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn response_head_carries_connection_decision() {
+        let resp = Response::json(200, "{}".to_string());
+        let ka = String::from_utf8(resp.head_bytes(true)).unwrap();
+        assert!(ka.contains("connection: keep-alive\r\n"));
+        let close = String::from_utf8(resp.head_bytes(false)).unwrap();
+        assert!(close.contains("connection: close\r\n"));
+        assert!(close.contains("content-length: 2\r\n"));
+    }
 }

@@ -9,6 +9,11 @@
 //! [`Prophet`]/[`SweepEngine`] serves every request, so profiling and
 //! calibration amortise across traffic. The moving parts:
 //!
+//! * **Transport.** A readiness-driven event loop ([`eloop`]): raw
+//!   `epoll` FFI, non-blocking sockets, HTTP/1.1 keep-alive and
+//!   pipelining, per-connection idle/header timeouts and a
+//!   max-connection cap. One loop thread multiplexes every connection;
+//!   hot cached responses are written zero-copy from shared buffers.
 //! * **Admission control.** A bounded request queue; when it is full new
 //!   work is *shed* with a 429 instead of queued into unbounded latency.
 //!   Per-request deadlines turn into 504s rather than hung sockets, and
@@ -19,8 +24,9 @@
 //!   concurrent requests share one rayon fan-out *and* one profile
 //!   cache, then get their slices of the result back.
 //! * **Result cache.** A bounded LRU keyed on the canonical request,
-//!   layered above the engine's profile cache: repeat requests cost a
-//!   map lookup, not an emulation.
+//!   lock-sharded by key hash, layered above the engine's profile cache:
+//!   repeat requests cost a map lookup, not an emulation, and
+//!   concurrent hits on different keys don't contend on one mutex.
 //! * **Determinism.** A response body is byte-identical whether it was
 //!   computed cold, coalesced into a batch, or served from the cache —
 //!   and identical to `prophet sweep` run with the same spec, because
@@ -32,8 +38,9 @@
 //!   re-running the profiler — same bytes, none of the profiling cost.
 //! * **Sharding.** With [`ServeConfig::shard_ring`] set, the daemon only
 //!   evaluates keys it owns on the [`ring::ShardRing`] and transparently
-//!   forwards the rest to their owner, so a fleet partitions the key
-//!   space instead of replicating it.
+//!   forwards the rest to their owner over pooled persistent upstream
+//!   connections, so a fleet partitions the key space instead of
+//!   replicating it.
 //!
 //! HTTP endpoints (v1, with unversioned spellings kept as deprecated
 //! aliases): `POST /v1/predict`, `GET /v1/healthz`, `GET /v1/metrics`
@@ -42,6 +49,7 @@
 //! [`ProphetError::code`].
 
 pub mod api;
+pub mod eloop;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
@@ -51,14 +59,14 @@ pub mod signal;
 pub mod trace;
 
 use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use prophet_core::machsim::{Paradigm, Schedule};
-use prophet_core::{Prophet, ProphetError};
+use prophet_core::{fingerprint64, Prophet, ProphetError};
 use store::{KeyedStore, ProfileStore};
 use sweep::{
     CacheStats, GridSpec, Overrides, PredictorSpec, SweepEngine, SweepJob, SweepResult,
@@ -125,6 +133,14 @@ pub struct ServeConfig {
     /// How many finished traces the in-memory flight recorder keeps for
     /// `GET /v1/debug/trace/<id>`.
     pub trace_flight_cap: usize,
+    /// Open-connection cap; accepts beyond it are shed with 503 +
+    /// `Retry-After` instead of leaking sockets (slow-loris hardening).
+    pub max_connections: usize,
+    /// Idle keep-alive connections are closed after this long.
+    pub idle_timeout_ms: u64,
+    /// A request head must arrive in full within this long, or the
+    /// connection gets a 408 and is closed (slow-loris hardening).
+    pub header_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +161,19 @@ impl Default for ServeConfig {
             slo_ms: 5_000,
             access_log: None,
             trace_flight_cap: 256,
+            max_connections: 1024,
+            idle_timeout_ms: 30_000,
+            header_timeout_ms: 10_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn loop_config(&self) -> eloop::LoopConfig {
+        eloop::LoopConfig {
+            max_connections: self.max_connections.max(1),
+            idle_timeout: Duration::from_millis(self.idle_timeout_ms.max(1)),
+            header_timeout: Duration::from_millis(self.header_timeout_ms.max(1)),
         }
     }
 }
@@ -388,9 +417,11 @@ pub(crate) fn evaluate_requests_timed(
     (bodies, serialize_nanos)
 }
 
-/// Bounded LRU of canonical-request → response-body.
+/// Bounded LRU of canonical-request → preserialized response body.
+/// Bodies are `Arc<str>` so a hit shares the cached bytes with the
+/// write path instead of copying them per response.
 struct ResultCache {
-    map: HashMap<String, (String, u64)>,
+    map: HashMap<String, (Arc<str>, u64)>,
     cap: usize,
     tick: u64,
 }
@@ -404,17 +435,17 @@ impl ResultCache {
         }
     }
 
-    fn get(&mut self, key: &str) -> Option<String> {
+    fn get(&mut self, key: &str) -> Option<Arc<str>> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|(body, used)| {
             *used = tick;
-            body.clone()
+            Arc::clone(body)
         })
     }
 
     /// Insert, returning how many entries were evicted.
-    fn insert(&mut self, key: &str, body: String) -> u64 {
+    fn insert(&mut self, key: &str, body: Arc<str>) -> u64 {
         if self.cap == 0 {
             return 0;
         }
@@ -435,61 +466,108 @@ impl ResultCache {
     }
 }
 
+/// How many independent locks the result cache is split across.
+const RESULT_CACHE_SHARDS: usize = 8;
+
+/// The result cache with its single lock sharded by canonical-key hash:
+/// a hot hit path on one key never contends with inserts on another.
+/// Each shard is an independent LRU holding `cap / SHARDS` entries
+/// (rounded up), so total capacity stays within one shard's worth of
+/// the configured cap.
+struct ShardedResultCache {
+    shards: Vec<Mutex<ResultCache>>,
+}
+
+impl ShardedResultCache {
+    fn new(cap: usize) -> Self {
+        let per_shard = if cap == 0 {
+            0
+        } else {
+            cap.div_ceil(RESULT_CACHE_SHARDS)
+        };
+        ShardedResultCache {
+            shards: (0..RESULT_CACHE_SHARDS)
+                .map(|_| Mutex::new(ResultCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<ResultCache> {
+        // Same avalanche the shard ring uses: FNV clusters similar
+        // canonical keys, spread() un-clusters them.
+        let h = ring::spread(fingerprint64(key.as_bytes()));
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<str>> {
+        self.shard(key).lock().expect("results poisoned").get(key)
+    }
+
+    fn insert(&self, key: &str, body: Arc<str>) -> u64 {
+        self.shard(key)
+            .lock()
+            .expect("results poisoned")
+            .insert(key, body)
+    }
+}
+
+/// The per-request reply channel: the event loop's one-shot
+/// [`eloop::Responder`] plus the response decoration every path must
+/// agree on (request-id/trace echo headers, the `/v1` deprecation
+/// header, the x-cache disposition recorded for the access log).
+#[derive(Clone)]
+struct Reply {
+    responder: eloop::Responder,
+    rid: Option<String>,
+    trace_hex: Option<String>,
+    versioned: bool,
+    /// Cache disposition of the response that was actually sent, read
+    /// back by the post-flush accounting for trace tags.
+    cache_tag: Arc<Mutex<String>>,
+}
+
+impl Reply {
+    fn decorate(&self, mut resp: Response) -> Response {
+        // `/v1/...` is canonical; unversioned spellings answer the same
+        // bytes plus a Deprecation header (404s excepted — there is
+        // nothing to deprecate onto).
+        if !self.versioned && resp.status != 404 {
+            resp = resp.with_header("deprecation", "true; see /v1");
+        }
+        if let Some(rid) = &self.rid {
+            resp.extra_headers.push(("x-request-id", rid.clone()));
+        }
+        if let Some(hex) = &self.trace_hex {
+            resp.extra_headers.push(("x-prophet-trace", hex.clone()));
+        }
+        if let Some((_, v)) = resp.extra_headers.iter().find(|(k, _)| *k == "x-cache") {
+            *self.cache_tag.lock().expect("cache tag poisoned") = v.clone();
+        }
+        resp
+    }
+
+    /// Decorate and deliver; returns whether this reply won the
+    /// one-shot (for exactly-once status counting).
+    fn send(&self, resp: Response) -> bool {
+        self.responder.send(self.decorate(resp))
+    }
+
+    /// Arm the loop-side deadline with a pre-decorated timeout response.
+    fn arm_deadline(&self, at: Instant, resp: Response) {
+        self.responder.set_deadline(at, self.decorate(resp));
+    }
+}
+
 /// One admitted, not-yet-answered prediction request.
 struct Pending {
     req: NormalizedRequest,
     key: String,
     enqueued: Instant,
     deadline: Instant,
-    ticket: Arc<Ticket>,
+    reply: Reply,
     /// The request's trace handle, so the batch worker can attach
     /// queue-wait and predict-stage spans to the right trace.
     trace: trace::ReqTrace,
-}
-
-/// Rendezvous between the connection thread and the batch worker.
-struct Ticket {
-    slot: Mutex<Option<Response>>,
-    cv: Condvar,
-}
-
-impl Ticket {
-    fn new() -> Arc<Self> {
-        Arc::new(Ticket {
-            slot: Mutex::new(None),
-            cv: Condvar::new(),
-        })
-    }
-
-    /// Install the response if none is set yet; returns whether this
-    /// call won (so a status is counted exactly once).
-    fn fulfill(&self, resp: Response) -> bool {
-        let mut slot = self.slot.lock().expect("ticket poisoned");
-        if slot.is_none() {
-            *slot = Some(resp);
-            self.cv.notify_all();
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Wait until a response is installed or `deadline` passes.
-    fn wait_until(&self, deadline: Instant) -> Option<Response> {
-        let mut slot = self.slot.lock().expect("ticket poisoned");
-        while slot.is_none() {
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(slot, deadline - now)
-                .expect("ticket poisoned");
-            slot = guard;
-        }
-        slot.clone()
-    }
 }
 
 struct Shared {
@@ -500,9 +578,7 @@ struct Shared {
     queue_cv: Condvar,
     /// Stop admitting prediction work; workers exit once the queue is dry.
     draining: AtomicBool,
-    /// Stop the accept loop entirely.
-    stop_accept: AtomicBool,
-    results: Mutex<ResultCache>,
+    results: ShardedResultCache,
     metrics: ServerMetrics,
     /// The persistent profile store, when `store_dir` is configured.
     /// The engine holds its own handle; this one serves `/metrics`,
@@ -510,23 +586,24 @@ struct Shared {
     store: Option<Arc<ProfileStore>>,
     /// `(ring, own address)` when `shard_ring` is configured.
     shard: Option<(ShardRing, String)>,
+    /// Persistent keep-alive connections to the other shards.
+    upstreams: http::UpstreamPool,
     /// Per-process tracing state (a no-op shell without `obs`).
     tracing: trace::Tracing,
 }
 
-/// The daemon. [`Server::start`] binds, spawns the acceptor and worker
-/// pool, and returns a handle; the process keeps serving until
+/// The daemon. [`Server::start`] binds, spawns the event loop and
+/// worker pool, and returns a handle; the process keeps serving until
 /// [`ServerHandle::shutdown`].
 pub struct Server;
 
-/// A running daemon: its address plus the thread handles needed to
-/// drain and join it.
+/// A running daemon: its address plus the handles needed to drain and
+/// join it.
 pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    eloop: eloop::EventLoop,
     workers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -562,7 +639,6 @@ impl Server {
             )),
         };
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let mut engine = SweepEngine::new(Prophet::new())
             .with_jobs(cfg.engine_jobs)
@@ -581,17 +657,18 @@ impl Server {
         };
         let tracing =
             trace::Tracing::create(process, cfg.trace_flight_cap, cfg.access_log.as_deref())?;
+        let loop_cfg = cfg.loop_config();
         let shared = Arc::new(Shared {
             engine,
             resolver,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
-            stop_accept: AtomicBool::new(false),
-            results: Mutex::new(ResultCache::new(cfg.result_cache_cap)),
+            results: ShardedResultCache::new(cfg.result_cache_cap),
             metrics: ServerMetrics::new(cfg.slo_ms),
             store,
             shard,
+            upstreams: http::UpstreamPool::new(4),
             tracing,
             cfg,
         });
@@ -606,22 +683,22 @@ impl Server {
             })
             .collect();
 
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
+        let handler: eloop::Handler = {
             let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new()
-                .name("serve-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &conns))
-                .expect("spawn acceptor")
+            Arc::new(move |req, meta, responder| handle_request(&shared, req, meta, responder))
         };
+        let eloop = eloop::EventLoop::start(
+            listener,
+            handler,
+            loop_cfg,
+            Arc::clone(&shared.metrics.conns),
+        )?;
 
         Ok(ServerHandle {
             shared,
             local_addr,
-            acceptor: Some(acceptor),
+            eloop,
             workers,
-            conns,
         })
     }
 }
@@ -649,11 +726,13 @@ impl ServerHandle {
         self.shared.store.as_ref()
     }
 
-    /// Gracefully shut down: stop admitting, let workers drain every
-    /// already-admitted request, fail anything left 503, then stop
-    /// accepting and join all threads.
+    /// Gracefully shut down: stop admitting, close idle keep-alive
+    /// connections, let workers drain every already-admitted request,
+    /// fail anything left 503, then stop accepting and join everything.
+    /// In-flight pipelines finish before their connections close.
     pub fn shutdown(mut self) {
         self.shared.draining.store(true, Ordering::SeqCst);
+        self.eloop.drain();
         self.shared.queue_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -666,7 +745,7 @@ impl ServerHandle {
         };
         for p in leftovers {
             let resp = error_response(&ProphetError::Unavailable("shutting down".to_string()));
-            if p.ticket.fulfill(resp) {
+            if p.reply.send(resp) {
                 self.shared
                     .metrics
                     .rejected_draining
@@ -678,127 +757,90 @@ impl ServerHandle {
                 eprintln!("warning: profile store flush on shutdown failed: {e}");
             }
         }
-        self.shared.stop_accept.store(true, Ordering::SeqCst);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        let handles: Vec<JoinHandle<()>> = {
-            let mut conns = self.conns.lock().expect("conns poisoned");
-            conns.drain(..).collect()
-        };
-        for h in handles {
-            let _ = h.join();
-        }
+        self.eloop.stop();
+        self.eloop.join();
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
+/// The event-loop handler: set up per-request accounting and dispatch.
+/// Runs on the loop thread, so everything slow (prediction, forwards,
+/// trace stitching) is handed to other threads via the [`Reply`].
+fn handle_request(
     shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    req: Request,
+    meta: eloop::ReqMeta,
+    responder: eloop::Responder,
 ) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(15)));
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(15)));
-                let _ = stream.set_nodelay(true);
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("serve-conn".to_string())
-                    .spawn(move || handle_connection(stream, &shared))
-                    .expect("spawn connection handler");
-                let mut conns = conns.lock().expect("conns poisoned");
-                conns.retain(|h| !h.is_finished());
-                conns.push(handle);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if shared.stop_accept.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let m = &shared.metrics;
     m.inflight.fetch_add(1, Ordering::Relaxed);
-    let t_accept = Instant::now();
-    match http::read_request(&mut stream) {
-        Ok(req) => {
-            let trace = shared.tracing.begin(req.header("x-prophet-trace"));
-            let parse_nanos = u64::try_from(t_accept.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            trace.add_timed("parse", t_accept, parse_nanos, &[]);
-            m.observe_stage("parse", parse_nanos);
-            let is_predict =
-                req.method == "POST" && (req.path == "/predict" || req.path == "/v1/predict");
-            let mut resp = route(&req, shared, &trace);
-            // Echo the client's request id on every response, or
-            // synthesise one from the trace id when tracing is on.
-            let rid = req
-                .header("x-request-id")
-                .map(str::to_string)
-                .or_else(|| trace.trace_hex());
-            if let Some(rid) = &rid {
-                resp.extra_headers.push(("x-request-id", rid.clone()));
-            }
-            if let Some(hex) = trace.trace_hex() {
-                resp.extra_headers.push(("x-prophet-trace", hex));
-            }
-            let cache = resp
-                .extra_headers
-                .iter()
-                .find(|(k, _)| *k == "x-cache")
-                .map(|(_, v)| v.clone())
-                .unwrap_or_else(|| "none".to_string());
-            let t_flush = Instant::now();
-            http::write_response(&mut stream, &resp);
-            let flush_nanos = u64::try_from(t_flush.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            trace.add_timed("flush", t_flush, flush_nanos, &[]);
+    // Reconstruct when the request's first byte arrived, for the parse
+    // span and the obs-off SLO fallback clock.
+    let req_start = Instant::now()
+        .checked_sub(Duration::from_nanos(meta.parse_nanos))
+        .unwrap_or_else(Instant::now);
+    let trace = shared.tracing.begin(req.header("x-prophet-trace"));
+    trace.add_timed("parse", req_start, meta.parse_nanos, &[]);
+    m.observe_stage("parse", meta.parse_nanos);
+    let is_predict = req.method == "POST" && (req.path == "/predict" || req.path == "/v1/predict");
+    // Echo the client's request id on every response, or synthesise one
+    // from the trace id when tracing is on.
+    let rid = req
+        .header("x-request-id")
+        .map(str::to_string)
+        .or_else(|| trace.trace_hex());
+    let versioned = req.path.starts_with("/v1");
+    let reply = Reply {
+        responder: responder.clone(),
+        rid: rid.clone(),
+        trace_hex: trace.trace_hex(),
+        versioned,
+        cache_tag: Arc::new(Mutex::new("none".to_string())),
+    };
+    {
+        let shared = Arc::clone(shared);
+        let trace = trace.clone();
+        let path = req.path.clone();
+        let cache_tag = Arc::clone(&reply.cache_tag);
+        responder.set_on_written(move |status, flush_start, flush_nanos, deadline_fired| {
+            let m = &shared.metrics;
+            trace.add_timed("flush", flush_start, flush_nanos, &[]);
             m.observe_stage("flush", flush_nanos);
-            let mut tags: Vec<(&str, String)> = vec![("path", req.path.clone()), ("cache", cache)];
-            if let Some(rid) = rid {
-                tags.push(("request_id", rid));
+            let cache = cache_tag.lock().expect("cache tag poisoned").clone();
+            let mut tags: Vec<(&str, String)> = vec![("path", path.clone()), ("cache", cache)];
+            if let Some(rid) = &rid {
+                tags.push(("request_id", rid.clone()));
             }
             if let Some((_, own)) = &shared.shard {
                 tags.push(("shard", own.clone()));
             }
-            let total = trace.finish(&shared.tracing, resp.status, &tags);
+            let total = trace.finish(&shared.tracing, status, &tags);
             if is_predict {
+                if deadline_fired {
+                    m.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
                 // Without `obs`, finish() reports 0; fall back to a
                 // direct measurement so SLO accounting still works.
                 let total = if total == 0 {
-                    u64::try_from(t_accept.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    u64::try_from(req_start.elapsed().as_nanos()).unwrap_or(u64::MAX)
                 } else {
                     total
                 };
-                m.record_slo(resp.status, total);
+                m.record_slo(status, total);
                 m.observe_request_nanos(total);
             }
-        }
-        Err(e) => {
-            let resp = match e {
-                http::ParseError::TooLarge => Response::error(413, "request too large"),
-                e => Response::error(400, &e.to_string()),
-            };
-            http::write_response(&mut stream, &resp);
-        }
+            m.inflight.fetch_sub(1, Ordering::Relaxed);
+        });
     }
-    m.inflight.fetch_sub(1, Ordering::Relaxed);
+    route(shared, &req, &trace, &reply);
 }
 
-fn route(req: &Request, shared: &Arc<Shared>, trace: &trace::ReqTrace) -> Response {
+fn route(shared: &Arc<Shared>, req: &Request, trace: &trace::ReqTrace, reply: &Reply) {
     // `/v1/predict` is the canonical spelling; the bare `/predict` era
     // predates versioning and stays as a deprecated alias answering the
-    // exact same bytes, plus a `Deprecation` header.
-    let (path, versioned) = match req.path.strip_prefix("/v1") {
-        Some(rest) => (rest, true),
-        None => (req.path.as_str(), false),
-    };
-    let resp = match (req.method.as_str(), path) {
+    // exact same bytes, plus a `Deprecation` header (added by the
+    // reply's decoration).
+    let path = req.path.strip_prefix("/v1").unwrap_or(req.path.as_str());
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             let obj = serde::Value::Object(vec![
                 ("status".to_string(), serde::Value::Str("ok".to_string())),
@@ -807,21 +849,27 @@ fn route(req: &Request, shared: &Arc<Shared>, trace: &trace::ReqTrace) -> Respon
                     serde::Value::Bool(shared.draining.load(Ordering::SeqCst)),
                 ),
             ]);
-            Response::json(200, serde_json::to_string(&obj).expect("serialise healthz"))
+            reply.send(Response::json(
+                200,
+                serde_json::to_string(&obj).expect("serialise healthz"),
+            ));
         }
         ("GET", "/metrics") => {
             let stats = shared.engine.cache().stats();
-            match req.query_param("format") {
+            let resp = match req.query_param("format") {
                 Some("prom") | Some("prometheus") => {
                     Response::text(200, shared.metrics.render_prometheus(stats))
                 }
                 _ => Response::json(200, shared.metrics.render_json(stats)),
-            }
+            };
+            reply.send(resp);
         }
-        ("POST", "/predict") => predict(req, shared, trace),
-        ("GET", "/predict") => Response::error(405, "use POST /v1/predict"),
+        ("POST", "/predict") => predict(shared, req, trace, reply),
+        ("GET", "/predict") => {
+            reply.send(Response::error(405, "use POST /v1/predict"));
+        }
         ("GET", p) if p.starts_with("/debug/trace/") => {
-            let id_hex = &p["/debug/trace/".len()..];
+            let id_hex = p["/debug/trace/".len()..].to_string();
             // `scope=local` stops the stitching fan-out (it is what the
             // fan-out sub-requests themselves use, so peers never
             // recurse); `format=jsonl` selects the span-dump format.
@@ -831,93 +879,144 @@ fn route(req: &Request, shared: &Arc<Shared>, trace: &trace::ReqTrace) -> Respon
                 Some((ring, own)) => ring.addrs().iter().filter(|a| *a != own).cloned().collect(),
                 None => Vec::new(),
             };
-            trace::debug_trace_response(&shared.tracing, id_hex, local_only, jsonl, &peers)
+            if local_only || peers.is_empty() {
+                reply.send(trace::debug_trace_response(
+                    &shared.tracing,
+                    &id_hex,
+                    local_only,
+                    jsonl,
+                    &peers,
+                ));
+            } else {
+                // Stitching fans out blocking sub-requests to peers —
+                // off the loop thread.
+                let shared = Arc::clone(shared);
+                let reply = reply.clone();
+                std::thread::Builder::new()
+                    .name("serve-stitch".to_string())
+                    .spawn(move || {
+                        reply.send(trace::debug_trace_response(
+                            &shared.tracing,
+                            &id_hex,
+                            false,
+                            jsonl,
+                            &peers,
+                        ));
+                    })
+                    .expect("spawn stitch thread");
+            }
         }
-        ("GET", "/debug/traces") => trace::debug_traces_response(&shared.tracing),
-        _ => Response::error(
-            404,
-            "unknown endpoint (try /v1/predict, /v1/healthz, /v1/metrics)",
-        ),
-    };
-    if versioned || resp.status == 404 {
-        resp
-    } else {
-        resp.with_header("deprecation", "true; see /v1")
+        ("GET", "/debug/traces") => {
+            reply.send(trace::debug_traces_response(&shared.tracing));
+        }
+        _ => {
+            reply.send(Response::error(
+                404,
+                "unknown endpoint (try /v1/predict, /v1/healthz, /v1/metrics)",
+            ));
+        }
     }
 }
 
-fn predict(req: &Request, shared: &Arc<Shared>, trace: &trace::ReqTrace) -> Response {
+fn predict(shared: &Arc<Shared>, req: &Request, trace: &trace::ReqTrace, reply: &Reply) {
     let m = &shared.metrics;
     m.requests_total.fetch_add(1, Ordering::Relaxed);
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => {
             m.client_errors.fetch_add(1, Ordering::Relaxed);
-            return error_response(&ProphetError::InvalidRequest(
+            reply.send(error_response(&ProphetError::InvalidRequest(
                 "body is not UTF-8".to_string(),
-            ));
+            )));
+            return;
         }
     };
     let (norm, deadline_ms) = match NormalizedRequest::parse(body, &shared.resolver) {
         Ok(parsed) => parsed,
         Err(e) => {
             m.client_errors.fetch_add(1, Ordering::Relaxed);
-            return error_response(&e);
+            reply.send(error_response(&e));
+            return;
         }
     };
 
     // Sharded: keys another daemon owns are forwarded to it, so every
     // profile lives on exactly one shard no matter which daemon the
-    // client happened to hit.
+    // client happened to hit. The forward blocks on upstream I/O, so it
+    // runs on its own thread, reusing a pooled upstream connection.
     if let Some((ring, own)) = &shared.shard {
         let owner = ring.owner(norm.route_key());
         if owner != own {
             m.proxied_total.fetch_add(1, Ordering::Relaxed);
-            // The owner's request becomes a child of this forward span,
-            // carried over the wire in `x-prophet-trace`.
-            let fwd = trace.begin_span("forward");
-            let header = trace.propagation_header(&fwd);
-            let mut extra: Vec<(&str, &str)> = Vec::new();
-            if let Some(h) = &header {
-                extra.push(("x-prophet-trace", h));
-            }
-            if let Some(rid) = req.header("x-request-id") {
-                extra.push(("x-request-id", rid));
-            }
-            let t_fwd = Instant::now();
-            let result =
-                http::client_request_with_headers(owner, "POST", "/v1/predict", Some(body), &extra);
-            m.observe_stage(
-                "forward",
-                u64::try_from(t_fwd.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            );
-            trace.end_span(&fwd, &[("owner", owner.to_string())]);
-            return match result {
-                Ok((status, _, resp_body)) => {
-                    Response::json(status, resp_body).with_header("x-shard", owner.to_string())
-                }
-                Err(e) => {
-                    m.proxy_errors.fetch_add(1, Ordering::Relaxed);
-                    error_response(&ProphetError::Unavailable(format!(
-                        "shard {owner} unreachable: {e}"
-                    )))
-                }
-            };
+            let owner = owner.to_string();
+            let body = body.to_string();
+            let rid = req.header("x-request-id").map(str::to_string);
+            let shared = Arc::clone(shared);
+            let trace = trace.clone();
+            let reply = reply.clone();
+            std::thread::Builder::new()
+                .name("serve-forward".to_string())
+                .spawn(move || {
+                    // The owner's request becomes a child of this
+                    // forward span, carried in `x-prophet-trace`.
+                    let fwd = trace.begin_span("forward");
+                    let header = trace.propagation_header(&fwd);
+                    let mut extra: Vec<(&str, &str)> = Vec::new();
+                    if let Some(h) = &header {
+                        extra.push(("x-prophet-trace", h));
+                    }
+                    if let Some(rid) = &rid {
+                        extra.push(("x-request-id", rid));
+                    }
+                    let t_fwd = Instant::now();
+                    let result = shared.upstreams.request(
+                        &owner,
+                        "POST",
+                        "/v1/predict",
+                        Some(&body),
+                        &extra,
+                    );
+                    shared.metrics.observe_stage(
+                        "forward",
+                        u64::try_from(t_fwd.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                    trace.end_span(&fwd, &[("owner", owner.clone())]);
+                    match result {
+                        Ok((status, _, resp_body)) => {
+                            reply.send(
+                                Response::json(status, resp_body).with_header("x-shard", owner),
+                            );
+                        }
+                        Err(e) => {
+                            shared.metrics.proxy_errors.fetch_add(1, Ordering::Relaxed);
+                            reply.send(error_response(&ProphetError::Unavailable(format!(
+                                "shard {owner} unreachable: {e}"
+                            ))));
+                        }
+                    }
+                })
+                .expect("spawn forward thread");
+            return;
         }
     }
     let key = norm.canonical_key();
 
-    // Layer 1: the result cache.
-    if let Some(body) = shared.results.lock().expect("results poisoned").get(&key) {
+    // Layer 1: the result cache. A hit shares the preserialized body
+    // with the write path (zero-copy), no engine involvement.
+    if let Some(body) = shared.results.get(&key) {
         m.result_cache_hits.fetch_add(1, Ordering::Relaxed);
         m.responses_ok.fetch_add(1, Ordering::Relaxed);
-        return Response::json(200, body).with_header("x-cache", "hit");
+        reply.send(Response::json(200, body).with_header("x-cache", "hit"));
+        return;
     }
     m.result_cache_misses.fetch_add(1, Ordering::Relaxed);
 
     if shared.draining.load(Ordering::SeqCst) {
         m.rejected_draining.fetch_add(1, Ordering::Relaxed);
-        return error_response(&ProphetError::Unavailable("shutting down".to_string()));
+        reply.send(error_response(&ProphetError::Unavailable(
+            "shutting down".to_string(),
+        )));
+        return;
     }
 
     // Layer 2: bounded admission.
@@ -925,19 +1024,20 @@ fn predict(req: &Request, shared: &Arc<Shared>, trace: &trace::ReqTrace) -> Resp
         .unwrap_or(shared.cfg.default_deadline_ms)
         .clamp(1, 600_000);
     let deadline = Instant::now() + Duration::from_millis(deadline_ms);
-    let ticket = Ticket::new();
     {
         let mut q = shared.queue.lock().expect("queue poisoned");
         if q.len() >= shared.cfg.queue_cap {
             m.shed_total.fetch_add(1, Ordering::Relaxed);
-            return error_response(&ProphetError::Overloaded);
+            drop(q);
+            reply.send(error_response(&ProphetError::Overloaded));
+            return;
         }
         q.push_back(Pending {
             req: norm,
             key,
             enqueued: Instant::now(),
             deadline,
-            ticket: Arc::clone(&ticket),
+            reply: reply.clone(),
             trace: trace.clone(),
         });
         m.queue_depth.store(q.len() as u64, Ordering::Relaxed);
@@ -945,27 +1045,13 @@ fn predict(req: &Request, shared: &Arc<Shared>, trace: &trace::ReqTrace) -> Resp
     shared.queue_cv.notify_one();
 
     // Small grace beyond the deadline so a worker that just started the
-    // batch gets to deliver instead of racing the timeout.
-    match ticket.wait_until(deadline + Duration::from_millis(250)) {
-        Some(resp) => {
-            if resp.status == 200 {
-                m.responses_ok.fetch_add(1, Ordering::Relaxed);
-            }
-            resp
-        }
-        None => {
-            let timeout = error_response(&ProphetError::DeadlineExceeded);
-            if ticket.fulfill(timeout.clone()) {
-                m.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
-            }
-            // Either we won (timeout) or a response landed just now.
-            let resp = ticket.wait_until(Instant::now()).unwrap_or(timeout);
-            if resp.status == 200 {
-                m.responses_ok.fetch_add(1, Ordering::Relaxed);
-            }
-            resp
-        }
-    }
+    // batch gets to deliver instead of racing the timeout: if nothing
+    // answered by then, the loop writes this 504 and any later worker
+    // delivery becomes a no-op.
+    reply.arm_deadline(
+        deadline + Duration::from_millis(250),
+        error_response(&ProphetError::DeadlineExceeded),
+    );
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -1023,16 +1109,16 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Pending>, t_pick: Instant) {
     // Every live request in the batch gets the same worker-side stage
     // spans attached to its own trace.
     let mut traces: Vec<trace::ReqTrace> = Vec::new();
-    // Deduplicate by canonical key: one evaluation answers every ticket.
-    let mut groups: Vec<(String, NormalizedRequest, Vec<Arc<Ticket>>)> = Vec::new();
+    // Deduplicate by canonical key: one evaluation answers every reply.
+    let mut groups: Vec<(String, NormalizedRequest, Vec<Reply>)> = Vec::new();
     let mut live = 0usize;
     let t_dedup = Instant::now();
     for p in batch {
         let wait = u64::try_from((now - p.enqueued).as_nanos()).unwrap_or(u64::MAX);
         queue_waits.push(wait);
         if now >= p.deadline {
-            if p.ticket
-                .fulfill(error_response(&ProphetError::DeadlineExceeded))
+            if p.reply
+                .send(error_response(&ProphetError::DeadlineExceeded))
             {
                 m.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
             }
@@ -1043,8 +1129,8 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Pending>, t_pick: Instant) {
         m.observe_stage("queue_wait", wait);
         traces.push(p.trace);
         match groups.iter_mut().find(|(k, _, _)| *k == p.key) {
-            Some((_, _, tickets)) => tickets.push(p.ticket),
-            None => groups.push((p.key, p.req, vec![p.ticket])),
+            Some((_, _, replies)) => replies.push(p.reply),
+            None => groups.push((p.key, p.req, vec![p.reply])),
         }
     }
     let dedup_nanos = u64::try_from(t_dedup.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -1100,16 +1186,19 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Pending>, t_pick: Instant) {
         }
     }
 
-    for ((key, _, tickets), body) in groups.into_iter().zip(bodies) {
-        let evicted = shared
-            .results
-            .lock()
-            .expect("results poisoned")
-            .insert(&key, body.clone());
+    for ((key, _, replies), body) in groups.into_iter().zip(bodies) {
+        // One shared buffer: the cache entry and every response written
+        // for this batch all point at the same bytes.
+        let body: Arc<str> = Arc::from(body);
+        let evicted = shared.results.insert(&key, Arc::clone(&body));
         m.result_cache_evictions
             .fetch_add(evicted, Ordering::Relaxed);
-        for ticket in tickets {
-            ticket.fulfill(Response::json(200, body.clone()).with_header("x-cache", "miss"));
+        for reply in replies {
+            let won =
+                reply.send(Response::json(200, Arc::clone(&body)).with_header("x-cache", "miss"));
+            if won {
+                m.responses_ok.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }

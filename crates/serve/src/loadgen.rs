@@ -10,11 +10,12 @@
 //! result cache — and can additionally require that the daemon's caches
 //! actually produced hits.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::http::client_request;
+use crate::http::{client_request, ClientConn, ClientResponse};
 use crate::ring::ShardRing;
 
 /// Load-generation parameters.
@@ -43,6 +44,12 @@ pub struct LoadgenOptions {
     /// as JSON to this path after the run — the `BENCH_serve.json`
     /// artifact CI archives and asserts on.
     pub bench_out: Option<String>,
+    /// Reuse connections: each worker thread keeps one persistent
+    /// keep-alive connection per target and pipelines its requests over
+    /// it, instead of dialing per request (`Connection: close`). The
+    /// report's `connections_opened` / `connection_reuses` show how
+    /// much reuse the run actually got.
+    pub keep_alive: bool,
 }
 
 /// A latency distribution summary, nanoseconds.
@@ -140,6 +147,14 @@ pub struct LoadgenReport {
     pub result_cache_hits: Option<u64>,
     /// `sweep.profile_cache_hits` read from `/metrics` after the run.
     pub profile_cache_hits: Option<u64>,
+    /// Whether this run reused connections (`--keep-alive`).
+    pub keep_alive: bool,
+    /// TCP connections the generator dialed.
+    pub connections_opened: u64,
+    /// Requests that rode an already-open connection. With keep-alive
+    /// off this is 0 by construction; on, it should approach
+    /// `requests - concurrency × targets`.
+    pub connection_reuses: u64,
 }
 
 impl LoadgenReport {
@@ -155,15 +170,23 @@ impl LoadgenReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "requests={} ok={} shed={} failed={} mismatches={} rps={:.1} \
+            "mode={} requests={} ok={} shed={} failed={} mismatches={} rps={:.1} \
+             conns={} reuses={} \
              latency_ms min={:.2} mean={:.2} p50={:.2} p95={:.2} p99={:.2} max={:.2} \
              result_cache_hits={} profile_cache_hits={}",
+            if self.keep_alive {
+                "keep-alive"
+            } else {
+                "close"
+            },
             self.requests,
             self.ok,
             self.shed,
             self.failed,
             self.mismatches,
             self.rps,
+            self.connections_opened,
+            self.connection_reuses,
             self.latency.min_nanos as f64 / 1e6,
             self.latency.mean_nanos as f64 / 1e6,
             self.latency.p50_nanos as f64 / 1e6,
@@ -177,8 +200,15 @@ impl LoadgenReport {
         )
     }
 
-    /// The report as JSON — the `BENCH_serve.json` schema.
+    /// The report as JSON — the single-leg `BENCH_serve.json` schema.
+    /// [`write_bench_legs`] nests two of these under `"close"` /
+    /// `"keepalive"` for the two-leg comparison artifact.
     pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("serialise bench report")
+    }
+
+    /// The report as a JSON value (see [`to_json`](Self::to_json)).
+    pub fn to_value(&self) -> serde::Value {
         let opt = |v: Option<u64>| match v {
             Some(n) => serde::Value::U64(n),
             None => serde::Value::Null,
@@ -196,7 +226,7 @@ impl LoadgenReport {
                 ])
             })
             .collect();
-        let obj = serde::Value::Object(vec![
+        serde::Value::Object(vec![
             (
                 "requests".to_string(),
                 serde::Value::U64(self.requests as u64),
@@ -220,8 +250,34 @@ impl LoadgenReport {
                 "profile_cache_hits".to_string(),
                 opt(self.profile_cache_hits),
             ),
-        ]);
-        serde_json::to_string_pretty(&obj).expect("serialise bench report")
+            (
+                "keep_alive".to_string(),
+                serde::Value::Bool(self.keep_alive),
+            ),
+            (
+                "connections_opened".to_string(),
+                serde::Value::U64(self.connections_opened),
+            ),
+            (
+                "connection_reuses".to_string(),
+                serde::Value::U64(self.connection_reuses),
+            ),
+        ])
+    }
+}
+
+/// Write the two-leg `BENCH_serve.json`: the same load run once with
+/// `Connection: close` and once with keep-alive, nested under `"close"`
+/// and `"keepalive"`. CI asserts `keepalive.rps >= close.rps` on it —
+/// the readiness-loop transport must make connection reuse a win.
+pub fn write_bench_legs(path: &str, close: &LoadgenReport, keepalive: &LoadgenReport) {
+    let obj = serde::Value::Object(vec![
+        ("close".to_string(), close.to_value()),
+        ("keepalive".to_string(), keepalive.to_value()),
+    ]);
+    let json = serde_json::to_string_pretty(&obj).expect("serialise bench report");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: failed to write bench report {path}: {e}");
     }
 }
 
@@ -251,6 +307,8 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
     let shed = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
     let mismatches = Arc::new(AtomicU64::new(0));
+    let conns_opened = Arc::new(AtomicU64::new(0));
+    let conn_reuses = Arc::new(AtomicU64::new(0));
     // Latency samples and 200-counts, one slot per body class.
     let latencies: Arc<Mutex<Vec<Vec<u64>>>> =
         Arc::new(Mutex::new(vec![Vec::new(); opts.bodies.len()]));
@@ -270,14 +328,28 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
             let latencies = Arc::clone(&latencies);
             let ok_by_class = Arc::clone(&ok_by_class);
             let reference = Arc::clone(&reference);
+            let conns_opened = Arc::clone(&conns_opened);
+            let conn_reuses = Arc::clone(&conn_reuses);
             scope.spawn(move || {
+                // Keep-alive mode: one persistent connection per target
+                // this thread talks to, reused across its requests.
+                let mut pool: HashMap<String, ClientConn> = HashMap::new();
                 let mut i = t;
                 while i < opts.requests {
                     let class = i % opts.bodies.len();
                     let body = &opts.bodies[class];
                     let start = Instant::now();
-                    let outcome =
-                        client_request(&targets[class], "POST", "/v1/predict", Some(body));
+                    let outcome = if opts.keep_alive {
+                        keep_alive_request(
+                            &mut pool,
+                            &targets[class],
+                            body,
+                            &conns_opened,
+                            &conn_reuses,
+                        )
+                    } else {
+                        client_request(&targets[class], "POST", "/v1/predict", Some(body))
+                    };
                     let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     latencies.lock().expect("latencies poisoned")[class].push(nanos);
                     match outcome {
@@ -353,6 +425,9 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
         classes,
         result_cache_hits,
         profile_cache_hits,
+        keep_alive: opts.keep_alive,
+        connections_opened: conns_opened.load(Ordering::Relaxed),
+        connection_reuses: conn_reuses.load(Ordering::Relaxed),
     };
     if let Some(path) = &opts.bench_out {
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -360,6 +435,38 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
         }
     }
     report
+}
+
+/// One keep-alive request over this thread's persistent connection to
+/// `target`, dialing (or re-dialing) when there is none. A request that
+/// fails on a *reused* connection is retried once on a fresh dial — the
+/// server may have legitimately closed the idle connection between
+/// requests (its idle timeout, or a drain), which is not a request
+/// failure.
+fn keep_alive_request(
+    pool: &mut HashMap<String, ClientConn>,
+    target: &str,
+    body: &str,
+    conns_opened: &AtomicU64,
+    conn_reuses: &AtomicU64,
+) -> std::io::Result<ClientResponse> {
+    if let Some(mut conn) = pool.remove(target) {
+        if let Ok(resp) = conn.request("POST", "/v1/predict", Some(body), &[]) {
+            conn_reuses.fetch_add(1, Ordering::Relaxed);
+            if conn.is_reusable() {
+                pool.insert(target.to_string(), conn);
+            }
+            return Ok(resp);
+        }
+        // Stale pooled connection; fall through to a fresh dial.
+    }
+    let mut conn = ClientConn::connect(target)?;
+    conns_opened.fetch_add(1, Ordering::Relaxed);
+    let resp = conn.request("POST", "/v1/predict", Some(body), &[])?;
+    if conn.is_reusable() {
+        pool.insert(target.to_string(), conn);
+    }
+    Ok(resp)
 }
 
 fn merge_counter(acc: Option<u64>, next: Option<u64>) -> Option<u64> {

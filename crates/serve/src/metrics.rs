@@ -8,10 +8,13 @@
 //! without the feature the endpoint degrades to counters and gauges.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 #[cfg(feature = "obs")]
 use std::sync::Mutex;
 
 use sweep::CacheStats;
+
+use crate::eloop::ConnStats;
 
 /// Histograms published when the `obs` feature is on.
 #[cfg(feature = "obs")]
@@ -83,6 +86,9 @@ pub struct ServerMetrics {
     /// The configured SLO latency target, milliseconds (0 = unset;
     /// plain data, set once at construction).
     slo_ms: u64,
+    /// Connection-level counters, shared with the event loop (which
+    /// increments them; `/metrics` only reads).
+    pub conns: Arc<ConnStats>,
     #[cfg(feature = "obs")]
     histos: Mutex<Histos>,
     #[cfg(feature = "obs")]
@@ -178,6 +184,24 @@ impl ServerMetrics {
             ("serve.batched_requests", c(&self.batched_requests)),
             ("serve.slo_good_total", c(&self.slo_good_total)),
             ("serve.slo_bad_total", c(&self.slo_bad_total)),
+            ("serve.conns_accepted_total", c(&self.conns.accepted_total)),
+            ("serve.conns_closed_total", c(&self.conns.closed_total)),
+            (
+                "serve.conns_overload_rejected_total",
+                c(&self.conns.overload_rejections_total),
+            ),
+            (
+                "serve.keepalive_reuses_total",
+                c(&self.conns.keepalive_reuses_total),
+            ),
+            (
+                "serve.conn_idle_timeouts_total",
+                c(&self.conns.idle_timeouts_total),
+            ),
+            (
+                "serve.conn_header_timeouts_total",
+                c(&self.conns.header_timeouts_total),
+            ),
         ]
     }
 
@@ -203,6 +227,10 @@ impl ServerMetrics {
             ),
             ("serve.slo_target_ms", self.slo_ms as f64),
             ("serve.slo_error_budget_burn", burn),
+            (
+                "serve.open_connections",
+                self.conns.open_connections.load(Ordering::Relaxed) as f64,
+            ),
         ]
     }
 

@@ -28,7 +28,7 @@ const VNODES: u32 = 64;
 /// raw-FNV ring badly lumpy. This splitmix64-style finalizer avalanches
 /// every input bit across the word. Deterministic and fixed: ring
 /// placement is a cross-process contract, like [`fingerprint64`] itself.
-fn spread(mut h: u64) -> u64 {
+pub(crate) fn spread(mut h: u64) -> u64 {
     h ^= h >> 30;
     h = h.wrapping_mul(0xbf58476d1ce4e5b9);
     h ^= h >> 27;

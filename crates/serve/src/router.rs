@@ -9,6 +9,13 @@
 //! response is byte-identical to asking the owning daemon directly —
 //! the property the shard integration test pins.
 //!
+//! Transport-wise the router rides the same readiness-driven event
+//! loop as the daemons ([`crate::eloop`]): keep-alive client
+//! connections multiplex on one loop thread, and forwards reuse
+//! persistent upstream connections from an [`http::UpstreamPool`]
+//! instead of dialing the owning shard per request — the common case
+//! costs no TCP handshake on either side of the router.
+//!
 //! `GET /v1/healthz` aggregates every shard's health; `GET /v1/metrics`
 //! fetches every shard's JSON metrics and merges them (counters and
 //! gauges summed, histograms added bucket-wise), adding the router's
@@ -17,15 +24,17 @@
 //! hops stitch into one trace, retrievable through the router's own
 //! `GET /v1/debug/trace/<id>`.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+#[cfg(feature = "obs")]
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use prophet_core::ProphetError;
 
 use crate::api::error_response;
+use crate::eloop::{self, EventLoop, LoopConfig, ReqMeta, Responder};
 use crate::http::{self, client_request, Request, Response};
 use crate::ring::ShardRing;
 use crate::{trace, NormalizedRequest, Resolver};
@@ -54,7 +63,9 @@ struct RouterShared {
     ring: ShardRing,
     resolver: Resolver,
     metrics: RouterMetrics,
-    stop: AtomicBool,
+    conns: Arc<eloop::ConnStats>,
+    /// Persistent keep-alive connections to the shards.
+    upstreams: http::UpstreamPool,
     /// Per-process tracing state (a no-op shell without `obs`).
     tracing: trace::Tracing,
     /// The router's own end-to-end predict latency, merged into
@@ -76,13 +87,12 @@ impl RouterShared {
     fn observe_request(&self, _nanos: u64) {}
 }
 
-/// A running router: its bound address plus the threads to join on
+/// A running router: its bound address plus the event loop to join on
 /// shutdown.
 pub struct RouterHandle {
     shared: Arc<RouterShared>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    eloop: EventLoop,
 }
 
 /// The router service; see the module docs.
@@ -94,32 +104,36 @@ impl Router {
     /// shard would disagree on workload keys.
     pub fn start(cfg: RouterConfig, resolver: Resolver) -> std::io::Result<RouterHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let tracing = trace::Tracing::create(format!("router@{local_addr}"), 256, None)?;
         let shared = Arc::new(RouterShared {
             ring: ShardRing::new(cfg.shards),
             resolver,
             metrics: RouterMetrics::default(),
-            stop: AtomicBool::new(false),
+            conns: Arc::new(eloop::ConnStats::default()),
+            upstreams: http::UpstreamPool::new(4),
             tracing,
             #[cfg(feature = "obs")]
             request_nanos: Mutex::new(prophet_obs::WallHistogram::new()),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
+        let handler: eloop::Handler = {
             let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new()
-                .name("route-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &conns))
-                .expect("spawn route acceptor")
+            Arc::new(move |req, meta, responder| handle_request(&shared, req, meta, responder))
         };
+        let eloop = EventLoop::start(
+            listener,
+            handler,
+            LoopConfig {
+                max_connections: 1024,
+                idle_timeout: Duration::from_secs(30),
+                header_timeout: Duration::from_secs(10),
+            },
+            Arc::clone(&shared.conns),
+        )?;
         Ok(RouterHandle {
             shared,
             local_addr,
-            acceptor: Some(acceptor),
-            conns,
+            eloop,
         })
     }
 }
@@ -140,143 +154,124 @@ impl RouterHandle {
         &self.shared.ring
     }
 
-    /// Stop accepting and join every thread. In-flight forwards finish.
+    /// Stop accepting and join the loop. In-flight forwards finish;
+    /// idle keep-alive connections close.
     pub fn shutdown(mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        let handles: Vec<JoinHandle<()>> = {
-            let mut conns = self.conns.lock().expect("conns poisoned");
-            conns.drain(..).collect()
-        };
-        for h in handles {
-            let _ = h.join();
-        }
+        self.eloop.drain();
+        self.eloop.stop();
+        self.eloop.join();
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<RouterShared>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(15)));
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(15)));
-                let _ = stream.set_nodelay(true);
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("route-conn".to_string())
-                    .spawn(move || handle_connection(stream, &shared))
-                    .expect("spawn route connection");
-                let mut conns = conns.lock().expect("conns poisoned");
-                conns.retain(|h| !h.is_finished());
-                conns.push(handle);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, shared: &Arc<RouterShared>) {
-    let t_accept = Instant::now();
-    let (req, early) = match http::read_request(&mut stream) {
-        Ok(req) => (Some(req), None),
-        Err(http::ParseError::TooLarge) => (None, Some(Response::error(413, "request too large"))),
-        Err(e) => (
-            None,
-            Some(error_response(&ProphetError::InvalidRequest(e.to_string()))),
-        ),
-    };
-    let trace = shared
-        .tracing
-        .begin(req.as_ref().and_then(|r| r.header("x-prophet-trace")));
-    let parse_nanos = u64::try_from(t_accept.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    trace.add_timed("parse", t_accept, parse_nanos, &[]);
-    let is_predict = req
-        .as_ref()
-        .is_some_and(|r| r.method == "POST" && (r.path == "/predict" || r.path == "/v1/predict"));
-    let mut resp = match (&req, early) {
-        (_, Some(resp)) => resp,
-        (Some(req), None) => route(req, shared, &trace),
-        (None, None) => unreachable!("read_request yields a request or an error response"),
-    };
-    // Every response — including parse errors — carries a request id:
-    // the client's, or one synthesised from the trace id.
-    let rid = req
-        .as_ref()
-        .and_then(|r| r.header("x-request-id"))
-        .map(str::to_string)
-        .or_else(|| trace.trace_hex());
-    if let Some(rid) = &rid {
-        resp.extra_headers.push(("x-request-id", rid.clone()));
-    }
-    if let Some(hex) = trace.trace_hex() {
-        resp.extra_headers.push(("x-prophet-trace", hex));
-    }
-    let t_flush = Instant::now();
-    http::write_response(&mut stream, &resp);
-    let flush_nanos = u64::try_from(t_flush.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    trace.add_timed("flush", t_flush, flush_nanos, &[]);
-    let mut tags: Vec<(&str, String)> = vec![(
-        "path",
-        req.as_ref().map_or_else(String::new, |r| r.path.clone()),
-    )];
-    if let Some(rid) = rid {
-        tags.push(("request_id", rid));
-    }
-    let total = trace.finish(&shared.tracing, resp.status, &tags);
-    if is_predict {
-        let total = if total == 0 {
-            u64::try_from(t_accept.elapsed().as_nanos()).unwrap_or(u64::MAX)
-        } else {
-            total
-        };
-        shared.observe_request(total);
-    }
-}
-
-fn route(req: &Request, shared: &Arc<RouterShared>, trace: &trace::ReqTrace) -> Response {
+/// The event-loop handler: per-request accounting plus dispatch. Runs
+/// on the loop thread; every endpoint that blocks on upstream I/O is
+/// handed to a short-lived thread.
+fn handle_request(shared: &Arc<RouterShared>, req: Request, meta: ReqMeta, responder: Responder) {
     shared
         .metrics
         .requests_total
         .fetch_add(1, Ordering::Relaxed);
+    let req_start = Instant::now()
+        .checked_sub(Duration::from_nanos(meta.parse_nanos))
+        .unwrap_or_else(Instant::now);
+    let trace = shared.tracing.begin(req.header("x-prophet-trace"));
+    trace.add_timed("parse", req_start, meta.parse_nanos, &[]);
+    let is_predict = req.method == "POST" && (req.path == "/predict" || req.path == "/v1/predict");
+    // Every response carries a request id: the client's, or one
+    // synthesised from the trace id.
+    let rid = req
+        .header("x-request-id")
+        .map(str::to_string)
+        .or_else(|| trace.trace_hex());
+    {
+        let shared = Arc::clone(shared);
+        let trace = trace.clone();
+        let path = req.path.clone();
+        let rid = rid.clone();
+        responder.set_on_written(move |status, flush_start, flush_nanos, _deadline_fired| {
+            trace.add_timed("flush", flush_start, flush_nanos, &[]);
+            let mut tags: Vec<(&str, String)> = vec![("path", path.clone())];
+            if let Some(rid) = &rid {
+                tags.push(("request_id", rid.clone()));
+            }
+            let total = trace.finish(&shared.tracing, status, &tags);
+            if is_predict {
+                let total = if total == 0 {
+                    u64::try_from(req_start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                } else {
+                    total
+                };
+                shared.observe_request(total);
+            }
+        });
+    }
+    let trace_hex = trace.trace_hex();
+    let send = move |mut resp: Response| {
+        if let Some(rid) = &rid {
+            resp.extra_headers.push(("x-request-id", rid.clone()));
+        }
+        if let Some(hex) = &trace_hex {
+            resp.extra_headers.push(("x-prophet-trace", hex.clone()));
+        }
+        responder.send(resp);
+    };
+
     // `/v1/...` and legacy unversioned paths are equivalent, like on the
     // daemons themselves.
-    let path = req.path.strip_prefix("/v1").unwrap_or(&req.path);
-    match (req.method.as_str(), path) {
-        ("POST", "/predict") => forward_predict(req, shared, trace),
-        ("GET", "/healthz") => aggregate_healthz(shared),
-        ("GET", "/metrics") => merge_metrics(req, shared),
-        ("GET", "/predict") => Response::error(405, "use POST /v1/predict"),
+    let path = req
+        .path
+        .strip_prefix("/v1")
+        .unwrap_or(&req.path)
+        .to_string();
+    match (req.method.as_str(), path.as_str()) {
+        ("POST", "/predict") => {
+            let shared = Arc::clone(shared);
+            spawn_upstream("route-forward", move || {
+                send(forward_predict(&req, &shared, &trace));
+            });
+        }
+        ("GET", "/healthz") => {
+            let shared = Arc::clone(shared);
+            spawn_upstream("route-healthz", move || {
+                send(aggregate_healthz(&shared));
+            });
+        }
+        ("GET", "/metrics") => {
+            let shared = Arc::clone(shared);
+            spawn_upstream("route-metrics", move || {
+                send(merge_metrics(&req, &shared));
+            });
+        }
+        ("GET", "/predict") => send(Response::error(405, "use POST /v1/predict")),
         ("GET", p) if p.starts_with("/debug/trace/") => {
-            let id_hex = &p["/debug/trace/".len()..];
+            let id_hex = p["/debug/trace/".len()..].to_string();
             let local_only = req.query_param("scope") == Some("local");
             let jsonl = req.query_param("format") == Some("jsonl");
-            // The router is not in the ring, so every shard is a peer.
-            trace::debug_trace_response(
-                &shared.tracing,
-                id_hex,
-                local_only,
-                jsonl,
-                shared.ring.addrs(),
-            )
+            let shared = Arc::clone(shared);
+            spawn_upstream("route-stitch", move || {
+                // The router is not in the ring, so every shard is a peer.
+                send(trace::debug_trace_response(
+                    &shared.tracing,
+                    &id_hex,
+                    local_only,
+                    jsonl,
+                    shared.ring.addrs(),
+                ));
+            });
         }
-        ("GET", "/debug/traces") => trace::debug_traces_response(&shared.tracing),
-        _ => Response::error(
+        ("GET", "/debug/traces") => send(trace::debug_traces_response(&shared.tracing)),
+        _ => send(Response::error(
             404,
             "unknown endpoint (try /v1/predict, /v1/healthz, /v1/metrics)",
-        ),
+        )),
     }
+}
+
+fn spawn_upstream(name: &str, f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("spawn upstream thread");
 }
 
 /// The route key of a request body: the first resolved workload's cache
@@ -317,8 +312,9 @@ fn forward_predict(req: &Request, shared: &Arc<RouterShared>, trace: &trace::Req
     if let Some(rid) = req.header("x-request-id") {
         extra.push(("x-request-id", rid));
     }
-    let result =
-        http::client_request_with_headers(owner, "POST", "/v1/predict", Some(body), &extra);
+    let result = shared
+        .upstreams
+        .request(owner, "POST", "/v1/predict", Some(body), &extra);
     trace.end_span(&fwd, &[("owner", owner.to_string())]);
     match result {
         Ok((status, _headers, resp_body)) => {
@@ -413,6 +409,10 @@ fn merge_metrics(req: &Request, shared: &Arc<RouterShared>) -> Response {
     counters.push((
         "router.upstream_errors".to_string(),
         m.upstream_errors.load(Ordering::Relaxed),
+    ));
+    counters.push((
+        "router.keepalive_reuses_total".to_string(),
+        shared.conns.keepalive_reuses_total.load(Ordering::Relaxed),
     ));
     counters.push(("router.shards_reachable".to_string(), reached as u64));
 

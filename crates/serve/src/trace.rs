@@ -364,7 +364,7 @@ mod imp {
             return Response {
                 status: 200,
                 content_type: "application/x-ndjson",
-                body: wallspan::spans_jsonl(&spans),
+                body: wallspan::spans_jsonl(&spans).into(),
                 extra_headers: Vec::new(),
             };
         }

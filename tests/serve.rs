@@ -6,6 +6,8 @@
 //! served from the result cache, and identical to `prophet sweep` run
 //! with the same grid.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -388,6 +390,338 @@ fn slo_metrics_debug_traces_and_access_log() {
 
     handle.shutdown();
     let _ = std::fs::remove_file(&log_path);
+}
+
+/// (f) keep-alive + pipelining: two requests written back-to-back on one
+/// socket are both answered in order, byte-identical to a fresh
+/// `Connection: close` fetch, and the connection survives for a third
+/// request that then closes it explicitly.
+#[test]
+fn pipelined_keepalive_responses_are_byte_identical() {
+    let handle = start_server(loopback_config());
+    let addr = handle.local_addr().to_string();
+
+    // Reference bytes over the one-shot close-mode client.
+    let (s, _, reference) = client_request(&addr, "POST", "/v1/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s, 200);
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let req = format!(
+        "POST /v1/predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        BODY_A.len(),
+        BODY_A
+    );
+    // Two pipelined requests in a single write.
+    stream.write_all(format!("{req}{req}").as_bytes()).unwrap();
+    let mut buf = Vec::new();
+    for i in 0..2 {
+        let (status, headers, body) = read_raw_response(&mut stream, &mut buf);
+        assert_eq!(status, 200, "pipelined request {i} failed");
+        assert_eq!(
+            header(&headers, "connection"),
+            Some("keep-alive"),
+            "pipelined responses must keep the connection open"
+        );
+        assert_eq!(body, reference, "pipelined response {i} bytes drifted");
+    }
+
+    // Third request on the same socket asks to close; the server obeys.
+    stream
+        .write_all(
+            format!(
+                "POST /v1/predict HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{}",
+                BODY_A.len(),
+                BODY_A
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, headers, body) = read_raw_response(&mut stream, &mut buf);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    assert_eq!(body, reference);
+    let mut probe = [0u8; 16];
+    assert_eq!(
+        stream.read(&mut probe).unwrap(),
+        0,
+        "server must close after connection: close"
+    );
+
+    assert!(
+        handle
+            .metrics()
+            .conns
+            .keepalive_reuses_total
+            .load(Ordering::Relaxed)
+            >= 2,
+        "three requests on one socket are two keep-alive reuses"
+    );
+    handle.shutdown();
+}
+
+/// (g) a request trickling in over many tiny writes parses exactly like
+/// one arriving whole: the non-blocking reader accumulates fragments
+/// across readiness events without corrupting the framing.
+#[test]
+fn fragmented_request_reads_assemble_correctly() {
+    let handle = start_server(loopback_config());
+    let addr = handle.local_addr().to_string();
+    let (s, _, reference) = client_request(&addr, "POST", "/v1/predict", Some(BODY_A)).unwrap();
+    assert_eq!(s, 200);
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    let req = format!(
+        "POST /v1/predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        BODY_A.len(),
+        BODY_A
+    );
+    for chunk in req.as_bytes().chunks(7) {
+        stream.write_all(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut buf = Vec::new();
+    let (status, _, body) = read_raw_response(&mut stream, &mut buf);
+    assert_eq!(status, 200);
+    assert_eq!(body, reference, "fragmented request changed the bytes");
+    handle.shutdown();
+}
+
+/// (h) slow-loris hardening: an oversized request head is rejected with
+/// 413 and the connection closed; a header that never completes gets a
+/// 408 from the header timer; an idle keep-alive connection is reaped by
+/// the idle timer.
+#[test]
+fn oversized_slow_and_idle_connections_are_hardened() {
+    let cfg = ServeConfig {
+        idle_timeout_ms: 200,
+        header_timeout_ms: 200,
+        ..loopback_config()
+    };
+    let handle = start_server(cfg);
+    let addr = handle.local_addr().to_string();
+
+    // Oversized head: one giant header line blows MAX_HEAD_BYTES.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let huge = format!(
+        "GET / HTTP/1.1\r\nx-junk: {}\r\n\r\n",
+        "j".repeat(serve::http::MAX_HEAD_BYTES + 1)
+    );
+    // The server may reset mid-write once it responds; that still
+    // proves rejection, so ignore write errors.
+    let _ = stream.write_all(huge.as_bytes());
+    let mut buf = Vec::new();
+    let (status, _, _) = read_raw_response(&mut stream, &mut buf);
+    assert_eq!(status, 413, "oversized head must be rejected");
+
+    // Header timeout: a head that stalls forever earns a 408.
+    let mut slow = TcpStream::connect(&addr).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    slow.write_all(b"GET /healthz HT").unwrap();
+    let mut buf = Vec::new();
+    let (status, _, _) = read_raw_response(&mut slow, &mut buf);
+    assert_eq!(status, 408, "stalled header must time out");
+
+    // Idle timeout: a keep-alive connection left idle is closed.
+    let mut idle = TcpStream::connect(&addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    idle.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    let (status, _, _) = read_raw_response(&mut idle, &mut buf);
+    assert_eq!(status, 200);
+    let mut probe = [0u8; 16];
+    assert_eq!(
+        idle.read(&mut probe).unwrap(),
+        0,
+        "idle keep-alive connection must be reaped"
+    );
+    assert!(
+        handle
+            .metrics()
+            .conns
+            .idle_timeouts_total
+            .load(Ordering::Relaxed)
+            >= 1
+    );
+    assert!(
+        handle
+            .metrics()
+            .conns
+            .header_timeouts_total
+            .load(Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown();
+}
+
+/// (h2) the connection cap sheds surplus accepts with 503 + Retry-After
+/// while the connection already in place keeps working.
+#[test]
+fn connection_cap_sheds_with_503() {
+    let cfg = ServeConfig {
+        max_connections: 1,
+        ..loopback_config()
+    };
+    let handle = start_server(cfg);
+    let addr = handle.local_addr().to_string();
+
+    // Occupy the single slot with a keep-alive connection.
+    let mut held = TcpStream::connect(&addr).unwrap();
+    held.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    held.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+    let mut held_buf = Vec::new();
+    let (status, _, _) = read_raw_response(&mut held, &mut held_buf);
+    assert_eq!(status, 200);
+
+    // The next accept is over the cap: 503 + Retry-After, then close.
+    let mut surplus = TcpStream::connect(&addr).unwrap();
+    surplus
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let (status, headers, _) = read_raw_response(&mut surplus, &mut buf);
+    assert_eq!(status, 503, "over-cap accept must shed");
+    assert_eq!(header(&headers, "retry-after"), Some("1"));
+
+    // The held connection still serves.
+    held.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+    let (status, _, _) = read_raw_response(&mut held, &mut held_buf);
+    assert_eq!(status, 200, "held connection must survive the shed");
+    handle.shutdown();
+}
+
+/// (i) SIGTERM-style drain: an idle keep-alive connection is closed
+/// cleanly (EOF, no stray bytes), while a request in flight on another
+/// connection still completes with 200.
+#[test]
+fn drain_closes_idle_keepalive_and_finishes_inflight() {
+    let handle = start_server(loopback_config());
+    let addr = handle.local_addr().to_string();
+
+    // An idle keep-alive connection (one request served, then parked).
+    let mut idle = TcpStream::connect(&addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    idle.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    let (status, headers, _) = read_raw_response(&mut idle, &mut buf);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+
+    // A fresh prediction in flight during the drain.
+    let inflight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || client_request(&addr, "POST", "/v1/predict", Some(BODY_B)))
+    };
+    wait_for(
+        || handle.metrics().requests_total.load(Ordering::Relaxed) >= 1,
+        "in-flight request admission",
+    );
+
+    // What the CLI does on SIGTERM.
+    handle.shutdown();
+
+    let (status, _, body) = inflight.join().unwrap().unwrap();
+    assert_eq!(status, 200, "in-flight request dropped by drain: {body}");
+    assert!(buf.is_empty(), "no pipelined leftovers expected");
+    let mut probe = [0u8; 16];
+    assert_eq!(
+        idle.read(&mut probe).unwrap(),
+        0,
+        "drain must close the idle keep-alive connection cleanly"
+    );
+}
+
+/// (j) the load generator's keep-alive mode reuses connections and sees
+/// the same bytes as close mode.
+#[test]
+fn loadgen_keepalive_reuses_connections() {
+    let handle = start_server(loopback_config());
+    let addr = handle.local_addr().to_string();
+    let opts = serve::loadgen::LoadgenOptions {
+        addr,
+        requests: 12,
+        concurrency: 2,
+        bodies: vec![BODY_A.to_string(), BODY_B.to_string()],
+        expect_cache_hits: true,
+        shards: Vec::new(),
+        route_keys: Vec::new(),
+        bench_out: None,
+        keep_alive: true,
+    };
+    let report = serve::loadgen::run(&opts);
+    assert!(
+        report.success(&opts),
+        "loadgen failed: {}",
+        report.summary()
+    );
+    assert!(
+        report.connection_reuses >= 8,
+        "12 requests over 2 threads should mostly reuse: {}",
+        report.summary()
+    );
+    assert!(
+        report.connections_opened <= 4,
+        "keep-alive mode dialed too much: {}",
+        report.summary()
+    );
+    handle.shutdown();
+}
+
+/// Read one HTTP/1.1 response from a raw socket, leaving any pipelined
+/// successor bytes in `buf`. Framing is by `content-length`, which every
+/// server response carries.
+fn read_raw_response(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> (u16, Vec<(String, String)>, String) {
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "connection closed before a full response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end - 4].to_vec()).expect("response head is UTF-8");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {status_line}"));
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("response carries content-length");
+    while buf.len() < head_end + len {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(buf[head_end..head_end + len].to_vec()).expect("body is UTF-8");
+    buf.drain(..head_end + len);
+    (status, headers, body)
 }
 
 fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
