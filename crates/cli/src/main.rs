@@ -164,6 +164,8 @@ struct Args {
     expect_cache_hits: bool,
     /// serve: persistent profile-store directory.
     store_dir: Option<String>,
+    /// serve: store decoded-profile LRU capacity, entries.
+    store_decode_cache: usize,
     /// serve/route/loadgen: shard-ring addresses.
     shards: Vec<String>,
     /// serve: this daemon's own address in the ring.
@@ -183,12 +185,15 @@ struct Args {
     idle_timeout_ms: u64,
     /// serve: request-header completion timeout, ms (408 on expiry).
     header_timeout_ms: u64,
+    /// Second positional argument (after the workload slot), e.g. the
+    /// directory of `prophet store inspect <dir>`.
+    extra: Option<String>,
 }
 
 /// One-line usage shown on every argument error: the full verb list, so
 /// a typo'd command never fails silently or with a partial hint.
 const USAGE: &str = "usage: prophet <list | predict | trace | diagnose | recommend | calibrate \
-                     | sweep | serve | route | loadgen> [args] — `prophet help` for details";
+                     | sweep | serve | route | loadgen | store> [args] — `prophet help` for details";
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -234,6 +239,7 @@ fn parse_args() -> Args {
         concurrency: 8,
         expect_cache_hits: false,
         store_dir: None,
+        store_decode_cache: 32,
         shards: Vec::new(),
         self_addr: None,
         slo_ms: 5_000,
@@ -243,6 +249,7 @@ fn parse_args() -> Args {
         max_conns: 1024,
         idle_timeout_ms: 30_000,
         header_timeout_ms: 10_000,
+        extra: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -336,6 +343,13 @@ fn parse_args() -> Args {
             "--store-dir" => {
                 args.store_dir = Some(it.next().unwrap_or_else(|| die("--store-dir needs a path")));
             }
+            "--store-decode-cache" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--store-decode-cache needs an entry count"));
+                args.store_decode_cache =
+                    v.parse().unwrap_or_else(|_| die("bad decode-cache size"));
+            }
             "--shards" => {
                 let v = it
                     .next()
@@ -397,6 +411,7 @@ fn parse_args() -> Args {
             flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
             cmd if args.command.is_empty() => args.command = cmd.to_string(),
             w if args.workload.is_none() => args.workload = Some(w.to_string()),
+            x if args.extra.is_none() => args.extra = Some(x.to_string()),
             other => die(&format!("unexpected argument {other}")),
         }
     }
@@ -478,13 +493,15 @@ fn main() {
                  [--schedules s1,s2] [--predictors real,ff,syn,suit] [--paradigm ..] \
                  [--timings] [--out f.json]\n  \
                  serve [--addr 127.0.0.1:7177] [--workers N] [--queue-cap N] \
-                 [--cache-cap N] [--jobs N] [--store-dir DIR] \
+                 [--cache-cap N] [--jobs N] [--store-dir DIR] [--store-decode-cache N] \
                  [--shards a:p,b:p --self-addr a:p] [--slo-ms N] [--access-log PATH] \
                  [--max-conns N] [--idle-timeout-ms N] [--header-timeout-ms N]\n  \
                  route [--addr 127.0.0.1:7178] --shards a:p,b:p\n  \
                  loadgen [workloads] [--addr ..] [--shards a:p,b:p] [--requests N] \
                  [--concurrency N] [--expect-cache-hits] [--keep-alive] [--bench-out PATH] \
-                 (--bench-out runs close + keep-alive legs and writes both)"
+                 (--bench-out runs close + keep-alive legs and writes both)\n  \
+                 store inspect <dir> [--json] (dump + CRC-verify a profile log; \
+                 exit 1 on corruption)"
             );
         }
         "list" => {
@@ -833,6 +850,7 @@ fn main() {
                 result_cache_cap: args.cache_cap,
                 engine_jobs: args.jobs,
                 store_dir: args.store_dir.clone(),
+                store_decode_cache_cap: args.store_decode_cache,
                 shard_ring: args.shards.clone(),
                 shard_self: args.self_addr.clone(),
                 slo_ms: args.slo_ms,
@@ -870,6 +888,49 @@ fn main() {
             eprintln!("signal received, draining in-flight requests…");
             handle.shutdown();
             eprintln!("prophet-serve: shutdown complete");
+        }
+        "store" => {
+            if args.workload.as_deref() != Some("inspect") {
+                die("usage: prophet store inspect <dir> [--json]");
+            }
+            let dir = args
+                .extra
+                .clone()
+                .or_else(|| args.store_dir.clone())
+                .unwrap_or_else(|| {
+                    die("store inspect needs a directory (positional or --store-dir)")
+                });
+            let report =
+                store::inspect(&dir).unwrap_or_else(|e| die(&format!("inspect {dir}: {e}")));
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("serialise inspect report")
+                );
+            } else {
+                for r in &report.records {
+                    println!(
+                        "PSR{} {:>10} B  {}  {}",
+                        r.version,
+                        r.payload_len,
+                        if r.crc_ok { "ok " } else { "BAD" },
+                        r.key
+                    );
+                }
+                println!(
+                    "{} record(s), {} byte(s) on disk, {} CRC failure(s){}",
+                    report.records.len(),
+                    report.disk_bytes,
+                    report.corrupt_records(),
+                    match &report.corrupt_tail {
+                        Some(t) => format!(", damaged tail: {t}"),
+                        None => String::new(),
+                    }
+                );
+            }
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
         }
         "route" => {
             if args.shards.is_empty() {

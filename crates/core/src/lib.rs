@@ -51,6 +51,7 @@
 //! assert!(pred.speedup > 3.0 && pred.speedup <= 4.0);
 //! ```
 
+pub mod codec;
 pub mod diagnose;
 pub mod error;
 pub mod report;

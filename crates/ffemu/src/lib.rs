@@ -28,16 +28,22 @@
 //!
 //! The FF targets an abstract machine, so unlike the synthesizer it can
 //! predict for arbitrary CPU counts (Table III).
+//!
+//! The emulator core is generic over [`proftree::TreeView`]: the public
+//! entry points flatten the pointer tree into a [`FlatTree`] arena once
+//! and walk the contiguous run buffer ([`predict_flat`] skips even that
+//! conversion when the caller already holds an arena), while
+//! [`predict_ptr`] runs the identical monomorphised code over the
+//! pointer tree. Both views yield the same logical traversal, so the
+//! predictions are bit-identical (pinned in `tests/ff_runaware.rs`).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::marker::PhantomData;
 
 use machsim::Schedule;
 use omp_rt::{Dispenser, OmpOverheads};
-use proftree::{
-    visit::{expanded_children, run_seq},
-    Cycles, LockId, NodeId, NodeKind, ProgramTree,
-};
+use proftree::{burden_factor, Cycles, FlatTree, LockId, NodeId, ProgramTree, TreeView, ViewKind};
 use serde::{Deserialize, Serialize};
 
 /// Record an event on the emulation's recorder at emulated time `$t`.
@@ -124,9 +130,18 @@ pub struct FfPrediction {
     pub sections: Vec<(u64, u64)>,
 }
 
-/// Emulator state shared across a whole program emulation.
-struct FfState<'t> {
-    tree: &'t ProgramTree,
+/// Steadiness table entry for the closed-form fast path: one child run
+/// covering logical iterations `[lo, hi)`, each costing `cost` cycles.
+struct RunCost {
+    lo: u64,
+    hi: u64,
+    cost: u64,
+}
+
+/// Emulator state shared across a whole program emulation, generic over
+/// the tree representation.
+struct FfState<'t, V: TreeView<'t>> {
+    view: V,
     opts: FfOptions,
     /// Global per-CPU busy-until clock (nested sections book time on other
     /// CPUs through this — the paper's round-robin nested model).
@@ -138,16 +153,47 @@ struct FfState<'t> {
     /// handful of allocations instead of collecting a fresh `Vec` per
     /// section (the per-node scratch arena).
     task_buf_pool: Vec<Vec<NodeId>>,
+    /// Recycled run-cost tables for `fastpath_section` (same discipline
+    /// as `task_buf_pool`: borrowed per activation, returned on exit).
+    run_cost_pool: Vec<Vec<RunCost>>,
+    /// Dense per-node iteration-cost memo for `fastpath_section`,
+    /// invalidated wholesale by bumping `stamp` instead of reallocating
+    /// a hash map per call. `cost_val[id]` is meaningful only when
+    /// `cost_stamp[id] == stamp`.
+    cost_stamp: Vec<u64>,
+    cost_val: Vec<Option<u64>>,
+    stamp: u64,
     /// Fast-path effectiveness counters for this prediction.
     counters: FfCounters,
     /// Structured event recorder (emulated-time timestamps).
     #[cfg(feature = "obs")]
     obs: Option<prophet_obs::ObsHandle>,
+    _tree: PhantomData<&'t ()>,
+}
+
+impl<'t, V: TreeView<'t>> FfState<'t, V> {
+    fn new(view: V, opts: FfOptions) -> Self {
+        FfState {
+            view,
+            opts,
+            cpu_time: vec![0; opts.cpus.max(1) as usize],
+            lock_free: HashMap::new(),
+            task_buf_pool: Vec::new(),
+            run_cost_pool: Vec::new(),
+            cost_stamp: Vec::new(),
+            cost_val: Vec::new(),
+            stamp: 0,
+            counters: FfCounters::default(),
+            #[cfg(feature = "obs")]
+            obs: None,
+            _tree: PhantomData,
+        }
+    }
 }
 
 /// Record the begin/end of a top-level emulated section span.
 #[cfg(feature = "obs")]
-fn obs_section_span(st: &FfState<'_>, begin: bool, idx: usize, t: u64) {
+fn obs_section_span<'t, V: TreeView<'t>>(st: &FfState<'t, V>, begin: bool, idx: usize, t: u64) {
     if let Some(h) = st.obs.as_ref() {
         let label = h.intern(&format!("sec{idx}"));
         let kind = if begin {
@@ -181,6 +227,11 @@ struct CpuRun {
 }
 
 /// Predict the speedup of `tree` under `opts`.
+///
+/// Flattens the tree into a [`FlatTree`] arena and emulates over the
+/// contiguous buffer; use [`predict_flat`] to amortise the conversion
+/// across predictions, or [`predict_ptr`] to force the pointer-tree
+/// walk (bit-identical, slower).
 pub fn predict(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
     predict_counting(tree, opts).0
 }
@@ -188,16 +239,28 @@ pub fn predict(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
 /// [`predict`], additionally returning the run-aware fast-path counters
 /// (`ff.runs_fastpathed` / `ff.iters_skipped`).
 pub fn predict_counting(tree: &ProgramTree, opts: FfOptions) -> (FfPrediction, FfCounters) {
-    let mut st = FfState {
-        tree,
-        opts,
-        cpu_time: vec![0; opts.cpus.max(1) as usize],
-        lock_free: HashMap::new(),
-        task_buf_pool: Vec::new(),
-        counters: FfCounters::default(),
-        #[cfg(feature = "obs")]
-        obs: None,
-    };
+    let flat = FlatTree::from_tree(tree);
+    predict_counting_flat(&flat, opts)
+}
+
+/// Predict directly over a pre-built [`FlatTree`] arena.
+pub fn predict_flat(flat: &FlatTree, opts: FfOptions) -> FfPrediction {
+    predict_counting_flat(flat, opts).0
+}
+
+/// [`predict_flat`], additionally returning the fast-path counters.
+pub fn predict_counting_flat(flat: &FlatTree, opts: FfOptions) -> (FfPrediction, FfCounters) {
+    run_on(flat, opts)
+}
+
+/// Predict over the pointer tree without flattening — the baseline leg
+/// of the arena-vs-pointer benchmark and equivalence tests.
+pub fn predict_ptr(tree: &ProgramTree, opts: FfOptions) -> FfPrediction {
+    run_on(tree, opts).0
+}
+
+fn run_on<'t, V: TreeView<'t>>(view: V, opts: FfOptions) -> (FfPrediction, FfCounters) {
+    let mut st = FfState::new(view, opts);
     let p = predict_run(&mut st);
     (p, st.counters)
 }
@@ -218,32 +281,26 @@ pub fn predict_with_obs(
     opts: FfOptions,
     obs: prophet_obs::ObsHandle,
 ) -> FfPrediction {
-    let mut st = FfState {
-        tree,
-        opts,
-        cpu_time: vec![0; opts.cpus.max(1) as usize],
-        lock_free: HashMap::new(),
-        task_buf_pool: Vec::new(),
-        counters: FfCounters::default(),
-        obs: Some(obs),
-    };
+    let flat = FlatTree::from_tree(tree);
+    let mut st = FfState::new(&flat, opts);
+    st.obs = Some(obs);
     predict_run(&mut st)
 }
 
-fn predict_run(st: &mut FfState<'_>) -> FfPrediction {
-    let tree = st.tree;
+fn predict_run<'t, V: TreeView<'t>>(st: &mut FfState<'t, V>) -> FfPrediction {
+    let view = st.view;
     let opts = st.opts;
-    let serial_cycles = tree.total_length();
+    let serial_cycles = view.total_length();
     let mut now = 0u64;
     let mut sections = Vec::new();
-    for child in expanded_children(tree, ProgramTree::ROOT) {
-        match &tree.node(child).kind {
-            NodeKind::U => {
-                now += tree.node(child).length;
+    for child in view.expanded(view.root()) {
+        match view.kind(child) {
+            ViewKind::U => {
+                now += view.length(child);
             }
-            NodeKind::Sec { burden, .. } => {
+            ViewKind::Sec { burden, .. } => {
                 let factor = if opts.use_burden {
-                    burden.factor(opts.cpus)
+                    burden_factor(burden, opts.cpus)
                 } else {
                     1.0
                 };
@@ -256,12 +313,12 @@ fn predict_run(st: &mut FfState<'_>) -> FfPrediction {
                 let end = emulate_section(st, child, 0, now, factor);
                 #[cfg(feature = "obs")]
                 obs_section_span(st, false, sections.len(), end);
-                sections.push((tree.node(child).length, end - now));
+                sections.push((view.length(child), end - now));
                 now = end;
             }
-            NodeKind::Pipe { burden, .. } => {
+            ViewKind::Pipe { burden, .. } => {
                 let factor = if opts.use_burden {
-                    burden.factor(opts.cpus)
+                    burden_factor(burden, opts.cpus)
                 } else {
                     1.0
                 };
@@ -274,11 +331,11 @@ fn predict_run(st: &mut FfState<'_>) -> FfPrediction {
                     emulate_pipe(st, child, now, factor)
                 } else {
                     // Tool without pipeline support: serial execution.
-                    now + scale(tree.node(child).length, factor)
+                    now + scale(view.length(child), factor)
                 };
                 #[cfg(feature = "obs")]
                 obs_section_span(st, false, sections.len(), end);
-                sections.push((tree.node(child).length, end - now));
+                sections.push((view.length(child), end - now));
                 now = end;
             }
             other => unreachable!("invalid top-level node {}", other.tag()),
@@ -304,8 +361,8 @@ fn predict_run(st: &mut FfState<'_>) -> FfPrediction {
 /// `start + dispatches·dispatch_ovh + Σ_assigned (iter_start + body)`,
 /// a sum of the identical u64 terms the heap path accumulates one pop at
 /// a time — so the result is bit-identical, computed in O(ranks × runs).
-fn fastpath_section(
-    st: &mut FfState<'_>,
+fn fastpath_section<'t, V: TreeView<'t>>(
+    st: &mut FfState<'t, V>,
     sec: NodeId,
     host: usize,
     start: u64,
@@ -324,31 +381,49 @@ fn fastpath_section(
         Schedule::Static { chunk } => chunk,
         _ => return None,
     };
-    let tree = st.tree;
+    let view = st.view;
     let opts = st.opts;
 
     // Steadiness check + per-run cost table. `cost` is one iteration of
-    // the run's representative task: iter_start + its scaled U ops.
-    struct RunCost {
-        lo: u64,
-        hi: u64,
-        cost: u64,
+    // the run's representative task: iter_start + its scaled U ops. Both
+    // the table and the memo are recycled across activations: the table
+    // through a pool, the memo through a dense stamped array (a fresh
+    // stamp invalidates every entry at once).
+    let nc = view.node_count();
+    if st.cost_stamp.len() < nc {
+        st.cost_stamp.resize(nc, 0);
+        st.cost_val.resize(nc, None);
     }
-    let mut run_costs: Vec<RunCost> = Vec::new();
-    let mut cost_memo: HashMap<NodeId, Option<u64>> = HashMap::new();
+    st.stamp += 1;
+    let stamp = st.stamp;
+    let mut run_costs = st.run_cost_pool.pop().unwrap_or_default();
+    run_costs.clear();
     let mut n_total = 0u64;
-    for (task, count) in run_seq(tree, sec) {
-        let cost = *cost_memo.entry(task).or_insert_with(|| {
-            let mut c = opts.overheads.iter_start;
-            for (op, k) in run_seq(tree, task) {
-                match &tree.node(op).kind {
-                    NodeKind::U => c += k as u64 * scale(tree.node(op).length, burden),
-                    _ => return None,
+    let mut steady = true;
+    for (task, count) in view.child_runs(sec) {
+        let ti = task as usize;
+        if st.cost_stamp[ti] != stamp {
+            let mut c = Some(opts.overheads.iter_start);
+            for (op, k) in view.child_runs(task) {
+                match view.kind(op) {
+                    ViewKind::U => {
+                        if let Some(c) = c.as_mut() {
+                            *c += k as u64 * scale(view.length(op), burden);
+                        }
+                    }
+                    _ => {
+                        c = None;
+                        break;
+                    }
                 }
             }
-            Some(c)
-        });
-        let cost = cost?;
+            st.cost_stamp[ti] = stamp;
+            st.cost_val[ti] = c;
+        }
+        let Some(cost) = st.cost_val[ti] else {
+            steady = false;
+            break;
+        };
         run_costs.push(RunCost {
             lo: n_total,
             hi: n_total + count as u64,
@@ -356,7 +431,12 @@ fn fastpath_section(
         });
         n_total += count as u64;
     }
+    if !steady {
+        st.run_cost_pool.push(run_costs);
+        return None;
+    }
     if n_total == 0 {
+        st.run_cost_pool.push(run_costs);
         return Some(start + opts.overheads.parallel_start + opts.overheads.parallel_end);
     }
 
@@ -418,19 +498,27 @@ fn fastpath_section(
     }
     st.counters.runs_fastpathed += run_costs.len() as u64;
     st.counters.iters_skipped += n_total - run_costs.len() as u64;
+    st.run_cost_pool.push(run_costs);
     Some(section_end + opts.overheads.parallel_end)
 }
 
 /// Emulate one section hosted by `host`, starting at `start`. Returns the
 /// section end time (after the implicit barrier and join overhead).
-fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, burden: f64) -> u64 {
+fn emulate_section<'t, V: TreeView<'t>>(
+    st: &mut FfState<'t, V>,
+    sec: NodeId,
+    host: usize,
+    start: u64,
+    burden: f64,
+) -> u64 {
     if let Some(end) = fastpath_section(st, sec, host, start, burden) {
         return end;
     }
+    let view = st.view;
     let n = st.cpu_time.len();
     let mut tasks = st.task_buf_pool.pop().unwrap_or_default();
     tasks.clear();
-    tasks.extend(expanded_children(st.tree, sec));
+    tasks.extend(view.expanded(sec));
     if tasks.is_empty() {
         st.task_buf_pool.push(tasks);
         return start + st.opts.overheads.parallel_start + st.opts.overheads.parallel_end;
@@ -511,7 +599,7 @@ fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, b
                 // across the section's tasks, so steady state allocates
                 // nothing per task.
                 runs[i].ops.clear();
-                runs[i].ops.extend(expanded_children(st.tree, task));
+                runs[i].ops.extend(view.expanded(task));
             }
             heap.push(Reverse((runs[i].time, i)));
             continue;
@@ -519,13 +607,12 @@ fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, b
 
         // Execute exactly one op, then requeue.
         let op = runs[i].ops.pop_front().expect("checked non-empty");
-        let node = st.tree.node(op);
-        match &node.kind {
-            NodeKind::U => {
-                runs[i].time += scale(node.length, burden);
+        match view.kind(op) {
+            ViewKind::U => {
+                runs[i].time += scale(view.length(op), burden);
             }
-            NodeKind::L { lock } => {
-                let free = st.lock_free.get(lock).copied().unwrap_or(0);
+            ViewKind::L { lock } => {
+                let free = st.lock_free.get(&lock).copied().unwrap_or(0);
                 let contended = free > runs[i].time;
                 let mut acquired = runs[i].time.max(free) + st.opts.overheads.lock_acquire;
                 if contended {
@@ -534,18 +621,18 @@ fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, b
                         st,
                         runs[i].time,
                         LockWait {
-                            lock: *lock,
+                            lock,
                             thread: runs[i].cpu as u32
                         }
                     );
                 }
                 let released =
-                    acquired + scale(node.length, burden) + st.opts.overheads.lock_release;
+                    acquired + scale(view.length(op), burden) + st.opts.overheads.lock_release;
                 obs_at!(
                     st,
                     acquired,
                     LockAcquire {
-                        lock: *lock,
+                        lock,
                         thread: runs[i].cpu as u32
                     }
                 );
@@ -553,14 +640,14 @@ fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, b
                     st,
                     released,
                     LockRelease {
-                        lock: *lock,
+                        lock,
                         thread: runs[i].cpu as u32
                     }
                 );
-                st.lock_free.insert(*lock, released);
+                st.lock_free.insert(lock, released);
                 runs[i].time = released;
             }
-            NodeKind::Sec { .. } => {
+            ViewKind::Sec { .. } => {
                 // Nested: recurse with this CPU as host. Nested sections
                 // inherit the top-level burden factor.
                 let cpu = runs[i].cpu;
@@ -585,44 +672,46 @@ fn emulate_section(st: &mut FfState<'_>, sec: NodeId, host: usize, start: u64, b
 /// machine has fewer CPUs than stages the OS time-slices the stage
 /// threads, so the emulated end is additionally lower-bounded by
 /// `work / cpus` (the resource limit).
-fn emulate_pipe(st: &mut FfState<'_>, pipe: NodeId, start: u64, burden: f64) -> u64 {
+fn emulate_pipe<'t, V: TreeView<'t>>(
+    st: &mut FfState<'t, V>,
+    pipe: NodeId,
+    start: u64,
+    burden: f64,
+) -> u64 {
     use std::collections::HashMap as Map;
+    let view = st.view;
     let n = st.cpu_time.len() as u64;
     let body_start = start + st.opts.overheads.parallel_start;
     let mut stage_clock: Map<u32, u64> = Map::new();
     let mut end = body_start;
     let mut total_work: u64 = 0;
-    // Single pass, no intermediate item list: the iterator borrows only
-    // the (shared) tree reference, not the mutable emulator state.
-    let tree = st.tree;
-    for item in expanded_children(tree, pipe) {
+    for item in view.expanded(pipe) {
         let mut prev_stage_end = body_start;
-        for stage in expanded_children(st.tree, item) {
-            let s = match &st.tree.node(stage).kind {
-                NodeKind::Stage { stage } => *stage,
+        for stage in view.expanded(item) {
+            let s = match view.kind(stage) {
+                ViewKind::Stage { stage } => stage,
                 other => unreachable!("invalid node under pipe item: {}", other.tag()),
             };
             let clock = stage_clock.entry(s).or_insert(body_start);
             let mut t = prev_stage_end.max(*clock) + st.opts.overheads.iter_start;
-            for op in expanded_children(st.tree, stage) {
-                let node = st.tree.node(op);
-                match &node.kind {
-                    NodeKind::U => {
-                        let len = scale(node.length, burden);
+            for op in view.expanded(stage) {
+                match view.kind(op) {
+                    ViewKind::U => {
+                        let len = scale(view.length(op), burden);
                         total_work += len;
                         t += len;
                     }
-                    NodeKind::L { lock } => {
-                        let free = st.lock_free.get(lock).copied().unwrap_or(0);
+                    ViewKind::L { lock } => {
+                        let free = st.lock_free.get(&lock).copied().unwrap_or(0);
                         let contended = free > t;
                         let mut acquired = t.max(free) + st.opts.overheads.lock_acquire;
                         if contended {
                             acquired += st.opts.contended_lock_penalty;
                         }
-                        let len = scale(node.length, burden);
+                        let len = scale(view.length(op), burden);
                         total_work += len;
                         let released = acquired + len + st.opts.overheads.lock_release;
-                        st.lock_free.insert(*lock, released);
+                        st.lock_free.insert(lock, released);
                         t = released;
                     }
                     other => unreachable!("invalid node under stage: {}", other.tag()),
@@ -651,14 +740,16 @@ fn scale(len: Cycles, burden: f64) -> u64 {
 }
 
 /// Sweep CPU counts and return `(cpus, speedup)` pairs — the FF's
-/// signature ability to predict for arbitrary processor counts.
+/// signature ability to predict for arbitrary processor counts. The
+/// tree is flattened once for the whole sweep.
 pub fn speedup_curve(tree: &ProgramTree, base: FfOptions, cpu_counts: &[u32]) -> Vec<(u32, f64)> {
+    let flat = FlatTree::from_tree(tree);
     cpu_counts
         .iter()
         .map(|&c| {
             let mut o = base;
             o.cpus = c;
-            (c, predict(tree, o).speedup)
+            (c, predict_flat(&flat, o).speedup)
         })
         .collect()
 }
@@ -801,7 +892,7 @@ mod tests {
         }
         let sec = b.end_sec(false).unwrap();
         let mut tree = b.finish().unwrap();
-        if let NodeKind::Sec { burden, .. } = &mut tree.node_mut(sec).kind {
+        if let proftree::NodeKind::Sec { burden, .. } = &mut tree.node_mut(sec).kind {
             *burden = proftree::BurdenTable::from_entries(vec![(4, 1.5)]);
         }
         let with = predict(&tree, zero_opts(4, Schedule::static1()));
@@ -884,6 +975,31 @@ mod tests {
         let a = predict(&tree, zero_opts(6, Schedule::static1()));
         let b = predict(&ctree, zero_opts(6, Schedule::static1()));
         assert_eq!(a.predicted_cycles, b.predicted_cycles);
+    }
+
+    #[test]
+    fn flat_and_pointer_walks_agree_bit_for_bit() {
+        let iters: Vec<(u64, u64, u64)> = (0..57)
+            .map(|i| (100 + (i * 131) % 700, (i % 4) * 40, 30))
+            .collect();
+        let tree = lock_loop(&iters);
+        let (ctree, _) = proftree::compress_tree(&tree, proftree::CompressOptions::default());
+        for t in [&tree, &ctree] {
+            let flat = FlatTree::from_tree(t);
+            for cpus in [1u32, 3, 8] {
+                for sched in [
+                    Schedule::static_block(),
+                    Schedule::static1(),
+                    Schedule::dynamic1(),
+                ] {
+                    let a = predict_ptr(t, zero_opts(cpus, sched));
+                    let b = predict_flat(&flat, zero_opts(cpus, sched));
+                    assert_eq!(a.predicted_cycles, b.predicted_cycles);
+                    assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+                    assert_eq!(a.sections, b.sections);
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,14 +29,18 @@
 
 pub mod builder;
 pub mod compress;
+pub mod flat;
 pub mod node;
 pub mod stats;
 pub mod visit;
+pub mod wire;
 
 pub use builder::{BuildError, TreeBuilder};
 pub use compress::{compress_tree, CompressOptions, CompressStats};
+pub use flat::{ExpandRuns, FlatRun, FlatTree, TreeView, ViewKind};
 pub use node::{
-    BurdenTable, ChildList, Cycles, LockId, MemProfile, Node, NodeId, NodeKind, ProgramTree, Run,
+    burden_factor, BurdenTable, ChildList, Cycles, LockId, MemProfile, Node, NodeId, NodeKind,
+    ProgramTree, Run,
 };
 pub use stats::{TreeStats, WorkSummary};
 pub use visit::{ExpandedChildren, RunSeq, TaskSeq};

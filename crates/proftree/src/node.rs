@@ -113,30 +113,7 @@ impl BurdenTable {
     /// thread counts and extrapolates flat beyond the ends. `1.0` for an
     /// empty table or a single thread.
     pub fn factor(&self, threads: u32) -> f64 {
-        if threads <= 1 || self.entries.is_empty() {
-            return 1.0;
-        }
-        match self.entries.binary_search_by_key(&threads, |&(t, _)| t) {
-            Ok(i) => self.entries[i].1,
-            Err(0) => {
-                // Below the first calibrated point: interpolate from the
-                // implicit (1 thread, burden 1.0) anchor.
-                let (t0, b0) = self.entries[0];
-                if t0 <= 1 {
-                    b0
-                } else {
-                    let w = (threads - 1) as f64 / (t0 - 1) as f64;
-                    1.0 + (b0 - 1.0) * w
-                }
-            }
-            Err(i) if i == self.entries.len() => self.entries[i - 1].1,
-            Err(i) => {
-                let (t0, b0) = self.entries[i - 1];
-                let (t1, b1) = self.entries[i];
-                let w = (threads - t0) as f64 / (t1 - t0) as f64;
-                b0 + (b1 - b0) * w
-            }
-        }
+        burden_factor(&self.entries, threads)
     }
 
     /// All calibrated `(threads, burden)` pairs.
@@ -147,6 +124,39 @@ impl BurdenTable {
     /// True when every calibrated factor is 1.0 (or the table is empty).
     pub fn is_unit(&self) -> bool {
         self.entries.iter().all(|&(_, b)| (b - 1.0).abs() < 1e-12)
+    }
+}
+
+/// [`BurdenTable::factor`] over a raw sorted `(threads, burden)` slice.
+///
+/// Exposed so arena views ([`crate::flat::FlatTree`]) can interpolate
+/// straight off their flat side tables without materializing a
+/// `BurdenTable`; the slice must be sorted by thread count with unique
+/// keys, which every table built through `from_entries`/`set` guarantees.
+pub fn burden_factor(entries: &[(u32, f64)], threads: u32) -> f64 {
+    if threads <= 1 || entries.is_empty() {
+        return 1.0;
+    }
+    match entries.binary_search_by_key(&threads, |&(t, _)| t) {
+        Ok(i) => entries[i].1,
+        Err(0) => {
+            // Below the first calibrated point: interpolate from the
+            // implicit (1 thread, burden 1.0) anchor.
+            let (t0, b0) = entries[0];
+            if t0 <= 1 {
+                b0
+            } else {
+                let w = (threads - 1) as f64 / (t0 - 1) as f64;
+                1.0 + (b0 - 1.0) * w
+            }
+        }
+        Err(i) if i == entries.len() => entries[i - 1].1,
+        Err(i) => {
+            let (t0, b0) = entries[i - 1];
+            let (t1, b1) = entries[i];
+            let w = (threads - t0) as f64 / (t1 - t0) as f64;
+            b0 + (b1 - b0) * w
+        }
     }
 }
 

@@ -141,11 +141,11 @@ pub fn walk(tree: &ProgramTree, mut f: impl FnMut(NodeId, usize) -> bool) {
         if !f(id, depth) {
             continue;
         }
-        // Push children in reverse so iteration order is program order.
-        let children: Vec<NodeId> = expanded_children(tree, id).collect();
-        for &c in children.iter().rev() {
-            stack.push((c, depth + 1));
-        }
+        // Extend in place, then reverse the freshly pushed range so the
+        // pop order is program order — no per-node child Vec.
+        let base = stack.len();
+        stack.extend(expanded_children(tree, id).map(|c| (c, depth + 1)));
+        stack[base..].reverse();
     }
 }
 

@@ -145,4 +145,25 @@ proptest! {
         prop_assert_eq!(logical_node_count(&c2), logical_node_count(&tree));
         prop_assert!(c2.len() <= c1.len());
     }
+
+    /// The wire codec and the flat arena are both lossless for any
+    /// built tree, plain or compressed: encode→decode reproduces the
+    /// identical `ProgramTree`, and so does `FlatTree::to_tree`.
+    #[test]
+    fn wire_and_flat_round_trip(steps in proptest::collection::vec(step_strategy(), 1..6)) {
+        let tree = build(&steps);
+        let (compressed, _) = compress_tree(&tree, CompressOptions::default());
+        for t in [&tree, &compressed] {
+            let mut buf = Vec::new();
+            proftree::wire::encode_tree(t, &mut buf);
+            let mut at = 0usize;
+            let back = proftree::wire::decode_tree(&buf, &mut at)
+                .expect("wire decode of a freshly encoded tree");
+            prop_assert_eq!(at, buf.len(), "decode must consume the whole buffer");
+            prop_assert_eq!(&back, t);
+
+            let flat = proftree::FlatTree::from_tree(t);
+            prop_assert_eq!(&flat.to_tree(), t);
+        }
+    }
 }

@@ -67,7 +67,7 @@ use std::time::{Duration, Instant};
 
 use prophet_core::machsim::{Paradigm, Schedule};
 use prophet_core::{fingerprint64, Prophet, ProphetError};
-use store::{KeyedStore, ProfileStore};
+use store::{KeyedStore, ProfileStore, StoreOptions};
 use sweep::{
     CacheStats, GridSpec, Overrides, PredictorSpec, SweepEngine, SweepJob, SweepResult,
     WorkloadSpec,
@@ -112,6 +112,10 @@ pub struct ServeConfig {
     /// disk instead of re-profiling — byte-identical responses, none of
     /// the profiling cost.
     pub store_dir: Option<String>,
+    /// Capacity (entries) of the store's decoded-profile LRU. Each
+    /// entry is one fully decoded profile; raise it when the daemon's
+    /// hot key set outgrows the default. Ignored without `store_dir`.
+    pub store_decode_cache_cap: usize,
     /// Addresses of every daemon in the shard ring (empty = unsharded).
     /// All daemons, the router, and `loadgen --shards` must be given the
     /// same list — ownership is derived from it with no coordination.
@@ -156,6 +160,7 @@ impl Default for ServeConfig {
             profile_cache_cap: Some(256),
             engine_jobs: 0,
             store_dir: None,
+            store_decode_cache_cap: StoreOptions::default().decode_cache_cap,
             shard_ring: Vec::new(),
             shard_self: None,
             slo_ms: 5_000,
@@ -635,7 +640,13 @@ impl Server {
         let store = match &cfg.store_dir {
             None => None,
             Some(dir) => Some(Arc::new(
-                ProfileStore::open(dir).map_err(|e| std::io::Error::other(e.to_string()))?,
+                ProfileStore::open_with(
+                    dir,
+                    StoreOptions {
+                        decode_cache_cap: cfg.store_decode_cache_cap,
+                    },
+                )
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
             )),
         };
         let listener = TcpListener::bind(&cfg.addr)?;
@@ -856,11 +867,12 @@ fn route(shared: &Arc<Shared>, req: &Request, trace: &trace::ReqTrace, reply: &R
         }
         ("GET", "/metrics") => {
             let stats = shared.engine.cache().stats();
+            let store_stats = shared.store.as_deref().map(ProfileStore::stats);
             let resp = match req.query_param("format") {
                 Some("prom") | Some("prometheus") => {
-                    Response::text(200, shared.metrics.render_prometheus(stats))
+                    Response::text(200, shared.metrics.render_prometheus(stats, store_stats))
                 }
-                _ => Response::json(200, shared.metrics.render_json(stats)),
+                _ => Response::json(200, shared.metrics.render_json(stats, store_stats)),
             };
             reply.send(resp);
         }

@@ -12,6 +12,7 @@ use std::sync::Arc;
 #[cfg(feature = "obs")]
 use std::sync::Mutex;
 
+use store::StoreStats;
 use sweep::CacheStats;
 
 use crate::eloop::ConnStats;
@@ -234,9 +235,14 @@ impl ServerMetrics {
         ]
     }
 
-    /// Fold serving + profile-cache counters into a fresh obs registry.
+    /// Fold serving + profile-cache + store counters into a fresh obs
+    /// registry.
     #[cfg(feature = "obs")]
-    pub fn registry(&self, profile_cache: CacheStats) -> prophet_obs::MetricsRegistry {
+    pub fn registry(
+        &self,
+        profile_cache: CacheStats,
+        store: Option<StoreStats>,
+    ) -> prophet_obs::MetricsRegistry {
         let mut reg = prophet_obs::MetricsRegistry::new();
         for (name, v) in self.counter_snapshot() {
             reg.inc(name, v);
@@ -244,7 +250,13 @@ impl ServerMetrics {
         for (name, v) in profile_cache_counters(profile_cache) {
             reg.inc(name, v);
         }
+        for (name, v) in store_counters(store) {
+            reg.inc(name, v);
+        }
         for (name, v) in self.gauge_snapshot() {
+            reg.set_gauge(name, v);
+        }
+        for (name, v) in store_gauges(store) {
             reg.set_gauge(name, v);
         }
         let h = self.histos.lock().expect("metrics histos poisoned");
@@ -271,10 +283,10 @@ impl ServerMetrics {
     }
 
     /// JSON body for `/metrics`.
-    pub fn render_json(&self, profile_cache: CacheStats) -> String {
+    pub fn render_json(&self, profile_cache: CacheStats, store: Option<StoreStats>) -> String {
         #[cfg(feature = "obs")]
         {
-            let mut value = self.registry(profile_cache).to_value();
+            let mut value = self.registry(profile_cache, store).to_value();
             if let serde::Value::Object(sections) = &mut value {
                 if let Some((_, serde::Value::Object(histos))) =
                     sections.iter_mut().find(|(k, _)| k == "histograms")
@@ -291,11 +303,13 @@ impl ServerMetrics {
                 .counter_snapshot()
                 .into_iter()
                 .chain(profile_cache_counters(profile_cache))
+                .chain(store_counters(store))
                 .map(|(k, v)| (k.to_string(), serde::Value::U64(v)))
                 .collect();
             let gauges: Vec<(String, serde::Value)> = self
                 .gauge_snapshot()
                 .into_iter()
+                .chain(store_gauges(store))
                 .map(|(k, v)| (k.to_string(), serde::Value::F64(v)))
                 .collect();
             let obj = serde::Value::Object(vec![
@@ -307,10 +321,14 @@ impl ServerMetrics {
     }
 
     /// Prometheus text body for `/metrics?format=prom`.
-    pub fn render_prometheus(&self, profile_cache: CacheStats) -> String {
+    pub fn render_prometheus(
+        &self,
+        profile_cache: CacheStats,
+        store: Option<StoreStats>,
+    ) -> String {
         #[cfg(feature = "obs")]
         {
-            let mut out = prophet_obs::prometheus_text(&self.registry(profile_cache));
+            let mut out = prophet_obs::prometheus_text(&self.registry(profile_cache, store));
             let w = self.wall.lock().expect("wall stats poisoned");
             out.push_str(&w.request_nanos.prometheus_text("serve_request_nanos"));
             for (name, h) in &w.stages {
@@ -325,11 +343,12 @@ impl ServerMetrics {
                 .counter_snapshot()
                 .into_iter()
                 .chain(profile_cache_counters(profile_cache))
+                .chain(store_counters(store))
             {
                 let n = name.replace('.', "_");
                 out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
             }
-            for (name, v) in self.gauge_snapshot() {
+            for (name, v) in self.gauge_snapshot().into_iter().chain(store_gauges(store)) {
                 let n = name.replace('.', "_");
                 out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
             }
@@ -350,5 +369,33 @@ fn profile_cache_counters(stats: CacheStats) -> Vec<(&'static str, u64)> {
         ("sweep.profile_store_hits", stats.store_hits),
         ("sweep.profile_store_writes", stats.store_writes),
         ("sweep.profiles_run", stats.profiles()),
+    ]
+}
+
+/// The persistent store's cumulative counters under stable metric
+/// names; empty when the daemon runs without a store.
+fn store_counters(stats: Option<StoreStats>) -> Vec<(&'static str, u64)> {
+    let Some(s) = stats else {
+        return Vec::new();
+    };
+    vec![
+        ("store.hits", s.hits),
+        ("store.misses", s.misses),
+        ("store.writes", s.writes),
+        ("store.corrupt_skipped", s.corrupt_skipped),
+        ("store.decode_hits", s.decode_hits),
+        ("store.decode_misses", s.decode_misses),
+    ]
+}
+
+/// Point-in-time store gauges: how many records the log holds and how
+/// many bytes of valid frames back them on disk.
+fn store_gauges(stats: Option<StoreStats>) -> Vec<(&'static str, f64)> {
+    let Some(s) = stats else {
+        return Vec::new();
+    };
+    vec![
+        ("store.records", s.records as f64),
+        ("store.disk_bytes", s.disk_bytes as f64),
     ]
 }

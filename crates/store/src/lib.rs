@@ -10,10 +10,13 @@
 //! configuration, profiling options, and Ψ/Φ calibration are unchanged.
 //! This crate persists that work across process restarts:
 //!
-//! * [`ProfileStore`] — an append-only on-disk log of serialized
+//! * [`ProfileStore`] — an append-only on-disk log of binary-encoded
 //!   [`Profiled`] trees with CRC-checked records, a manifest updated by
-//!   atomic rename, and an LRU-bounded decode cache. Reads are plain
-//!   `seek + read` (no mmap), so the store works on any filesystem.
+//!   atomic rename, and an LRU-bounded decode cache. On Linux the valid
+//!   prefix of the log is mapped read-only with `mmap(2)`, so a decode
+//!   reads payload bytes straight out of the page cache with zero
+//!   copies; elsewhere (and for records appended after open) reads fall
+//!   back to plain `seek + read`.
 //! * [`KeyedStore`] — the adapter wiring a store into the sweep
 //!   engine's [`ProfileCache`](sweep::ProfileCache): it namespaces every
 //!   workload cache key with the owning prophet's calibration and
@@ -21,29 +24,51 @@
 //!   differently-configured daemons without ever replaying a profile
 //!   computed under other assumptions.
 //!
-//! ## On-disk format (version 1)
+//! ## On-disk format (version 2)
 //!
 //! A store directory holds two files:
 //!
 //! ```text
-//! profiles.v1.log   append-only record log
-//! MANIFEST.json     {"version":1,"records":N,"committed_len":L}
+//! profiles.v2.log   append-only record log
+//! MANIFEST.json     {"version":2,"records":N,"committed_len":L}
 //! ```
 //!
 //! Each log record is framed as
 //!
 //! ```text
-//! magic "PSR1" | u32 key_len | u32 payload_len | u32 crc32(payload) | key | payload
+//! magic "PSR2" | u32 key_len | u32 payload_len | u32 crc32(payload) | key | payload
 //! ```
 //!
-//! with all integers little-endian and the payload the JSON encoding of
-//! one [`Profiled`]. On open the log is scanned front to back; the scan
-//! stops at the first truncated or CRC-corrupt record, logs a warning,
-//! and truncates the log back to the last valid boundary (classic
-//! write-ahead-log recovery: a crash mid-append costs at most the
-//! record being appended). The manifest is rewritten via
-//! write-to-temp-then-rename after every append, so it never names
-//! bytes that aren't durably framed.
+//! with all integers little-endian and the payload the compact binary
+//! encoding of one [`Profiled`] (`prophet_core::codec`, varint-packed
+//! node records over the `proftree::wire` tree layout). On open the log
+//! is scanned front to back; the scan stops at the first truncated or
+//! CRC-corrupt record, logs a warning, and truncates the log back to
+//! the last valid boundary (classic write-ahead-log recovery: a crash
+//! mid-append costs at most the record being appended). The manifest is
+//! rewritten via write-to-temp-then-rename after every append, so it
+//! never names bytes that aren't durably framed.
+//!
+//! ## Upgrading from version 1
+//!
+//! Version 1 stores used the same frame shape with magic `"PSR1"` and a
+//! JSON payload, in `profiles.v1.log`. Opening a directory that holds a
+//! v1 log transparently migrates it: every valid v1 record is decoded
+//! from JSON, re-encoded as `PSR2`, and appended to the v2 log (first
+//! write wins if a key exists in both), then the old log is renamed to
+//! `profiles.v1.log.migrated`. A store written entirely under v1
+//! replays all its profiles after the upgrade — zero re-profiles.
+//!
+//! ## Mmap lifetime rules
+//!
+//! The mapping is created once at open, covering exactly the
+//! CRC-validated prefix (after tail recovery and v1 migration), and is
+//! never grown or remapped. Appends land strictly beyond the mapped
+//! prefix and are served by the `seek + read` fallback until the next
+//! open. The mapping is dropped (and `munmap`ed) with the store, and no
+//! decoded profile borrows from it — payload bytes are parsed into
+//! owned [`Profiled`] values under the store lock — so the unmap cannot
+//! race a reader.
 
 use std::collections::HashMap;
 use std::fs;
@@ -56,16 +81,18 @@ use prophet_core::{Profiled, ProphetError};
 use serde::{Deserialize, Serialize};
 use sweep::ProfileStorage;
 
-/// Magic prefix of every log record (`P`rophet `S`tore `R`ecord v`1`).
-const MAGIC: [u8; 4] = *b"PSR1";
+/// Magic prefix of every v2 log record (`P`rophet `S`tore `R`ecord v`2`).
+const MAGIC: [u8; 4] = *b"PSR2";
+/// Magic prefix of legacy v1 records (JSON payloads).
+const MAGIC_V1: [u8; 4] = *b"PSR1";
 /// Fixed-size portion of a record frame: magic + three u32 fields.
 const HEADER_LEN: u64 = 16;
 /// Name of the record log inside a store directory.
-const LOG_NAME: &str = "profiles.v1.log";
+const LOG_NAME: &str = "profiles.v2.log";
+/// Name of the legacy v1 record log (migrated on open).
+const LOG_V1_NAME: &str = "profiles.v1.log";
 /// Name of the manifest inside a store directory.
 const MANIFEST_NAME: &str = "MANIFEST.json";
-/// Decoded-profile LRU capacity.
-const DECODE_CACHE_CAP: usize = 32;
 
 /// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), bit-reflected,
 /// table-driven. Guards every record payload against torn writes and
@@ -94,6 +121,116 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc ^ 0xffff_ffff
 }
 
+/// Read-only memory mapping of the log's valid prefix. Linux gets raw
+/// `mmap(2)`; other platforms get a stub that always declines, pushing
+/// every read through the buffered fallback.
+#[cfg(target_os = "linux")]
+mod map {
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    /// An immutable byte view over the first `len` bytes of a file.
+    pub struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is PROT_READ and never mutated; sharing the raw
+    // pointer across threads is sound.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Map the first `len` bytes of `file` read-only. `None` when
+        /// the prefix is empty or the kernel declines — callers fall
+        /// back to buffered reads, never fail.
+        pub fn new(file: &std::fs::File, len: u64) -> Option<Mapping> {
+            let len = usize::try_from(len).ok()?;
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return None;
+            }
+            Some(Mapping { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod map {
+    /// Stub mapping for non-Linux hosts: never maps, so every read
+    /// takes the buffered path.
+    pub struct Mapping;
+
+    impl Mapping {
+        /// Always `None` off Linux.
+        pub fn new(_file: &std::fs::File, _len: u64) -> Option<Mapping> {
+            None
+        }
+
+        /// Empty — the stub holds no bytes.
+        pub fn bytes(&self) -> &[u8] {
+            &[]
+        }
+    }
+}
+
+/// Tuning knobs for [`ProfileStore::open_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Capacity of the decoded-profile LRU (entries, not bytes). Each
+    /// entry is one fully decoded [`Profiled`]; raise it when a daemon
+    /// serves a hot set wider than the default.
+    pub decode_cache_cap: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            decode_cache_cap: 32,
+        }
+    }
+}
+
 /// Counters of a [`ProfileStore`]'s activity since open.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreStats {
@@ -108,6 +245,13 @@ pub struct StoreStats {
     pub corrupt_skipped: u64,
     /// Records resident in the log (valid, indexed).
     pub records: u64,
+    /// `get` calls served from the decoded-profile LRU (no disk read).
+    pub decode_hits: u64,
+    /// `get` calls that had to decode payload bytes from disk or the
+    /// mapped log prefix.
+    pub decode_misses: u64,
+    /// Bytes of valid, indexed records in the live log.
+    pub disk_bytes: u64,
 }
 
 /// The manifest file's JSON shape.
@@ -126,6 +270,65 @@ struct IndexEntry {
     crc: u32,
 }
 
+/// One frame parsed from a log image. Framing errors (bad magic,
+/// truncation) are `Err`; a CRC mismatch keeps the frame readable and
+/// is reported via `crc_ok` so callers choose their own strictness.
+struct RawFrame {
+    key: String,
+    payload_at: u64,
+    payload_len: u32,
+    crc: u32,
+    crc_ok: bool,
+    next: u64,
+}
+
+/// Parse the frame starting at `at` in `bytes`, expecting `magic`.
+fn scan_frame(magic: &[u8; 4], bytes: &[u8], at: u64) -> Result<RawFrame, String> {
+    let rest = &bytes[at as usize..];
+    if (rest.len() as u64) < HEADER_LEN {
+        return Err(format!("truncated record header ({} bytes)", rest.len()));
+    }
+    if rest[..4] != magic[..] {
+        return Err("bad record magic".to_string());
+    }
+    let key_len = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as u64;
+    let payload_len = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as u64;
+    let crc = u32::from_le_bytes(rest[12..16].try_into().unwrap());
+    let total = HEADER_LEN + key_len + payload_len;
+    if (rest.len() as u64) < total {
+        return Err(format!(
+            "truncated record body (have {} of {total} bytes)",
+            rest.len()
+        ));
+    }
+    let key_bytes = &rest[HEADER_LEN as usize..(HEADER_LEN + key_len) as usize];
+    let key = std::str::from_utf8(key_bytes)
+        .map_err(|_| "non-UTF-8 record key".to_string())?
+        .to_string();
+    let payload = &rest[(HEADER_LEN + key_len) as usize..total as usize];
+    Ok(RawFrame {
+        key,
+        payload_at: at + HEADER_LEN + key_len,
+        payload_len: payload_len as u32,
+        crc,
+        crc_ok: crc32(payload) == crc,
+        next: at + total,
+    })
+}
+
+/// Build one on-disk frame for `key` and `payload`.
+fn build_frame(key: &str, payload: &[u8]) -> Vec<u8> {
+    let key_bytes = key.as_bytes();
+    let mut frame = Vec::with_capacity(HEADER_LEN as usize + key_bytes.len() + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(key_bytes);
+    frame.extend_from_slice(payload);
+    frame
+}
+
 /// Mutable half of the store, behind one lock: the log handles, the
 /// key index, and the decode LRU. Store traffic is one operation per
 /// *profile* (seconds of tracer work), so a single mutex is nowhere
@@ -134,9 +337,14 @@ struct StoreInner {
     log: fs::File,
     /// Bytes of the log covered by valid records; the append offset.
     valid_len: u64,
+    /// Read-only mapping of the valid prefix as of open (see the crate
+    /// docs for the lifetime rules). `None` off Linux, for an empty
+    /// log, or when the kernel declined the map.
+    map: Option<map::Mapping>,
     index: HashMap<String, IndexEntry>,
     /// Decoded-profile LRU: key → (profile, recency stamp).
     decoded: HashMap<String, (Arc<Profiled>, u64)>,
+    decode_cache_cap: usize,
     tick: u64,
 }
 
@@ -150,6 +358,8 @@ pub struct ProfileStore {
     misses: AtomicU64,
     writes: AtomicU64,
     corrupt_skipped: AtomicU64,
+    decode_hits: AtomicU64,
+    decode_misses: AtomicU64,
     /// Wall-clock nanoseconds spent inside `get` / `put`, cumulative.
     /// Request tracing reads deltas around a batch to synthesise
     /// store-read/store-write spans without plumbing timers through the
@@ -159,12 +369,20 @@ pub struct ProfileStore {
 }
 
 impl ProfileStore {
+    /// Open (creating if absent) the store in `dir` with default
+    /// [`StoreOptions`]. See [`ProfileStore::open_with`].
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ProphetError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
     /// Open (creating if absent) the store in `dir`, scanning and
     /// CRC-validating the record log. A truncated or corrupt tail is
     /// skipped with a logged warning and trimmed so subsequent appends
     /// re-use the space — never a panic and never an error: persisted
     /// profiles are a cache, and a damaged cache entry just re-profiles.
-    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ProphetError> {
+    /// A legacy `PSR1` log in the directory is migrated into the v2 log
+    /// before the mapping is created (see the crate docs).
+    pub fn open_with(dir: impl Into<PathBuf>, opts: StoreOptions) -> Result<Self, ProphetError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let log_path = dir.join(LOG_NAME);
@@ -183,43 +401,66 @@ impl ProfileStore {
         let mut corrupt_skipped = 0u64;
         let mut at = 0u64;
         while at < bytes.len() as u64 {
-            match Self::scan_record(&bytes, at) {
-                Ok((key, entry, next)) => {
-                    index.insert(key, entry);
-                    at = next;
-                }
-                Err(reason) => {
-                    // Framing is lost from here on: every record behind
-                    // the damage is unreachable. Count them as one
-                    // skipped region (we cannot know how many records
-                    // the tail held) and trim the log so appends resync.
-                    corrupt_skipped += 1;
-                    eprintln!(
-                        "prophet-store: warning: {} at byte {at} of {}; \
-                         dropping {} trailing byte(s) and re-profiling on demand",
-                        reason,
-                        log_path.display(),
-                        bytes.len() as u64 - at
+            let reason = match scan_frame(&MAGIC, &bytes, at) {
+                Ok(f) if f.crc_ok => {
+                    index.insert(
+                        f.key,
+                        IndexEntry {
+                            payload_at: f.payload_at,
+                            payload_len: f.payload_len,
+                            crc: f.crc,
+                        },
                     );
-                    log.set_len(at)?;
-                    break;
+                    at = f.next;
+                    continue;
                 }
-            }
+                Ok(f) => format!("CRC mismatch (stored {:08x})", f.crc),
+                Err(reason) => reason,
+            };
+            // Framing (or integrity) is lost from here on: every record
+            // behind the damage is unreachable. Count them as one
+            // skipped region (we cannot know how many records the tail
+            // held) and trim the log so appends resync.
+            corrupt_skipped += 1;
+            eprintln!(
+                "prophet-store: warning: {} at byte {at} of {}; \
+                 dropping {} trailing byte(s) and re-profiling on demand",
+                reason,
+                log_path.display(),
+                bytes.len() as u64 - at
+            );
+            log.set_len(at)?;
+            break;
         }
+        drop(bytes);
 
+        let mut valid_len = at;
+        Self::migrate_v1(
+            &dir,
+            &mut log,
+            &mut valid_len,
+            &mut index,
+            &mut corrupt_skipped,
+        )?;
+
+        let map = map::Mapping::new(&log, valid_len);
         let store = ProfileStore {
             dir,
             inner: Mutex::new(StoreInner {
                 log,
-                valid_len: at,
+                valid_len,
+                map,
                 index,
                 decoded: HashMap::new(),
+                decode_cache_cap: opts.decode_cache_cap,
                 tick: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             corrupt_skipped: AtomicU64::new(corrupt_skipped),
+            decode_hits: AtomicU64::new(0),
+            decode_misses: AtomicU64::new(0),
             read_nanos: AtomicU64::new(0),
             write_nanos: AtomicU64::new(0),
         };
@@ -229,46 +470,95 @@ impl ProfileStore {
         Ok(store)
     }
 
-    /// Validate the record starting at `at`; return its key, index
-    /// entry, and the offset of the next record.
-    fn scan_record(bytes: &[u8], at: u64) -> Result<(String, IndexEntry, u64), String> {
-        let rest = &bytes[at as usize..];
-        if (rest.len() as u64) < HEADER_LEN {
-            return Err(format!("truncated record header ({} bytes)", rest.len()));
+    /// Migrate a legacy `PSR1` log (JSON payloads) into the v2 log.
+    /// Valid v1 records whose keys are absent from the v2 index are
+    /// re-encoded and appended; the v1 log is then renamed aside so the
+    /// migration runs exactly once. Damaged v1 tails are dropped just
+    /// like v2 recovery; a v1 record whose JSON no longer decodes is
+    /// skipped individually (its framing is intact, so the scan
+    /// continues behind it).
+    fn migrate_v1(
+        dir: &std::path::Path,
+        log: &mut fs::File,
+        valid_len: &mut u64,
+        index: &mut HashMap<String, IndexEntry>,
+        corrupt_skipped: &mut u64,
+    ) -> Result<(), ProphetError> {
+        let v1_path = dir.join(LOG_V1_NAME);
+        if !v1_path.exists() {
+            return Ok(());
         }
-        if rest[..4] != MAGIC {
-            return Err("bad record magic".to_string());
-        }
-        let key_len = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as u64;
-        let payload_len = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as u64;
-        let crc = u32::from_le_bytes(rest[12..16].try_into().unwrap());
-        let total = HEADER_LEN + key_len + payload_len;
-        if (rest.len() as u64) < total {
-            return Err(format!(
-                "truncated record body (have {} of {total} bytes)",
-                rest.len()
+        let bytes = fs::read(&v1_path)?;
+        let mut batch = Vec::new();
+        let mut staged: Vec<(String, IndexEntry)> = Vec::new();
+        let mut migrated = 0u64;
+        let mut at = 0u64;
+        while at < bytes.len() as u64 {
+            let frame = match scan_frame(&MAGIC_V1, &bytes, at) {
+                Ok(f) if f.crc_ok => f,
+                Ok(_) | Err(_) => {
+                    *corrupt_skipped += 1;
+                    eprintln!(
+                        "prophet-store: warning: damaged tail at byte {at} of {}; \
+                         dropping {} byte(s) from the migration",
+                        v1_path.display(),
+                        bytes.len() as u64 - at
+                    );
+                    break;
+                }
+            };
+            at = frame.next;
+            if index.contains_key(&frame.key) {
+                continue;
+            }
+            let start = frame.payload_at as usize;
+            let end = start + frame.payload_len as usize;
+            let profiled: Profiled = match std::str::from_utf8(&bytes[start..end])
+                .ok()
+                .and_then(|json| serde_json::from_str(json).ok())
+            {
+                Some(p) => p,
+                None => {
+                    *corrupt_skipped += 1;
+                    eprintln!(
+                        "prophet-store: warning: v1 record {:?} fails to decode; skipping it",
+                        frame.key
+                    );
+                    continue;
+                }
+            };
+            let mut payload = Vec::new();
+            prophet_core::codec::encode_profiled(&profiled, &mut payload);
+            let rec = build_frame(&frame.key, &payload);
+            staged.push((
+                frame.key,
+                IndexEntry {
+                    payload_at: *valid_len
+                        + batch.len() as u64
+                        + HEADER_LEN
+                        + (rec.len() - HEADER_LEN as usize - payload.len()) as u64,
+                    payload_len: payload.len() as u32,
+                    crc: crc32(&payload),
+                },
             ));
+            batch.extend_from_slice(&rec);
+            migrated += 1;
         }
-        let key_bytes = &rest[HEADER_LEN as usize..(HEADER_LEN + key_len) as usize];
-        let key = std::str::from_utf8(key_bytes)
-            .map_err(|_| "non-UTF-8 record key".to_string())?
-            .to_string();
-        let payload = &rest[(HEADER_LEN + key_len) as usize..total as usize];
-        let actual = crc32(payload);
-        if actual != crc {
-            return Err(format!(
-                "CRC mismatch (stored {crc:08x}, computed {actual:08x})"
-            ));
+        if !batch.is_empty() {
+            log.seek(SeekFrom::Start(*valid_len))?;
+            log.write_all(&batch)?;
+            log.sync_all()?;
+            *valid_len += batch.len() as u64;
+            for (key, entry) in staged {
+                index.insert(key, entry);
+            }
         }
-        Ok((
-            key,
-            IndexEntry {
-                payload_at: at + HEADER_LEN + key_len,
-                payload_len: payload_len as u32,
-                crc,
-            },
-            at + total,
-        ))
+        fs::rename(&v1_path, dir.join(format!("{LOG_V1_NAME}.migrated")))?;
+        eprintln!(
+            "prophet-store: migrated {migrated} record(s) from {} to the v2 log",
+            v1_path.display()
+        );
+        Ok(())
     }
 
     /// Atomically rewrite the manifest to describe the current log.
@@ -278,7 +568,7 @@ impl ProfileStore {
             (inner.index.len() as u64, inner.valid_len)
         };
         let manifest = Manifest {
-            version: 1,
+            version: 2,
             records,
             committed_len,
         };
@@ -293,7 +583,9 @@ impl ProfileStore {
     }
 
     /// The profile stored under `key`, if any. Decodes through a small
-    /// LRU so repeated loads of a hot key parse JSON once.
+    /// LRU so repeated loads of a hot key parse the payload once;
+    /// cache misses decode zero-copy out of the mapped log prefix when
+    /// the record predates open.
     pub fn get(&self, key: &str) -> Result<Option<Profiled>, ProphetError> {
         let t0 = std::time::Instant::now();
         let out = self.get_inner(key);
@@ -312,33 +604,61 @@ impl ProfileStore {
             *stamp = tick;
             let out = profiled.clone();
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.decode_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some((*out).clone()));
         }
         let Some(entry) = inner.index.get(key).copied() else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         };
-        let mut payload = vec![0u8; entry.payload_len as usize];
-        inner.log.seek(SeekFrom::Start(entry.payload_at))?;
-        inner.log.read_exact(&mut payload)?;
-        if crc32(&payload) != entry.crc {
-            // The record was valid at open; damage appeared underneath
-            // a running store. Treat like open-time corruption: warn,
-            // forget the entry, re-profile.
-            eprintln!(
-                "prophet-store: warning: record for key {key:?} failed its CRC on read; \
-                 dropping it and re-profiling on demand"
-            );
-            inner.index.remove(key);
-            self.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return Ok(None);
-        }
-        let json = std::str::from_utf8(&payload)
-            .map_err(|_| ProphetError::Store("non-UTF-8 payload".to_string()))?;
-        let profiled: Profiled = serde_json::from_str(json)
-            .map_err(|e| ProphetError::Store(format!("payload decode: {e}")))?;
-        let profiled = Arc::new(profiled);
+        self.decode_misses.fetch_add(1, Ordering::Relaxed);
+        let decoded: Option<Result<Profiled, String>> = {
+            let end = entry.payload_at + entry.payload_len as u64;
+            // Records inside the mapped prefix decode straight from the
+            // page cache; appends after open land beyond it and take
+            // the buffered path.
+            let mapped: Option<&[u8]> = inner
+                .map
+                .as_ref()
+                .map(|m| m.bytes())
+                .filter(|b| end <= b.len() as u64)
+                .map(|b| &b[entry.payload_at as usize..end as usize]);
+            let owned: Option<Vec<u8>> = if mapped.is_some() {
+                None
+            } else {
+                let mut buf = vec![0u8; entry.payload_len as usize];
+                let mut f = &inner.log;
+                f.seek(SeekFrom::Start(entry.payload_at))?;
+                f.read_exact(&mut buf)?;
+                Some(buf)
+            };
+            let payload: &[u8] =
+                mapped.unwrap_or_else(|| owned.as_deref().expect("buffered payload"));
+            if crc32(payload) != entry.crc {
+                None
+            } else {
+                Some(prophet_core::codec::decode_profiled(payload))
+            }
+        };
+        let profiled = match decoded {
+            None => {
+                // The record was valid at open; damage appeared
+                // underneath a running store. Treat like open-time
+                // corruption: warn, forget the entry, re-profile.
+                eprintln!(
+                    "prophet-store: warning: record for key {key:?} failed its CRC on read; \
+                     dropping it and re-profiling on demand"
+                );
+                inner.index.remove(key);
+                self.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+            Some(Err(e)) => {
+                return Err(ProphetError::Store(format!("payload decode: {e}")));
+            }
+            Some(Ok(p)) => Arc::new(p),
+        };
         Self::lru_insert(&mut inner, key.to_string(), profiled.clone(), tick);
         self.hits.fetch_add(1, Ordering::Relaxed);
         Ok(Some((*profiled).clone()))
@@ -359,9 +679,8 @@ impl ProfileStore {
     }
 
     fn put_inner(&self, key: &str, profiled: &Profiled) -> Result<(), ProphetError> {
-        let payload = serde_json::to_string(profiled)
-            .map_err(|e| ProphetError::Store(format!("payload encode: {e}")))?
-            .into_bytes();
+        let mut payload = Vec::new();
+        prophet_core::codec::encode_profiled(profiled, &mut payload);
         let key_bytes = key.as_bytes();
         if key_bytes.len() > u32::MAX as usize || payload.len() > u32::MAX as usize {
             return Err(ProphetError::Store(
@@ -374,15 +693,7 @@ impl ProfileStore {
             if inner.index.contains_key(key) {
                 return Ok(());
             }
-            let mut frame =
-                Vec::with_capacity(HEADER_LEN as usize + key_bytes.len() + payload.len());
-            frame.extend_from_slice(&MAGIC);
-            frame.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
-            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            frame.extend_from_slice(&crc.to_le_bytes());
-            frame.extend_from_slice(key_bytes);
-            frame.extend_from_slice(&payload);
-
+            let frame = build_frame(key, &payload);
             let at = inner.valid_len;
             inner.log.seek(SeekFrom::Start(at))?;
             inner.log.write_all(&frame)?;
@@ -411,7 +722,7 @@ impl ProfileStore {
 
     fn lru_insert(inner: &mut StoreInner, key: String, profiled: Arc<Profiled>, tick: u64) {
         inner.decoded.insert(key, (profiled, tick));
-        while inner.decoded.len() > DECODE_CACHE_CAP {
+        while inner.decoded.len() > inner.decode_cache_cap {
             let victim = inner
                 .decoded
                 .iter()
@@ -443,12 +754,19 @@ impl ProfileStore {
 
     /// Current counters.
     pub fn stats(&self) -> StoreStats {
+        let (records, disk_bytes) = {
+            let inner = self.inner.lock().expect("store lock poisoned");
+            (inner.index.len() as u64, inner.valid_len)
+        };
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             corrupt_skipped: self.corrupt_skipped.load(Ordering::Relaxed),
-            records: self.len() as u64,
+            records,
+            decode_hits: self.decode_hits.load(Ordering::Relaxed),
+            decode_misses: self.decode_misses.load(Ordering::Relaxed),
+            disk_bytes,
         }
     }
 
@@ -483,10 +801,104 @@ impl ProfileStore {
         registry.set_gauge("store.writes", s.writes as f64);
         registry.set_gauge("store.corrupt_skipped", s.corrupt_skipped as f64);
         registry.set_gauge("store.records", s.records as f64);
+        registry.set_gauge("store.decode_hits", s.decode_hits as f64);
+        registry.set_gauge("store.decode_misses", s.decode_misses as f64);
+        registry.set_gauge("store.disk_bytes", s.disk_bytes as f64);
         let (read_nanos, write_nanos) = self.io_nanos();
         registry.set_gauge("store.read_nanos", read_nanos as f64);
         registry.set_gauge("store.write_nanos", write_nanos as f64);
     }
+}
+
+/// One record's verification status in an [`InspectReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct InspectRecord {
+    /// Frame format version: 2 for `PSR2`, 1 for a legacy `PSR1` log
+    /// still awaiting migration.
+    pub version: u8,
+    /// The record's store-level key.
+    pub key: String,
+    /// Payload size in bytes.
+    pub payload_len: u32,
+    /// Whether the payload matches its stored CRC-32.
+    pub crc_ok: bool,
+}
+
+/// Read-only verification report over a store directory's logs,
+/// produced by [`inspect`].
+#[derive(Debug, Clone, Serialize)]
+pub struct InspectReport {
+    /// Every record reachable by frame scanning, in log order (v2 log
+    /// first, then an unmigrated v1 log if present).
+    pub records: Vec<InspectRecord>,
+    /// Total bytes across the inspected log files.
+    pub disk_bytes: u64,
+    /// Description of framing-level damage (bad magic / truncation)
+    /// that ended a scan early, if any.
+    pub corrupt_tail: Option<String>,
+}
+
+impl InspectReport {
+    /// Number of scanned records failing their CRC.
+    pub fn corrupt_records(&self) -> u64 {
+        self.records.iter().filter(|r| !r.crc_ok).count() as u64
+    }
+
+    /// True when every record verified and no scan hit damaged framing.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_tail.is_none() && self.corrupt_records() == 0
+    }
+}
+
+/// Scan and CRC-verify the logs in a store directory without opening
+/// (or repairing) the store. Unlike [`ProfileStore::open_with`], a CRC
+/// mismatch does not stop the scan — the frame's lengths still chain —
+/// so the report lists every reachable record with its verdict. Never
+/// modifies the directory.
+pub fn inspect(dir: impl Into<PathBuf>) -> Result<InspectReport, ProphetError> {
+    let dir = dir.into();
+    if !dir.is_dir() {
+        return Err(ProphetError::Store(format!(
+            "{} is not a store directory",
+            dir.display()
+        )));
+    }
+    let mut records = Vec::new();
+    let mut disk_bytes = 0u64;
+    let mut corrupt_tail = None;
+    for (name, magic, version) in [(LOG_NAME, &MAGIC, 2u8), (LOG_V1_NAME, &MAGIC_V1, 1u8)] {
+        let path = dir.join(name);
+        let Ok(bytes) = fs::read(&path) else {
+            continue;
+        };
+        disk_bytes += bytes.len() as u64;
+        let mut at = 0u64;
+        while at < bytes.len() as u64 {
+            match scan_frame(magic, &bytes, at) {
+                Ok(f) => {
+                    records.push(InspectRecord {
+                        version,
+                        key: f.key,
+                        payload_len: f.payload_len,
+                        crc_ok: f.crc_ok,
+                    });
+                    at = f.next;
+                }
+                Err(reason) => {
+                    corrupt_tail = Some(format!(
+                        "{name}: {reason} at byte {at} ({} trailing byte(s))",
+                        bytes.len() as u64 - at
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    Ok(InspectReport {
+        records,
+        disk_bytes,
+        corrupt_tail,
+    })
 }
 
 /// Adapter implementing the sweep engine's [`ProfileStorage`] over a
@@ -593,6 +1005,26 @@ mod tests {
         p
     }
 
+    /// Write a legacy `PSR1` frame (JSON payload) for `profiled` at the
+    /// end of `path`, as a v1-era store would have.
+    fn append_v1_record(path: &PathBuf, key: &str, profiled: &Profiled) {
+        let payload = serde_json::to_string(profiled).unwrap().into_bytes();
+        let key_bytes = key.as_bytes();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC_V1);
+        frame.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(key_bytes);
+        frame.extend_from_slice(&payload);
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap();
+        f.write_all(&frame).unwrap();
+    }
+
     #[test]
     fn crc32_matches_reference_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
@@ -619,8 +1051,10 @@ mod tests {
             assert_eq!(store.get("absent").unwrap().map(|p| p.name), None);
             let s = store.stats();
             assert_eq!((s.hits, s.misses, s.writes, s.records), (1, 1, 1, 1));
+            assert!(s.disk_bytes > 0);
         }
-        // Re-open: the record survives and decodes identically.
+        // Re-open: the record survives and decodes identically (through
+        // the mapped prefix on Linux).
         let store = ProfileStore::open(&dir).unwrap();
         assert_eq!(store.len(), 1);
         let got = store.get("k1").unwrap().unwrap();
@@ -628,6 +1062,8 @@ mod tests {
             serde_json::to_string(&got).unwrap(),
             serde_json::to_string(&profiled).unwrap()
         );
+        let s = store.stats();
+        assert_eq!((s.decode_hits, s.decode_misses), (0, 1));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -710,11 +1146,103 @@ mod tests {
         store.flush().unwrap();
         let manifest: Manifest =
             serde_json::from_str(&fs::read_to_string(dir.join(MANIFEST_NAME)).unwrap()).unwrap();
-        assert_eq!(manifest.version, 1);
+        assert_eq!(manifest.version, 2);
         assert_eq!(manifest.records, 1);
         assert_eq!(
             manifest.committed_len,
             fs::metadata(dir.join(LOG_NAME)).unwrap().len()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn psr1_log_upgrades_on_open_with_zero_reprofiles() {
+        let dir = tmpdir("upgrade");
+        fs::create_dir_all(&dir).unwrap();
+        let a = sample_profiled("v1-a");
+        let b = sample_profiled("v1-b");
+        let v1 = dir.join(LOG_V1_NAME);
+        append_v1_record(&v1, "ka", &a);
+        append_v1_record(&v1, "kb", &b);
+
+        let store = ProfileStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2, "both v1 records migrate");
+        for (key, want) in [("ka", &a), ("kb", &b)] {
+            let got = store.get(key).unwrap().expect("migrated record replays");
+            assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(want).unwrap(),
+                "migrated record {key} must replay byte-identically"
+            );
+        }
+        assert!(!v1.exists(), "v1 log renamed aside after migration");
+        assert!(dir.join(format!("{LOG_V1_NAME}.migrated")).exists());
+        drop(store);
+
+        // Re-open: no second migration, records still there.
+        let store = ProfileStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.get("ka").unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decode_cache_capacity_is_configurable() {
+        let dir = tmpdir("cachecap");
+        let store = ProfileStore::open_with(
+            &dir,
+            StoreOptions {
+                decode_cache_cap: 1,
+            },
+        )
+        .unwrap();
+        store.put("k1", &sample_profiled("a")).unwrap();
+        store.put("k2", &sample_profiled("b")).unwrap();
+        // Cap 1: the put of k2 evicted k1, so this get decodes from
+        // disk; the repeat is served from the LRU.
+        assert!(store.get("k1").unwrap().is_some());
+        assert!(store.get("k1").unwrap().is_some());
+        let s = store.stats();
+        assert_eq!((s.decode_misses, s.decode_hits), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inspect_reports_records_and_corruption_read_only() {
+        let dir = tmpdir("inspect");
+        {
+            let store = ProfileStore::open(&dir).unwrap();
+            store.put("first", &sample_profiled("a")).unwrap();
+            store.put("second", &sample_profiled("b")).unwrap();
+        }
+        let clean = inspect(&dir).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.records.len(), 2);
+        assert!(clean
+            .records
+            .iter()
+            .all(|r| r.version == 2 && r.crc_ok && r.payload_len > 0));
+
+        // Flip a payload byte in the second record: inspect still lists
+        // both records (framing chains past a CRC failure) and flags
+        // the damage — without repairing or truncating anything.
+        let log = dir.join(LOG_NAME);
+        let mut bytes = fs::read(&log).unwrap();
+        let len_before = bytes.len() as u64;
+        let mid = bytes.len() - 20;
+        bytes[mid] ^= 0xff;
+        fs::write(&log, &bytes).unwrap();
+
+        let report = inspect(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.corrupt_records(), 1);
+        assert!(report.records[0].crc_ok);
+        assert!(!report.records[1].crc_ok);
+        assert_eq!(
+            fs::metadata(&log).unwrap().len(),
+            len_before,
+            "inspect must never modify the log"
         );
         let _ = fs::remove_dir_all(&dir);
     }

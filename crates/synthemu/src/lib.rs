@@ -31,16 +31,14 @@
 //! real machine").
 
 use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::rc::Rc;
 
 use cilk_rt::{run_program_cilk_on, CilkOverheads};
 use machsim::prog::{POp, ParSection, Paradigm, ParallelProgram, Schedule, TaskBody, TaskList};
 use machsim::{MachineConfig, RunError, WorkPacket};
 use omp_rt::{run_program_on, OmpOverheads};
-use proftree::{
-    visit::{expanded_children, run_seq},
-    NodeId, NodeKind, ProgramTree,
-};
+use proftree::{burden_factor, FlatTree, NodeId, ProgramTree, TreeView, ViewKind};
 use serde::{Deserialize, Serialize};
 
 /// Options for one synthesizer prediction.
@@ -119,9 +117,9 @@ pub struct SynthPrediction {
     pub sections: Vec<SectionEmul>,
 }
 
-/// IR generation state for one section.
-struct Gen<'t> {
-    tree: &'t ProgramTree,
+/// IR generation state for one section, generic over the tree view.
+struct Gen<'t, V: TreeView<'t>> {
+    view: V,
     factor: f64,
     opts: SynthOptions,
     memo: HashMap<NodeId, Rc<TaskBody>>,
@@ -130,9 +128,10 @@ struct Gen<'t> {
     ovh_memo: HashMap<NodeId, u64>,
     /// Total synthesizer-overhead cycles emitted (logical).
     overhead_emitted: u64,
+    _tree: PhantomData<&'t ()>,
 }
 
-impl<'t> Gen<'t> {
+impl<'t, V: TreeView<'t>> Gen<'t, V> {
     fn scale(&self, len: u64) -> u64 {
         if (self.factor - 1.0).abs() < 1e-12 {
             len
@@ -160,26 +159,26 @@ impl<'t> Gen<'t> {
             return b;
         }
         let mut ops = Vec::new();
-        for child in expanded_children(self.tree, task) {
-            let node = self.tree.node(child);
-            match &node.kind {
-                NodeKind::U => {
+        let view = self.view;
+        for child in view.expanded(task) {
+            match view.kind(child) {
+                ViewKind::U => {
                     self.overhead_emitted += self.opts.access_node_overhead;
                     ops.push(POp::Work(WorkPacket::cpu(
-                        self.scale(node.length) + self.opts.access_node_overhead,
+                        self.scale(view.length(child)) + self.opts.access_node_overhead,
                     )));
                 }
-                NodeKind::L { lock } => {
+                ViewKind::L { lock } => {
                     self.overhead_emitted += self.opts.access_node_overhead;
                     if self.opts.access_node_overhead > 0 {
                         ops.push(POp::Work(WorkPacket::cpu(self.opts.access_node_overhead)));
                     }
                     ops.push(POp::Locked {
-                        lock: *lock,
-                        work: WorkPacket::cpu(self.scale(node.length)),
+                        lock,
+                        work: WorkPacket::cpu(self.scale(view.length(child))),
                     });
                 }
-                NodeKind::Sec { .. } => {
+                ViewKind::Sec { .. } => {
                     self.overhead_emitted += self.opts.recursive_call_overhead;
                     if self.opts.recursive_call_overhead > 0 {
                         ops.push(POp::Work(WorkPacket::cpu(
@@ -199,23 +198,23 @@ impl<'t> Gen<'t> {
     /// Convert the U/L children of a Stage node into stage ops.
     fn stage_ops(&mut self, stage: NodeId) -> Vec<POp> {
         let mut ops = Vec::new();
-        for child in expanded_children(self.tree, stage) {
-            let node = self.tree.node(child);
-            match &node.kind {
-                NodeKind::U => {
+        let view = self.view;
+        for child in view.expanded(stage) {
+            match view.kind(child) {
+                ViewKind::U => {
                     self.overhead_emitted += self.opts.access_node_overhead;
                     ops.push(POp::Work(WorkPacket::cpu(
-                        self.scale(node.length) + self.opts.access_node_overhead,
+                        self.scale(view.length(child)) + self.opts.access_node_overhead,
                     )));
                 }
-                NodeKind::L { lock } => {
+                ViewKind::L { lock } => {
                     self.overhead_emitted += self.opts.access_node_overhead;
                     if self.opts.access_node_overhead > 0 {
                         ops.push(POp::Work(WorkPacket::cpu(self.opts.access_node_overhead)));
                     }
                     ops.push(POp::Locked {
-                        lock: *lock,
-                        work: WorkPacket::cpu(self.scale(node.length)),
+                        lock,
+                        work: WorkPacket::cpu(self.scale(view.length(child))),
                     });
                 }
                 other => unreachable!("invalid node under stage: {}", other.tag()),
@@ -228,11 +227,12 @@ impl<'t> Gen<'t> {
     fn pipe_ir(&mut self, pipe: NodeId) -> machsim::prog::PipeSection {
         let mut items = Vec::new();
         let mut stages = 0u32;
-        for item in expanded_children(self.tree, pipe) {
+        let view = self.view;
+        for item in view.expanded(pipe) {
             let mut stage_ops = Vec::new();
-            for st in expanded_children(self.tree, item) {
-                match &self.tree.node(st).kind {
-                    NodeKind::Stage { .. } => stage_ops.push(self.stage_ops(st)),
+            for st in view.expanded(item) {
+                match view.kind(st) {
+                    ViewKind::Stage { .. } => stage_ops.push(self.stage_ops(st)),
                     other => unreachable!("invalid node under pipe item: {}", other.tag()),
                 }
             }
@@ -245,12 +245,13 @@ impl<'t> Gen<'t> {
     }
 
     fn section_ir(&mut self, sec: NodeId) -> ParSection {
-        let nowait = match &self.tree.node(sec).kind {
-            NodeKind::Sec { nowait, .. } => *nowait,
+        let view = self.view;
+        let nowait = match view.kind(sec) {
+            ViewKind::Sec { nowait, .. } => nowait,
             other => unreachable!("expected Sec, got {}", other.tag()),
         };
         let tasks: TaskList = if self.opts.expand_runs {
-            expanded_children(self.tree, sec)
+            view.expanded(sec)
                 .map(|t| self.task_body(t))
                 .collect::<Vec<_>>()
                 .into()
@@ -261,8 +262,8 @@ impl<'t> Gen<'t> {
             // charge the cached per-body overhead in one multiply —
             // exactly the sum the expanded path accumulates one memo hit
             // at a time.
-            let tree = self.tree;
-            let runs: Vec<(Rc<TaskBody>, u32)> = run_seq(tree, sec)
+            let runs: Vec<(Rc<TaskBody>, u32)> = view
+                .child_runs(sec)
                 .map(|(t, count)| {
                     let body = self.task_body(t);
                     if count > 1 {
@@ -317,6 +318,16 @@ fn body_overhead(body: &TaskBody, opts: &SynthOptions) -> u64 {
         .sum()
 }
 
+/// Burden factor of a top-level region under `opts`.
+fn region_burden<'t, V: TreeView<'t>>(view: V, sec: NodeId, opts: &SynthOptions) -> f64 {
+    match view.kind(sec) {
+        ViewKind::Sec { burden, .. } | ViewKind::Pipe { burden, .. } if opts.use_burden => {
+            burden_factor(burden, opts.threads)
+        }
+        _ => 1.0,
+    }
+}
+
 /// Generate the program the synthesizer would measure for top-level
 /// section (or pipeline) `sec`, plus the logical traversal-overhead
 /// cycles it embeds. Public so the run-batched and force-expanded
@@ -326,22 +337,36 @@ pub fn section_program(
     sec: NodeId,
     opts: &SynthOptions,
 ) -> (ParallelProgram, u64) {
-    let burden = match &tree.node(sec).kind {
-        NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } if opts.use_burden => {
-            burden.factor(opts.threads)
-        }
-        _ => 1.0,
-    };
+    section_program_on(tree, sec, opts)
+}
+
+/// [`section_program`] over a pre-built [`FlatTree`] arena; `sec` is a
+/// *flat* node id (map pointer-tree ids with [`FlatTree::flat_id`]).
+pub fn section_program_flat(
+    flat: &FlatTree,
+    sec: NodeId,
+    opts: &SynthOptions,
+) -> (ParallelProgram, u64) {
+    section_program_on(flat, sec, opts)
+}
+
+fn section_program_on<'t, V: TreeView<'t>>(
+    view: V,
+    sec: NodeId,
+    opts: &SynthOptions,
+) -> (ParallelProgram, u64) {
+    let burden = region_burden(view, sec, opts);
     let mut gen = Gen {
-        tree,
+        view,
         factor: burden,
         opts: *opts,
         memo: HashMap::new(),
         ovh_memo: HashMap::new(),
         overhead_emitted: 0,
+        _tree: PhantomData,
     };
-    let top_op = match &tree.node(sec).kind {
-        NodeKind::Pipe { .. } => POp::Pipe(gen.pipe_ir(sec)),
+    let top_op = match view.kind(sec) {
+        ViewKind::Pipe { .. } => POp::Pipe(gen.pipe_ir(sec)),
         _ => POp::Par(gen.section_ir(sec)),
     };
     (ParallelProgram { ops: vec![top_op] }, gen.overhead_emitted)
@@ -349,19 +374,14 @@ pub fn section_program(
 
 /// Generate the section's IR and measure it on `machine` (fresh or
 /// freshly [`machsim::Machine::reset`]).
-fn run_section(
-    tree: &ProgramTree,
+fn run_section<'t, V: TreeView<'t>>(
+    view: V,
     sec: NodeId,
     opts: &SynthOptions,
     machine: &mut machsim::Machine,
 ) -> Result<SectionEmul, RunError> {
-    let (program, overhead_emitted) = section_program(tree, sec, opts);
-    let burden = match &tree.node(sec).kind {
-        NodeKind::Sec { burden, .. } | NodeKind::Pipe { burden, .. } if opts.use_burden => {
-            burden.factor(opts.threads)
-        }
-        _ => 1.0,
-    };
+    let (program, overhead_emitted) = section_program_on(view, sec, opts);
+    let burden = region_burden(view, sec, opts);
 
     let is_pipe = matches!(program.ops.first(), Some(POp::Pipe(_)));
     let stats = match opts.paradigm {
@@ -391,7 +411,7 @@ fn run_section(
         );
     }
     Ok(SectionEmul {
-        serial_cycles: tree.node(sec).length,
+        serial_cycles: view.length(sec),
         gross_cycles: gross,
         net_cycles: net,
         burden,
@@ -404,15 +424,37 @@ fn run_section(
 /// [`machsim::Machine::reset`] between top-level sections, so the
 /// event-heap/ready-queue allocations are paid once, not per section.
 /// Each section still observes a logically fresh machine (clock at 0).
+/// The tree is flattened into a [`FlatTree`] arena first; IR generation
+/// walks the contiguous run buffer. Use [`predict_flat`] to amortise
+/// the conversion, or [`predict_ptr`] for the pointer-tree baseline.
 pub fn predict(tree: &ProgramTree, opts: &SynthOptions) -> Result<SynthPrediction, RunError> {
+    let flat = FlatTree::from_tree(tree);
+    predict_on(&flat, opts)
+}
+
+/// [`predict`] directly over a pre-built [`FlatTree`] arena.
+pub fn predict_flat(flat: &FlatTree, opts: &SynthOptions) -> Result<SynthPrediction, RunError> {
+    predict_on(flat, opts)
+}
+
+/// [`predict`] over the pointer tree without flattening — the baseline
+/// leg of the arena-vs-pointer benchmark and equivalence tests.
+pub fn predict_ptr(tree: &ProgramTree, opts: &SynthOptions) -> Result<SynthPrediction, RunError> {
+    predict_on(tree, opts)
+}
+
+fn predict_on<'t, V: TreeView<'t>>(
+    view: V,
+    opts: &SynthOptions,
+) -> Result<SynthPrediction, RunError> {
     let mut machine = machsim::Machine::new(opts.machine);
     let mut used = false;
-    predict_with(tree, opts, move |sec| {
+    predict_with(view, opts, move |sec| {
         if used {
             machine.reset();
         }
         used = true;
-        run_section(tree, sec, opts, &mut machine)
+        run_section(view, sec, opts, &mut machine)
     })
 }
 
@@ -426,29 +468,31 @@ pub fn predict_with_obs(
     opts: &SynthOptions,
     obs: prophet_obs::ObsHandle,
 ) -> Result<SynthPrediction, RunError> {
+    let flat = FlatTree::from_tree(tree);
+    let view = &flat;
     let mut machine = machsim::Machine::new(opts.machine);
     machine.attach_obs(obs);
     let mut used = false;
-    predict_with(tree, opts, move |sec| {
+    predict_with(view, opts, move |sec| {
         if used {
             machine.reset();
         }
         used = true;
-        run_section(tree, sec, opts, &mut machine)
+        run_section(view, sec, opts, &mut machine)
     })
 }
 
-fn predict_with(
-    tree: &ProgramTree,
+fn predict_with<'t, V: TreeView<'t>>(
+    view: V,
     opts: &SynthOptions,
     mut emul: impl FnMut(NodeId) -> Result<SectionEmul, RunError>,
 ) -> Result<SynthPrediction, RunError> {
     assert!(opts.threads >= 1, "synthesizer needs at least one thread");
-    let serial_cycles = tree.total_length();
-    let serial_top = tree.top_level_serial_length();
+    let serial_cycles = view.total_length();
+    let serial_top = view.top_level_serial_length();
     let mut sections = Vec::new();
     let mut emulated_total = serial_top;
-    for sec in tree.top_level_sections() {
+    for sec in view.top_level_regions() {
         let e = emul(sec)?;
         emulated_total += e.net_cycles;
         sections.push(e);
@@ -469,6 +513,7 @@ pub fn speedup_curve(
     base: &SynthOptions,
     thread_counts: &[u32],
 ) -> Result<Vec<(u32, f64)>, RunError> {
+    let flat = FlatTree::from_tree(tree);
     let mut out = Vec::new();
     for &t in thread_counts {
         if t > base.machine.cores {
@@ -476,7 +521,7 @@ pub fn speedup_curve(
         }
         let mut o = *base;
         o.threads = t;
-        out.push((t, predict(tree, &o)?.speedup));
+        out.push((t, predict_flat(&flat, &o)?.speedup));
     }
     Ok(out)
 }
@@ -562,7 +607,7 @@ mod tests {
     fn burden_scales_delays() {
         let mut tree = balanced_loop(8, 10_000);
         let sec = tree.top_level_sections()[0];
-        if let NodeKind::Sec { burden, .. } = &mut tree.node_mut(sec).kind {
+        if let proftree::NodeKind::Sec { burden, .. } = &mut tree.node_mut(sec).kind {
             *burden = proftree::BurdenTable::from_entries(vec![(4, 1.5)]);
         }
         let mut o = zero_opts(4, Paradigm::OpenMp, 4);

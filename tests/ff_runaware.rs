@@ -15,6 +15,12 @@
 //!   (`TaskList` equality is logical-sequence equality) and the emitted
 //!   overhead totals must match, for every section of every profiled
 //!   tree.
+//!
+//! A third axis pins the arena port: the default predict paths walk a
+//! contiguous [`proftree::FlatTree`] arena, and `predict_ptr` keeps the
+//! original pointer-tree walk as a baseline. The two must agree
+//! bit-for-bit — cycles, speedup bits, section breakdowns, and the
+//! synthesizer IR emitted per section — across the same matrix.
 
 use prophet_core::machsim::{Paradigm, Schedule};
 use prophet_core::omp_rt::OmpOverheads;
@@ -72,7 +78,9 @@ fn ff_opts(cpus: u32, schedule: Schedule, expand_runs: bool) -> ffemu::FfOptions
     }
 }
 
-/// Assert run-aware FF equals forced-expansion FF on `tree`, exactly.
+/// Assert run-aware FF equals forced-expansion FF on `tree`, exactly,
+/// and that the arena walk (`predict`, the default) equals the
+/// pointer-tree walk (`predict_ptr`) bit-for-bit.
 fn assert_ff_equivalent(name: &str, tree: &ProgramTree, cpus: u32, schedule: Schedule) {
     let fast = ffemu::predict(tree, ff_opts(cpus, schedule, false));
     let slow = ffemu::predict(tree, ff_opts(cpus, schedule, true));
@@ -85,6 +93,18 @@ fn assert_ff_equivalent(name: &str, tree: &ProgramTree, cpus: u32, schedule: Sch
         "{ctx}: speedup bits differ"
     );
     assert_eq!(fast.sections, slow.sections, "{ctx}: section breakdowns");
+
+    // The run-aware leg again, through the pointer-tree walk: `fast`
+    // came off the arena, `ptr` must match it bit-for-bit.
+    let ptr = ffemu::predict_ptr(tree, ff_opts(cpus, schedule, false));
+    assert_eq!(fast.predicted_cycles, ptr.predicted_cycles, "{ctx}: arena");
+    assert_eq!(fast.serial_cycles, ptr.serial_cycles, "{ctx}: arena");
+    assert_eq!(
+        fast.speedup.to_bits(),
+        ptr.speedup.to_bits(),
+        "{ctx}: arena speedup bits differ from pointer walk"
+    );
+    assert_eq!(fast.sections, ptr.sections, "{ctx}: arena sections");
 }
 
 /// Assert run-batched synthesizer IR equals per-iteration emission for
@@ -95,6 +115,7 @@ fn assert_syn_equivalent(name: &str, tree: &ProgramTree, threads: u32, schedule:
     batched.use_burden = true;
     let mut expanded = batched;
     expanded.expand_runs = true;
+    let flat = proftree::FlatTree::from_tree(tree);
     proftree::visit::walk(tree, |id, _| {
         if matches!(
             tree.node(id).kind,
@@ -105,9 +126,51 @@ fn assert_syn_equivalent(name: &str, tree: &ProgramTree, threads: u32, schedule:
             let ctx = format!("{name} sec={id} threads={threads} sched={schedule:?}");
             assert_eq!(pb, pe, "{ctx}: programs differ");
             assert_eq!(ob, oe, "{ctx}: overhead totals differ");
+            // The arena emitter must generate the identical program.
+            let (pf, of) = synthemu::section_program_flat(&flat, flat.flat_id(id), &batched);
+            assert_eq!(pb, pf, "{ctx}: arena program differs");
+            assert_eq!(ob, of, "{ctx}: arena overhead differs");
         }
         true
     });
+}
+
+/// End-to-end arena-vs-pointer agreement at one matrix point per
+/// emulator (the expensive legs — full emulation / IR machine runs —
+/// so once per workload, not once per matrix cell; the cell-level
+/// equivalence above already pins the cheap paths everywhere).
+fn assert_arena_end_to_end(name: &str, tree: &ProgramTree) {
+    let cpus = 4;
+    let sched = Schedule::static_block();
+
+    let flat = ffemu::predict(tree, ff_opts(cpus, sched, true));
+    let ptr = ffemu::predict_ptr(tree, ff_opts(cpus, sched, true));
+    assert_eq!(flat.predicted_cycles, ptr.predicted_cycles, "{name}: ff");
+    assert_eq!(
+        flat.speedup.to_bits(),
+        ptr.speedup.to_bits(),
+        "{name}: ff expanded arena speedup bits differ from pointer walk"
+    );
+    assert_eq!(flat.sections, ptr.sections, "{name}: ff sections");
+
+    let mut opts = synthemu::SynthOptions::new(cpus, Paradigm::OpenMp);
+    opts.schedule = sched;
+    opts.use_burden = true;
+    match (
+        synthemu::predict(tree, &opts),
+        synthemu::predict_ptr(tree, &opts),
+    ) {
+        (Ok(f), Ok(p)) => {
+            assert_eq!(f.predicted_cycles, p.predicted_cycles, "{name}: syn");
+            assert_eq!(f.serial_cycles, p.serial_cycles, "{name}: syn");
+            assert_eq!(
+                f.speedup.to_bits(),
+                p.speedup.to_bits(),
+                "{name}: syn arena speedup bits differ from pointer walk"
+            );
+        }
+        (f, p) => panic!("{name}: syn predict paths disagree on success: {f:?} vs {p:?}"),
+    }
 }
 
 #[test]
@@ -128,5 +191,6 @@ fn runaware_matches_expanded_across_workload_matrix() {
                 assert_syn_equivalent(name, &profiled.tree, threads, sched);
             }
         }
+        assert_arena_end_to_end(name, &profiled.tree);
     }
 }

@@ -126,8 +126,8 @@ fn corrupt_tail_record_is_skipped_and_recomputed() {
     drop(cold_engine);
 
     // Flip one byte near the end of the log — inside the final record's
-    // JSON payload.
-    let log = dir.join("profiles.v1.log");
+    // binary payload.
+    let log = dir.join("profiles.v2.log");
     let mut bytes = std::fs::read(&log).expect("log readable");
     let at = bytes.len() - 8;
     bytes[at] ^= 0xff;
